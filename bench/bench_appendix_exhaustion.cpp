@@ -1,0 +1,47 @@
+// Appendix A: 16-bit exhaustion — when each registry's 16-bit allocation
+// count peaked, the global maximum (paper: 60,455 on 2019-01-23), and the
+// 16-bit numbers still available at that moment (paper: 4,039).
+#include "common.hpp"
+#include "joint/exhaustion.hpp"
+
+int main() {
+  using namespace pl;
+  bench::print_banner("Appendix A: 16-bit exhaustion",
+                      "per-RIR and global 16-bit allocation peaks");
+
+  const bench::Pipeline& p = bench::Pipeline::instance();
+  const joint::WidthCensus census = joint::compute_width_census(
+      p.admin, util::make_day(2005, 1, 1), p.truth.archive_end);
+  const joint::ExhaustionAnalysis analysis =
+      joint::analyze_16bit_exhaustion(census);
+
+  constexpr const char* kPaperPeaks[] = {"end of 2013", "mid-2016",
+                                         "beginning of 2019", "mid-2015",
+                                         "end of 2018"};
+  util::TextTable table({"RIR", "16-bit peak day", "peak count",
+                         "paper peak era"});
+  for (asn::Rir rir : asn::kAllRirs) {
+    const std::size_t r = asn::index_of(rir);
+    table.add_row({std::string(asn::display_name(rir)),
+                   util::format_iso(analysis.peak_day[r]),
+                   bench::fmt_count(analysis.peak_count[r]),
+                   kPaperPeaks[r]});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nglobal 16-bit peak: "
+            << bench::fmt_count(analysis.global_peak_count) << " on "
+            << util::format_iso(analysis.global_peak_day)
+            << " (paper: 60,455 on 2019-01-23)\n";
+  std::cout << "allocatable 16-bit universe (non-reserved): "
+            << bench::fmt_count(analysis.allocatable_universe)
+            << "; still unallocated at the peak: "
+            << bench::fmt_count(analysis.available_at_peak)
+            << " (paper: 4,039)\n";
+  std::cout << "\n(none of the registries ever used every 16-bit number "
+               "they could allocate — the paper's App. A conclusion; at "
+               "synthetic scale the per-RIR lane sizes bound the peaks, so "
+               "compare the *timing* of the peaks, which is driven by the "
+               "32-bit transition schedule)\n";
+  return 0;
+}

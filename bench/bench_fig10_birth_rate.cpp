@@ -1,0 +1,74 @@
+// Figure 10 (Appendix A): per-RIR administrative birth rate in 3-month bins
+// — the dot-com bubble spike and the APNIC/LACNIC post-2014 ramp.
+#include "common.hpp"
+
+int main() {
+  using namespace pl;
+  bench::print_banner("Figure 10", "per-RIR ASN birth rate (3-month bins)");
+
+  const bench::Pipeline& p = bench::Pipeline::instance();
+  const util::Day begin = util::make_day(1992, 1, 1);
+  const util::Day end = p.truth.archive_end;
+  const joint::QuarterlySeries series =
+      joint::compute_quarterly(p.admin, begin, end);
+
+  std::cout << "quarterly births per RIR (sparkline over 1992..2021):\n";
+  for (asn::Rir rir : asn::kAllRirs) {
+    const std::size_t r = asn::index_of(rir);
+    std::vector<double> values(series.births[r].begin(),
+                               series.births[r].end());
+    std::cout << "  " << asn::display_name(rir) << "\t"
+              << util::sparkline(values) << "\n";
+  }
+
+  // Peak quarter per RIR.
+  std::cout << "\npeak birth quarter per RIR:\n";
+  util::TextTable table({"RIR", "peak quarter", "births", "paper shape"});
+  constexpr const char* kPaperShape[] = {
+      "flat, small", "ramp from 2014", "spike around 2000 (bubble)",
+      "ramp from 2014", "high volume 2005-2013"};
+  for (asn::Rir rir : asn::kAllRirs) {
+    const std::size_t r = asn::index_of(rir);
+    std::size_t peak = 0;
+    for (std::size_t q = 0; q < series.births[r].size(); ++q)
+      if (series.births[r][q] > series.births[r][peak]) peak = q;
+    const int quarter_index = series.quarter_index[peak];
+    const int year = quarter_index / 4;
+    const int quarter = quarter_index % 4 + 1;
+    table.add_row({std::string(asn::display_name(rir)),
+                   std::to_string(year) + "Q" + std::to_string(quarter),
+                   bench::fmt_count(series.births[r][peak]),
+                   kPaperShape[r]});
+  }
+  table.print(std::cout);
+
+  // Verify the headline claims as series relations.
+  const std::size_t arin = asn::index_of(asn::Rir::kArin);
+  const auto sum_years = [&](std::size_t r, int from, int to) {
+    std::int64_t total = 0;
+    for (std::size_t q = 0; q < series.births[r].size(); ++q) {
+      const int year = series.quarter_index[q] / 4;
+      if (year >= from && year <= to) total += series.births[r][q];
+    }
+    return total;
+  };
+  std::cout << "\nARIN births 1999-2001 (bubble): "
+            << bench::fmt_count(sum_years(arin, 1999, 2001))
+            << " vs 1996-1998: " << bench::fmt_count(sum_years(arin, 1996,
+                                                               1998))
+            << " vs 2002-2004: " << bench::fmt_count(sum_years(arin, 2002,
+                                                               2004))
+            << "\n";
+  const std::size_t apnic = asn::index_of(asn::Rir::kApnic);
+  const std::size_t lacnic = asn::index_of(asn::Rir::kLacnic);
+  std::cout << "APNIC births 2015-2020: "
+            << bench::fmt_count(sum_years(apnic, 2015, 2020))
+            << " vs 2009-2014: " << bench::fmt_count(sum_years(apnic, 2009,
+                                                               2014))
+            << "; LACNIC 2015-2020: "
+            << bench::fmt_count(sum_years(lacnic, 2015, 2020))
+            << " vs 2009-2014: " << bench::fmt_count(sum_years(lacnic, 2009,
+                                                               2014))
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 11 (Appendix A): quarterly balance between new allocations and
+// deaths per RIR — RIPE's 2005-2013 volume, APNIC/LACNIC exceeding ARIN
+// around 2017.
+#include "common.hpp"
+
+int main() {
+  using namespace pl;
+  bench::print_banner("Figure 11",
+                      "quarterly balance between ASN births and deaths");
+
+  const bench::Pipeline& p = bench::Pipeline::instance();
+  const util::Day begin = util::make_day(2004, 1, 1);
+  const util::Day end = p.truth.archive_end;
+  const joint::QuarterlySeries series =
+      joint::compute_quarterly(p.admin, begin, end);
+
+  std::cout << "quarterly net balance per RIR (sparkline 2004..2021):\n";
+  for (asn::Rir rir : asn::kAllRirs) {
+    const std::size_t r = asn::index_of(rir);
+    std::vector<double> values(series.balance[r].begin(),
+                               series.balance[r].end());
+    std::cout << "  " << asn::display_name(rir) << "\t"
+              << util::sparkline(values) << "\n";
+  }
+
+  const auto net_since = [&](std::size_t r, int from_year) {
+    std::int64_t total = 0;
+    for (std::size_t q = 0; q < series.balance[r].size(); ++q)
+      if (series.quarter_index[q] / 4 >= from_year)
+        total += series.balance[r][q];
+    return total;
+  };
+
+  std::cout << "\nnet allocations since 2018 (paper: ~4,000 APNIC and "
+               "LACNIC, ~3,000 ARIN, ~4,400 RIPE NCC):\n";
+  util::TextTable table({"RIR", "net since 2018"});
+  for (asn::Rir rir : asn::kAllRirs)
+    table.add_row({std::string(asn::display_name(rir)),
+                   bench::fmt_count(net_since(asn::index_of(rir), 2018))});
+  table.print(std::cout);
+
+  const std::int64_t apnic = net_since(asn::index_of(asn::Rir::kApnic), 2018);
+  const std::int64_t lacnic =
+      net_since(asn::index_of(asn::Rir::kLacnic), 2018);
+  const std::int64_t arin = net_since(asn::index_of(asn::Rir::kArin), 2018);
+  std::cout << "\nAPNIC > ARIN in recent net growth: "
+            << (apnic > arin ? "yes" : "no")
+            << "; LACNIC > ARIN: " << (lacnic > arin ? "yes" : "no")
+            << " (paper: both yes)\n";
+  return 0;
+}

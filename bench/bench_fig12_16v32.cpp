@@ -1,0 +1,82 @@
+// Figure 12 (Appendix A/B): per-day count of allocated 16-bit vs 32-bit
+// ASNs per RIR — the diverse 32-bit transition, ARIN's late ramp, and the
+// 16-bit exhaustion dynamics.
+#include "common.hpp"
+
+int main() {
+  using namespace pl;
+  bench::print_banner("Figure 12",
+                      "16-bit vs 32-bit allocated ASNs per day per RIR");
+
+  const bench::Pipeline& p = bench::Pipeline::instance();
+  const util::Day begin = util::make_day(2005, 1, 1);
+  const util::Day end = p.truth.archive_end;
+  const joint::WidthCensus census =
+      joint::compute_width_census(p.admin, begin, end);
+
+  std::cout << "per-RIR series (16-bit solid / 32-bit dashed in the paper):\n";
+  for (asn::Rir rir : asn::kAllRirs) {
+    const std::size_t r = asn::index_of(rir);
+    std::cout << "  " << asn::display_name(rir) << "\t16 "
+              << util::sparkline(bench::downsample(census.bits16[r]))
+              << "\n\t\t32 "
+              << util::sparkline(bench::downsample(census.bits32[r]))
+              << "\n";
+  }
+
+  util::TextTable table({"date", "ARIN 16/32", "RIPE 16/32", "APNIC 16/32",
+                         "LACNIC 16/32", "AfriNIC 16/32"});
+  for (int year = 2007; year <= 2021; year += 2) {
+    const util::Day day = util::make_day(year, 3, 1);
+    if (day < begin || day > end) continue;
+    const auto index = static_cast<std::size_t>(day - begin);
+    const auto cell = [&](asn::Rir rir) {
+      const std::size_t r = asn::index_of(rir);
+      return bench::fmt_count(census.bits16[r][index]) + "/" +
+             bench::fmt_count(census.bits32[r][index]);
+    };
+    table.add_row({util::format_iso(day), cell(asn::Rir::kArin),
+                   cell(asn::Rir::kRipeNcc), cell(asn::Rir::kApnic),
+                   cell(asn::Rir::kLacnic), cell(asn::Rir::kAfrinic)});
+  }
+  table.print(std::cout);
+
+  // ARIN late-ramp check: ARIN's 32-bit count in 2013 vs APNIC's.
+  const auto at = [&](asn::Rir rir, int year) {
+    const util::Day day = util::make_day(year, 3, 1);
+    return census.bits32[asn::index_of(rir)]
+                        [static_cast<std::size_t>(day - begin)];
+  };
+  std::cout << "\n2013 32-bit counts — ARIN: "
+            << bench::fmt_count(at(asn::Rir::kArin, 2013)) << ", APNIC: "
+            << bench::fmt_count(at(asn::Rir::kApnic, 2013))
+            << ", RIPE NCC: " << bench::fmt_count(at(asn::Rir::kRipeNcc,
+                                                     2013))
+            << " (paper: ARIN ramps up only around 2014 despite being the "
+               "2nd largest registry)\n";
+
+  // New-allocation 16-bit share in 2020 (paper: ARIN ~30%, younger RIRs
+  // 1..1.7%).
+  std::cout << "\n16-bit share of 2020 new allocations:\n";
+  util::TextTable share({"RIR", "2020 births", "16-bit share", "paper"});
+  constexpr const char* kPaper[] = {"~1-1.7%", "~1-1.7%", "~30%", "~1-1.7%",
+                                    "-"};
+  for (asn::Rir rir : asn::kAllRirs) {
+    std::int64_t births = 0;
+    std::int64_t births16 = 0;
+    for (const lifetimes::AdminLifetime& life : p.admin.lifetimes) {
+      if (life.registry != rir) continue;
+      if (util::year_of(life.days.first) != 2020) continue;
+      ++births;
+      if (life.asn.is_16bit()) ++births16;
+    }
+    share.add_row({std::string(asn::display_name(rir)),
+                   bench::fmt_count(births),
+                   births == 0 ? "-" : bench::fmt_pct(
+                       static_cast<double>(births16) /
+                       static_cast<double>(births)),
+                   kPaper[asn::index_of(rir)]});
+  }
+  share.print(std::cout);
+  return 0;
+}

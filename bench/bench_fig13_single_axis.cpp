@@ -1,0 +1,66 @@
+// Figure 13 (Appendix): the Figure 4 data on a single shared axis — all
+// per-RIR and overall admin/BGP series together.
+#include "common.hpp"
+
+int main() {
+  using namespace pl;
+  bench::print_banner("Figure 13",
+                      "admin vs BGP alive ASNs, single-axis view");
+
+  const bench::Pipeline& p = bench::Pipeline::instance();
+  const util::Day begin = p.truth.archive_begin;
+  const util::Day end = p.truth.archive_end;
+  const joint::DailyCensus census = joint::compute_census(p.admin, p.op,
+                                                          begin, end);
+
+  // Global maximum for a shared scale.
+  std::int32_t max_value = 0;
+  for (const std::int32_t v : census.admin_overall)
+    max_value = std::max(max_value, v);
+
+  const auto scaled_sparkline = [&](const std::vector<std::int32_t>& series) {
+    // Append the global max as an off-screen sentinel so every sparkline
+    // shares the same scale, then drop its glyph.
+    std::vector<double> values = bench::downsample(series);
+    values.push_back(max_value);
+    std::string line = util::sparkline(values);
+    // Remove the sentinel glyph (3 UTF-8 bytes).
+    if (line.size() >= 3) line.resize(line.size() - 3);
+    return line;
+  };
+
+  std::cout << "shared-axis series (max = "
+            << bench::fmt_count(max_value) << " ASNs):\n";
+  std::cout << "  Overall adm\t" << scaled_sparkline(census.admin_overall)
+            << "\n";
+  std::cout << "  Overall BGP\t" << scaled_sparkline(census.op_overall)
+            << "\n";
+  for (asn::Rir rir : asn::kAllRirs) {
+    const std::size_t r = asn::index_of(rir);
+    std::cout << "  " << asn::display_name(rir) << " adm\t"
+              << scaled_sparkline(census.admin_per_rir[r]) << "\n";
+    std::cout << "  " << asn::display_name(rir) << " BGP\t"
+              << scaled_sparkline(census.op_per_rir[r]) << "\n";
+  }
+
+  // Yearly numeric rows.
+  std::cout << "\n";
+  util::TextTable table({"date", "overall adm", "overall BGP",
+                         "largest RIR (adm)"});
+  for (int year = 2005; year <= 2021; year += 4) {
+    const util::Day day = util::make_day(year, 3, 1);
+    if (day < begin || day > end) continue;
+    const auto index = static_cast<std::size_t>(day - begin);
+    asn::Rir largest = asn::Rir::kArin;
+    for (asn::Rir rir : asn::kAllRirs)
+      if (census.admin_per_rir[asn::index_of(rir)][index] >
+          census.admin_per_rir[asn::index_of(largest)][index])
+        largest = rir;
+    table.add_row({util::format_iso(day),
+                   bench::fmt_count(census.admin_overall[index]),
+                   bench::fmt_count(census.op_overall[index]),
+                   std::string(asn::display_name(largest))});
+  }
+  table.print(std::cout);
+  return 0;
+}

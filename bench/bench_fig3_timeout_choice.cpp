@@ -1,0 +1,46 @@
+// Figure 3: sensitivity analysis behind the 30-day inactivity timeout —
+// the CDF of per-ASN BGP activity gaps and the fraction of administrative
+// lives containing one or no operational life, as the timeout sweeps.
+#include "common.hpp"
+
+int main() {
+  using namespace pl;
+  bench::print_banner("Figure 3", "BGP activity timeout sensitivity");
+
+  const bench::Pipeline& p = bench::Pipeline::instance();
+
+  std::vector<int> timeouts;
+  for (int t = 1; t <= 360; t += (t < 60 ? 1 : 10)) timeouts.push_back(t);
+  const lifetimes::SensitivityCurves curves =
+      lifetimes::analyze_timeout_sensitivity(p.op_world.activity, p.admin,
+                                             timeouts);
+
+  util::TextTable table({"timeout (days)", "gap CDF", "<=1 op life CDF"});
+  for (const int probe : {1, 5, 10, 15, 20, 30, 50, 100, 180, 360}) {
+    const auto it =
+        std::find(curves.timeouts.begin(), curves.timeouts.end(), probe);
+    if (it == curves.timeouts.end()) continue;
+    const auto index =
+        static_cast<std::size_t>(it - curves.timeouts.begin());
+    table.add_row({std::to_string(probe),
+                   bench::fmt_pct(curves.gap_cdf[index]),
+                   bench::fmt_pct(curves.one_or_less_cdf[index])});
+  }
+  table.print(std::cout);
+
+  std::vector<double> gap_series(curves.gap_cdf.begin(),
+                                 curves.gap_cdf.end());
+  std::vector<double> one_series(curves.one_or_less_cdf.begin(),
+                                 curves.one_or_less_cdf.end());
+  std::cout << "\ngap CDF      " << util::sparkline(gap_series) << "\n";
+  std::cout << "<=1 op life  " << util::sparkline(one_series) << "\n";
+
+  const lifetimes::TimeoutChoice choice =
+      lifetimes::evaluate_choice(p.op_world.activity, p.admin, 30);
+  std::cout << "\nchosen timeout 30 days: covers "
+            << bench::fmt_pct(choice.gap_fraction)
+            << " of activity gaps (paper: 70.1%) and "
+            << bench::fmt_pct(choice.one_or_less_fraction)
+            << " of admin lives have <=1 op life (paper: 83%)\n";
+  return 0;
+}

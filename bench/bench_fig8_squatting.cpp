@@ -1,0 +1,107 @@
+// Figure 8: daily prefix-origination series for ASNs that suddenly "wake
+// up" after years of dormancy — the squatting case studies — plus the
+// 6.1.2 detector evaluated against the simulator's ground-truth labels
+// (which the paper did not have).
+#include <unordered_set>
+
+#include "common.hpp"
+
+int main() {
+  using namespace pl;
+  bench::print_banner("Figure 8",
+                      "awakening of dormant ASNs and squat detection");
+
+  const bench::Pipeline& p = bench::Pipeline::instance();
+
+  // Run the 6.1.2 detector.
+  const auto candidates =
+      joint::detect_dormant_squats(p.taxonomy, p.admin, p.op);
+  std::unordered_set<std::uint32_t> flagged;
+  for (const joint::SquatCandidate& candidate : candidates)
+    flagged.insert(candidate.asn.value);
+
+  // Ground-truth comparison (the paper could only cross-validate 76 cases
+  // by hand; the simulator gives exact labels).
+  std::size_t attacks = 0;
+  std::size_t caught = 0;
+  for (const bgpsim::SquatEvent& event : p.op_world.attacks.events) {
+    if (event.post_deallocation) continue;
+    ++attacks;
+    if (flagged.contains(event.asn.value)) ++caught;
+  }
+  std::cout << "detector (dormancy >= 1000 days, relative duration <= 5%): "
+            << bench::fmt_count(static_cast<std::int64_t>(candidates.size()))
+            << " candidate op lives (paper: 3,051)\n";
+  std::cout << "ground truth: " << attacks << " injected dormant squats, "
+            << caught << " flagged -> recall "
+            << bench::fmt_pct(attacks == 0 ? 0
+                                           : static_cast<double>(caught) /
+                                                 static_cast<double>(attacks))
+            << "; precision vs labels "
+            << bench::fmt_pct(candidates.empty()
+                                  ? 0
+                                  : static_cast<double>(caught) /
+                                        static_cast<double>(
+                                            candidates.size()))
+            << " (paper: >=76 of 3,051 confirmed — most candidates are "
+               "benign irregular operations)\n\n";
+
+  // Case-study series: regenerate the daily prefix counts for a handful of
+  // malicious awakenings via the route generator.
+  const bgp::CollectorInfrastructure infra =
+      bgp::make_default_infrastructure();
+  const bgpsim::RouteGenerator generator(p.op_world, infra, p.seed + 9);
+
+  std::vector<const bgpsim::SquatEvent*> cases;
+  for (const bgpsim::SquatEvent& event : p.op_world.attacks.events) {
+    if (event.post_deallocation || event.coordinated) continue;
+    cases.push_back(&event);
+    if (cases.size() == 6) break;
+  }
+
+  util::TextTable table({"ASN", "awakening", "duration (d)",
+                         "prefixes/day", "upstream", "peak day sample"});
+  for (const bgpsim::SquatEvent* event : cases) {
+    // Count distinct prefixes on the middle day of the event via the
+    // element-level path (what the paper's semi-automated inspection did).
+    const util::Day mid =
+        event->days.first + static_cast<util::Day>(event->days.length() / 2);
+    const std::unordered_set<std::uint32_t> watch = {event->asn.value};
+    bgp::OriginationTracker tracker;
+    for (const bgp::Element& element :
+         generator.elements_for_day(mid, &watch))
+      tracker.observe(element);
+    table.add_row({asn::to_string(event->asn),
+                   util::format_iso(event->days.first),
+                   std::to_string(event->days.length()),
+                   std::to_string(event->prefixes_per_day),
+                   "AS" + std::to_string(event->upstream),
+                   std::to_string(tracker.prefixes_on(event->asn, mid)) +
+                       " prefixes observed"});
+  }
+  table.print(std::cout);
+  std::cout << "\n(paper cases: AS10512 — 60 /16s in Dec 2017, Spectrum "
+               "hijack; AS7449 sharing upstream AS203040 'BGP Hijack "
+               "Factory'; AS28071/AS262916 behind AS52302)\n";
+
+  // Coordinated wake-up (Apr-Jul 2020, 31 ASNs, few prefixes each).
+  std::size_t coordinated = 0;
+  util::Day window_first = 0;
+  util::Day window_last = 0;
+  for (const bgpsim::SquatEvent& event : p.op_world.attacks.events) {
+    if (!event.coordinated) continue;
+    ++coordinated;
+    if (coordinated == 1) {
+      window_first = event.days.first;
+      window_last = event.days.last;
+    } else {
+      window_first = std::min(window_first, event.days.first);
+      window_last = std::max(window_last, event.days.last);
+    }
+  }
+  std::cout << "\ncoordinated wake-up group: " << coordinated
+            << " ASNs between " << util::format_iso(window_first) << " and "
+            << util::format_iso(window_last)
+            << " (paper: 31 ASNs, April-July 2020, a few /20s each)\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// 6.2 Partial overlap: operators' dangling announcements past deallocation
+// and operational starts before the published allocation — the in-text
+// numbers of the section (2,840 dangling of 4,434; 1,594 early starts, 631
+// of them before the registration date; mismatches lasting a few days).
+#include "common.hpp"
+
+int main() {
+  using namespace pl;
+  bench::print_banner("6.2 Partial overlap",
+                      "dangling announcements and early starts");
+
+  const bench::Pipeline& p = bench::Pipeline::instance();
+  const joint::PartialOverlapAnalysis analysis =
+      joint::analyze_partial_overlap(p.taxonomy, p.admin, p.op);
+
+  util::TextTable table({"quantity", "measured", "paper"});
+  table.add_row({"partial-overlap admin lives",
+                 bench::fmt_count(analysis.partial_admin_lives), "4,434"});
+  table.add_row({"dangling announcements (op continues past dealloc)",
+                 bench::fmt_count(analysis.dangling_lives) + " (" +
+                     bench::fmt_pct(analysis.partial_admin_lives == 0
+                                        ? 0
+                                        : static_cast<double>(
+                                              analysis.dangling_lives) /
+                                              static_cast<double>(
+                                                  analysis
+                                                      .partial_admin_lives)) +
+                     ")",
+                 "2,840 (64%)"});
+  table.add_row({"ASNs announcing before allocation",
+                 bench::fmt_count(analysis.early_starts), "1,594"});
+  table.add_row({"  of which before the registration date",
+                 bench::fmt_count(analysis.early_before_regdate), "631"});
+  table.print(std::cout);
+
+  std::cout << "\ndangling-tail duration (days past deallocation): median "
+            << static_cast<int>(util::median(analysis.dangling_days))
+            << ", p90 " << static_cast<int>(util::quantile(
+                   analysis.dangling_days, 0.9))
+            << "  (paper: AS43268 dangled ~2 years, prompting RIPE NCC to "
+               "hold it reserved)\n";
+  std::cout << "early-start lead (days before allocation): median "
+            << static_cast<int>(util::median(analysis.early_days))
+            << ", max " << static_cast<int>(util::quantile(
+                   analysis.early_days, 1.0))
+            << "  (paper: mismatches only last a few days — delegation-file "
+               "publication lag)\n";
+
+  // Customer-cone claim: dangling ASNs are predominantly small. Our proxy:
+  // the behaviour model only assigns dangling tails to single-homed
+  // small-network lives; verify via the ground-truth org kinds.
+  std::int64_t dangling_small = 0;
+  std::int64_t dangling_total = 0;
+  for (std::size_t i = 0; i < p.op_world.behavior.plans.size(); ++i) {
+    const bgpsim::AsnOpPlan& plan = p.op_world.behavior.plans[i];
+    if (plan.kind != bgpsim::BehaviorKind::kDanglingTail) continue;
+    if (plan.truth_life_index < 0) continue;
+    ++dangling_total;
+    const rirsim::Organization& org =
+        p.truth.orgs[p.truth
+                         .lives[static_cast<std::size_t>(
+                             plan.truth_life_index)]
+                         .org];
+    if (org.kind == rirsim::OrgKind::kSmallNetwork) ++dangling_small;
+  }
+  if (dangling_total > 0)
+    std::cout << "\ndangling ASNs held by small single-AS organizations: "
+              << bench::fmt_pct(static_cast<double>(dangling_small) /
+                                static_cast<double>(dangling_total))
+              << " (paper: 95% have no customers — stale manual router "
+                 "configurations)\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// RPKI counterfactual (paper 9): if victims had issued ROAs and networks
+// dropped RPKI-invalid announcements, how much of the squatting and
+// misconfiguration activity would have been contained? Sweeps ROA coverage
+// and validates the announcements of every labelled event day.
+#include <unordered_set>
+
+#include "common.hpp"
+#include "joint/rpki.hpp"
+
+int main() {
+  using namespace pl;
+  bench::print_banner("RPKI counterfactual",
+                      "ROA coverage vs contained malicious/misconfig "
+                      "announcements");
+
+  const bench::Pipeline& p = bench::Pipeline::instance();
+  const bgp::CollectorInfrastructure infra =
+      bgp::make_default_infrastructure();
+  const bgpsim::RouteGenerator generator(p.op_world, infra, p.seed + 13);
+
+  // The legitimate prefix universe: every planned benign life announces its
+  // ASN's own deterministic prefixes.
+  struct Event {
+    asn::Asn origin;
+    util::Day probe;
+    bool malicious;
+  };
+  std::vector<Event> events;
+  for (const bgpsim::SquatEvent& event : p.op_world.attacks.events)
+    events.push_back({event.asn,
+                      event.days.first + static_cast<util::Day>(
+                          event.days.length() / 2),
+                      true});
+  for (const bgpsim::MisconfigEvent& event : p.op_world.misconfigs.events)
+    events.push_back({event.bogus_origin,
+                      event.days.first + static_cast<util::Day>(
+                          event.days.length() / 2),
+                      false});
+
+  util::TextTable table({"ROA coverage", "ROAs", "squat ann. dropped",
+                         "misconfig ann. dropped", "legit ann. dropped "
+                         "(false positives)"});
+
+  for (const double coverage : {0.25, 0.50, 0.75, 1.00}) {
+    // Issue ROAs for a deterministic slice of legitimate holders.
+    joint::RoaTable roas;
+    util::Rng rng(p.seed + static_cast<std::uint64_t>(coverage * 100));
+    for (const bgpsim::AsnOpPlan& plan : p.op_world.behavior.plans) {
+      if (plan.truth_life_index < 0) continue;  // never-allocated: no ROA
+      if (!rng.chance(coverage)) continue;
+      int max_prefixes = 0;
+      for (const bgpsim::OpLifePlan& life : plan.lives)
+        if (!life.malicious && life.victim == 0)
+          max_prefixes = std::max(max_prefixes, life.prefixes_per_day);
+      for (int i = 0; i < max_prefixes; ++i) {
+        const bgp::Prefix prefix =
+            bgpsim::RouteGenerator::origin_prefix(plan.asn, i);
+        roas.add(joint::Roa{prefix, plan.asn, prefix.length()});
+      }
+    }
+
+    joint::RpkiStats squat_stats;
+    joint::RpkiStats misconfig_stats;
+    joint::RpkiStats legit_stats;
+    for (const Event& event : events) {
+      const std::unordered_set<std::uint32_t> watch = {event.origin.value};
+      for (const bgp::Element& element :
+           generator.elements_for_day(event.probe, &watch)) {
+        const auto origin = element.path.origin();
+        if (!origin || !(origin == event.origin)) continue;
+        const joint::RpkiValidity validity =
+            roas.validate(element.prefix, *origin);
+        (event.malicious ? squat_stats : misconfig_stats).record(validity);
+      }
+    }
+    // Legitimate traffic sample: every benign life's own announcements
+    // (victim-space lives and malicious lives excluded by construction).
+    for (const bgpsim::AsnOpPlan& plan : p.op_world.behavior.plans) {
+      if (plan.truth_life_index < 0) continue;
+      for (const bgpsim::OpLifePlan& life : plan.lives) {
+        if (life.malicious || life.victim != 0 || life.peer_visibility < 2)
+          continue;
+        for (int i = 0; i < life.prefixes_per_day; ++i)
+          legit_stats.record(roas.validate(
+              bgpsim::RouteGenerator::origin_prefix(plan.asn, i), plan.asn));
+        break;  // one life per plan is a representative sample
+      }
+    }
+
+    const auto dropped = [](const joint::RpkiStats& stats) {
+      return stats.total() == 0
+                 ? std::string("-")
+                 : util::percent(static_cast<double>(stats.invalid) /
+                                 static_cast<double>(stats.total()));
+    };
+    table.add_row({bench::fmt_pct(coverage, 0),
+                   bench::fmt_count(static_cast<std::int64_t>(roas.size())),
+                   dropped(squat_stats), dropped(misconfig_stats),
+                   dropped(legit_stats)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n(the paper's 9 conclusion, quantified: typo MOAS "
+               "conflicts announce actively-ROA'd space and are fully "
+               "contained at high coverage; squats are contained only for "
+               "the slice of hijacked space whose holders registered ROAs — "
+               "squatted-but-never-announced space stays RPKI-unknown, "
+               "matching the paper's caveat. Partial-coverage false "
+               "positives are more-specifics of covered aggregates whose "
+               "holders lack their own ROAs — the known deployment-order "
+               "hazard; at full coverage they vanish.)\n";
+  return 0;
+}

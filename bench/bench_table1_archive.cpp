@@ -1,0 +1,73 @@
+// Table 1: overview of the delegation files collected per RIR — first
+// regular file, first extended file, number of files — plus the archive
+// health statistics from 3.1 (missing-file rate, restoration step counts).
+#include "common.hpp"
+
+int main() {
+  using namespace pl;
+  bench::print_banner("Table 1",
+                      "delegation files collected per RIR + archive health");
+
+  const bench::Pipeline& p = bench::Pipeline::instance();
+
+  util::TextTable table({"RIR", "First regular", "First extended",
+                         "Files present", "Missing", "Corrupt",
+                         "Missing rate"});
+  std::int64_t total_files = 0;
+  for (asn::Rir rir : asn::kAllRirs) {
+    const asn::RirFacts& facts = asn::facts(rir);
+    const restore::RestorationReport& report =
+        p.restored.registry(rir).report;
+
+    // Days each channel was expected to publish within the archive window.
+    const util::Day end = p.truth.archive_end;
+    std::int64_t expected = 0;
+    expected += end - std::max(p.truth.archive_begin,
+                               facts.first_regular_file) + 1;
+    if (facts.last_regular_file)
+      expected -= end - *facts.last_regular_file;
+    expected += end - std::max(p.truth.archive_begin,
+                               facts.first_extended_file) + 1;
+
+    const std::int64_t present =
+        expected - report.files_missing - report.files_corrupt;
+    total_files += present;
+    table.add_row({std::string(asn::display_name(rir)),
+                   util::format_iso(facts.first_regular_file),
+                   util::format_iso(facts.first_extended_file),
+                   bench::fmt_count(present),
+                   bench::fmt_count(report.files_missing),
+                   bench::fmt_count(report.files_corrupt),
+                   bench::fmt_pct(static_cast<double>(report.files_missing) /
+                                  static_cast<double>(expected))});
+  }
+  table.print(std::cout);
+  std::cout << "\ntotal files: " << bench::fmt_count(total_files)
+            << "  (paper: 30,945 across RIRs; <1% of days missing, longest "
+               "run 7 days)\n";
+
+  std::cout << "\nrestoration audit (3.1):\n";
+  util::TextTable audit({"RIR", "gap-filled days", "recovered from regular",
+                         "same-day conflicts", "duplicates", "future dates",
+                         "placeholder dates"});
+  for (asn::Rir rir : asn::kAllRirs) {
+    const restore::RestorationReport& report =
+        p.restored.registry(rir).report;
+    audit.add_row({std::string(asn::display_name(rir)),
+                   bench::fmt_count(report.gap_filled_days),
+                   bench::fmt_count(report.recovered_from_regular),
+                   bench::fmt_count(report.newest_conflict_days),
+                   bench::fmt_count(report.duplicates_resolved),
+                   bench::fmt_count(report.future_dates_fixed),
+                   bench::fmt_count(report.placeholder_dates_restored)});
+  }
+  audit.print(std::cout);
+  std::cout << "\ncross-RIR (3.1.vi): "
+            << bench::fmt_count(p.restored.cross.overlapping_asns)
+            << " overlapping ASNs (paper: ~450), "
+            << bench::fmt_count(p.restored.cross.stale_spans_trimmed)
+            << " stale transfer spans trimmed, "
+            << bench::fmt_count(p.restored.cross.mistaken_spans_removed)
+            << " mistaken allocations removed\n";
+  return 0;
+}

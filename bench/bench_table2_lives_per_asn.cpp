@@ -1,0 +1,68 @@
+// Table 2: number of administrative and operational lifetimes per ASN
+// (share of ASNs with 1 / 2 / >2 lives, per RIR and total).
+#include "common.hpp"
+
+int main() {
+  using namespace pl;
+  bench::print_banner("Table 2",
+                      "administrative and operational lifetimes per ASN");
+
+  const bench::Pipeline& p = bench::Pipeline::instance();
+  const joint::LivesPerAsnTable table =
+      joint::compute_lives_per_asn(p.admin, p.op);
+
+  // Paper reference rows (Adm. / Op. percentages).
+  struct PaperRow {
+    const char* rir;
+    double adm[3];
+    double op[3];
+  };
+  constexpr PaperRow kPaper[] = {
+      {"AfriNIC", {96.7, 3.0, 0.3}, {78.6, 12.5, 8.9}},
+      {"APNIC", {93.2, 6.1, 0.7}, {76.9, 14.5, 8.6}},
+      {"ARIN", {71.9, 21.9, 6.2}, {65.8, 22.4, 11.8}},
+      {"LACNIC", {98.4, 1.5, 0.1}, {88.4, 7.9, 3.7}},
+      {"RIPE NCC", {84.4, 14.0, 1.6}, {76.2, 15.0, 8.8}},
+  };
+
+  util::TextTable out({"RIR", "Adm 1", "Adm 2", "Adm >2", "Op 1", "Op 2",
+                       "Op >2", "paper Adm", "paper Op"});
+  for (asn::Rir rir : asn::kAllRirs) {
+    const std::size_t r = asn::index_of(rir);
+    const joint::LivesPerAsnRow& admin_row = table.admin[r];
+    const joint::LivesPerAsnRow& op_row = table.op[r];
+    char paper_adm[64];
+    char paper_op[64];
+    std::snprintf(paper_adm, sizeof paper_adm, "%.1f/%.1f/%.1f",
+                  kPaper[r].adm[0], kPaper[r].adm[1], kPaper[r].adm[2]);
+    std::snprintf(paper_op, sizeof paper_op, "%.1f/%.1f/%.1f",
+                  kPaper[r].op[0], kPaper[r].op[1], kPaper[r].op[2]);
+    out.add_row({std::string(asn::display_name(rir)),
+                 bench::fmt_pct(admin_row.one), bench::fmt_pct(admin_row.two),
+                 bench::fmt_pct(admin_row.more), bench::fmt_pct(op_row.one),
+                 bench::fmt_pct(op_row.two), bench::fmt_pct(op_row.more),
+                 paper_adm, paper_op});
+  }
+  out.add_row({"Total", bench::fmt_pct(table.admin_total.one),
+               bench::fmt_pct(table.admin_total.two),
+               bench::fmt_pct(table.admin_total.more),
+               bench::fmt_pct(table.op_total.one),
+               bench::fmt_pct(table.op_total.two),
+               bench::fmt_pct(table.op_total.more),
+               "84.1/13.4/2.5", "74.3/15.8/9.9"});
+  out.print(std::cout);
+
+  std::cout << "\ndatasets: "
+            << bench::fmt_count(static_cast<std::int64_t>(
+                   p.admin.lifetimes.size()))
+            << " admin lifetimes / "
+            << bench::fmt_count(static_cast<std::int64_t>(
+                   p.admin.asn_count()))
+            << " ASNs (paper: 126,953 / 106,873); "
+            << bench::fmt_count(static_cast<std::int64_t>(
+                   p.op.lifetimes.size()))
+            << " op lifetimes / "
+            << bench::fmt_count(static_cast<std::int64_t>(p.op.asn_count()))
+            << " ASNs (paper: 152,926 / 96,391)\n";
+  return 0;
+}

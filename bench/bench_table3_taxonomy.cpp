@@ -1,0 +1,53 @@
+// Table 3: distribution of the four joint-taxonomy categories over
+// administrative and operational lives (Fig. 6's buckets).
+#include "common.hpp"
+
+int main() {
+  using namespace pl;
+  bench::print_banner("Table 3", "joint taxonomy category distribution");
+
+  const bench::Pipeline& p = bench::Pipeline::instance();
+  const joint::Taxonomy& taxonomy = p.taxonomy;
+
+  constexpr std::int64_t kPaperAdmin[] = {99790, 4434, 22729, 0};
+  constexpr std::int64_t kPaperOp[] = {130397, 5434, 0, 2382};
+  constexpr const char* kLabels[] = {
+      "6.1 - Complete overlap", "6.2 - Partial overlap",
+      "6.3 - Unused administrative lives",
+      "6.4 - Op. lives outside delegation"};
+
+  util::TextTable table({"Category", "Adm. lives", "(share)", "Op. lives",
+                         "paper Adm.", "paper Op."});
+  const double admin_total = static_cast<double>(taxonomy.total_admin());
+  for (int c = 0; c < 4; ++c) {
+    const auto index = static_cast<std::size_t>(c);
+    table.add_row(
+        {kLabels[index], bench::fmt_count(taxonomy.admin_counts[index]),
+         c < 3 ? bench::fmt_pct(
+                     static_cast<double>(taxonomy.admin_counts[index]) /
+                     admin_total)
+               : "-",
+         bench::fmt_count(taxonomy.op_counts[index]),
+         bench::fmt_count(kPaperAdmin[index]),
+         bench::fmt_count(kPaperOp[index])});
+  }
+  table.add_row({"Total", bench::fmt_count(taxonomy.total_admin()), "",
+                 bench::fmt_count(taxonomy.total_op()),
+                 bench::fmt_count(126953), bench::fmt_count(138213)});
+  table.print(std::cout);
+
+  const joint::OutsideSplit split =
+      joint::split_outside(taxonomy, p.admin, p.op);
+  std::cout << "\noutside-delegation ASNs: "
+            << bench::fmt_count(static_cast<std::int64_t>(
+                   split.ever_allocated.size() +
+                   split.never_allocated.size()))
+            << " total = "
+            << bench::fmt_count(static_cast<std::int64_t>(
+                   split.ever_allocated.size()))
+            << " previously allocated + "
+            << bench::fmt_count(static_cast<std::int64_t>(
+                   split.never_allocated.size()))
+            << " never allocated   (paper: 1,667 = 799 + 868)\n";
+  return 0;
+}

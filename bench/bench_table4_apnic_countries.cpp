@@ -1,0 +1,56 @@
+// Table 4: evolution of APNIC's top countries by alive allocations at the
+// 2010 / 2015 / 2021 snapshots (India's climb past Australia).
+#include "common.hpp"
+
+int main() {
+  using namespace pl;
+  bench::print_banner("Table 4", "APNIC countries evolution");
+
+  const bench::Pipeline& p = bench::Pipeline::instance();
+
+  const util::Day snapshots[] = {util::make_day(2010, 3, 1),
+                                 util::make_day(2015, 3, 1),
+                                 util::make_day(2021, 3, 1)};
+  const char* headers[] = {"2010", "2015", "2021"};
+  constexpr const char* kPaper[3][5] = {
+      {"AU 17.6%", "KR 14.6%", "JP 12.9%", "CN 7.6%", "ID 7.1%"},
+      {"AU 16.1%", "CN 11.4%", "JP 10.4%", "IN 10.1%", "KR 9.6%"},
+      {"IN 15.7%", "AU 14.5%", "ID 11.1%", "CN 10.6%", "JP 6.1%"},
+  };
+
+  util::TextTable table({"Pos.", "2010", "2015", "2021", "paper 2010",
+                         "paper 2015", "paper 2021"});
+  std::array<std::vector<joint::CountryShareRow>, 3> shares;
+  for (int s = 0; s < 3; ++s)
+    shares[static_cast<std::size_t>(s)] = joint::country_shares_on(
+        p.admin, asn::Rir::kApnic, snapshots[s], 5);
+
+  for (std::size_t position = 0; position < 5; ++position) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(position + 1) + "°");
+    for (int s = 0; s < 3; ++s) {
+      const auto& list = shares[static_cast<std::size_t>(s)];
+      if (position < list.size()) {
+        row.push_back(list[position].country.to_string() + ": " +
+                      bench::fmt_count(list[position].count) + " - " +
+                      bench::fmt_pct(list[position].share));
+      } else {
+        row.push_back("-");
+      }
+    }
+    for (int s = 0; s < 3; ++s)
+      row.push_back(kPaper[s][position]);
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  (void)headers;
+
+  // Headline check: leader flips from AU-era to IN-era.
+  const auto leader = [&](int s) {
+    const auto& list = shares[static_cast<std::size_t>(s)];
+    return list.empty() ? std::string("-") : list[0].country.to_string();
+  };
+  std::cout << "\nleader: 2010=" << leader(0) << " (paper AU), 2021="
+            << leader(2) << " (paper IN)\n";
+  return 0;
+}

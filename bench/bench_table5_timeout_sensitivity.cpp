@@ -1,0 +1,62 @@
+// Table 5 (Appendix C): how the taxonomy distribution shifts when the
+// inactivity timeout is 15 / 30 / 50 days instead of 30.
+#include "common.hpp"
+
+int main() {
+  using namespace pl;
+  bench::print_banner("Table 5 / Appendix C",
+                      "taxonomy sensitivity to the inactivity timeout");
+
+  const bench::Pipeline& p = bench::Pipeline::instance();
+
+  constexpr std::int64_t kPaper[3][3] = {
+      {99834, 4390, 1750},  // 15 days
+      {99790, 4434, 1667},  // 30 days (baseline)
+      {99713, 4511, 1592},  // 50 days
+  };
+
+  util::TextTable table({"Timeout", "Complete overlap", "Partial overlap",
+                         "Op. outside delegation", "paper (C/P/O)"});
+  std::int64_t baseline[3] = {0, 0, 0};
+  const int timeouts[] = {15, 30, 50};
+  for (int t = 0; t < 3; ++t) {
+    const lifetimes::OpDataset op =
+        lifetimes::build_op_lifetimes(p.op_world.activity, timeouts[t]);
+    const joint::Taxonomy taxonomy = joint::classify(p.admin, op);
+    const joint::OutsideSplit split =
+        joint::split_outside(taxonomy, p.admin, op);
+    const std::int64_t outside_asns = static_cast<std::int64_t>(
+        split.ever_allocated.size() + split.never_allocated.size());
+    const std::int64_t values[3] = {taxonomy.admin_counts[0],
+                                    taxonomy.admin_counts[1], outside_asns};
+    if (timeouts[t] == 30)
+      for (int i = 0; i < 3; ++i) baseline[i] = values[i];
+
+    const auto cell = [&](int i) {
+      std::string text = bench::fmt_count(values[i]);
+      if (timeouts[t] != 30 && baseline[i] != 0) {
+        const double delta =
+            (static_cast<double>(values[i]) - static_cast<double>(
+                 baseline[i])) /
+            static_cast<double>(baseline[i]);
+        char buf[32];
+        std::snprintf(buf, sizeof buf, " (%+.2f%%)", delta * 100);
+        text += buf;
+      }
+      return text;
+    };
+    char paper[64];
+    std::snprintf(paper, sizeof paper, "%lld/%lld/%lld",
+                  static_cast<long long>(kPaper[t][0]),
+                  static_cast<long long>(kPaper[t][1]),
+                  static_cast<long long>(kPaper[t][2]));
+    table.add_row({std::to_string(timeouts[t]), cell(0), cell(1), cell(2),
+                   paper});
+  }
+  table.print(std::cout);
+  std::cout << "\n(deltas are computed against the 30-day baseline in run "
+               "order: the 15-day row shows raw counts; the paper reports "
+               "fluctuations under 5%, symmetric around 30 days — the "
+               "never-used category is timeout-invariant and omitted)\n";
+  return 0;
+}

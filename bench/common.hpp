@@ -1,0 +1,126 @@
+// Shared harness for the reproduction benches: builds the full paper-scale
+// pipeline once per binary and offers the printing conventions all benches
+// share (paper reference value next to the measured one).
+//
+// Environment knobs:
+//   PL_BENCH_SCALE  world scale (default 1.0 = paper scale)
+//   PL_BENCH_SEED   world seed  (default 42)
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bgpsim/route_gen.hpp"
+#include "joint/birdseye.hpp"
+#include "joint/outside.hpp"
+#include "joint/partial.hpp"
+#include "joint/squat.hpp"
+#include "joint/taxonomy.hpp"
+#include "joint/unused.hpp"
+#include "joint/utilization.hpp"
+#include "lifetimes/sensitivity.hpp"
+#include "restore/pipeline.hpp"
+#include "rirsim/inject.hpp"
+#include "rirsim/world.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace pl::bench {
+
+/// The whole pipeline at paper scale, built once.
+struct Pipeline {
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+  rirsim::GroundTruth truth;
+  bgpsim::OpWorld op_world;
+  restore::RestoredArchive restored;
+  lifetimes::AdminDataset admin;
+  lifetimes::OpDataset op;
+  joint::Taxonomy taxonomy;
+
+  static const Pipeline& instance() {
+    static const Pipeline pipeline = build();
+    return pipeline;
+  }
+
+  static Pipeline build() {
+    Pipeline p;
+    if (const char* env = std::getenv("PL_BENCH_SCALE"))
+      p.scale = std::atof(env);
+    if (const char* env = std::getenv("PL_BENCH_SEED"))
+      p.seed = std::strtoull(env, nullptr, 10);
+
+    std::cerr << "[bench] building world: scale=" << p.scale
+              << " seed=" << p.seed << "\n";
+    p.truth = rirsim::build_world(
+        rirsim::WorldConfig{p.seed, p.scale, asn::archive_begin_day(),
+                            asn::archive_end_day()});
+
+    bgpsim::OpWorldConfig op_config;
+    op_config.behavior.seed = p.seed + 1;
+    op_config.attacks.seed = p.seed + 2;
+    op_config.attacks.scale = p.scale;
+    op_config.misconfigs.seed = p.seed + 3;
+    op_config.misconfigs.scale = p.scale;
+    p.op_world = bgpsim::build_op_world(p.truth, op_config);
+
+    rirsim::InjectorConfig injector;
+    injector.seed = p.seed + 4;
+    injector.scale = p.scale;
+    const rirsim::SimulatedArchive archive(p.truth, injector);
+    std::array<std::unique_ptr<dele::ArchiveStream>, asn::kRirCount> streams;
+    for (asn::Rir rir : asn::kAllRirs)
+      streams[asn::index_of(rir)] = archive.stream(rir);
+    const rirsim::GroundTruth& truth_ref = p.truth;
+    p.restored = restore::restore_archive(
+        std::move(streams), restore::RestoreConfig{}, &p.truth.erx,
+        [&truth_ref](asn::Asn a) { return truth_ref.iana.owner(a); },
+        p.truth.archive_begin, &p.op_world.activity);
+
+    p.admin = lifetimes::build_admin_lifetimes(p.restored,
+                                               p.truth.archive_end);
+    p.op = lifetimes::build_op_lifetimes(p.op_world.activity);
+    p.taxonomy = joint::classify(p.admin, p.op);
+    std::cerr << "[bench] pipeline ready: "
+              << util::with_commas(static_cast<std::int64_t>(
+                     p.admin.lifetimes.size()))
+              << " admin lives, "
+              << util::with_commas(static_cast<std::int64_t>(
+                     p.op.lifetimes.size()))
+              << " op lives\n";
+    return p;
+  }
+};
+
+inline std::string fmt_count(std::int64_t value) {
+  return util::with_commas(value);
+}
+
+inline std::string fmt_pct(double fraction, int decimals = 1) {
+  return util::percent(fraction, decimals);
+}
+
+/// Header every bench prints: which paper artifact it regenerates.
+inline void print_banner(const std::string& artifact,
+                         const std::string& description) {
+  std::cout << "== " << artifact << " — " << description << " ==\n";
+  std::cout << "(reproduction of 'The parallel lives of Autonomous Systems: "
+               "ASN Allocations vs. BGP', IMC '21; synthetic world, shapes "
+               "comparable, absolute numbers scale with PL_BENCH_SCALE)\n\n";
+}
+
+/// Down-sample a daily series to roughly `points` values for sparklines.
+inline std::vector<double> downsample(const std::vector<std::int32_t>& series,
+                                      std::size_t points = 60) {
+  std::vector<double> out;
+  if (series.empty()) return out;
+  const std::size_t stride = std::max<std::size_t>(1, series.size() / points);
+  for (std::size_t i = 0; i < series.size(); i += stride)
+    out.push_back(series[i]);
+  return out;
+}
+
+}  // namespace pl::bench

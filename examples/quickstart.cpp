@@ -1,0 +1,142 @@
+// Quickstart: the whole pipeline on a small world, end to end.
+//
+//   world -> delegation archive (+defects) -> restoration ->
+//   admin lifetimes; behaviour plans -> BGP activity -> op lifetimes;
+//   joint taxonomy -> headline numbers.
+//
+// Run:  ./quickstart [scale] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "bgpsim/route_gen.hpp"
+#include "joint/taxonomy.hpp"
+#include "lifetimes/dataset_io.hpp"
+#include "lifetimes/sensitivity.hpp"
+#include "restore/pipeline.hpp"
+#include "rirsim/inject.hpp"
+#include "rirsim/world.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pl;
+
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                      : 42;
+
+  std::cout << "building world (scale=" << scale << ", seed=" << seed
+            << ")...\n";
+  rirsim::WorldConfig world_config = rirsim::WorldConfig::test_scale(seed,
+                                                                     scale);
+  const rirsim::GroundTruth truth = rirsim::build_world(world_config);
+  std::cout << "  ground truth: " << util::with_commas(
+      static_cast<std::int64_t>(truth.lives.size()))
+            << " admin lives, "
+            << util::with_commas(static_cast<std::int64_t>(
+                   truth.lives_by_asn.size()))
+            << " ASNs, "
+            << util::with_commas(static_cast<std::int64_t>(truth.orgs.size()))
+            << " orgs\n";
+
+  // Operational dimension.
+  bgpsim::OpWorldConfig op_config;
+  op_config.behavior.seed = seed + 1;
+  op_config.attacks.seed = seed + 2;
+  op_config.attacks.scale = scale;
+  op_config.misconfigs.seed = seed + 3;
+  op_config.misconfigs.scale = scale;
+  const bgpsim::OpWorld op_world = bgpsim::build_op_world(truth, op_config);
+  std::cout << "  op world: "
+            << util::with_commas(static_cast<std::int64_t>(
+                   op_world.behavior.plans.size()))
+            << " ASN plans, "
+            << util::with_commas(static_cast<std::int64_t>(
+                   op_world.attacks.events.size()))
+            << " squat events, "
+            << util::with_commas(static_cast<std::int64_t>(
+                   op_world.misconfigs.events.size()))
+            << " misconfig events\n";
+
+  // Delegation archive with injected defects, then restoration.
+  rirsim::InjectorConfig injector;
+  injector.seed = seed + 4;
+  injector.scale = scale;
+  const rirsim::SimulatedArchive archive(truth, injector);
+
+  restore::RestoreConfig restore_config;
+  std::array<std::unique_ptr<dele::ArchiveStream>, asn::kRirCount> streams;
+  for (asn::Rir rir : asn::kAllRirs)
+    streams[asn::index_of(rir)] = archive.stream(rir);
+  const restore::RestoredArchive restored = restore::restore_archive(
+      std::move(streams), restore_config, &truth.erx,
+      [&](asn::Asn a) { return truth.iana.owner(a); }, truth.archive_begin,
+      &op_world.activity);
+
+  for (asn::Rir rir : asn::kAllRirs) {
+    const auto& report = restored.registry(rir).report;
+    std::cout << "  restored " << asn::display_name(rir) << ": "
+              << report.days_processed << " days, " << report.files_missing
+              << " missing files, " << report.recovered_from_regular
+              << " records recovered, " << report.placeholder_dates_restored
+              << " placeholder dates restored\n";
+  }
+  std::cout << "  cross-RIR: " << restored.cross.overlapping_asns
+            << " overlapping ASNs, " << restored.cross.stale_spans_trimmed
+            << " stale spans trimmed, "
+            << restored.cross.mistaken_spans_removed
+            << " mistaken spans removed\n";
+
+  // Lifetimes.
+  const lifetimes::AdminDataset admin =
+      lifetimes::build_admin_lifetimes(restored, truth.archive_end);
+  const lifetimes::OpDataset op =
+      lifetimes::build_op_lifetimes(op_world.activity);
+  std::cout << "  admin dataset: "
+            << util::with_commas(static_cast<std::int64_t>(
+                   admin.lifetimes.size()))
+            << " lifetimes / " << util::with_commas(static_cast<std::int64_t>(
+                   admin.asn_count()))
+            << " ASNs\n";
+  std::cout << "  op dataset:    "
+            << util::with_commas(static_cast<std::int64_t>(
+                   op.lifetimes.size()))
+            << " lifetimes / " << util::with_commas(static_cast<std::int64_t>(
+                   op.asn_count()))
+            << " ASNs\n";
+
+  // Listing-1 style records for one ASN with both dimensions.
+  for (const auto& [asn_value, indices] : admin.by_asn) {
+    if (!op.by_asn.contains(asn_value)) continue;
+    std::cout << "\n  example records (ASN " << asn_value << "):\n";
+    std::cout << "    " << lifetimes::admin_record_json(
+        admin.lifetimes[indices.front()]) << "\n";
+    std::cout << "    " << lifetimes::op_record_json(
+        op.lifetimes[op.by_asn.at(asn_value).front()]) << "\n";
+    break;
+  }
+
+  // Joint taxonomy (Table 3).
+  const joint::Taxonomy taxonomy = joint::classify(admin, op);
+  std::cout << "\n  taxonomy (admin lives):\n";
+  const char* labels[] = {"complete overlap", "partial overlap",
+                          "unused admin", "outside delegation"};
+  for (int c = 0; c < 4; ++c)
+    std::cout << "    " << labels[c] << ": "
+              << util::with_commas(taxonomy.admin_counts[
+                     static_cast<std::size_t>(c)])
+              << " admin / "
+              << util::with_commas(taxonomy.op_counts[
+                     static_cast<std::size_t>(c)])
+              << " op\n";
+
+  const lifetimes::TimeoutChoice choice =
+      lifetimes::evaluate_choice(op_world.activity, admin, 30);
+  std::cout << "\n  30-day timeout sits at " << util::percent(
+      choice.gap_fraction)
+            << " of activity gaps and " << util::percent(
+                   choice.one_or_less_fraction)
+            << " of admin lives with <=1 op life\n";
+
+  std::cout << "\nquickstart OK\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Squatting hunt: the paper's 6.1.2/6.4 workflow as a tool.
+//
+// Builds the joint lenses, flags operational lives that awaken after long
+// dormancy (or appear outside any delegation), then inspects each candidate
+// the way the paper did semi-automatically: daily prefix-origination counts
+// and the upstream ASN in the announcements, looking for known hijack
+// factories.
+//
+// Run:  ./squatting_hunt [scale] [seed]
+#include <cstdlib>
+#include <iostream>
+#include <unordered_set>
+
+#include "bgpsim/route_gen.hpp"
+#include "joint/squat.hpp"
+#include "lifetimes/op.hpp"
+#include "restore/pipeline.hpp"
+#include "rirsim/inject.hpp"
+#include "rirsim/world.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pl;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.2;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                      : 7;
+
+  // --- Build both dimensions.
+  const rirsim::GroundTruth truth =
+      rirsim::build_world(rirsim::WorldConfig::test_scale(seed, scale));
+  bgpsim::OpWorldConfig op_config;
+  op_config.behavior.seed = seed + 1;
+  op_config.attacks.seed = seed + 2;
+  op_config.attacks.scale = scale;
+  op_config.misconfigs.seed = seed + 3;
+  op_config.misconfigs.scale = scale;
+  const bgpsim::OpWorld op_world = bgpsim::build_op_world(truth, op_config);
+
+  rirsim::InjectorConfig injector;
+  injector.seed = seed + 4;
+  injector.scale = scale;
+  const rirsim::SimulatedArchive archive(truth, injector);
+  std::array<std::unique_ptr<dele::ArchiveStream>, asn::kRirCount> streams;
+  for (asn::Rir rir : asn::kAllRirs)
+    streams[asn::index_of(rir)] = archive.stream(rir);
+  const restore::RestoredArchive restored = restore::restore_archive(
+      std::move(streams), restore::RestoreConfig{}, &truth.erx,
+      [&](asn::Asn a) { return truth.iana.owner(a); }, truth.archive_begin,
+      &op_world.activity);
+  const lifetimes::AdminDataset admin =
+      lifetimes::build_admin_lifetimes(restored, truth.archive_end);
+  const lifetimes::OpDataset op =
+      lifetimes::build_op_lifetimes(op_world.activity);
+  const joint::Taxonomy taxonomy = joint::classify(admin, op);
+
+  // --- Run both detectors.
+  const auto dormant = joint::detect_dormant_squats(taxonomy, admin, op);
+  const auto outside =
+      joint::detect_outside_delegation_activity(taxonomy, admin, op);
+  std::cout << "flagged " << dormant.size()
+            << " dormant awakenings and " << outside.size()
+            << " outside-delegation lives\n\n";
+
+  // --- Inspect candidates: prefix counts + upstream via route elements.
+  const bgp::CollectorInfrastructure infra =
+      bgp::make_default_infrastructure();
+  const bgpsim::RouteGenerator generator(op_world, infra, seed + 5);
+  const std::unordered_set<std::uint32_t> factories = {
+      bgpsim::kHijackFactoryAsn, bgpsim::kBitcanalAsn,
+      bgpsim::kSpammerUpstreamAsn};
+
+  // Ground-truth labels, playing the role of NANOG/Spamhaus/BGPmon
+  // cross-validation.
+  std::unordered_set<std::uint32_t> labelled;
+  for (const bgpsim::SquatEvent& event : op_world.attacks.events)
+    labelled.insert(event.asn.value);
+
+  util::TextTable table({"ASN", "awakening", "dormancy (d)", "rel. dur.",
+                         "prefixes/day", "upstream", "verdict"});
+  int shown = 0;
+  int confirmed = 0;
+  const auto inspect = [&](const joint::SquatCandidate& candidate) {
+    const lifetimes::OpLifetime& life = op.lifetimes[candidate.op_index];
+    const util::Day probe =
+        life.days.first + static_cast<util::Day>(life.days.length() / 2);
+    const std::unordered_set<std::uint32_t> watch = {candidate.asn.value};
+    std::int64_t prefixes = 0;
+    std::uint32_t upstream = 0;
+    for (const bgp::Element& element :
+         generator.elements_for_day(probe, &watch)) {
+      ++prefixes;
+      if (const auto hop = element.path.first_hop()) upstream = hop->value;
+    }
+    const bool factory_upstream = factories.contains(upstream);
+    const bool is_labelled = labelled.contains(candidate.asn.value);
+    if (is_labelled) ++confirmed;
+    if (shown < 12 && (factory_upstream || prefixes > 20)) {
+      ++shown;
+      char rel[16];
+      std::snprintf(rel, sizeof rel, "%.2f%%",
+                    candidate.relative_duration * 100);
+      table.add_row({asn::to_string(candidate.asn),
+                     util::format_iso(life.days.first),
+                     std::to_string(candidate.dormancy), rel,
+                     std::to_string(prefixes),
+                     "AS" + std::to_string(upstream),
+                     is_labelled ? "CONFIRMED (ground truth)"
+                                 : factory_upstream ? "suspicious upstream"
+                                                    : "benign?"});
+    }
+  };
+  for (const joint::SquatCandidate& candidate : dormant) inspect(candidate);
+  for (const joint::SquatCandidate& candidate : outside) inspect(candidate);
+
+  std::cout << "most suspicious candidates (high prefix volume or known "
+               "hijack-factory upstream):\n";
+  table.print(std::cout);
+
+  std::cout << "\n" << confirmed << " of "
+            << dormant.size() + outside.size()
+            << " flagged lives are ground-truth malicious — like the paper, "
+               "the filter surfaces squats but most candidates are benign "
+               "irregular operations.\n";
+  return 0;
+}

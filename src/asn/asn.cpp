@@ -1,0 +1,60 @@
+#include "asn/asn.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <vector>
+
+namespace pl::asn {
+
+int digit_count(Asn asn) noexcept {
+  int digits = 1;
+  std::uint32_t v = asn.value;
+  while (v >= 10) {
+    v /= 10;
+    ++digits;
+  }
+  return digits;
+}
+
+std::optional<Asn> parse_asn(std::string_view text) noexcept {
+  if (text.empty() || text.size() > 10) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto* begin = text.data();
+  const auto* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || value > 0xFFFFFFFFULL)
+    return std::nullopt;
+  return Asn{static_cast<std::uint32_t>(value)};
+}
+
+std::string to_string(Asn asn) { return std::to_string(asn.value); }
+
+bool is_doubled_spelling(Asn candidate, Asn target) noexcept {
+  const std::string c = std::to_string(candidate.value);
+  const std::string t = std::to_string(target.value);
+  return c.size() == 2 * t.size() && c.compare(0, t.size(), t) == 0 &&
+         c.compare(t.size(), t.size(), t) == 0;
+}
+
+int spelling_distance(Asn a, Asn b) noexcept {
+  const std::string s = std::to_string(a.value);
+  const std::string t = std::to_string(b.value);
+  std::vector<int> previous(t.size() + 1);
+  std::vector<int> current(t.size() + 1);
+  for (std::size_t j = 0; j <= t.size(); ++j)
+    previous[j] = static_cast<int>(j);
+  for (std::size_t i = 1; i <= s.size(); ++i) {
+    current[0] = static_cast<int>(i);
+    for (std::size_t j = 1; j <= t.size(); ++j) {
+      const int substitution =
+          previous[j - 1] + (s[i - 1] == t[j - 1] ? 0 : 1);
+      current[j] = std::min({previous[j] + 1, current[j - 1] + 1,
+                             substitution});
+    }
+    std::swap(previous, current);
+  }
+  return previous[t.size()];
+}
+
+}  // namespace pl::asn

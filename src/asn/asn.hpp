@@ -1,0 +1,76 @@
+// Autonomous System Numbers: the identifier space this whole study is about.
+//
+// ASNs are 32-bit unsigned integers (RFC 6793). "16-bit" ASNs (< 65536) are
+// the original scarce pool whose exhaustion drives several of the paper's
+// findings; several ranges are reserved by RFC for private/documentation use
+// and must be excluded from the never-allocated analysis ("bogon" ASNs,
+// paper 6.4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pl::asn {
+
+/// Strong ASN value type. Zero (AS0, RFC 7607) is representable but never a
+/// usable origin.
+struct Asn {
+  std::uint32_t value = 0;
+
+  constexpr bool is_16bit() const noexcept { return value < 65536; }
+  constexpr bool is_32bit_only() const noexcept { return value >= 65536; }
+
+  friend constexpr auto operator<=>(const Asn&, const Asn&) = default;
+};
+
+/// Why an ASN is special-use (and thus filtered as a bogon).
+enum class SpecialUse : std::uint8_t {
+  kNone,            ///< Ordinary, allocatable number.
+  kAs0,             ///< AS 0 (RFC 7607).
+  kTransition,      ///< AS_TRANS 23456 (RFC 6793).
+  kDocumentation,   ///< 64496..64511 and 65536..65551 (RFC 5398).
+  kPrivateUse,      ///< 64512..65534 and 4200000000..4294967294 (RFC 6996).
+  kLastAsn,         ///< 65535 and 4294967295 (RFC 7300).
+};
+
+/// Classify an ASN against the IANA special-purpose registry.
+constexpr SpecialUse special_use(Asn asn) noexcept {
+  const std::uint32_t v = asn.value;
+  if (v == 0) return SpecialUse::kAs0;
+  if (v == 23456) return SpecialUse::kTransition;
+  if ((v >= 64496 && v <= 64511) || (v >= 65536 && v <= 65551))
+    return SpecialUse::kDocumentation;
+  if ((v >= 64512 && v <= 65534) || (v >= 4200000000U && v <= 4294967294U))
+    return SpecialUse::kPrivateUse;
+  if (v == 65535 || v == 4294967295U) return SpecialUse::kLastAsn;
+  return SpecialUse::kNone;
+}
+
+/// True iff operators are expected to filter this ASN ("bogon" per the RFCs
+/// the paper cites). Bogons are excluded from the 6.4 analysis.
+constexpr bool is_bogon(Asn asn) noexcept {
+  return special_use(asn) != SpecialUse::kNone;
+}
+
+/// Number of decimal digits of the ASN — the paper's fat-finger analysis
+/// reasons about digit counts (e.g., 6-digit max allocated vs longer typos).
+int digit_count(Asn asn) noexcept;
+
+/// Parse a plain decimal ASN ("asplain", RFC 5396). Rejects values > 2^32-1.
+std::optional<Asn> parse_asn(std::string_view text) noexcept;
+
+/// Render as asplain decimal.
+std::string to_string(Asn asn);
+
+/// Detect whether `candidate`'s decimal spelling is the spelling of `target`
+/// repeated twice (e.g. 3202632026 vs 32026) — the paper's most common
+/// fat-finger class, caused by failed AS-path prepending (6.4).
+bool is_doubled_spelling(Asn candidate, Asn target) noexcept;
+
+/// Levenshtein distance between the decimal spellings of two ASNs; the paper
+/// flags MOAS conflicts between ASNs "that differ by 1 digit".
+int spelling_distance(Asn a, Asn b) noexcept;
+
+}  // namespace pl::asn

@@ -1,0 +1,84 @@
+#include "asn/country.hpp"
+
+namespace pl::asn {
+
+std::optional<CountryCode> CountryCode::parse(std::string_view text) noexcept {
+  if (text.size() != 2) return std::nullopt;
+  const char a = text[0];
+  const char b = text[1];
+  const auto upper = [](char c) {
+    return (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+  };
+  const char ua = upper(a);
+  const char ub = upper(b);
+  if (ua < 'A' || ua > 'Z' || ub < 'A' || ub > 'Z') return std::nullopt;
+  return literal(ua, ub);
+}
+
+std::string CountryCode::to_string() const {
+  if (unknown()) return "ZZ";
+  std::string out(2, '\0');
+  out[0] = static_cast<char>(packed_ >> 8);
+  out[1] = static_cast<char>(packed_ & 0xFF);
+  return out;
+}
+
+namespace {
+
+constexpr CountryCode cc(char a, char b) { return CountryCode::literal(a, b); }
+
+}  // namespace
+
+std::vector<CountryWeight> country_pool(Rir rir, int year) {
+  switch (rir) {
+    case Rir::kArin:
+      // US >92% of ARIN allocations (paper App. A).
+      return {{cc('U', 'S'), 92.5}, {cc('C', 'A'), 6.0}, {cc('B', 'M'), 0.5},
+              {cc('J', 'M'), 0.5},  {cc('B', 'S'), 0.5}};
+    case Rir::kLacnic:
+      // Brazil 64% (2015) -> 70% (2021); Argentina second (~9.5%).
+      return {{cc('B', 'R'), year >= 2016 ? 70.0 : 64.0},
+              {cc('A', 'R'), 9.5},
+              {cc('M', 'X'), 6.0},
+              {cc('C', 'L'), 5.0},
+              {cc('C', 'O'), 5.0},
+              {cc('P', 'E'), 3.0},
+              {cc('E', 'C'), 2.5}};
+    case Rir::kAfrinic:
+      // South Africa leads (>32%).
+      return {{cc('Z', 'A'), 32.5}, {cc('N', 'G'), 12.0}, {cc('K', 'E'), 9.0},
+              {cc('E', 'G'), 7.0},  {cc('T', 'Z'), 5.5},  {cc('G', 'H'), 5.0},
+              {cc('M', 'U'), 4.0},  {cc('A', 'O'), 3.5},  {cc('M', 'A'), 3.0},
+              {cc('U', 'G'), 3.0}};
+    case Rir::kApnic:
+      // Paper Table 4: the leader changes across eras.
+      if (year < 2012)
+        return {{cc('A', 'U'), 17.6}, {cc('K', 'R'), 14.6},
+                {cc('J', 'P'), 12.9}, {cc('C', 'N'), 7.6},
+                {cc('I', 'D'), 7.1},  {cc('I', 'N'), 6.0},
+                {cc('H', 'K'), 5.0},  {cc('T', 'W'), 4.5},
+                {cc('N', 'Z'), 4.0},  {cc('S', 'G'), 3.5}};
+      if (year < 2017)
+        return {{cc('A', 'U'), 16.1}, {cc('C', 'N'), 11.4},
+                {cc('J', 'P'), 10.4}, {cc('I', 'N'), 10.1},
+                {cc('K', 'R'), 9.6},  {cc('I', 'D'), 9.0},
+                {cc('H', 'K'), 5.5},  {cc('B', 'D'), 4.0},
+                {cc('S', 'G'), 3.5},  {cc('N', 'Z'), 3.0}};
+      // Recent era: India first, Indonesia surpassing China.
+      return {{cc('I', 'N'), 26.0}, {cc('I', 'D'), 16.0},
+              {cc('A', 'U'), 11.0}, {cc('C', 'N'), 10.0},
+              {cc('B', 'D'), 7.0},  {cc('J', 'P'), 3.0},
+              {cc('H', 'K'), 4.5},  {cc('K', 'R'), 2.0},
+              {cc('S', 'G'), 3.0},  {cc('P', 'H'), 3.0}};
+    case Rir::kRipeNcc:
+      // Russia leads with 16.6%; UK about half that; long tail.
+      return {{cc('R', 'U'), 16.6}, {cc('G', 'B'), 8.0}, {cc('D', 'E'), 7.5},
+              {cc('F', 'R'), 4.85}, {cc('N', 'L'), 4.5}, {cc('I', 'T'), 4.5},
+              {cc('U', 'A'), 4.5},  {cc('P', 'L'), 4.0}, {cc('E', 'S'), 3.0},
+              {cc('S', 'E'), 2.5},  {cc('C', 'H'), 2.5}, {cc('T', 'R'), 2.0},
+              {cc('R', 'O'), 2.0},  {cc('C', 'Z'), 1.8}, {cc('A', 'T'), 1.7}};
+  }
+  return {};
+}
+
+}  // namespace pl::asn

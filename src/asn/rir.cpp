@@ -1,0 +1,54 @@
+#include "asn/rir.hpp"
+
+#include "util/strings.hpp"
+
+namespace pl::asn {
+
+namespace {
+
+using util::make_day;
+
+constexpr std::array<std::string_view, kRirCount> kDisplayNames = {
+    "AfriNIC", "APNIC", "ARIN", "LACNIC", "RIPE NCC"};
+
+constexpr std::array<std::string_view, kRirCount> kFileTokens = {
+    "afrinic", "apnic", "arin", "lacnic", "ripencc"};
+
+}  // namespace
+
+std::string_view display_name(Rir rir) noexcept {
+  return kDisplayNames[index_of(rir)];
+}
+
+std::string_view file_token(Rir rir) noexcept {
+  return kFileTokens[index_of(rir)];
+}
+
+std::optional<Rir> parse_rir(std::string_view token) noexcept {
+  const std::string lowered = util::to_lower(util::trim(token));
+  for (Rir rir : kAllRirs)
+    if (lowered == kFileTokens[index_of(rir)]) return rir;
+  // Historical alias seen in early RIPE files.
+  if (lowered == "ripe") return Rir::kRipeNcc;
+  return std::nullopt;
+}
+
+const RirFacts& facts(Rir rir) noexcept {
+  // Paper Table 1: first regular / first extended delegation file per RIR;
+  // footnote 3: ARIN stopped regular files after 2013-08-12.
+  static const std::array<RirFacts, kRirCount> kFacts = {{
+      {make_day(2005, 2, 18), make_day(2012, 10, 2), std::nullopt},
+      {make_day(2003, 10, 9), make_day(2008, 2, 14), std::nullopt},
+      {make_day(2003, 11, 20), make_day(2013, 3, 5),
+       make_day(2013, 8, 12)},
+      {make_day(2004, 1, 1), make_day(2012, 6, 28), std::nullopt},
+      {make_day(2003, 11, 26), make_day(2010, 4, 22), std::nullopt},
+  }};
+  return kFacts[index_of(rir)];
+}
+
+util::Day archive_end_day() noexcept { return make_day(2021, 3, 1); }
+
+util::Day archive_begin_day() noexcept { return make_day(2003, 10, 9); }
+
+}  // namespace pl::asn

@@ -1,0 +1,57 @@
+// The five Regional Internet Registries and their delegation-file metadata
+// (paper Table 1 and 2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "util/date.hpp"
+
+namespace pl::asn {
+
+enum class Rir : std::uint8_t {
+  kAfrinic,
+  kApnic,
+  kArin,
+  kLacnic,
+  kRipeNcc,
+};
+
+inline constexpr std::array<Rir, 5> kAllRirs = {
+    Rir::kAfrinic, Rir::kApnic, Rir::kArin, Rir::kLacnic, Rir::kRipeNcc};
+
+inline constexpr std::size_t kRirCount = kAllRirs.size();
+
+constexpr std::size_t index_of(Rir rir) noexcept {
+  return static_cast<std::size_t>(rir);
+}
+
+/// Display name ("RIPE NCC", "AfriNIC", ...).
+std::string_view display_name(Rir rir) noexcept;
+
+/// Registry token as it appears in delegation files ("ripencc", "apnic", ...).
+std::string_view file_token(Rir rir) noexcept;
+
+/// Parse a registry token (case-insensitive). Unknown tokens -> nullopt.
+std::optional<Rir> parse_rir(std::string_view token) noexcept;
+
+/// Static per-RIR facts mirrored from the paper (Table 1) that anchor the
+/// simulated archives to the real publication history.
+struct RirFacts {
+  util::Day first_regular_file;   ///< first day a regular file exists
+  util::Day first_extended_file;  ///< first day an extended file exists
+  /// ARIN stopped publishing regular files on 2013-08-12; for others this is
+  /// nullopt (they still publish both).
+  std::optional<util::Day> last_regular_file;
+};
+
+const RirFacts& facts(Rir rir) noexcept;
+
+/// Day the paper's archive ends (2021-03-01) and begins (first regular file
+/// across RIRs, 2003-10-09 == APNIC, which matches the BGP data start).
+util::Day archive_end_day() noexcept;
+util::Day archive_begin_day() noexcept;
+
+}  // namespace pl::asn

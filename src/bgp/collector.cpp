@@ -1,0 +1,25 @@
+#include "bgp/collector.hpp"
+
+namespace pl::bgp {
+
+CollectorInfrastructure make_default_infrastructure(int collectors,
+                                                    int peers_per_collector) {
+  CollectorInfrastructure infra;
+  infra.collectors.reserve(static_cast<std::size_t>(collectors));
+  // Peer ASNs are carved from a range far above allocatable space used by
+  // the simulator's organizations, so peers never collide with study ASNs.
+  std::uint32_t next_peer = 3900000000U;
+  for (int c = 0; c < collectors; ++c) {
+    Collector collector;
+    collector.id = static_cast<CollectorId>(c + 1);
+    collector.name = (c % 2 == 0 ? "route-views." : "rrc") +
+                     std::to_string(c / 2);
+    collector.peers.reserve(static_cast<std::size_t>(peers_per_collector));
+    for (int p = 0; p < peers_per_collector; ++p)
+      collector.peers.push_back(asn::Asn{next_peer++});
+    infra.collectors.push_back(std::move(collector));
+  }
+  return infra;
+}
+
+}  // namespace pl::bgp

@@ -1,0 +1,40 @@
+// The collection infrastructure: RouteViews/RIS-style collectors, each
+// peering with a set of ASes ("peers") that share their routing tables.
+// Which peers can see an ASN determines the operational lens's visibility
+// (paper 3.2 and the China discussion in 6.3/8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asn/asn.hpp"
+#include "bgp/element.hpp"
+
+namespace pl::bgp {
+
+/// One collector and its full-feed peers.
+struct Collector {
+  CollectorId id = 0;
+  std::string name;
+  std::vector<asn::Asn> peers;
+};
+
+/// The whole measurement infrastructure.
+struct CollectorInfrastructure {
+  std::vector<Collector> collectors;
+
+  std::size_t total_peers() const noexcept {
+    std::size_t total = 0;
+    for (const Collector& c : collectors) total += c.peers.size();
+    return total;
+  }
+};
+
+/// A default infrastructure shaped like the paper's: a RouteViews-style and
+/// a RIS-style collector set with `peers_per_collector` full-feed peers
+/// each, with deterministic peer ASNs.
+CollectorInfrastructure make_default_infrastructure(
+    int collectors = 4, int peers_per_collector = 8);
+
+}  // namespace pl::bgp

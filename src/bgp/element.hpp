@@ -1,0 +1,34 @@
+// BGP route elements as delivered by a collector infrastructure: the unified
+// record shape BGPStream exposes for both RIB dump entries and updates
+// (paper 3.2 processes one RIB per collector per day plus all updates).
+#pragma once
+
+#include <cstdint>
+
+#include "asn/asn.hpp"
+#include "bgp/path.hpp"
+#include "bgp/prefix.hpp"
+#include "util/date.hpp"
+
+namespace pl::bgp {
+
+enum class ElementType : std::uint8_t {
+  kRibEntry,      ///< row of a RIB dump
+  kAnnouncement,  ///< update: announce
+  kWithdrawal,    ///< update: withdraw (no path)
+};
+
+/// Identifier of a collector (RouteViews/RIS style).
+using CollectorId = std::uint16_t;
+
+/// One observed route element.
+struct Element {
+  util::Day day = 0;
+  ElementType type = ElementType::kRibEntry;
+  CollectorId collector = 0;
+  asn::Asn peer;     ///< the AS peering with the collector that shared this
+  Prefix prefix;
+  AsPath path;       ///< empty for withdrawals
+};
+
+}  // namespace pl::bgp

@@ -1,0 +1,151 @@
+#include "bgp/mrt.hpp"
+
+namespace pl::bgp {
+
+namespace {
+
+void write_varint(std::uint64_t value, std::vector<std::uint8_t>& out) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+void write_prefix(const Prefix& prefix, std::vector<std::uint8_t>& out) {
+  out.push_back(prefix.family() == Family::kIpv4 ? 4 : 6);
+  out.push_back(prefix.length());
+  const int bytes = (prefix.length() + 7) / 8;
+  for (int i = 0; i < bytes; ++i) {
+    const std::uint64_t source = i < 8 ? prefix.bits_high()
+                                       : prefix.bits_low();
+    const int shift = 56 - 8 * (i % 8);
+    out.push_back(static_cast<std::uint8_t>((source >> shift) & 0xFF));
+  }
+}
+
+}  // namespace
+
+void encode_element(const Element& element, std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>(element.type));
+  write_varint(static_cast<std::uint32_t>(element.day), out);
+  write_varint(element.collector, out);
+  write_varint(element.peer.value, out);
+  write_prefix(element.prefix, out);
+  if (element.type == ElementType::kWithdrawal) return;
+  write_varint(element.path.size(), out);
+  for (const asn::Asn hop : element.path.hops())
+    write_varint(hop.value, out);
+}
+
+std::vector<std::uint8_t> encode_elements(std::span<const Element> elements) {
+  std::vector<std::uint8_t> out;
+  out.reserve(elements.size() * 24);
+  for (const Element& element : elements) encode_element(element, out);
+  return out;
+}
+
+std::optional<std::uint8_t> MrtDecoder::read_byte() {
+  if (offset_ >= data_.size()) return std::nullopt;
+  return data_[offset_++];
+}
+
+std::optional<std::uint64_t> MrtDecoder::read_varint() {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (shift < 64) {
+    const auto byte = read_byte();
+    if (!byte) return std::nullopt;
+    value |= static_cast<std::uint64_t>(*byte & 0x7F) << shift;
+    if ((*byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return std::nullopt;
+}
+
+bool MrtDecoder::fail(std::string_view reason) {
+  ok_ = false;
+  error_ = std::string(reason);
+  return false;
+}
+
+std::optional<Element> MrtDecoder::next() {
+  if (!ok_ || offset_ >= data_.size()) return std::nullopt;
+
+  Element element;
+  const auto type = read_byte();
+  if (!type || *type > 2) {
+    fail("bad record type");
+    return std::nullopt;
+  }
+  element.type = static_cast<ElementType>(*type);
+
+  const auto day = read_varint();
+  const auto collector = read_varint();
+  const auto peer = read_varint();
+  if (!day || !collector || !peer || *peer > 0xFFFFFFFFULL ||
+      *collector > 0xFFFF) {
+    fail("bad record header");
+    return std::nullopt;
+  }
+  element.day = static_cast<util::Day>(*day);
+  element.collector = static_cast<CollectorId>(*collector);
+  element.peer = asn::Asn{static_cast<std::uint32_t>(*peer)};
+
+  const auto family = read_byte();
+  const auto length = read_byte();
+  if (!family || !length || (*family != 4 && *family != 6) ||
+      (*family == 4 && *length > 32) || (*family == 6 && *length > 128)) {
+    fail("bad prefix header");
+    return std::nullopt;
+  }
+  std::uint64_t high = 0;
+  std::uint64_t low = 0;
+  const int bytes = (*length + 7) / 8;
+  for (int i = 0; i < bytes; ++i) {
+    const auto byte = read_byte();
+    if (!byte) {
+      fail("truncated prefix");
+      return std::nullopt;
+    }
+    if (i < 8)
+      high |= static_cast<std::uint64_t>(*byte) << (56 - 8 * i);
+    else
+      low |= static_cast<std::uint64_t>(*byte) << (56 - 8 * (i - 8));
+  }
+  element.prefix = *family == 4
+                       ? Prefix::ipv4(static_cast<std::uint32_t>(high >> 32),
+                                      *length)
+                       : Prefix::ipv6(high, low, *length);
+
+  if (element.type != ElementType::kWithdrawal) {
+    const auto hops = read_varint();
+    if (!hops || *hops > 64) {
+      fail("bad path length");
+      return std::nullopt;
+    }
+    std::vector<asn::Asn> path;
+    path.reserve(static_cast<std::size_t>(*hops));
+    for (std::uint64_t h = 0; h < *hops; ++h) {
+      const auto hop = read_varint();
+      if (!hop || *hop > 0xFFFFFFFFULL) {
+        fail("bad path hop");
+        return std::nullopt;
+      }
+      path.push_back(asn::Asn{static_cast<std::uint32_t>(*hop)});
+    }
+    element.path = AsPath(std::move(path));
+  }
+  return element;
+}
+
+std::optional<std::vector<Element>> decode_elements(
+    std::span<const std::uint8_t> data) {
+  MrtDecoder decoder(data);
+  std::vector<Element> out;
+  while (auto element = decoder.next()) out.push_back(std::move(*element));
+  if (!decoder.ok()) return std::nullopt;
+  return out;
+}
+
+}  // namespace pl::bgp

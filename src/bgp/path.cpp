@@ -1,0 +1,73 @@
+#include "bgp/path.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace pl::bgp {
+
+AsPath::AsPath(std::initializer_list<std::uint32_t> values) {
+  hops_.reserve(values.size());
+  for (std::uint32_t v : values) hops_.push_back(asn::Asn{v});
+}
+
+std::optional<AsPath> AsPath::parse(std::string_view text) {
+  std::vector<asn::Asn> hops;
+  for (std::string_view token : util::split(text, ' ')) {
+    token = util::trim(token);
+    if (token.empty()) continue;
+    const auto asn = asn::parse_asn(token);
+    if (!asn) return std::nullopt;
+    hops.push_back(*asn);
+  }
+  return AsPath(std::move(hops));
+}
+
+std::optional<asn::Asn> AsPath::origin() const noexcept {
+  if (hops_.empty()) return std::nullopt;
+  return hops_.back();
+}
+
+std::optional<asn::Asn> AsPath::first_hop() const noexcept {
+  if (hops_.size() < 2) return std::nullopt;
+  return hops_[hops_.size() - 2];
+}
+
+bool AsPath::has_loop() const noexcept {
+  // After collapsing prepending, any repeated ASN is a loop. Paths are
+  // short (< 15 hops), so the quadratic scan beats hashing.
+  asn::Asn previous{0};
+  bool have_previous = false;
+  std::vector<asn::Asn> seen;
+  for (const asn::Asn hop : hops_) {
+    if (have_previous && hop == previous) continue;
+    if (std::find(seen.begin(), seen.end(), hop) != seen.end()) return true;
+    seen.push_back(hop);
+    previous = hop;
+    have_previous = true;
+  }
+  return false;
+}
+
+AsPath AsPath::deduplicated() const {
+  std::vector<asn::Asn> out;
+  out.reserve(hops_.size());
+  for (const asn::Asn hop : hops_)
+    if (out.empty() || !(out.back() == hop)) out.push_back(hop);
+  return AsPath(std::move(out));
+}
+
+bool AsPath::contains(asn::Asn asn) const noexcept {
+  return std::find(hops_.begin(), hops_.end(), asn) != hops_.end();
+}
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (i != 0) out.push_back(' ');
+    out += asn::to_string(hops_[i]);
+  }
+  return out;
+}
+
+}  // namespace pl::bgp

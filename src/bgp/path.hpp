@@ -1,0 +1,57 @@
+// AS paths as carried in BGP announcements. Origin extraction, loop
+// detection (sanitization, paper 3.2) and prepending analysis (fat-finger
+// classification, paper 6.4) live here.
+#pragma once
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asn/asn.hpp"
+
+namespace pl::bgp {
+
+/// An AS path, stored collector-side first: path[0] is the collector's peer,
+/// path.back() is the origin AS.
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<asn::Asn> hops) : hops_(std::move(hops)) {}
+  AsPath(std::initializer_list<std::uint32_t> values);
+
+  /// Parse a space-separated asplain path ("701 7046 290012147").
+  static std::optional<AsPath> parse(std::string_view text);
+
+  bool empty() const noexcept { return hops_.empty(); }
+  std::size_t size() const noexcept { return hops_.size(); }
+
+  const std::vector<asn::Asn>& hops() const noexcept { return hops_; }
+
+  /// Origin AS (last hop); nullopt for empty paths.
+  std::optional<asn::Asn> origin() const noexcept;
+
+  /// The AS immediately upstream of the origin ("first hop" in the paper's
+  /// terminology); nullopt for paths shorter than 2.
+  std::optional<asn::Asn> first_hop() const noexcept;
+
+  /// True iff an ASN reappears after a different ASN intervened.
+  /// Consecutive repeats (prepending) are not loops.
+  bool has_loop() const noexcept;
+
+  /// Path with consecutive duplicates collapsed (prepending removed).
+  AsPath deduplicated() const;
+
+  /// True iff `asn` appears anywhere in the path.
+  bool contains(asn::Asn asn) const noexcept;
+
+  std::string to_string() const;
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<asn::Asn> hops_;
+};
+
+}  // namespace pl::bgp

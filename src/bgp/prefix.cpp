@@ -1,0 +1,166 @@
+#include "bgp/prefix.hpp"
+
+#include <charconv>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace pl::bgp {
+
+namespace {
+
+void mask_bits(std::uint64_t& high, std::uint64_t& low,
+               std::uint8_t length) noexcept {
+  if (length == 0) {
+    high = 0;
+    low = 0;
+  } else if (length < 64) {
+    high &= ~0ULL << (64 - length);
+    low = 0;
+  } else if (length == 64) {
+    low = 0;  // a 64-bit shift below would be undefined
+  } else if (length < 128) {
+    low &= ~0ULL << (128 - length);
+  }
+}
+
+std::optional<std::uint32_t> parse_u32(std::string_view text,
+                                       std::uint32_t max) {
+  std::uint32_t value = 0;
+  const auto* begin = text.data();
+  const auto* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || value > max) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint32_t> parse_hex16(std::string_view text) {
+  if (text.empty() || text.size() > 4) return std::nullopt;
+  std::uint32_t value = 0;
+  const auto* begin = text.data();
+  const auto* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value, 16);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<Prefix> parse_ipv4(std::string_view address,
+                                 std::uint8_t length) {
+  const auto octets = util::split(address, '.');
+  if (octets.size() != 4) return std::nullopt;
+  std::uint32_t packed = 0;
+  for (const auto octet : octets) {
+    const auto value = parse_u32(octet, 255);
+    if (!value) return std::nullopt;
+    packed = (packed << 8) | *value;
+  }
+  return Prefix::ipv4(packed, length);
+}
+
+std::optional<Prefix> parse_ipv6(std::string_view address,
+                                 std::uint8_t length) {
+  // Split around "::" (at most one).
+  std::vector<std::uint32_t> head;
+  std::vector<std::uint32_t> tail;
+  const auto gap = address.find("::");
+  const auto parse_groups = [](std::string_view part,
+                               std::vector<std::uint32_t>& out) {
+    if (part.empty()) return true;
+    for (const auto group : util::split(part, ':')) {
+      const auto value = parse_hex16(group);
+      if (!value) return false;
+      out.push_back(*value);
+    }
+    return true;
+  };
+  if (gap == std::string_view::npos) {
+    if (!parse_groups(address, head) || head.size() != 8) return std::nullopt;
+  } else {
+    if (address.find("::", gap + 1) != std::string_view::npos)
+      return std::nullopt;
+    if (!parse_groups(address.substr(0, gap), head) ||
+        !parse_groups(address.substr(gap + 2), tail) ||
+        head.size() + tail.size() > 7)
+      return std::nullopt;
+  }
+  std::array<std::uint32_t, 8> groups{};
+  for (std::size_t i = 0; i < head.size(); ++i) groups[i] = head[i];
+  for (std::size_t i = 0; i < tail.size(); ++i)
+    groups[8 - tail.size() + i] = tail[i];
+  std::uint64_t high = 0;
+  std::uint64_t low = 0;
+  for (std::size_t i = 0; i < 4; ++i) high = (high << 16) | groups[i];
+  for (std::size_t i = 4; i < 8; ++i) low = (low << 16) | groups[i];
+  return Prefix::ipv6(high, low, length);
+}
+
+}  // namespace
+
+Prefix Prefix::ipv4(std::uint32_t address, std::uint8_t length) noexcept {
+  Prefix p;
+  p.family_ = Family::kIpv4;
+  p.length_ = length > 32 ? 32 : length;
+  p.high_ = static_cast<std::uint64_t>(address) << 32;
+  p.low_ = 0;
+  mask_bits(p.high_, p.low_, p.length_);
+  return p;
+}
+
+Prefix Prefix::ipv6(std::uint64_t high, std::uint64_t low,
+                    std::uint8_t length) noexcept {
+  Prefix p;
+  p.family_ = Family::kIpv6;
+  p.length_ = length > 128 ? 128 : length;
+  p.high_ = high;
+  p.low_ = low;
+  mask_bits(p.high_, p.low_, p.length_);
+  return p;
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) noexcept {
+  const auto slash = text.rfind('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const std::string_view address = text.substr(0, slash);
+  const bool v6 = address.find(':') != std::string_view::npos;
+  const auto length = parse_u32(text.substr(slash + 1), v6 ? 128 : 32);
+  if (!length) return std::nullopt;
+  return v6 ? parse_ipv6(address, static_cast<std::uint8_t>(*length))
+            : parse_ipv4(address, static_cast<std::uint8_t>(*length));
+}
+
+bool Prefix::contains(const Prefix& other) const noexcept {
+  if (family_ != other.family_ || length_ > other.length_) return false;
+  std::uint64_t high = other.high_;
+  std::uint64_t low = other.low_;
+  mask_bits(high, low, length_);
+  return high == high_ && low == low_;
+}
+
+std::string Prefix::to_string() const {
+  std::string out;
+  if (family_ == Family::kIpv4) {
+    const auto address = static_cast<std::uint32_t>(high_ >> 32);
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      if (shift != 24) out.push_back('.');
+      out += std::to_string((address >> shift) & 0xFF);
+    }
+  } else {
+    // Canonical-ish: full groups, no zero compression (unambiguous and
+    // sufficient for logs/tests).
+    char buf[8];
+    for (int g = 0; g < 8; ++g) {
+      if (g != 0) out.push_back(':');
+      const std::uint64_t source = g < 4 ? high_ : low_;
+      const int shift = 48 - 16 * (g % 4);
+      const auto group = static_cast<std::uint32_t>((source >> shift) &
+                                                    0xFFFF);
+      auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, group, 16);
+      out.append(buf, ptr);
+    }
+  }
+  out.push_back('/');
+  out += std::to_string(length_);
+  return out;
+}
+
+}  // namespace pl::bgp

@@ -1,0 +1,59 @@
+// IP prefixes (IPv4 and IPv6) as announced in BGP. The sanitizer's
+// prefix-length rules (paper 3.2) and the case-study analyses (/16 hijacks,
+// covering-prefix checks) need parsing, formatting, and containment.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pl::bgp {
+
+enum class Family : std::uint8_t { kIpv4, kIpv6 };
+
+/// A routed prefix. Address bits are stored left-aligned in a 128-bit value
+/// so containment is a mask-and-compare for both families.
+class Prefix {
+ public:
+  Prefix() = default;
+
+  /// Build an IPv4 prefix from a host-order 32-bit address.
+  static Prefix ipv4(std::uint32_t address, std::uint8_t length) noexcept;
+
+  /// Build an IPv6 prefix from the high/low 64-bit halves.
+  static Prefix ipv6(std::uint64_t high, std::uint64_t low,
+                     std::uint8_t length) noexcept;
+
+  /// Parse "a.b.c.d/len" or an RFC-4291 IPv6 "h:h::h/len" text form.
+  static std::optional<Prefix> parse(std::string_view text) noexcept;
+
+  Family family() const noexcept { return family_; }
+  std::uint8_t length() const noexcept { return length_; }
+
+  /// Max prefix length for the family (32 or 128).
+  std::uint8_t max_length() const noexcept {
+    return family_ == Family::kIpv4 ? 32 : 128;
+  }
+
+  /// True iff `other` is fully covered by this prefix (same family, longer
+  /// or equal mask, matching bits).
+  bool contains(const Prefix& other) const noexcept;
+
+  std::string to_string() const;
+
+  /// High/low halves of the left-aligned address bits.
+  std::uint64_t bits_high() const noexcept { return high_; }
+  std::uint64_t bits_low() const noexcept { return low_; }
+
+  friend auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  std::uint64_t high_ = 0;
+  std::uint64_t low_ = 0;
+  std::uint8_t length_ = 0;
+  Family family_ = Family::kIpv4;
+};
+
+}  // namespace pl::bgp

@@ -1,0 +1,98 @@
+#include "bgp/rib.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace pl::bgp {
+
+bool PeerRib::apply(const Element& element) {
+  if (!bound_) {
+    peer_ = element.peer;
+    collector_ = element.collector;
+    bound_ = true;
+  } else if (!(element.peer == peer_)) {
+    return false;
+  }
+  switch (element.type) {
+    case ElementType::kRibEntry:
+    case ElementType::kAnnouncement:
+      if (element.path.empty()) return false;
+      routes_[element.prefix] = element.path;
+      return true;
+    case ElementType::kWithdrawal:
+      routes_.erase(element.prefix);
+      return true;
+  }
+  return false;
+}
+
+const AsPath* PeerRib::route(const Prefix& prefix) const noexcept {
+  const auto it = routes_.find(prefix);
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+std::vector<Element> PeerRib::snapshot(util::Day day) const {
+  std::vector<Element> out;
+  out.reserve(routes_.size());
+  for (const auto& [prefix, path] : routes_) {
+    Element element;
+    element.day = day;
+    element.type = ElementType::kRibEntry;
+    element.collector = collector_;
+    element.peer = peer_;
+    element.prefix = prefix;
+    element.path = path;
+    out.push_back(std::move(element));
+  }
+  return out;
+}
+
+std::vector<asn::Asn> PeerRib::origins() const {
+  std::set<std::uint32_t> seen;
+  for (const auto& [prefix, path] : routes_)
+    if (const auto origin = path.origin()) seen.insert(origin->value);
+  std::vector<asn::Asn> out;
+  out.reserve(seen.size());
+  for (const std::uint32_t value : seen) out.push_back(asn::Asn{value});
+  return out;
+}
+
+void RibReconstructor::apply(const Element& element) {
+  peers_[element.peer.value].apply(element);
+}
+
+std::size_t RibReconstructor::total_routes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [peer, rib] : peers_) total += rib.size();
+  return total;
+}
+
+std::vector<Prefix> RibReconstructor::prefixes_originated_by(
+    asn::Asn asn) const {
+  std::set<Prefix> prefixes;
+  for (const auto& [peer_value, rib] : peers_)
+    for (const Element& element : rib.snapshot(0))
+      if (element.path.origin() == asn) prefixes.insert(element.prefix);
+  return {prefixes.begin(), prefixes.end()};
+}
+
+std::vector<RibReconstructor::MoasConflict>
+RibReconstructor::moas_conflicts() const {
+  std::map<Prefix, std::set<std::uint32_t>> origins_by_prefix;
+  for (const auto& [peer_value, rib] : peers_)
+    for (const Element& element : rib.snapshot(0))
+      if (const auto origin = element.path.origin())
+        origins_by_prefix[element.prefix].insert(origin->value);
+  std::vector<MoasConflict> out;
+  for (const auto& [prefix, origins] : origins_by_prefix) {
+    if (origins.size() < 2) continue;
+    MoasConflict conflict;
+    conflict.prefix = prefix;
+    for (const std::uint32_t value : origins)
+      conflict.origins.push_back(asn::Asn{value});
+    out.push_back(std::move(conflict));
+  }
+  return out;
+}
+
+}  // namespace pl::bgp

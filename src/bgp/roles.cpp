@@ -1,0 +1,82 @@
+#include "bgp/roles.hpp"
+
+#include <set>
+
+namespace pl::bgp {
+
+namespace {
+
+constexpr std::string_view kRoleNames[] = {"inactive", "origin-only",
+                                           "transit-only", "both"};
+
+const util::IntervalSet* find(
+    const std::map<std::uint32_t, util::IntervalSet>& table,
+    asn::Asn asn) noexcept {
+  const auto it = table.find(asn.value);
+  return it == table.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+std::string_view role_name(AsRole role) noexcept {
+  return kRoleNames[static_cast<std::size_t>(role)];
+}
+
+void RoleTracker::observe(const Element& element) {
+  const auto& hops = element.path.hops();
+  if (hops.empty()) return;
+  origin_[hops.back().value].add(element.day);
+  // Middle hops are transit; hops[0] is the collector peer, whose presence
+  // reflects the feed, not routing through it — still transit by the
+  // paper's definition ("appearing as a transit in preferred routes").
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i)
+    transit_[hops[i].value].add(element.day);
+}
+
+AsRole RoleTracker::role_on(asn::Asn asn, util::Day day) const noexcept {
+  const util::IntervalSet* origin = find(origin_, asn);
+  const util::IntervalSet* transit = find(transit_, asn);
+  const bool is_origin = origin != nullptr && origin->contains(day);
+  const bool is_transit = transit != nullptr && transit->contains(day);
+  if (is_origin && is_transit) return AsRole::kBoth;
+  if (is_origin) return AsRole::kOriginOnly;
+  if (is_transit) return AsRole::kTransitOnly;
+  return AsRole::kInactive;
+}
+
+const util::IntervalSet* RoleTracker::origin_days(
+    asn::Asn asn) const noexcept {
+  return find(origin_, asn);
+}
+
+const util::IntervalSet* RoleTracker::transit_days(
+    asn::Asn asn) const noexcept {
+  return find(transit_, asn);
+}
+
+RoleTracker::RoleShare RoleTracker::share_over(
+    asn::Asn asn, const util::DayInterval& window) const {
+  RoleShare share;
+  const util::IntervalSet* origin = find(origin_, asn);
+  const util::IntervalSet* transit = find(transit_, asn);
+  const std::int64_t origin_days_count =
+      origin == nullptr ? 0 : origin->covered_days(window);
+  const std::int64_t transit_days_count =
+      transit == nullptr ? 0 : transit->covered_days(window);
+  std::int64_t both = 0;
+  if (origin != nullptr && transit != nullptr)
+    both = origin->intersect(*transit).covered_days(window);
+  share.both = both;
+  share.origin_only = origin_days_count - both;
+  share.transit_only = transit_days_count - both;
+  return share;
+}
+
+std::size_t RoleTracker::asn_count() const noexcept {
+  std::set<std::uint32_t> seen;
+  for (const auto& [asn, days] : origin_) seen.insert(asn);
+  for (const auto& [asn, days] : transit_) seen.insert(asn);
+  return seen.size();
+}
+
+}  // namespace pl::bgp

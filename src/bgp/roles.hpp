@@ -1,0 +1,55 @@
+// Origination vs transit roles — the paper's future-work item (9):
+// "distinguishing between origination and transit BGP activity of an ASN to
+// differentiate the role(s) an ASN has at different times of its BGP
+// lifetime." Tracks, per ASN, the days it was seen as an origin and the
+// days it was seen forwarding others' routes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "bgp/element.hpp"
+#include "util/interval_set.hpp"
+
+namespace pl::bgp {
+
+enum class AsRole : std::uint8_t {
+  kInactive,    ///< not seen that day
+  kOriginOnly,
+  kTransitOnly,
+  kBoth,
+};
+
+std::string_view role_name(AsRole role) noexcept;
+
+class RoleTracker {
+ public:
+  /// Record one sanitized element: the path's last hop is an origin that
+  /// day, every other hop (except the collector peer) is transit.
+  void observe(const Element& element);
+
+  /// Role of `asn` on `day`.
+  AsRole role_on(asn::Asn asn, util::Day day) const noexcept;
+
+  /// Days the ASN originated at least one prefix.
+  const util::IntervalSet* origin_days(asn::Asn asn) const noexcept;
+
+  /// Days the ASN appeared mid-path.
+  const util::IntervalSet* transit_days(asn::Asn asn) const noexcept;
+
+  /// Summary over an interval: how the ASN split its time between roles.
+  struct RoleShare {
+    std::int64_t origin_only = 0;
+    std::int64_t transit_only = 0;
+    std::int64_t both = 0;
+  };
+  RoleShare share_over(asn::Asn asn, const util::DayInterval& window) const;
+
+  std::size_t asn_count() const noexcept;
+
+ private:
+  std::map<std::uint32_t, util::IntervalSet> origin_;
+  std::map<std::uint32_t, util::IntervalSet> transit_;
+};
+
+}  // namespace pl::bgp

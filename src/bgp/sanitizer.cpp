@@ -1,0 +1,55 @@
+#include "bgp/sanitizer.hpp"
+
+namespace pl::bgp {
+
+std::string_view reject_reason_name(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kAccepted: return "accepted";
+    case RejectReason::kPrefixTooLong: return "prefix-too-long";
+    case RejectReason::kPrefixTooShort: return "prefix-too-short";
+    case RejectReason::kPathLoop: return "path-loop";
+    case RejectReason::kEmptyPath: return "empty-path";
+  }
+  return "unknown";
+}
+
+RejectReason Sanitizer::classify(const Element& element) const noexcept {
+  if (element.type == ElementType::kWithdrawal || element.path.empty())
+    return RejectReason::kEmptyPath;
+
+  const std::uint8_t length = element.prefix.length();
+  if (element.prefix.family() == Family::kIpv4) {
+    if (length < config_.ipv4_min_length) return RejectReason::kPrefixTooShort;
+    if (length > config_.ipv4_max_length) return RejectReason::kPrefixTooLong;
+  } else {
+    if (length < config_.ipv6_min_length) return RejectReason::kPrefixTooShort;
+    if (length > config_.ipv6_max_length) return RejectReason::kPrefixTooLong;
+  }
+
+  if (element.path.has_loop()) return RejectReason::kPathLoop;
+  return RejectReason::kAccepted;
+}
+
+bool Sanitizer::accept(const Element& element,
+                       SanitizeStats& stats) const noexcept {
+  switch (classify(element)) {
+    case RejectReason::kAccepted:
+      ++stats.accepted;
+      return true;
+    case RejectReason::kPrefixTooLong:
+      ++stats.prefix_too_long;
+      return false;
+    case RejectReason::kPrefixTooShort:
+      ++stats.prefix_too_short;
+      return false;
+    case RejectReason::kPathLoop:
+      ++stats.path_loops;
+      return false;
+    case RejectReason::kEmptyPath:
+      ++stats.empty_paths;
+      return false;
+  }
+  return false;
+}
+
+}  // namespace pl::bgp

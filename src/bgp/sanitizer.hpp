@@ -1,0 +1,64 @@
+// BGP data sanitization (paper 3.2):
+//   * discard IPv4 paths to prefixes longer than /24 or shorter than /8;
+//   * discard IPv6 paths to prefixes longer than /64 or shorter than /8;
+//   * discard paths containing loops (misconfiguration artifacts).
+// Withdrawals carry no path and never contribute to ASN activity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bgp/element.hpp"
+
+namespace pl::bgp {
+
+/// Why an element was rejected.
+enum class RejectReason : std::uint8_t {
+  kAccepted,
+  kPrefixTooLong,
+  kPrefixTooShort,
+  kPathLoop,
+  kEmptyPath,  ///< withdrawal or pathless element
+};
+
+std::string_view reject_reason_name(RejectReason reason) noexcept;
+
+/// Tallies kept while sanitizing a stream; reported by benches and examples
+/// the way the paper reports its discard statistics.
+struct SanitizeStats {
+  std::int64_t accepted = 0;
+  std::int64_t prefix_too_long = 0;
+  std::int64_t prefix_too_short = 0;
+  std::int64_t path_loops = 0;
+  std::int64_t empty_paths = 0;
+
+  std::int64_t total() const noexcept {
+    return accepted + prefix_too_long + prefix_too_short + path_loops +
+           empty_paths;
+  }
+};
+
+/// Sanitization policy. The bounds are the paper's; configurable so the
+/// sensitivity of results to the filter can be explored.
+struct SanitizerConfig {
+  std::uint8_t ipv4_min_length = 8;
+  std::uint8_t ipv4_max_length = 24;
+  std::uint8_t ipv6_min_length = 8;
+  std::uint8_t ipv6_max_length = 64;
+};
+
+class Sanitizer {
+ public:
+  explicit Sanitizer(SanitizerConfig config = {}) : config_(config) {}
+
+  /// Classify one element. Does not mutate the element.
+  RejectReason classify(const Element& element) const noexcept;
+
+  /// Classify and tally.
+  bool accept(const Element& element, SanitizeStats& stats) const noexcept;
+
+ private:
+  SanitizerConfig config_;
+};
+
+}  // namespace pl::bgp

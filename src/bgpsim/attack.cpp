@@ -1,0 +1,196 @@
+#include "bgpsim/attack.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pl::bgpsim {
+
+namespace {
+
+using rirsim::GroundTruth;
+using rirsim::TrueAdminLife;
+using util::Day;
+using util::DayInterval;
+using util::Rng;
+
+/// Pick a deterministic victim ASN (an allocated, long-lived number) whose
+/// prefixes the squatter will originate.
+std::uint32_t pick_victim(const GroundTruth& truth, Rng& rng) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto index = static_cast<std::size_t>(rng.uniform(
+        0, static_cast<std::int64_t>(truth.lives.size()) - 1));
+    const TrueAdminLife& life = truth.lives[index];
+    if (life.days.length() > 2000) return life.asn.value;
+  }
+  return truth.lives.front().asn.value;
+}
+
+std::uint32_t pick_malicious_upstream(Rng& rng) {
+  constexpr std::uint32_t kUpstreams[] = {kHijackFactoryAsn, kBitcanalAsn,
+                                          kSpammerUpstreamAsn};
+  return kUpstreams[static_cast<std::size_t>(rng.uniform(0, 2))];
+}
+
+}  // namespace
+
+AttackPlan inject_attacks(const GroundTruth& truth, BehaviorPlan& behavior,
+                          const AttackConfig& config) {
+  AttackPlan plan;
+  Rng rng(config.seed);
+
+  // Index plans by truth life for the post-deallocation pass.
+  std::unordered_map<std::int64_t, std::size_t> plan_by_life;
+  for (std::size_t i = 0; i < behavior.plans.size(); ++i)
+    plan_by_life[behavior.plans[i].truth_life_index] = i;
+
+  // --- Dormant-ASN squatting: flip a slice of the awakenings to malicious
+  // high-volume announcements via a hijack-factory upstream.
+  int coordinated_left = std::max(
+      1, static_cast<int>(config.coordinated_group_size * config.scale));
+  const DayInterval coordinated_window{util::make_day(2020, 4, 1),
+                                       util::make_day(2020, 7, 31)};
+  for (AsnOpPlan& asn_plan : behavior.plans) {
+    if (asn_plan.kind != BehaviorKind::kDormantThenAwake) continue;
+    if (asn_plan.lives.empty()) continue;
+    OpLifePlan& wake = asn_plan.lives.back();
+
+    // Coordinated group: realign some awakenings into the shared window
+    // (low prefix counts — the hard-to-spot variant).
+    const std::size_t life_index =
+        static_cast<std::size_t>(asn_plan.truth_life_index);
+    const TrueAdminLife& life = truth.lives[life_index];
+    if (coordinated_left > 0 &&
+        life.days.contains(coordinated_window.last) &&
+        wake.days.first < coordinated_window.first - 1000 + 1 &&
+        rng.chance(0.5)) {
+      const Day start = coordinated_window.first +
+                        static_cast<Day>(rng.uniform(0, 40));
+      wake.days = DayInterval{
+          start, std::min<Day>(coordinated_window.last,
+                               start + static_cast<Day>(rng.uniform(10, 60)))};
+      wake.malicious = true;
+      wake.upstream = kHijackFactoryAsn;
+      wake.victim = pick_victim(truth, rng);
+      wake.prefixes_per_day = static_cast<int>(rng.uniform(2, 5));
+      plan.events.push_back(SquatEvent{asn_plan.asn, wake.days, wake.upstream,
+                                       wake.prefixes_per_day, false, true,
+                                       asn_plan.truth_life_index});
+      --coordinated_left;
+      continue;
+    }
+
+    if (!rng.chance(config.dormant_malicious_fraction)) continue;
+    wake.malicious = true;
+    wake.upstream = pick_malicious_upstream(rng);
+    wake.victim = pick_victim(truth, rng);
+    wake.prefixes_per_day = static_cast<int>(rng.uniform(30, 200));
+    // Squat bursts are short.
+    wake.days.last = std::min<Day>(
+        wake.days.last, wake.days.first + static_cast<Day>(rng.uniform(5, 31)));
+    plan.events.push_back(SquatEvent{asn_plan.asn, wake.days, wake.upstream,
+                                     wake.prefixes_per_day, false, false,
+                                     asn_plan.truth_life_index});
+  }
+
+  // --- Post-deallocation squatting + benign outside-delegation lives.
+  const int hijacks = std::max(
+      1, static_cast<int>(config.post_deallocation_events * config.scale));
+  const int benign = static_cast<int>(config.benign_outside_lives *
+                                      config.scale);
+  int hijacks_made = 0;
+  int benign_made = 0;
+
+  for (std::size_t life_index = 0; life_index < truth.lives.size();
+       ++life_index) {
+    if (hijacks_made >= hijacks && benign_made >= benign) break;
+    const TrueAdminLife& life = truth.lives[life_index];
+    if (life.open_ended) continue;
+    // Need room after the life (and before the ASN's next life) for an
+    // outside-delegation op life.
+    Day room_end = truth.archive_end;
+    const auto it = truth.lives_by_asn.find(life.asn.value);
+    for (const std::size_t other : it->second) {
+      const TrueAdminLife& next_life = truth.lives[other];
+      if (next_life.days.first > life.days.last) {
+        room_end = std::min<Day>(room_end, next_life.days.first - 1);
+        break;
+      }
+    }
+    if (room_end < life.days.last + 40) continue;
+    if (life.days.last <= truth.archive_begin) continue;
+    if (!rng.chance(0.04)) continue;
+
+    const bool make_hijack =
+        hijacks_made < hijacks &&
+        (benign_made >= benign || rng.chance(0.05));
+    if (!make_hijack && benign_made >= benign) continue;
+
+    OpLifePlan outside;
+    const Day start = life.days.last + 1 +
+                      static_cast<Day>(make_hijack
+                                           ? rng.uniform(2, 10)
+                                           : rng.uniform(5, 300));
+    if (start > room_end - 3) continue;
+    outside.days = DayInterval{
+        start, std::min<Day>(room_end,
+                             start + static_cast<Day>(rng.uniform(3, 90)))};
+    if (make_hijack) {
+      outside.malicious = true;
+      outside.upstream = kBitcanalAsn;
+      outside.victim = pick_victim(truth, rng);
+      outside.prefixes_per_day = static_cast<int>(rng.uniform(3, 12));
+      plan.events.push_back(SquatEvent{life.asn, outside.days,
+                                       outside.upstream,
+                                       outside.prefixes_per_day, true, false,
+                                       static_cast<std::int64_t>(life_index)});
+      ++hijacks_made;
+    } else {
+      outside.peer_visibility = static_cast<int>(rng.uniform(2, 10));
+      outside.prefixes_per_day = 1;
+      ++benign_made;
+    }
+
+    const auto plan_it = plan_by_life.find(static_cast<std::int64_t>(
+        life_index));
+    if (plan_it != plan_by_life.end()) {
+      auto& lives = behavior.plans[plan_it->second].lives;
+      // Dangling tails may already extend past the deallocation; never let
+      // the injected outside life overlap an existing one, and keep a gap
+      // well beyond the 30-day timeout so the awakening forms its own
+      // operational life (real cases are years from previous activity).
+      bool overlaps = false;
+      for (const OpLifePlan& existing : lives)
+        if (existing.days.overlaps(outside.days) ||
+            (existing.days.last < outside.days.first &&
+             existing.days.last + 45 >= outside.days.first))
+          overlaps = true;
+      if (overlaps) {
+        if (make_hijack) {
+          plan.events.pop_back();
+          --hijacks_made;
+        } else {
+          --benign_made;
+        }
+        continue;
+      }
+      lives.push_back(outside);
+      std::sort(lives.begin(), lives.end(),
+                [](const OpLifePlan& a, const OpLifePlan& b) {
+                  return a.days.first < b.days.first;
+                });
+    } else {
+      AsnOpPlan fresh;
+      fresh.asn = life.asn;
+      fresh.kind = BehaviorKind::kNeverUsed;  // admin life itself unused
+      fresh.truth_life_index = static_cast<std::int64_t>(life_index);
+      fresh.lives.push_back(outside);
+      behavior.plans.push_back(std::move(fresh));
+      plan_by_life[static_cast<std::int64_t>(life_index)] =
+          behavior.plans.size() - 1;
+    }
+  }
+
+  return plan;
+}
+
+}  // namespace pl::bgpsim

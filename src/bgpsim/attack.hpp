@@ -1,0 +1,61 @@
+// Malicious-activity injection: ASN squatting (paper 6.1.2 and 6.4).
+//
+// Two attack surfaces, both observed in the wild:
+//   * dormant-ASN squatting — an allocated but long-inactive ASN suddenly
+//     originates many prefixes (AS10512/Spectrum, AS7449, AS28071 cases),
+//     often via a "hijack factory" upstream (AS203040) and sometimes in
+//     coordinated groups (the 31 ASNs of April-July 2020);
+//   * post-deallocation squatting — the ASN is abused right after leaving
+//     the delegation files (AS12391 via Bitcanal AS197426).
+#pragma once
+
+#include "bgpsim/behavior.hpp"
+
+namespace pl::bgpsim {
+
+/// Well-known malicious upstreams used in the paper's case studies.
+inline constexpr std::uint32_t kHijackFactoryAsn = 203040;  ///< NANOG-reported
+inline constexpr std::uint32_t kBitcanalAsn = 197426;
+inline constexpr std::uint32_t kSpammerUpstreamAsn = 52302; ///< LACNOG case
+
+struct SquatEvent {
+  asn::Asn asn;
+  util::DayInterval days;
+  std::uint32_t upstream = kHijackFactoryAsn;
+  int prefixes_per_day = 60;
+  bool post_deallocation = false;
+  bool coordinated = false;
+  std::int64_t truth_life_index = -1;
+};
+
+struct AttackConfig {
+  std::uint64_t seed = 4242;
+  double scale = 1.0;
+
+  /// Fraction of dormant awakenings that are actually malicious squats; the
+  /// rest are the benign irregular operations that make detection hard.
+  double dormant_malicious_fraction = 0.05;
+
+  /// Coordinated wake-up group (paper: 31 ASNs, Apr-Jul 2020, few /20s
+  /// each — low-and-slow).
+  int coordinated_group_size = 31;
+
+  /// Post-deallocation hijacks (paper: 9 corroborated events).
+  int post_deallocation_events = 9;
+
+  /// Benign operational lives entirely outside any admin life (the bulk of
+  /// the 799-ASN population in 6.4: stale configs revived, etc.).
+  int benign_outside_lives = 790;
+};
+
+struct AttackPlan {
+  std::vector<SquatEvent> events;
+};
+
+/// Mutates `behavior` in place: flips a subset of dormant awakenings to
+/// malicious, appends coordinated wake-ups, post-deallocation squats, and
+/// benign outside-delegation lives. Returns ground-truth labels.
+AttackPlan inject_attacks(const rirsim::GroundTruth& truth,
+                          BehaviorPlan& behavior, const AttackConfig& config);
+
+}  // namespace pl::bgpsim

@@ -1,0 +1,379 @@
+#include "bgpsim/behavior.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace pl::bgpsim {
+
+namespace {
+
+using rirsim::GroundTruth;
+using rirsim::OrgKind;
+using rirsim::TrueAdminLife;
+using util::Day;
+using util::DayInterval;
+using util::Rng;
+
+constexpr std::string_view kBehaviorNames[] = {
+    "canonical",      "intermittent",   "largely-spaced", "event-driven",
+    "never-used",     "china-filtered", "sibling-unused", "failed-32bit",
+    "dangling-tail",  "early-start",    "dormant-awake",
+};
+
+/// Sample a target utilization ratio for a complete-overlap life,
+/// reproducing the Fig. 7 CDF: ~45% of lives above 0.95, ~70% above 0.75,
+/// ~10% below 0.30.
+double sample_utilization(Rng& rng) {
+  // The low tail is lighter than Fig. 7's 10% because the forced
+  // deallocation lag of closed lives (below) independently pushes a slice
+  // of lives under the 30% line.
+  const double weights[] = {0.47, 0.26, 0.21, 0.06};
+  switch (rng.weighted(weights)) {
+    case 0: return 0.95 + 0.05 * rng.uniform01();
+    case 1: return 0.75 + 0.20 * rng.uniform01();
+    case 2: return 0.30 + 0.45 * rng.uniform01();
+    default: return 0.02 + 0.28 * rng.uniform01();
+  }
+}
+
+int sample_peer_visibility(Rng& rng) {
+  return static_cast<int>(rng.uniform(3, 30));
+}
+
+int sample_prefix_count(Rng& rng) {
+  return std::max<int>(1, static_cast<int>(rng.lognormal(0.9, 0.9)));
+}
+
+/// Median deallocation lag per registry (6.1.1: APNIC >6 months, the
+/// others >10, AfriNIC ~530 days).
+double dealloc_lag_median_for(asn::Rir rir) noexcept {
+  switch (rir) {
+    case asn::Rir::kAfrinic: return 530;
+    case asn::Rir::kApnic: return 200;
+    case asn::Rir::kArin: return 330;
+    case asn::Rir::kLacnic: return 340;
+    case asn::Rir::kRipeNcc: return 320;
+  }
+  return 320;
+}
+
+/// Plan a single op life inside [start_bound, end_bound] hitting roughly
+/// `utilization` of the admin span, with a start delay whose median matches
+/// the config.
+OpLifePlan plan_single_life(const DayInterval& admin, bool open_ended,
+                            double utilization, const OpConfig& config,
+                            asn::Rir rir, Rng& rng) {
+  OpLifePlan plan;
+  const auto span = static_cast<double>(admin.length());
+  double slack = (1.0 - utilization) * span;
+
+  // Start delay: lognormal with the configured median, capped at 20% of
+  // the slack so the deallocation lag dominates (as the paper observes).
+  double delay = rng.lognormal(std::log(config.start_delay_median), 0.9);
+  delay = std::min(delay, std::max(1.0, slack * 0.2));
+  double lead = slack - delay;
+  if (open_ended) {
+    // Still-allocated lives usually remain active to the horizon.
+    if (rng.chance(0.85)) lead = 0;
+  } else {
+    // Closed lives: deallocation lags the last BGP day by months (6.1.1) —
+    // the registry only reclaims the number long after it goes quiet.
+    const double lag = rng.lognormal(
+        std::log(dealloc_lag_median_for(rir)), 0.7);
+    lead = std::min(std::max(lead, lag), span * 0.7);
+  }
+
+  Day start = admin.first + static_cast<Day>(delay);
+  Day end = admin.last - static_cast<Day>(lead);
+  if (end < start) end = std::min<Day>(admin.last, start + 7);
+  start = std::clamp(start, admin.first, admin.last);
+  end = std::clamp(end, start, admin.last);
+  plan.days = DayInterval{start, end};
+  plan.peer_visibility = sample_peer_visibility(rng);
+  plan.prefixes_per_day = sample_prefix_count(rng);
+  return plan;
+}
+
+/// Split a planned span into `k` lives with gaps larger than the paper's
+/// 30-day timeout.
+std::vector<OpLifePlan> split_lives(const OpLifePlan& whole, int k,
+                                    std::int64_t min_gap,
+                                    std::int64_t max_gap, Rng& rng) {
+  std::vector<OpLifePlan> out;
+  const std::int64_t total = whole.days.length();
+  if (k <= 1 || total < k * 40) {
+    out.push_back(whole);
+    return out;
+  }
+  // Choose gap lengths, leave the rest as active segments.
+  std::vector<std::int64_t> gaps(static_cast<std::size_t>(k - 1));
+  std::int64_t gap_total = 0;
+  for (auto& g : gaps) {
+    g = rng.uniform(min_gap, max_gap);
+    gap_total += g;
+  }
+  const std::int64_t active_total = total - gap_total;
+  if (active_total < k * 5) {
+    out.push_back(whole);
+    return out;
+  }
+  // Random split of the active days into k chunks of >= 5 days.
+  std::vector<std::int64_t> chunks(static_cast<std::size_t>(k), 5);
+  std::int64_t remaining = active_total - 5 * k;
+  for (int i = 0; i < k && remaining > 0; ++i) {
+    const std::int64_t take = rng.uniform(0, remaining);
+    chunks[static_cast<std::size_t>(i)] += take;
+    remaining -= take;
+  }
+  chunks.back() += remaining;
+
+  Day cursor = whole.days.first;
+  for (int i = 0; i < k; ++i) {
+    OpLifePlan life = whole;
+    life.days = DayInterval{cursor,
+                            cursor + static_cast<Day>(chunks[
+                                static_cast<std::size_t>(i)]) - 1};
+    out.push_back(life);
+    cursor = life.days.last + 1;
+    if (i + 1 < k) cursor += static_cast<Day>(gaps[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view behavior_name(BehaviorKind kind) noexcept {
+  return kBehaviorNames[static_cast<std::size_t>(kind)];
+}
+
+BehaviorPlan plan_behaviors(const GroundTruth& truth,
+                            const OpConfig& config) {
+  BehaviorPlan result;
+  result.behavior_of_life.resize(truth.lives.size(),
+                                 BehaviorKind::kCanonical);
+  Rng rng(config.seed);
+
+  // Pre-pick one long-lived life per RIR as an event-driven conference ASN.
+  std::vector<std::size_t> event_lives;
+  {
+    std::array<bool, asn::kRirCount> done{};
+    for (std::size_t i = 0; i < truth.lives.size(); ++i) {
+      const TrueAdminLife& life = truth.lives[i];
+      const std::size_t rir_index = asn::index_of(life.birth_registry());
+      if (done[rir_index]) continue;
+      if (life.days.length() > 3000 && life.open_ended) {
+        event_lives.push_back(i);
+        done[rir_index] = true;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < truth.lives.size(); ++i) {
+    const TrueAdminLife& life = truth.lives[i];
+    Rng life_rng = rng.fork();
+    const rirsim::Organization& org = truth.orgs[life.org];
+
+    BehaviorKind kind = BehaviorKind::kCanonical;
+
+    if (std::find(event_lives.begin(), event_lives.end(), i) !=
+        event_lives.end()) {
+      kind = BehaviorKind::kEventDriven;
+    } else if (life.nir_block) {
+      kind = life_rng.chance(config.nir_block_unused)
+                 ? BehaviorKind::kNeverUsed
+                 : BehaviorKind::kCanonical;
+    } else if (org.kind == OrgKind::kGovernment ||
+               org.kind == OrgKind::kLegacyHolder) {
+      kind = life_rng.chance(config.sibling_org_usage)
+                 ? BehaviorKind::kCanonical
+                 : BehaviorKind::kSiblingUnused;
+    } else if (life.country == asn::CountryCode::literal('C', 'N')) {
+      kind = life_rng.chance(config.china_unused_fraction)
+                 ? BehaviorKind::kChinaFiltered
+                 : BehaviorKind::kCanonical;
+    } else if (life.asn.is_32bit_only() && life.days.length() < 120 &&
+               life_rng.chance(0.8)) {
+      kind = BehaviorKind::kFailed32bit;
+    } else if (life.publish_lag_days > 0 &&
+               life_rng.chance(config.early_start_lagged)) {
+      // The delegation file lags the assignment: the network often starts
+      // announcing before the record is published (6.2).
+      kind = BehaviorKind::kEarlyStart;
+    } else {
+      const double weights[] = {
+          config.base_never_used,
+          config.dangling_fraction,
+          config.early_start_fraction,
+          config.intermittent_fraction,
+          config.largely_spaced_fraction,
+          config.dormant_fraction,
+          1.0 - config.base_never_used - config.dangling_fraction -
+              config.early_start_fraction - config.intermittent_fraction -
+              config.largely_spaced_fraction - config.dormant_fraction,
+      };
+      constexpr BehaviorKind kRoll[] = {
+          BehaviorKind::kNeverUsed,      BehaviorKind::kDanglingTail,
+          BehaviorKind::kEarlyStart,     BehaviorKind::kIntermittent,
+          BehaviorKind::kLargelySpaced,  BehaviorKind::kDormantThenAwake,
+          BehaviorKind::kCanonical,
+      };
+      kind = kRoll[life_rng.weighted(weights)];
+      // Degrade kinds the life is too short for.
+      if (life.days.length() < 500 &&
+          (kind == BehaviorKind::kIntermittent ||
+           kind == BehaviorKind::kLargelySpaced ||
+           kind == BehaviorKind::kDormantThenAwake))
+        kind = BehaviorKind::kCanonical;
+      if (kind == BehaviorKind::kDanglingTail && life.open_ended)
+        kind = BehaviorKind::kCanonical;
+      if (kind == BehaviorKind::kDormantThenAwake &&
+          life.days.length() < 1200)
+        kind = BehaviorKind::kCanonical;
+    }
+
+    result.behavior_of_life[i] = kind;
+
+    AsnOpPlan plan;
+    plan.asn = life.asn;
+    plan.kind = kind;
+    plan.truth_life_index = static_cast<std::int64_t>(i);
+
+    switch (kind) {
+      case BehaviorKind::kNeverUsed:
+      case BehaviorKind::kSiblingUnused:
+      case BehaviorKind::kFailed32bit:
+        break;  // no operational life at all
+
+      case BehaviorKind::kChinaFiltered: {
+        OpLifePlan life_plan = plan_single_life(
+            life.days, life.open_ended, sample_utilization(life_rng), config,
+            life.birth_registry(), life_rng);
+        life_plan.peer_visibility = 1;  // below the >1-peer activity rule
+        plan.lives.push_back(life_plan);
+        break;
+      }
+
+      case BehaviorKind::kCanonical: {
+        plan.lives.push_back(plan_single_life(
+            life.days, life.open_ended, sample_utilization(life_rng), config,
+            life.birth_registry(), life_rng));
+        break;
+      }
+
+      case BehaviorKind::kIntermittent: {
+        const OpLifePlan whole = plan_single_life(
+            life.days, life.open_ended, 0.6 + 0.3 * life_rng.uniform01(),
+            config, life.birth_registry(), life_rng);
+        // Sibling-rich orgs flap the most (the paper's >10-op-life ASNs are
+        // mostly sibling ASNs): a slice of them gets a heavy-tailed number
+        // of lives (the paper finds 287 ASNs beyond 10).
+        const int max_lives = org.asns.size() > 3 ? 16 : 5;
+        int k = 2 + static_cast<int>(life_rng.geometric_days(0.45, 12));
+        if (org.asns.size() > 3 && life.days.length() > 3000 &&
+            life_rng.chance(0.35))
+          k = 11 + static_cast<int>(life_rng.uniform(0, 4));
+        plan.lives =
+            split_lives(whole, std::min(k, max_lives), 31, 250, life_rng);
+        break;
+      }
+
+      case BehaviorKind::kLargelySpaced: {
+        const OpLifePlan whole = plan_single_life(
+            life.days, life.open_ended, 0.75, config, life.birth_registry(),
+            life_rng);
+        plan.lives = split_lives(whole, 2, 366, 1600, life_rng);
+        break;
+      }
+
+      case BehaviorKind::kEventDriven: {
+        // Short bursts roughly twice a year across the whole life.
+        Day cursor = life.days.first + 40;
+        OpLifePlan burst;
+        burst.peer_visibility = sample_peer_visibility(life_rng);
+        burst.prefixes_per_day = 1;
+        while (cursor + 10 < life.days.last) {
+          burst.days = DayInterval{
+              cursor, cursor + static_cast<Day>(life_rng.uniform(4, 10))};
+          plan.lives.push_back(burst);
+          cursor = burst.days.last +
+                   static_cast<Day>(life_rng.uniform(150, 360));
+        }
+        break;
+      }
+
+      case BehaviorKind::kDanglingTail: {
+        OpLifePlan life_plan = plan_single_life(
+            life.days, /*open_ended=*/true, 0.9, config,
+            life.birth_registry(), life_rng);
+        // Announcements persist past deallocation (manual router configs).
+        const Day extra = static_cast<Day>(life_rng.uniform(30, 700));
+        life_plan.days.last =
+            std::min<Day>(truth.archive_end, life.days.last + extra);
+        plan.lives.push_back(life_plan);
+        break;
+      }
+
+      case BehaviorKind::kEarlyStart: {
+        OpLifePlan life_plan = plan_single_life(
+            life.days, life.open_ended, 0.95, config, life.birth_registry(),
+            life_rng);
+        // BGP starts before the delegation file shows the allocation (6.2:
+        // mismatches "only last a few days"). Lagged lives start after the
+        // registration date but before publication; unlagged ones can only
+        // be early by preceding the registration date itself.
+        if (life.publish_lag_days > 0) {
+          life_plan.days.first =
+              life.days.first + static_cast<Day>(life_rng.uniform(
+                                    0, life.publish_lag_days - 1));
+        } else {
+          life_plan.days.first =
+              std::max<Day>(truth.archive_begin,
+                            life.days.first - static_cast<Day>(
+                                life_rng.uniform(1, 9)));
+        }
+        plan.lives.push_back(life_plan);
+        break;
+      }
+
+      case BehaviorKind::kDormantThenAwake: {
+        // Optional short initial life, then >=1000 days of dormancy, then a
+        // short awakening. attack.hpp flips a subset to malicious.
+        Day dormancy_start = life.days.first;
+        if (life_rng.chance(0.5)) {
+          OpLifePlan initial;
+          initial.days = DayInterval{
+              life.days.first + static_cast<Day>(life_rng.uniform(5, 40)),
+              life.days.first + static_cast<Day>(life_rng.uniform(60, 200))};
+          initial.peer_visibility = sample_peer_visibility(life_rng);
+          initial.prefixes_per_day = sample_prefix_count(life_rng);
+          if (initial.days.last < life.days.last - 1100) {
+            plan.lives.push_back(initial);
+            dormancy_start = initial.days.last + 1;
+          }
+        }
+        const Day wake_min = dormancy_start + 1001;
+        if (wake_min < life.days.last - 10) {
+          OpLifePlan wake;
+          const Day wake_day = wake_min + static_cast<Day>(life_rng.uniform(
+              0, life.days.last - 10 - wake_min));
+          wake.days = DayInterval{
+              wake_day,
+              std::min<Day>(life.days.last,
+                            wake_day + static_cast<Day>(
+                                life_rng.uniform(5, 60)))};
+          wake.peer_visibility = sample_peer_visibility(life_rng);
+          wake.prefixes_per_day = sample_prefix_count(life_rng);
+          plan.lives.push_back(wake);
+        }
+        break;
+      }
+    }
+
+    if (!plan.lives.empty()) result.plans.push_back(std::move(plan));
+  }
+
+  return result;
+}
+
+}  // namespace pl::bgpsim

@@ -1,0 +1,114 @@
+// Operational (BGP) behaviour models: how each administrative life shows up
+// in the global routing table — or doesn't.
+//
+// Every behaviour class below reproduces a population the paper documents:
+// canonical single-life use, under-utilization (6.1.1), intermittent and
+// conference ASNs, sibling substitution, China's visibility filtering (6.3),
+// failed 32-bit deployments, dangling announcements and early starts (6.2),
+// dormant-ASN squatting (6.1.2), and post-deallocation squatting (6.4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "bgp/activity.hpp"
+#include "rirsim/truth.hpp"
+#include "util/rng.hpp"
+
+namespace pl::bgpsim {
+
+enum class BehaviorKind : std::uint8_t {
+  kCanonical,       ///< one op life well inside the admin life
+  kIntermittent,    ///< several op lives, gaps > timeout
+  kLargelySpaced,   ///< >=2 op lives more than a year apart
+  kEventDriven,     ///< conference-style short periodic bursts (AFNOG/APNOG)
+  kNeverUsed,       ///< no BGP activity at all
+  kChinaFiltered,   ///< used, but paths stripped before reaching collectors
+  kSiblingUnused,   ///< the org routes a sibling ASN instead
+  kFailed32bit,     ///< short unused 32-bit allocation (deployment failure)
+  kDanglingTail,    ///< op life continues past deallocation (6.2)
+  kEarlyStart,      ///< op life starts days before the delegation files say
+  kDormantThenAwake,///< long dormancy then a short awakening (squat surface)
+};
+
+std::string_view behavior_name(BehaviorKind kind) noexcept;
+
+/// One planned operational life.
+struct OpLifePlan {
+  util::DayInterval days;
+  int peer_visibility = 8;   ///< distinct collector peers that see the ASN
+  int prefixes_per_day = 2;  ///< distinct prefixes originated while alive
+  bool malicious = false;    ///< ground-truth squatting label
+  std::uint32_t upstream = 0;///< first-hop ASN used in announcements (0 =
+                             ///< pick a regular provider)
+  /// When non-zero, announcements originate *this* ASN's prefixes instead
+  /// of the origin's own — hijacked victim space (squats) or the covering
+  /// provider's space (internal-use leaks, typo MOAS conflicts).
+  std::uint32_t victim = 0;
+};
+
+/// All operational lives planned for one ASN, with ground-truth labels.
+struct AsnOpPlan {
+  asn::Asn asn;
+  std::vector<OpLifePlan> lives;       ///< disjoint, sorted
+  BehaviorKind kind = BehaviorKind::kCanonical;
+  std::int64_t truth_life_index = -1;  ///< admin life this was planned for
+                                       ///< (-1 for never-allocated ASNs)
+};
+
+/// Tuning knobs. Defaults target the paper's realized distributions.
+struct OpConfig {
+  std::uint64_t seed = 99;
+
+  /// Probability a generic (non-special) life is never used in BGP, on top
+  /// of the structural never-used populations (NIR blocks, siblings, CN,
+  /// failed 32-bit). Total unused admin lives should land near 18%.
+  double base_never_used = 0.115;
+
+  double china_unused_fraction = 0.506;  ///< CN allocated-but-unobserved share
+  double sibling_org_usage = 0.35;       ///< fraction of a gov/legacy org's
+                                         ///< ASNs that are actually routed
+  double nir_block_unused = 0.75;
+
+  /// Partial-overlap shares of all lives.
+  double dangling_fraction = 0.066;  ///< ~64% of the partial-overlap 3.4%
+                                     ///< (applies to closed lives only)
+  /// Early starts concentrate in the publication-lagged minority: lagged
+  /// lives go early with `early_start_lagged`, starting after the
+  /// registration date but before the file shows the allocation; unlagged
+  /// lives go early with `early_start_fraction`, necessarily before the
+  /// registration date (paper: 631 of 1,594 precede the regdate).
+  double early_start_lagged = 0.30;
+  double early_start_fraction = 0.003;
+
+  /// Complete-overlap sub-behaviors.
+  double intermittent_fraction = 0.13;
+  double largely_spaced_fraction = 0.03;
+  double event_driven_per_rir = 1;     ///< conference ASNs per registry
+  double dormant_fraction = 0.025;     ///< long-dormancy lives (squat surface)
+
+  /// Median operational start delay after allocation, days (>= 1 month for
+  /// all RIRs, 6.1.1).
+  double start_delay_median = 35;
+
+  /// Median gap between last BGP day and deallocation, days (6+ months
+  /// APNIC, 10+ elsewhere, ~530 AfriNIC).
+  double dealloc_lag_median = 320;
+};
+
+/// Output of the behaviour assignment for the administrative world (attacks
+/// and misconfigurations are layered on by attack.hpp / misconfig.hpp).
+struct BehaviorPlan {
+  std::vector<AsnOpPlan> plans;
+  /// life index -> behaviour (ground truth for every admin life, including
+  /// the never-used ones, which have no entry in `plans`).
+  std::vector<BehaviorKind> behavior_of_life;
+};
+
+/// Assign behaviours and plan operational lives for every admin life.
+BehaviorPlan plan_behaviors(const rirsim::GroundTruth& truth,
+                            const OpConfig& config);
+
+}  // namespace pl::bgpsim

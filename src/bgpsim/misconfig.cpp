@@ -1,0 +1,179 @@
+#include "bgpsim/misconfig.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace pl::bgpsim {
+
+namespace {
+
+using rirsim::GroundTruth;
+using util::Day;
+using util::DayInterval;
+using util::Rng;
+
+constexpr std::string_view kMisconfigNames[] = {
+    "prepend-typo", "digit-typo", "internal-leak", "unexplained"};
+
+/// Sample an event duration (days) following the paper's ladder: about half
+/// last a single day, a fifth more than a month, a handful more than a year.
+std::int64_t sample_duration(const MisconfigConfig& config, Rng& rng) {
+  const double roll = rng.uniform01();
+  if (roll < config.active_over_1year) return rng.uniform(366, 900);
+  if (roll < config.active_over_1month) return rng.uniform(32, 300);
+  if (roll < config.active_over_1day) return rng.uniform(2, 31);
+  return 1;
+}
+
+/// True iff `candidate` was never delegated and is not special-use.
+bool usable_bogus(const GroundTruth& truth, asn::Asn candidate) {
+  if (candidate.value == 0 || asn::is_bogon(candidate)) return false;
+  return !truth.lives_by_asn.contains(candidate.value);
+}
+
+/// Doubled-spelling ASN (prepending typo) if it fits in 32 bits.
+std::optional<asn::Asn> doubled(asn::Asn base) {
+  const std::string spelling = asn::to_string(base);
+  const std::string twice = spelling + spelling;
+  return asn::parse_asn(twice);
+}
+
+/// Mutate one decimal digit of `base` (possibly appending one), producing a
+/// fat-finger neighbour.
+std::optional<asn::Asn> digit_typo(asn::Asn base, Rng& rng) {
+  std::string spelling = asn::to_string(base);
+  if (rng.chance(0.35)) {
+    // Insert a digit (AS419333 from AS41933 style).
+    const auto position = static_cast<std::size_t>(rng.uniform(
+        0, static_cast<std::int64_t>(spelling.size())));
+    spelling.insert(position, 1,
+                    static_cast<char>('0' + rng.uniform(0, 9)));
+  } else {
+    const auto position = static_cast<std::size_t>(rng.uniform(
+        0, static_cast<std::int64_t>(spelling.size()) - 1));
+    char replacement = spelling[position];
+    while (replacement == spelling[position])
+      replacement = static_cast<char>('0' + rng.uniform(0, 9));
+    if (position == 0 && replacement == '0') return std::nullopt;
+    spelling[position] = replacement;
+  }
+  return asn::parse_asn(spelling);
+}
+
+}  // namespace
+
+std::string_view misconfig_name(MisconfigKind kind) noexcept {
+  return kMisconfigNames[static_cast<std::size_t>(kind)];
+}
+
+MisconfigPlan inject_misconfigs(const GroundTruth& truth,
+                                BehaviorPlan& behavior,
+                                const MisconfigConfig& config) {
+  MisconfigPlan plan;
+  Rng rng(config.seed);
+
+  const int total = std::max(
+      3, static_cast<int>(config.total_events * config.scale));
+
+  // Candidate legitimate ASNs: lives active in the archive era with a plan.
+  std::vector<std::size_t> active_plan_indices;
+  for (std::size_t i = 0; i < behavior.plans.size(); ++i) {
+    const AsnOpPlan& p = behavior.plans[i];
+    if (p.truth_life_index < 0 || p.lives.empty()) continue;
+    if (p.lives.front().peer_visibility < 2) continue;
+    active_plan_indices.push_back(i);
+  }
+  if (active_plan_indices.empty()) return plan;
+
+  std::set<std::uint32_t> used_bogus;
+  const Day era_begin = truth.archive_begin;
+  const Day era_end = truth.archive_end;
+
+  for (int made = 0; made < total; ++made) {
+    MisconfigEvent event;
+    const double roll = rng.uniform01();
+
+    if (roll < config.large_asn_fraction) {
+      // Internal-use ASN leak: a number with more digits than anything ever
+      // allocated, visible behind a legitimate provider for a long time.
+      event.kind = MisconfigKind::kInternalLeak;
+      asn::Asn bogus{0};
+      do {
+        bogus.value = static_cast<std::uint32_t>(
+            rng.uniform(1000000000, 4199999999));  // 10 digits, non-bogon
+      } while (!usable_bogus(truth, bogus) ||
+               used_bogus.contains(bogus.value));
+      event.bogus_origin = bogus;
+      const std::size_t pick = active_plan_indices[static_cast<std::size_t>(
+          rng.uniform(0,
+                      static_cast<std::int64_t>(active_plan_indices.size()) -
+                          1))];
+      event.legitimate = behavior.plans[pick].asn;
+      event.prefixes_per_day = 1;
+      const std::int64_t duration = rng.uniform(60, 900);  // months..years
+      const Day start = era_begin + static_cast<Day>(rng.uniform(
+                            100, era_end - era_begin - 100));
+      event.days = DayInterval{
+          start, std::min<Day>(era_end, start + static_cast<Day>(duration))};
+      event.causes_moas = false;  // leak is covered by provider's aggregate
+    } else {
+      // Fat-finger typo of an active ASN.
+      const std::size_t pick = active_plan_indices[static_cast<std::size_t>(
+          rng.uniform(0,
+                      static_cast<std::int64_t>(active_plan_indices.size()) -
+                          1))];
+      const AsnOpPlan& victim = behavior.plans[pick];
+      const bool prepend = rng.chance(config.prepend_typo_fraction);
+      std::optional<asn::Asn> bogus =
+          prepend ? doubled(victim.asn) : digit_typo(victim.asn, rng);
+      if (!bogus || !usable_bogus(truth, *bogus) ||
+          used_bogus.contains(bogus->value)) {
+        --made;  // retry with another victim
+        continue;
+      }
+      event.kind = prepend ? MisconfigKind::kPrependTypo
+                           : MisconfigKind::kDigitTypo;
+      event.bogus_origin = *bogus;
+      event.legitimate = victim.asn;
+      event.prefixes_per_day = 1;
+      event.causes_moas = !prepend;
+      // Anchor inside one of the victim's op lives (a typo needs the victim
+      // to actually be announcing).
+      const OpLifePlan& host = victim.lives[static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(victim.lives.size()) - 1))];
+      const std::int64_t duration = sample_duration(config, rng);
+      const Day start =
+          host.days.first +
+          static_cast<Day>(rng.uniform(0, std::max<std::int64_t>(
+                                              0, host.days.length() - 1)));
+      event.days = DayInterval{
+          start,
+          std::min<Day>(era_end, start + static_cast<Day>(duration) - 1)};
+    }
+
+    used_bogus.insert(event.bogus_origin.value);
+
+    AsnOpPlan bogus_plan;
+    bogus_plan.asn = event.bogus_origin;
+    bogus_plan.kind = BehaviorKind::kNeverUsed;  // never *allocated*
+    bogus_plan.truth_life_index = -1;
+    OpLifePlan life;
+    life.days = event.days;
+    life.peer_visibility = static_cast<int>(rng.uniform(2, 12));
+    life.prefixes_per_day = event.prefixes_per_day;
+    life.upstream = event.legitimate.value;  // typo rides the victim's path
+    // MOAS conflicts announce the legitimate ASN's own prefix; leaks ride
+    // inside the covering provider's space.
+    life.victim = event.legitimate.value;
+    bogus_plan.lives.push_back(life);
+    behavior.plans.push_back(std::move(bogus_plan));
+
+    plan.events.push_back(event);
+  }
+
+  return plan;
+}
+
+}  // namespace pl::bgpsim

@@ -1,0 +1,61 @@
+// Misconfiguration injection: never-allocated ASNs appearing in BGP
+// (paper 6.4).
+//
+// Three documented classes:
+//   * prepending typos — the origin's spelling repeated (AS3202632026 for
+//     AS32026); 76% of confirmed misconfigurations;
+//   * one-digit typos causing MOAS conflicts with the legitimate ASN
+//     (AS419333 vs AS41933); can last months;
+//   * very large internal-use ASNs leaking through a provider
+//     (AS290012147 behind Verizon's AS701/AS7046), lasting years.
+#pragma once
+
+#include "bgpsim/behavior.hpp"
+
+namespace pl::bgpsim {
+
+enum class MisconfigKind : std::uint8_t {
+  kPrependTypo,
+  kDigitTypo,
+  kInternalLeak,
+  kUnexplained,  ///< short-lived noise the paper could not classify
+};
+
+std::string_view misconfig_name(MisconfigKind kind) noexcept;
+
+struct MisconfigEvent {
+  asn::Asn bogus_origin;
+  asn::Asn legitimate;  ///< imitated / covering ASN (0 for unexplained)
+  MisconfigKind kind = MisconfigKind::kUnexplained;
+  util::DayInterval days;
+  int prefixes_per_day = 1;
+  /// True when the bogus origin announces a prefix covered by (or equal to)
+  /// the legitimate ASN's prefix, creating a MOAS/SubMOAS conflict.
+  bool causes_moas = false;
+};
+
+struct MisconfigConfig {
+  std::uint64_t seed = 777;
+  double scale = 1.0;
+
+  int total_events = 868;         ///< never-allocated ASNs seen in BGP
+  double large_asn_fraction = 0.544;  ///< internal-use leaks (472/868)
+  double prepend_typo_fraction = 0.76;  ///< of the typo remainder
+  /// Duration ladder: of the never-allocated ASNs, only ~427 are active
+  /// more than a day, 186 more than a month, 15 more than a year.
+  double active_over_1day = 0.49;
+  double active_over_1month = 0.21;
+  double active_over_1year = 0.017;
+};
+
+struct MisconfigPlan {
+  std::vector<MisconfigEvent> events;
+};
+
+/// Appends never-allocated-origin plans to `behavior`; returns ground-truth
+/// labels. Bogus ASNs are guaranteed unallocated (per `truth`) and non-bogon.
+MisconfigPlan inject_misconfigs(const rirsim::GroundTruth& truth,
+                                BehaviorPlan& behavior,
+                                const MisconfigConfig& config);
+
+}  // namespace pl::bgpsim

@@ -1,0 +1,92 @@
+// Assembling the operational world and generating route elements.
+//
+// Two consistent views of the same planned behaviour:
+//   * `OpWorld::activity` — the per-ASN daily activity table after the
+//     >1-peer visibility rule, built directly from the plans (the full-scale
+//     fast path, mirroring what 930B records aggregate to);
+//   * `RouteGenerator` — path-level BGP elements for chosen days/ASNs, used
+//     to exercise the sanitizer and the prefix-origination case studies.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bgp/activity.hpp"
+#include "bgp/collector.hpp"
+#include "bgpsim/attack.hpp"
+#include "bgpsim/behavior.hpp"
+#include "bgpsim/misconfig.hpp"
+
+namespace pl::bgpsim {
+
+/// The fully-assembled operational dimension plus ground-truth labels.
+struct OpWorld {
+  BehaviorPlan behavior;
+  AttackPlan attacks;
+  MisconfigPlan misconfigs;
+  /// Post-visibility-rule activity, clipped to the archive window.
+  bgp::ActivityTable activity;
+};
+
+struct OpWorldConfig {
+  OpConfig behavior;
+  AttackConfig attacks;
+  MisconfigConfig misconfigs;
+};
+
+/// Build everything deterministically. `scale` in the sub-configs should
+/// match the admin world's scale.
+OpWorld build_op_world(const rirsim::GroundTruth& truth,
+                       const OpWorldConfig& config);
+
+/// Sanitizer-exercising noise mixed into generated elements: too-long or
+/// too-short prefixes, looped paths, single-peer spurious sightings.
+struct NoiseConfig {
+  double long_prefix_rate = 0.01;   ///< /25../32 leaks
+  double short_prefix_rate = 0.003; ///< </8 blocks
+  double loop_rate = 0.004;
+  double spurious_rate = 0.01;      ///< single-peer garbage ASN sightings
+};
+
+/// Generates the path-level elements a collector infrastructure would
+/// record.
+class RouteGenerator {
+ public:
+  RouteGenerator(const OpWorld& world,
+                 const bgp::CollectorInfrastructure& infrastructure,
+                 std::uint64_t seed = 31337, NoiseConfig noise = {});
+
+  /// All elements for `day`. If `watchlist` is non-null, only plans whose
+  /// ASN is listed generate elements (noise is suppressed too).
+  std::vector<bgp::Element> elements_for_day(
+      util::Day day,
+      const std::unordered_set<std::uint32_t>* watchlist = nullptr) const;
+
+  /// The update stream for `day`: announcements for routes that appeared
+  /// or changed since `day - 1`, withdrawals for routes that vanished —
+  /// what a collector's update dumps carry between daily RIB snapshots.
+  /// Noise is excluded (it models transient garbage, not table state).
+  std::vector<bgp::Element> updates_for_day(
+      util::Day day,
+      const std::unordered_set<std::uint32_t>* watchlist = nullptr) const;
+
+  /// Deterministic prefix originated by `asn` as its `index`-th prefix.
+  static bgp::Prefix origin_prefix(asn::Asn asn, int index);
+
+ private:
+  void emit_plan(const AsnOpPlan& plan, util::Day day,
+                 const std::vector<std::pair<bgp::CollectorId, asn::Asn>>&
+                     peers,
+                 std::vector<bgp::Element>& out) const;
+
+  const OpWorld* world_;
+  const bgp::CollectorInfrastructure* infrastructure_;
+  std::uint64_t seed_;
+  NoiseConfig noise_;
+  std::vector<const AsnOpPlan*> plans_;
+  /// ASN -> plans, so small watchlists skip the full scan.
+  std::unordered_map<std::uint32_t, std::vector<const AsnOpPlan*>> by_asn_;
+};
+
+}  // namespace pl::bgpsim

@@ -1,0 +1,134 @@
+#include "delegation/archive.hpp"
+
+#include <algorithm>
+
+#include "asn/rir.hpp"
+
+namespace pl::dele {
+
+void SnapshotTable::apply(std::span<const RecordChange> changes) {
+  for (const RecordChange& change : changes) {
+    if (change.state)
+      records_[change.asn] = *change.state;
+    else
+      records_.erase(change.asn);
+  }
+}
+
+const RecordState* SnapshotTable::find(asn::Asn asn) const noexcept {
+  const auto it = records_.find(asn);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<RecordChange> diff_snapshots(
+    std::span<const std::pair<asn::Asn, RecordState>> before,
+    std::span<const std::pair<asn::Asn, RecordState>> after) {
+  std::vector<RecordChange> out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+
+  // Skip duplicate-ASN runs, keeping the last occurrence.
+  const auto advance_dupes =
+      [](std::span<const std::pair<asn::Asn, RecordState>> v,
+         std::size_t k) {
+        while (k + 1 < v.size() && v[k + 1].first == v[k].first) ++k;
+        return k;
+      };
+
+  while (i < before.size() || j < after.size()) {
+    if (i < before.size()) i = advance_dupes(before, i);
+    if (j < after.size()) j = advance_dupes(after, j);
+
+    if (j >= after.size() ||
+        (i < before.size() && before[i].first < after[j].first)) {
+      out.push_back(RecordChange{before[i].first, std::nullopt});
+      ++i;
+    } else if (i >= before.size() || after[j].first < before[i].first) {
+      out.push_back(RecordChange{after[j].first, after[j].second});
+      ++j;
+    } else {
+      if (!(before[i].second == after[j].second))
+        out.push_back(RecordChange{after[j].first, after[j].second});
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Walking cursor over a channel's file sequence; produces per-day
+/// ChannelDelta values.
+class ChannelCursor {
+ public:
+  ChannelCursor(const std::vector<std::pair<util::Day, DelegationFile>>& files,
+                util::Day first_published, std::optional<util::Day> last_published)
+      : files_(files),
+        first_published_(first_published),
+        last_published_(last_published) {}
+
+  ChannelDelta delta_for(util::Day day) {
+    ChannelDelta delta;
+    if (day < first_published_ ||
+        (last_published_ && day > *last_published_)) {
+      delta.condition = FileCondition::kNotPublished;
+      return delta;
+    }
+    if (index_ < files_.size() && files_[index_].first == day) {
+      const auto after = expand_asn_records(files_[index_].second);
+      delta.condition = FileCondition::kPresent;
+      delta.changes = diff_snapshots(previous_, after);
+      previous_ = after;
+      ++index_;
+      return delta;
+    }
+    delta.condition = FileCondition::kMissing;
+    return delta;
+  }
+
+ private:
+  const std::vector<std::pair<util::Day, DelegationFile>>& files_;
+  util::Day first_published_;
+  std::optional<util::Day> last_published_;
+  std::size_t index_ = 0;
+  std::vector<std::pair<asn::Asn, RecordState>> previous_;
+};
+
+}  // namespace
+
+std::vector<DayObservation> observations_from_files(
+    asn::Rir rir,
+    const std::vector<std::pair<util::Day, DelegationFile>>& extended_files,
+    const std::vector<std::pair<util::Day, DelegationFile>>& regular_files,
+    util::Day begin_day, util::Day end_day) {
+  // Publication eras: from the first file actually provided (or the RIR's
+  // historical date if no files), until the end of the archive.
+  const auto era_start =
+      [&](const std::vector<std::pair<util::Day, DelegationFile>>& files,
+          util::Day fallback) {
+        return files.empty() ? fallback : files.front().first;
+      };
+
+  const asn::RirFacts& rir_facts = asn::facts(rir);
+  ChannelCursor extended(extended_files,
+                         era_start(extended_files,
+                                   rir_facts.first_extended_file),
+                         std::nullopt);
+  ChannelCursor regular(regular_files,
+                        era_start(regular_files, rir_facts.first_regular_file),
+                        rir_facts.last_regular_file);
+
+  std::vector<DayObservation> out;
+  out.reserve(static_cast<std::size_t>(end_day - begin_day + 1));
+  for (util::Day day = begin_day; day <= end_day; ++day) {
+    DayObservation observation;
+    observation.day = day;
+    observation.extended = extended.delta_for(day);
+    observation.regular = regular.delta_for(day);
+    out.push_back(std::move(observation));
+  }
+  return out;
+}
+
+}  // namespace pl::dele

@@ -1,0 +1,264 @@
+#include "delegation/file.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace pl::dele {
+
+namespace {
+
+using util::split;
+using util::trim;
+
+std::string_view kStatusTokens[] = {"allocated", "assigned", "available",
+                                    "reserved"};
+
+std::optional<std::int64_t> parse_int(std::string_view text) {
+  std::int64_t value = 0;
+  const auto* begin = text.data();
+  const auto* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_hex(std::string_view text) {
+  std::uint64_t value = 0;
+  const auto* begin = text.data();
+  const auto* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value, 16);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::string_view status_token(Status status) noexcept {
+  return kStatusTokens[static_cast<std::size_t>(status)];
+}
+
+std::optional<Status> parse_status(std::string_view token) noexcept {
+  const std::string lowered = util::to_lower(trim(token));
+  for (std::size_t i = 0; i < 4; ++i)
+    if (lowered == kStatusTokens[i]) return static_cast<Status>(i);
+  return std::nullopt;
+}
+
+ParseResult parse_delegation_file(std::string_view text) {
+  ParseResult result;
+  DelegationFile& file = result.file;
+  bool saw_header = false;
+
+  std::size_t line_number = 0;
+  for (std::string_view raw_line : util::lines(text)) {
+    ++line_number;
+    const std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+
+    const auto fields = split(line, '|');
+
+    if (!saw_header) {
+      // version|registry|serial|records|startdate|enddate|UTCoffset
+      if (fields.size() < 7) {
+        result.error = "malformed version line at line " +
+                       std::to_string(line_number);
+        return result;
+      }
+      // Some historical files use "2.3" as the version token.
+      const auto version_field = fields[0];
+      const auto dot = version_field.find('.');
+      const auto major = parse_int(version_field.substr(0, dot));
+      const auto registry = asn::parse_rir(fields[1]);
+      const auto serial = util::parse_compact_date(fields[2]);
+      const auto records = parse_int(fields[3]);
+      const auto start = util::parse_compact_date(fields[4]);
+      const auto end = util::parse_compact_date(fields[5]);
+      if (!major || !registry || !serial || !records) {
+        result.error = "unparseable version line at line " +
+                       std::to_string(line_number);
+        return result;
+      }
+      file.header.version = static_cast<int>(*major);
+      file.header.registry = *registry;
+      file.header.serial = *serial;
+      file.header.record_count = *records;
+      file.header.start_date = start.value_or(*serial);
+      file.header.end_date = end.value_or(*serial);
+      file.header.utc_offset = std::string(trim(fields[6]));
+      saw_header = true;
+      continue;
+    }
+
+    // Summary line: registry|*|type|*|count|summary — present in both
+    // formats; extended-ness is detected from record shape instead.
+    if (fields.size() >= 6 && trim(fields[1]) == "*" &&
+        trim(fields[5]) == "summary") {
+      continue;
+    }
+
+    // Record line: registry|cc|type|start|value|date|status[|opaque-id...]
+    if (fields.size() < 7) {
+      result.warnings.push_back("short record at line " +
+                                std::to_string(line_number));
+      continue;
+    }
+    const std::string_view type = trim(fields[2]);
+    if (type == "ipv4") {
+      ++file.ipv4_records;
+      continue;
+    }
+    if (type == "ipv6") {
+      ++file.ipv6_records;
+      continue;
+    }
+    if (type != "asn") {
+      result.warnings.push_back("unknown record type at line " +
+                                std::to_string(line_number));
+      continue;
+    }
+
+    AsnRecord record;
+    const auto registry = asn::parse_rir(fields[0]);
+    record.registry = registry.value_or(file.header.registry);
+    if (!registry)
+      result.warnings.push_back("unknown registry token at line " +
+                                std::to_string(line_number));
+
+    const std::string_view cc_field = trim(fields[1]);
+    if (const auto cc = asn::CountryCode::parse(cc_field))
+      record.country = *cc;
+
+    const auto first = asn::parse_asn(trim(fields[3]));
+    const auto count = parse_int(trim(fields[4]));
+    if (!first || !count || *count <= 0) {
+      result.warnings.push_back("bad asn/value at line " +
+                                std::to_string(line_number));
+      continue;
+    }
+    record.first = *first;
+    record.count = static_cast<std::uint32_t>(*count);
+
+    record.date = util::parse_compact_date(trim(fields[5]));
+
+    const auto status = parse_status(fields[6]);
+    if (!status) {
+      result.warnings.push_back("bad status at line " +
+                                std::to_string(line_number));
+      continue;
+    }
+    record.status = *status;
+    if (!is_delegated(record.status)) file.extended = true;
+
+    if (fields.size() >= 8) {
+      const std::string_view opaque = trim(fields[7]);
+      if (!opaque.empty()) {
+        file.extended = true;
+        if (const auto id = parse_hex(opaque))
+          record.opaque_id = *id;
+        else
+          result.warnings.push_back("bad opaque id at line " +
+                                    std::to_string(line_number));
+      }
+    }
+    file.asn_records.push_back(record);
+  }
+
+  if (!saw_header) {
+    result.error = "no version line";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+namespace {
+
+void append_hex(std::string& out, std::uint64_t value) {
+  char buf[17];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value, 16);
+  out.append(buf, ptr);
+}
+
+}  // namespace
+
+std::string serialize(const DelegationFile& file) {
+  std::string out;
+  out.reserve(64 + file.asn_records.size() * 48);
+
+  const std::string registry{asn::file_token(file.header.registry)};
+
+  // Version line.
+  out += std::to_string(file.header.version);
+  out += '|';
+  out += registry;
+  out += '|';
+  out += util::format_compact(file.header.serial);
+  out += '|';
+  out += std::to_string(file.header.record_count);
+  out += '|';
+  out += util::format_compact(file.header.start_date);
+  out += '|';
+  out += util::format_compact(file.header.end_date);
+  out += '|';
+  out += file.header.utc_offset;
+  out += '\n';
+
+  // Summary line for the asn type (ipv4/ipv6 summaries are emitted as zero;
+  // this library only materializes ASN data).
+  std::int64_t asn_total = 0;
+  for (const AsnRecord& record : file.asn_records) {
+    if (!file.extended && !is_delegated(record.status)) continue;
+    ++asn_total;
+  }
+  out += registry + "|*|asn|*|" + std::to_string(asn_total) + "|summary\n";
+  out += registry + "|*|ipv4|*|" + std::to_string(file.ipv4_records) +
+         "|summary\n";
+  out += registry + "|*|ipv6|*|" + std::to_string(file.ipv6_records) +
+         "|summary\n";
+
+  for (const AsnRecord& record : file.asn_records) {
+    if (!file.extended && !is_delegated(record.status)) continue;
+    out += registry;
+    out += '|';
+    out += is_delegated(record.status) ? record.country.to_string() : "";
+    out += "|asn|";
+    out += asn::to_string(record.first);
+    out += '|';
+    out += std::to_string(record.count);
+    out += '|';
+    out += record.date ? util::format_compact(*record.date) : "";
+    out += '|';
+    out += status_token(record.status);
+    if (file.extended) {
+      out += '|';
+      if (record.opaque_id != 0) append_hex(out, record.opaque_id);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::pair<asn::Asn, RecordState>> expand_asn_records(
+    const DelegationFile& file) {
+  std::vector<std::pair<asn::Asn, RecordState>> out;
+  out.reserve(file.asn_records.size());
+  for (const AsnRecord& record : file.asn_records) {
+    for (std::uint32_t i = 0; i < record.count; ++i) {
+      RecordState state;
+      state.status = record.status;
+      state.registration_date = record.date;
+      state.country = record.country;
+      state.opaque_id = record.opaque_id;
+      out.emplace_back(asn::Asn{record.first.value + i}, state);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  return out;
+}
+
+}  // namespace pl::dele

@@ -1,0 +1,69 @@
+// Whole-file model of an NRO delegation file plus parser and serializer for
+// both the regular and extended formats.
+//
+// Format reference (NRO extended stats format): line types are
+//   version line:  version|registry|serial|records|startdate|enddate|UTCoffset
+//   summary line:  registry|*|type|*|count|summary
+//   record line:   registry|cc|asn|start|value|date|status[|opaque-id]
+// '#'-prefixed lines are comments. Regular files omit the opaque-id and only
+// contain delegated resources.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "delegation/record.hpp"
+
+namespace pl::dele {
+
+struct FileHeader {
+  int version = 2;                  ///< 2 for regular, 2.x tokens accepted
+  asn::Rir registry = asn::Rir::kArin;
+  util::Day serial = 0;             ///< file date (YYYYMMDD serial)
+  std::int64_t record_count = 0;    ///< total records declared
+  util::Day start_date = 0;         ///< first registration date covered
+  util::Day end_date = 0;           ///< last registration date covered
+  std::string utc_offset = "+0000";
+};
+
+/// A parsed delegation file. Only ASN records are modelled in full; ipv4 and
+/// ipv6 record lines are counted but not retained (this study is ASN-level,
+/// paper 8 "Limitations").
+struct DelegationFile {
+  FileHeader header;
+  bool extended = false;
+  std::vector<AsnRecord> asn_records;
+  std::int64_t ipv4_records = 0;
+  std::int64_t ipv6_records = 0;
+};
+
+/// Parser outcome: a file plus non-fatal anomalies encountered. A file is
+/// returned whenever the header parses; record-level garbage is reported in
+/// `warnings` and skipped, matching how a tolerant longitudinal pipeline
+/// must treat 17 years of real files.
+struct ParseResult {
+  bool ok = false;
+  DelegationFile file;
+  std::vector<std::string> warnings;
+  std::string error;  ///< non-empty iff !ok
+};
+
+/// Parse a delegation file blob. `extended` is auto-detected from the
+/// presence of summary lines / opaque ids but can be forced by filename
+/// conventions upstream.
+ParseResult parse_delegation_file(std::string_view text);
+
+/// Serialize to the exact NRO text format. `file.extended` selects the
+/// format; regular serialization drops non-delegated records and opaque ids.
+std::string serialize(const DelegationFile& file);
+
+/// Expand record runs (count > 1) into per-ASN (asn, RecordState) pairs,
+/// sorted by ASN; duplicate ASNs are preserved in file order (AfriNIC's
+/// invalid duplicates, paper 3.1.iv, must survive parsing so restoration can
+/// see them).
+std::vector<std::pair<asn::Asn, RecordState>> expand_asn_records(
+    const DelegationFile& file);
+
+}  // namespace pl::dele

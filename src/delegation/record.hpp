@@ -1,0 +1,106 @@
+// Delegation records: one line of an NRO delegation file, and the per-day
+// record-state / day-delta model the restoration pipeline streams over.
+//
+// Two file formats exist in the wild (paper 2):
+//   * "regular" files (2003/2004-) list only delegated resources
+//     (status allocated/assigned);
+//   * "extended" files (2008/2010-, APNIC format) additionally list
+//     available and reserved resources and carry an opaque organization id.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asn/asn.hpp"
+#include "asn/country.hpp"
+#include "asn/rir.hpp"
+#include "util/date.hpp"
+
+namespace pl::dele {
+
+/// Resource status in a delegation file.
+enum class Status : std::uint8_t {
+  kAllocated,  ///< delegated to an organization (LIR/ISP)
+  kAssigned,   ///< delegated to an end-user organization
+  kAvailable,  ///< in the RIR free pool (extended files only)
+  kReserved,   ///< quarantined / held (extended files only)
+};
+
+std::string_view status_token(Status status) noexcept;
+std::optional<Status> parse_status(std::string_view token) noexcept;
+
+/// True for the two statuses that mean "delegated to an organization"; the
+/// administrative-life analysis treats allocated and assigned identically.
+constexpr bool is_delegated(Status status) noexcept {
+  return status == Status::kAllocated || status == Status::kAssigned;
+}
+
+/// One ASN record line of a delegation file. Files may aggregate runs of
+/// consecutive ASNs into a single line via `count`.
+struct AsnRecord {
+  asn::Rir registry = asn::Rir::kArin;
+  asn::CountryCode country;           ///< unknown for available/reserved
+  asn::Asn first;                     ///< first ASN of the run
+  std::uint32_t count = 1;            ///< number of consecutive ASNs
+  std::optional<util::Day> date;      ///< registration date; often absent for
+                                      ///< available/reserved records
+  Status status = Status::kAllocated;
+  std::uint64_t opaque_id = 0;        ///< organization handle (extended only;
+                                      ///< 0 = none)
+
+  friend bool operator==(const AsnRecord&, const AsnRecord&) = default;
+};
+
+/// The per-ASN state that matters to the administrative analysis: what one
+/// file says about one ASN on one day.
+struct RecordState {
+  Status status = Status::kAllocated;
+  std::optional<util::Day> registration_date;
+  asn::CountryCode country;
+  std::uint64_t opaque_id = 0;
+
+  friend bool operator==(const RecordState&, const RecordState&) = default;
+};
+
+/// A change between two consecutive published files: `state == nullopt`
+/// means the ASN vanished from the file.
+struct RecordChange {
+  asn::Asn asn;
+  std::optional<RecordState> state;
+
+  friend bool operator==(const RecordChange&, const RecordChange&) = default;
+};
+
+/// Availability of a channel (regular or extended file) on a day.
+enum class FileCondition : std::uint8_t {
+  kPresent,       ///< file published and parseable
+  kMissing,       ///< expected but absent from the FTP site (paper 3.1.i)
+  kCorrupt,       ///< present but unusable
+  kNotPublished,  ///< outside the channel's publication era (Table 1)
+};
+
+/// What one channel said on one day, as a delta against its previous
+/// *present* day. Restoration streams these instead of materializing ~100k
+/// records x ~6,400 days.
+struct ChannelDelta {
+  FileCondition condition = FileCondition::kNotPublished;
+  std::vector<RecordChange> changes;
+  /// Publication timestamp within the day; used by the same-day
+  /// reconciliation step (3.1.iii) to decide which file is newest.
+  std::int32_t publish_minute = 0;
+  /// Conflicting duplicate records present in the file *in addition to* the
+  /// record implied by `changes` (AfriNIC's invalid duplicates, 3.1.iv).
+  /// Listed in full on every affected day, not as a delta.
+  std::vector<std::pair<asn::Asn, RecordState>> duplicates;
+};
+
+/// Both channels of one registry for one day.
+struct DayObservation {
+  util::Day day = 0;
+  ChannelDelta extended;
+  ChannelDelta regular;
+};
+
+}  // namespace pl::dele

@@ -1,0 +1,106 @@
+// Bird's-eye statistics (paper 5 and Appendix A): daily per-RIR censuses,
+// birth/death rates, re-allocation shares, duration distributions, country
+// evolution, and the 16/32-bit transition.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "joint/taxonomy.hpp"
+
+namespace pl::joint {
+
+/// Per-day counts over [begin, end] (Fig. 4 / 12 / 13).
+struct DailyCensus {
+  util::Day begin = 0;
+  util::Day end = 0;
+  std::array<std::vector<std::int32_t>, asn::kRirCount> admin_per_rir;
+  std::array<std::vector<std::int32_t>, asn::kRirCount> op_per_rir;
+  std::vector<std::int32_t> admin_overall;
+  std::vector<std::int32_t> op_overall;
+
+  std::size_t days() const noexcept {
+    return static_cast<std::size_t>(end - begin + 1);
+  }
+};
+
+/// Compute the census. Operational counts are attributed to the registry of
+/// the ASN's admin life (ops with no admin life count only toward overall).
+DailyCensus compute_census(const lifetimes::AdminDataset& admin,
+                           const lifetimes::OpDataset& op, util::Day begin,
+                           util::Day end);
+
+/// First day `a`'s count exceeds `b`'s and stays ahead to the end;
+/// -1 if never (the RIPE-overtakes-ARIN crossovers of Fig. 4).
+util::Day crossover_day(const std::vector<std::int32_t>& a,
+                        const std::vector<std::int32_t>& b, util::Day begin);
+
+/// Per-day allocated counts split 16-bit vs 32-bit per RIR (Fig. 12).
+struct WidthCensus {
+  util::Day begin = 0;
+  util::Day end = 0;
+  std::array<std::vector<std::int32_t>, asn::kRirCount> bits16;
+  std::array<std::vector<std::int32_t>, asn::kRirCount> bits32;
+};
+
+WidthCensus compute_width_census(const lifetimes::AdminDataset& admin,
+                                 util::Day begin, util::Day end);
+
+/// Quarterly birth counts and birth-death balance per RIR (Fig. 10 / 11).
+struct QuarterlySeries {
+  std::vector<int> quarter_index;  ///< util::quarter_index values
+  std::array<std::vector<std::int32_t>, asn::kRirCount> births;
+  std::array<std::vector<std::int32_t>, asn::kRirCount> balance;
+};
+
+QuarterlySeries compute_quarterly(const lifetimes::AdminDataset& admin,
+                                  util::Day begin, util::Day end);
+
+/// Table 2: share of ASNs with 1 / 2 / >2 lifetimes per RIR, for both
+/// dimensions.
+struct LivesPerAsnRow {
+  double one = 0;
+  double two = 0;
+  double more = 0;
+  std::int64_t asns = 0;
+};
+
+struct LivesPerAsnTable {
+  std::array<LivesPerAsnRow, asn::kRirCount> admin;
+  std::array<LivesPerAsnRow, asn::kRirCount> op;
+  LivesPerAsnRow admin_total;
+  LivesPerAsnRow op_total;
+};
+
+LivesPerAsnTable compute_lives_per_asn(const lifetimes::AdminDataset& admin,
+                                       const lifetimes::OpDataset& op);
+
+/// Table 4: top countries of one registry by alive allocations on a day.
+struct CountryShareRow {
+  asn::CountryCode country;
+  std::int64_t count = 0;
+  double share = 0;
+};
+
+std::vector<CountryShareRow> country_shares_on(
+    const lifetimes::AdminDataset& admin, asn::Rir rir, util::Day day,
+    std::size_t top_n);
+
+/// Fig. 5 / 9 / 14 source: admin life durations per RIR, optionally
+/// restricted by a predicate on the life index.
+std::array<std::vector<double>, asn::kRirCount> durations_per_rir(
+    const lifetimes::AdminDataset& admin);
+
+/// Fig. 14: per (RIR, birth year) duration samples and new-allocation
+/// counts.
+struct BirthYearStats {
+  int first_year = 0;
+  /// [rir][year - first_year] -> durations
+  std::array<std::vector<std::vector<double>>, asn::kRirCount> durations;
+  std::array<std::vector<std::int32_t>, asn::kRirCount> births;
+};
+
+BirthYearStats compute_birth_year_stats(const lifetimes::AdminDataset& admin,
+                                        int first_year, int last_year);
+
+}  // namespace pl::joint

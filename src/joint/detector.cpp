@@ -1,0 +1,82 @@
+#include "joint/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pl::joint {
+
+double SquatScorer::score(const SquatFeatures& features) const noexcept {
+  double score = 0;
+  score += config_.w_dormancy * (features.dormancy_days / 1000.0);
+  score += config_.w_short_duration *
+           std::max(0.0, 1.0 - features.relative_duration);
+  const double spike =
+      std::log2(std::max(1.0, features.prefix_volume) /
+                std::max(1.0, features.historical_volume));
+  score += config_.w_volume_spike * std::max(0.0, spike);
+  if (features.foreign_prefixes) score += config_.w_foreign_prefixes;
+  if (features.factory_upstream) score += config_.w_factory_upstream;
+  if (features.outside_delegation) score += config_.w_outside_delegation;
+  return score;
+}
+
+namespace {
+
+void sort_by_score(std::vector<ScoredCandidate>& scored) {
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredCandidate& a, const ScoredCandidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.asn < b.asn;  // deterministic tie-break
+            });
+}
+
+}  // namespace
+
+std::vector<PrPoint> precision_recall(std::vector<ScoredCandidate> scored,
+                                      std::size_t points) {
+  std::vector<PrPoint> curve;
+  if (scored.empty()) return curve;
+  sort_by_score(scored);
+
+  std::int64_t total_positive = 0;
+  for (const ScoredCandidate& candidate : scored)
+    if (candidate.malicious) ++total_positive;
+  if (total_positive == 0) return curve;
+
+  const std::size_t stride = std::max<std::size_t>(1, scored.size() / points);
+  std::int64_t true_positive = 0;
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    if (scored[i].malicious) ++true_positive;
+    const bool last = i + 1 == scored.size();
+    if ((i + 1) % stride != 0 && !last) continue;
+    PrPoint point;
+    point.threshold = scored[i].score;
+    point.flagged = static_cast<std::int64_t>(i + 1);
+    point.precision = static_cast<double>(true_positive) /
+                      static_cast<double>(i + 1);
+    point.recall = static_cast<double>(true_positive) /
+                   static_cast<double>(total_positive);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+double average_precision(std::vector<ScoredCandidate> scored) {
+  if (scored.empty()) return 0;
+  sort_by_score(scored);
+  std::int64_t total_positive = 0;
+  for (const ScoredCandidate& candidate : scored)
+    if (candidate.malicious) ++total_positive;
+  if (total_positive == 0) return 0;
+
+  double sum = 0;
+  std::int64_t true_positive = 0;
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    if (!scored[i].malicious) continue;
+    ++true_positive;
+    sum += static_cast<double>(true_positive) / static_cast<double>(i + 1);
+  }
+  return sum / static_cast<double>(total_positive);
+}
+
+}  // namespace pl::joint

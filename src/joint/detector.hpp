@@ -1,0 +1,75 @@
+// Squat scoring — the detection methodology the paper leaves as future work
+// (9): combine the joint-lens features (dormancy, relative duration) with
+// operational evidence (prefix-volume spikes, foreign-prefix announcements,
+// hijack-factory upstreams) into a single score, and evaluate it as a
+// ranking problem against labels.
+//
+// Feature extraction is decoupled from scoring: the joint lens supplies
+// dormancy/duration; the caller supplies the BGP-derived features (from
+// RouteGenerator in simulations, from BGPStream in deployments).
+#pragma once
+
+#include <vector>
+
+#include "joint/squat.hpp"
+
+namespace pl::joint {
+
+/// Features of one candidate operational life.
+struct SquatFeatures {
+  double dormancy_days = 0;        ///< inactivity before the awakening
+  double relative_duration = 1;    ///< op life / admin life duration
+  double prefix_volume = 0;        ///< distinct prefixes per day announced
+  double historical_volume = 0;    ///< the ASN's typical prefixes per day
+  bool foreign_prefixes = false;   ///< announces space it never originated
+  bool factory_upstream = false;   ///< first hop is a known hijack factory
+  bool outside_delegation = false; ///< op life outside any admin life
+};
+
+/// Linear scoring weights; defaults hand-tuned on the simulator (the paper
+/// proposes exactly these signals as "classification features").
+struct ScorerConfig {
+  double w_dormancy = 1.0;          ///< per 1000 days of dormancy
+  double w_short_duration = 1.5;    ///< (1 - relative_duration)
+  double w_volume_spike = 2.0;      ///< log2(volume / max(1, historical))
+  double w_foreign_prefixes = 3.0;
+  double w_factory_upstream = 3.0;
+  double w_outside_delegation = 1.5;
+};
+
+class SquatScorer {
+ public:
+  explicit SquatScorer(ScorerConfig config = {}) : config_(config) {}
+
+  double score(const SquatFeatures& features) const noexcept;
+
+ private:
+  ScorerConfig config_;
+};
+
+/// A scored candidate with its label (when ground truth is available).
+struct ScoredCandidate {
+  asn::Asn asn;
+  std::size_t op_index = 0;
+  SquatFeatures features;
+  double score = 0;
+  bool malicious = false;  ///< ground-truth label (evaluation only)
+};
+
+/// One precision/recall operating point.
+struct PrPoint {
+  double threshold = 0;
+  double precision = 0;
+  double recall = 0;
+  std::int64_t flagged = 0;
+};
+
+/// Sweep thresholds over the scored candidates (descending score) and
+/// report the precision/recall curve. `points` caps the curve length.
+std::vector<PrPoint> precision_recall(std::vector<ScoredCandidate> scored,
+                                      std::size_t points = 20);
+
+/// Area under the precision-recall curve (average precision).
+double average_precision(std::vector<ScoredCandidate> scored);
+
+}  // namespace pl::joint

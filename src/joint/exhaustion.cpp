@@ -1,0 +1,35 @@
+#include "joint/exhaustion.hpp"
+
+namespace pl::joint {
+
+ExhaustionAnalysis analyze_16bit_exhaustion(const WidthCensus& census) {
+  ExhaustionAnalysis analysis;
+
+  const std::size_t days = census.bits16[0].size();
+  std::vector<std::int32_t> global(days, 0);
+  for (std::size_t r = 0; r < asn::kRirCount; ++r) {
+    for (std::size_t d = 0; d < days; ++d) {
+      global[d] += census.bits16[r][d];
+      if (census.bits16[r][d] > analysis.peak_count[r]) {
+        analysis.peak_count[r] = census.bits16[r][d];
+        analysis.peak_day[r] = census.begin + static_cast<util::Day>(d);
+      }
+    }
+  }
+  for (std::size_t d = 0; d < days; ++d)
+    if (global[d] > analysis.global_peak_count) {
+      analysis.global_peak_count = global[d];
+      analysis.global_peak_day = census.begin + static_cast<util::Day>(d);
+    }
+
+  // Allocatable 16-bit universe: 1..64495 (AS0 unusable; 64496..65535 are
+  // documentation/private/last-ASN reservations; 23456 is AS_TRANS).
+  std::int32_t universe = 0;
+  for (std::uint32_t v = 1; v < 65536; ++v)
+    if (!asn::is_bogon(asn::Asn{v}) && v != 23456) ++universe;
+  analysis.allocatable_universe = universe;
+  analysis.available_at_peak = universe - analysis.global_peak_count;
+  return analysis;
+}
+
+}  // namespace pl::joint

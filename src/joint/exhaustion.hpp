@@ -1,0 +1,34 @@
+// 16-bit ASN exhaustion analysis (paper Appendix A): when each registry's
+// 16-bit allocation count peaked, the global maximum, and how many 16-bit
+// numbers remained allocatable at that moment.
+#pragma once
+
+#include <array>
+
+#include "joint/birdseye.hpp"
+
+namespace pl::joint {
+
+struct ExhaustionAnalysis {
+  /// Day each RIR's 16-bit allocated count peaked, and the peak value.
+  std::array<util::Day, asn::kRirCount> peak_day{};
+  std::array<std::int32_t, asn::kRirCount> peak_count{};
+
+  /// Global 16-bit peak across all registries combined (paper: 60,455 on
+  /// January 23, 2019).
+  util::Day global_peak_day = 0;
+  std::int32_t global_peak_count = 0;
+
+  /// Allocatable 16-bit numbers never allocated at the global peak
+  /// (universe minus RFC-reserved minus allocated; paper: 4,039 available).
+  std::int32_t available_at_peak = 0;
+
+  /// Size of the allocatable 16-bit universe (excludes AS0, the RFC
+  /// 5398/6996/7300 reservations and AS_TRANS).
+  std::int32_t allocatable_universe = 0;
+};
+
+/// Compute from a width census (Fig. 12's data).
+ExhaustionAnalysis analyze_16bit_exhaustion(const WidthCensus& census);
+
+}  // namespace pl::joint

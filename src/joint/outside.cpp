@@ -1,0 +1,122 @@
+#include "joint/outside.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_set>
+
+namespace pl::joint {
+
+namespace {
+
+constexpr std::string_view kKindNames[] = {"prepend-typo", "digit-typo",
+                                           "internal-leak", "unclassified"};
+
+/// If `spelling` is some allocated ASN's spelling doubled, return that ASN.
+std::optional<asn::Asn> doubled_source(
+    const std::string& spelling,
+    const std::unordered_set<std::uint32_t>& allocated) {
+  if (spelling.size() % 2 != 0) return std::nullopt;
+  const std::string half = spelling.substr(0, spelling.size() / 2);
+  if (spelling.compare(half.size(), half.size(), half) != 0)
+    return std::nullopt;
+  const auto source = asn::parse_asn(half);
+  if (source && allocated.contains(source->value)) return source;
+  return std::nullopt;
+}
+
+/// Any allocated ASN whose spelling is one edit (substitute, insert,
+/// delete) away from `spelling`.
+std::optional<asn::Asn> edit1_source(
+    const std::string& spelling,
+    const std::unordered_set<std::uint32_t>& allocated) {
+  const auto check = [&](const std::string& candidate)
+      -> std::optional<asn::Asn> {
+    if (candidate.empty() || candidate[0] == '0') return std::nullopt;
+    const auto parsed = asn::parse_asn(candidate);
+    if (parsed && allocated.contains(parsed->value)) return parsed;
+    return std::nullopt;
+  };
+  // Substitutions.
+  for (std::size_t i = 0; i < spelling.size(); ++i) {
+    std::string candidate = spelling;
+    for (char d = '0'; d <= '9'; ++d) {
+      if (d == spelling[i]) continue;
+      candidate[i] = d;
+      if (const auto hit = check(candidate)) return hit;
+    }
+  }
+  // Deletions (the bogus has one digit too many).
+  for (std::size_t i = 0; i < spelling.size(); ++i) {
+    std::string candidate = spelling;
+    candidate.erase(i, 1);
+    if (const auto hit = check(candidate)) return hit;
+  }
+  // Insertions (the bogus dropped a digit).
+  for (std::size_t i = 0; i <= spelling.size(); ++i)
+    for (char d = '0'; d <= '9'; ++d) {
+      std::string candidate = spelling;
+      candidate.insert(i, 1, d);
+      if (const auto hit = check(candidate)) return hit;
+    }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string_view never_allocated_kind_name(NeverAllocatedKind kind) noexcept {
+  return kKindNames[static_cast<std::size_t>(kind)];
+}
+
+OutsideAnalysis analyze_never_allocated(const Taxonomy& taxonomy,
+                                        const lifetimes::AdminDataset& admin,
+                                        const lifetimes::OpDataset& op) {
+  OutsideAnalysis analysis;
+
+  std::unordered_set<std::uint32_t> allocated;
+  int max_digits = 1;
+  for (const lifetimes::AdminLifetime& life : admin.lifetimes) {
+    allocated.insert(life.asn.value);
+    max_digits = std::max(max_digits, asn::digit_count(life.asn));
+  }
+  analysis.max_allocated_digits = max_digits;
+
+  // Aggregate active days per never-allocated ASN.
+  std::map<std::uint32_t, std::int64_t> active_days;
+  for (std::size_t o = 0; o < op.lifetimes.size(); ++o) {
+    if (taxonomy.op_category[o] != Category::kOutsideDelegation) continue;
+    const lifetimes::OpLifetime& life = op.lifetimes[o];
+    if (asn::is_bogon(life.asn)) continue;
+    if (allocated.contains(life.asn.value)) continue;
+    active_days[life.asn.value] += life.days.length();
+  }
+
+  for (const auto& [asn_value, days] : active_days) {
+    NeverAllocatedFinding finding;
+    finding.asn = asn::Asn{asn_value};
+    finding.active_days = days;
+
+    // Typo relations take priority: a doubled spelling has more digits than
+    // any allocated ASN but is a prepending mistake, not an internal-use
+    // leak (the paper's AS3202632026 case).
+    const std::string spelling = asn::to_string(finding.asn);
+    if (const auto doubled = doubled_source(spelling, allocated)) {
+      finding.kind = NeverAllocatedKind::kPrependTypo;
+      finding.imitated = doubled;
+    } else if (const auto neighbour = edit1_source(spelling, allocated)) {
+      finding.kind = NeverAllocatedKind::kDigitTypo;
+      finding.imitated = neighbour;
+    } else if (asn::digit_count(finding.asn) > max_digits) {
+      finding.kind = NeverAllocatedKind::kInternalLeak;
+      ++analysis.large_asn_count;
+    }
+
+    if (days > 1) ++analysis.active_over_1day;
+    if (days > 31) ++analysis.active_over_1month;
+    if (days > 365) ++analysis.active_over_1year;
+    analysis.never_allocated.push_back(std::move(finding));
+  }
+  return analysis;
+}
+
+}  // namespace pl::joint

@@ -1,0 +1,48 @@
+// Never-allocated origin analysis (paper 6.4): classifying BGP activity by
+// ASNs that no RIR ever delegated — prepending typos, one-digit typos, and
+// very large internal-use ASNs leaking to the global table.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "joint/taxonomy.hpp"
+
+namespace pl::joint {
+
+enum class NeverAllocatedKind : std::uint8_t {
+  kPrependTypo,   ///< decimal spelling is an allocated ASN repeated twice
+  kDigitTypo,     ///< one edit away from an allocated ASN's spelling
+  kInternalLeak,  ///< more digits than the largest ever-allocated ASN
+  kUnclassified,
+};
+
+std::string_view never_allocated_kind_name(NeverAllocatedKind kind) noexcept;
+
+struct NeverAllocatedFinding {
+  asn::Asn asn;
+  NeverAllocatedKind kind = NeverAllocatedKind::kUnclassified;
+  std::optional<asn::Asn> imitated;  ///< the legitimate ASN (typo classes)
+  std::int64_t active_days = 0;      ///< total BGP activity duration
+};
+
+struct OutsideAnalysis {
+  std::vector<NeverAllocatedFinding> never_allocated;
+  /// Duration ladder for never-allocated ASNs (paper: 427 > 1 day,
+  /// 186 > 1 month, 15 > 1 year).
+  std::int64_t active_over_1day = 0;
+  std::int64_t active_over_1month = 0;
+  std::int64_t active_over_1year = 0;
+  /// ASNs with more digits than the largest allocated one (paper: 472).
+  std::int64_t large_asn_count = 0;
+  int max_allocated_digits = 0;
+};
+
+/// Classify every never-allocated ASN in the outside-delegation category.
+/// Typo matching tests the doubled-spelling decomposition and all
+/// edit-distance-1 spellings against the set of ever-allocated ASNs.
+OutsideAnalysis analyze_never_allocated(const Taxonomy& taxonomy,
+                                        const lifetimes::AdminDataset& admin,
+                                        const lifetimes::OpDataset& op);
+
+}  // namespace pl::joint

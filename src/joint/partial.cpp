@@ -1,0 +1,53 @@
+#include "joint/partial.hpp"
+
+namespace pl::joint {
+
+PartialOverlapAnalysis analyze_partial_overlap(
+    const Taxonomy& taxonomy, const lifetimes::AdminDataset& admin,
+    const lifetimes::OpDataset& op) {
+  PartialOverlapAnalysis analysis;
+
+  for (std::size_t a = 0; a < admin.lifetimes.size(); ++a) {
+    if (taxonomy.admin_category[a] != Category::kPartialOverlap) continue;
+    ++analysis.partial_admin_lives;
+    const lifetimes::AdminLifetime& life = admin.lifetimes[a];
+
+    bool dangles = false;
+    bool early = false;
+    bool before_regdate = false;
+    std::int64_t max_tail = 0;
+    std::int64_t max_lead = 0;
+    for (const std::size_t o : taxonomy.admin_to_ops[a]) {
+      const lifetimes::OpLifetime& op_life = op.lifetimes[o];
+      if (op_life.days.last > life.days.last) {
+        dangles = true;
+        max_tail = std::max<std::int64_t>(
+            max_tail, op_life.days.last - life.days.last);
+      }
+      if (op_life.days.first < life.days.first &&
+          taxonomy.op_to_admin[o] == static_cast<std::int64_t>(a)) {
+        // Only ops that primarily belong to this life count as its early
+        // start — a dangling tail from the ASN's previous allocation
+        // crossing into this one is that life's dangling announcement, not
+        // this life's early start.
+        early = true;
+        max_lead = std::max<std::int64_t>(
+            max_lead, life.days.first - op_life.days.first);
+        if (op_life.days.first < life.registration_date)
+          before_regdate = true;
+      }
+    }
+    if (dangles) {
+      ++analysis.dangling_lives;
+      analysis.dangling_days.push_back(static_cast<double>(max_tail));
+    }
+    if (early) {
+      ++analysis.early_starts;
+      analysis.early_days.push_back(static_cast<double>(max_lead));
+      if (before_regdate) ++analysis.early_before_regdate;
+    }
+  }
+  return analysis;
+}
+
+}  // namespace pl::joint

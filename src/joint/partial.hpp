@@ -1,0 +1,30 @@
+// Partial-overlap analysis (paper 6.2): dangling announcements past
+// deallocation and operational starts before the published allocation.
+#pragma once
+
+#include <vector>
+
+#include "joint/taxonomy.hpp"
+
+namespace pl::joint {
+
+struct PartialOverlapAnalysis {
+  /// Admin lives whose op life continues beyond deallocation (paper: 2,840,
+  /// 64% of the category) and by how many days.
+  std::int64_t dangling_lives = 0;
+  std::vector<double> dangling_days;
+
+  /// ASNs announcing before allocation (paper: 1,594) and the subset also
+  /// before the registration date (631). Mismatches last a few days.
+  std::int64_t early_starts = 0;
+  std::int64_t early_before_regdate = 0;
+  std::vector<double> early_days;
+
+  std::int64_t partial_admin_lives = 0;  ///< category size
+};
+
+PartialOverlapAnalysis analyze_partial_overlap(
+    const Taxonomy& taxonomy, const lifetimes::AdminDataset& admin,
+    const lifetimes::OpDataset& op);
+
+}  // namespace pl::joint

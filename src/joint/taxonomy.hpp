@@ -1,0 +1,68 @@
+// The joint admin/operational taxonomy (paper 6, Fig. 6, Table 3): every
+// administrative life is exactly one of {complete overlap, partial overlap,
+// unused}; every operational life is exactly one of {complete overlap,
+// partial overlap, outside delegation}.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "lifetimes/admin.hpp"
+#include "lifetimes/op.hpp"
+
+namespace pl::joint {
+
+enum class Category : std::uint8_t {
+  kCompleteOverlap,    ///< 6.1 — op life(s) entirely within the admin life
+  kPartialOverlap,     ///< 6.2 — an op life crosses the admin boundary
+  kUnused,             ///< 6.3 — admin life with no overlapping op life
+  kOutsideDelegation,  ///< 6.4 — op life with no overlapping admin life
+};
+
+std::string_view category_name(Category category) noexcept;
+
+/// Classification of both datasets plus the cross-links needed by the
+/// downstream 6.x analyses.
+struct Taxonomy {
+  /// Category per admin life (never kOutsideDelegation).
+  std::vector<Category> admin_category;
+  /// Category per op life (never kUnused).
+  std::vector<Category> op_category;
+  /// For each op life, the admin life (index) it overlaps most, -1 if none.
+  std::vector<std::int64_t> op_to_admin;
+  /// For each admin life, the indices of op lives overlapping it.
+  std::vector<std::vector<std::size_t>> admin_to_ops;
+
+  /// Table 3 counters.
+  std::array<std::int64_t, 4> admin_counts{};  ///< by Category
+  std::array<std::int64_t, 4> op_counts{};
+
+  std::int64_t total_admin() const noexcept {
+    return admin_counts[0] + admin_counts[1] + admin_counts[2];
+  }
+  std::int64_t total_op() const noexcept {
+    return op_counts[0] + op_counts[1] + op_counts[3];
+  }
+};
+
+/// Classify. An op life is "complete" if fully inside some admin life of
+/// the same ASN, "partial" if it overlaps one but crosses its boundary,
+/// "outside" if it overlaps none. An admin life is "partial" if any op life
+/// crosses its boundary, else "complete" if any op life lies inside, else
+/// "unused".
+Taxonomy classify(const lifetimes::AdminDataset& admin,
+                  const lifetimes::OpDataset& op);
+
+/// ASNs in the outside-delegation category split the way the paper does:
+/// ever-allocated (799 in the paper) vs never-allocated (868).
+struct OutsideSplit {
+  std::vector<asn::Asn> ever_allocated;
+  std::vector<asn::Asn> never_allocated;
+};
+
+OutsideSplit split_outside(const Taxonomy& taxonomy,
+                           const lifetimes::AdminDataset& admin,
+                           const lifetimes::OpDataset& op);
+
+}  // namespace pl::joint

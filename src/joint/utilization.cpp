@@ -1,0 +1,60 @@
+#include "joint/utilization.hpp"
+
+#include <algorithm>
+
+namespace pl::joint {
+
+UtilizationAnalysis analyze_utilization(const Taxonomy& taxonomy,
+                                        const lifetimes::AdminDataset& admin,
+                                        const lifetimes::OpDataset& op) {
+  UtilizationAnalysis analysis;
+
+  for (std::size_t a = 0; a < admin.lifetimes.size(); ++a) {
+    const lifetimes::AdminLifetime& life = admin.lifetimes[a];
+    const std::size_t rir = asn::index_of(life.registry);
+
+    if (taxonomy.admin_category[a] != Category::kCompleteOverlap) continue;
+
+    // Contained op lives, in start order.
+    std::vector<const lifetimes::OpLifetime*> contained;
+    for (const std::size_t o : taxonomy.admin_to_ops[a])
+      if (life.days.contains(op.lifetimes[o].days))
+        contained.push_back(&op.lifetimes[o]);
+    std::sort(contained.begin(), contained.end(),
+              [](const auto* x, const auto* y) {
+                return x->days.first < y->days.first;
+              });
+    if (contained.empty()) continue;
+
+    std::int64_t used = 0;
+    for (const auto* op_life : contained) used += op_life->days.length();
+    analysis.ratios.push_back(static_cast<double>(used) /
+                              static_cast<double>(life.days.length()));
+    analysis.op_lives_per_admin.push_back(static_cast<int>(contained.size()));
+    if (contained.size() > 10)
+      analysis.hyperactive_asns.push_back(life.asn);
+
+    // Activation delay: allocation -> first activity.
+    analysis.activation_delay_days[rir].push_back(static_cast<double>(
+        contained.front()->days.first - life.days.first));
+
+    // Deallocation lag: last activity -> deallocation, for closed lives
+    // only (the paper excludes lives reaching the end of the time frame).
+    if (!life.open_ended)
+      analysis.dealloc_lag_days[rir].push_back(static_cast<double>(
+          life.days.last - contained.back()->days.last));
+
+    // Largely-spaced op lives.
+    if (contained.size() >= 2) {
+      ++analysis.multi_op_lives;
+      bool spaced = false;
+      for (std::size_t i = 1; i < contained.size(); ++i)
+        if (contained[i]->days.first - contained[i - 1]->days.last - 1 > 365)
+          spaced = true;
+      if (spaced) ++analysis.largely_spaced_lives;
+    }
+  }
+  return analysis;
+}
+
+}  // namespace pl::joint

@@ -1,0 +1,192 @@
+#include "lifetimes/admin.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace pl::lifetimes {
+
+namespace {
+
+using restore::StateSpan;
+using util::Day;
+using util::DayInterval;
+
+/// A delegated span tagged with its registry, plus what filled the gap
+/// before it in the same registry's timeline.
+struct Piece {
+  DayInterval days;
+  asn::Rir rir;
+  Day registration_date;
+  asn::CountryCode country;
+  std::uint64_t opaque_id;
+  /// True when the same registry reported `reserved` for the entire gap
+  /// between the previous delegated span and this one (never `available`) —
+  /// the AfriNIC-exception precondition.
+  bool gap_was_reserved_only = false;
+};
+
+}  // namespace
+
+void AdminDataset::index() {
+  by_asn.clear();
+  std::sort(lifetimes.begin(), lifetimes.end(),
+            [](const AdminLifetime& a, const AdminLifetime& b) {
+              if (a.asn != b.asn) return a.asn < b.asn;
+              return a.days.first < b.days.first;
+            });
+  for (std::size_t i = 0; i < lifetimes.size(); ++i)
+    by_asn[lifetimes[i].asn.value].push_back(i);
+}
+
+AdminDataset build_admin_lifetimes(const restore::RestoredArchive& archive,
+                                   util::Day archive_end,
+                                   const AdminBuildConfig& config) {
+  AdminDataset dataset;
+  dataset.archive_end = archive_end;
+
+  // Each registry's first observed day (its first published file): lives
+  // already present in the first file are backdated to their registration
+  // date — the paper's lifetimes reach back to 1992 through this field
+  // (Fig. 10), since the archive cannot witness their true start.
+  std::array<util::Day, asn::kRirCount> first_observed;
+  first_observed.fill(archive_end);
+  for (const restore::RestoredRegistry& registry : archive.registries) {
+    auto& first = first_observed[asn::index_of(registry.rir)];
+    for (const auto& [asn, spans] : registry.spans)
+      for (const restore::StateSpan& span : spans)
+        first = std::min(first, span.days.first);
+  }
+
+  // Gather delegated pieces per ASN across registries.
+  std::map<std::uint32_t, std::vector<Piece>> pieces_by_asn;
+  for (const restore::RestoredRegistry& registry : archive.registries) {
+    for (const auto& [asn, spans] : registry.spans) {
+      std::optional<std::size_t> previous_delegated;
+      for (std::size_t s = 0; s < spans.size(); ++s) {
+        const StateSpan& span = spans[s];
+        if (!dele::is_delegated(span.state.status)) continue;
+        Piece piece;
+        piece.days = span.days;
+        piece.rir = registry.rir;
+        piece.registration_date =
+            span.state.registration_date.value_or(span.days.first);
+        piece.country = span.state.country;
+        piece.opaque_id = span.state.opaque_id;
+        // Inspect the gap back to the previous delegated span within this
+        // registry: reserved-only gaps trigger the AfriNIC exception.
+        if (previous_delegated) {
+          bool reserved_only = true;
+          bool covered = true;
+          Day cursor = spans[*previous_delegated].days.last + 1;
+          for (std::size_t g = *previous_delegated + 1; g < s; ++g) {
+            if (dele::is_delegated(spans[g].state.status)) continue;
+            if (spans[g].days.first > cursor) covered = false;
+            if (spans[g].state.status != dele::Status::kReserved)
+              reserved_only = false;
+            cursor = std::max<Day>(cursor, spans[g].days.last + 1);
+          }
+          if (cursor < piece.days.first) covered = false;
+          piece.gap_was_reserved_only = reserved_only && covered &&
+                                        cursor == piece.days.first;
+        }
+        // Backdate first-file lives to their registration date.
+        if (piece.days.first == first_observed[asn::index_of(registry.rir)] &&
+            piece.registration_date < piece.days.first)
+          piece.days.first = piece.registration_date;
+        previous_delegated = s;
+        pieces_by_asn[asn].push_back(piece);
+      }
+    }
+  }
+
+  for (auto& [asn_value, pieces] : pieces_by_asn) {
+    std::sort(pieces.begin(), pieces.end(),
+              [](const Piece& a, const Piece& b) {
+                return a.days.first < b.days.first;
+              });
+
+    AdminLifetime current;
+    asn::Rir tail_rir = asn::Rir::kArin;  ///< registry of the last piece
+    bool open = false;
+
+    const auto flush = [&] {
+      if (!open) return;
+      current.open_ended = current.days.last >= archive_end;
+      dataset.lifetimes.push_back(current);
+      open = false;
+    };
+
+    for (const Piece& piece : pieces) {
+      if (!open) {
+        current = AdminLifetime{};
+        current.asn = asn::Asn{asn_value};
+        current.registration_date = piece.registration_date;
+        current.days = piece.days;
+        current.registry = piece.rir;
+        current.country = piece.country;
+        current.opaque_id = piece.opaque_id;
+        tail_rir = piece.rir;
+        open = true;
+        continue;
+      }
+
+      const Day gap = static_cast<Day>(piece.days.first) -
+                      current.days.last - 1;
+      bool merge = false;
+      if (piece.rir == tail_rir) {  // same-registry continuation rules
+        if (gap <= 0) {
+          // Continuously allocated; a registration-date change here is an
+          // administrative correction (same life).
+          merge = true;
+        } else if (piece.registration_date == current.registration_date) {
+          // Returned to the previous owner after reserved/disappearance.
+          merge = true;
+        } else if (piece.rir == asn::Rir::kAfrinic &&
+                   piece.gap_was_reserved_only) {
+          // AfriNIC exception: reserved -> allocated without available is a
+          // re-allocation to the same holder even with a new date.
+          merge = true;
+        }
+      } else {
+        // Cross-registry: inter-RIR transfer iff gap-free.
+        if (gap <= config.transfer_gap_tolerance) {
+          merge = true;
+          current.transferred = true;
+        }
+      }
+
+      if (merge) {
+        current.days.last = std::max<Day>(current.days.last, piece.days.last);
+        if (gap <= 0) {
+          // Continuously allocated with a changed date: an administrative
+          // correction — the newest reported date is authoritative (4.1).
+          current.registration_date = piece.registration_date;
+        } else {
+          // Reserved-gap / AfriNIC-exception merges keep the life's
+          // original date (all RIRs but AfriNIC preserve it; for AfriNIC
+          // the paper still counts one life under the original).
+          current.registration_date =
+              std::min(current.registration_date, piece.registration_date);
+        }
+        tail_rir = piece.rir;
+      } else {
+        flush();
+        current = AdminLifetime{};
+        current.asn = asn::Asn{asn_value};
+        current.registration_date = piece.registration_date;
+        current.days = piece.days;
+        current.registry = piece.rir;
+        current.country = piece.country;
+        current.opaque_id = piece.opaque_id;
+        tail_rir = piece.rir;
+        open = true;
+      }
+    }
+    flush();
+  }
+
+  dataset.index();
+  return dataset;
+}
+
+}  // namespace pl::lifetimes

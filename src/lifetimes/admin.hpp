@@ -1,0 +1,56 @@
+// Administrative lifetime inference (paper 4.1): turning restored per-RIR
+// status spans into ASN allocation lifetimes, applying the merge rules:
+//
+//   * reserved interruption (or disappearance in the regular-file era)
+//     followed by re-allocation with the *same* registration date — same
+//     holder, one life;
+//   * AfriNIC exception — reserved then re-allocated without passing through
+//     available is one life even with a *new* registration date;
+//   * registration-date change while continuously allocated — administrative
+//     correction, one life;
+//   * inter-RIR transfer — one life iff the spans are gap-free across
+//     registries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "restore/types.hpp"
+
+namespace pl::lifetimes {
+
+/// One administrative lifetime (Listing 1 "Administrative Dataset" record).
+struct AdminLifetime {
+  asn::Asn asn;
+  util::Day registration_date = 0;
+  util::DayInterval days;
+  asn::Rir registry = asn::Rir::kArin;  ///< allocating registry
+  asn::CountryCode country;
+  std::uint64_t opaque_id = 0;          ///< holder organization handle
+  bool open_ended = false;              ///< still allocated at archive end
+  bool transferred = false;             ///< crossed registries mid-life
+};
+
+struct AdminBuildConfig {
+  /// Gap tolerance (days) for the inter-RIR transfer merge. The paper
+  /// requires "no gaps"; 0 means strictly adjacent.
+  int transfer_gap_tolerance = 0;
+};
+
+struct AdminDataset {
+  std::vector<AdminLifetime> lifetimes;  ///< sorted by (asn, start)
+  std::map<std::uint32_t, std::vector<std::size_t>> by_asn;
+  util::Day archive_end = 0;
+
+  std::size_t asn_count() const noexcept { return by_asn.size(); }
+
+  void index();
+};
+
+/// Build the administrative dataset from the restored archive.
+AdminDataset build_admin_lifetimes(const restore::RestoredArchive& archive,
+                                   util::Day archive_end,
+                                   const AdminBuildConfig& config = {});
+
+}  // namespace pl::lifetimes

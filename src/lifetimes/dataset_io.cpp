@@ -1,0 +1,69 @@
+#include "lifetimes/dataset_io.hpp"
+
+#include "util/csv.hpp"
+
+namespace pl::lifetimes {
+
+std::string admin_record_json(const AdminLifetime& life) {
+  std::string out;
+  out += "{\"ASN\":";
+  out += asn::to_string(life.asn);
+  out += ",\"regDate\":\"";
+  out += util::format_iso(life.registration_date);
+  out += "\",\"startdate\":\"";
+  out += util::format_iso(life.days.first);
+  out += "\",\"enddate\":\"";
+  out += util::format_iso(life.days.last);
+  out += "\",\"status\":\"allocated\",\"registry\":\"";
+  out += asn::file_token(life.registry);
+  out += "\"}";
+  return out;
+}
+
+std::string op_record_json(const OpLifetime& life) {
+  std::string out;
+  out += "{\"ASN\":";
+  out += asn::to_string(life.asn);
+  out += ",\"startdate\":\"";
+  out += util::format_iso(life.days.first);
+  out += "\",\"enddate\":\"";
+  out += util::format_iso(life.days.last);
+  out += "\"}";
+  return out;
+}
+
+void write_admin_json(std::ostream& out, const AdminDataset& dataset) {
+  for (const AdminLifetime& life : dataset.lifetimes)
+    out << admin_record_json(life) << '\n';
+}
+
+void write_op_json(std::ostream& out, const OpDataset& dataset) {
+  for (const OpLifetime& life : dataset.lifetimes)
+    out << op_record_json(life) << '\n';
+}
+
+void write_admin_csv(std::ostream& out, const AdminDataset& dataset) {
+  util::CsvWriter writer(out);
+  writer.write_row({"asn", "reg_date", "start_date", "end_date", "registry",
+                    "country", "open_ended", "transferred"});
+  for (const AdminLifetime& life : dataset.lifetimes)
+    writer.write_row({asn::to_string(life.asn),
+                      util::format_iso(life.registration_date),
+                      util::format_iso(life.days.first),
+                      util::format_iso(life.days.last),
+                      std::string(asn::file_token(life.registry)),
+                      life.country.to_string(),
+                      life.open_ended ? "1" : "0",
+                      life.transferred ? "1" : "0"});
+}
+
+void write_op_csv(std::ostream& out, const OpDataset& dataset) {
+  util::CsvWriter writer(out);
+  writer.write_row({"asn", "start_date", "end_date"});
+  for (const OpLifetime& life : dataset.lifetimes)
+    writer.write_row({asn::to_string(life.asn),
+                      util::format_iso(life.days.first),
+                      util::format_iso(life.days.last)});
+}
+
+}  // namespace pl::lifetimes

@@ -1,0 +1,30 @@
+// Dataset serialization in the shape the paper publishes (Listing 1):
+// JSON-lines records for administrative and operational lifetimes, plus a
+// CSV form for spreadsheet users.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "lifetimes/admin.hpp"
+#include "lifetimes/op.hpp"
+
+namespace pl::lifetimes {
+
+/// One JSON object per line, fields matching the paper's Listing 1:
+/// {"ASN":..,"regDate":"..","startdate":"..","enddate":"..",
+///  "status":"allocated","registry":".."}
+void write_admin_json(std::ostream& out, const AdminDataset& dataset);
+
+/// {"ASN":..,"startdate":"..","enddate":".."}
+void write_op_json(std::ostream& out, const OpDataset& dataset);
+
+/// CSV with a header row.
+void write_admin_csv(std::ostream& out, const AdminDataset& dataset);
+void write_op_csv(std::ostream& out, const OpDataset& dataset);
+
+/// Single-record renderers (used by examples and tests).
+std::string admin_record_json(const AdminLifetime& life);
+std::string op_record_json(const OpLifetime& life);
+
+}  // namespace pl::lifetimes

@@ -1,0 +1,19 @@
+#include "lifetimes/op.hpp"
+
+namespace pl::lifetimes {
+
+OpDataset build_op_lifetimes(const bgp::ActivityTable& activity,
+                             int timeout_days) {
+  OpDataset dataset;
+  for (const auto& [asn, days] : activity.entries()) {
+    const auto lives = days.coalesce(timeout_days);
+    auto& indices = dataset.by_asn[asn.value];
+    for (const util::DayInterval& life : lives) {
+      indices.push_back(dataset.lifetimes.size());
+      dataset.lifetimes.push_back(OpLifetime{asn, life});
+    }
+  }
+  return dataset;
+}
+
+}  // namespace pl::lifetimes

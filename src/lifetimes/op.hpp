@@ -1,0 +1,34 @@
+// Operational (BGP) lifetime inference (paper 4.2): daily activity runs
+// separated by more than an inactivity timeout become distinct lifetimes.
+// The paper selects 30 days from the sensitivity analysis in Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bgp/activity.hpp"
+#include "util/interval.hpp"
+
+namespace pl::lifetimes {
+
+inline constexpr int kPaperTimeoutDays = 30;
+
+/// One operational lifetime (Listing 1 "Operational Dataset" record).
+struct OpLifetime {
+  asn::Asn asn;
+  util::DayInterval days;
+};
+
+struct OpDataset {
+  std::vector<OpLifetime> lifetimes;  ///< sorted by (asn, start)
+  std::map<std::uint32_t, std::vector<std::size_t>> by_asn;
+
+  std::size_t asn_count() const noexcept { return by_asn.size(); }
+};
+
+/// Coalesce activity runs into lifetimes using `timeout_days`.
+OpDataset build_op_lifetimes(const bgp::ActivityTable& activity,
+                             int timeout_days = kPaperTimeoutDays);
+
+}  // namespace pl::lifetimes

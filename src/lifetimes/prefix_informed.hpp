@@ -1,0 +1,47 @@
+// Prefix-informed operational lifetimes — the refinement the paper's
+// Limitations section (8) sketches: instead of splitting lives on the
+// 30-day inactivity timeout alone, consider *what* the ASN announces.
+//
+//   * a sub-timeout gap still splits two lives when the announced prefix
+//     set changes completely (a re-purposed or squatted ASN resuming with
+//     someone else's space is a new life, even after a short pause);
+//   * a slightly-over-timeout gap does NOT split when the prefix set
+//     resumes unchanged (a long outage of the same network).
+#pragma once
+
+#include <functional>
+#include <set>
+
+#include "bgp/prefix.hpp"
+#include "lifetimes/op.hpp"
+
+namespace pl::lifetimes {
+
+/// Supplies the set of prefixes an ASN originated over a run of active
+/// days. Backed by RouteGenerator in simulations, by prefix-level BGP data
+/// in deployments.
+using PrefixSetProvider = std::function<std::set<bgp::Prefix>(
+    asn::Asn, const util::DayInterval&)>;
+
+struct PrefixInformedConfig {
+  int timeout_days = kPaperTimeoutDays;
+  /// Gaps up to timeout*extend_factor still merge when prefix continuity is
+  /// high.
+  double extend_factor = 3.0;
+  /// Jaccard similarity below which a sub-timeout gap splits anyway.
+  double split_below = 0.1;
+  /// Jaccard similarity at or above which an extended gap merges.
+  double merge_at = 0.6;
+};
+
+/// Like build_op_lifetimes, but consulting prefix continuity across gaps.
+OpDataset build_prefix_informed_lifetimes(const bgp::ActivityTable& activity,
+                                          const PrefixSetProvider& prefixes,
+                                          const PrefixInformedConfig& config
+                                          = {});
+
+/// Jaccard similarity of two prefix sets (1.0 when both empty).
+double prefix_jaccard(const std::set<bgp::Prefix>& a,
+                      const std::set<bgp::Prefix>& b);
+
+}  // namespace pl::lifetimes

@@ -1,0 +1,89 @@
+#include "lifetimes/sensitivity.hpp"
+
+#include <algorithm>
+
+namespace pl::lifetimes {
+
+namespace {
+
+/// All activity gaps (days) across ASNs — the red curve's sample.
+std::vector<std::int64_t> collect_gaps(const bgp::ActivityTable& activity) {
+  std::vector<std::int64_t> gaps;
+  for (const auto& [asn, days] : activity.entries()) {
+    const auto asn_gaps = days.gaps();
+    gaps.insert(gaps.end(), asn_gaps.begin(), asn_gaps.end());
+  }
+  std::sort(gaps.begin(), gaps.end());
+  return gaps;
+}
+
+/// Largest internal activity gap per admin life (and whether the life has
+/// any activity runs at all). A life has <= 1 op life at timeout t iff its
+/// max internal gap is <= t.
+std::vector<std::int64_t> collect_max_internal_gaps(
+    const bgp::ActivityTable& activity, const AdminDataset& admin) {
+  std::vector<std::int64_t> max_gaps;
+  max_gaps.reserve(admin.lifetimes.size());
+  for (const AdminLifetime& life : admin.lifetimes) {
+    const util::IntervalSet* days = activity.activity(life.asn);
+    std::int64_t max_gap = 0;
+    if (days != nullptr) {
+      const auto& runs = days->runs();
+      const util::DayInterval* previous = nullptr;
+      for (const util::DayInterval& run : runs) {
+        if (!run.overlaps(life.days)) {
+          if (run.first > life.days.last) break;
+          continue;
+        }
+        if (previous != nullptr)
+          max_gap = std::max<std::int64_t>(
+              max_gap, static_cast<std::int64_t>(run.first) -
+                           previous->last - 1);
+        previous = &run;
+      }
+    }
+    max_gaps.push_back(max_gap);
+  }
+  std::sort(max_gaps.begin(), max_gaps.end());
+  return max_gaps;
+}
+
+double fraction_at_most(const std::vector<std::int64_t>& sorted,
+                        std::int64_t threshold) {
+  if (sorted.empty()) return 0;
+  const auto it =
+      std::upper_bound(sorted.begin(), sorted.end(), threshold);
+  return static_cast<double>(it - sorted.begin()) /
+         static_cast<double>(sorted.size());
+}
+
+}  // namespace
+
+SensitivityCurves analyze_timeout_sensitivity(
+    const bgp::ActivityTable& activity, const AdminDataset& admin,
+    std::vector<int> timeouts) {
+  SensitivityCurves curves;
+  curves.timeouts = std::move(timeouts);
+  const auto gaps = collect_gaps(activity);
+  const auto max_gaps = collect_max_internal_gaps(activity, admin);
+  curves.gap_cdf.reserve(curves.timeouts.size());
+  curves.one_or_less_cdf.reserve(curves.timeouts.size());
+  for (const int t : curves.timeouts) {
+    curves.gap_cdf.push_back(fraction_at_most(gaps, t));
+    curves.one_or_less_cdf.push_back(fraction_at_most(max_gaps, t));
+  }
+  return curves;
+}
+
+TimeoutChoice evaluate_choice(const bgp::ActivityTable& activity,
+                              const AdminDataset& admin, int timeout) {
+  const SensitivityCurves curves =
+      analyze_timeout_sensitivity(activity, admin, {timeout});
+  TimeoutChoice choice;
+  choice.timeout = timeout;
+  choice.gap_fraction = curves.gap_cdf.front();
+  choice.one_or_less_fraction = curves.one_or_less_cdf.front();
+  return choice;
+}
+
+}  // namespace pl::lifetimes

@@ -1,0 +1,36 @@
+// Timeout sensitivity analysis (paper 4.2 / Fig. 3 / Appendix C): the two
+// curves that justify the 30-day inactivity threshold.
+#pragma once
+
+#include <vector>
+
+#include "bgp/activity.hpp"
+#include "lifetimes/admin.hpp"
+#include "lifetimes/op.hpp"
+
+namespace pl::lifetimes {
+
+struct SensitivityCurves {
+  std::vector<int> timeouts;            ///< x axis
+  std::vector<double> gap_cdf;          ///< fraction of activity gaps <= t
+  std::vector<double> one_or_less_cdf;  ///< fraction of admin lives with
+                                        ///< <= 1 operational life at t
+};
+
+/// Evaluate both Fig. 3 curves over `timeouts` (must be ascending).
+SensitivityCurves analyze_timeout_sensitivity(
+    const bgp::ActivityTable& activity, const AdminDataset& admin,
+    std::vector<int> timeouts);
+
+/// The paper's rule of thumb: the chosen timeout sits near the knee, at the
+/// given fractions of each curve (70.1% of gaps, 83% of admin lives).
+struct TimeoutChoice {
+  int timeout = kPaperTimeoutDays;
+  double gap_fraction = 0;          ///< gap CDF value at the timeout
+  double one_or_less_fraction = 0;  ///< admin-lives CDF value at the timeout
+};
+
+TimeoutChoice evaluate_choice(const bgp::ActivityTable& activity,
+                              const AdminDataset& admin, int timeout);
+
+}  // namespace pl::lifetimes

@@ -1,0 +1,47 @@
+#include "pipeline/pipeline.hpp"
+
+namespace pl::pipeline {
+
+Result run_simulated(const Config& config) {
+  Result result;
+
+  // Administrative ground truth.
+  result.truth = rirsim::build_world(
+      rirsim::WorldConfig{config.seed, config.scale,
+                          asn::archive_begin_day(), asn::archive_end_day()});
+
+  // Operational dimension (behaviours, attacks, misconfigurations) — seeds
+  // derived from the master seed so one knob controls the world.
+  bgpsim::OpWorldConfig operations = config.operations;
+  operations.behavior.seed = config.seed + 1;
+  operations.attacks.seed = config.seed + 2;
+  operations.attacks.scale = config.scale;
+  operations.misconfigs.seed = config.seed + 3;
+  operations.misconfigs.scale = config.scale;
+  result.op_world = bgpsim::build_op_world(result.truth, operations);
+
+  // Delegation archive with every 3.1 defect class, then restoration.
+  rirsim::InjectorConfig injector = config.injector;
+  injector.seed = config.seed + 4;
+  injector.scale = config.scale;
+  const rirsim::SimulatedArchive archive(result.truth, injector);
+  std::array<std::unique_ptr<dele::ArchiveStream>, asn::kRirCount> streams;
+  for (asn::Rir rir : asn::kAllRirs)
+    streams[asn::index_of(rir)] = archive.stream(rir);
+  const rirsim::GroundTruth& truth = result.truth;
+  result.restored = restore::restore_archive(
+      std::move(streams), config.restore, &result.truth.erx,
+      [&truth](asn::Asn a) { return truth.iana.owner(a); },
+      result.truth.archive_begin,
+      config.bgp_hint_for_duplicates ? &result.op_world.activity : nullptr);
+
+  // Both lifetime datasets and the joint lens.
+  result.admin = lifetimes::build_admin_lifetimes(result.restored,
+                                                  result.truth.archive_end);
+  result.op = lifetimes::build_op_lifetimes(result.op_world.activity,
+                                            config.op_timeout_days);
+  result.taxonomy = joint::classify(result.admin, result.op);
+  return result;
+}
+
+}  // namespace pl::pipeline

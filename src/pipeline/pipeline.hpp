@@ -1,0 +1,50 @@
+// The whole study as one call — the paper's Fig. 1 pipeline:
+//
+//   world -> delegation archive (+defects) -> restoration -> admin
+//   lifetimes;  behaviour plans -> BGP activity -> op lifetimes;
+//   joint taxonomy.
+//
+// `run_simulated()` drives everything from the built-in world simulator;
+// deployments against real data assemble the same stages from restored
+// archives (see restore::StreamingRestorer) and a BGPStream-fed
+// VisibilityAggregator instead.
+#pragma once
+
+#include <cstdint>
+
+#include "bgpsim/route_gen.hpp"
+#include "joint/taxonomy.hpp"
+#include "lifetimes/admin.hpp"
+#include "lifetimes/op.hpp"
+#include "restore/pipeline.hpp"
+#include "rirsim/inject.hpp"
+#include "rirsim/world.hpp"
+
+namespace pl::pipeline {
+
+struct Config {
+  std::uint64_t seed = 42;
+  double scale = 1.0;  ///< 1.0 = the paper's scale (~127k admin lifetimes)
+  int op_timeout_days = lifetimes::kPaperTimeoutDays;
+  restore::RestoreConfig restore;
+  rirsim::InjectorConfig injector;      ///< seed/scale overridden from above
+  bgpsim::OpWorldConfig operations;     ///< seeds/scales overridden
+  /// Pass the BGP activity to the restorer as the step-iv disambiguation
+  /// hint (the paper sometimes consulted BGP behaviour for duplicates).
+  bool bgp_hint_for_duplicates = true;
+};
+
+/// Every stage's output, kept alive together.
+struct Result {
+  rirsim::GroundTruth truth;
+  bgpsim::OpWorld op_world;
+  restore::RestoredArchive restored;
+  lifetimes::AdminDataset admin;
+  lifetimes::OpDataset op;
+  joint::Taxonomy taxonomy;
+};
+
+/// Run the full simulated pipeline deterministically.
+Result run_simulated(const Config& config = {});
+
+}  // namespace pl::pipeline

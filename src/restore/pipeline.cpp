@@ -1,0 +1,472 @@
+#include "restore/pipeline.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace pl::restore {
+
+namespace {
+
+using dele::ChannelDelta;
+using dele::DayObservation;
+using dele::FileCondition;
+using dele::RecordChange;
+using dele::RecordState;
+using util::Day;
+using util::DayInterval;
+
+/// Builds per-ASN spans incrementally from effective-state transitions.
+class SpanBuilder {
+ public:
+  void set(std::uint32_t asn, Day day, const RecordState& state) {
+    auto [it, inserted] = open_.try_emplace(asn, Open{day, state});
+    if (!inserted) {
+      if (it->second.state == state) return;  // unchanged, span continues
+      close_one(asn, it->second, day - 1);
+      it->second = Open{day, state};
+    }
+  }
+
+  void clear(std::uint32_t asn, Day day) {
+    const auto it = open_.find(asn);
+    if (it == open_.end()) return;
+    close_one(asn, it->second, day - 1);
+    open_.erase(it);
+  }
+
+  bool is_open(std::uint32_t asn) const noexcept {
+    return open_.contains(asn);
+  }
+
+  const RecordState* open_state(std::uint32_t asn) const noexcept {
+    const auto it = open_.find(asn);
+    return it == open_.end() ? nullptr : &it->second.state;
+  }
+
+  std::map<std::uint32_t, std::vector<StateSpan>> finish(Day last_day) {
+    for (auto& [asn, open] : open_)
+      spans_[asn].push_back(StateSpan{DayInterval{open.since, last_day},
+                                      open.state});
+    open_.clear();
+    for (auto& [asn, list] : spans_)
+      std::sort(list.begin(), list.end(),
+                [](const StateSpan& a, const StateSpan& b) {
+                  return a.days.first < b.days.first;
+                });
+    return std::move(spans_);
+  }
+
+ private:
+  struct Open {
+    Day since;
+    RecordState state;
+  };
+
+  void close_one(std::uint32_t asn, const Open& open, Day last) {
+    if (last >= open.since)
+      spans_[asn].push_back(
+          StateSpan{DayInterval{open.since, last}, open.state});
+  }
+
+  std::unordered_map<std::uint32_t, Open> open_;
+  std::map<std::uint32_t, std::vector<StateSpan>> spans_;
+};
+
+bool in_era(const ChannelDelta& delta) noexcept {
+  return delta.condition != FileCondition::kNotPublished;
+}
+
+bool present(const ChannelDelta& delta) noexcept {
+  return delta.condition == FileCondition::kPresent;
+}
+
+}  // namespace
+
+struct StreamingRestorer::Impl {
+  Impl(asn::Rir rir, const RestoreConfig& restore_config,
+       const ErxDates* erx_dates, const bgp::ActivityTable* hint)
+      : config(restore_config), erx(erx_dates), bgp_hint(hint) {
+    out.rir = rir;
+  }
+
+  RestoreConfig config;
+  const ErxDates* erx;
+  const bgp::ActivityTable* bgp_hint;
+
+  RestoredRegistry out;
+  std::unordered_map<std::uint32_t, RecordState> ext_state;
+  std::unordered_map<std::uint32_t, RecordState> reg_state;
+  // ASNs recently vanished from the extended channel while the regular one
+  // still lists them: day the vanish happened.
+  std::unordered_map<std::uint32_t, Day> ext_vanished_at;
+  // Expiry queue for the recovery grace period.
+  std::map<Day, std::vector<std::uint32_t>> grace_expiry;
+  // First day each ASN was ever seen in any file (step v future-date fix).
+  std::unordered_map<std::uint32_t, Day> first_seen;
+  // Duplicate episodes already counted.
+  std::set<std::uint32_t> counted_duplicates;
+
+  SpanBuilder builder;
+  bool extended_era_started = false;
+  Day last_day = 0;
+
+  // Recompute the effective record for one ASN and apply it to the builder.
+  void resolve(std::uint32_t asn, Day day, bool ext_usable) {
+    RestorationReport& report = out.report;
+    const auto ext_it = ext_state.find(asn);
+    if (extended_era_started && ext_it != ext_state.end()) {
+      builder.set(asn, day, ext_it->second);
+      ext_vanished_at.erase(asn);
+      return;
+    }
+    const auto reg_it = reg_state.find(asn);
+    if (reg_it != reg_state.end()) {
+      if (!extended_era_started) {
+        builder.set(asn, day, reg_it->second);
+        return;
+      }
+      if (!config.recover_from_regular) {
+        builder.clear(asn, day);
+        return;
+      }
+      // Extended era active but the record is only in the regular file:
+      // trust it within the grace window (steps ii/iii).
+      const auto vanish_it = ext_vanished_at.find(asn);
+      if (!ext_usable || vanish_it == ext_vanished_at.end() ||
+          day - vanish_it->second <= config.recovery_grace_days) {
+        if (vanish_it != ext_vanished_at.end())
+          ++report.recovered_from_regular;
+        builder.set(asn, day, reg_it->second);
+        return;
+      }
+      // Grace expired: the disappearance is real despite the stale regular
+      // record.
+      ++report.grace_expired_drops;
+      builder.clear(asn, day);
+      return;
+    }
+    builder.clear(asn, day);
+  }
+
+  void consume(const DayObservation& obs) {
+    RestorationReport& report = out.report;
+    const Day day = obs.day;
+    last_day = day;
+    ++report.days_processed;
+
+    const bool ext_in_era = in_era(obs.extended);
+    const bool reg_in_era = in_era(obs.regular);
+    if (!ext_in_era && !reg_in_era) return;
+    if (ext_in_era && !extended_era_started) extended_era_started = true;
+
+    const bool ext_present = present(obs.extended);
+    const bool reg_present = present(obs.regular);
+
+    if (ext_in_era && obs.extended.condition == FileCondition::kMissing)
+      ++report.files_missing;
+    if (reg_in_era && obs.regular.condition == FileCondition::kMissing)
+      ++report.files_missing;
+    if (obs.extended.condition == FileCondition::kCorrupt ||
+        obs.regular.condition == FileCondition::kCorrupt)
+      ++report.files_corrupt;
+    if (!ext_present && !reg_present && (ext_in_era || reg_in_era)) {
+      // Step i: nothing published today; every open record's state carries
+      // over to bridge the gap.
+      ++report.gap_filled_days;
+      return;
+    }
+
+    std::set<std::uint32_t> touched;
+
+    if (ext_present) {
+      for (const RecordChange& change : obs.extended.changes) {
+        const std::uint32_t asn = change.asn.value;
+        touched.insert(asn);
+        if (change.state) {
+          ext_state[asn] = *change.state;
+          first_seen.try_emplace(asn, day);
+        } else {
+          ext_state.erase(asn);
+          if (reg_state.contains(asn)) {
+            ext_vanished_at[asn] = day;
+            grace_expiry[day + config.recovery_grace_days + 1].push_back(asn);
+          }
+        }
+      }
+      if (obs.extended.publish_minute > obs.regular.publish_minute &&
+          reg_present && !obs.extended.changes.empty())
+        ++report.newest_conflict_days;
+    }
+
+    if (reg_present) {
+      for (const RecordChange& change : obs.regular.changes) {
+        const std::uint32_t asn = change.asn.value;
+        touched.insert(asn);
+        if (change.state) {
+          reg_state[asn] = *change.state;
+          first_seen.try_emplace(asn, day);
+        } else {
+          reg_state.erase(asn);
+        }
+      }
+    }
+
+    // Step iv: duplicate records. Keep the interpretation consistent with
+    // history, consulting BGP activity when history is ambiguous.
+    if (config.resolve_duplicates) {
+      for (const auto& [dup_asn, dup_state] : obs.extended.duplicates) {
+        const std::uint32_t asn = dup_asn.value;
+        const RecordState* current = builder.open_state(asn);
+        bool prefer_duplicate = false;
+        if (current == nullptr) {
+          prefer_duplicate = dele::is_delegated(dup_state.status);
+        } else if (current->status != dup_state.status &&
+                   bgp_hint != nullptr) {
+          // History says `current`; if BGP contradicts it, flip.
+          const util::IntervalSet* activity = bgp_hint->activity(dup_asn);
+          const bool active = activity != nullptr && activity->contains(day);
+          if (active && !dele::is_delegated(current->status) &&
+              dele::is_delegated(dup_state.status))
+            prefer_duplicate = true;
+        }
+        if (prefer_duplicate) {
+          ext_state[asn] = dup_state;
+          touched.insert(asn);
+        }
+        if (counted_duplicates.insert(asn).second)
+          ++report.duplicates_resolved;
+      }
+    }
+
+    // Grace expirations scheduled for today (and earlier days skipped while
+    // files were missing).
+    while (!grace_expiry.empty() && grace_expiry.begin()->first <= day) {
+      for (const std::uint32_t asn : grace_expiry.begin()->second)
+        if (ext_vanished_at.contains(asn)) touched.insert(asn);
+      grace_expiry.erase(grace_expiry.begin());
+    }
+
+    const bool ext_usable = ext_present;
+    for (const std::uint32_t asn : touched) resolve(asn, day, ext_usable);
+  }
+
+  RestoredRegistry finalize() {
+    RestorationReport& report = out.report;
+    out.spans = builder.finish(last_day);
+
+    // ---- Step v: registration-date repair, span-list post-pass.
+    if (config.repair_dates) {
+      for (auto& [asn, spans] : out.spans) {
+        // Future dates: clamp to the day the ASN first appeared in any file.
+        for (StateSpan& span : spans) {
+          if (!span.state.registration_date) continue;
+          const auto seen = first_seen.find(asn);
+          if (seen == first_seen.end()) continue;
+          if (*span.state.registration_date > span.days.first &&
+              *span.state.registration_date > seen->second) {
+            span.state.registration_date = seen->second;
+            ++report.future_dates_fixed;
+          }
+        }
+        // Placeholder dates: restore from the ERX reference; fall back to
+        // the earliest non-placeholder date seen for the ASN.
+        std::optional<Day> earliest_real;
+        for (const StateSpan& span : spans)
+          if (span.state.registration_date &&
+              *span.state.registration_date != config.placeholder_date)
+            earliest_real =
+                earliest_real ? std::min(*earliest_real,
+                                         *span.state.registration_date)
+                              : *span.state.registration_date;
+        for (StateSpan& span : spans) {
+          if (span.state.registration_date != config.placeholder_date)
+            continue;
+          if (erx != nullptr) {
+            const auto it = erx->find(asn);
+            if (it != erx->end()) {
+              span.state.registration_date = it->second;
+              ++report.placeholder_dates_restored;
+              continue;
+            }
+          }
+          if (earliest_real) {
+            span.state.registration_date = earliest_real;
+            ++report.placeholder_dates_restored;
+          }
+        }
+      }
+    }
+    return std::move(out);
+  }
+};
+
+StreamingRestorer::StreamingRestorer(asn::Rir rir,
+                                     const RestoreConfig& config,
+                                     const ErxDates* erx,
+                                     const bgp::ActivityTable* bgp_hint)
+    : impl_(std::make_unique<Impl>(rir, config, erx, bgp_hint)) {}
+
+StreamingRestorer::~StreamingRestorer() = default;
+StreamingRestorer::StreamingRestorer(StreamingRestorer&&) noexcept = default;
+StreamingRestorer& StreamingRestorer::operator=(StreamingRestorer&&) noexcept
+    = default;
+
+void StreamingRestorer::consume(const dele::DayObservation& observation) {
+  impl_->consume(observation);
+}
+
+RestoredRegistry StreamingRestorer::finalize() && {
+  return impl_->finalize();
+}
+
+const RestorationReport& StreamingRestorer::report() const noexcept {
+  return impl_->out.report;
+}
+
+RestoredRegistry restore_registry(dele::ArchiveStream& stream,
+                                  const RestoreConfig& config,
+                                  const ErxDates* erx,
+                                  const bgp::ActivityTable* bgp_hint) {
+  StreamingRestorer restorer(stream.registry(), config, erx, bgp_hint);
+  std::optional<DayObservation> observation;
+  while ((observation = stream.next())) restorer.consume(*observation);
+  return std::move(restorer).finalize();
+}
+
+CrossRirReport reconcile_registries(
+    std::array<RestoredRegistry, asn::kRirCount>& registries,
+    const BlockOwnerFn& owner, const RestoreConfig& config,
+    util::Day archive_begin) {
+  CrossRirReport report;
+
+  // Collect, per ASN, the delegated spans of every registry, and each
+  // registry's first observed day (its first published file).
+  struct Ref {
+    std::size_t registry;
+    std::size_t span_index;
+  };
+  std::map<std::uint32_t, std::vector<Ref>> delegated;
+  std::array<util::Day, asn::kRirCount> first_observed;
+  first_observed.fill(archive_begin);
+  for (std::size_t r = 0; r < registries.size(); ++r) {
+    util::Day first = 0;
+    bool any = false;
+    for (const auto& [asn, spans] : registries[r].spans)
+      for (std::size_t s = 0; s < spans.size(); ++s) {
+        if (!any || spans[s].days.first < first) {
+          first = spans[s].days.first;
+          any = true;
+        }
+        if (dele::is_delegated(spans[s].state.status))
+          delegated[asn].push_back(Ref{r, s});
+      }
+    if (any) first_observed[r] = first;
+  }
+
+  std::vector<std::pair<std::size_t, std::uint32_t>> removals;  // (reg, asn)
+  std::map<std::pair<std::size_t, std::uint32_t>,
+           std::vector<std::size_t>> spans_to_remove;
+
+  for (auto& [asn, refs] : delegated) {
+    bool multi_registry = false;
+    for (const Ref& ref : refs)
+      if (ref.registry != refs.front().registry) multi_registry = true;
+
+    bool overlapped = false;
+    if (multi_registry)
+    for (std::size_t a = 0; a < refs.size(); ++a) {
+      for (std::size_t b = a + 1; b < refs.size(); ++b) {
+        if (refs[a].registry == refs[b].registry) continue;
+        auto& span_a =
+            registries[refs[a].registry].spans[asn][refs[a].span_index];
+        auto& span_b =
+            registries[refs[b].registry].spans[asn][refs[b].span_index];
+        if (!span_a.days.overlaps(span_b.days)) continue;
+        overlapped = true;
+        // Stale rule: the span ending first inside the overlap is stale —
+        // trim it back to just before the other began.
+        StateSpan* stale = nullptr;
+        StateSpan* live = nullptr;
+        if (span_a.days.last < span_b.days.last) {
+          stale = &span_a;
+          live = &span_b;
+        } else if (span_b.days.last < span_a.days.last) {
+          stale = &span_b;
+          live = &span_a;
+        }
+        if (stale != nullptr) {
+          stale->days.last = live->days.first - 1;
+          ++report.stale_spans_trimmed;
+        }
+      }
+    }
+    if (overlapped) ++report.overlapping_asns;
+
+    // Foreign-block rule: a delegated span in a registry that does not hold
+    // the IANA block, starting mid-archive with no adjacent predecessor in
+    // any registry, is a mistaken allocation.
+    if (owner) {
+      const std::optional<asn::Rir> block_owner = owner(asn::Asn{asn});
+      for (const Ref& ref : refs) {
+        RestoredRegistry& registry = registries[ref.registry];
+        if (block_owner && asn::index_of(*block_owner) == ref.registry)
+          continue;
+        StateSpan& span = registry.spans[asn][ref.span_index];
+        if (span.days.empty()) continue;
+        if (span.days.first <= first_observed[ref.registry] +
+                                   config.grandfather_margin_days)
+          continue;  // inherited pre-archive state
+        bool has_predecessor = false;
+        for (const Ref& other : refs) {
+          if (&other == &ref) continue;
+          const StateSpan& other_span =
+              registries[other.registry].spans[asn][other.span_index];
+          if (other_span.days.last + 1 + config.recovery_grace_days >=
+                  span.days.first &&
+              other_span.days.first < span.days.first)
+            has_predecessor = true;
+        }
+        if (!has_predecessor) {
+          spans_to_remove[{ref.registry, asn}].push_back(ref.span_index);
+          ++report.mistaken_spans_removed;
+        }
+      }
+    }
+  }
+
+  // Apply removals (descending index so indices stay valid).
+  for (auto& [key, indices] : spans_to_remove) {
+    auto& spans = registries[key.first].spans[key.second];
+    std::sort(indices.begin(), indices.end(), std::greater<>());
+    for (const std::size_t index : indices)
+      spans.erase(spans.begin() + static_cast<std::ptrdiff_t>(index));
+    if (spans.empty()) registries[key.first].spans.erase(key.second);
+  }
+  // Drop spans emptied by stale trimming.
+  for (auto& registry : registries) {
+    for (auto it = registry.spans.begin(); it != registry.spans.end();) {
+      auto& spans = it->second;
+      std::erase_if(spans,
+                    [](const StateSpan& s) { return s.days.empty(); });
+      it = spans.empty() ? registry.spans.erase(it) : std::next(it);
+    }
+  }
+  return report;
+}
+
+RestoredArchive restore_archive(
+    std::array<std::unique_ptr<dele::ArchiveStream>, asn::kRirCount> streams,
+    const RestoreConfig& config, const ErxDates* erx,
+    const BlockOwnerFn& owner, util::Day archive_begin,
+    const bgp::ActivityTable* bgp_hint) {
+  RestoredArchive archive;
+  for (std::size_t i = 0; i < streams.size(); ++i)
+    archive.registries[i] =
+        restore_registry(*streams[i], config, erx, bgp_hint);
+  archive.cross =
+      reconcile_registries(archive.registries, owner, config, archive_begin);
+  return archive;
+}
+
+}  // namespace pl::restore

@@ -1,0 +1,107 @@
+// The restoration pipeline (paper 3.1): six sanitization steps turning 17
+// years of imperfect delegation files into consistent per-ASN status
+// timelines.
+//
+//   (i)   missing-file gap filling — state carries across absent/corrupt
+//         files when the record reappears unchanged;
+//   (ii)  missing-record recovery — records that vanish from the extended
+//         file while still present in the regular file are kept;
+//   (iii) same-day reconciliation — when both files of a day disagree, the
+//         newest wins, except short disappearances recovered from the older;
+//   (iv)  invalid-duplicate resolution — conflicting duplicate records
+//         (AfriNIC) resolved from history and, optionally, BGP activity;
+//   (v)   registration-date repair — future dates clamped to first
+//         appearance; placeholder dates (1993-09-01) restored from the ERX
+//         reference records;
+//   (vi)  inter-RIR reconciliation — stale transfer data trimmed and
+//         mistaken foreign-block allocations removed.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "bgp/activity.hpp"
+#include "delegation/archive.hpp"
+#include "restore/types.hpp"
+
+namespace pl::restore {
+
+/// Original registration dates for ERX-transferred resources ("erx-asns"
+/// style reference data).
+using ErxDates = std::map<std::uint32_t, util::Day>;
+
+/// Resolver from ASN to the RIR that holds its IANA block (nullopt when the
+/// number was never delegated to a registry).
+using BlockOwnerFn =
+    std::function<std::optional<asn::Rir>(asn::Asn)>;
+
+struct RestoreConfig {
+  /// Days an ASN may be absent from the preferred (extended) channel while
+  /// still trusted from the regular channel (steps ii/iii).
+  int recovery_grace_days = 7;
+  /// The placeholder registration date RIPE NCC records travel back to.
+  util::Day placeholder_date = util::make_day(1993, 9, 1);
+  /// Spans starting this close to the archive begin are treated as
+  /// inherited pre-archive state and exempt from the step-vi
+  /// no-predecessor rule.
+  int grandfather_margin_days = 3;
+
+  // Ablation switches — disable individual restoration steps to measure
+  // their contribution (bench_ablation_restore).
+  bool recover_from_regular = true;  ///< steps ii/iii
+  bool resolve_duplicates = true;    ///< step iv
+  bool repair_dates = true;          ///< step v
+};
+
+/// Restore one registry from its day stream. `erx` and `bgp_hint` are
+/// optional reference data (step v and iv respectively).
+RestoredRegistry restore_registry(dele::ArchiveStream& stream,
+                                  const RestoreConfig& config,
+                                  const ErxDates* erx = nullptr,
+                                  const bgp::ActivityTable* bgp_hint = nullptr);
+
+/// Incremental restorer: feed day observations as they are published (the
+/// paper commits to updating its datasets daily, 9 — this is the API a
+/// near-realtime deployment drives). `restore_registry` is a thin loop over
+/// this class.
+class StreamingRestorer {
+ public:
+  StreamingRestorer(asn::Rir rir, const RestoreConfig& config,
+                    const ErxDates* erx = nullptr,
+                    const bgp::ActivityTable* bgp_hint = nullptr);
+  ~StreamingRestorer();
+
+  StreamingRestorer(StreamingRestorer&&) noexcept;
+  StreamingRestorer& operator=(StreamingRestorer&&) noexcept;
+
+  /// Apply one day. Days must arrive in strictly increasing order.
+  void consume(const dele::DayObservation& observation);
+
+  /// Close all open spans, run the date-repair post-pass, and return the
+  /// restored registry. The restorer is spent afterwards.
+  RestoredRegistry finalize() &&;
+
+  /// Progress so far (counters update as days are consumed).
+  const RestorationReport& report() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Step vi across already-restored registries. `owner` supplies IANA block
+/// ownership; pass nullptr to skip the foreign-block rule.
+CrossRirReport reconcile_registries(
+    std::array<RestoredRegistry, asn::kRirCount>& registries,
+    const BlockOwnerFn& owner, const RestoreConfig& config,
+    util::Day archive_begin);
+
+/// Convenience: run all five registries plus reconciliation.
+RestoredArchive restore_archive(
+    std::array<std::unique_ptr<dele::ArchiveStream>, asn::kRirCount> streams,
+    const RestoreConfig& config, const ErxDates* erx,
+    const BlockOwnerFn& owner, util::Day archive_begin,
+    const bgp::ActivityTable* bgp_hint = nullptr);
+
+}  // namespace pl::restore

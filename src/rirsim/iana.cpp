@@ -1,0 +1,67 @@
+#include "rirsim/iana.hpp"
+
+namespace pl::rirsim {
+
+void IanaBlockTable::add_block(const IanaBlock& block) {
+  by_first_.emplace(block.first.value, blocks_.size());
+  blocks_.push_back(block);
+}
+
+std::optional<asn::Rir> IanaBlockTable::owner(asn::Asn asn) const noexcept {
+  auto it = by_first_.upper_bound(asn.value);
+  if (it == by_first_.begin()) return std::nullopt;
+  --it;
+  const IanaBlock& block = blocks_[it->second];
+  if (asn.value < block.first.value + block.count) return block.rir;
+  return std::nullopt;
+}
+
+std::uint32_t IanaBlockTable::sixteen_bit_stock(asn::Rir rir) const noexcept {
+  std::uint32_t total = 0;
+  for (const IanaBlock& block : blocks_)
+    if (block.rir == rir && block.first.value < 65536)
+      total += block.count;
+  return total;
+}
+
+std::uint32_t default_32bit_base(asn::Rir rir) noexcept {
+  // Disjoint 4M-wide 32-bit lanes per RIR, starting at the real 32-bit
+  // allocatable base (AS 131072 = 2.0 in asdot).
+  return 131072 + static_cast<std::uint32_t>(asn::index_of(rir)) * 4u * 1024 *
+                      1024;
+}
+
+IanaBlockTable make_default_iana_plan() {
+  IanaBlockTable table;
+  using asn::Rir;
+  using util::make_day;
+
+  // 16-bit space: carve the allocatable range [1, 64495] into per-RIR lanes
+  // proportional to historical appetite. (Real IANA delegations were
+  // 1024-number blocks over time; a static carve preserves the property
+  // restoration needs: every 16-bit number has exactly one legitimate RIR.)
+  struct Lane {
+    Rir rir;
+    std::uint32_t first;
+    std::uint32_t count;
+  };
+  constexpr Lane kLanes[] = {
+      {Rir::kArin, 1, 26000},        // oldest, largest historic pool
+      {Rir::kRipeNcc, 26001, 22000},
+      {Rir::kApnic, 48001, 9000},
+      {Rir::kLacnic, 57001, 5200},
+      {Rir::kAfrinic, 62201, 2295},  // up to 64495 (64496.. reserved by RFC)
+  };
+  for (const Lane& lane : kLanes)
+    table.add_block(IanaBlock{asn::Asn{lane.first}, lane.count, lane.rir,
+                              make_day(1984, 1, 1)});
+
+  // 32-bit space: one 4M lane per RIR from the 32-bit base. The simulator
+  // only ever uses a small prefix of each lane.
+  for (Rir rir : asn::kAllRirs)
+    table.add_block(IanaBlock{asn::Asn{default_32bit_base(rir)},
+                              4u * 1024 * 1024, rir, make_day(2007, 1, 1)});
+  return table;
+}
+
+}  // namespace pl::rirsim

@@ -1,0 +1,56 @@
+// IANA's view: which RIR holds each ASN block. IANA delegates blocks of AS
+// numbers to RIRs as needed (paper 2); an RIR publishing records for ASNs
+// in blocks it was never delegated is one of the two causes of inter-RIR
+// inconsistencies the restoration must clean (3.1.vi).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "asn/asn.hpp"
+#include "asn/rir.hpp"
+#include "util/date.hpp"
+
+namespace pl::rirsim {
+
+/// One IANA block delegation.
+struct IanaBlock {
+  asn::Asn first;
+  std::uint32_t count = 0;
+  asn::Rir rir = asn::Rir::kArin;
+  util::Day delegated = 0;
+};
+
+/// Registry of IANA block delegations plus per-RIR allocation cursors used
+/// by the simulator to hand out numbers.
+class IanaBlockTable {
+ public:
+  /// Record a block delegation. Blocks must not overlap.
+  void add_block(const IanaBlock& block);
+
+  /// RIR holding `asn` (nullopt if the number was never delegated to any
+  /// RIR). Restoration step vi consults this.
+  std::optional<asn::Rir> owner(asn::Asn asn) const noexcept;
+
+  const std::vector<IanaBlock>& blocks() const noexcept { return blocks_; }
+
+  /// Count of 16-bit numbers delegated to `rir`.
+  std::uint32_t sixteen_bit_stock(asn::Rir rir) const noexcept;
+
+ private:
+  std::vector<IanaBlock> blocks_;
+  std::map<std::uint32_t, std::size_t> by_first_;  // first ASN -> block index
+};
+
+/// Build the default IANA plan used by the world simulator: per-RIR 16-bit
+/// blocks sized to each registry's historical appetite, and disjoint 32-bit
+/// ranges from 131072 upward. Deterministic.
+IanaBlockTable make_default_iana_plan();
+
+/// The 32-bit range base for each RIR in the default plan; the simulator
+/// draws 32-bit allocations sequentially from these.
+std::uint32_t default_32bit_base(asn::Rir rir) noexcept;
+
+}  // namespace pl::rirsim

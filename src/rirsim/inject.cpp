@@ -1,0 +1,536 @@
+#include "rirsim/inject.hpp"
+
+#include <algorithm>
+
+#include "rirsim/policy.hpp"
+
+namespace pl::rirsim {
+
+namespace {
+
+using dele::ChannelDelta;
+using dele::DayObservation;
+using dele::FileCondition;
+using dele::RecordChange;
+using dele::RecordState;
+using dele::Status;
+using util::Day;
+using util::DayInterval;
+using util::Rng;
+
+/// Allocated ASNs of `rir` on `day`, per ground truth.
+std::vector<asn::Asn> allocated_on(const GroundTruth& truth, asn::Rir rir,
+                                   Day day) {
+  std::vector<asn::Asn> out;
+  for (const TrueAdminLife& life : truth.lives) {
+    if (!life.days.contains(day)) continue;
+    if (life.registry_on(day) != rir) continue;
+    bool interrupted = false;
+    for (const Interruption& gap : life.interruptions)
+      if (gap.days.contains(day)) interrupted = true;
+    if (!interrupted) out.push_back(life.asn);
+  }
+  return out;
+}
+
+/// Streams one registry's perturbed archive.
+class InjectedStream final : public dele::ArchiveStream {
+ public:
+  InjectedStream(asn::Rir rir, const RenderedRegistry& rendered,
+                 const DefectSchedule& schedule, Day begin, Day end)
+      : rir_(rir),
+        rendered_(rendered),
+        schedule_(schedule),
+        day_(begin),
+        end_(end) {
+    build_event_index();
+    // Replay pre-archive truth events so the first published file carries
+    // the full historical content.
+    replay_truth_until(begin);
+  }
+
+  asn::Rir registry() const noexcept override { return rir_; }
+
+  std::optional<DayObservation> next() override {
+    if (day_ > end_) return std::nullopt;
+    const Day today = day_++;
+
+    apply_truth_changes(today);
+    apply_schedule_events(today);
+
+    DayObservation observation;
+    observation.day = today;
+    observation.extended = emit_channel(Channel::kExtended, today);
+    observation.regular = emit_channel(Channel::kRegular, today);
+    return observation;
+  }
+
+ private:
+  struct ChannelState {
+    std::map<std::uint32_t, RecordState> truth;
+    std::set<std::uint32_t> suppressed;
+    std::map<std::uint32_t, Day> date_override;
+    std::map<std::uint32_t, RecordState> extra;
+    std::map<std::uint32_t, RecordState> emitted;
+    std::set<std::uint32_t> dirty;
+  };
+
+  ChannelState& state(Channel channel) noexcept {
+    return channel == Channel::kExtended ? extended_ : regular_;
+  }
+
+  const ChangeMap& change_map(Channel channel) const noexcept {
+    return channel == Channel::kExtended ? rendered_.extended
+                                         : rendered_.regular;
+  }
+
+  void build_event_index() {
+    for (std::size_t i = 0; i < schedule_.suppressions.size(); ++i) {
+      const auto& s = schedule_.suppressions[i];
+      suppress_starts_[s.days.first].push_back(i);
+      suppress_ends_[s.days.last + 1].push_back(i);
+    }
+    for (const auto& o : schedule_.date_overrides)
+      override_starts_[o.from].push_back(&o);
+    for (std::size_t i = 0; i < schedule_.extras.size(); ++i) {
+      const auto& e = schedule_.extras[i];
+      extra_starts_[e.days.first].push_back(i);
+      extra_ends_[e.days.last + 1].push_back(i);
+    }
+    for (std::size_t i = 0; i < schedule_.duplicates.size(); ++i) {
+      const auto& d = schedule_.duplicates[i];
+      duplicate_starts_[d.days.first].push_back(i);
+      duplicate_ends_[d.days.last + 1].push_back(i);
+    }
+  }
+
+  void replay_truth_until(Day begin) {
+    for (Channel channel : {Channel::kExtended, Channel::kRegular}) {
+      ChannelState& cs = state(channel);
+      const ChangeMap& map = change_map(channel);
+      for (auto it = map.begin(); it != map.end() && it->first < begin; ++it)
+        for (const RecordChange& change : it->second) {
+          if (change.state)
+            cs.truth[change.asn.value] = *change.state;
+          else
+            cs.truth.erase(change.asn.value);
+          cs.dirty.insert(change.asn.value);
+        }
+    }
+  }
+
+  void apply_truth_changes(Day today) {
+    for (Channel channel : {Channel::kExtended, Channel::kRegular}) {
+      ChannelState& cs = state(channel);
+      const ChangeMap& map = change_map(channel);
+      const auto it = map.find(today);
+      if (it == map.end()) continue;
+      for (const RecordChange& change : it->second) {
+        if (change.state)
+          cs.truth[change.asn.value] = *change.state;
+        else
+          cs.truth.erase(change.asn.value);
+        cs.dirty.insert(change.asn.value);
+      }
+    }
+  }
+
+  void apply_schedule_events(Day today) {
+    const auto for_channels = [&](Channel only, auto&& fn) {
+      if (only == Channel::kExtended) {
+        fn(extended_);
+      } else {
+        fn(regular_);
+      }
+    };
+
+    if (const auto it = suppress_starts_.find(today);
+        it != suppress_starts_.end()) {
+      for (std::size_t index : it->second) {
+        const auto& s = schedule_.suppressions[index];
+        for_channels(s.channel, [&](ChannelState& cs) {
+          for (const asn::Asn a : s.asns) {
+            cs.suppressed.insert(a.value);
+            cs.dirty.insert(a.value);
+          }
+        });
+      }
+    }
+    if (const auto it = suppress_ends_.find(today);
+        it != suppress_ends_.end()) {
+      for (std::size_t index : it->second) {
+        const auto& s = schedule_.suppressions[index];
+        for_channels(s.channel, [&](ChannelState& cs) {
+          for (const asn::Asn a : s.asns) {
+            cs.suppressed.erase(a.value);
+            cs.dirty.insert(a.value);
+          }
+        });
+      }
+    }
+    if (const auto it = override_starts_.find(today);
+        it != override_starts_.end()) {
+      for (const auto* o : it->second)
+        for (Channel channel : {Channel::kExtended, Channel::kRegular}) {
+          ChannelState& cs = state(channel);
+          cs.date_override[o->asn.value] = o->shown;
+          cs.dirty.insert(o->asn.value);
+        }
+    }
+    if (const auto it = extra_starts_.find(today); it != extra_starts_.end()) {
+      for (std::size_t index : it->second) {
+        const auto& e = schedule_.extras[index];
+        for (Channel channel : {Channel::kExtended, Channel::kRegular}) {
+          ChannelState& cs = state(channel);
+          cs.extra[e.asn.value] = e.state;
+          cs.dirty.insert(e.asn.value);
+        }
+      }
+    }
+    if (const auto it = extra_ends_.find(today); it != extra_ends_.end()) {
+      for (std::size_t index : it->second) {
+        const auto& e = schedule_.extras[index];
+        for (Channel channel : {Channel::kExtended, Channel::kRegular}) {
+          ChannelState& cs = state(channel);
+          cs.extra.erase(e.asn.value);
+          cs.dirty.insert(e.asn.value);
+        }
+      }
+    }
+    if (const auto it = duplicate_starts_.find(today);
+        it != duplicate_starts_.end())
+      for (std::size_t index : it->second) active_duplicates_.insert(index);
+    if (const auto it = duplicate_ends_.find(today);
+        it != duplicate_ends_.end())
+      for (std::size_t index : it->second) active_duplicates_.erase(index);
+  }
+
+  /// What the channel's file shows for `asn` today, nullopt if absent.
+  std::optional<RecordState> visible(const ChannelState& cs, Channel channel,
+                                     std::uint32_t asn_value) const {
+    if (cs.suppressed.contains(asn_value)) return std::nullopt;
+    const auto truth_it = cs.truth.find(asn_value);
+    if (truth_it != cs.truth.end()) {
+      RecordState shown = truth_it->second;
+      if (const auto ov = cs.date_override.find(asn_value);
+          ov != cs.date_override.end())
+        shown.registration_date = ov->second;
+      return shown;
+    }
+    const auto extra_it = cs.extra.find(asn_value);
+    if (extra_it != cs.extra.end()) {
+      if (channel == Channel::kRegular &&
+          !dele::is_delegated(extra_it->second.status))
+        return std::nullopt;
+      return extra_it->second;
+    }
+    return std::nullopt;
+  }
+
+  FileCondition condition(Channel channel, Day today) const {
+    const asn::RirFacts& facts = asn::facts(rir_);
+    const Day first = channel == Channel::kExtended
+                          ? facts.first_extended_file
+                          : facts.first_regular_file;
+    if (today < first) return FileCondition::kNotPublished;
+    if (channel == Channel::kRegular && facts.last_regular_file &&
+        today > *facts.last_regular_file)
+      return FileCondition::kNotPublished;
+    const auto channel_index = static_cast<std::size_t>(channel);
+    if (schedule_.corrupt_days[channel_index].contains(today))
+      return FileCondition::kCorrupt;
+    if (schedule_.missing_days[channel_index].contains(today))
+      return FileCondition::kMissing;
+    return FileCondition::kPresent;
+  }
+
+  ChannelDelta emit_channel(Channel channel, Day today) {
+    ChannelDelta delta;
+    delta.condition = condition(channel, today);
+    delta.publish_minute = channel == Channel::kExtended ? 240 : 180;
+    if (schedule_.newest_conflict_days.contains(today) &&
+        channel == Channel::kExtended)
+      delta.publish_minute = 400;
+
+    if (delta.condition != FileCondition::kPresent) return delta;
+
+    ChannelState& cs = state(channel);
+    delta.changes.reserve(cs.dirty.size());
+    for (const std::uint32_t asn_value : cs.dirty) {
+      const std::optional<RecordState> now = visible(cs, channel, asn_value);
+      const auto emitted_it = cs.emitted.find(asn_value);
+      const bool was_emitted = emitted_it != cs.emitted.end();
+      if (now) {
+        if (!was_emitted || !(emitted_it->second == *now)) {
+          delta.changes.push_back(RecordChange{asn::Asn{asn_value}, *now});
+          cs.emitted[asn_value] = *now;
+        }
+      } else if (was_emitted) {
+        delta.changes.push_back(
+            RecordChange{asn::Asn{asn_value}, std::nullopt});
+        cs.emitted.erase(emitted_it);
+      }
+    }
+    cs.dirty.clear();
+
+    if (channel == Channel::kExtended) {
+      for (const std::size_t index : active_duplicates_) {
+        const auto& d = schedule_.duplicates[index];
+        delta.duplicates.emplace_back(d.asn, d.state);
+      }
+    }
+    return delta;
+  }
+
+  asn::Rir rir_;
+  const RenderedRegistry& rendered_;
+  const DefectSchedule& schedule_;
+  Day day_;
+  Day end_;
+
+  ChannelState extended_;
+  ChannelState regular_;
+
+  std::map<Day, std::vector<std::size_t>> suppress_starts_;
+  std::map<Day, std::vector<std::size_t>> suppress_ends_;
+  std::map<Day, std::vector<const DefectSchedule::DateOverride*>>
+      override_starts_;
+  std::map<Day, std::vector<std::size_t>> extra_starts_;
+  std::map<Day, std::vector<std::size_t>> extra_ends_;
+  std::map<Day, std::vector<std::size_t>> duplicate_starts_;
+  std::map<Day, std::vector<std::size_t>> duplicate_ends_;
+  std::set<std::size_t> active_duplicates_;
+};
+
+}  // namespace
+
+SimulatedArchive::SimulatedArchive(const GroundTruth& truth,
+                                   InjectorConfig config)
+    : truth_(&truth), config_(config) {
+  Rng rng(config.seed);
+
+  for (asn::Rir rir : asn::kAllRirs) {
+    const std::size_t rir_index = asn::index_of(rir);
+    rendered_[rir_index] = render_registry(truth, rir);
+    DefectSchedule& schedule = schedules_[rir_index];
+    Rng rir_rng = rng.fork();
+    const asn::RirFacts& facts = asn::facts(rir);
+    const Day begin = truth.archive_begin;
+    const Day end = truth.archive_end;
+
+    // (i) Missing / corrupt file days, per channel, in short runs. The very
+    // first and last day of each era always publish.
+    for (Channel channel : {Channel::kExtended, Channel::kRegular}) {
+      const auto channel_index = static_cast<std::size_t>(channel);
+      const Day era_first = channel == Channel::kExtended
+                                ? facts.first_extended_file
+                                : facts.first_regular_file;
+      Day day = std::max(begin, era_first) + 1;
+      while (day < end) {
+        if (rir_rng.chance(config.missing_day_rate / 2.5)) {
+          const auto run = rir_rng.uniform(1, config.max_consecutive_missing);
+          for (Day d = day; d < day + run && d < end; ++d)
+            schedule.missing_days[channel_index].insert(d);
+          day += static_cast<Day>(run);
+        } else if (rir_rng.chance(config.corrupt_day_rate)) {
+          schedule.corrupt_days[channel_index].insert(day);
+          ++day;
+        } else {
+          ++day;
+        }
+      }
+    }
+
+    // (ii) Large record-drop episodes on the extended channel.
+    for (int episode = 0; episode < config.drop_episodes_per_rir; ++episode) {
+      const Day era_first = std::max(begin, facts.first_extended_file);
+      if (era_first + 60 >= end) break;
+      const Day day = era_first + static_cast<Day>(rir_rng.uniform(
+                                      30, end - era_first - 30));
+      auto allocated = allocated_on(truth, rir, day);
+      if (allocated.empty()) continue;
+      auto group_size = static_cast<std::size_t>(
+          std::max<std::int64_t>(10, static_cast<std::int64_t>(
+              rir_rng.uniform(config.drop_group_min, config.drop_group_max) *
+              config.scale)));
+      group_size = std::min(group_size, allocated.size());
+      // Deterministic partial shuffle.
+      for (std::size_t i = 0; i < group_size; ++i) {
+        const auto j = static_cast<std::size_t>(rir_rng.uniform(
+            static_cast<std::int64_t>(i),
+            static_cast<std::int64_t>(allocated.size()) - 1));
+        std::swap(allocated[i], allocated[j]);
+      }
+      allocated.resize(group_size);
+      const Day duration = static_cast<Day>(rir_rng.uniform(1, 3));
+      schedule.suppressions.push_back(DefectSchedule::Suppression{
+          Channel::kExtended, std::move(allocated),
+          DayInterval{day, std::min<Day>(end - 1, day + duration - 1)}});
+    }
+
+    // (iii) Same-day file differences: the (newer) extended file briefly
+    // loses a handful of ASNs the regular file still carries.
+    if (rir != asn::Rir::kAfrinic) {
+      const Day both_first = std::max(
+          {begin, facts.first_extended_file, facts.first_regular_file});
+      const Day both_last =
+          facts.last_regular_file ? *facts.last_regular_file : end;
+      for (Day day = both_first + 1; day + 5 < both_last; ++day) {
+        if (!rir_rng.chance(config.same_day_diff_rate)) continue;
+        auto allocated = allocated_on(truth, rir, day);
+        if (allocated.empty()) continue;
+        const auto pick_count = static_cast<std::size_t>(
+            rir_rng.uniform(1, 5));
+        std::vector<asn::Asn> picked;
+        for (std::size_t i = 0; i < pick_count; ++i)
+          picked.push_back(allocated[static_cast<std::size_t>(rir_rng.uniform(
+              0, static_cast<std::int64_t>(allocated.size()) - 1))]);
+        const Day duration = static_cast<Day>(rir_rng.uniform(1, 4));
+        schedule.suppressions.push_back(DefectSchedule::Suppression{
+            Channel::kExtended, std::move(picked),
+            DayInterval{day, std::min<Day>(both_last, day + duration - 1)}});
+        for (Day d = day; d <= std::min<Day>(both_last, day + duration - 1);
+             ++d)
+          schedule.newest_conflict_days.insert(d);
+        day += 30;  // keep episodes sparse
+      }
+    }
+
+    // (iv) AfriNIC invalid duplicates.
+    if (rir == asn::Rir::kAfrinic) {
+      auto count = static_cast<int>(config.afrinic_duplicate_asns *
+                                    config.scale);
+      count = std::max(count, 1);
+      const Day era_first = std::max(begin, facts.first_extended_file);
+      int made = 0;
+      for (const TrueAdminLife& life : truth.lives) {
+        if (made >= count) break;
+        if (life.birth_registry() != rir) continue;
+        if (life.days.length() < 400) continue;
+        if (life.days.last < era_first + 200) continue;
+        if (!rir_rng.chance(0.2)) continue;
+        const Day start = std::max<Day>(era_first + 10, life.days.first);
+        const Day duration = static_cast<Day>(rir_rng.uniform(30, 180));
+        RecordState wrong;
+        wrong.status = Status::kReserved;
+        schedule.duplicates.push_back(DefectSchedule::DuplicateRecord{
+            life.asn,
+            DayInterval{start, std::min<Day>(end, start + duration - 1)},
+            wrong});
+        ++made;
+      }
+    }
+
+    // (v) AfriNIC future registration dates.
+    if (rir == asn::Rir::kAfrinic) {
+      int made = 0;
+      const int count = std::max(1, static_cast<int>(
+          config.afrinic_future_regdate * config.scale));
+      for (const TrueAdminLife& life : truth.lives) {
+        if (made >= count) break;
+        if (life.birth_registry() != rir) continue;
+        if (life.days.first <= facts.first_regular_file) continue;
+        if (!rir_rng.chance(0.05)) continue;
+        schedule.date_overrides.push_back(DefectSchedule::DateOverride{
+            life.asn, life.days.first,
+            life.registration_date + static_cast<Day>(rir_rng.uniform(2, 5))});
+        ++made;
+      }
+    }
+
+    // (v) RIPE placeholder registration dates on ERX resources.
+    if (rir == asn::Rir::kRipeNcc) {
+      const Day placeholder = util::make_day(1993, 9, 1);
+      int made = 0;
+      const int count = std::max(1, static_cast<int>(
+          config.ripe_placeholder_count * config.scale));
+      for (const TrueAdminLife& life : truth.lives) {
+        if (made >= count) break;
+        if (!life.erx_transfer) continue;
+        if (life.segments.back().rir != rir) continue;
+        const Day from = std::max<Day>(
+            begin + 30,
+            begin + static_cast<Day>(rir_rng.uniform(100, 2500)));
+        if (from >= life.days.last) continue;
+        schedule.date_overrides.push_back(
+            DefectSchedule::DateOverride{life.asn, from, placeholder});
+        ++made;
+      }
+    }
+
+    // (vi-a) Mistaken allocations: this registry's files claim ASNs from a
+    // block IANA delegated to another RIR.
+    {
+      const int blocks = std::max(1, static_cast<int>(
+          config.mistaken_allocation_blocks * config.scale));
+      for (int block = 0; block < blocks; ++block) {
+        asn::Rir foreign = rir;
+        while (foreign == rir)
+          foreign = asn::kAllRirs[static_cast<std::size_t>(
+              rir_rng.uniform(0, 4))];
+        // Pick a run inside the foreign 16-bit lane.
+        std::uint32_t lane_first = 0;
+        std::uint32_t lane_count = 0;
+        for (const IanaBlock& iana_block : truth.iana.blocks())
+          if (iana_block.rir == foreign && iana_block.first.value < 65536) {
+            lane_first = iana_block.first.value;
+            lane_count = iana_block.count;
+          }
+        if (lane_count == 0) continue;
+        const auto run = static_cast<std::uint32_t>(std::max<std::int64_t>(
+            3, static_cast<std::int64_t>(rir_rng.uniform(10, 150) *
+                                         config.scale)));
+        const auto offset = static_cast<std::uint32_t>(rir_rng.uniform(
+            0, static_cast<std::int64_t>(lane_count - run)));
+        const Day era_first = std::max(begin, facts.first_regular_file);
+        const Day start = era_first + static_cast<Day>(rir_rng.uniform(
+                                          60, end - era_first - 60));
+        const Day duration = static_cast<Day>(rir_rng.uniform(30, 300));
+        for (std::uint32_t i = 0; i < run; ++i) {
+          RecordState state;
+          state.status = Status::kAllocated;
+          state.registration_date = start - 100;
+          state.country = asn::CountryCode::literal('Z', 'Y');
+          schedule.extras.push_back(DefectSchedule::ExtraRecord{
+              asn::Asn{lane_first + offset + i},
+              DayInterval{start, std::min<Day>(end, start + duration - 1)},
+              state, /*stale_transfer=*/false});
+        }
+      }
+    }
+
+    // (vi-b) Stale transfer data: this registry keeps records for ASNs it
+    // transferred away.
+    for (std::size_t life_index = 0; life_index < truth.lives.size();
+         ++life_index) {
+      const TrueAdminLife& life = truth.lives[life_index];
+      for (std::size_t s = 0; s + 1 < life.segments.size(); ++s) {
+        if (life.segments[s].rir != rir) continue;
+        const Day transfer_day = life.segments[s + 1].days.first;
+        if (transfer_day <= begin || transfer_day >= end) continue;
+        if (!rir_rng.chance(config.stale_transfer_probability)) continue;
+        RecordState stale;
+        stale.status = Status::kAllocated;
+        stale.registration_date = life.registration_date;
+        stale.country = life.country;
+        stale.opaque_id = life.org + 1;
+        const Day duration = static_cast<Day>(
+            rir_rng.uniform(5, config.stale_transfer_days_max));
+        schedule.extras.push_back(DefectSchedule::ExtraRecord{
+            life.asn,
+            DayInterval{transfer_day,
+                        std::min<Day>(end, transfer_day + duration - 1)},
+            stale, /*stale_transfer=*/true});
+      }
+    }
+  }
+}
+
+std::unique_ptr<dele::ArchiveStream> SimulatedArchive::stream(
+    asn::Rir rir) const {
+  return std::make_unique<InjectedStream>(
+      rir, rendered_[asn::index_of(rir)], schedules_[asn::index_of(rir)],
+      truth_->archive_begin, truth_->archive_end);
+}
+
+}  // namespace pl::rirsim

@@ -1,0 +1,102 @@
+// Error injection: perturbs the rendered delegation-file streams with every
+// defect class the paper's restoration pipeline (3.1) was built to repair.
+// Each defect is recorded in a DefectSchedule so tests can verify that
+// restoration undoes exactly what was injected.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "delegation/archive.hpp"
+#include "rirsim/render.hpp"
+#include "rirsim/truth.hpp"
+#include "util/rng.hpp"
+
+namespace pl::rirsim {
+
+enum class Channel : std::uint8_t { kExtended, kRegular };
+
+/// Rates and magnitudes for each defect class. Defaults follow the paper's
+/// reported incidence; counts scale with WorldConfig::scale.
+struct InjectorConfig {
+  std::uint64_t seed = 7;
+  double scale = 1.0;
+
+  double missing_day_rate = 0.006;   ///< <1% of days miss a file (3.1)
+  int max_consecutive_missing = 7;   ///< longest run observed: 7 (RIPE)
+  double corrupt_day_rate = 0.0005;
+
+  int drop_episodes_per_rir = 3;     ///< large record-drop groups (3.1.ii)
+  int drop_group_min = 100;
+  int drop_group_max = 3000;
+
+  double same_day_diff_rate = 0.018; ///< 1.8% of days (3.1.iii)
+
+  int afrinic_duplicate_asns = 16;   ///< invalid duplicates (3.1.iv)
+  int afrinic_future_regdate = 4;    ///< future registration dates (3.1.v)
+  int ripe_placeholder_count = 800;  ///< 1993-09-01 placeholders (3.1.v)
+
+  int mistaken_allocation_blocks = 4;   ///< wrong-RIR allocations (3.1.vi)
+  double stale_transfer_probability = 0.5;  ///< stale origin data (3.1.vi)
+  int stale_transfer_days_max = 260;
+
+  /// Publication delay is part of ground truth (TrueAdminLife::
+  /// publish_lag_days, rendered directly); no injection needed.
+};
+
+/// Everything that was injected, for ground-truth verification.
+struct DefectSchedule {
+  struct Suppression {
+    Channel channel;
+    std::vector<asn::Asn> asns;
+    util::DayInterval days;
+  };
+  struct DateOverride {
+    asn::Asn asn;
+    util::Day from;
+    util::Day shown;
+  };
+  struct ExtraRecord {
+    asn::Asn asn;
+    util::DayInterval days;
+    dele::RecordState state;
+    bool stale_transfer = false;  ///< vs mistaken allocation
+  };
+  struct DuplicateRecord {
+    asn::Asn asn;
+    util::DayInterval days;
+    dele::RecordState state;
+  };
+
+  std::set<util::Day> missing_days[2];  ///< per channel
+  std::set<util::Day> corrupt_days[2];
+  std::set<util::Day> newest_conflict_days;  ///< extended published last
+  std::vector<Suppression> suppressions;
+  std::vector<DateOverride> date_overrides;
+  std::vector<ExtraRecord> extras;
+  std::vector<DuplicateRecord> duplicates;
+};
+
+/// The simulated archive: renders + injects lazily per registry and hands
+/// out day-delta streams compatible with the restoration pipeline.
+class SimulatedArchive {
+ public:
+  SimulatedArchive(const GroundTruth& truth, InjectorConfig config);
+
+  /// A fresh stream over [truth.archive_begin, truth.archive_end].
+  std::unique_ptr<dele::ArchiveStream> stream(asn::Rir rir) const;
+
+  const DefectSchedule& schedule(asn::Rir rir) const noexcept {
+    return schedules_[asn::index_of(rir)];
+  }
+
+  const GroundTruth& truth() const noexcept { return *truth_; }
+
+ private:
+  const GroundTruth* truth_;
+  InjectorConfig config_;
+  RenderedRegistry rendered_[asn::kRirCount];
+  DefectSchedule schedules_[asn::kRirCount];
+};
+
+}  // namespace pl::rirsim

@@ -1,0 +1,36 @@
+// Organizations: the holders of ASN delegations. Sibling relationships
+// (one org holding many ASNs) drive two of the paper's findings — sporadic
+// BGP use via sibling routing policies (6.1.1) and allocated-but-unused ASNs
+// whose siblings are the ones routed (6.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asn/asn.hpp"
+#include "asn/country.hpp"
+#include "asn/rir.hpp"
+
+namespace pl::rirsim {
+
+using OrgId = std::uint64_t;
+
+/// Broad organization archetypes; they shape both how many ASNs an org
+/// holds and how it behaves operationally.
+enum class OrgKind : std::uint8_t {
+  kSmallNetwork,   ///< typical single-ASN LIR/enterprise
+  kLargeOperator,  ///< multi-ASN carrier; sibling routing effects
+  kGovernment,     ///< large historic blocks, low BGP usage (DoD-style)
+  kLegacyHolder,   ///< early-registration org (Verisign/France Telecom style)
+  kNir,            ///< APNIC National Internet Registry (block delegations)
+};
+
+struct Organization {
+  OrgId id = 0;
+  OrgKind kind = OrgKind::kSmallNetwork;
+  asn::Rir rir = asn::Rir::kArin;
+  asn::CountryCode country;
+  std::vector<asn::Asn> asns;  ///< every ASN ever delegated to this org
+};
+
+}  // namespace pl::rirsim

@@ -1,0 +1,192 @@
+#include "rirsim/policy.hpp"
+
+namespace pl::rirsim {
+
+namespace {
+
+using asn::Rir;
+
+double arin_births(int year) noexcept {
+  // The US dominated the early Internet: ARIN (and the InterNIC records it
+  // inherited) holds most pre-2000 registrations, keeping it the largest
+  // registry until RIPE NCC's overtake in 2012 (Fig. 4).
+  if (year < 1984) return 0;
+  if (year < 1990) return 36;
+  if (year < 1995) return 180;
+  if (year < 1999) return 450;
+  if (year < 2002) return 810;  // dot-com bubble spike (Fig. 10)
+  if (year < 2005) return 378;
+  if (year < 2010) return 378;
+  if (year < 2014) return 342;
+  if (year < 2018) return 270;
+  return 252;
+}
+
+double ripe_births(int year) noexcept {
+  if (year < 1990) return 0;
+  if (year < 1995) return 27;
+  if (year < 1999) return 90;
+  if (year < 2002) return 225;
+  if (year < 2004) return 360;
+  if (year < 2005) return 495;
+  if (year < 2014) return 585;  // RIPE's massive 2005-2013 volume (Fig. 11)
+  if (year < 2018) return 495;
+  return 450;
+}
+
+double apnic_births(int year) noexcept {
+  if (year < 1987) return 0;
+  if (year < 1990) return 4;
+  if (year < 1995) return 36;
+  if (year < 1999) return 108;
+  if (year < 2002) return 180;
+  if (year < 2009) return 162;
+  if (year < 2014) return 216;
+  return 432;  // post-2014 ramp (Fig. 10/11)
+}
+
+double lacnic_births(int year) noexcept {
+  if (year < 1999) return 0;
+  if (year < 2002) return 27;
+  if (year < 2008) return 108;
+  if (year < 2014) return 162;
+  return 324;  // post-2014 ramp
+}
+
+double afrinic_births(int year) noexcept {
+  if (year < 2005) return 0;  // AfriNIC recognized as an RIR in April 2005
+  if (year < 2010) return 22;
+  if (year < 2015) return 27;
+  return 32;
+}
+
+double arin_32bit(int year) noexcept {
+  if (year < 2007) return 0.0;
+  if (year < 2009) return 0.03;
+  if (year < 2014) return 0.10;  // ARIN ramps up only around 2014 (5)
+  if (year < 2016) return 0.40;
+  if (year < 2020) return 0.55;
+  return 0.70;  // ~30% of 2020 allocations still 16-bit
+}
+
+double ripe_32bit(int year) noexcept {
+  if (year < 2007) return 0.0;
+  if (year < 2009) return 0.05;
+  if (year < 2010) return 0.30;
+  if (year < 2013) return 0.50;
+  if (year < 2019) return 0.62;  // 16-bit stock keeps growing until ~2018
+  return 0.92;
+}
+
+double apnic_32bit(int year) noexcept {
+  if (year < 2007) return 0.0;
+  if (year < 2009) return 0.05;
+  if (year < 2010) return 0.40;
+  if (year < 2016) return 0.62;  // peak 16-bit stock around mid-2016
+  if (year < 2020) return 0.95;
+  return 0.985;  // 16-bit is 1..1.7% of 2020 allocations
+}
+
+double lacnic_32bit(int year) noexcept {
+  if (year < 2007) return 0.0;
+  if (year < 2009) return 0.05;
+  if (year < 2010) return 0.35;
+  if (year < 2015) return 0.70;
+  if (year < 2020) return 0.90;
+  return 0.99;
+}
+
+double afrinic_32bit(int year) noexcept {
+  if (year < 2007) return 0.0;
+  if (year < 2010) return 0.05;
+  if (year < 2014) return 0.35;  // 16-bit stock peaks around end of 2013
+  if (year < 2018) return 0.90;
+  return 0.985;
+}
+
+}  // namespace
+
+double RirPolicy::births_per_quarter(int year) const noexcept {
+  switch (rir) {
+    case Rir::kAfrinic: return afrinic_births(year);
+    case Rir::kApnic: return apnic_births(year);
+    case Rir::kArin: return arin_births(year);
+    case Rir::kLacnic: return lacnic_births(year);
+    case Rir::kRipeNcc: return ripe_births(year);
+  }
+  return 0;
+}
+
+double RirPolicy::fraction_32bit(int year) const noexcept {
+  switch (rir) {
+    case Rir::kAfrinic: return afrinic_32bit(year);
+    case Rir::kApnic: return apnic_32bit(year);
+    case Rir::kArin: return arin_32bit(year);
+    case Rir::kLacnic: return lacnic_32bit(year);
+    case Rir::kRipeNcc: return ripe_32bit(year);
+  }
+  return 0;
+}
+
+DurationMixture RirPolicy::durations(int year) const noexcept {
+  // Post-2010, life expectancy converges across RIRs (5, Fig. 14).
+  if (year >= 2010) return DurationMixture{0.10, 0.20, 0.20, 0.50};
+  switch (rir) {
+    case Rir::kArin: return DurationMixture{0.06, 0.15, 0.24, 0.55};
+    case Rir::kRipeNcc: return DurationMixture{0.08, 0.18, 0.24, 0.50};
+    case Rir::kApnic: return DurationMixture{0.11, 0.22, 0.25, 0.42};
+    case Rir::kAfrinic: return DurationMixture{0.09, 0.20, 0.26, 0.45};
+    case Rir::kLacnic: return DurationMixture{0.13, 0.25, 0.25, 0.37};
+  }
+  return {};
+}
+
+const RirPolicy& default_policy(Rir rir) noexcept {
+  static const auto kPolicies = [] {
+    std::array<RirPolicy, asn::kRirCount> policies{};
+    for (Rir r : asn::kAllRirs) {
+      RirPolicy& p = policies[asn::index_of(r)];
+      p.rir = r;
+      switch (r) {
+        case Rir::kArin:
+          // ARIN reclaims out-of-compliance resources since 2010 and is the
+          // heaviest re-allocator (Table 2: 21.9% two lives, 6.2% more).
+          p.reuse_preference = 0.60;
+          p.interruption_probability = 0.02;
+          p.publish_delay_same_day_fraction = 0.9935;
+          break;
+        case Rir::kRipeNcc:
+          p.reuse_preference = 0.22;
+          p.interruption_probability = 0.012;
+          p.publish_delay_same_day_fraction = 0.97;
+          // RIPE made reuse faster in the mid-2010s, tolerating dangling
+          // announcements (App. B) — but occasionally holding ASNs reserved
+          // because of them (AS43268 case, 6.2).
+          p.dangling_hold_probability = 0.02;
+          break;
+        case Rir::kApnic:
+          p.reuse_preference = 0.12;
+          p.interruption_probability = 0.008;
+          p.publish_delay_same_day_fraction = 0.97;
+          p.delegates_nir_blocks = true;
+          p.nir_block_fraction = 0.15;
+          break;
+        case Rir::kLacnic:
+          p.reuse_preference = 0.025;
+          p.interruption_probability = 0.006;
+          p.publish_delay_same_day_fraction = 0.96;
+          break;
+        case Rir::kAfrinic:
+          p.reuse_preference = 0.05;
+          p.interruption_probability = 0.01;
+          p.publish_delay_same_day_fraction = 0.901;
+          p.regdate_reset_on_same_holder_reallocation = true;  // 4.1 exception
+          break;
+      }
+    }
+    return policies;
+  }();
+  return kPolicies[asn::index_of(rir)];
+}
+
+}  // namespace pl::rirsim

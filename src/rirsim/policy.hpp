@@ -1,0 +1,84 @@
+// Per-RIR allocation policy and reporting-practice models.
+//
+// Every knob here is calibrated against a behaviour the paper documents
+// (2, 5, Appendix A/B): birth-rate curves per era, lifetime-duration
+// mixtures, quarantine and reuse aggressiveness, the 16->32-bit transition
+// schedule, and registration-date bookkeeping quirks that the lifetime
+// builder's rules (4.1) key on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "asn/rir.hpp"
+#include "util/date.hpp"
+
+namespace pl::rirsim {
+
+/// Lifetime-duration mixture (targets the Fig. 5 CDF shape). Weights need
+/// not sum to 1; they are normalized. "Open-ended" lives survive to the
+/// archive horizon.
+struct DurationMixture {
+  double weight_short = 0.1;   ///< < 1 year (lognormal around ~5 months)
+  double weight_medium = 0.25; ///< 1..5 years
+  double weight_long = 0.25;   ///< 5..17 years
+  double weight_open = 0.4;    ///< still allocated at horizon
+};
+
+/// Allocation policy for one registry.
+struct RirPolicy {
+  asn::Rir rir = asn::Rir::kArin;
+
+  /// Births per quarter for a given calendar year (piecewise-constant
+  /// within a year). Implements the Fig. 10 shape (dot-com bubble, RIPE's
+  /// 2005-2013 volume, APNIC/LACNIC 2014 ramp).
+  double births_per_quarter(int year) const noexcept;
+
+  /// Fraction of new allocations that are 32-bit numbers in `year`
+  /// (Fig. 12 / App. B schedule: 2007 opt-in, 2009 default, ARIN's late
+  /// ramp, younger RIRs near-total conversion by 2020).
+  double fraction_32bit(int year) const noexcept;
+
+  /// Probability a new birth reuses a previously-returned number when the
+  /// quarantine pool has one (drives Table 2 re-allocation shares).
+  double reuse_preference = 0.5;
+
+  /// Quarantine (reserved) duration after deallocation, in days.
+  int quarantine_min_days = 60;
+  int quarantine_max_days = 400;
+
+  /// Probability that a deallocated life's reserved period is extended
+  /// because dangling BGP announcements kept the number out of the pool
+  /// (6.2, AS43268 case).
+  double dangling_hold_probability = 0.01;
+
+  /// Duration mixture for lives born in `year` — life expectancy converges
+  /// across RIRs after ~2010 (5, Fig. 14).
+  DurationMixture durations(int year) const noexcept;
+
+  /// Probability that a reserved interruption happens inside a life
+  /// (administrative issues, later returned to the same holder — the 4.1
+  /// same-registration-date merge case).
+  double interruption_probability = 0.01;
+
+  /// AfriNIC resets registration dates when re-allocating to the same
+  /// holder (everyone else keeps the original date) — the 4.1 exception.
+  bool regdate_reset_on_same_holder_reallocation = false;
+
+  /// Mean delay (days) between registration and the record first appearing
+  /// in delegation files; 90.1% (AfriNIC)..99.35% (ARIN) appear within a
+  /// day (4.1 footnote 6).
+  double publish_delay_same_day_fraction = 0.99;
+
+  /// APNIC delegates blocks to NIRs; block allocations appear at once in
+  /// the file even though end-user delegation happens later (4.1).
+  bool delegates_nir_blocks = false;
+
+  /// Fraction of an era's births that are NIR block members (APNIC only).
+  double nir_block_fraction = 0.0;
+};
+
+/// Default, paper-calibrated policy for each registry.
+const RirPolicy& default_policy(asn::Rir rir) noexcept;
+
+}  // namespace pl::rirsim

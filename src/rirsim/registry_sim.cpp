@@ -1,0 +1,308 @@
+#include "rirsim/registry_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "asn/country.hpp"
+
+namespace pl::rirsim {
+
+namespace {
+
+using util::Day;
+using util::DayInterval;
+using util::Rng;
+
+/// A previously-used number sitting in (or past) quarantine.
+struct PoolEntry {
+  asn::Asn asn;
+  Day available_from = 0;
+  int previous_lives = 0;
+};
+
+/// Number source for one registry: fresh 16-bit lane, fresh 32-bit lane, and
+/// the reuse pool.
+class NumberSource {
+ public:
+  NumberSource(const IanaBlockTable& iana, asn::Rir rir) {
+    for (const IanaBlock& block : iana.blocks()) {
+      if (block.rir != rir) continue;
+      if (block.first.value < 65536) {
+        lane16_next_ = block.first.value;
+        lane16_end_ = block.first.value + block.count;
+      } else {
+        lane32_next_ = block.first.value;
+        lane32_end_ = block.first.value + block.count;
+      }
+    }
+  }
+
+  bool has_16bit() const noexcept { return lane16_next_ < lane16_end_; }
+
+  std::optional<asn::Asn> fresh_16bit() noexcept {
+    if (!has_16bit()) return std::nullopt;
+    return asn::Asn{lane16_next_++};
+  }
+
+  std::optional<asn::Asn> fresh_32bit() noexcept {
+    if (lane32_next_ >= lane32_end_) return std::nullopt;
+    return asn::Asn{lane32_next_++};
+  }
+
+  void retire_to_pool(PoolEntry entry) { pool_.push_back(entry); }
+
+  /// Pop a reusable number available on or before `day`, if any.
+  std::optional<PoolEntry> pop_reusable(Day day) noexcept {
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      if (pool_[i].available_from <= day) {
+        PoolEntry entry = pool_[i];
+        pool_[i] = pool_.back();
+        pool_.pop_back();
+        return entry;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::uint32_t lane16_next_ = 0;
+  std::uint32_t lane16_end_ = 0;
+  std::uint32_t lane32_next_ = 0;
+  std::uint32_t lane32_end_ = 0;
+  std::vector<PoolEntry> pool_;
+};
+
+/// Sample a life duration in days from the policy's mixture.
+std::int64_t sample_duration(const DurationMixture& mix, Rng& rng,
+                             std::int64_t days_to_horizon) {
+  const double weights[] = {mix.weight_short, mix.weight_medium,
+                            mix.weight_long, mix.weight_open};
+  switch (rng.weighted(weights)) {
+    case 0:  // < 1 year, log-normal around ~5 months
+      return std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(rng.lognormal(5.0, 0.7)), 7, 364);
+    case 1:  // 1..5 years
+      return rng.uniform(365, 5 * 365);
+    case 2:  // 5..17 years
+      return rng.uniform(5 * 365 + 1, 17 * 365);
+    default:  // open-ended: survive past the horizon
+      return days_to_horizon + 1;
+  }
+}
+
+asn::CountryCode sample_country(asn::Rir rir, int year, Rng& rng) {
+  const auto pool = asn::country_pool(rir, year);
+  std::vector<double> weights;
+  weights.reserve(pool.size() + 1);
+  double total = 0;
+  for (const auto& entry : pool) {
+    weights.push_back(entry.weight);
+    total += entry.weight;
+  }
+  // Long tail of other countries.
+  weights.push_back(std::max(0.0, 100.0 - total));
+  const std::size_t pick = rng.weighted(weights);
+  if (pick < pool.size()) return pool[pick].country;
+  // Synthesize a tail country deterministically.
+  const char a = static_cast<char>('A' + rng.uniform(0, 25));
+  const char b = static_cast<char>('A' + rng.uniform(0, 25));
+  return asn::CountryCode::literal(a, b);
+}
+
+}  // namespace
+
+RegistrySimResult simulate_registry(const RegistrySimConfig& config,
+                                    const IanaBlockTable& iana,
+                                    Rng& rng) {
+  RegistrySimResult result;
+  const RirPolicy& policy = config.policy;
+  const Day horizon = config.horizon;
+
+  NumberSource numbers(iana, policy.rir);
+
+  // Organizations: multi-ASN operators accumulate siblings; special org
+  // kinds are created lazily.
+  std::vector<Organization>& orgs = result.orgs;
+  std::vector<OrgId> multi_asn_orgs;  // candidates for sibling attachment
+
+  const auto new_org = [&](OrgKind kind, asn::CountryCode country) {
+    Organization org;
+    org.id = orgs.size();
+    org.kind = kind;
+    org.rir = policy.rir;
+    org.country = country;
+    orgs.push_back(org);
+    return org.id;
+  };
+
+  const int first_year = util::year_of(config.first_birth_day);
+  const int last_year = util::year_of(horizon);
+
+  for (int year = first_year; year <= last_year; ++year) {
+    for (int quarter = 0; quarter < 4; ++quarter) {
+      const Day quarter_start =
+          util::make_day(year, static_cast<unsigned>(quarter * 3 + 1), 1);
+      if (quarter_start > horizon) break;
+      const Day quarter_end = std::min<Day>(
+          horizon, util::make_day(quarter == 3 ? year + 1 : year,
+                                  static_cast<unsigned>(quarter == 3
+                                                            ? 1
+                                                            : quarter * 3 + 4),
+                                  1) -
+                       1);
+
+      // Stochastic rounding of the scaled budget keeps small scales fair.
+      const double budget = policy.births_per_quarter(year) * config.scale;
+      int births = static_cast<int>(budget);
+      if (rng.chance(budget - births)) ++births;
+
+      // APNIC NIR block delegations: a slice of the budget arrives as
+      // contiguous blocks delegated at once.
+      int nir_births = 0;
+      if (policy.delegates_nir_blocks)
+        nir_births = static_cast<int>(births * policy.nir_block_fraction);
+      const int regular_births = births - nir_births;
+
+      const auto make_life = [&](asn::Asn number, Day birth_day, OrgId org,
+                                 asn::CountryCode country, int ordinal,
+                                 bool nir) {
+        TrueAdminLife life;
+        life.asn = number;
+        life.org = org;
+        life.country = country;
+        life.registration_date = birth_day;
+        life.ordinal = ordinal;
+        life.nir_block = nir;
+        // Publication lag (footnote 6).
+        if (!rng.chance(policy.publish_delay_same_day_fraction))
+          life.publish_lag_days = static_cast<int>(
+              rng.chance(0.85) ? rng.uniform(1, 3) : rng.uniform(4, 10));
+
+        const std::int64_t duration = sample_duration(
+            policy.durations(year), rng, horizon - birth_day);
+        Day end = birth_day + static_cast<Day>(duration) - 1;
+        if (end >= horizon) {
+          end = horizon;
+          life.open_ended = true;
+        }
+        life.days = DayInterval{birth_day, end};
+        life.segments.push_back(RegistrySegment{policy.rir, life.days});
+
+        // Mid-life reserved interruption, resolved back to the same holder.
+        if (!nir && life.days.length() > 400 &&
+            rng.chance(policy.interruption_probability)) {
+          const Day gap_start = birth_day + static_cast<Day>(rng.uniform(
+                                                100, life.days.length() - 200));
+          const Day gap_len = static_cast<Day>(rng.uniform(10, 120));
+          Interruption interruption;
+          interruption.days = DayInterval{gap_start, gap_start + gap_len - 1};
+          interruption.regdate_reset =
+              policy.regdate_reset_on_same_holder_reallocation;
+          life.interruptions.push_back(interruption);
+        }
+
+        // Rare administrative registration-date correction (4.1).
+        if (!nir && life.days.length() > 700 && rng.chance(0.002)) {
+          const Day when =
+              birth_day + static_cast<Day>(rng.uniform(
+                              300, life.days.length() - 100));
+          const Day corrected =
+              life.registration_date + static_cast<Day>(rng.uniform(-30, 30));
+          life.regdate_correction = {{when, corrected}};
+        }
+
+        // Quarantine after a closed life.
+        DayInterval quarantine{};
+        if (!life.open_ended) {
+          std::int64_t q_days = rng.uniform(policy.quarantine_min_days,
+                                            policy.quarantine_max_days);
+          if (rng.chance(policy.dangling_hold_probability))
+            q_days += rng.uniform(200, 700);
+          const Day q_end =
+              std::min<Day>(horizon, life.days.last + static_cast<Day>(q_days));
+          quarantine = DayInterval{life.days.last + 1, q_end};
+          numbers.retire_to_pool(PoolEntry{
+              number, life.days.last + static_cast<Day>(q_days) + 1,
+              ordinal + 1});
+        }
+
+        result.lives.push_back(std::move(life));
+        result.quarantine_after.push_back(quarantine);
+      };
+
+      for (int b = 0; b < regular_births; ++b) {
+        const Day birth_day =
+            quarter_start +
+            static_cast<Day>(rng.uniform(0, quarter_end - quarter_start));
+
+        // Number choice: reuse from the quarantine pool, else fresh.
+        asn::Asn number;
+        int ordinal = 0;
+        const bool try_reuse = rng.chance(policy.reuse_preference);
+        std::optional<PoolEntry> reused;
+        if (try_reuse) reused = numbers.pop_reusable(birth_day);
+        if (reused) {
+          number = reused->asn;
+          ordinal = reused->previous_lives;
+        } else {
+          const bool want_32 =
+              year >= 2007 && rng.chance(policy.fraction_32bit(year));
+          std::optional<asn::Asn> fresh =
+              want_32 ? numbers.fresh_32bit() : numbers.fresh_16bit();
+          if (!fresh) fresh = want_32 ? numbers.fresh_16bit()
+                                      : numbers.fresh_32bit();
+          if (!fresh) continue;  // registry exhausted both lanes
+          number = *fresh;
+        }
+
+        // Organization: mostly new single-AS orgs; some siblings; rare
+        // government/legacy blocks in the early eras.
+        const asn::CountryCode country = sample_country(policy.rir, year, rng);
+        OrgId org;
+        if (!multi_asn_orgs.empty() && rng.chance(0.12)) {
+          org = multi_asn_orgs[static_cast<std::size_t>(rng.uniform(
+              0, static_cast<std::int64_t>(multi_asn_orgs.size()) - 1))];
+        } else {
+          OrgKind kind = OrgKind::kSmallNetwork;
+          if (year < 1998 && rng.chance(0.06))
+            kind = rng.chance(0.5) ? OrgKind::kGovernment
+                                   : OrgKind::kLegacyHolder;
+          else if (rng.chance(0.05))
+            kind = OrgKind::kLargeOperator;
+          org = new_org(kind, country);
+          if (kind != OrgKind::kSmallNetwork) multi_asn_orgs.push_back(org);
+        }
+        orgs[org].asns.push_back(number);
+        make_life(number, birth_day, org,
+                  orgs[org].country.unknown() ? country : orgs[org].country,
+                  ordinal, /*nir=*/false);
+      }
+
+      // NIR block delegations (APNIC): contiguous fresh numbers in one shot.
+      if (nir_births > 0) {
+        const Day birth_day =
+            quarter_start +
+            static_cast<Day>(rng.uniform(0, quarter_end - quarter_start));
+        const asn::CountryCode country =
+            sample_country(policy.rir, year, rng);
+        const OrgId nir_org = new_org(OrgKind::kNir, country);
+        for (int b = 0; b < nir_births; ++b) {
+          const bool want_32 =
+              year >= 2007 && rng.chance(policy.fraction_32bit(year));
+          std::optional<asn::Asn> fresh =
+              want_32 ? numbers.fresh_32bit() : numbers.fresh_16bit();
+          if (!fresh) fresh = want_32 ? numbers.fresh_16bit()
+                                      : numbers.fresh_32bit();
+          if (!fresh) break;
+          orgs[nir_org].asns.push_back(*fresh);
+          make_life(*fresh, birth_day, nir_org, country, 0, /*nir=*/true);
+        }
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace pl::rirsim

@@ -1,0 +1,35 @@
+// Single-registry allocation simulator: turns a RirPolicy into a stream of
+// ground-truth administrative lives, organizations, and quarantine spans.
+#pragma once
+
+#include <vector>
+
+#include "rirsim/policy.hpp"
+#include "rirsim/truth.hpp"
+#include "util/rng.hpp"
+
+namespace pl::rirsim {
+
+/// Configuration for one registry's generation run.
+struct RegistrySimConfig {
+  RirPolicy policy;
+  double scale = 1.0;            ///< multiplier on birth budgets
+  util::Day horizon = 0;         ///< archive end; open lives are clipped here
+  util::Day first_birth_day = 0; ///< no births before this day
+};
+
+/// Output of one registry's run, to be merged into the world's GroundTruth.
+struct RegistrySimResult {
+  std::vector<TrueAdminLife> lives;
+  std::vector<util::DayInterval> quarantine_after;  ///< parallel to lives
+  std::vector<Organization> orgs;                   ///< org ids are local;
+                                                    ///< world remaps them
+};
+
+/// Run the generator. `iana` supplies the registry's number lanes;
+/// deterministic under `rng`'s seed.
+RegistrySimResult simulate_registry(const RegistrySimConfig& config,
+                                    const IanaBlockTable& iana,
+                                    util::Rng& rng);
+
+}  // namespace pl::rirsim

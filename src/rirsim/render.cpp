@@ -1,0 +1,194 @@
+#include "rirsim/render.hpp"
+
+#include <algorithm>
+
+namespace pl::rirsim {
+
+namespace {
+
+using dele::RecordChange;
+using dele::RecordState;
+using dele::Status;
+using util::Day;
+using util::DayInterval;
+
+/// A contiguous span during which one channel shows one state for one ASN.
+struct Span {
+  DayInterval days;
+  RecordState state;
+};
+
+/// Append change events for one ASN's ordered, non-overlapping spans.
+void emit_spans(ChangeMap& map, asn::Asn asn, const std::vector<Span>& spans) {
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& span = spans[i];
+    if (span.days.empty()) continue;
+    // Skip no-op transitions (same state continuing from previous span).
+    const bool continues_previous =
+        i > 0 && !spans[i - 1].days.empty() &&
+        spans[i - 1].days.last + 1 == span.days.first &&
+        spans[i - 1].state == span.state;
+    if (!continues_previous)
+      map[span.days.first].push_back(RecordChange{asn, span.state});
+    const bool has_adjacent_next =
+        i + 1 < spans.size() && !spans[i + 1].days.empty() &&
+        spans[i + 1].days.first == span.days.last + 1;
+    if (!has_adjacent_next)
+      map[span.days.last + 1].push_back(RecordChange{asn, std::nullopt});
+  }
+}
+
+/// The registration date the files report for `life` on day `d` — the true
+/// date modified by AfriNIC resets and administrative corrections.
+Day reported_regdate(const TrueAdminLife& life, Day d) {
+  Day date = life.registration_date;
+  for (const Interruption& gap : life.interruptions)
+    if (gap.regdate_reset && d > gap.days.last) date = gap.days.last + 1;
+  if (life.regdate_correction && d >= life.regdate_correction->first)
+    date = life.regdate_correction->second;
+  return date;
+}
+
+/// Days at which the reported regdate changes within [first, last].
+std::vector<Day> regdate_breakpoints(const TrueAdminLife& life,
+                                     const DayInterval& window) {
+  std::vector<Day> points;
+  for (const Interruption& gap : life.interruptions)
+    if (gap.regdate_reset && window.contains(gap.days.last + 1))
+      points.push_back(gap.days.last + 1);
+  if (life.regdate_correction && window.contains(life.regdate_correction->first))
+    points.push_back(life.regdate_correction->first);
+  std::sort(points.begin(), points.end());
+  return points;
+}
+
+}  // namespace
+
+RenderedRegistry render_registry(const GroundTruth& truth, asn::Rir rir) {
+  RenderedRegistry out;
+
+  // Collect spans per ASN per channel, then emit ordered events.
+  std::map<std::uint32_t, std::vector<Span>> extended_spans;
+  std::map<std::uint32_t, std::vector<Span>> regular_spans;
+
+  for (std::size_t life_index = 0; life_index < truth.lives.size();
+       ++life_index) {
+    const TrueAdminLife& life = truth.lives[life_index];
+
+    for (const RegistrySegment& segment : life.segments) {
+      if (segment.rir != rir) continue;
+
+      // The record reaches the files `publish_lag_days` after the true
+      // start (only the first segment: transfers republish immediately).
+      DayInterval published = segment.days;
+      if (segment.days.first == life.days.first)
+        published.first += life.publish_lag_days;
+      if (published.empty()) continue;
+
+      // Split the segment's allocated time around interruptions.
+      std::vector<DayInterval> allocated = {published};
+      std::vector<DayInterval> reserved_gaps;
+      for (const Interruption& gap : life.interruptions) {
+        const DayInterval g = gap.days.intersect(segment.days);
+        if (g.empty()) continue;
+        reserved_gaps.push_back(g);
+        std::vector<DayInterval> next;
+        for (const DayInterval& span : allocated) {
+          if (!span.overlaps(g)) {
+            next.push_back(span);
+            continue;
+          }
+          if (span.first < g.first)
+            next.push_back(DayInterval{span.first, g.first - 1});
+          if (span.last > g.last)
+            next.push_back(DayInterval{g.last + 1, span.last});
+        }
+        allocated = std::move(next);
+      }
+
+      const auto base_state = [&](Day on_day) {
+        RecordState state;
+        state.status = Status::kAllocated;
+        state.registration_date = reported_regdate(life, on_day);
+        state.country = life.country;
+        state.opaque_id = life.org + 1;  // 0 means "none" in files
+        return state;
+      };
+
+      auto& ext = extended_spans[life.asn.value];
+      auto& reg = regular_spans[life.asn.value];
+
+      for (const DayInterval& span : allocated) {
+        // Further split where the reported regdate changes mid-span.
+        std::vector<Day> cuts = regdate_breakpoints(life, span);
+        Day cursor = span.first;
+        cuts.push_back(span.last + 1);
+        for (Day cut : cuts) {
+          if (cut <= cursor) continue;
+          const DayInterval piece{cursor, cut - 1};
+          ext.push_back(Span{piece, base_state(piece.first)});
+          reg.push_back(Span{piece, base_state(piece.first)});
+          cursor = cut;
+        }
+      }
+
+      // Interruptions appear as reserved in the extended channel and vanish
+      // from the regular channel.
+      for (const DayInterval& gap : reserved_gaps) {
+        RecordState state;
+        state.status = Status::kReserved;
+        state.registration_date = std::nullopt;
+        ext.push_back(Span{gap, state});
+      }
+    }
+
+    // Post-life quarantine + availability, charged to the registry holding
+    // the ASN at the end of the life.
+    if (!life.open_ended &&
+        life.segments.back().rir == rir) {
+      const DayInterval quarantine = truth.quarantine_after[life_index];
+      auto& ext = extended_spans[life.asn.value];
+      if (!quarantine.empty()) {
+        RecordState state;
+        state.status = Status::kReserved;
+        ext.push_back(Span{quarantine, state});
+      }
+      // Available until reallocated (next life's start) or horizon. Only
+      // previously-used numbers are rendered as available (see DESIGN.md 5).
+      const Day available_from =
+          (quarantine.empty() ? life.days.last : quarantine.last) + 1;
+      Day available_to = truth.archive_end;
+      const auto it = truth.lives_by_asn.find(life.asn.value);
+      if (it != truth.lives_by_asn.end()) {
+        for (std::size_t other : it->second) {
+          const TrueAdminLife& next_life = truth.lives[other];
+          if (next_life.days.first > life.days.last) {
+            available_to =
+                std::min<Day>(available_to, next_life.days.first - 1);
+            break;
+          }
+        }
+      }
+      if (available_from <= available_to) {
+        RecordState state;
+        state.status = Status::kAvailable;
+        ext.push_back(Span{DayInterval{available_from, available_to}, state});
+      }
+    }
+  }
+
+  const auto finalize = [](std::map<std::uint32_t, std::vector<Span>>& spans,
+                           ChangeMap& map) {
+    for (auto& [asn_value, list] : spans) {
+      std::sort(list.begin(), list.end(), [](const Span& a, const Span& b) {
+        return a.days.first < b.days.first;
+      });
+      emit_spans(map, asn::Asn{asn_value}, list);
+    }
+  };
+  finalize(extended_spans, out.extended);
+  finalize(regular_spans, out.regular);
+  return out;
+}
+
+}  // namespace pl::rirsim

@@ -1,0 +1,30 @@
+// Rendering ground truth into per-registry delegation-file timelines: for
+// each (registry, channel) the exact record content the registry would
+// publish each day, expressed as per-day change events. Error injection
+// (inject.hpp) perturbs these streams afterwards.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "delegation/record.hpp"
+#include "rirsim/truth.hpp"
+
+namespace pl::rirsim {
+
+/// Per-day record-change events for one (registry, channel), keyed by day.
+/// Events start at the beginning of simulated history (1984), well before
+/// any file is published; the archive cursor replays early events silently
+/// to seed the first file's content.
+using ChangeMap = std::map<util::Day, std::vector<dele::RecordChange>>;
+
+/// Both channels of one registry.
+struct RenderedRegistry {
+  ChangeMap extended;  ///< allocated + reserved + available(previously used)
+  ChangeMap regular;   ///< delegated records only
+};
+
+/// Render one registry's truth timeline.
+RenderedRegistry render_registry(const GroundTruth& truth, asn::Rir rir);
+
+}  // namespace pl::rirsim

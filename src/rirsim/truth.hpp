@@ -1,0 +1,100 @@
+// Ground truth produced by the world simulator: the *actual* administrative
+// history of every ASN, before delegation-file rendering and error
+// injection. The pipeline's job is to recover (an approximation of) this
+// from the noisy archive; tests measure how well it does.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "asn/asn.hpp"
+#include "asn/country.hpp"
+#include "asn/rir.hpp"
+#include "rirsim/iana.hpp"
+#include "rirsim/org.hpp"
+#include "util/interval.hpp"
+
+namespace pl::rirsim {
+
+/// Part of a life spent under one registry (inter-RIR transfers split a
+/// life into consecutive segments).
+struct RegistrySegment {
+  asn::Rir rir = asn::Rir::kArin;
+  util::DayInterval days;
+};
+
+/// A reserved/administrative interruption *inside* one life: the holder kept
+/// the number, the registry briefly parked it (4.1's same-registration-date
+/// merge case).
+struct Interruption {
+  util::DayInterval days;
+  /// AfriNIC resets the registration date on re-allocation to the same
+  /// holder; set when that quirk applies to the resumption after this
+  /// interruption.
+  bool regdate_reset = false;
+};
+
+/// One true administrative life of one ASN.
+struct TrueAdminLife {
+  asn::Asn asn;
+  OrgId org = 0;
+  asn::CountryCode country;
+  util::Day registration_date = 0;  ///< true original registration date
+  util::DayInterval days;           ///< allocation span (end clipped to horizon)
+  bool open_ended = false;          ///< still allocated at the horizon
+  std::vector<RegistrySegment> segments;  ///< >=1, consecutive, gap-free
+  std::vector<Interruption> interruptions;
+  int ordinal = 0;                  ///< 0 for the ASN's first life, 1 next...
+  bool erx_transfer = false;        ///< moved by the ERX project
+  bool nir_block = false;           ///< part of an APNIC->NIR block delegation
+  /// Mid-life administrative correction of the registration date: from day
+  /// `first` onward the files report date `second`. Same life (4.1).
+  std::optional<std::pair<util::Day, util::Day>> regdate_correction;
+  /// Days between registration and the record's first appearance in the
+  /// delegation files (footnote 6: 90.1%..99.35% appear within a day). The
+  /// rendered file spans start this many days after `days.first`.
+  int publish_lag_days = 0;
+
+  /// Registry responsible at day `d` (the last segment covering d).
+  asn::Rir registry_on(util::Day d) const noexcept {
+    for (const RegistrySegment& s : segments)
+      if (s.days.contains(d)) return s.rir;
+    return segments.back().rir;
+  }
+
+  /// Registry of the first segment (used for per-RIR accounting; the paper
+  /// attributes merged transfer lives to the allocating registry).
+  asn::Rir birth_registry() const noexcept { return segments.front().rir; }
+};
+
+/// The ERX reference data: original registration dates for early-registration
+/// transfers, mirroring ARIN's published pre-delegation-file records that the
+/// paper used to repair placeholder dates (3.1.v).
+using ErxReference = std::map<std::uint32_t, util::Day>;
+
+/// Everything the simulator knows to be true.
+struct GroundTruth {
+  util::Day archive_begin = 0;
+  util::Day archive_end = 0;
+  std::vector<TrueAdminLife> lives;
+  std::vector<Organization> orgs;  ///< indexed by OrgId
+  IanaBlockTable iana;
+  ErxReference erx;
+
+  /// Post-life quarantine (reserved) spans, keyed by life index — rendered
+  /// into extended files but not part of any life.
+  std::vector<util::DayInterval> quarantine_after;  ///< parallel to `lives`
+
+  /// Lives grouped by ASN (indices into `lives`, in start order).
+  std::map<std::uint32_t, std::vector<std::size_t>> lives_by_asn;
+
+  /// Rebuild `lives_by_asn` after mutating `lives`.
+  void index();
+
+  /// Count of lives whose birth registry is `rir`.
+  std::size_t life_count(asn::Rir rir) const noexcept;
+};
+
+}  // namespace pl::rirsim

@@ -1,0 +1,191 @@
+#include "rirsim/world.hpp"
+
+#include <algorithm>
+
+namespace pl::rirsim {
+
+namespace {
+
+using asn::Rir;
+using util::Day;
+using util::DayInterval;
+using util::Rng;
+
+/// Resample a life's holder country from the target region's pool — ERX
+/// moved resources *because* the holder resided in the target region.
+void relocate_holder(TrueAdminLife& life, Rir target, Rng& rng) {
+  const auto pool = asn::country_pool(target,
+                                      util::year_of(life.days.first));
+  if (pool.empty()) return;
+  std::vector<double> weights;
+  weights.reserve(pool.size());
+  for (const auto& entry : pool) weights.push_back(entry.weight);
+  life.country = pool[rng.weighted(weights)].country;
+}
+
+/// Split a life's single segment at `transfer_day`, moving the tail to
+/// `target`. Precondition: the life covers transfer_day.
+void apply_transfer(TrueAdminLife& life, Day transfer_day, Rir target) {
+  RegistrySegment& last = life.segments.back();
+  const DayInterval tail{transfer_day, last.days.last};
+  last.days.last = transfer_day - 1;
+  if (last.days.empty()) {
+    last.rir = target;
+    last.days = tail;
+  } else {
+    life.segments.push_back(RegistrySegment{target, tail});
+  }
+}
+
+}  // namespace
+
+void GroundTruth::index() {
+  lives_by_asn.clear();
+  std::vector<std::size_t> order(lives.size());
+  for (std::size_t i = 0; i < lives.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (lives[a].asn != lives[b].asn) return lives[a].asn < lives[b].asn;
+    return lives[a].days.first < lives[b].days.first;
+  });
+  for (std::size_t i : order)
+    lives_by_asn[lives[i].asn.value].push_back(i);
+  // Re-number ordinals to match temporal order (ERX moves don't change
+  // order, but reuse across registries could).
+  for (auto& [asn_value, indices] : lives_by_asn)
+    for (std::size_t k = 0; k < indices.size(); ++k)
+      lives[indices[k]].ordinal = static_cast<int>(k);
+}
+
+std::size_t GroundTruth::life_count(Rir rir) const noexcept {
+  std::size_t count = 0;
+  for (const TrueAdminLife& life : lives)
+    if (life.birth_registry() == rir) ++count;
+  return count;
+}
+
+GroundTruth build_world(const WorldConfig& config) {
+  GroundTruth truth;
+  truth.archive_begin = config.archive_begin;
+  truth.archive_end = config.archive_end;
+  truth.iana = make_default_iana_plan();
+
+  Rng rng(config.seed);
+
+  // Per-registry generation. Legacy (pre-RIR) numbers are modelled as ARIN
+  // births, since ARIN inherited the InterNIC database (3.1.v).
+  for (Rir rir : asn::kAllRirs) {
+    RegistrySimConfig sim;
+    sim.policy = default_policy(rir);
+    sim.scale = config.scale;
+    sim.horizon = config.archive_end;
+    sim.first_birth_day = util::make_day(1984, 1, 1);
+    Rng registry_rng = rng.fork();
+    RegistrySimResult result =
+        simulate_registry(sim, truth.iana, registry_rng);
+
+    // Remap org ids into the world table.
+    const OrgId base = truth.orgs.size();
+    for (Organization& org : result.orgs) {
+      org.id += base;
+      truth.orgs.push_back(std::move(org));
+    }
+    for (TrueAdminLife& life : result.lives) {
+      life.org += base;
+      truth.lives.push_back(std::move(life));
+    }
+    for (const DayInterval& q : result.quarantine_after)
+      truth.quarantine_after.push_back(q);
+  }
+
+  // --- ERX phase 1 (2002-2003): early-registration ASNs move from ARIN to
+  // RIPE/APNIC/LACNIC. 5,026 ASNs at paper scale.
+  {
+    Rng erx_rng = rng.fork();
+    const auto target_count =
+        static_cast<std::size_t>(5026 * config.scale);
+    const Day erx_window_start = util::make_day(2002, 10, 1);
+    const Day erx_window_end = util::make_day(2003, 9, 30);
+    std::size_t moved = 0;
+    for (std::size_t i = 0;
+         i < truth.lives.size() && moved < target_count; ++i) {
+      TrueAdminLife& life = truth.lives[i];
+      if (life.birth_registry() != Rir::kArin) continue;
+      if (util::year_of(life.registration_date) >= 1998) continue;
+      if (!life.days.contains(erx_window_end)) continue;
+      const Day transfer_day = erx_window_start + static_cast<Day>(
+          erx_rng.uniform(0, erx_window_end - erx_window_start));
+      const double pick = erx_rng.uniform01();
+      const Rir target = pick < 0.60   ? Rir::kRipeNcc
+                         : pick < 0.85 ? Rir::kApnic
+                                       : Rir::kLacnic;
+      apply_transfer(life, transfer_day, target);
+      relocate_holder(life, target, erx_rng);
+      life.erx_transfer = true;
+      truth.erx[life.asn.value] = life.registration_date;
+      ++moved;
+    }
+  }
+
+  // --- ERX phase 2 (2005): AfriNIC receives 204 ASNs from ARIN and RIPE,
+  // registration dates unaltered.
+  {
+    Rng erx_rng = rng.fork();
+    const auto target_count = static_cast<std::size_t>(204 * config.scale);
+    const Day transfer_day = util::make_day(2005, 7, 15);
+    std::size_t moved = 0;
+    for (std::size_t i = 0;
+         i < truth.lives.size() && moved < target_count; ++i) {
+      TrueAdminLife& life = truth.lives[i];
+      const Rir birth = life.birth_registry();
+      if (birth != Rir::kArin && birth != Rir::kRipeNcc) continue;
+      if (life.erx_transfer) continue;
+      if (util::year_of(life.registration_date) >= 2000) continue;
+      if (!life.days.contains(transfer_day)) continue;
+      if (!erx_rng.chance(0.3)) continue;
+      apply_transfer(life, transfer_day, Rir::kAfrinic);
+      relocate_holder(life, Rir::kAfrinic, erx_rng);
+      life.erx_transfer = true;
+      truth.erx[life.asn.value] = life.registration_date;
+      ++moved;
+    }
+  }
+
+  // --- Regular inter-RIR transfers (342 at paper scale, 4.1): gap-free
+  // registry switches in the 2010s.
+  {
+    Rng transfer_rng = rng.fork();
+    const auto target_count = static_cast<std::size_t>(342 * config.scale);
+    const Day window_start = util::make_day(2012, 1, 1);
+    std::size_t moved = 0;
+    for (std::size_t i = 0;
+         i < truth.lives.size() && moved < target_count; ++i) {
+      TrueAdminLife& life = truth.lives[i];
+      if (life.erx_transfer || life.segments.size() > 1 || life.nir_block)
+        continue;
+      if (life.days.first > window_start - 400 ||
+          life.days.last < window_start + 400)
+        continue;
+      if (!transfer_rng.chance(0.01)) continue;
+      const Day transfer_day = window_start + static_cast<Day>(
+          transfer_rng.uniform(0, std::min<Day>(life.days.last,
+                                                config.archive_end) -
+                                      window_start - 1));
+      if (!life.days.contains(transfer_day) ||
+          transfer_day <= life.days.first)
+        continue;
+      const Rir source = life.birth_registry();
+      Rir target = source;
+      while (target == source)
+        target = asn::kAllRirs[static_cast<std::size_t>(
+            transfer_rng.uniform(0, 4))];
+      apply_transfer(life, transfer_day, target);
+      relocate_holder(life, target, transfer_rng);
+      ++moved;
+    }
+  }
+
+  truth.index();
+  return truth;
+}
+
+}  // namespace pl::rirsim

@@ -1,0 +1,38 @@
+// The world simulator: five registries, IANA, ERX history, inter-RIR
+// transfers — producing the GroundTruth that both the delegation archive
+// renderer and the BGP behaviour generator consume.
+#pragma once
+
+#include <cstdint>
+
+#include "rirsim/registry_sim.hpp"
+#include "rirsim/truth.hpp"
+
+namespace pl::rirsim {
+
+struct WorldConfig {
+  std::uint64_t seed = 42;
+  /// 1.0 reproduces the paper's scale (~127k admin lives). Tests use small
+  /// scales for speed.
+  double scale = 1.0;
+  util::Day archive_begin = asn::archive_begin_day();
+  util::Day archive_end = asn::archive_end_day();
+
+  /// Convenience preset: the scale benches run at (full paper scale).
+  static WorldConfig paper_scale(std::uint64_t seed = 42) {
+    return WorldConfig{seed, 1.0, asn::archive_begin_day(),
+                       asn::archive_end_day()};
+  }
+
+  /// Convenience preset for unit/integration tests.
+  static WorldConfig test_scale(std::uint64_t seed = 42,
+                                double scale = 0.02) {
+    return WorldConfig{seed, scale, asn::archive_begin_day(),
+                       asn::archive_end_day()};
+  }
+};
+
+/// Generate the whole world deterministically.
+GroundTruth build_world(const WorldConfig& config);
+
+}  // namespace pl::rirsim

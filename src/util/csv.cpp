@@ -1,0 +1,92 @@
+#include "util/csv.hpp"
+
+namespace pl::util {
+
+namespace {
+
+bool needs_quoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void append_quoted(std::string& out, std::string_view field) {
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) line.push_back(',');
+    if (needs_quoting(fields[i]))
+      append_quoted(line, fields[i]);
+    else
+      line += fields[i];
+  }
+  line.push_back('\n');
+  out_ << line;
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::string_view blob) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  const auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    const char c = blob[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < blob.size() && blob[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_field();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;
+      case '\n':
+        if (row_has_content || !field.empty() || !row.empty()) end_row();
+        break;
+      default:
+        field.push_back(c);
+        row_has_content = true;
+        break;
+    }
+  }
+  if (row_has_content || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace pl::util

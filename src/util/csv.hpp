@@ -1,0 +1,27 @@
+// Minimal CSV reader/writer for dataset export (the published datasets of
+// the paper are flat records; we export ours as CSV/JSON-lines).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pl::util {
+
+/// Streaming CSV writer. Fields containing commas, quotes, or newlines are
+/// quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Parse a whole CSV blob into rows of fields (RFC 4180 quoting).
+std::vector<std::vector<std::string>> parse_csv(std::string_view blob);
+
+}  // namespace pl::util

@@ -1,0 +1,138 @@
+#include "util/date.hpp"
+
+#include <array>
+#include <charconv>
+
+namespace pl::util {
+
+namespace {
+
+constexpr std::array<unsigned, 12> kDaysInMonth = {31, 28, 31, 30, 31, 30,
+                                                   31, 31, 30, 31, 30, 31};
+
+}  // namespace
+
+bool is_leap_year(int year) noexcept {
+  return year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+}
+
+bool is_valid(const CivilDate& d) noexcept {
+  if (d.month < 1 || d.month > 12 || d.day < 1) return false;
+  unsigned limit = kDaysInMonth[d.month - 1];
+  if (d.month == 2 && is_leap_year(d.year)) limit = 29;
+  return d.day <= limit;
+}
+
+// Hinnant: days_from_civil.
+Day to_day(const CivilDate& d) noexcept {
+  int y = d.year;
+  const unsigned m = d.month;
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d.day - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<Day>(era * 146097 + static_cast<int>(doe) - 719468);
+}
+
+// Hinnant: civil_from_days.
+CivilDate to_civil(Day day) noexcept {
+  int z = day + 719468;
+  const int era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int y = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  return CivilDate{y + (m <= 2), m, d};
+}
+
+Day make_day(int year, unsigned month, unsigned day) noexcept {
+  return to_day(CivilDate{year, month, day});
+}
+
+namespace {
+
+std::optional<int> parse_uint_field(std::string_view text) noexcept {
+  int value = 0;
+  const auto* begin = text.data();
+  const auto* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || value < 0) return std::nullopt;
+  return value;
+}
+
+std::optional<Day> parse_fields(std::string_view y, std::string_view m,
+                                std::string_view d) noexcept {
+  const auto year = parse_uint_field(y);
+  const auto month = parse_uint_field(m);
+  const auto day = parse_uint_field(d);
+  if (!year || !month || !day) return std::nullopt;
+  const CivilDate civil{*year, static_cast<unsigned>(*month),
+                        static_cast<unsigned>(*day)};
+  if (!is_valid(civil)) return std::nullopt;
+  return to_day(civil);
+}
+
+}  // namespace
+
+std::optional<Day> parse_iso_date(std::string_view text) noexcept {
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-')
+    return std::nullopt;
+  return parse_fields(text.substr(0, 4), text.substr(5, 2), text.substr(8, 2));
+}
+
+std::optional<Day> parse_compact_date(std::string_view text) noexcept {
+  if (text.size() != 8) return std::nullopt;
+  if (text == "00000000") return std::nullopt;
+  return parse_fields(text.substr(0, 4), text.substr(4, 2), text.substr(6, 2));
+}
+
+namespace {
+
+void append_padded(std::string& out, unsigned value, int width) {
+  char buf[16];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  const int len = static_cast<int>(ptr - buf);
+  for (int i = len; i < width; ++i) out.push_back('0');
+  out.append(buf, ptr);
+}
+
+}  // namespace
+
+std::string format_iso(Day day) {
+  const CivilDate c = to_civil(day);
+  std::string out;
+  out.reserve(10);
+  append_padded(out, static_cast<unsigned>(c.year), 4);
+  out.push_back('-');
+  append_padded(out, c.month, 2);
+  out.push_back('-');
+  append_padded(out, c.day, 2);
+  return out;
+}
+
+std::string format_compact(Day day) {
+  const CivilDate c = to_civil(day);
+  std::string out;
+  out.reserve(8);
+  append_padded(out, static_cast<unsigned>(c.year), 4);
+  append_padded(out, c.month, 2);
+  append_padded(out, c.day, 2);
+  return out;
+}
+
+int year_of(Day day) noexcept { return to_civil(day).year; }
+
+int quarter_index(Day day) noexcept {
+  const CivilDate c = to_civil(day);
+  return c.year * 4 + static_cast<int>((c.month - 1) / 3);
+}
+
+Day start_of_year(Day day) noexcept {
+  return make_day(year_of(day), 1, 1);
+}
+
+}  // namespace pl::util

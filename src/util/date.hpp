@@ -1,0 +1,69 @@
+// Civil-date arithmetic on a compact day number.
+//
+// The whole library indexes time as `Day`: a signed count of days since
+// 1970-01-01 (the civil/proleptic-Gregorian epoch). Delegation files and BGP
+// activity are both daily-resolution datasets, so a single int32 per date is
+// the natural representation. Conversions use Howard Hinnant's branchless
+// civil-calendar algorithms.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pl::util {
+
+/// Days since 1970-01-01. Negative values are dates before the epoch.
+using Day = std::int32_t;
+
+/// A calendar date in the proleptic Gregorian calendar.
+struct CivilDate {
+  int year = 1970;
+  unsigned month = 1;  ///< 1..12
+  unsigned day = 1;    ///< 1..31
+
+  friend bool operator==(const CivilDate&, const CivilDate&) = default;
+};
+
+/// True iff `d` names a real calendar date (month/day in range, leap years
+/// handled).
+bool is_valid(const CivilDate& d) noexcept;
+
+/// Convert a calendar date to its day number. Precondition: is_valid(d).
+Day to_day(const CivilDate& d) noexcept;
+
+/// Convert a day number back to a calendar date.
+CivilDate to_civil(Day day) noexcept;
+
+/// Convenience: day number for year-month-day literals in code.
+Day make_day(int year, unsigned month, unsigned day) noexcept;
+
+/// Parse "YYYY-MM-DD". Returns nullopt on malformed or invalid dates.
+std::optional<Day> parse_iso_date(std::string_view text) noexcept;
+
+/// Parse "YYYYMMDD" (the format used in NRO delegation files). A value of
+/// "00000000" — used by registries as an unknown-date placeholder — parses to
+/// nullopt.
+std::optional<Day> parse_compact_date(std::string_view text) noexcept;
+
+/// Format as "YYYY-MM-DD".
+std::string format_iso(Day day);
+
+/// Format as "YYYYMMDD" (delegation-file field format).
+std::string format_compact(Day day);
+
+/// Calendar year of a day number.
+int year_of(Day day) noexcept;
+
+/// Zero-based quarter index since year 0 (year*4 + quarter-within-year);
+/// useful for 3-month binning.
+int quarter_index(Day day) noexcept;
+
+/// First day of the calendar year containing `day`.
+Day start_of_year(Day day) noexcept;
+
+/// True for leap years in the proleptic Gregorian calendar.
+bool is_leap_year(int year) noexcept;
+
+}  // namespace pl::util

@@ -1,0 +1,53 @@
+// Closed day intervals [first, last], the unit of "lifetime" throughout the
+// library: an administrative or operational life is an inclusive span of
+// days.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/date.hpp"
+
+namespace pl::util {
+
+/// Inclusive interval of days. Empty iff last < first.
+struct DayInterval {
+  Day first = 0;
+  Day last = -1;
+
+  /// Number of days covered; 0 for empty intervals. The paper measures
+  /// lifetime "duration in days" as an inclusive day count.
+  std::int64_t length() const noexcept {
+    return last < first ? 0 : static_cast<std::int64_t>(last) - first + 1;
+  }
+
+  bool empty() const noexcept { return last < first; }
+
+  bool contains(Day d) const noexcept { return first <= d && d <= last; }
+
+  /// True iff `other` lies entirely within this interval.
+  bool contains(const DayInterval& other) const noexcept {
+    return !other.empty() && first <= other.first && other.last <= last;
+  }
+
+  bool overlaps(const DayInterval& other) const noexcept {
+    return !empty() && !other.empty() && first <= other.last &&
+           other.first <= last;
+  }
+
+  /// Intersection; empty interval if disjoint.
+  DayInterval intersect(const DayInterval& other) const noexcept {
+    return DayInterval{std::max(first, other.first),
+                       std::min(last, other.last)};
+  }
+
+  friend bool operator==(const DayInterval&, const DayInterval&) = default;
+};
+
+/// Days of overlap between two intervals (0 when disjoint).
+inline std::int64_t overlap_days(const DayInterval& a,
+                                 const DayInterval& b) noexcept {
+  return a.intersect(b).length();
+}
+
+}  // namespace pl::util

@@ -1,0 +1,139 @@
+// Deterministic random number generation for the world simulator.
+//
+// Reproducibility is a core requirement: every bench and test fixes a seed
+// and must produce identical worlds across runs and platforms, so we ship
+// our own xoshiro256++ generator and distribution helpers instead of relying
+// on implementation-defined std::distribution behaviour.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+namespace pl::util {
+
+/// SplitMix64, used to seed the main generator from a single 64-bit seed.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ — fast, high-quality, reproducible PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) noexcept {
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>((*this)());
+    // Multiply-shift rejection-free mapping (Lemire); bias is negligible for
+    // our range sizes and keeps the generator deterministic and branch-light.
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>((*this)()) * range;
+    return lo + static_cast<std::int64_t>(product >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial.
+  bool chance(double probability) noexcept {
+    return uniform01() < probability;
+  }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) noexcept {
+    double u = uniform01();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Geometric number of days until an event with daily probability p,
+  /// capped so pathological probabilities cannot run away.
+  std::int64_t geometric_days(double daily_probability,
+                              std::int64_t cap = 1 << 20) noexcept {
+    if (daily_probability >= 1.0) return 0;
+    if (daily_probability <= 0.0) return cap;
+    const auto days = static_cast<std::int64_t>(
+        std::floor(std::log(1.0 - uniform01()) /
+                   std::log(1.0 - daily_probability)));
+    return days < cap ? days : cap;
+  }
+
+  /// Log-normal: exp(Normal(mu, sigma)).
+  double lognormal(double mu, double sigma) noexcept {
+    return std::exp(mu + sigma * normal());
+  }
+
+  /// Standard normal via Box-Muller.
+  double normal() noexcept {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = uniform01();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = uniform01();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 6.283185307179586 * u2;
+    spare_ = radius * std::sin(angle);
+    have_spare_ = true;
+    return radius * std::cos(angle);
+  }
+
+  /// Index into `weights` chosen proportionally to the (non-negative)
+  /// weights. Returns 0 if all weights are zero.
+  std::size_t weighted(std::span<const double> weights) noexcept {
+    double total = 0;
+    for (double w : weights) total += w;
+    if (total <= 0) return 0;
+    double target = uniform01() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      target -= weights[i];
+      if (target < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derive an independent child generator; used to give each ASN / module
+  /// its own stream so simulation order does not perturb results.
+  Rng fork() noexcept { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0;
+  bool have_spare_ = false;
+};
+
+}  // namespace pl::util

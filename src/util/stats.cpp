@@ -1,0 +1,129 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pl::util {
+
+double quantile(std::span<const double> sample, double q) {
+  if (sample.empty()) return 0;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= sorted.size()) return sorted.back();
+  return sorted[lower] * (1 - fraction) + sorted[lower + 1] * fraction;
+}
+
+double median(std::span<const double> sample) {
+  return quantile(sample, 0.5);
+}
+
+double mean(std::span<const double> sample) {
+  if (sample.empty()) return 0;
+  double total = 0;
+  for (double v : sample) total += v;
+  return total / static_cast<double>(sample.size());
+}
+
+Ecdf::Ecdf(std::vector<double> sample) : sorted_(std::move(sample)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const noexcept {
+  if (sorted_.empty()) return 0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::value_at_fraction(double fraction) const noexcept {
+  if (sorted_.empty()) return 0;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto index = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(sorted_.size())));
+  if (index == 0) return sorted_.front();
+  return sorted_[std::min(index - 1, sorted_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> Ecdf::tabulate(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || points == 0) return out;
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        points == 1
+            ? hi
+            : lo + (hi - lo) * static_cast<double>(i) /
+                       static_cast<double>(points - 1);
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+FiveNumberSummary summarize(std::span<const double> sample) {
+  FiveNumberSummary s;
+  if (sample.empty()) return s;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::span<const double> view{sorted};
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.q1 = quantile(view, 0.25);
+  s.median = quantile(view, 0.5);
+  s.q3 = quantile(view, 0.75);
+  s.count = sorted.size();
+  return s;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),
+      counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double value, std::int64_t weight) noexcept {
+  auto bin = static_cast<std::int64_t>((value - lo_) / width_);
+  bin = std::clamp<std::int64_t>(bin, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(bin)] += weight;
+}
+
+double Histogram::bin_low(std::size_t bin) const noexcept {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+std::int64_t Histogram::total() const noexcept {
+  std::int64_t total = 0;
+  for (auto c : counts_) total += c;
+  return total;
+}
+
+std::string sparkline(std::span<const double> series) {
+  static constexpr const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                            "▅", "▆", "▇", "█"};
+  if (series.empty()) return {};
+  double lo = series[0];
+  double hi = series[0];
+  for (double v : series) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double range = hi - lo;
+  std::string out;
+  out.reserve(series.size() * 3);
+  for (double v : series) {
+    const int level =
+        range <= 0 ? 0
+                   : std::clamp(static_cast<int>((v - lo) / range * 7.999), 0,
+                                7);
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace pl::util

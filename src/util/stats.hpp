@@ -1,0 +1,84 @@
+// Descriptive statistics used by the analysis and the bench harness:
+// empirical CDFs (the paper's Figs. 3, 5, 7, 9), quantiles, boxplot
+// five-number summaries (Fig. 14), and fixed-bin histograms (Fig. 10/11).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pl::util {
+
+/// Linear-interpolated quantile of an unsorted sample (q in [0,1]).
+/// Returns 0 for an empty sample.
+double quantile(std::span<const double> sample, double q);
+
+/// Convenience median.
+double median(std::span<const double> sample);
+
+double mean(std::span<const double> sample);
+
+/// Empirical CDF over a sample; evaluate and tabulate at chosen points.
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> sample);
+
+  /// Fraction of the sample <= x. 0 for an empty sample.
+  double at(double x) const noexcept;
+
+  /// Inverse: smallest sample value v with at(v) >= fraction.
+  double value_at_fraction(double fraction) const noexcept;
+
+  std::size_t size() const noexcept { return sorted_.size(); }
+  bool empty() const noexcept { return sorted_.empty(); }
+
+  const std::vector<double>& sorted_sample() const noexcept { return sorted_; }
+
+  /// Tabulate (x, F(x)) at `points` evenly spaced x values across
+  /// [min, max]; the form the bench harness prints for CDF figures.
+  std::vector<std::pair<double, double>> tabulate(std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Boxplot five-number summary (Fig. 14): min/Q1/median/Q3/max plus count.
+struct FiveNumberSummary {
+  double min = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double max = 0;
+  std::size_t count = 0;
+};
+
+FiveNumberSummary summarize(std::span<const double> sample);
+
+/// Histogram with uniform bins over [lo, hi); values outside are clamped to
+/// the edge bins so per-quarter time series never silently drop data.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, std::int64_t weight = 1) noexcept;
+
+  std::int64_t bin_count(std::size_t bin) const noexcept {
+    return counts_[bin];
+  }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double bin_low(std::size_t bin) const noexcept;
+  std::int64_t total() const noexcept;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::int64_t> counts_;
+};
+
+/// Render a one-line unicode sparkline of a series — lets bench binaries
+/// show the *shape* of each paper figure directly in the terminal.
+std::string sparkline(std::span<const double> series);
+
+}  // namespace pl::util

@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace pl::util {
+
+namespace {
+
+// Display width of a UTF-8 cell: count code points, not bytes, so sparkline
+// glyphs align.
+std::size_t display_width(const std::string& text) {
+  std::size_t width = 0;
+  for (unsigned char c : text)
+    if ((c & 0xC0) != 0x80) ++width;
+  return width;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = display_width(header_[c]);
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], display_width(row[c]));
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) line += "  ";
+      line += row[c];
+      const std::size_t pad = widths[c] - display_width(row[c]);
+      line.append(pad, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    out << line << '\n';
+  };
+
+  print_row(header_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c != 0) rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  out << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace pl::util

@@ -1,0 +1,28 @@
+// Fixed-width console table renderer. Every bench binary reproduces a paper
+// table or figure as rows on stdout; this keeps their formatting uniform.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pl::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a data row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with aligned columns and a header separator.
+  void print(std::ostream& out) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pl::util

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "asn/asn.hpp"
+#include "asn/country.hpp"
+#include "asn/rir.hpp"
+
+namespace pl::asn {
+namespace {
+
+TEST(Asn, WidthClassification) {
+  EXPECT_TRUE(Asn{1}.is_16bit());
+  EXPECT_TRUE(Asn{65535}.is_16bit());
+  EXPECT_FALSE(Asn{65536}.is_16bit());
+  EXPECT_TRUE(Asn{131072}.is_32bit_only());
+}
+
+TEST(Asn, SpecialUseRanges) {
+  EXPECT_EQ(special_use(Asn{0}), SpecialUse::kAs0);
+  EXPECT_EQ(special_use(Asn{23456}), SpecialUse::kTransition);
+  EXPECT_EQ(special_use(Asn{64496}), SpecialUse::kDocumentation);
+  EXPECT_EQ(special_use(Asn{64511}), SpecialUse::kDocumentation);
+  EXPECT_EQ(special_use(Asn{65536}), SpecialUse::kDocumentation);
+  EXPECT_EQ(special_use(Asn{65551}), SpecialUse::kDocumentation);
+  EXPECT_EQ(special_use(Asn{64512}), SpecialUse::kPrivateUse);
+  EXPECT_EQ(special_use(Asn{65534}), SpecialUse::kPrivateUse);
+  EXPECT_EQ(special_use(Asn{4200000000U}), SpecialUse::kPrivateUse);
+  EXPECT_EQ(special_use(Asn{4294967294U}), SpecialUse::kPrivateUse);
+  EXPECT_EQ(special_use(Asn{65535}), SpecialUse::kLastAsn);
+  EXPECT_EQ(special_use(Asn{4294967295U}), SpecialUse::kLastAsn);
+  EXPECT_EQ(special_use(Asn{3356}), SpecialUse::kNone);
+  EXPECT_EQ(special_use(Asn{65552}), SpecialUse::kNone);
+}
+
+TEST(Asn, Bogons) {
+  EXPECT_TRUE(is_bogon(Asn{0}));
+  EXPECT_TRUE(is_bogon(Asn{64512}));
+  EXPECT_FALSE(is_bogon(Asn{701}));
+  EXPECT_FALSE(is_bogon(Asn{290012147}));  // large but valid (paper 6.4)
+}
+
+TEST(Asn, DigitCount) {
+  EXPECT_EQ(digit_count(Asn{0}), 1);
+  EXPECT_EQ(digit_count(Asn{9}), 1);
+  EXPECT_EQ(digit_count(Asn{10}), 2);
+  EXPECT_EQ(digit_count(Asn{999999}), 6);
+  EXPECT_EQ(digit_count(Asn{4294967295U}), 10);
+}
+
+TEST(Asn, Parse) {
+  EXPECT_EQ(parse_asn("32026"), Asn{32026});
+  EXPECT_EQ(parse_asn("4294967295"), Asn{4294967295U});
+  EXPECT_FALSE(parse_asn("4294967296").has_value());
+  EXPECT_FALSE(parse_asn("").has_value());
+  EXPECT_FALSE(parse_asn("12x").has_value());
+  EXPECT_FALSE(parse_asn("-1").has_value());
+  EXPECT_FALSE(parse_asn("99999999999").has_value());
+}
+
+TEST(Asn, DoubledSpelling) {
+  // The paper's AS3202632026 = AS32026 prepending typo.
+  EXPECT_TRUE(is_doubled_spelling(Asn{3202632026U}, Asn{32026}));
+  EXPECT_FALSE(is_doubled_spelling(Asn{3202632027U}, Asn{32026}));
+  EXPECT_TRUE(is_doubled_spelling(Asn{1212}, Asn{12}));
+  EXPECT_FALSE(is_doubled_spelling(Asn{1213}, Asn{12}));
+}
+
+TEST(Asn, SpellingDistance) {
+  // The paper's AS419333 vs AS41933 one-digit cases.
+  EXPECT_EQ(spelling_distance(Asn{419333}, Asn{41933}), 1);
+  EXPECT_EQ(spelling_distance(Asn{363690}, Asn{393690}), 1);
+  EXPECT_EQ(spelling_distance(Asn{12345}, Asn{12345}), 0);
+  EXPECT_EQ(spelling_distance(Asn{111}, Asn{999}), 3);
+}
+
+TEST(Rir, Tokens) {
+  EXPECT_EQ(file_token(Rir::kRipeNcc), "ripencc");
+  EXPECT_EQ(display_name(Rir::kRipeNcc), "RIPE NCC");
+  EXPECT_EQ(parse_rir("apnic"), Rir::kApnic);
+  EXPECT_EQ(parse_rir("RIPENCC"), Rir::kRipeNcc);
+  EXPECT_EQ(parse_rir("ripe"), Rir::kRipeNcc);
+  EXPECT_EQ(parse_rir(" arin "), Rir::kArin);
+  EXPECT_FALSE(parse_rir("internic").has_value());
+}
+
+TEST(Rir, PaperFacts) {
+  // Table 1 anchors.
+  EXPECT_EQ(util::format_iso(facts(Rir::kApnic).first_regular_file),
+            "2003-10-09");
+  EXPECT_EQ(util::format_iso(facts(Rir::kAfrinic).first_regular_file),
+            "2005-02-18");
+  EXPECT_EQ(util::format_iso(facts(Rir::kRipeNcc).first_extended_file),
+            "2010-04-22");
+  ASSERT_TRUE(facts(Rir::kArin).last_regular_file.has_value());
+  EXPECT_EQ(util::format_iso(*facts(Rir::kArin).last_regular_file),
+            "2013-08-12");
+  EXPECT_FALSE(facts(Rir::kRipeNcc).last_regular_file.has_value());
+  EXPECT_EQ(util::format_iso(archive_begin_day()), "2003-10-09");
+  EXPECT_EQ(util::format_iso(archive_end_day()), "2021-03-01");
+}
+
+TEST(Country, Parse) {
+  const auto us = CountryCode::parse("US");
+  ASSERT_TRUE(us.has_value());
+  EXPECT_EQ(us->to_string(), "US");
+  EXPECT_EQ(CountryCode::parse("us")->to_string(), "US");
+  EXPECT_FALSE(CountryCode::parse("U").has_value());
+  EXPECT_FALSE(CountryCode::parse("USA").has_value());
+  EXPECT_FALSE(CountryCode::parse("U1").has_value());
+  EXPECT_TRUE(kUnknownCountry.unknown());
+  EXPECT_EQ(kUnknownCountry.to_string(), "ZZ");
+}
+
+TEST(Country, PoolsMatchPaperShapes) {
+  // ARIN dominated by the US.
+  const auto arin = country_pool(Rir::kArin, 2020);
+  ASSERT_FALSE(arin.empty());
+  EXPECT_EQ(arin.front().country.to_string(), "US");
+  EXPECT_GT(arin.front().weight, 90);
+
+  // APNIC leadership changes era to era (Table 4): AU -> IN.
+  EXPECT_EQ(country_pool(Rir::kApnic, 2010).front().country.to_string(),
+            "AU");
+  EXPECT_EQ(country_pool(Rir::kApnic, 2021).front().country.to_string(),
+            "IN");
+
+  // LACNIC led by Brazil, RIPE by Russia, AfriNIC by South Africa.
+  EXPECT_EQ(country_pool(Rir::kLacnic, 2020).front().country.to_string(),
+            "BR");
+  EXPECT_EQ(country_pool(Rir::kRipeNcc, 2020).front().country.to_string(),
+            "RU");
+  EXPECT_EQ(country_pool(Rir::kAfrinic, 2020).front().country.to_string(),
+            "ZA");
+}
+
+}  // namespace
+}  // namespace pl::asn

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "bgp/activity.hpp"
+#include "bgp/collector.hpp"
+
+namespace pl::bgp {
+namespace {
+
+Element make_element(util::Day day, std::uint32_t peer,
+                     std::initializer_list<std::uint32_t> path,
+                     const char* prefix = "10.0.0.0/16") {
+  Element e;
+  e.day = day;
+  e.type = ElementType::kRibEntry;
+  e.peer = asn::Asn{peer};
+  e.prefix = *Prefix::parse(prefix);
+  e.path = AsPath(path);
+  return e;
+}
+
+TEST(VisibilityAggregator, RequiresTwoDistinctPeers) {
+  VisibilityAggregator aggregator;
+  // Same peer twice: not active (spurious single-peer data, paper 3.2).
+  aggregator.observe(make_element(10, 900, {900, 65001}));
+  aggregator.observe(make_element(10, 900, {900, 65001}));
+  ActivityTable table = aggregator.build();
+  EXPECT_EQ(table.activity(asn::Asn{65001}), nullptr);
+  EXPECT_EQ(aggregator.single_peer_pairs(), 2);  // peer ASN + origin ASN
+
+  // Second distinct peer on the same day: active.
+  aggregator.observe(make_element(10, 901, {901, 65001}));
+  table = aggregator.build();
+  const auto* activity = table.activity(asn::Asn{65001});
+  ASSERT_NE(activity, nullptr);
+  EXPECT_TRUE(activity->contains(10));
+  EXPECT_FALSE(activity->contains(11));
+}
+
+TEST(VisibilityAggregator, EveryPathHopCounts) {
+  VisibilityAggregator aggregator;
+  aggregator.observe(make_element(5, 900, {900, 3356, 65001}));
+  aggregator.observe(make_element(5, 901, {901, 3356, 65001}));
+  const ActivityTable table = aggregator.build();
+  // Transit AS 3356 is observed too, not only the origin.
+  EXPECT_NE(table.activity(asn::Asn{3356}), nullptr);
+  EXPECT_NE(table.activity(asn::Asn{65001}), nullptr);
+  // Each peer ASN is seen by only one peer (itself) -> not active.
+  EXPECT_EQ(table.activity(asn::Asn{900}), nullptr);
+}
+
+TEST(VisibilityAggregator, DaysAreIndependent) {
+  VisibilityAggregator aggregator;
+  aggregator.observe(make_element(1, 900, {900, 65001}));
+  aggregator.observe(make_element(2, 901, {901, 65001}));
+  const ActivityTable table = aggregator.build();
+  // One peer per day each: never two distinct peers on the same day.
+  EXPECT_EQ(table.activity(asn::Asn{65001}), nullptr);
+}
+
+TEST(ActivityTable, DailyCounts) {
+  ActivityTable table;
+  table.mark_active(asn::Asn{1}, util::DayInterval{0, 4});
+  table.mark_active(asn::Asn{2}, util::DayInterval{2, 6});
+  table.mark_active(asn::Asn{3}, 3);
+  const auto counts = table.daily_counts(0, 7);
+  ASSERT_EQ(counts.size(), 8u);
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[2], 2);
+  EXPECT_EQ(counts[3], 3);
+  EXPECT_EQ(counts[5], 1);
+  EXPECT_EQ(counts[7], 0);
+  EXPECT_EQ(table.active_on(3), 3);
+  EXPECT_EQ(table.asn_count(), 3u);
+}
+
+TEST(ActivityTable, Merge) {
+  ActivityTable a;
+  a.mark_active(asn::Asn{1}, util::DayInterval{0, 2});
+  ActivityTable b;
+  b.mark_active(asn::Asn{1}, util::DayInterval{5, 6});
+  b.mark_active(asn::Asn{2}, util::DayInterval{1, 1});
+  a.merge(b);
+  EXPECT_EQ(a.asn_count(), 2u);
+  EXPECT_EQ(a.activity(asn::Asn{1})->total_days(), 5);
+}
+
+TEST(OriginationTracker, CountsDistinctPrefixes) {
+  OriginationTracker tracker;
+  tracker.observe(make_element(7, 900, {900, 65001}, "10.0.0.0/16"));
+  tracker.observe(make_element(7, 901, {901, 65001}, "10.0.0.0/16"));
+  tracker.observe(make_element(7, 900, {900, 65001}, "11.0.0.0/16"));
+  tracker.observe(make_element(8, 900, {900, 65001}, "12.0.0.0/16"));
+  EXPECT_EQ(tracker.prefixes_on(asn::Asn{65001}, 7), 2);
+  EXPECT_EQ(tracker.prefixes_on(asn::Asn{65001}, 8), 1);
+  EXPECT_EQ(tracker.prefixes_on(asn::Asn{65001}, 9), 0);
+  const auto series = tracker.series(asn::Asn{65001}, 6, 9);
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series[1], 2);
+  EXPECT_EQ(series[2], 1);
+}
+
+TEST(OriginationTracker, Watchlist) {
+  OriginationTracker tracker;
+  tracker.set_watchlist({asn::Asn{1}});
+  tracker.observe(make_element(1, 900, {900, 2}));
+  tracker.observe(make_element(1, 900, {900, 1}));
+  EXPECT_EQ(tracker.prefixes_on(asn::Asn{2}, 1), 0);  // untracked
+  EXPECT_EQ(tracker.prefixes_on(asn::Asn{1}, 1), 1);
+}
+
+TEST(Collector, DefaultInfrastructure) {
+  const CollectorInfrastructure infra = make_default_infrastructure(4, 8);
+  EXPECT_EQ(infra.collectors.size(), 4u);
+  EXPECT_EQ(infra.total_peers(), 32u);
+  // Peer ASNs are distinct across the infrastructure.
+  std::set<std::uint32_t> seen;
+  for (const Collector& c : infra.collectors)
+    for (const asn::Asn peer : c.peers) EXPECT_TRUE(seen.insert(peer.value).second);
+}
+
+}  // namespace
+}  // namespace pl::bgp

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "bgp/path.hpp"
+
+namespace pl::bgp {
+namespace {
+
+TEST(AsPath, OriginAndFirstHop) {
+  const AsPath path{64500, 3356, 203040, 10512};
+  EXPECT_EQ(path.origin(), asn::Asn{10512});
+  EXPECT_EQ(path.first_hop(), asn::Asn{203040});
+  EXPECT_EQ(path.size(), 4u);
+
+  const AsPath empty;
+  EXPECT_FALSE(empty.origin().has_value());
+  EXPECT_FALSE(empty.first_hop().has_value());
+
+  const AsPath single{42};
+  EXPECT_EQ(single.origin(), asn::Asn{42});
+  EXPECT_FALSE(single.first_hop().has_value());
+}
+
+TEST(AsPath, LoopDetection) {
+  EXPECT_FALSE((AsPath{1, 2, 3}.has_loop()));
+  EXPECT_TRUE((AsPath{1, 2, 1}.has_loop()));
+  EXPECT_TRUE((AsPath{1, 2, 3, 2, 4}.has_loop()));
+  // Prepending (consecutive repeats) is not a loop.
+  EXPECT_FALSE((AsPath{1, 2, 2, 2, 3}.has_loop()));
+  EXPECT_FALSE(AsPath{}.has_loop());
+  EXPECT_FALSE(AsPath{7}.has_loop());
+  // Prepending then reappearance is still a loop.
+  EXPECT_TRUE((AsPath{1, 2, 2, 3, 2}.has_loop()));
+}
+
+TEST(AsPath, Deduplicated) {
+  const AsPath path{1, 2, 2, 2, 3, 3};
+  EXPECT_EQ(path.deduplicated(), (AsPath{1, 2, 3}));
+  EXPECT_EQ(AsPath{}.deduplicated(), AsPath{});
+}
+
+TEST(AsPath, Contains) {
+  const AsPath path{64500, 3356, 10512};
+  EXPECT_TRUE(path.contains(asn::Asn{3356}));
+  EXPECT_FALSE(path.contains(asn::Asn{1}));
+}
+
+TEST(AsPath, ParseAndToString) {
+  const auto path = AsPath::parse("701 7046 290012147");
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 3u);
+  EXPECT_EQ(path->origin(), asn::Asn{290012147});
+  EXPECT_EQ(path->to_string(), "701 7046 290012147");
+
+  EXPECT_TRUE(AsPath::parse("")->empty());
+  EXPECT_TRUE(AsPath::parse("  12  13 ").has_value());
+  EXPECT_FALSE(AsPath::parse("12 abc").has_value());
+  EXPECT_FALSE(AsPath::parse("12 99999999999").has_value());
+}
+
+// Property: deduplicated paths have no consecutive repeats and preserve
+// order; has_loop is invariant under prepending.
+class PathProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathProperty, PrependingInvariance) {
+  // Base path derived from the parameter.
+  const int n = GetParam();
+  std::vector<asn::Asn> hops;
+  for (int i = 0; i < n; ++i)
+    hops.push_back(asn::Asn{static_cast<std::uint32_t>(100 + i * 37 % 7)});
+  const AsPath base{std::vector<asn::Asn>(hops)};
+
+  // Prepend each hop twice.
+  std::vector<asn::Asn> prepended;
+  for (const asn::Asn hop : hops) {
+    prepended.push_back(hop);
+    prepended.push_back(hop);
+  }
+  const AsPath doubled(std::move(prepended));
+
+  EXPECT_EQ(base.has_loop(), doubled.has_loop());
+  EXPECT_EQ(base.deduplicated(), doubled.deduplicated());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PathProperty,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 12));
+
+}  // namespace
+}  // namespace pl::bgp

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "bgp/prefix.hpp"
+#include "bgp/sanitizer.hpp"
+
+namespace pl::bgp {
+namespace {
+
+TEST(Prefix, ParseIpv4) {
+  const auto p = Prefix::parse("10.20.30.0/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->family(), Family::kIpv4);
+  EXPECT_EQ(p->length(), 24);
+  EXPECT_EQ(p->to_string(), "10.20.30.0/24");
+}
+
+TEST(Prefix, ParseIpv4Rejects) {
+  EXPECT_FALSE(Prefix::parse("10.20.30.0").has_value());
+  EXPECT_FALSE(Prefix::parse("10.20.30/24").has_value());
+  EXPECT_FALSE(Prefix::parse("10.20.30.256/24").has_value());
+  EXPECT_FALSE(Prefix::parse("10.20.30.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("").has_value());
+}
+
+TEST(Prefix, MasksHostBits) {
+  const auto p = Prefix::parse("10.20.30.255/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "10.20.30.0/24");
+}
+
+TEST(Prefix, ParseIpv6) {
+  const auto p = Prefix::parse("2001:db8::/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->family(), Family::kIpv6);
+  EXPECT_EQ(p->length(), 32);
+  EXPECT_EQ(p->to_string(), "2001:db8:0:0:0:0:0:0/32");
+
+  const auto full = Prefix::parse("2001:db8:1:2:3:4:5:6/128");
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->length(), 128);
+
+  EXPECT_FALSE(Prefix::parse("2001:db8::1::2/64").has_value());
+  EXPECT_FALSE(Prefix::parse("2001:db8::/129").has_value());
+  EXPECT_FALSE(Prefix::parse("2001:zz::/32").has_value());
+}
+
+TEST(Prefix, Containment) {
+  const auto covering = *Prefix::parse("10.0.0.0/8");
+  const auto inner = *Prefix::parse("10.64.0.0/12");
+  const auto outside = *Prefix::parse("11.0.0.0/12");
+  EXPECT_TRUE(covering.contains(inner));
+  EXPECT_TRUE(covering.contains(covering));
+  EXPECT_FALSE(inner.contains(covering));
+  EXPECT_FALSE(covering.contains(outside));
+
+  // The paper's Verizon case: a /24 covered by a /12.
+  const auto big = *Prefix::parse("100.0.0.0/12");
+  const auto leak = *Prefix::parse("100.15.3.0/24");
+  EXPECT_TRUE(big.contains(leak));
+
+  // Cross-family containment is always false.
+  const auto v6 = *Prefix::parse("2001:db8::/32");
+  EXPECT_FALSE(covering.contains(v6));
+  EXPECT_FALSE(v6.contains(covering));
+}
+
+TEST(Prefix, Ordering) {
+  const auto a = *Prefix::parse("10.0.0.0/8");
+  const auto b = *Prefix::parse("10.0.0.0/9");
+  EXPECT_NE(a, b);
+}
+
+struct SanitizerCase {
+  const char* prefix;
+  ElementType type;
+  std::vector<std::uint32_t> path;
+  RejectReason expected;
+};
+
+class SanitizerTest : public ::testing::TestWithParam<SanitizerCase> {};
+
+TEST_P(SanitizerTest, Classifies) {
+  const SanitizerCase& c = GetParam();
+  Element element;
+  element.day = 0;
+  element.type = c.type;
+  element.peer = asn::Asn{65000};
+  element.prefix = *Prefix::parse(c.prefix);
+  std::vector<asn::Asn> hops;
+  for (const std::uint32_t v : c.path) hops.push_back(asn::Asn{v});
+  element.path = AsPath(std::move(hops));
+
+  const Sanitizer sanitizer;
+  EXPECT_EQ(sanitizer.classify(element), c.expected);
+
+  SanitizeStats stats;
+  const bool accepted = sanitizer.accept(element, stats);
+  EXPECT_EQ(accepted, c.expected == RejectReason::kAccepted);
+  EXPECT_EQ(stats.total(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRules, SanitizerTest,
+    ::testing::Values(
+        // Accepted v4 range /8../24.
+        SanitizerCase{"10.0.0.0/8", ElementType::kRibEntry, {1, 2, 3},
+                      RejectReason::kAccepted},
+        SanitizerCase{"10.1.2.0/24", ElementType::kRibEntry, {1, 2, 3},
+                      RejectReason::kAccepted},
+        SanitizerCase{"10.1.2.0/25", ElementType::kRibEntry, {1, 2, 3},
+                      RejectReason::kPrefixTooLong},
+        SanitizerCase{"10.0.0.0/7", ElementType::kRibEntry, {1, 2, 3},
+                      RejectReason::kPrefixTooShort},
+        // v6 range /8../64.
+        SanitizerCase{"2001:db8::/64", ElementType::kRibEntry, {1, 2},
+                      RejectReason::kAccepted},
+        SanitizerCase{"2001:db8::/65", ElementType::kRibEntry, {1, 2},
+                      RejectReason::kPrefixTooLong},
+        // Loop: 1 2 1.
+        SanitizerCase{"10.0.0.0/16", ElementType::kRibEntry, {1, 2, 1},
+                      RejectReason::kPathLoop},
+        // Prepending is not a loop.
+        SanitizerCase{"10.0.0.0/16", ElementType::kRibEntry, {1, 2, 2, 3},
+                      RejectReason::kAccepted},
+        // Withdrawals carry no path.
+        SanitizerCase{"10.0.0.0/16", ElementType::kWithdrawal, {},
+                      RejectReason::kEmptyPath}));
+
+TEST(Sanitizer, CustomBounds) {
+  SanitizerConfig config;
+  config.ipv4_max_length = 22;
+  const Sanitizer sanitizer(config);
+  Element element;
+  element.prefix = *Prefix::parse("10.1.0.0/23");
+  element.path = AsPath({1, 2});
+  EXPECT_EQ(sanitizer.classify(element), RejectReason::kPrefixTooLong);
+}
+
+TEST(Sanitizer, ReasonNames) {
+  EXPECT_EQ(reject_reason_name(RejectReason::kAccepted), "accepted");
+  EXPECT_EQ(reject_reason_name(RejectReason::kPathLoop), "path-loop");
+}
+
+}  // namespace
+}  // namespace pl::bgp

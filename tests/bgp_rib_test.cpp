@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "bgp/mrt.hpp"
+#include "bgp/rib.hpp"
+#include "bgp/roles.hpp"
+#include "util/rng.hpp"
+
+namespace pl::bgp {
+namespace {
+
+Element make(ElementType type, std::uint32_t peer, const char* prefix,
+             std::initializer_list<std::uint32_t> path, util::Day day = 0) {
+  Element e;
+  e.day = day;
+  e.type = type;
+  e.collector = 3;
+  e.peer = asn::Asn{peer};
+  e.prefix = *Prefix::parse(prefix);
+  e.path = AsPath(path);
+  return e;
+}
+
+TEST(PeerRib, AnnounceReplaceWithdraw) {
+  PeerRib rib;
+  EXPECT_TRUE(rib.apply(make(ElementType::kAnnouncement, 900, "10.0.0.0/16",
+                             {900, 65001})));
+  EXPECT_EQ(rib.size(), 1u);
+  ASSERT_NE(rib.route(*Prefix::parse("10.0.0.0/16")), nullptr);
+  EXPECT_EQ(*rib.route(*Prefix::parse("10.0.0.0/16")),
+            (AsPath{900, 65001}));
+
+  // Implicit withdrawal: a new announcement replaces the old path.
+  EXPECT_TRUE(rib.apply(make(ElementType::kAnnouncement, 900, "10.0.0.0/16",
+                             {900, 3356, 65002})));
+  EXPECT_EQ(rib.size(), 1u);
+  EXPECT_EQ(rib.route(*Prefix::parse("10.0.0.0/16"))->origin(),
+            asn::Asn{65002});
+
+  // Explicit withdrawal.
+  EXPECT_TRUE(rib.apply(make(ElementType::kWithdrawal, 900, "10.0.0.0/16",
+                             {})));
+  EXPECT_EQ(rib.size(), 0u);
+  EXPECT_EQ(rib.route(*Prefix::parse("10.0.0.0/16")), nullptr);
+}
+
+TEST(PeerRib, IgnoresForeignPeersAndPathlessAnnounce) {
+  PeerRib rib;
+  EXPECT_TRUE(rib.apply(make(ElementType::kRibEntry, 900, "10.0.0.0/16",
+                             {900, 65001})));
+  EXPECT_FALSE(rib.apply(make(ElementType::kRibEntry, 901, "11.0.0.0/16",
+                              {901, 65001})));
+  EXPECT_FALSE(rib.apply(make(ElementType::kAnnouncement, 900,
+                              "12.0.0.0/16", {})));
+  EXPECT_EQ(rib.size(), 1u);
+}
+
+TEST(PeerRib, SnapshotAndOrigins) {
+  PeerRib rib;
+  rib.apply(make(ElementType::kRibEntry, 900, "10.0.0.0/16", {900, 1}));
+  rib.apply(make(ElementType::kRibEntry, 900, "11.0.0.0/16", {900, 2}));
+  rib.apply(make(ElementType::kRibEntry, 900, "12.0.0.0/16", {900, 2, 2}));
+  const auto snapshot = rib.snapshot(42);
+  ASSERT_EQ(snapshot.size(), 3u);
+  for (const Element& e : snapshot) {
+    EXPECT_EQ(e.day, 42);
+    EXPECT_EQ(e.type, ElementType::kRibEntry);
+    EXPECT_EQ(e.peer, asn::Asn{900});
+  }
+  const auto origins = rib.origins();
+  EXPECT_EQ(origins.size(), 2u);  // prepending dedupes to {1, 2}
+}
+
+TEST(RibReconstructor, MoasConflicts) {
+  RibReconstructor reconstructor;
+  // Two peers see the same prefix from different origins (MOAS).
+  reconstructor.apply(make(ElementType::kRibEntry, 900, "10.0.0.0/16",
+                           {900, 41933}));
+  reconstructor.apply(make(ElementType::kRibEntry, 901, "10.0.0.0/16",
+                           {901, 419333}));
+  reconstructor.apply(make(ElementType::kRibEntry, 901, "11.0.0.0/16",
+                           {901, 7}));
+  EXPECT_EQ(reconstructor.total_routes(), 3u);
+  const auto conflicts = reconstructor.moas_conflicts();
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].prefix, *Prefix::parse("10.0.0.0/16"));
+  EXPECT_EQ(conflicts[0].origins.size(), 2u);
+
+  const auto by_41933 =
+      reconstructor.prefixes_originated_by(asn::Asn{41933});
+  ASSERT_EQ(by_41933.size(), 1u);
+}
+
+TEST(RibReconstructor, WithdrawalResolvesMoas) {
+  RibReconstructor reconstructor;
+  reconstructor.apply(make(ElementType::kRibEntry, 900, "10.0.0.0/16",
+                           {900, 1}));
+  reconstructor.apply(make(ElementType::kRibEntry, 901, "10.0.0.0/16",
+                           {901, 2}));
+  EXPECT_EQ(reconstructor.moas_conflicts().size(), 1u);
+  reconstructor.apply(make(ElementType::kWithdrawal, 901, "10.0.0.0/16",
+                           {}));
+  EXPECT_TRUE(reconstructor.moas_conflicts().empty());
+}
+
+TEST(Roles, OriginVsTransit) {
+  RoleTracker tracker;
+  // 65001 originates; 3356 transits; peer 900 transits (first hop).
+  tracker.observe(make(ElementType::kRibEntry, 900, "10.0.0.0/16",
+                       {900, 3356, 65001}, 5));
+  EXPECT_EQ(tracker.role_on(asn::Asn{65001}, 5), AsRole::kOriginOnly);
+  EXPECT_EQ(tracker.role_on(asn::Asn{3356}, 5), AsRole::kTransitOnly);
+  EXPECT_EQ(tracker.role_on(asn::Asn{65001}, 6), AsRole::kInactive);
+
+  // 3356 also originates its own prefix the same day -> both.
+  tracker.observe(make(ElementType::kRibEntry, 900, "11.0.0.0/16",
+                       {900, 3356}, 5));
+  EXPECT_EQ(tracker.role_on(asn::Asn{3356}, 5), AsRole::kBoth);
+
+  const auto share = tracker.share_over(asn::Asn{3356},
+                                        util::DayInterval{0, 10});
+  EXPECT_EQ(share.both, 1);
+  EXPECT_EQ(share.origin_only, 0);
+  EXPECT_EQ(share.transit_only, 0);
+  EXPECT_GE(tracker.asn_count(), 3u);
+  EXPECT_EQ(role_name(AsRole::kBoth), "both");
+}
+
+TEST(Mrt, RoundTripsHandWrittenElements) {
+  std::vector<Element> elements;
+  elements.push_back(make(ElementType::kRibEntry, 900, "10.1.2.0/24",
+                          {900, 3356, 65001}, 12345));
+  elements.push_back(make(ElementType::kAnnouncement, 4000000000U,
+                          "192.168.0.0/16", {4000000000U, 4294967290U}, 1));
+  elements.push_back(make(ElementType::kWithdrawal, 901, "10.0.0.0/8", {},
+                          9999));
+  Element v6;
+  v6.day = 777;
+  v6.type = ElementType::kRibEntry;
+  v6.collector = 12;
+  v6.peer = asn::Asn{65010};
+  v6.prefix = *Prefix::parse("2001:db8:1::/48");
+  v6.path = AsPath({65010, 6939, 64496});
+  elements.push_back(v6);
+
+  const auto encoded = encode_elements(elements);
+  const auto decoded = decode_elements(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), elements.size());
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].day, elements[i].day);
+    EXPECT_EQ((*decoded)[i].type, elements[i].type);
+    EXPECT_EQ((*decoded)[i].collector, elements[i].collector);
+    EXPECT_EQ((*decoded)[i].peer, elements[i].peer);
+    EXPECT_EQ((*decoded)[i].prefix, elements[i].prefix);
+    EXPECT_EQ((*decoded)[i].path, elements[i].path);
+  }
+}
+
+TEST(Mrt, RejectsCorruptData) {
+  // Truncated buffer.
+  std::vector<Element> elements = {
+      make(ElementType::kRibEntry, 900, "10.1.2.0/24", {900, 65001}, 1)};
+  auto encoded = encode_elements(elements);
+  encoded.resize(encoded.size() - 2);
+  EXPECT_FALSE(decode_elements(encoded).has_value());
+
+  // Bad record type.
+  std::vector<std::uint8_t> junk = {0x77, 0x01};
+  EXPECT_FALSE(decode_elements(junk).has_value());
+
+  // Empty buffer decodes to an empty vector.
+  const auto empty = decode_elements({});
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+// Property: encode/decode is the identity over randomized batches.
+class MrtRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MrtRoundTrip, RandomBatches) {
+  util::Rng rng(GetParam());
+  std::vector<Element> elements;
+  const int count = static_cast<int>(rng.uniform(1, 200));
+  for (int i = 0; i < count; ++i) {
+    Element e;
+    e.day = static_cast<util::Day>(rng.uniform(0, 20000));
+    e.type = static_cast<ElementType>(rng.uniform(0, 2));
+    e.collector = static_cast<CollectorId>(rng.uniform(0, 100));
+    e.peer = asn::Asn{static_cast<std::uint32_t>(rng())};
+    if (rng.chance(0.8)) {
+      e.prefix = Prefix::ipv4(static_cast<std::uint32_t>(rng()),
+                              static_cast<std::uint8_t>(rng.uniform(8, 24)));
+    } else {
+      e.prefix = Prefix::ipv6(rng(), rng(),
+                              static_cast<std::uint8_t>(rng.uniform(8, 64)));
+    }
+    if (e.type != ElementType::kWithdrawal) {
+      std::vector<asn::Asn> hops;
+      const int length = static_cast<int>(rng.uniform(1, 12));
+      for (int h = 0; h < length; ++h)
+        hops.push_back(asn::Asn{static_cast<std::uint32_t>(rng())});
+      e.path = AsPath(std::move(hops));
+    }
+    elements.push_back(std::move(e));
+  }
+  const auto decoded = decode_elements(encode_elements(elements));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), elements.size());
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].prefix, elements[i].prefix) << i;
+    EXPECT_EQ((*decoded)[i].path, elements[i].path) << i;
+    EXPECT_EQ((*decoded)[i].peer, elements[i].peer) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MrtRoundTrip,
+                         ::testing::Values(3, 14, 159, 2653, 58979));
+
+}  // namespace
+}  // namespace pl::bgp

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include "delegation/archive.hpp"
+#include "delegation/file.hpp"
+#include "util/rng.hpp"
+
+namespace pl::dele {
+namespace {
+
+using util::make_day;
+
+constexpr const char* kExtendedSample =
+    "2|apnic|20210301|5|19830101|20210228|+1000\n"
+    "apnic|*|asn|*|3|summary\n"
+    "apnic|*|ipv4|*|1|summary\n"
+    "apnic|*|ipv6|*|1|summary\n"
+    "# comment line\n"
+    "apnic|CN|asn|4608|1|20020101|allocated|A918EDA1\n"
+    "apnic|AU|asn|4770|2|20051212|assigned|B42\n"
+    "apnic||asn|5000|1||reserved|\n"
+    "apnic|CN|ipv4|1.0.1.0|256|20110414|allocated|A918EDA1\n"
+    "apnic|JP|ipv6|2001:200::|35|19990813|allocated|C3\n";
+
+TEST(Parser, ParsesExtendedFile) {
+  const ParseResult result = parse_delegation_file(kExtendedSample);
+  ASSERT_TRUE(result.ok) << result.error;
+  const DelegationFile& file = result.file;
+  EXPECT_TRUE(file.extended);
+  EXPECT_EQ(file.header.registry, asn::Rir::kApnic);
+  EXPECT_EQ(file.header.serial, make_day(2021, 3, 1));
+  EXPECT_EQ(file.header.record_count, 5);
+  EXPECT_EQ(file.header.utc_offset, "+1000");
+  ASSERT_EQ(file.asn_records.size(), 3u);
+  EXPECT_EQ(file.ipv4_records, 1);
+  EXPECT_EQ(file.ipv6_records, 1);
+
+  const AsnRecord& first = file.asn_records[0];
+  EXPECT_EQ(first.first, asn::Asn{4608});
+  EXPECT_EQ(first.count, 1u);
+  EXPECT_EQ(first.status, Status::kAllocated);
+  EXPECT_EQ(first.country.to_string(), "CN");
+  EXPECT_EQ(first.date, make_day(2002, 1, 1));
+  EXPECT_EQ(first.opaque_id, 0xA918EDA1u);
+
+  const AsnRecord& reserved = file.asn_records[2];
+  EXPECT_EQ(reserved.status, Status::kReserved);
+  EXPECT_FALSE(reserved.date.has_value());
+  EXPECT_TRUE(reserved.country.unknown());
+}
+
+TEST(Parser, ParsesRegularFile) {
+  const char* text =
+      "2|ripencc|20040101|2|19930101|20031231|+0100\n"
+      "ripencc|*|asn|*|2|summary\n"
+      "ripencc|*|ipv4|*|0|summary\n"
+      "ripencc|*|ipv6|*|0|summary\n"
+      "ripencc|DE|asn|1234|1|19950505|allocated\n"
+      "ripencc|FR|asn|1235|1|19960606|assigned\n";
+  const ParseResult result = parse_delegation_file(text);
+  ASSERT_TRUE(result.ok);
+  EXPECT_FALSE(result.file.extended);
+  EXPECT_EQ(result.file.asn_records.size(), 2u);
+}
+
+TEST(Parser, RejectsHeaderlessBlob) {
+  EXPECT_FALSE(parse_delegation_file("").ok);
+  EXPECT_FALSE(parse_delegation_file("# only comments\n").ok);
+  EXPECT_FALSE(parse_delegation_file("garbage\n").ok);
+}
+
+TEST(Parser, ToleratesRecordGarbage) {
+  const char* text =
+      "2|arin|20200101|3|19840101|20191231|-0500\n"
+      "arin|US|asn|55|1|20000101|allocated\n"
+      "arin|US|asn|notanumber|1|20000101|allocated\n"
+      "arin|US|asn|56|1|20000101|bogusstatus\n"
+      "arin|US|asn|57\n";
+  const ParseResult result = parse_delegation_file(text);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.file.asn_records.size(), 1u);
+  EXPECT_EQ(result.warnings.size(), 3u);
+}
+
+TEST(Parser, PlaceholderDateParsesAsAbsent) {
+  const char* text =
+      "2|arin|20200101|1|19840101|20191231|-0500\n"
+      "arin|US|asn|55|1|00000000|allocated\n";
+  const ParseResult result = parse_delegation_file(text);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.file.asn_records.size(), 1u);
+  EXPECT_FALSE(result.file.asn_records[0].date.has_value());
+}
+
+TEST(Parser, VersionWithDotAccepted) {
+  const char* text =
+      "2.3|lacnic|20120628|0|19890101|20120627|-0300\n";
+  EXPECT_TRUE(parse_delegation_file(text).ok);
+}
+
+TEST(Serializer, RoundTripsExtended) {
+  const ParseResult original = parse_delegation_file(kExtendedSample);
+  ASSERT_TRUE(original.ok);
+  const std::string text = serialize(original.file);
+  const ParseResult reparsed = parse_delegation_file(text);
+  ASSERT_TRUE(reparsed.ok) << reparsed.error;
+  EXPECT_EQ(reparsed.file.asn_records, original.file.asn_records);
+  EXPECT_EQ(reparsed.file.header.serial, original.file.header.serial);
+  EXPECT_EQ(reparsed.file.extended, original.file.extended);
+}
+
+TEST(Serializer, RegularDropsNonDelegated) {
+  ParseResult parsed = parse_delegation_file(kExtendedSample);
+  ASSERT_TRUE(parsed.ok);
+  parsed.file.extended = false;
+  const std::string text = serialize(parsed.file);
+  const ParseResult reparsed = parse_delegation_file(text);
+  ASSERT_TRUE(reparsed.ok);
+  EXPECT_EQ(reparsed.file.asn_records.size(), 2u);  // reserved dropped
+  for (const AsnRecord& record : reparsed.file.asn_records)
+    EXPECT_TRUE(is_delegated(record.status));
+}
+
+// Property: serialize -> parse is the identity on randomized files.
+class RoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTrip, RandomizedFiles) {
+  util::Rng rng(GetParam());
+  DelegationFile file;
+  file.extended = true;
+  file.header.registry = asn::kAllRirs[static_cast<std::size_t>(
+      rng.uniform(0, 4))];
+  file.header.serial = make_day(2015, 6, 1);
+  file.header.start_date = make_day(1984, 1, 1);
+  file.header.end_date = make_day(2015, 5, 31);
+  const int records = static_cast<int>(rng.uniform(0, 60));
+  std::uint32_t next_asn = 100;
+  for (int i = 0; i < records; ++i) {
+    AsnRecord record;
+    record.registry = file.header.registry;
+    record.first = asn::Asn{next_asn};
+    record.count = static_cast<std::uint32_t>(rng.uniform(1, 5));
+    next_asn += record.count + static_cast<std::uint32_t>(rng.uniform(0, 9));
+    record.status = static_cast<Status>(rng.uniform(0, 3));
+    if (is_delegated(record.status)) {
+      record.country = asn::CountryCode::literal(
+          static_cast<char>('A' + rng.uniform(0, 25)),
+          static_cast<char>('A' + rng.uniform(0, 25)));
+      record.date = make_day(2000, 1, 1) + static_cast<util::Day>(
+          rng.uniform(0, 5000));
+      record.opaque_id = rng() % 100000 + 1;
+    }
+    file.asn_records.push_back(record);
+  }
+  file.header.record_count = static_cast<std::int64_t>(
+      file.asn_records.size());
+
+  const ParseResult reparsed = parse_delegation_file(serialize(file));
+  ASSERT_TRUE(reparsed.ok) << reparsed.error;
+  EXPECT_EQ(reparsed.file.asn_records, file.asn_records);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTrip,
+                         ::testing::Values(1, 7, 42, 1337, 9001));
+
+TEST(Expand, ExpandsRunsSorted) {
+  DelegationFile file;
+  AsnRecord a;
+  a.first = asn::Asn{10};
+  a.count = 3;
+  a.status = Status::kAllocated;
+  AsnRecord b;
+  b.first = asn::Asn{5};
+  b.count = 1;
+  b.status = Status::kReserved;
+  file.asn_records = {a, b};
+  const auto expanded = expand_asn_records(file);
+  ASSERT_EQ(expanded.size(), 4u);
+  EXPECT_EQ(expanded[0].first, asn::Asn{5});
+  EXPECT_EQ(expanded[1].first, asn::Asn{10});
+  EXPECT_EQ(expanded[3].first, asn::Asn{12});
+}
+
+TEST(Diff, ComputesMinimalChanges) {
+  const RecordState allocated{Status::kAllocated, make_day(2000, 1, 1),
+                              asn::CountryCode::literal('D', 'E'), 7};
+  const RecordState reserved{Status::kReserved, std::nullopt,
+                             asn::kUnknownCountry, 0};
+  std::vector<std::pair<asn::Asn, RecordState>> before = {
+      {asn::Asn{1}, allocated}, {asn::Asn{2}, allocated},
+      {asn::Asn{3}, allocated}};
+  std::vector<std::pair<asn::Asn, RecordState>> after = {
+      {asn::Asn{2}, allocated}, {asn::Asn{3}, reserved},
+      {asn::Asn{4}, allocated}};
+  const auto changes = diff_snapshots(before, after);
+  ASSERT_EQ(changes.size(), 3u);
+  EXPECT_EQ(changes[0].asn, asn::Asn{1});
+  EXPECT_FALSE(changes[0].state.has_value());
+  EXPECT_EQ(changes[1].asn, asn::Asn{3});
+  EXPECT_EQ(changes[1].state->status, Status::kReserved);
+  EXPECT_EQ(changes[2].asn, asn::Asn{4});
+}
+
+TEST(Diff, DuplicatesUseLastOccurrence) {
+  const RecordState a{Status::kAllocated, make_day(2000, 1, 1),
+                      asn::kUnknownCountry, 1};
+  const RecordState b{Status::kReserved, std::nullopt, asn::kUnknownCountry,
+                      0};
+  std::vector<std::pair<asn::Asn, RecordState>> before;
+  std::vector<std::pair<asn::Asn, RecordState>> after = {
+      {asn::Asn{9}, a}, {asn::Asn{9}, b}};
+  const auto changes = diff_snapshots(before, after);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].state->status, Status::kReserved);
+}
+
+TEST(SnapshotTable, ApplyChanges) {
+  SnapshotTable table;
+  const RecordState state{Status::kAllocated, make_day(2001, 2, 3),
+                          asn::kUnknownCountry, 0};
+  table.apply(std::vector<RecordChange>{{asn::Asn{5}, state}});
+  ASSERT_NE(table.find(asn::Asn{5}), nullptr);
+  EXPECT_EQ(table.size(), 1u);
+  table.apply(std::vector<RecordChange>{{asn::Asn{5}, std::nullopt}});
+  EXPECT_EQ(table.find(asn::Asn{5}), nullptr);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(Observations, FromFilesEmitsDeltasAndMissingDays) {
+  // Three extended files with a one-day hole.
+  DelegationFile day0;
+  day0.extended = true;
+  day0.header.registry = asn::Rir::kLacnic;
+  AsnRecord record;
+  record.registry = asn::Rir::kLacnic;
+  record.first = asn::Asn{100};
+  record.status = Status::kAllocated;
+  record.date = make_day(2014, 1, 1);
+  record.country = asn::CountryCode::literal('B', 'R');
+  day0.asn_records = {record};
+
+  DelegationFile day2 = day0;
+  AsnRecord extra = record;
+  extra.first = asn::Asn{101};
+  day2.asn_records.push_back(extra);
+
+  const util::Day base = make_day(2014, 2, 1);
+  const auto observations = observations_from_files(
+      asn::Rir::kLacnic, {{base, day0}, {base + 2, day2}}, {}, base,
+      base + 2);
+  ASSERT_EQ(observations.size(), 3u);
+  EXPECT_EQ(observations[0].extended.condition, FileCondition::kPresent);
+  EXPECT_EQ(observations[0].extended.changes.size(), 1u);
+  EXPECT_EQ(observations[1].extended.condition, FileCondition::kMissing);
+  EXPECT_EQ(observations[2].extended.changes.size(), 1u);  // only the add
+  EXPECT_EQ(observations[2].extended.changes[0].asn, asn::Asn{101});
+}
+
+// Robustness: random single-byte mutations of a valid file must never
+// crash the parser — it either still parses (with warnings) or reports an
+// error.
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, SurvivesByteMutations) {
+  const ParseResult original = parse_delegation_file(kExtendedSample);
+  ASSERT_TRUE(original.ok);
+  const std::string base = serialize(original.file);
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = base;
+    const int mutations = static_cast<int>(rng.uniform(1, 6));
+    for (int m = 0; m < mutations; ++m) {
+      const auto position = static_cast<std::size_t>(rng.uniform(
+          0, static_cast<std::int64_t>(mutated.size()) - 1));
+      switch (rng.uniform(0, 2)) {
+        case 0:
+          mutated[position] = static_cast<char>(rng.uniform(32, 126));
+          break;
+        case 1:
+          mutated.erase(position, 1);
+          break;
+        default:
+          mutated.insert(position, 1,
+                         static_cast<char>(rng.uniform(32, 126)));
+          break;
+      }
+    }
+    const ParseResult result = parse_delegation_file(mutated);
+    // Either outcome is fine; the parse must simply terminate cleanly and,
+    // when it claims success, produce structurally valid records.
+    if (result.ok)
+      for (const AsnRecord& record : result.file.asn_records) {
+        EXPECT_GE(record.count, 1u);
+      }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace pl::dele

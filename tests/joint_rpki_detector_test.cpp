@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "joint/detector.hpp"
+#include "joint/rpki.hpp"
+
+namespace pl::joint {
+namespace {
+
+using bgp::Prefix;
+
+TEST(Rpki, ValidInvalidUnknown) {
+  RoaTable table;
+  table.add(Roa{*Prefix::parse("10.0.0.0/16"), asn::Asn{65001}, 24});
+
+  // Exact prefix, right origin.
+  EXPECT_EQ(table.validate(*Prefix::parse("10.0.0.0/16"), asn::Asn{65001}),
+            RpkiValidity::kValid);
+  // Sub-prefix within max_length.
+  EXPECT_EQ(table.validate(*Prefix::parse("10.0.7.0/24"), asn::Asn{65001}),
+            RpkiValidity::kValid);
+  // Wrong origin.
+  EXPECT_EQ(table.validate(*Prefix::parse("10.0.0.0/16"), asn::Asn{666}),
+            RpkiValidity::kInvalid);
+  // No covering ROA.
+  EXPECT_EQ(table.validate(*Prefix::parse("11.0.0.0/16"), asn::Asn{65001}),
+            RpkiValidity::kUnknown);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(Rpki, MaxLengthEnforced) {
+  RoaTable table;
+  table.add(Roa{*Prefix::parse("10.0.0.0/16"), asn::Asn{65001}, 20});
+  // /24 exceeds max_length 20: invalid even for the right origin (the
+  // classic forged-more-specific protection).
+  EXPECT_EQ(table.validate(*Prefix::parse("10.0.7.0/24"), asn::Asn{65001}),
+            RpkiValidity::kInvalid);
+  EXPECT_EQ(table.validate(*Prefix::parse("10.0.16.0/20"), asn::Asn{65001}),
+            RpkiValidity::kValid);
+}
+
+TEST(Rpki, DefaultMaxLengthIsPrefixLength) {
+  RoaTable table;
+  table.add(Roa{*Prefix::parse("10.0.0.0/16"), asn::Asn{65001}, 0});
+  EXPECT_EQ(table.validate(*Prefix::parse("10.0.0.0/16"), asn::Asn{65001}),
+            RpkiValidity::kValid);
+  EXPECT_EQ(table.validate(*Prefix::parse("10.0.0.0/17"), asn::Asn{65001}),
+            RpkiValidity::kInvalid);
+}
+
+TEST(Rpki, MultipleRoasAnyValidWins) {
+  RoaTable table;
+  table.add(Roa{*Prefix::parse("10.0.0.0/16"), asn::Asn{1}, 24});
+  table.add(Roa{*Prefix::parse("10.0.0.0/16"), asn::Asn{2}, 24});
+  EXPECT_EQ(table.validate(*Prefix::parse("10.0.1.0/24"), asn::Asn{2}),
+            RpkiValidity::kValid);
+  EXPECT_EQ(table.validate(*Prefix::parse("10.0.1.0/24"), asn::Asn{3}),
+            RpkiValidity::kInvalid);
+}
+
+TEST(Rpki, StatsTally) {
+  RpkiStats stats;
+  stats.record(RpkiValidity::kValid);
+  stats.record(RpkiValidity::kInvalid);
+  stats.record(RpkiValidity::kInvalid);
+  stats.record(RpkiValidity::kUnknown);
+  EXPECT_EQ(stats.valid, 1);
+  EXPECT_EQ(stats.invalid, 2);
+  EXPECT_EQ(stats.unknown, 1);
+  EXPECT_EQ(stats.total(), 4);
+  EXPECT_EQ(rpki_validity_name(RpkiValidity::kInvalid), "invalid");
+}
+
+TEST(Detector, ScoreOrdersObviousCases) {
+  const SquatScorer scorer;
+
+  SquatFeatures squat;
+  squat.dormancy_days = 3000;
+  squat.relative_duration = 0.01;
+  squat.prefix_volume = 60;
+  squat.historical_volume = 2;
+  squat.foreign_prefixes = true;
+  squat.factory_upstream = true;
+
+  SquatFeatures benign;
+  benign.dormancy_days = 1100;
+  benign.relative_duration = 0.04;
+  benign.prefix_volume = 2;
+  benign.historical_volume = 2;
+
+  SquatFeatures canonical;
+  canonical.dormancy_days = 35;
+  canonical.relative_duration = 0.95;
+  canonical.prefix_volume = 3;
+  canonical.historical_volume = 3;
+
+  EXPECT_GT(scorer.score(squat), scorer.score(benign));
+  EXPECT_GT(scorer.score(benign), scorer.score(canonical));
+}
+
+TEST(Detector, FeatureWeightsMatter) {
+  SquatFeatures features;
+  features.dormancy_days = 2000;
+  features.foreign_prefixes = true;
+
+  ScorerConfig no_foreign;
+  no_foreign.w_foreign_prefixes = 0;
+  EXPECT_LT(SquatScorer(no_foreign).score(features),
+            SquatScorer().score(features));
+}
+
+std::vector<ScoredCandidate> make_ranked(
+    std::initializer_list<std::pair<double, bool>> entries) {
+  std::vector<ScoredCandidate> out;
+  std::uint32_t next_asn = 1;
+  for (const auto& [score, malicious] : entries) {
+    ScoredCandidate candidate;
+    candidate.asn = asn::Asn{next_asn++};
+    candidate.score = score;
+    candidate.malicious = malicious;
+    out.push_back(candidate);
+  }
+  return out;
+}
+
+TEST(Detector, PrecisionRecallCurve) {
+  // Perfect ranking: both positives on top.
+  const auto perfect = make_ranked(
+      {{10, true}, {9, true}, {2, false}, {1, false}});
+  const auto curve = precision_recall(perfect, 4);
+  ASSERT_FALSE(curve.empty());
+  EXPECT_DOUBLE_EQ(curve.front().precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().recall, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().precision, 0.5);
+  EXPECT_DOUBLE_EQ(average_precision(perfect), 1.0);
+
+  // Worst ranking: positives at the bottom.
+  const auto worst = make_ranked(
+      {{10, false}, {9, false}, {2, true}, {1, true}});
+  EXPECT_LT(average_precision(worst), 0.5);
+
+  // No positives: empty curve, zero AP.
+  const auto none = make_ranked({{10, false}, {9, false}});
+  EXPECT_TRUE(precision_recall(none).empty());
+  EXPECT_DOUBLE_EQ(average_precision(none), 0.0);
+}
+
+TEST(Detector, AveragePrecisionMonotoneInRankQuality) {
+  const auto good = make_ranked(
+      {{10, true}, {9, false}, {8, true}, {7, false}, {6, false}});
+  const auto bad = make_ranked(
+      {{10, false}, {9, false}, {8, true}, {7, false}, {6, true}});
+  EXPECT_GT(average_precision(good), average_precision(bad));
+}
+
+}  // namespace
+}  // namespace pl::joint

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "lifetimes/prefix_informed.hpp"
+
+namespace pl::lifetimes {
+namespace {
+
+using bgp::Prefix;
+using util::DayInterval;
+
+std::set<Prefix> prefixes(std::initializer_list<const char*> texts) {
+  std::set<Prefix> out;
+  for (const char* text : texts) out.insert(*Prefix::parse(text));
+  return out;
+}
+
+TEST(PrefixJaccard, Basics) {
+  EXPECT_DOUBLE_EQ(prefix_jaccard({}, {}), 1.0);
+  const auto a = prefixes({"10.0.0.0/16", "11.0.0.0/16"});
+  const auto b = prefixes({"10.0.0.0/16", "12.0.0.0/16"});
+  EXPECT_DOUBLE_EQ(prefix_jaccard(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(prefix_jaccard(a, b), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(prefix_jaccard(a, prefixes({"13.0.0.0/16"})), 0.0);
+  EXPECT_DOUBLE_EQ(prefix_jaccard(a, {}), 0.0);
+}
+
+class PrefixInformedTest : public ::testing::Test {
+ protected:
+  /// Provider: prefix set keyed by run start day.
+  PrefixSetProvider provider() {
+    return [this](asn::Asn, const DayInterval& run) {
+      const auto it = sets_.find(run.first);
+      return it == sets_.end() ? std::set<Prefix>{} : it->second;
+    };
+  }
+
+  std::map<util::Day, std::set<Prefix>> sets_;
+};
+
+TEST_F(PrefixInformedTest, SubTimeoutGapWithSamePrefixesMerges) {
+  bgp::ActivityTable activity;
+  activity.mark_active(asn::Asn{1}, DayInterval{0, 100});
+  activity.mark_active(asn::Asn{1}, DayInterval{110, 200});  // gap 9
+  sets_[0] = prefixes({"10.0.0.0/16"});
+  sets_[110] = prefixes({"10.0.0.0/16"});
+  const OpDataset dataset =
+      build_prefix_informed_lifetimes(activity, provider());
+  EXPECT_EQ(dataset.lifetimes.size(), 1u);
+}
+
+TEST_F(PrefixInformedTest, SubTimeoutGapWithForeignPrefixesSplits) {
+  // The squat signature: resumes within the timeout but announcing entirely
+  // different space -> a new life despite the short gap.
+  bgp::ActivityTable activity;
+  activity.mark_active(asn::Asn{1}, DayInterval{0, 100});
+  activity.mark_active(asn::Asn{1}, DayInterval{110, 140});
+  sets_[0] = prefixes({"10.0.0.0/16", "11.0.0.0/16"});
+  sets_[110] = prefixes({"93.0.0.0/16", "94.0.0.0/16"});
+  const OpDataset dataset =
+      build_prefix_informed_lifetimes(activity, provider());
+  EXPECT_EQ(dataset.lifetimes.size(), 2u);
+}
+
+TEST_F(PrefixInformedTest, ExtendedGapWithContinuityMerges) {
+  // 50-day outage but the same network comes back: one life.
+  bgp::ActivityTable activity;
+  activity.mark_active(asn::Asn{1}, DayInterval{0, 100});
+  activity.mark_active(asn::Asn{1}, DayInterval{151, 300});  // gap 50
+  sets_[0] = prefixes({"10.0.0.0/16"});
+  sets_[151] = prefixes({"10.0.0.0/16"});
+  const OpDataset informed =
+      build_prefix_informed_lifetimes(activity, provider());
+  EXPECT_EQ(informed.lifetimes.size(), 1u);
+  // The plain 30-day builder splits the same data.
+  EXPECT_EQ(build_op_lifetimes(activity, 30).lifetimes.size(), 2u);
+}
+
+TEST_F(PrefixInformedTest, ExtendedGapWithoutContinuitySplits) {
+  bgp::ActivityTable activity;
+  activity.mark_active(asn::Asn{1}, DayInterval{0, 100});
+  activity.mark_active(asn::Asn{1}, DayInterval{151, 300});
+  sets_[0] = prefixes({"10.0.0.0/16"});
+  sets_[151] = prefixes({"20.0.0.0/16"});
+  EXPECT_EQ(build_prefix_informed_lifetimes(activity, provider())
+                .lifetimes.size(),
+            2u);
+}
+
+TEST_F(PrefixInformedTest, GapBeyondExtendedTimeoutAlwaysSplits) {
+  bgp::ActivityTable activity;
+  activity.mark_active(asn::Asn{1}, DayInterval{0, 100});
+  activity.mark_active(asn::Asn{1}, DayInterval{300, 400});  // gap 199 > 90
+  sets_[0] = prefixes({"10.0.0.0/16"});
+  sets_[300] = prefixes({"10.0.0.0/16"});
+  EXPECT_EQ(build_prefix_informed_lifetimes(activity, provider())
+                .lifetimes.size(),
+            2u);
+}
+
+TEST_F(PrefixInformedTest, ConfigThresholds) {
+  bgp::ActivityTable activity;
+  activity.mark_active(asn::Asn{1}, DayInterval{0, 100});
+  activity.mark_active(asn::Asn{1}, DayInterval{110, 200});
+  sets_[0] = prefixes({"10.0.0.0/16", "11.0.0.0/16"});
+  sets_[110] = prefixes({"10.0.0.0/16", "12.0.0.0/16"});  // Jaccard 1/3
+  PrefixInformedConfig strict;
+  strict.split_below = 0.5;  // 1/3 < 0.5 -> split
+  EXPECT_EQ(build_prefix_informed_lifetimes(activity, provider(), strict)
+                .lifetimes.size(),
+            2u);
+  PrefixInformedConfig lenient;
+  lenient.split_below = 0.1;  // 1/3 >= 0.1 -> merge
+  EXPECT_EQ(build_prefix_informed_lifetimes(activity, provider(), lenient)
+                .lifetimes.size(),
+            1u);
+}
+
+}  // namespace
+}  // namespace pl::lifetimes

@@ -1,0 +1,56 @@
+// The top-level facade: one call runs the paper's whole Fig. 1 pipeline.
+#include <gtest/gtest.h>
+
+#include "pipeline/pipeline.hpp"
+
+namespace pl::pipeline {
+namespace {
+
+TEST(Pipeline, RunSimulatedProducesCoherentResult) {
+  Config config;
+  config.seed = 99;
+  config.scale = 0.02;
+  const Result result = run_simulated(config);
+
+  EXPECT_GT(result.truth.lives.size(), 500u);
+  EXPECT_GT(result.admin.lifetimes.size(), 500u);
+  EXPECT_GT(result.op.lifetimes.size(), 500u);
+  EXPECT_EQ(result.taxonomy.total_admin(),
+            static_cast<std::int64_t>(result.admin.lifetimes.size()));
+  EXPECT_EQ(result.taxonomy.total_op(),
+            static_cast<std::int64_t>(result.op.lifetimes.size()));
+  // All four categories materialize even at small scale.
+  EXPECT_GT(result.taxonomy.admin_counts[0], 0);
+  EXPECT_GT(result.taxonomy.admin_counts[1], 0);
+  EXPECT_GT(result.taxonomy.admin_counts[2], 0);
+  EXPECT_GT(result.taxonomy.op_counts[3], 0);
+}
+
+TEST(Pipeline, TimeoutKnobChangesOpDataset) {
+  Config config;
+  config.seed = 99;
+  config.scale = 0.01;
+  config.op_timeout_days = 5;
+  const Result strict = run_simulated(config);
+  config.op_timeout_days = 300;
+  const Result loose = run_simulated(config);
+  EXPECT_GT(strict.op.lifetimes.size(), loose.op.lifetimes.size());
+  // The admin dimension is independent of the op timeout.
+  EXPECT_EQ(strict.admin.lifetimes.size(), loose.admin.lifetimes.size());
+}
+
+TEST(Pipeline, DeterministicUnderSeed) {
+  Config config;
+  config.seed = 7;
+  config.scale = 0.01;
+  const Result a = run_simulated(config);
+  const Result b = run_simulated(config);
+  EXPECT_EQ(a.admin.lifetimes.size(), b.admin.lifetimes.size());
+  EXPECT_EQ(a.taxonomy.admin_counts, b.taxonomy.admin_counts);
+  config.seed = 8;
+  const Result c = run_simulated(config);
+  EXPECT_NE(a.admin.lifetimes.size(), c.admin.lifetimes.size());
+}
+
+}  // namespace
+}  // namespace pl::pipeline

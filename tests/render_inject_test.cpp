@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "delegation/archive.hpp"
+#include "rirsim/inject.hpp"
+#include "rirsim/render.hpp"
+#include "rirsim/world.hpp"
+
+namespace pl::rirsim {
+namespace {
+
+using asn::Rir;
+using dele::FileCondition;
+using dele::RecordState;
+using util::Day;
+
+class RenderTest : public ::testing::Test {
+ protected:
+  static const GroundTruth& truth() {
+    static const GroundTruth world =
+        build_world(WorldConfig::test_scale(11, 0.02));
+    return world;
+  }
+};
+
+/// Replay a change map up to (and including) `day` into a state table.
+std::map<std::uint32_t, RecordState> replay(const ChangeMap& map, Day day) {
+  std::map<std::uint32_t, RecordState> state;
+  for (const auto& [event_day, changes] : map) {
+    if (event_day > day) break;
+    for (const dele::RecordChange& change : changes) {
+      if (change.state)
+        state[change.asn.value] = *change.state;
+      else
+        state.erase(change.asn.value);
+    }
+  }
+  return state;
+}
+
+TEST_F(RenderTest, RenderedContentMatchesTruthOnSampleDays) {
+  for (Rir rir : {Rir::kArin, Rir::kRipeNcc}) {
+    const RenderedRegistry rendered = render_registry(truth(), rir);
+    for (const Day day : {util::make_day(2005, 6, 1),
+                          util::make_day(2012, 1, 15),
+                          util::make_day(2020, 12, 31)}) {
+      const auto state = replay(rendered.extended, day);
+      // Every truth-allocated ASN of this registry must appear allocated.
+      for (const TrueAdminLife& life : truth().lives) {
+        if (!life.days.contains(day)) continue;
+        if (life.registry_on(day) != rir) continue;
+        bool interrupted = false;
+        for (const Interruption& gap : life.interruptions)
+          if (gap.days.contains(day)) interrupted = true;
+        const auto it = state.find(life.asn.value);
+        ASSERT_NE(it, state.end())
+            << asn::to_string(life.asn) << " missing on "
+            << util::format_iso(day);
+        if (interrupted)
+          EXPECT_EQ(it->second.status, dele::Status::kReserved);
+        else
+          EXPECT_TRUE(dele::is_delegated(it->second.status));
+      }
+      // And nothing is allocated that truth says is not.
+      for (const auto& [asn_value, record] : state) {
+        if (!dele::is_delegated(record.status)) continue;
+        bool found = false;
+        const auto lives_it = truth().lives_by_asn.find(asn_value);
+        ASSERT_NE(lives_it, truth().lives_by_asn.end());
+        for (const std::size_t index : lives_it->second) {
+          const TrueAdminLife& life = truth().lives[index];
+          if (life.days.contains(day) && life.registry_on(day) == rir)
+            found = true;
+        }
+        EXPECT_TRUE(found) << asn_value << " spuriously allocated";
+      }
+    }
+  }
+}
+
+TEST_F(RenderTest, PublishLagShiftsFileAppearance) {
+  // Lives with a publication lag appear in the rendered files exactly
+  // `publish_lag_days` after their true start (footnote 6).
+  for (Rir rir : {Rir::kAfrinic, Rir::kArin}) {
+    const RenderedRegistry rendered = render_registry(truth(), rir);
+    std::size_t checked = 0;
+    for (const TrueAdminLife& life : truth().lives) {
+      if (life.birth_registry() != rir || life.publish_lag_days == 0)
+        continue;
+      if (life.segments.front().rir != rir) continue;
+      // The first extended-channel event for this ASN at or after the true
+      // start must land exactly lag days later (unless an earlier life of
+      // the ASN makes the boundary ambiguous — skip those).
+      if (truth().lives_by_asn.at(life.asn.value).size() > 1) continue;
+      bool found = false;
+      for (const auto& [day, changes] : rendered.extended) {
+        if (day < life.days.first) continue;
+        for (const dele::RecordChange& change : changes)
+          if (change.asn == life.asn && change.state &&
+              dele::is_delegated(change.state->status)) {
+            EXPECT_EQ(day, life.days.first + life.publish_lag_days)
+                << asn::to_string(life.asn);
+            found = true;
+            break;
+          }
+        if (found) break;
+      }
+      EXPECT_TRUE(found) << asn::to_string(life.asn);
+      ++checked;
+    }
+    EXPECT_GT(checked, 0u) << asn::display_name(rir);
+  }
+}
+
+TEST_F(RenderTest, RegularChannelHasOnlyDelegatedRecords) {
+  const RenderedRegistry rendered = render_registry(truth(), Rir::kApnic);
+  const auto state = replay(rendered.regular, util::make_day(2015, 3, 3));
+  for (const auto& [asn_value, record] : state)
+    EXPECT_TRUE(dele::is_delegated(record.status)) << asn_value;
+}
+
+TEST_F(RenderTest, ReservedQuarantineAppearsInExtended) {
+  const RenderedRegistry rendered = render_registry(truth(), Rir::kArin);
+  bool saw_reserved = false;
+  for (const auto& [day, changes] : rendered.extended)
+    for (const auto& change : changes)
+      if (change.state && change.state->status == dele::Status::kReserved)
+        saw_reserved = true;
+  EXPECT_TRUE(saw_reserved);
+}
+
+class InjectTest : public ::testing::Test {
+ protected:
+  static const GroundTruth& truth() {
+    static const GroundTruth world =
+        build_world(WorldConfig::test_scale(13, 0.02));
+    return world;
+  }
+  static const SimulatedArchive& archive() {
+    static InjectorConfig config = [] {
+      InjectorConfig c;
+      c.seed = 5;
+      c.scale = 0.02;
+      return c;
+    }();
+    static const SimulatedArchive instance(truth(), config);
+    return instance;
+  }
+};
+
+TEST_F(InjectTest, StreamCoversArchiveWindowInOrder) {
+  auto stream = archive().stream(Rir::kLacnic);
+  Day expected = truth().archive_begin;
+  std::optional<dele::DayObservation> observation;
+  std::size_t days = 0;
+  while ((observation = stream->next())) {
+    EXPECT_EQ(observation->day, expected);
+    ++expected;
+    ++days;
+  }
+  EXPECT_EQ(days, static_cast<std::size_t>(truth().archive_end -
+                                           truth().archive_begin + 1));
+}
+
+TEST_F(InjectTest, ConditionsFollowPublicationEras) {
+  auto stream = archive().stream(Rir::kArin);
+  const asn::RirFacts& facts = asn::facts(Rir::kArin);
+  std::optional<dele::DayObservation> observation;
+  while ((observation = stream->next())) {
+    const Day day = observation->day;
+    if (day < facts.first_extended_file) {
+      EXPECT_EQ(observation->extended.condition,
+                FileCondition::kNotPublished);
+    }
+    if (day > *facts.last_regular_file) {
+      EXPECT_EQ(observation->regular.condition,
+                FileCondition::kNotPublished)
+          << util::format_iso(day);
+    }
+    if (day < facts.first_regular_file) {
+      EXPECT_EQ(observation->regular.condition,
+                FileCondition::kNotPublished);
+    }
+  }
+}
+
+TEST_F(InjectTest, MissingDaysMatchSchedule) {
+  const DefectSchedule& schedule = archive().schedule(Rir::kRipeNcc);
+  auto stream = archive().stream(Rir::kRipeNcc);
+  std::optional<dele::DayObservation> observation;
+  std::size_t missing_seen = 0;
+  while ((observation = stream->next())) {
+    const bool scheduled =
+        schedule.missing_days[0].contains(observation->day);
+    if (observation->extended.condition == FileCondition::kMissing) {
+      EXPECT_TRUE(scheduled);
+      ++missing_seen;
+    }
+  }
+  EXPECT_GT(missing_seen, 0u);
+}
+
+TEST_F(InjectTest, SuppressedAsnsVanishAndReturn) {
+  const DefectSchedule& schedule = archive().schedule(Rir::kRipeNcc);
+  // Find a suppression episode on the extended channel.
+  const DefectSchedule::Suppression* episode = nullptr;
+  for (const auto& s : schedule.suppressions)
+    if (s.channel == Channel::kExtended && !s.asns.empty()) {
+      episode = &s;
+      break;
+    }
+  ASSERT_NE(episode, nullptr);
+
+  auto stream = archive().stream(Rir::kRipeNcc);
+  std::map<std::uint32_t, RecordState> state;
+  bool vanished = false;
+  bool returned = false;
+  std::optional<dele::DayObservation> observation;
+  const std::uint32_t target = episode->asns.front().value;
+  bool present_before = false;
+  while ((observation = stream->next())) {
+    if (observation->extended.condition == FileCondition::kPresent) {
+      for (const auto& change : observation->extended.changes) {
+        if (change.state)
+          state[change.asn.value] = *change.state;
+        else
+          state.erase(change.asn.value);
+      }
+    }
+    if (observation->day == episode->days.first - 1)
+      present_before = state.contains(target);
+    if (observation->day == episode->days.first &&
+        observation->extended.condition == FileCondition::kPresent)
+      vanished = !state.contains(target);
+    if (observation->day == episode->days.last + 1 &&
+        observation->extended.condition == FileCondition::kPresent)
+      returned = state.contains(target);
+  }
+  if (present_before) {
+    EXPECT_TRUE(vanished);
+    EXPECT_TRUE(returned);
+  }
+}
+
+TEST_F(InjectTest, AfrinicDuplicatesEmitted) {
+  const DefectSchedule& schedule = archive().schedule(Rir::kAfrinic);
+  ASSERT_FALSE(schedule.duplicates.empty());
+  const auto& episode = schedule.duplicates.front();
+  auto stream = archive().stream(Rir::kAfrinic);
+  std::optional<dele::DayObservation> observation;
+  bool saw_duplicate = false;
+  while ((observation = stream->next())) {
+    if (!observation->extended.duplicates.empty() &&
+        episode.days.contains(observation->day)) {
+      for (const auto& [dup_asn, dup_state] : observation->extended.duplicates)
+        if (dup_asn == episode.asn) saw_duplicate = true;
+    }
+  }
+  EXPECT_TRUE(saw_duplicate);
+}
+
+TEST_F(InjectTest, PlaceholderOverridesScheduledForRipe) {
+  const DefectSchedule& schedule = archive().schedule(Rir::kRipeNcc);
+  bool found = false;
+  for (const auto& o : schedule.date_overrides)
+    if (o.shown == util::make_day(1993, 9, 1)) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST_F(InjectTest, StaleTransferExtrasScheduled) {
+  bool any = false;
+  for (Rir rir : asn::kAllRirs)
+    for (const auto& extra : archive().schedule(rir).extras)
+      if (extra.stale_transfer) any = true;
+  EXPECT_TRUE(any);
+}
+
+}  // namespace
+}  // namespace pl::rirsim

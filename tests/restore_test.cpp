@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include "restore/pipeline.hpp"
+#include "rirsim/inject.hpp"
+#include "rirsim/world.hpp"
+
+namespace pl::restore {
+namespace {
+
+using asn::Rir;
+using rirsim::GroundTruth;
+using rirsim::TrueAdminLife;
+using util::Day;
+using util::DayInterval;
+
+class RestoreTest : public ::testing::Test {
+ protected:
+  static constexpr double kScale = 0.02;
+
+  static const GroundTruth& truth() {
+    static const GroundTruth world =
+        rirsim::build_world(rirsim::WorldConfig::test_scale(31, kScale));
+    return world;
+  }
+
+  static const rirsim::SimulatedArchive& archive() {
+    static const rirsim::SimulatedArchive instance(truth(), [] {
+      rirsim::InjectorConfig config;
+      config.seed = 3;
+      config.scale = kScale;
+      return config;
+    }());
+    return instance;
+  }
+
+  static const RestoredArchive& restored() {
+    static const RestoredArchive instance = [] {
+      std::array<std::unique_ptr<dele::ArchiveStream>, asn::kRirCount>
+          streams;
+      for (Rir rir : asn::kAllRirs)
+        streams[asn::index_of(rir)] = archive().stream(rir);
+      return restore_archive(
+          std::move(streams), RestoreConfig{}, &truth().erx,
+          [](asn::Asn a) { return truth().iana.owner(a); },
+          truth().archive_begin);
+    }();
+    return instance;
+  }
+
+  /// Truth-side delegated days of an ASN within the archive window,
+  /// restricted to days the registry had already published its first file.
+  static util::IntervalSet observable_truth_days(const TrueAdminLife& life) {
+    util::IntervalSet days;
+    for (const rirsim::RegistrySegment& segment : life.segments) {
+      const asn::RirFacts& facts = asn::facts(segment.rir);
+      const Day first_file = std::min(facts.first_regular_file,
+                                      facts.first_extended_file);
+      DayInterval clipped = segment.days.intersect(
+          DayInterval{std::max(truth().archive_begin, first_file),
+                      truth().archive_end});
+      if (!clipped.empty()) days.add(clipped);
+    }
+    for (const rirsim::Interruption& gap : life.interruptions)
+      days.subtract(gap.days);
+    return days;
+  }
+
+  /// Restored delegated days of an ASN, across registries.
+  static util::IntervalSet restored_delegated_days(asn::Asn target) {
+    util::IntervalSet days;
+    for (const RestoredRegistry& registry : restored().registries) {
+      const auto it = registry.spans.find(target.value);
+      if (it == registry.spans.end()) continue;
+      for (const StateSpan& span : it->second)
+        if (dele::is_delegated(span.state.status)) days.add(span.days);
+    }
+    return days;
+  }
+};
+
+TEST_F(RestoreTest, ReportsShowEachStepFired) {
+  bool any_missing = false;
+  bool any_recovered = false;
+  for (const RestoredRegistry& registry : restored().registries) {
+    EXPECT_EQ(registry.report.days_processed,
+              truth().archive_end - truth().archive_begin + 1);
+    if (registry.report.files_missing > 0) any_missing = true;
+    if (registry.report.recovered_from_regular > 0) any_recovered = true;
+  }
+  EXPECT_TRUE(any_missing);
+  EXPECT_TRUE(any_recovered);
+  EXPECT_GT(restored()
+                .registries[asn::index_of(Rir::kRipeNcc)]
+                .report.placeholder_dates_restored,
+            0);
+  EXPECT_GT(restored()
+                .registries[asn::index_of(Rir::kAfrinic)]
+                .report.duplicates_resolved,
+            0);
+  EXPECT_GT(restored().cross.mistaken_spans_removed, 0);
+  EXPECT_GT(restored().cross.stale_spans_trimmed, 0);
+}
+
+TEST_F(RestoreTest, DelegatedDaysMatchTruthForSampledLives) {
+  // For a deterministic sample of lives, the restored delegated day set
+  // must match truth almost exactly (publish delays shift starts by <= 3
+  // days; everything else must be repaired).
+  std::size_t checked = 0;
+  std::int64_t total_error_days = 0;
+  std::int64_t total_days = 0;
+  for (std::size_t i = 0; i < truth().lives.size(); i += 7) {
+    const TrueAdminLife& life = truth().lives[i];
+    const util::IntervalSet expected = observable_truth_days(life);
+    if (expected.empty()) continue;
+    const util::IntervalSet actual = restored_delegated_days(life.asn);
+    // Error = symmetric difference restricted to this life's span.
+    const DayInterval span = expected.span();
+    const std::int64_t expected_days = expected.total_days();
+    const std::int64_t common =
+        expected.intersect(actual).covered_days(span);
+    const std::int64_t actual_in_span = actual.covered_days(span);
+    total_error_days += (expected_days - common) +
+                        (actual_in_span - common);
+    total_days += expected_days;
+    ++checked;
+  }
+  ASSERT_GT(checked, 50u);
+  ASSERT_GT(total_days, 0);
+  // Restoration is near-exact: < 0.5% residual day error.
+  EXPECT_LT(static_cast<double>(total_error_days) /
+                static_cast<double>(total_days),
+            0.005)
+      << total_error_days << " / " << total_days;
+}
+
+TEST_F(RestoreTest, MissingFilesDoNotEndSpans) {
+  // Spans continue across scheduled missing days (step i): no restored
+  // delegated span may end exactly where a missing-day run starts unless
+  // truth ends there too.
+  const RestoredRegistry& ripe =
+      restored().registries[asn::index_of(Rir::kRipeNcc)];
+  const auto& missing = archive().schedule(Rir::kRipeNcc).missing_days[0];
+  for (const auto& [asn_value, spans] : ripe.spans) {
+    for (const StateSpan& span : spans) {
+      if (!dele::is_delegated(span.state.status)) continue;
+      if (span.days.last >= truth().archive_end) continue;
+      if (!missing.contains(span.days.last + 1)) continue;
+      // The day after the span end is a missing-file day; verify truth also
+      // ends the life near here (within the grace window).
+      const auto lives_it = truth().lives_by_asn.find(asn_value);
+      if (lives_it == truth().lives_by_asn.end()) continue;
+      bool truth_ends_near = false;
+      for (const std::size_t index : lives_it->second) {
+        const TrueAdminLife& life = truth().lives[index];
+        if (std::abs(life.days.last - span.days.last) <= 10)
+          truth_ends_near = true;
+        for (const rirsim::Interruption& gap : life.interruptions)
+          if (std::abs(gap.days.first - 1 - span.days.last) <= 10)
+            truth_ends_near = true;
+      }
+      EXPECT_TRUE(truth_ends_near) << asn_value << " span ends at "
+                                   << util::format_iso(span.days.last);
+    }
+  }
+}
+
+TEST_F(RestoreTest, PlaceholderDatesRepaired) {
+  // Every RIPE placeholder override must be gone from the restored spans.
+  const Day placeholder = util::make_day(1993, 9, 1);
+  const auto& schedule = archive().schedule(Rir::kRipeNcc);
+  const RestoredRegistry& ripe =
+      restored().registries[asn::index_of(Rir::kRipeNcc)];
+  std::size_t verified = 0;
+  for (const auto& override_entry : schedule.date_overrides) {
+    if (override_entry.shown != placeholder) continue;
+    const auto it = ripe.spans.find(override_entry.asn.value);
+    if (it == ripe.spans.end()) continue;
+    for (const StateSpan& span : it->second) {
+      if (!dele::is_delegated(span.state.status)) continue;
+      ASSERT_TRUE(span.state.registration_date.has_value());
+      EXPECT_NE(*span.state.registration_date, placeholder)
+          << asn::to_string(override_entry.asn);
+      // Restored to the ERX original date.
+      const auto erx_it = truth().erx.find(override_entry.asn.value);
+      if (erx_it != truth().erx.end() &&
+          span.days.first > override_entry.from) {
+        EXPECT_EQ(*span.state.registration_date, erx_it->second);
+      }
+      ++verified;
+    }
+  }
+  EXPECT_GT(verified, 0u);
+}
+
+TEST_F(RestoreTest, MistakenAllocationsRemoved) {
+  // Extras injected as wrong-RIR allocations must be absent from the
+  // restored delegated spans of the injecting registry.
+  std::size_t checked = 0;
+  for (Rir rir : asn::kAllRirs) {
+    const RestoredRegistry& registry =
+        restored().registries[asn::index_of(rir)];
+    for (const auto& extra : archive().schedule(rir).extras) {
+      if (extra.stale_transfer) continue;
+      const auto it = registry.spans.find(extra.asn.value);
+      if (it == registry.spans.end()) {
+        ++checked;
+        continue;
+      }
+      for (const StateSpan& span : it->second)
+        if (dele::is_delegated(span.state.status)) {
+          EXPECT_LE(util::overlap_days(span.days, extra.days), 0)
+              << asn::display_name(rir) << " kept mistaken "
+              << asn::to_string(extra.asn);
+        }
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_F(RestoreTest, StaleTransferTailsTrimmed) {
+  // After reconciliation, no ASN has two registries simultaneously
+  // reporting it delegated.
+  std::map<std::uint32_t, std::vector<DayInterval>> delegated;
+  for (const RestoredRegistry& registry : restored().registries)
+    for (const auto& [asn_value, spans] : registry.spans)
+      for (const StateSpan& span : spans)
+        if (dele::is_delegated(span.state.status))
+          delegated[asn_value].push_back(span.days);
+  for (auto& [asn_value, intervals] : delegated) {
+    std::sort(intervals.begin(), intervals.end(),
+              [](const DayInterval& a, const DayInterval& b) {
+                return a.first < b.first;
+              });
+    for (std::size_t i = 1; i < intervals.size(); ++i)
+      EXPECT_FALSE(intervals[i].overlaps(intervals[i - 1]))
+          << asn_value;
+  }
+}
+
+TEST_F(RestoreTest, DuplicateResolutionKeepsDelegatedInterpretation) {
+  const auto& schedule = archive().schedule(Rir::kAfrinic);
+  const RestoredRegistry& afrinic =
+      restored().registries[asn::index_of(Rir::kAfrinic)];
+  for (const auto& episode : schedule.duplicates) {
+    const auto it = afrinic.spans.find(episode.asn.value);
+    if (it == afrinic.spans.end()) continue;
+    // Throughout the duplicate window, the ASN stays delegated (history +
+    // BGP hint both say the allocated record is the right one). The hint
+    // was not passed here, so history alone must resolve it.
+    std::int64_t delegated_days = 0;
+    for (const StateSpan& span : it->second)
+      if (dele::is_delegated(span.state.status))
+        delegated_days += util::overlap_days(span.days, episode.days);
+    EXPECT_GT(delegated_days, episode.days.length() / 2)
+        << asn::to_string(episode.asn);
+  }
+}
+
+TEST_F(RestoreTest, AblationFlagsChangeBehaviour) {
+  // With regular-file recovery disabled, extended-channel suppressions are
+  // taken at face value: the restorer reports no recoveries and more
+  // fragmented spans.
+  RestoreConfig no_recovery;
+  no_recovery.recover_from_regular = false;
+  auto stream = archive().stream(Rir::kRipeNcc);
+  const RestoredRegistry without =
+      restore_registry(*stream, no_recovery, &truth().erx);
+  EXPECT_EQ(without.report.recovered_from_regular, 0);
+  const RestoredRegistry& with =
+      restored().registries[asn::index_of(Rir::kRipeNcc)];
+  EXPECT_GT(with.report.recovered_from_regular, 0);
+
+  // With date repair disabled, placeholder dates survive into the spans.
+  RestoreConfig no_repair;
+  no_repair.repair_dates = false;
+  auto stream2 = archive().stream(Rir::kRipeNcc);
+  const RestoredRegistry unrepaired =
+      restore_registry(*stream2, no_repair, &truth().erx);
+  EXPECT_EQ(unrepaired.report.placeholder_dates_restored, 0);
+  bool saw_placeholder = false;
+  for (const auto& [asn_value, spans] : unrepaired.spans)
+    for (const StateSpan& span : spans)
+      if (span.state.registration_date == util::make_day(1993, 9, 1))
+        saw_placeholder = true;
+  EXPECT_TRUE(saw_placeholder);
+}
+
+TEST_F(RestoreTest, DuplicateAblationSkipsResolution) {
+  RestoreConfig no_duplicates;
+  no_duplicates.resolve_duplicates = false;
+  auto stream = archive().stream(Rir::kAfrinic);
+  const RestoredRegistry without =
+      restore_registry(*stream, no_duplicates, &truth().erx);
+  EXPECT_EQ(without.report.duplicates_resolved, 0);
+}
+
+}  // namespace
+}  // namespace pl::restore

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "rirsim/world.hpp"
+
+namespace pl::rirsim {
+namespace {
+
+using asn::Rir;
+using util::make_day;
+
+TEST(Iana, DefaultPlanDisjointAndComplete) {
+  const IanaBlockTable table = make_default_iana_plan();
+  // Every RIR owns a 16-bit and a 32-bit lane.
+  for (Rir rir : asn::kAllRirs) {
+    EXPECT_GT(table.sixteen_bit_stock(rir), 0u) << asn::display_name(rir);
+    EXPECT_EQ(table.owner(asn::Asn{default_32bit_base(rir)}), rir);
+  }
+  // Blocks do not overlap: each boundary probe resolves to one owner.
+  EXPECT_EQ(table.owner(asn::Asn{1}), Rir::kArin);
+  EXPECT_FALSE(table.owner(asn::Asn{0}).has_value());
+  EXPECT_FALSE(table.owner(asn::Asn{64496}).has_value());  // RFC 5398 space
+  EXPECT_FALSE(table.owner(asn::Asn{100000}).has_value()); // pre-32-bit gap
+  EXPECT_FALSE(table.owner(asn::Asn{4294967294U}).has_value());
+}
+
+TEST(Policy, BirthCurvesMatchPaperEvents) {
+  // Dot-com bubble spike for ARIN around 2000 (Fig. 10).
+  const RirPolicy& arin = default_policy(Rir::kArin);
+  EXPECT_GT(arin.births_per_quarter(2000), arin.births_per_quarter(1997));
+  EXPECT_GT(arin.births_per_quarter(2000), arin.births_per_quarter(2004));
+  // APNIC / LACNIC ramp after 2014.
+  EXPECT_GT(default_policy(Rir::kApnic).births_per_quarter(2016),
+            default_policy(Rir::kApnic).births_per_quarter(2012));
+  EXPECT_GT(default_policy(Rir::kLacnic).births_per_quarter(2016),
+            default_policy(Rir::kLacnic).births_per_quarter(2012));
+  // AfriNIC starts in 2005.
+  EXPECT_EQ(default_policy(Rir::kAfrinic).births_per_quarter(2004), 0);
+  EXPECT_GT(default_policy(Rir::kAfrinic).births_per_quarter(2006), 0);
+}
+
+TEST(Policy, ThirtyTwoBitSchedule) {
+  for (Rir rir : asn::kAllRirs) {
+    const RirPolicy& policy = default_policy(rir);
+    EXPECT_EQ(policy.fraction_32bit(2006), 0) << asn::display_name(rir);
+    EXPECT_GT(policy.fraction_32bit(2010), 0);
+    // Monotone non-decreasing after introduction.
+    for (int year = 2008; year < 2021; ++year)
+      EXPECT_LE(policy.fraction_32bit(year), policy.fraction_32bit(year + 1))
+          << asn::display_name(rir) << " " << year;
+  }
+  // ARIN is the laggard: in 2012 it allocates far fewer 32-bit than APNIC,
+  // and ~30% of its 2020 allocations are still 16-bit (paper 5).
+  EXPECT_LT(default_policy(Rir::kArin).fraction_32bit(2012),
+            default_policy(Rir::kApnic).fraction_32bit(2012));
+  EXPECT_NEAR(default_policy(Rir::kArin).fraction_32bit(2020), 0.7, 0.01);
+  EXPECT_GT(default_policy(Rir::kApnic).fraction_32bit(2020), 0.98);
+}
+
+TEST(Policy, AfrinicExceptionFlag) {
+  EXPECT_TRUE(default_policy(Rir::kAfrinic)
+                  .regdate_reset_on_same_holder_reallocation);
+  EXPECT_FALSE(default_policy(Rir::kRipeNcc)
+                   .regdate_reset_on_same_holder_reallocation);
+}
+
+class WorldTest : public ::testing::Test {
+ protected:
+  static const GroundTruth& truth() {
+    static const GroundTruth world =
+        build_world(WorldConfig::test_scale(7, 0.03));
+    return world;
+  }
+};
+
+TEST_F(WorldTest, Deterministic) {
+  const GroundTruth again = build_world(WorldConfig::test_scale(7, 0.03));
+  ASSERT_EQ(again.lives.size(), truth().lives.size());
+  for (std::size_t i = 0; i < again.lives.size(); i += 97) {
+    EXPECT_EQ(again.lives[i].asn, truth().lives[i].asn);
+    EXPECT_EQ(again.lives[i].days, truth().lives[i].days);
+  }
+}
+
+TEST_F(WorldTest, LivesOfOneAsnNeverOverlap) {
+  for (const auto& [asn_value, indices] : truth().lives_by_asn) {
+    for (std::size_t k = 1; k < indices.size(); ++k) {
+      const TrueAdminLife& previous = truth().lives[indices[k - 1]];
+      const TrueAdminLife& next = truth().lives[indices[k]];
+      EXPECT_LT(previous.days.last, next.days.first)
+          << "ASN " << asn_value;
+      // Quarantine separates consecutive lives.
+      const util::DayInterval quarantine =
+          truth().quarantine_after[indices[k - 1]];
+      if (!quarantine.empty()) {
+        EXPECT_LE(quarantine.last, next.days.first - 1);
+      }
+    }
+  }
+}
+
+TEST_F(WorldTest, SegmentsAreGapFreeAndCoverLife) {
+  for (const TrueAdminLife& life : truth().lives) {
+    ASSERT_FALSE(life.segments.empty());
+    EXPECT_EQ(life.segments.front().days.first, life.days.first);
+    EXPECT_EQ(life.segments.back().days.last, life.days.last);
+    for (std::size_t s = 1; s < life.segments.size(); ++s)
+      EXPECT_EQ(life.segments[s].days.first,
+                life.segments[s - 1].days.last + 1);
+  }
+}
+
+TEST_F(WorldTest, InterruptionsLieInsideLives) {
+  for (const TrueAdminLife& life : truth().lives)
+    for (const Interruption& gap : life.interruptions) {
+      EXPECT_TRUE(life.days.contains(gap.days));
+      EXPECT_GT(gap.days.first, life.days.first);
+      EXPECT_LT(gap.days.last, life.days.last);
+    }
+}
+
+TEST_F(WorldTest, ErxTransfersExist) {
+  std::size_t erx = 0;
+  std::size_t regular_transfers = 0;
+  for (const TrueAdminLife& life : truth().lives) {
+    if (life.erx_transfer) {
+      ++erx;
+      EXPECT_TRUE(truth().erx.contains(life.asn.value));
+      EXPECT_GE(life.segments.size(), 2u);
+    } else if (life.segments.size() > 1) {
+      ++regular_transfers;
+    }
+  }
+  EXPECT_GT(erx, 0u);
+  EXPECT_GT(regular_transfers, 0u);
+}
+
+TEST_F(WorldTest, OrdinalsAreSequential) {
+  for (const auto& [asn_value, indices] : truth().lives_by_asn)
+    for (std::size_t k = 0; k < indices.size(); ++k)
+      EXPECT_EQ(truth().lives[indices[k]].ordinal, static_cast<int>(k));
+}
+
+TEST_F(WorldTest, IanaOwnsBirthRegistryNumbers) {
+  // Every non-transferred life's ASN belongs to its birth registry's lanes.
+  for (const TrueAdminLife& life : truth().lives) {
+    const auto owner = truth().iana.owner(life.asn);
+    ASSERT_TRUE(owner.has_value()) << asn::to_string(life.asn);
+    EXPECT_EQ(*owner, life.birth_registry());
+  }
+}
+
+TEST_F(WorldTest, OrgsOwnTheirAsns) {
+  for (const TrueAdminLife& life : truth().lives) {
+    ASSERT_LT(life.org, truth().orgs.size());
+    const Organization& org = truth().orgs[life.org];
+    EXPECT_NE(std::find(org.asns.begin(), org.asns.end(), life.asn),
+              org.asns.end());
+  }
+}
+
+TEST_F(WorldTest, ScaleControlsSize) {
+  const GroundTruth small = build_world(WorldConfig::test_scale(7, 0.01));
+  EXPECT_LT(small.lives.size(), truth().lives.size());
+  EXPECT_GT(small.lives.size(), 0u);
+}
+
+TEST_F(WorldTest, QuarantineFollowsClosedLives) {
+  ASSERT_EQ(truth().quarantine_after.size(), truth().lives.size());
+  for (std::size_t i = 0; i < truth().lives.size(); ++i) {
+    const TrueAdminLife& life = truth().lives[i];
+    const util::DayInterval quarantine = truth().quarantine_after[i];
+    if (life.open_ended) {
+      EXPECT_TRUE(quarantine.empty());
+    } else if (!quarantine.empty()) {
+      EXPECT_EQ(quarantine.first, life.days.last + 1);
+    }
+  }
+}
+
+TEST_F(WorldTest, SixteenBitSharesFollowEra) {
+  // Lives born before 2007 are all 16-bit; after 2015 mostly 32-bit for
+  // APNIC-like registries.
+  std::int64_t early_32 = 0;
+  std::int64_t late_apnic_total = 0;
+  std::int64_t late_apnic_32 = 0;
+  for (const TrueAdminLife& life : truth().lives) {
+    const int year = util::year_of(life.days.first);
+    if (year < 2007 && life.ordinal == 0 && life.asn.is_32bit_only())
+      ++early_32;
+    if (year >= 2016 && life.birth_registry() == Rir::kApnic) {
+      ++late_apnic_total;
+      if (life.asn.is_32bit_only()) ++late_apnic_32;
+    }
+  }
+  EXPECT_EQ(early_32, 0);
+  ASSERT_GT(late_apnic_total, 0);
+  EXPECT_GT(static_cast<double>(late_apnic_32) /
+                static_cast<double>(late_apnic_total),
+            0.7);
+}
+
+}  // namespace
+}  // namespace pl::rirsim

@@ -1,0 +1,117 @@
+#include "util/date.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pl::util {
+namespace {
+
+TEST(Date, EpochIsDayZero) {
+  EXPECT_EQ(to_day(CivilDate{1970, 1, 1}), 0);
+  EXPECT_EQ(to_civil(0), (CivilDate{1970, 1, 1}));
+}
+
+TEST(Date, KnownDates) {
+  EXPECT_EQ(make_day(1970, 1, 2), 1);
+  EXPECT_EQ(make_day(1969, 12, 31), -1);
+  EXPECT_EQ(make_day(2000, 3, 1), 11017);
+  // The paper's archive window.
+  EXPECT_EQ(format_iso(make_day(2003, 10, 9)), "2003-10-09");
+  EXPECT_EQ(format_iso(make_day(2021, 3, 1)), "2021-03-01");
+  EXPECT_EQ(make_day(2021, 3, 1) - make_day(2003, 10, 9), 6353);
+}
+
+TEST(Date, LeapYears) {
+  EXPECT_TRUE(is_leap_year(2000));
+  EXPECT_TRUE(is_leap_year(2020));
+  EXPECT_FALSE(is_leap_year(1900));
+  EXPECT_FALSE(is_leap_year(2021));
+  EXPECT_TRUE(is_valid(CivilDate{2020, 2, 29}));
+  EXPECT_FALSE(is_valid(CivilDate{2021, 2, 29}));
+  EXPECT_FALSE(is_valid(CivilDate{2021, 4, 31}));
+  EXPECT_FALSE(is_valid(CivilDate{2021, 13, 1}));
+  EXPECT_FALSE(is_valid(CivilDate{2021, 0, 1}));
+  EXPECT_FALSE(is_valid(CivilDate{2021, 1, 0}));
+}
+
+TEST(Date, ParseIso) {
+  EXPECT_EQ(parse_iso_date("1993-09-01"), make_day(1993, 9, 1));
+  EXPECT_EQ(parse_iso_date("2021-03-01"), make_day(2021, 3, 1));
+  EXPECT_FALSE(parse_iso_date("2021-3-01").has_value());
+  EXPECT_FALSE(parse_iso_date("2021-02-30").has_value());
+  EXPECT_FALSE(parse_iso_date("garbage!").has_value());
+  EXPECT_FALSE(parse_iso_date("").has_value());
+  EXPECT_FALSE(parse_iso_date("2021/03/01").has_value());
+}
+
+TEST(Date, ParseCompact) {
+  EXPECT_EQ(parse_compact_date("20170920"), make_day(2017, 9, 20));
+  EXPECT_FALSE(parse_compact_date("00000000").has_value());  // placeholder
+  EXPECT_FALSE(parse_compact_date("2017092").has_value());
+  EXPECT_FALSE(parse_compact_date("20170931").has_value());
+  EXPECT_FALSE(parse_compact_date("2017-9-2").has_value());
+}
+
+TEST(Date, FormatCompact) {
+  EXPECT_EQ(format_compact(make_day(2003, 10, 9)), "20031009");
+  EXPECT_EQ(format_compact(make_day(1993, 9, 1)), "19930901");
+}
+
+TEST(Date, QuarterIndex) {
+  EXPECT_EQ(quarter_index(make_day(2020, 1, 1)),
+            quarter_index(make_day(2020, 3, 31)));
+  EXPECT_NE(quarter_index(make_day(2020, 3, 31)),
+            quarter_index(make_day(2020, 4, 1)));
+  EXPECT_EQ(quarter_index(make_day(2020, 12, 31)) + 1,
+            quarter_index(make_day(2021, 1, 1)));
+}
+
+TEST(Date, YearHelpers) {
+  EXPECT_EQ(year_of(make_day(1999, 12, 31)), 1999);
+  EXPECT_EQ(year_of(make_day(2000, 1, 1)), 2000);
+  EXPECT_EQ(start_of_year(make_day(2014, 7, 20)), make_day(2014, 1, 1));
+}
+
+// Property: to_civil(to_day(d)) == d for every day across the study range
+// plus the pre-epoch legacy era.
+class DateRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DateRoundTrip, BijectiveOverYear) {
+  const int year = GetParam();
+  Day day = make_day(year, 1, 1);
+  const Day end = make_day(year + 1, 1, 1);
+  CivilDate previous = to_civil(day - 1);
+  for (; day < end; ++day) {
+    const CivilDate civil = to_civil(day);
+    EXPECT_TRUE(is_valid(civil));
+    EXPECT_EQ(to_day(civil), day);
+    // Strictly increasing calendar.
+    EXPECT_TRUE(civil.year > previous.year ||
+                (civil.year == previous.year &&
+                 (civil.month > previous.month ||
+                  (civil.month == previous.month &&
+                   civil.day == previous.day + 1))));
+    previous = civil;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StudyEra, DateRoundTrip,
+                         ::testing::Values(1969, 1970, 1984, 1993, 2000,
+                                           2003, 2007, 2012, 2016, 2020,
+                                           2021, 2100));
+
+// Property: parse(format(d)) == d.
+class DateFormatRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DateFormatRoundTrip, IsoAndCompact) {
+  const Day base = make_day(GetParam(), 1, 1);
+  for (Day day = base; day < base + 366; day += 7) {
+    EXPECT_EQ(parse_iso_date(format_iso(day)), day);
+    EXPECT_EQ(parse_compact_date(format_compact(day)), day);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StudyEra, DateFormatRoundTrip,
+                         ::testing::Values(1984, 1999, 2004, 2013, 2021));
+
+}  // namespace
+}  // namespace pl::util

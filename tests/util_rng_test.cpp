@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace pl::util {
+namespace {
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  Rng c(124);
+  bool all_equal = true;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i)
+    if (a2() != c()) all_equal = false;
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Rng, UniformBoundsInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t value = rng.uniform(3, 7);
+    EXPECT_GE(value, 3);
+    EXPECT_LE(value, 7);
+    if (value == 3) saw_lo = true;
+    if (value == 7) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  // Degenerate range.
+  EXPECT_EQ(rng.uniform(5, 5), 5);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double value = rng.uniform01();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+    sum += value;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.chance(0.25)) ++hits;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, GeometricDaysCapAndMean) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t days = rng.geometric_days(0.1, 1000);
+    EXPECT_GE(days, 0);
+    EXPECT_LE(days, 1000);
+    sum += static_cast<double>(days);
+  }
+  // Mean of geometric with p=0.1 is ~9 (failures before success).
+  EXPECT_NEAR(sum / 5000, 9.0, 1.5);
+  EXPECT_EQ(rng.geometric_days(1.0), 0);
+  EXPECT_EQ(rng.geometric_days(0.0, 55), 55);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0;
+  double sum_sq = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(19);
+  std::vector<double> sample;
+  for (int i = 0; i < 10001; ++i)
+    sample.push_back(rng.lognormal(std::log(320.0), 0.7));
+  std::sort(sample.begin(), sample.end());
+  // Median of exp(N(mu, s)) is exp(mu).
+  EXPECT_NEAR(sample[5000], 320.0, 25.0);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(21);
+  const double weights[] = {0.0, 3.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i)
+    ++counts[rng.weighted(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 8000, 0.75, 0.03);
+  // All-zero weights fall back to index 0.
+  const double zeros[] = {0.0, 0.0};
+  EXPECT_EQ(rng.weighted(zeros), 0u);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(23);
+  Rng child1 = parent.fork();
+  Rng child2 = parent.fork();
+  // Children differ from each other and from the parent's continuation.
+  int child_collisions = 0;
+  for (int i = 0; i < 50; ++i)
+    if (child1() == child2()) ++child_collisions;
+  EXPECT_EQ(child_collisions, 0);
+
+  // Fork sequence is itself deterministic.
+  Rng parent_again(23);
+  Rng child1_again = parent_again.fork();
+  Rng child1_ref(0);
+  child1_ref = Rng(23);
+  Rng expected = child1_ref.fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(child1_again(), expected());
+}
+
+TEST(Rng, SplitMixIsStable) {
+  // Regression pin: splitmix64 output must never change (worlds are seeded
+  // through it and all calibrated numbers depend on it).
+  std::uint64_t state = 42;
+  const std::uint64_t first = splitmix64(state);
+  std::uint64_t state2 = 42;
+  EXPECT_EQ(first, splitmix64(state2));
+  EXPECT_NE(first, splitmix64(state));  // state advanced
+}
+
+}  // namespace
+}  // namespace pl::util

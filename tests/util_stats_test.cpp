@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace pl::util {
+namespace {
+
+TEST(Stats, Quantile) {
+  const std::vector<double> sample = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(sample, 0.0), 1);
+  EXPECT_DOUBLE_EQ(quantile(sample, 0.5), 3);
+  EXPECT_DOUBLE_EQ(quantile(sample, 1.0), 5);
+  EXPECT_DOUBLE_EQ(quantile(sample, 0.25), 2);
+  EXPECT_DOUBLE_EQ(median(sample), 3);
+  EXPECT_DOUBLE_EQ(mean(sample), 3);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> sample = {0, 10};
+  EXPECT_DOUBLE_EQ(quantile(sample, 0.5), 5);
+  EXPECT_DOUBLE_EQ(quantile(sample, 0.75), 7.5);
+}
+
+TEST(Stats, Ecdf) {
+  Ecdf ecdf({1, 2, 2, 3, 10});
+  EXPECT_DOUBLE_EQ(ecdf.at(0), 0);
+  EXPECT_DOUBLE_EQ(ecdf.at(1), 0.2);
+  EXPECT_DOUBLE_EQ(ecdf.at(2), 0.6);
+  EXPECT_DOUBLE_EQ(ecdf.at(9.99), 0.8);
+  EXPECT_DOUBLE_EQ(ecdf.at(10), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.value_at_fraction(0.6), 2);
+  EXPECT_DOUBLE_EQ(ecdf.value_at_fraction(1.0), 10);
+}
+
+TEST(Stats, EcdfTabulate) {
+  Ecdf ecdf({0, 100});
+  const auto table = ecdf.tabulate(3);
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_DOUBLE_EQ(table.front().first, 0);
+  EXPECT_DOUBLE_EQ(table.back().first, 100);
+  EXPECT_DOUBLE_EQ(table.back().second, 1.0);
+}
+
+TEST(Stats, FiveNumberSummary) {
+  const std::vector<double> sample = {5, 1, 3, 2, 4};
+  const FiveNumberSummary s = summarize(sample);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.q1, 2);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+  EXPECT_DOUBLE_EQ(s.q3, 4);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(summarize({}).count, 0u);
+}
+
+TEST(Stats, Histogram) {
+  Histogram h(0, 10, 5);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(9.9);
+  h.add(-5);   // clamped into bin 0
+  h.add(100);  // clamped into last bin
+  EXPECT_EQ(h.bin_count(0), 3);  // 0.5, 1.5 (bin width 2), clamped -5
+  EXPECT_EQ(h.bin_count(4), 2);
+  EXPECT_EQ(h.total(), 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(1), 2);
+}
+
+TEST(Stats, Sparkline) {
+  EXPECT_EQ(sparkline({}), "");
+  const std::vector<double> rising = {0, 1, 2, 3};
+  const std::string line = sparkline(rising);
+  EXPECT_FALSE(line.empty());
+  const std::vector<double> same = {5, 5, 5};
+  const std::string flat = sparkline(same);
+  EXPECT_EQ(flat, "▁▁▁");
+}
+
+TEST(Strings, Split) {
+  const auto fields = split("a|b||d", '|');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[3], "d");
+  EXPECT_EQ(split("", '|').size(), 1u);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x \r\n"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, Lines) {
+  const auto ls = lines("a\nb\r\nc");
+  ASSERT_EQ(ls.size(), 3u);
+  EXPECT_EQ(ls[1], "b");
+  EXPECT_EQ(ls[2], "c");
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(126953), "126,953");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+TEST(Strings, Percent) {
+  EXPECT_EQ(percent(0.786), "78.6%");
+  EXPECT_EQ(percent(0.034), "3.4%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+TEST(Csv, WriteAndParseRoundTrip) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"a", "b,c", "d\"e", "line\nbreak"});
+  writer.write_row({"1", "2", "3", "4"});
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "b,c");
+  EXPECT_EQ(rows[0][2], "d\"e");
+  EXPECT_EQ(rows[0][3], "line\nbreak");
+  EXPECT_EQ(rows[1][3], "4");
+}
+
+TEST(Csv, ParseEmptyAndEdge) {
+  EXPECT_TRUE(parse_csv("").empty());
+  const auto rows = parse_csv("a,b\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].size(), 2u);
+}
+
+TEST(Table, RendersAligned) {
+  TextTable table({"RIR", "count"});
+  table.add_row({"AfriNIC", "5,791"});
+  table.add_row({"RIPE NCC", "6,249"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("RIR"), std::string::npos);
+  EXPECT_NE(text.find("AfriNIC"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace pl::util
