@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_restore.dir/bench_ablation_restore.cpp.o"
+  "CMakeFiles/bench_ablation_restore.dir/bench_ablation_restore.cpp.o.d"
+  "bench_ablation_restore"
+  "bench_ablation_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_countries.dir/bench_appendix_countries.cpp.o"
+  "CMakeFiles/bench_appendix_countries.dir/bench_appendix_countries.cpp.o.d"
+  "bench_appendix_countries"
+  "bench_appendix_countries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_countries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

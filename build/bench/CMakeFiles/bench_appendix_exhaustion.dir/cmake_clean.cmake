@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_exhaustion.dir/bench_appendix_exhaustion.cpp.o"
+  "CMakeFiles/bench_appendix_exhaustion.dir/bench_appendix_exhaustion.cpp.o.d"
+  "bench_appendix_exhaustion"
+  "bench_appendix_exhaustion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_exhaustion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

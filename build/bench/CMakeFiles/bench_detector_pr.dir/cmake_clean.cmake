@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detector_pr.dir/bench_detector_pr.cpp.o"
+  "CMakeFiles/bench_detector_pr.dir/bench_detector_pr.cpp.o.d"
+  "bench_detector_pr"
+  "bench_detector_pr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detector_pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_16v32.dir/bench_fig12_16v32.cpp.o"
+  "CMakeFiles/bench_fig12_16v32.dir/bench_fig12_16v32.cpp.o.d"
+  "bench_fig12_16v32"
+  "bench_fig12_16v32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_16v32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

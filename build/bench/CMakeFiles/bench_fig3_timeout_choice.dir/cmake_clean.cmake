@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_timeout_choice.dir/bench_fig3_timeout_choice.cpp.o"
+  "CMakeFiles/bench_fig3_timeout_choice.dir/bench_fig3_timeout_choice.cpp.o.d"
+  "bench_fig3_timeout_choice"
+  "bench_fig3_timeout_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_timeout_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_squatting.dir/bench_fig8_squatting.cpp.o"
+  "CMakeFiles/bench_fig8_squatting.dir/bench_fig8_squatting.cpp.o.d"
+  "bench_fig8_squatting"
+  "bench_fig8_squatting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_squatting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partial_overlap.dir/bench_partial_overlap.cpp.o"
+  "CMakeFiles/bench_partial_overlap.dir/bench_partial_overlap.cpp.o.d"
+  "bench_partial_overlap"
+  "bench_partial_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partial_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prefix_informed.dir/bench_prefix_informed.cpp.o"
+  "CMakeFiles/bench_prefix_informed.dir/bench_prefix_informed.cpp.o.d"
+  "bench_prefix_informed"
+  "bench_prefix_informed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prefix_informed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

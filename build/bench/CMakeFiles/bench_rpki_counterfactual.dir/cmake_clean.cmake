@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rpki_counterfactual.dir/bench_rpki_counterfactual.cpp.o"
+  "CMakeFiles/bench_rpki_counterfactual.dir/bench_rpki_counterfactual.cpp.o.d"
+  "bench_rpki_counterfactual"
+  "bench_rpki_counterfactual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rpki_counterfactual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

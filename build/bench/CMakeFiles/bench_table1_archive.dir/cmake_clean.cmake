@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_archive.dir/bench_table1_archive.cpp.o"
+  "CMakeFiles/bench_table1_archive.dir/bench_table1_archive.cpp.o.d"
+  "bench_table1_archive"
+  "bench_table1_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_lives_per_asn.dir/bench_table2_lives_per_asn.cpp.o"
+  "CMakeFiles/bench_table2_lives_per_asn.dir/bench_table2_lives_per_asn.cpp.o.d"
+  "bench_table2_lives_per_asn"
+  "bench_table2_lives_per_asn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_lives_per_asn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

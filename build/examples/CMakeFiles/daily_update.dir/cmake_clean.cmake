@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daily_update.dir/daily_update.cpp.o"
+  "CMakeFiles/daily_update.dir/daily_update.cpp.o.d"
+  "daily_update"
+  "daily_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daily_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

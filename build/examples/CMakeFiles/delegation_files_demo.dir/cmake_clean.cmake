@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delegation_files_demo.dir/delegation_files_demo.cpp.o"
+  "CMakeFiles/delegation_files_demo.dir/delegation_files_demo.cpp.o.d"
+  "delegation_files_demo"
+  "delegation_files_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delegation_files_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

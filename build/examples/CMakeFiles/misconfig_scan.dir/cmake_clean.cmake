@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misconfig_scan.dir/misconfig_scan.cpp.o"
+  "CMakeFiles/misconfig_scan.dir/misconfig_scan.cpp.o.d"
+  "misconfig_scan"
+  "misconfig_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misconfig_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

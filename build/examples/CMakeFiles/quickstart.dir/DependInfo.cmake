@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/pl_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/joint/CMakeFiles/pl_joint.dir/DependInfo.cmake"
+  "/root/repo/build/src/lifetimes/CMakeFiles/pl_lifetimes.dir/DependInfo.cmake"
+  "/root/repo/build/src/restore/CMakeFiles/pl_restore.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgpsim/CMakeFiles/pl_bgpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rirsim/CMakeFiles/pl_rirsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/pl_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/delegation/CMakeFiles/pl_delegation.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/pl_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

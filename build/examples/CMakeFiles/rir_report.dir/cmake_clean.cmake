@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rir_report.dir/rir_report.cpp.o"
+  "CMakeFiles/rir_report.dir/rir_report.cpp.o.d"
+  "rir_report"
+  "rir_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rir_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squatting_hunt.dir/squatting_hunt.cpp.o"
+  "CMakeFiles/squatting_hunt.dir/squatting_hunt.cpp.o.d"
+  "squatting_hunt"
+  "squatting_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squatting_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

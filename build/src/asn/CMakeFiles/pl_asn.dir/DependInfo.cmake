@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asn/asn.cpp" "src/asn/CMakeFiles/pl_asn.dir/asn.cpp.o" "gcc" "src/asn/CMakeFiles/pl_asn.dir/asn.cpp.o.d"
+  "/root/repo/src/asn/country.cpp" "src/asn/CMakeFiles/pl_asn.dir/country.cpp.o" "gcc" "src/asn/CMakeFiles/pl_asn.dir/country.cpp.o.d"
+  "/root/repo/src/asn/rir.cpp" "src/asn/CMakeFiles/pl_asn.dir/rir.cpp.o" "gcc" "src/asn/CMakeFiles/pl_asn.dir/rir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_asn.dir/asn.cpp.o"
+  "CMakeFiles/pl_asn.dir/asn.cpp.o.d"
+  "CMakeFiles/pl_asn.dir/country.cpp.o"
+  "CMakeFiles/pl_asn.dir/country.cpp.o.d"
+  "CMakeFiles/pl_asn.dir/rir.cpp.o"
+  "CMakeFiles/pl_asn.dir/rir.cpp.o.d"
+  "libpl_asn.a"
+  "libpl_asn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_asn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/activity.cpp" "src/bgp/CMakeFiles/pl_bgp.dir/activity.cpp.o" "gcc" "src/bgp/CMakeFiles/pl_bgp.dir/activity.cpp.o.d"
+  "/root/repo/src/bgp/collector.cpp" "src/bgp/CMakeFiles/pl_bgp.dir/collector.cpp.o" "gcc" "src/bgp/CMakeFiles/pl_bgp.dir/collector.cpp.o.d"
+  "/root/repo/src/bgp/mrt.cpp" "src/bgp/CMakeFiles/pl_bgp.dir/mrt.cpp.o" "gcc" "src/bgp/CMakeFiles/pl_bgp.dir/mrt.cpp.o.d"
+  "/root/repo/src/bgp/path.cpp" "src/bgp/CMakeFiles/pl_bgp.dir/path.cpp.o" "gcc" "src/bgp/CMakeFiles/pl_bgp.dir/path.cpp.o.d"
+  "/root/repo/src/bgp/prefix.cpp" "src/bgp/CMakeFiles/pl_bgp.dir/prefix.cpp.o" "gcc" "src/bgp/CMakeFiles/pl_bgp.dir/prefix.cpp.o.d"
+  "/root/repo/src/bgp/rib.cpp" "src/bgp/CMakeFiles/pl_bgp.dir/rib.cpp.o" "gcc" "src/bgp/CMakeFiles/pl_bgp.dir/rib.cpp.o.d"
+  "/root/repo/src/bgp/roles.cpp" "src/bgp/CMakeFiles/pl_bgp.dir/roles.cpp.o" "gcc" "src/bgp/CMakeFiles/pl_bgp.dir/roles.cpp.o.d"
+  "/root/repo/src/bgp/sanitizer.cpp" "src/bgp/CMakeFiles/pl_bgp.dir/sanitizer.cpp.o" "gcc" "src/bgp/CMakeFiles/pl_bgp.dir/sanitizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asn/CMakeFiles/pl_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_bgp.dir/activity.cpp.o"
+  "CMakeFiles/pl_bgp.dir/activity.cpp.o.d"
+  "CMakeFiles/pl_bgp.dir/collector.cpp.o"
+  "CMakeFiles/pl_bgp.dir/collector.cpp.o.d"
+  "CMakeFiles/pl_bgp.dir/mrt.cpp.o"
+  "CMakeFiles/pl_bgp.dir/mrt.cpp.o.d"
+  "CMakeFiles/pl_bgp.dir/path.cpp.o"
+  "CMakeFiles/pl_bgp.dir/path.cpp.o.d"
+  "CMakeFiles/pl_bgp.dir/prefix.cpp.o"
+  "CMakeFiles/pl_bgp.dir/prefix.cpp.o.d"
+  "CMakeFiles/pl_bgp.dir/rib.cpp.o"
+  "CMakeFiles/pl_bgp.dir/rib.cpp.o.d"
+  "CMakeFiles/pl_bgp.dir/roles.cpp.o"
+  "CMakeFiles/pl_bgp.dir/roles.cpp.o.d"
+  "CMakeFiles/pl_bgp.dir/sanitizer.cpp.o"
+  "CMakeFiles/pl_bgp.dir/sanitizer.cpp.o.d"
+  "libpl_bgp.a"
+  "libpl_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

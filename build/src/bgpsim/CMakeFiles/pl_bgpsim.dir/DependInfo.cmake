@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgpsim/attack.cpp" "src/bgpsim/CMakeFiles/pl_bgpsim.dir/attack.cpp.o" "gcc" "src/bgpsim/CMakeFiles/pl_bgpsim.dir/attack.cpp.o.d"
+  "/root/repo/src/bgpsim/behavior.cpp" "src/bgpsim/CMakeFiles/pl_bgpsim.dir/behavior.cpp.o" "gcc" "src/bgpsim/CMakeFiles/pl_bgpsim.dir/behavior.cpp.o.d"
+  "/root/repo/src/bgpsim/misconfig.cpp" "src/bgpsim/CMakeFiles/pl_bgpsim.dir/misconfig.cpp.o" "gcc" "src/bgpsim/CMakeFiles/pl_bgpsim.dir/misconfig.cpp.o.d"
+  "/root/repo/src/bgpsim/route_gen.cpp" "src/bgpsim/CMakeFiles/pl_bgpsim.dir/route_gen.cpp.o" "gcc" "src/bgpsim/CMakeFiles/pl_bgpsim.dir/route_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rirsim/CMakeFiles/pl_rirsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/pl_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/pl_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/delegation/CMakeFiles/pl_delegation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

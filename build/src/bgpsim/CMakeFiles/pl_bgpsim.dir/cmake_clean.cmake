@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_bgpsim.dir/attack.cpp.o"
+  "CMakeFiles/pl_bgpsim.dir/attack.cpp.o.d"
+  "CMakeFiles/pl_bgpsim.dir/behavior.cpp.o"
+  "CMakeFiles/pl_bgpsim.dir/behavior.cpp.o.d"
+  "CMakeFiles/pl_bgpsim.dir/misconfig.cpp.o"
+  "CMakeFiles/pl_bgpsim.dir/misconfig.cpp.o.d"
+  "CMakeFiles/pl_bgpsim.dir/route_gen.cpp.o"
+  "CMakeFiles/pl_bgpsim.dir/route_gen.cpp.o.d"
+  "libpl_bgpsim.a"
+  "libpl_bgpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_bgpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

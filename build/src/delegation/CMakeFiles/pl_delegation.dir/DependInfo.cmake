@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/delegation/archive.cpp" "src/delegation/CMakeFiles/pl_delegation.dir/archive.cpp.o" "gcc" "src/delegation/CMakeFiles/pl_delegation.dir/archive.cpp.o.d"
+  "/root/repo/src/delegation/file.cpp" "src/delegation/CMakeFiles/pl_delegation.dir/file.cpp.o" "gcc" "src/delegation/CMakeFiles/pl_delegation.dir/file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asn/CMakeFiles/pl_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_delegation.dir/archive.cpp.o"
+  "CMakeFiles/pl_delegation.dir/archive.cpp.o.d"
+  "CMakeFiles/pl_delegation.dir/file.cpp.o"
+  "CMakeFiles/pl_delegation.dir/file.cpp.o.d"
+  "libpl_delegation.a"
+  "libpl_delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

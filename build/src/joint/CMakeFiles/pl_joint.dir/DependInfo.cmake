@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/joint/birdseye.cpp" "src/joint/CMakeFiles/pl_joint.dir/birdseye.cpp.o" "gcc" "src/joint/CMakeFiles/pl_joint.dir/birdseye.cpp.o.d"
+  "/root/repo/src/joint/detector.cpp" "src/joint/CMakeFiles/pl_joint.dir/detector.cpp.o" "gcc" "src/joint/CMakeFiles/pl_joint.dir/detector.cpp.o.d"
+  "/root/repo/src/joint/exhaustion.cpp" "src/joint/CMakeFiles/pl_joint.dir/exhaustion.cpp.o" "gcc" "src/joint/CMakeFiles/pl_joint.dir/exhaustion.cpp.o.d"
+  "/root/repo/src/joint/outside.cpp" "src/joint/CMakeFiles/pl_joint.dir/outside.cpp.o" "gcc" "src/joint/CMakeFiles/pl_joint.dir/outside.cpp.o.d"
+  "/root/repo/src/joint/partial.cpp" "src/joint/CMakeFiles/pl_joint.dir/partial.cpp.o" "gcc" "src/joint/CMakeFiles/pl_joint.dir/partial.cpp.o.d"
+  "/root/repo/src/joint/rpki.cpp" "src/joint/CMakeFiles/pl_joint.dir/rpki.cpp.o" "gcc" "src/joint/CMakeFiles/pl_joint.dir/rpki.cpp.o.d"
+  "/root/repo/src/joint/squat.cpp" "src/joint/CMakeFiles/pl_joint.dir/squat.cpp.o" "gcc" "src/joint/CMakeFiles/pl_joint.dir/squat.cpp.o.d"
+  "/root/repo/src/joint/taxonomy.cpp" "src/joint/CMakeFiles/pl_joint.dir/taxonomy.cpp.o" "gcc" "src/joint/CMakeFiles/pl_joint.dir/taxonomy.cpp.o.d"
+  "/root/repo/src/joint/unused.cpp" "src/joint/CMakeFiles/pl_joint.dir/unused.cpp.o" "gcc" "src/joint/CMakeFiles/pl_joint.dir/unused.cpp.o.d"
+  "/root/repo/src/joint/utilization.cpp" "src/joint/CMakeFiles/pl_joint.dir/utilization.cpp.o" "gcc" "src/joint/CMakeFiles/pl_joint.dir/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lifetimes/CMakeFiles/pl_lifetimes.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/pl_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/restore/CMakeFiles/pl_restore.dir/DependInfo.cmake"
+  "/root/repo/build/src/delegation/CMakeFiles/pl_delegation.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/pl_bgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_joint.dir/birdseye.cpp.o"
+  "CMakeFiles/pl_joint.dir/birdseye.cpp.o.d"
+  "CMakeFiles/pl_joint.dir/detector.cpp.o"
+  "CMakeFiles/pl_joint.dir/detector.cpp.o.d"
+  "CMakeFiles/pl_joint.dir/exhaustion.cpp.o"
+  "CMakeFiles/pl_joint.dir/exhaustion.cpp.o.d"
+  "CMakeFiles/pl_joint.dir/outside.cpp.o"
+  "CMakeFiles/pl_joint.dir/outside.cpp.o.d"
+  "CMakeFiles/pl_joint.dir/partial.cpp.o"
+  "CMakeFiles/pl_joint.dir/partial.cpp.o.d"
+  "CMakeFiles/pl_joint.dir/rpki.cpp.o"
+  "CMakeFiles/pl_joint.dir/rpki.cpp.o.d"
+  "CMakeFiles/pl_joint.dir/squat.cpp.o"
+  "CMakeFiles/pl_joint.dir/squat.cpp.o.d"
+  "CMakeFiles/pl_joint.dir/taxonomy.cpp.o"
+  "CMakeFiles/pl_joint.dir/taxonomy.cpp.o.d"
+  "CMakeFiles/pl_joint.dir/unused.cpp.o"
+  "CMakeFiles/pl_joint.dir/unused.cpp.o.d"
+  "CMakeFiles/pl_joint.dir/utilization.cpp.o"
+  "CMakeFiles/pl_joint.dir/utilization.cpp.o.d"
+  "libpl_joint.a"
+  "libpl_joint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_joint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

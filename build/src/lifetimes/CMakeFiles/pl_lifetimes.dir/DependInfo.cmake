@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lifetimes/admin.cpp" "src/lifetimes/CMakeFiles/pl_lifetimes.dir/admin.cpp.o" "gcc" "src/lifetimes/CMakeFiles/pl_lifetimes.dir/admin.cpp.o.d"
+  "/root/repo/src/lifetimes/dataset_io.cpp" "src/lifetimes/CMakeFiles/pl_lifetimes.dir/dataset_io.cpp.o" "gcc" "src/lifetimes/CMakeFiles/pl_lifetimes.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/lifetimes/op.cpp" "src/lifetimes/CMakeFiles/pl_lifetimes.dir/op.cpp.o" "gcc" "src/lifetimes/CMakeFiles/pl_lifetimes.dir/op.cpp.o.d"
+  "/root/repo/src/lifetimes/prefix_informed.cpp" "src/lifetimes/CMakeFiles/pl_lifetimes.dir/prefix_informed.cpp.o" "gcc" "src/lifetimes/CMakeFiles/pl_lifetimes.dir/prefix_informed.cpp.o.d"
+  "/root/repo/src/lifetimes/sensitivity.cpp" "src/lifetimes/CMakeFiles/pl_lifetimes.dir/sensitivity.cpp.o" "gcc" "src/lifetimes/CMakeFiles/pl_lifetimes.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/restore/CMakeFiles/pl_restore.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/pl_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/pl_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/delegation/CMakeFiles/pl_delegation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

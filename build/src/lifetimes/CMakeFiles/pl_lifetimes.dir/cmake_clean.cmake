@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_lifetimes.dir/admin.cpp.o"
+  "CMakeFiles/pl_lifetimes.dir/admin.cpp.o.d"
+  "CMakeFiles/pl_lifetimes.dir/dataset_io.cpp.o"
+  "CMakeFiles/pl_lifetimes.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/pl_lifetimes.dir/op.cpp.o"
+  "CMakeFiles/pl_lifetimes.dir/op.cpp.o.d"
+  "CMakeFiles/pl_lifetimes.dir/prefix_informed.cpp.o"
+  "CMakeFiles/pl_lifetimes.dir/prefix_informed.cpp.o.d"
+  "CMakeFiles/pl_lifetimes.dir/sensitivity.cpp.o"
+  "CMakeFiles/pl_lifetimes.dir/sensitivity.cpp.o.d"
+  "libpl_lifetimes.a"
+  "libpl_lifetimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_lifetimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

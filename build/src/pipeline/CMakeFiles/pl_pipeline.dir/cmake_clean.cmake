@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_pipeline.dir/pipeline.cpp.o"
+  "CMakeFiles/pl_pipeline.dir/pipeline.cpp.o.d"
+  "libpl_pipeline.a"
+  "libpl_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_restore.dir/pipeline.cpp.o"
+  "CMakeFiles/pl_restore.dir/pipeline.cpp.o.d"
+  "libpl_restore.a"
+  "libpl_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

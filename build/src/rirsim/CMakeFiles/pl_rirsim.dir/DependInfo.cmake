@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rirsim/iana.cpp" "src/rirsim/CMakeFiles/pl_rirsim.dir/iana.cpp.o" "gcc" "src/rirsim/CMakeFiles/pl_rirsim.dir/iana.cpp.o.d"
+  "/root/repo/src/rirsim/inject.cpp" "src/rirsim/CMakeFiles/pl_rirsim.dir/inject.cpp.o" "gcc" "src/rirsim/CMakeFiles/pl_rirsim.dir/inject.cpp.o.d"
+  "/root/repo/src/rirsim/policy.cpp" "src/rirsim/CMakeFiles/pl_rirsim.dir/policy.cpp.o" "gcc" "src/rirsim/CMakeFiles/pl_rirsim.dir/policy.cpp.o.d"
+  "/root/repo/src/rirsim/registry_sim.cpp" "src/rirsim/CMakeFiles/pl_rirsim.dir/registry_sim.cpp.o" "gcc" "src/rirsim/CMakeFiles/pl_rirsim.dir/registry_sim.cpp.o.d"
+  "/root/repo/src/rirsim/render.cpp" "src/rirsim/CMakeFiles/pl_rirsim.dir/render.cpp.o" "gcc" "src/rirsim/CMakeFiles/pl_rirsim.dir/render.cpp.o.d"
+  "/root/repo/src/rirsim/world.cpp" "src/rirsim/CMakeFiles/pl_rirsim.dir/world.cpp.o" "gcc" "src/rirsim/CMakeFiles/pl_rirsim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/delegation/CMakeFiles/pl_delegation.dir/DependInfo.cmake"
+  "/root/repo/build/src/asn/CMakeFiles/pl_asn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_rirsim.dir/iana.cpp.o"
+  "CMakeFiles/pl_rirsim.dir/iana.cpp.o.d"
+  "CMakeFiles/pl_rirsim.dir/inject.cpp.o"
+  "CMakeFiles/pl_rirsim.dir/inject.cpp.o.d"
+  "CMakeFiles/pl_rirsim.dir/policy.cpp.o"
+  "CMakeFiles/pl_rirsim.dir/policy.cpp.o.d"
+  "CMakeFiles/pl_rirsim.dir/registry_sim.cpp.o"
+  "CMakeFiles/pl_rirsim.dir/registry_sim.cpp.o.d"
+  "CMakeFiles/pl_rirsim.dir/render.cpp.o"
+  "CMakeFiles/pl_rirsim.dir/render.cpp.o.d"
+  "CMakeFiles/pl_rirsim.dir/world.cpp.o"
+  "CMakeFiles/pl_rirsim.dir/world.cpp.o.d"
+  "libpl_rirsim.a"
+  "libpl_rirsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_rirsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pl_rirsim.
+# This may be replaced when dependencies are built.

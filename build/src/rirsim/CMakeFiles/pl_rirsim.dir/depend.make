@@ -1,0 +1,2 @@
+# Empty dependencies file for pl_rirsim.
+# This may be replaced when dependencies are built.

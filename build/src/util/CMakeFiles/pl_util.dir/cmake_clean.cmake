@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_util.dir/csv.cpp.o"
+  "CMakeFiles/pl_util.dir/csv.cpp.o.d"
+  "CMakeFiles/pl_util.dir/date.cpp.o"
+  "CMakeFiles/pl_util.dir/date.cpp.o.d"
+  "CMakeFiles/pl_util.dir/interval_set.cpp.o"
+  "CMakeFiles/pl_util.dir/interval_set.cpp.o.d"
+  "CMakeFiles/pl_util.dir/stats.cpp.o"
+  "CMakeFiles/pl_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pl_util.dir/strings.cpp.o"
+  "CMakeFiles/pl_util.dir/strings.cpp.o.d"
+  "CMakeFiles/pl_util.dir/table.cpp.o"
+  "CMakeFiles/pl_util.dir/table.cpp.o.d"
+  "libpl_util.a"
+  "libpl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asn_test.dir/asn_test.cpp.o"
+  "CMakeFiles/asn_test.dir/asn_test.cpp.o.d"
+  "asn_test"
+  "asn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_activity_test.dir/bgp_activity_test.cpp.o"
+  "CMakeFiles/bgp_activity_test.dir/bgp_activity_test.cpp.o.d"
+  "bgp_activity_test"
+  "bgp_activity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_activity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

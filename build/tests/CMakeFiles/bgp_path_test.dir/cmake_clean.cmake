@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_path_test.dir/bgp_path_test.cpp.o"
+  "CMakeFiles/bgp_path_test.dir/bgp_path_test.cpp.o.d"
+  "bgp_path_test"
+  "bgp_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_prefix_test.dir/bgp_prefix_test.cpp.o"
+  "CMakeFiles/bgp_prefix_test.dir/bgp_prefix_test.cpp.o.d"
+  "bgp_prefix_test"
+  "bgp_prefix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_prefix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delegation_test.dir/delegation_test.cpp.o"
+  "CMakeFiles/delegation_test.dir/delegation_test.cpp.o.d"
+  "delegation_test"
+  "delegation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delegation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_seeds_test.dir/integration_seeds_test.cpp.o"
+  "CMakeFiles/integration_seeds_test.dir/integration_seeds_test.cpp.o.d"
+  "integration_seeds_test"
+  "integration_seeds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_seeds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetimes_test.dir/lifetimes_test.cpp.o"
+  "CMakeFiles/lifetimes_test.dir/lifetimes_test.cpp.o.d"
+  "lifetimes_test"
+  "lifetimes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetimes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

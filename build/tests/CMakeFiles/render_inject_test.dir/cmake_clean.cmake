@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_inject_test.dir/render_inject_test.cpp.o"
+  "CMakeFiles/render_inject_test.dir/render_inject_test.cpp.o.d"
+  "render_inject_test"
+  "render_inject_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_inject_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

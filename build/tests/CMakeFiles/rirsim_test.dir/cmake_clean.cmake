@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rirsim_test.dir/rirsim_test.cpp.o"
+  "CMakeFiles/rirsim_test.dir/rirsim_test.cpp.o.d"
+  "rirsim_test"
+  "rirsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rirsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

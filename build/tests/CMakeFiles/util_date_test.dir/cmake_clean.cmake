@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_date_test.dir/util_date_test.cpp.o"
+  "CMakeFiles/util_date_test.dir/util_date_test.cpp.o.d"
+  "util_date_test"
+  "util_date_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_date_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_interval_test.dir/util_interval_test.cpp.o"
+  "CMakeFiles/util_interval_test.dir/util_interval_test.cpp.o.d"
+  "util_interval_test"
+  "util_interval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_interval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
