@@ -1,0 +1,107 @@
+// Graceful-degradation sweep: restoration accuracy as the ingestion
+// transport decays. Wraps the rendered archive in robust::FaultStream at
+// uniform fault rates from 0% to 20% and measures what survives — the
+// conservation books must balance at every rate, and accuracy should fall
+// smoothly with the share of days the transport actually destroyed, never
+// with a crash.
+#include "common.hpp"
+#include "robust/chaos.hpp"
+
+namespace {
+
+using namespace pl;
+
+/// Per-day delegated-status error vs ground truth, on the same deterministic
+/// life sample bench_ablation_restore uses.
+std::int64_t sampled_day_errors(const bench::Pipeline& p,
+                                const restore::RestoredArchive& restored) {
+  std::int64_t day_errors = 0;
+  for (std::size_t i = 0; i < p.truth.lives.size(); i += 17) {
+    const rirsim::TrueAdminLife& life = p.truth.lives[i];
+    util::IntervalSet expected;
+    for (const rirsim::RegistrySegment& segment : life.segments) {
+      const asn::RirFacts& facts = asn::facts(segment.rir);
+      const util::DayInterval clipped = segment.days.intersect(
+          util::DayInterval{std::max(p.truth.archive_begin,
+                                     std::min(facts.first_regular_file,
+                                              facts.first_extended_file)),
+                            p.truth.archive_end});
+      if (!clipped.empty()) expected.add(clipped);
+    }
+    for (const rirsim::Interruption& gap : life.interruptions)
+      expected.subtract(gap.days);
+    if (expected.empty()) continue;
+    util::IntervalSet actual;
+    for (const restore::RestoredRegistry& registry : restored.registries) {
+      const auto it = registry.spans.find(life.asn.value);
+      if (it == registry.spans.end()) continue;
+      for (const restore::StateSpan& span : it->second)
+        if (dele::is_delegated(span.state.status)) actual.add(span.days);
+    }
+    const util::DayInterval span = expected.span();
+    const std::int64_t common = expected.intersect(actual).covered_days(span);
+    day_errors += (expected.total_days() - common) +
+                  (actual.covered_days(span) - common);
+  }
+  return day_errors;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pl;
+  bench::print_banner("Chaos: ingestion degradation",
+                      "restoration accuracy under transport fault injection");
+
+  const bench::Pipeline& p = bench::Pipeline::instance();
+  rirsim::InjectorConfig injector;
+  injector.seed = p.seed + 4;
+  injector.scale = p.scale;
+  const rirsim::SimulatedArchive archive(p.truth, injector);
+
+  const double rates[] = {0.0, 0.01, 0.02, 0.05, 0.10, 0.20};
+
+  util::TextTable table({"fault rate", "days dropped", "quarantined",
+                         "reorder-recovered", "lifetimes",
+                         "status-day errors (sampled)", "books"});
+  for (const double rate : rates) {
+    robust::ErrorSink sink(robust::Policy::kLenient);
+    restore::RestoreConfig config;
+    config.reorder_window_days = 2;  // absorbs the injector's 1-day swaps
+
+    restore::RestoredArchive restored;
+    for (asn::Rir rir : asn::kAllRirs) {
+      robust::ChaosConfig chaos =
+          robust::ChaosConfig::uniform(rate, p.seed + 90);
+      chaos.seed += asn::index_of(rir);
+      robust::FaultStream stream(archive.stream(rir), chaos, &sink);
+      restored.registries[asn::index_of(rir)] = restore::restore_registry(
+          stream, config, &p.truth.erx, &p.op_world.activity, &sink);
+    }
+    restored.cross = restore::reconcile_registries(
+        restored.registries,
+        [&](asn::Asn a) { return p.truth.iana.owner(a); }, config,
+        p.truth.archive_begin);
+    const lifetimes::AdminDataset admin =
+        lifetimes::build_admin_lifetimes(restored, p.truth.archive_end);
+
+    const robust::RobustnessReport& books = sink.counters();
+    const bool balanced =
+        books.transport_accounted() && books.delivery_accounted();
+    table.add_row(
+        {bench::fmt_pct(rate, 0), bench::fmt_count(books.days_dropped),
+         bench::fmt_count(books.days_quarantined_duplicate +
+                          books.days_quarantined_late),
+         bench::fmt_count(books.days_reorder_recovered),
+         bench::fmt_count(static_cast<std::int64_t>(admin.lifetimes.size())),
+         bench::fmt_count(sampled_day_errors(p, restored)),
+         balanced ? "balanced" : "IMBALANCED"});
+  }
+  table.print(std::cout);
+  std::cout << "\n(every day the chaos layer delivers is applied or "
+               "quarantined — 'books' checks both conservation laws; the "
+               "reorder window hides swapped days entirely, so accuracy "
+               "degrades only with the days outages actually destroyed, "
+               "and degradation stays proportional: no cliff, no crash)\n";
+  return 0;
+}

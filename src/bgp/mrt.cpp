@@ -148,4 +148,38 @@ std::optional<std::vector<Element>> decode_elements(
   return out;
 }
 
+DecodeResult decode_elements_tolerant(std::span<const std::uint8_t> data,
+                                      robust::ErrorSink* sink) {
+  DecodeResult result;
+  MrtDecoder decoder(data);
+  std::size_t last_boundary = 0;
+  while (auto element = decoder.next()) {
+    result.elements.push_back(std::move(*element));
+    last_boundary = decoder.offset();
+  }
+  result.bytes_consumed = last_boundary;
+  if (decoder.ok()) return result;
+
+  result.complete = false;
+  result.bytes_discarded = data.size() - last_boundary;
+  result.error = std::string(decoder.error());
+  if (sink != nullptr) {
+    sink->counters().records_salvaged +=
+        static_cast<std::int64_t>(result.elements.size());
+    sink->counters().bytes_discarded +=
+        static_cast<std::int64_t>(result.bytes_discarded);
+    const robust::Severity severity =
+        sink->policy() == robust::Policy::kStrict ? robust::Severity::kError
+                                                  : robust::Severity::kWarning;
+    sink->report({robust::Stage::kDecode, severity, "mrt-corrupt-tail",
+                  result.error + "; " +
+                      std::to_string(result.bytes_discarded) +
+                      " byte(s) discarded after " +
+                      std::to_string(result.elements.size()) +
+                      " salvaged record(s)",
+                  std::nullopt, std::nullopt});
+  }
+  return result;
+}
+
 }  // namespace pl::bgp

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bgp/element.hpp"
+#include "robust/error.hpp"
 
 namespace pl::bgp {
 
@@ -53,5 +54,23 @@ class MrtDecoder {
 /// Decode a whole buffer; returns nullopt if any record is corrupt.
 std::optional<std::vector<Element>> decode_elements(
     std::span<const std::uint8_t> data);
+
+/// Outcome of a tolerant decode: everything decodable before the first
+/// corrupt record, plus an exact account of what was lost.
+struct DecodeResult {
+  std::vector<Element> elements;
+  bool complete = true;            ///< false when a corrupt tail was dropped
+  std::size_t bytes_consumed = 0;  ///< offset of the last record boundary
+  std::size_t bytes_discarded = 0; ///< tail bytes after the first bad record
+  std::string error;               ///< decoder reason when !complete
+};
+
+/// Decode a buffer salvaging every record before the first corrupt one —
+/// the mode an unattended archive ingester runs, where one flipped bit must
+/// not discard a day of updates. The discarded tail is reported through
+/// `sink` (stage kDecode) when one is given; the strict `decode_elements`
+/// above stays for callers that need all-or-nothing semantics.
+DecodeResult decode_elements_tolerant(std::span<const std::uint8_t> data,
+                                      robust::ErrorSink* sink = nullptr);
 
 }  // namespace pl::bgp

@@ -46,10 +46,53 @@ std::optional<Status> parse_status(std::string_view token) noexcept {
   return std::nullopt;
 }
 
+namespace {
+
+/// Report one record-level anomaly through both channels (legacy warning
+/// string + structured diagnostic). Returns true when a strict-policy sink
+/// demands the parse abort.
+bool record_anomaly(ParseResult& result, robust::ErrorSink* sink,
+                    std::string_view code, std::string_view what,
+                    std::size_t line_number, bool skips_record) {
+  result.warnings.push_back(std::string(what) + " at line " +
+                            std::to_string(line_number));
+  if (skips_record) ++result.records_skipped;
+  if (sink == nullptr) return false;
+  if (skips_record) ++sink->counters().records_skipped;
+  const robust::Severity severity =
+      sink->policy() == robust::Policy::kStrict ? robust::Severity::kError
+                                                : robust::Severity::kWarning;
+  const bool keep_going =
+      sink->report({robust::Stage::kParse, severity, std::string(code),
+                    result.warnings.back(), std::nullopt, std::nullopt});
+  return !keep_going;
+}
+
+}  // namespace
+
 ParseResult parse_delegation_file(std::string_view text) {
+  return parse_delegation_file(text, nullptr);
+}
+
+ParseResult parse_delegation_file(std::string_view text,
+                                  robust::ErrorSink* sink) {
   ParseResult result;
   DelegationFile& file = result.file;
   bool saw_header = false;
+
+  const auto fatal = [&](std::string message) {
+    result.error = std::move(message);
+    if (sink != nullptr)
+      sink->report({robust::Stage::kParse, robust::Severity::kError,
+                    "delegation-file-unusable", result.error, std::nullopt,
+                    std::nullopt});
+  };
+  const auto aborted = [&](std::size_t line_number) {
+    result.ok = false;
+    result.error = "strict policy: parse aborted at line " +
+                   std::to_string(line_number);
+    return result;
+  };
 
   std::size_t line_number = 0;
   for (std::string_view raw_line : util::lines(text)) {
@@ -62,8 +105,8 @@ ParseResult parse_delegation_file(std::string_view text) {
     if (!saw_header) {
       // version|registry|serial|records|startdate|enddate|UTCoffset
       if (fields.size() < 7) {
-        result.error = "malformed version line at line " +
-                       std::to_string(line_number);
+        fatal("malformed version line at line " +
+              std::to_string(line_number));
         return result;
       }
       // Some historical files use "2.3" as the version token.
@@ -76,8 +119,8 @@ ParseResult parse_delegation_file(std::string_view text) {
       const auto start = util::parse_compact_date(fields[4]);
       const auto end = util::parse_compact_date(fields[5]);
       if (!major || !registry || !serial || !records) {
-        result.error = "unparseable version line at line " +
-                       std::to_string(line_number);
+        fatal("unparseable version line at line " +
+              std::to_string(line_number));
         return result;
       }
       file.header.version = static_cast<int>(*major);
@@ -100,8 +143,9 @@ ParseResult parse_delegation_file(std::string_view text) {
 
     // Record line: registry|cc|type|start|value|date|status[|opaque-id...]
     if (fields.size() < 7) {
-      result.warnings.push_back("short record at line " +
-                                std::to_string(line_number));
+      if (record_anomaly(result, sink, "short-record", "short record",
+                         line_number, true))
+        return aborted(line_number);
       continue;
     }
     const std::string_view type = trim(fields[2]);
@@ -114,17 +158,19 @@ ParseResult parse_delegation_file(std::string_view text) {
       continue;
     }
     if (type != "asn") {
-      result.warnings.push_back("unknown record type at line " +
-                                std::to_string(line_number));
+      if (record_anomaly(result, sink, "unknown-record-type",
+                         "unknown record type", line_number, true))
+        return aborted(line_number);
       continue;
     }
 
     AsnRecord record;
     const auto registry = asn::parse_rir(fields[0]);
     record.registry = registry.value_or(file.header.registry);
-    if (!registry)
-      result.warnings.push_back("unknown registry token at line " +
-                                std::to_string(line_number));
+    if (registry == std::nullopt &&
+        record_anomaly(result, sink, "unknown-registry",
+                       "unknown registry token", line_number, false))
+      return aborted(line_number);
 
     const std::string_view cc_field = trim(fields[1]);
     if (const auto cc = asn::CountryCode::parse(cc_field))
@@ -133,8 +179,9 @@ ParseResult parse_delegation_file(std::string_view text) {
     const auto first = asn::parse_asn(trim(fields[3]));
     const auto count = parse_int(trim(fields[4]));
     if (!first || !count || *count <= 0) {
-      result.warnings.push_back("bad asn/value at line " +
-                                std::to_string(line_number));
+      if (record_anomaly(result, sink, "bad-asn-value", "bad asn/value",
+                         line_number, true))
+        return aborted(line_number);
       continue;
     }
     record.first = *first;
@@ -144,8 +191,9 @@ ParseResult parse_delegation_file(std::string_view text) {
 
     const auto status = parse_status(fields[6]);
     if (!status) {
-      result.warnings.push_back("bad status at line " +
-                                std::to_string(line_number));
+      if (record_anomaly(result, sink, "bad-status", "bad status",
+                         line_number, true))
+        return aborted(line_number);
       continue;
     }
     record.status = *status;
@@ -155,18 +203,19 @@ ParseResult parse_delegation_file(std::string_view text) {
       const std::string_view opaque = trim(fields[7]);
       if (!opaque.empty()) {
         file.extended = true;
-        if (const auto id = parse_hex(opaque))
+        if (const auto id = parse_hex(opaque)) {
           record.opaque_id = *id;
-        else
-          result.warnings.push_back("bad opaque id at line " +
-                                    std::to_string(line_number));
+        } else if (record_anomaly(result, sink, "bad-opaque-id",
+                                  "bad opaque id", line_number, false)) {
+          return aborted(line_number);
+        }
       }
     }
     file.asn_records.push_back(record);
   }
 
   if (!saw_header) {
-    result.error = "no version line";
+    fatal("no version line");
     return result;
   }
   result.ok = true;

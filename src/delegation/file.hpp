@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "delegation/record.hpp"
+#include "robust/error.hpp"
 
 namespace pl::dele {
 
@@ -48,12 +49,23 @@ struct ParseResult {
   DelegationFile file;
   std::vector<std::string> warnings;
   std::string error;  ///< non-empty iff !ok
+  /// Record lines skipped because they could not be interpreted — the
+  /// structured counterpart of `warnings`, so ingestion accounting can
+  /// prove skipped + parsed == record lines seen.
+  std::int64_t records_skipped = 0;
 };
 
 /// Parse a delegation file blob. `extended` is auto-detected from the
 /// presence of summary lines / opaque ids but can be forced by filename
 /// conventions upstream.
 ParseResult parse_delegation_file(std::string_view text);
+
+/// Sink-aware variant: every anomaly additionally lands in `sink` as a
+/// structured robust::Diagnostic (stage kParse). Under a strict-policy sink
+/// the first record-level defect aborts the parse with an error instead of
+/// skipping the line; a lenient sink keeps the historical salvage behaviour.
+ParseResult parse_delegation_file(std::string_view text,
+                                  robust::ErrorSink* sink);
 
 /// Serialize to the exact NRO text format. `file.extended` selects the
 /// format; regular serialization drops non-delegated records and opaque ids.

@@ -25,15 +25,35 @@ Result run_simulated(const Config& config) {
   injector.seed = config.seed + 4;
   injector.scale = config.scale;
   const rirsim::SimulatedArchive archive(result.truth, injector);
-  std::array<std::unique_ptr<dele::ArchiveStream>, asn::kRirCount> streams;
-  for (asn::Rir rir : asn::kAllRirs)
-    streams[asn::index_of(rir)] = archive.stream(rir);
   const rirsim::GroundTruth& truth = result.truth;
-  result.restored = restore::restore_archive(
-      std::move(streams), config.restore, &result.truth.erx,
-      [&truth](asn::Asn a) { return truth.iana.owner(a); },
-      result.truth.archive_begin,
-      config.bgp_hint_for_duplicates ? &result.op_world.activity : nullptr);
+  const bgp::ActivityTable* hint =
+      config.bgp_hint_for_duplicates ? &result.op_world.activity : nullptr;
+  if (config.inject_chaos) {
+    // Feed each registry through the fault injector; one shared sink keeps
+    // the cross-registry books that the accounting invariants run over.
+    robust::ErrorSink sink(robust::Policy::kLenient);
+    for (asn::Rir rir : asn::kAllRirs) {
+      robust::ChaosConfig chaos = config.chaos;
+      chaos.seed = config.chaos.seed + asn::index_of(rir);
+      robust::FaultStream stream(archive.stream(rir), chaos, &sink);
+      result.restored.registries[asn::index_of(rir)] =
+          restore::restore_registry(stream, config.restore,
+                                    &result.truth.erx, hint, &sink);
+    }
+    result.restored.cross = restore::reconcile_registries(
+        result.restored.registries,
+        [&truth](asn::Asn a) { return truth.iana.owner(a); }, config.restore,
+        result.truth.archive_begin);
+    result.robustness = sink.counters();
+  } else {
+    std::array<std::unique_ptr<dele::ArchiveStream>, asn::kRirCount> streams;
+    for (asn::Rir rir : asn::kAllRirs)
+      streams[asn::index_of(rir)] = archive.stream(rir);
+    result.restored = restore::restore_archive(
+        std::move(streams), config.restore, &result.truth.erx,
+        [&truth](asn::Asn a) { return truth.iana.owner(a); },
+        result.truth.archive_begin, hint);
+  }
 
   // Both lifetime datasets and the joint lens.
   result.admin = lifetimes::build_admin_lifetimes(result.restored,

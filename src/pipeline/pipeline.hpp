@@ -19,6 +19,8 @@
 #include "restore/pipeline.hpp"
 #include "rirsim/inject.hpp"
 #include "rirsim/world.hpp"
+#include "robust/chaos.hpp"
+#include "robust/error.hpp"
 
 namespace pl::pipeline {
 
@@ -32,6 +34,13 @@ struct Config {
   /// Pass the BGP activity to the restorer as the step-iv disambiguation
   /// hint (the paper sometimes consulted BGP behaviour for duplicates).
   bool bgp_hint_for_duplicates = true;
+  /// Layer transport chaos (robust::FaultStream) between the rendered
+  /// archive and the restorer: outages, retries, duplicate / out-of-order /
+  /// corrupt days at the configured rates. Per-registry seeds derive from
+  /// chaos.seed. The run must degrade gracefully, never crash; the books
+  /// land in Result::robustness.
+  bool inject_chaos = false;
+  robust::ChaosConfig chaos;
 };
 
 /// Every stage's output, kept alive together.
@@ -42,6 +51,8 @@ struct Result {
   lifetimes::AdminDataset admin;
   lifetimes::OpDataset op;
   joint::Taxonomy taxonomy;
+  /// Ingestion fault accounting (all zero unless Config::inject_chaos).
+  robust::RobustnessReport robustness;
 };
 
 /// Run the full simulated pipeline deterministically.

@@ -4,6 +4,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "robust/checkpoint.hpp"
+
 namespace pl::restore {
 
 namespace {
@@ -13,8 +15,97 @@ using dele::DayObservation;
 using dele::FileCondition;
 using dele::RecordChange;
 using dele::RecordState;
+using robust::CheckpointReader;
+using robust::CheckpointWriter;
 using util::Day;
 using util::DayInterval;
+
+// ---- Checkpoint schema helpers (one function pair per streamed type).
+
+std::uint16_t pack_country(const asn::CountryCode& country) {
+  if (country.unknown()) return 0;
+  const std::string text = country.to_string();
+  return static_cast<std::uint16_t>(
+      (static_cast<std::uint8_t>(text[0]) << 8) |
+      static_cast<std::uint8_t>(text[1]));
+}
+
+asn::CountryCode unpack_country(std::uint16_t packed) {
+  if (packed == 0) return {};
+  return asn::CountryCode::literal(static_cast<char>(packed >> 8),
+                                   static_cast<char>(packed & 0xFF));
+}
+
+void write_state(CheckpointWriter& writer, const RecordState& state) {
+  writer.u8(static_cast<std::uint8_t>(state.status));
+  writer.boolean(state.registration_date.has_value());
+  writer.i32(state.registration_date.value_or(0));
+  writer.u16(pack_country(state.country));
+  writer.u64(state.opaque_id);
+}
+
+RecordState read_state(CheckpointReader& reader) {
+  RecordState state;
+  const std::uint8_t status = reader.u8();
+  state.status = static_cast<dele::Status>(status & 0x03);
+  const bool has_date = reader.boolean();
+  const Day date = reader.i32();
+  if (has_date) state.registration_date = date;
+  state.country = unpack_country(reader.u16());
+  state.opaque_id = reader.u64();
+  return state;
+}
+
+void write_delta(CheckpointWriter& writer, const ChannelDelta& delta) {
+  writer.u8(static_cast<std::uint8_t>(delta.condition));
+  writer.i32(delta.publish_minute);
+  writer.varint(delta.changes.size());
+  for (const RecordChange& change : delta.changes) {
+    writer.u32(change.asn.value);
+    writer.boolean(change.state.has_value());
+    if (change.state) write_state(writer, *change.state);
+  }
+  writer.varint(delta.duplicates.size());
+  for (const auto& [asn, state] : delta.duplicates) {
+    writer.u32(asn.value);
+    write_state(writer, state);
+  }
+}
+
+ChannelDelta read_delta(CheckpointReader& reader) {
+  ChannelDelta delta;
+  delta.condition = static_cast<FileCondition>(reader.u8() & 0x03);
+  delta.publish_minute = reader.i32();
+  const std::uint64_t changes = reader.container_size(5);
+  delta.changes.reserve(reader.ok() ? changes : 0);
+  for (std::uint64_t i = 0; reader.ok() && i < changes; ++i) {
+    RecordChange change;
+    change.asn = asn::Asn{reader.u32()};
+    if (reader.boolean()) change.state = read_state(reader);
+    delta.changes.push_back(std::move(change));
+  }
+  const std::uint64_t duplicates = reader.container_size(4);
+  for (std::uint64_t i = 0; reader.ok() && i < duplicates; ++i) {
+    const asn::Asn asn{reader.u32()};
+    delta.duplicates.emplace_back(asn, read_state(reader));
+  }
+  return delta;
+}
+
+void write_observation(CheckpointWriter& writer,
+                       const DayObservation& observation) {
+  writer.i32(observation.day);
+  write_delta(writer, observation.extended);
+  write_delta(writer, observation.regular);
+}
+
+DayObservation read_observation(CheckpointReader& reader) {
+  DayObservation observation;
+  observation.day = reader.i32();
+  observation.extended = read_delta(reader);
+  observation.regular = read_delta(reader);
+  return observation;
+}
 
 /// Builds per-ASN spans incrementally from effective-state transitions.
 class SpanBuilder {
@@ -42,6 +133,57 @@ class SpanBuilder {
   const RecordState* open_state(std::uint32_t asn) const noexcept {
     const auto it = open_.find(asn);
     return it == open_.end() ? nullptr : &it->second.state;
+  }
+
+  void save(CheckpointWriter& writer) const {
+    // open_ is serialized sorted so checkpoints are byte-deterministic.
+    writer.varint(open_.size());
+    std::vector<std::uint32_t> keys;
+    keys.reserve(open_.size());
+    for (const auto& [asn, open] : open_) keys.push_back(asn);
+    std::sort(keys.begin(), keys.end());
+    for (const std::uint32_t asn : keys) {
+      const Open& open = open_.at(asn);
+      writer.u32(asn);
+      writer.i32(open.since);
+      write_state(writer, open.state);
+    }
+    writer.varint(spans_.size());
+    for (const auto& [asn, list] : spans_) {
+      writer.u32(asn);
+      writer.varint(list.size());
+      for (const StateSpan& span : list) {
+        writer.i32(span.days.first);
+        writer.i32(span.days.last);
+        write_state(writer, span.state);
+      }
+    }
+  }
+
+  void load(CheckpointReader& reader) {
+    open_.clear();
+    spans_.clear();
+    const std::uint64_t open_count = reader.container_size(9);
+    for (std::uint64_t i = 0; reader.ok() && i < open_count; ++i) {
+      const std::uint32_t asn = reader.u32();
+      Open open;
+      open.since = reader.i32();
+      open.state = read_state(reader);
+      open_.emplace(asn, std::move(open));
+    }
+    const std::uint64_t span_count = reader.container_size(5);
+    for (std::uint64_t i = 0; reader.ok() && i < span_count; ++i) {
+      const std::uint32_t asn = reader.u32();
+      const std::uint64_t list_size = reader.container_size(8);
+      auto& list = spans_[asn];
+      for (std::uint64_t s = 0; reader.ok() && s < list_size; ++s) {
+        StateSpan span;
+        span.days.first = reader.i32();
+        span.days.last = reader.i32();
+        span.state = read_state(reader);
+        list.push_back(std::move(span));
+      }
+    }
   }
 
   std::map<std::uint32_t, std::vector<StateSpan>> finish(Day last_day) {
@@ -85,14 +227,17 @@ bool present(const ChannelDelta& delta) noexcept {
 
 struct StreamingRestorer::Impl {
   Impl(asn::Rir rir, const RestoreConfig& restore_config,
-       const ErxDates* erx_dates, const bgp::ActivityTable* hint)
-      : config(restore_config), erx(erx_dates), bgp_hint(hint) {
+       const ErxDates* erx_dates, const bgp::ActivityTable* hint,
+       robust::ErrorSink* error_sink)
+      : config(restore_config), erx(erx_dates), bgp_hint(hint),
+        sink(error_sink) {
     out.rir = rir;
   }
 
   RestoreConfig config;
   const ErxDates* erx;
   const bgp::ActivityTable* bgp_hint;
+  robust::ErrorSink* sink;
 
   RestoredRegistry out;
   std::unordered_map<std::uint32_t, RecordState> ext_state;
@@ -110,6 +255,14 @@ struct StreamingRestorer::Impl {
   SpanBuilder builder;
   bool extended_era_started = false;
   Day last_day = 0;
+  bool any_applied = false;
+
+  // Ingestion guard: observations held back by the reorder window (value:
+  // the observation plus whether it arrived behind a newer day), and the
+  // newest day number seen on the wire.
+  std::map<Day, std::pair<DayObservation, bool>> pending;
+  Day newest_seen = 0;
+  bool any_seen = false;
 
   // Recompute the effective record for one ASN and apply it to the builder.
   void resolve(std::uint32_t asn, Day day, bool ext_usable) {
@@ -149,11 +302,77 @@ struct StreamingRestorer::Impl {
     builder.clear(asn, day);
   }
 
-  void consume(const DayObservation& obs) {
+  void diagnose_stream(std::string code, std::string message, Day day) {
+    if (sink == nullptr) return;
+    sink->report({robust::Stage::kStream, robust::Severity::kWarning,
+                  std::move(code), std::move(message), day, std::nullopt});
+  }
+
+  /// Quarantine one observation that violated the day-order contract.
+  void quarantine(Day day, bool duplicate) {
+    if (duplicate) {
+      ++out.report.days_quarantined_duplicate;
+      if (sink != nullptr) ++sink->counters().days_quarantined_duplicate;
+      diagnose_stream("stream-duplicate-day",
+                      "day observed again; quarantined", day);
+    } else {
+      ++out.report.days_quarantined_late;
+      if (sink != nullptr) ++sink->counters().days_quarantined_late;
+      diagnose_stream("stream-late-day",
+                      "day arrived beyond the reorder window; quarantined",
+                      day);
+    }
+  }
+
+  /// Entry point for one wire observation: enforce the strictly-increasing
+  /// contract, re-sorting within the bounded reorder window and
+  /// quarantining the rest, then apply in order.
+  void ingest(const DayObservation& obs) {
+    const int window = config.reorder_window_days;
+    if (any_applied && obs.day <= last_day) {
+      quarantine(obs.day, obs.day == last_day);
+      return;
+    }
+    if (window <= 0) {
+      apply_day(obs, /*arrived_late=*/false);
+      return;
+    }
+    const bool arrived_late = any_seen && obs.day < newest_seen;
+    const auto [it, inserted] =
+        pending.try_emplace(obs.day, obs, arrived_late);
+    if (!inserted) {
+      quarantine(obs.day, /*duplicate=*/true);
+      return;
+    }
+    if (!any_seen || obs.day > newest_seen) {
+      newest_seen = obs.day;
+      any_seen = true;
+    }
+    flush_ready();
+  }
+
+  /// Apply every pending day old enough that no in-window reordering can
+  /// still precede it.
+  void flush_ready() {
+    while (!pending.empty() &&
+           pending.begin()->first + config.reorder_window_days <
+               newest_seen) {
+      auto node = pending.extract(pending.begin());
+      apply_day(node.mapped().first, node.mapped().second);
+    }
+  }
+
+  void apply_day(const DayObservation& obs, bool arrived_late) {
     RestorationReport& report = out.report;
     const Day day = obs.day;
     last_day = day;
+    any_applied = true;
     ++report.days_processed;
+    if (arrived_late) {
+      ++report.days_reorder_recovered;
+      if (sink != nullptr) ++sink->counters().days_reorder_recovered;
+    }
+    if (sink != nullptr) ++sink->counters().days_applied;
 
     const bool ext_in_era = in_era(obs.extended);
     const bool reg_in_era = in_era(obs.regular);
@@ -252,6 +471,11 @@ struct StreamingRestorer::Impl {
   }
 
   RestoredRegistry finalize() {
+    // Drain the reorder window: at end of stream nothing newer can arrive.
+    while (!pending.empty()) {
+      auto node = pending.extract(pending.begin());
+      apply_day(node.mapped().first, node.mapped().second);
+    }
     RestorationReport& report = out.report;
     out.spans = builder.finish(last_day);
 
@@ -299,36 +523,295 @@ struct StreamingRestorer::Impl {
     }
     return std::move(out);
   }
+
+  // ---- Checkpoint/resume: the entire streaming state, so a crash at any
+  // day boundary resumes bit-identically to an uninterrupted run.
+
+  static void write_report(CheckpointWriter& writer,
+                           const RestorationReport& report) {
+    const std::int64_t fields[] = {
+        report.days_processed, report.files_missing, report.files_corrupt,
+        report.gap_filled_days, report.recovered_from_regular,
+        report.newest_conflict_days, report.duplicates_resolved,
+        report.future_dates_fixed, report.placeholder_dates_restored,
+        report.grace_expired_drops, report.days_quarantined_duplicate,
+        report.days_quarantined_late, report.days_reorder_recovered,
+        report.misuse_calls};
+    writer.varint(std::size(fields));
+    for (const std::int64_t field : fields) writer.i64(field);
+  }
+
+  static bool read_report(CheckpointReader& reader,
+                          RestorationReport& report) {
+    std::int64_t* fields[] = {
+        &report.days_processed, &report.files_missing, &report.files_corrupt,
+        &report.gap_filled_days, &report.recovered_from_regular,
+        &report.newest_conflict_days, &report.duplicates_resolved,
+        &report.future_dates_fixed, &report.placeholder_dates_restored,
+        &report.grace_expired_drops, &report.days_quarantined_duplicate,
+        &report.days_quarantined_late, &report.days_reorder_recovered,
+        &report.misuse_calls};
+    if (reader.varint() != std::size(fields)) return false;
+    for (std::int64_t* field : fields) *field = reader.i64();
+    return reader.ok();
+  }
+
+  std::string serialize() const {
+    CheckpointWriter writer;
+    writer.u8(static_cast<std::uint8_t>(asn::index_of(out.rir)));
+    // Config fingerprint — resuming under different restoration rules would
+    // silently change semantics, so it is validated on load.
+    writer.i32(config.recovery_grace_days);
+    writer.i32(config.placeholder_date);
+    writer.i32(config.grandfather_margin_days);
+    writer.i32(config.reorder_window_days);
+    writer.u8(static_cast<std::uint8_t>(
+        (config.recover_from_regular ? 1 : 0) |
+        (config.resolve_duplicates ? 2 : 0) | (config.repair_dates ? 4 : 0)));
+
+    write_report(writer, out.report);
+
+    const auto write_state_map =
+        [&writer](const std::unordered_map<std::uint32_t, RecordState>& map) {
+          writer.varint(map.size());
+          std::vector<std::uint32_t> keys;
+          keys.reserve(map.size());
+          for (const auto& [asn, state] : map) keys.push_back(asn);
+          std::sort(keys.begin(), keys.end());
+          for (const std::uint32_t asn : keys) {
+            writer.u32(asn);
+            write_state(writer, map.at(asn));
+          }
+        };
+    write_state_map(ext_state);
+    write_state_map(reg_state);
+
+    writer.varint(ext_vanished_at.size());
+    {
+      std::vector<std::uint32_t> keys;
+      keys.reserve(ext_vanished_at.size());
+      for (const auto& [asn, day] : ext_vanished_at) keys.push_back(asn);
+      std::sort(keys.begin(), keys.end());
+      for (const std::uint32_t asn : keys) {
+        writer.u32(asn);
+        writer.i32(ext_vanished_at.at(asn));
+      }
+    }
+
+    writer.varint(grace_expiry.size());
+    for (const auto& [day, asns] : grace_expiry) {
+      writer.i32(day);
+      writer.varint(asns.size());
+      for (const std::uint32_t asn : asns) writer.u32(asn);
+    }
+
+    writer.varint(first_seen.size());
+    {
+      std::vector<std::uint32_t> keys;
+      keys.reserve(first_seen.size());
+      for (const auto& [asn, day] : first_seen) keys.push_back(asn);
+      std::sort(keys.begin(), keys.end());
+      for (const std::uint32_t asn : keys) {
+        writer.u32(asn);
+        writer.i32(first_seen.at(asn));
+      }
+    }
+
+    writer.varint(counted_duplicates.size());
+    for (const std::uint32_t asn : counted_duplicates) writer.u32(asn);
+
+    builder.save(writer);
+
+    writer.boolean(extended_era_started);
+    writer.boolean(any_applied);
+    writer.i32(last_day);
+
+    writer.varint(pending.size());
+    for (const auto& [day, entry] : pending) {
+      writer.boolean(entry.second);
+      write_observation(writer, entry.first);
+    }
+    writer.boolean(any_seen);
+    writer.i32(newest_seen);
+
+    return std::move(writer).finish();
+  }
+
+  /// Load everything after the config fingerprint (already validated by the
+  /// caller). Returns false on a short or corrupt payload.
+  bool deserialize(CheckpointReader& reader) {
+    if (!read_report(reader, out.report)) return false;
+
+    const auto read_state_map =
+        [&reader](std::unordered_map<std::uint32_t, RecordState>& map) {
+          const std::uint64_t count = reader.container_size(10);
+          map.reserve(count);
+          for (std::uint64_t i = 0; reader.ok() && i < count; ++i) {
+            const std::uint32_t asn = reader.u32();
+            map.emplace(asn, read_state(reader));
+          }
+        };
+    read_state_map(ext_state);
+    read_state_map(reg_state);
+
+    const std::uint64_t vanished = reader.container_size(8);
+    for (std::uint64_t i = 0; reader.ok() && i < vanished; ++i) {
+      const std::uint32_t asn = reader.u32();
+      ext_vanished_at.emplace(asn, reader.i32());
+    }
+
+    const std::uint64_t expiries = reader.container_size(5);
+    for (std::uint64_t i = 0; reader.ok() && i < expiries; ++i) {
+      const Day day = reader.i32();
+      const std::uint64_t count = reader.container_size(4);
+      auto& asns = grace_expiry[day];
+      for (std::uint64_t a = 0; reader.ok() && a < count; ++a)
+        asns.push_back(reader.u32());
+    }
+
+    const std::uint64_t seen = reader.container_size(8);
+    for (std::uint64_t i = 0; reader.ok() && i < seen; ++i) {
+      const std::uint32_t asn = reader.u32();
+      first_seen.emplace(asn, reader.i32());
+    }
+
+    const std::uint64_t duplicates = reader.container_size(4);
+    for (std::uint64_t i = 0; reader.ok() && i < duplicates; ++i)
+      counted_duplicates.insert(reader.u32());
+
+    builder.load(reader);
+
+    extended_era_started = reader.boolean();
+    any_applied = reader.boolean();
+    last_day = reader.i32();
+
+    const std::uint64_t held = reader.container_size(13);
+    for (std::uint64_t i = 0; reader.ok() && i < held; ++i) {
+      const bool late = reader.boolean();
+      DayObservation observation = read_observation(reader);
+      pending.emplace(observation.day,
+                      std::make_pair(std::move(observation), late));
+    }
+    any_seen = reader.boolean();
+    newest_seen = reader.i32();
+
+    return reader.ok() && reader.at_end();
+  }
 };
 
 StreamingRestorer::StreamingRestorer(asn::Rir rir,
                                      const RestoreConfig& config,
                                      const ErxDates* erx,
-                                     const bgp::ActivityTable* bgp_hint)
-    : impl_(std::make_unique<Impl>(rir, config, erx, bgp_hint)) {}
+                                     const bgp::ActivityTable* bgp_hint,
+                                     robust::ErrorSink* sink)
+    : impl_(std::make_unique<Impl>(rir, config, erx, bgp_hint, sink)),
+      sink_(sink) {}
 
 StreamingRestorer::~StreamingRestorer() = default;
 StreamingRestorer::StreamingRestorer(StreamingRestorer&&) noexcept = default;
 StreamingRestorer& StreamingRestorer::operator=(StreamingRestorer&&) noexcept
     = default;
 
+namespace {
+
+/// Count and report an API-contract violation on a spent restorer.
+void flag_misuse(RestorationReport& report, robust::ErrorSink* sink,
+                 std::string_view what) {
+  ++report.misuse_calls;
+  if (sink == nullptr) return;
+  ++sink->counters().misuse_calls;
+  sink->report({robust::Stage::kRestore, robust::Severity::kFatal,
+                "restorer-misuse",
+                std::string(what) + " on a finalized or moved-from restorer",
+                std::nullopt, std::nullopt});
+}
+
+}  // namespace
+
 void StreamingRestorer::consume(const dele::DayObservation& observation) {
-  impl_->consume(observation);
+  if (impl_ == nullptr) {
+    flag_misuse(spent_report_, sink_, "consume()");
+    return;
+  }
+  impl_->ingest(observation);
 }
 
 RestoredRegistry StreamingRestorer::finalize() && {
-  return impl_->finalize();
+  if (impl_ == nullptr) {
+    flag_misuse(spent_report_, sink_, "finalize()");
+    RestoredRegistry empty;
+    empty.report = spent_report_;
+    return empty;
+  }
+  RestoredRegistry result = impl_->finalize();
+  spent_report_ = result.report;
+  impl_.reset();  // the restorer is spent; later calls are guarded no-ops
+  return result;
 }
 
 const RestorationReport& StreamingRestorer::report() const noexcept {
-  return impl_->out.report;
+  return impl_ != nullptr ? impl_->out.report : spent_report_;
+}
+
+std::string StreamingRestorer::checkpoint() const {
+  if (impl_ == nullptr) {
+    flag_misuse(spent_report_, sink_, "checkpoint()");
+    return {};
+  }
+  return impl_->serialize();
+}
+
+std::optional<StreamingRestorer> StreamingRestorer::from_checkpoint(
+    std::string_view blob, const RestoreConfig& config, const ErxDates* erx,
+    const bgp::ActivityTable* bgp_hint, robust::ErrorSink* sink) {
+  const auto fail = [sink](std::string message) -> std::optional<
+                        StreamingRestorer> {
+    if (sink != nullptr) {
+      ++sink->counters().checkpoint_failures;
+      sink->report({robust::Stage::kCheckpoint, robust::Severity::kFatal,
+                    "checkpoint-unusable", std::move(message), std::nullopt,
+                    std::nullopt});
+    }
+    return std::nullopt;
+  };
+
+  CheckpointReader reader(blob);
+  if (!reader.ok()) return fail(std::string(reader.error()));
+
+  const std::uint8_t rir_index = reader.u8();
+  if (!reader.ok() || rir_index >= asn::kRirCount)
+    return fail("bad registry index");
+
+  const Day grace = reader.i32();
+  const Day placeholder = reader.i32();
+  const Day margin = reader.i32();
+  const Day window = reader.i32();
+  const std::uint8_t flags = reader.u8();
+  if (!reader.ok()) return fail("truncated config fingerprint");
+  if (grace != config.recovery_grace_days ||
+      placeholder != config.placeholder_date ||
+      margin != config.grandfather_margin_days ||
+      window != config.reorder_window_days ||
+      flags != static_cast<std::uint8_t>(
+                   (config.recover_from_regular ? 1 : 0) |
+                   (config.resolve_duplicates ? 2 : 0) |
+                   (config.repair_dates ? 4 : 0)))
+    return fail("checkpoint was taken under a different RestoreConfig");
+
+  StreamingRestorer restorer(asn::kAllRirs[rir_index], config, erx, bgp_hint,
+                             sink);
+  if (!restorer.impl_->deserialize(reader))
+    return fail(reader.ok() ? "trailing bytes after payload"
+                            : std::string(reader.error()));
+  return restorer;
 }
 
 RestoredRegistry restore_registry(dele::ArchiveStream& stream,
                                   const RestoreConfig& config,
                                   const ErxDates* erx,
-                                  const bgp::ActivityTable* bgp_hint) {
-  StreamingRestorer restorer(stream.registry(), config, erx, bgp_hint);
+                                  const bgp::ActivityTable* bgp_hint,
+                                  robust::ErrorSink* sink) {
+  StreamingRestorer restorer(stream.registry(), config, erx, bgp_hint, sink);
   std::optional<DayObservation> observation;
   while ((observation = stream.next())) restorer.consume(*observation);
   return std::move(restorer).finalize();

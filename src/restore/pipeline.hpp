@@ -24,6 +24,7 @@
 #include "bgp/activity.hpp"
 #include "delegation/archive.hpp"
 #include "restore/types.hpp"
+#include "robust/error.hpp"
 
 namespace pl::restore {
 
@@ -46,6 +47,13 @@ struct RestoreConfig {
   /// inherited pre-archive state and exempt from the step-vi
   /// no-predecessor rule.
   int grandfather_margin_days = 3;
+  /// Bounded reorder window for out-of-order day observations. 0 (the
+  /// default, and the historical behaviour for well-formed streams) applies
+  /// each day immediately and quarantines anything at-or-before the last
+  /// applied day. W > 0 holds a day back until a day more than W later has
+  /// been seen, so swapped deliveries up to W days apart are re-sorted
+  /// instead of quarantined. Duplicates are always quarantined.
+  int reorder_window_days = 0;
 
   // Ablation switches — disable individual restoration steps to measure
   // their contribution (bench_ablation_restore).
@@ -55,39 +63,70 @@ struct RestoreConfig {
 };
 
 /// Restore one registry from its day stream. `erx` and `bgp_hint` are
-/// optional reference data (step v and iv respectively).
+/// optional reference data (step v and iv respectively); `sink` receives
+/// structured diagnostics for stream-discipline violations.
 RestoredRegistry restore_registry(dele::ArchiveStream& stream,
                                   const RestoreConfig& config,
                                   const ErxDates* erx = nullptr,
-                                  const bgp::ActivityTable* bgp_hint = nullptr);
+                                  const bgp::ActivityTable* bgp_hint = nullptr,
+                                  robust::ErrorSink* sink = nullptr);
 
 /// Incremental restorer: feed day observations as they are published (the
 /// paper commits to updating its datasets daily, 9 — this is the API a
 /// near-realtime deployment drives). `restore_registry` is a thin loop over
 /// this class.
+///
+/// Robustness contract: out-of-order and duplicate days are re-sorted
+/// (within `RestoreConfig::reorder_window_days`) or quarantined with a
+/// diagnostic, never undefined behaviour; `consume()` on a finalized or
+/// moved-from restorer is a counted no-op; the full streaming state can be
+/// checkpointed at any day boundary and resumed bit-identically.
 class StreamingRestorer {
  public:
   StreamingRestorer(asn::Rir rir, const RestoreConfig& config,
                     const ErxDates* erx = nullptr,
-                    const bgp::ActivityTable* bgp_hint = nullptr);
+                    const bgp::ActivityTable* bgp_hint = nullptr,
+                    robust::ErrorSink* sink = nullptr);
   ~StreamingRestorer();
 
   StreamingRestorer(StreamingRestorer&&) noexcept;
   StreamingRestorer& operator=(StreamingRestorer&&) noexcept;
 
-  /// Apply one day. Days must arrive in strictly increasing order.
+  /// Apply one day. Days are expected in strictly increasing order;
+  /// violations are buffered (inside the reorder window) or quarantined.
   void consume(const dele::DayObservation& observation);
 
   /// Close all open spans, run the date-repair post-pass, and return the
-  /// restored registry. The restorer is spent afterwards.
+  /// restored registry. The restorer is spent afterwards; further calls
+  /// are safe no-ops that raise misuse diagnostics.
   RestoredRegistry finalize() &&;
 
-  /// Progress so far (counters update as days are consumed).
+  /// Progress so far (counters update as days are consumed). Safe on a
+  /// spent/moved-from restorer (returns the frozen or empty report).
   const RestorationReport& report() const noexcept;
+
+  /// Serialize the complete streaming state (CRC-framed, versioned). Empty
+  /// string + misuse diagnostic on a spent restorer.
+  std::string checkpoint() const;
+
+  /// Rebuild a restorer from a checkpoint so ingestion resumes at the next
+  /// day boundary. `config`/`erx`/`bgp_hint` are the same reference data
+  /// the original run used — key config fields are validated against the
+  /// blob. Returns nullopt (with a kCheckpoint diagnostic in `sink`) on a
+  /// corrupt, truncated, or incompatible blob.
+  static std::optional<StreamingRestorer> from_checkpoint(
+      std::string_view blob, const RestoreConfig& config,
+      const ErxDates* erx = nullptr,
+      const bgp::ActivityTable* bgp_hint = nullptr,
+      robust::ErrorSink* sink = nullptr);
 
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
+  robust::ErrorSink* sink_ = nullptr;   ///< kept for post-finalize misuse
+  /// Frozen counters after finalize; mutable so const entry points can
+  /// still count misuse on a spent restorer.
+  mutable RestorationReport spent_report_;
 };
 
 /// Step vi across already-restored registries. `owner` supplies IANA block

@@ -19,6 +19,8 @@ namespace pl::restore {
 struct StateSpan {
   util::DayInterval days;
   dele::RecordState state;
+
+  friend bool operator==(const StateSpan&, const StateSpan&) = default;
 };
 
 /// Audit counters for one registry's restoration pass; each maps to a 3.1
@@ -34,6 +36,19 @@ struct RestorationReport {
   std::int64_t future_dates_fixed = 0;      ///< step v
   std::int64_t placeholder_dates_restored = 0;  ///< step v (ERX)
   std::int64_t grace_expired_drops = 0;     ///< regular-only records dropped
+
+  // Ingestion-guard counters (robustness layer): day observations that
+  // violated the strictly-increasing-day contract and what became of them.
+  // days_processed counts *applied* days only, so
+  //   days_processed + quarantined == days offered.
+  std::int64_t days_quarantined_duplicate = 0;  ///< same day seen again
+  std::int64_t days_quarantined_late = 0;   ///< arrived beyond the window
+  std::int64_t days_reorder_recovered = 0;  ///< out-of-order but recovered
+  std::int64_t misuse_calls = 0;  ///< consume()/checkpoint() on a spent
+                                  ///< or moved-from restorer
+
+  friend bool operator==(const RestorationReport&,
+                         const RestorationReport&) = default;
 };
 
 /// Cross-registry reconciliation audit (step vi).

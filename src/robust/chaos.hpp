@@ -1,0 +1,105 @@
+// Deterministic fault injection for the ingestion path.
+//
+// The paper's pipeline earns its keep by surviving 17 years of broken
+// archives; this module manufactures the *transport and format* faults the
+// simulator's semantic defect injector (rirsim::ErrorInjector, 3.1 defects)
+// does not model: fetches that fail and must be retried, whole-day outages,
+// days delivered twice or out of order, and byte-level corruption of MRT
+// buffers and delegation-file text. Everything is seeded through util::Rng,
+// so a chaos run is exactly reproducible — the property the differential
+// and degradation tests depend on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "delegation/archive.hpp"
+#include "robust/error.hpp"
+#include "util/rng.hpp"
+
+namespace pl::robust {
+
+/// Rates for each fault class. All rates are per-day (stream faults) or
+/// per-buffer / per-byte (codec faults); 0 disables a class.
+struct ChaosConfig {
+  std::uint64_t seed = 99;
+
+  // Stream-level faults (FaultStream).
+  double drop_day_rate = 0.0;       ///< transient fetch failure for one day
+  int fetch_max_retries = 3;        ///< retry budget per failed fetch
+  double retry_success_rate = 0.6;  ///< per-attempt success probability
+  double burst_outage_rate = 0.0;   ///< start of a multi-day outage
+  int burst_outage_max_days = 5;
+  double duplicate_day_rate = 0.0;  ///< deliver the day a second time
+  double reorder_rate = 0.0;        ///< swap the day with its successor
+  double corrupt_channel_rate = 0.0;  ///< one channel arrives unusable
+
+  // Byte/text-level faults (corrupt_buffer / corrupt_text).
+  double truncate_rate = 0.0;       ///< cut the buffer at a random offset
+  double garbage_rate = 0.0;        ///< per-byte (or per-line) garbage
+
+  /// Uniform profile: every fault class fires at `rate` (bursts at a tenth
+  /// of it — a burst eats several days by itself). The degradation bench
+  /// sweeps this single knob.
+  static ChaosConfig uniform(double rate, std::uint64_t seed = 99) noexcept {
+    ChaosConfig config;
+    config.seed = seed;
+    config.drop_day_rate = rate;
+    config.burst_outage_rate = rate / 10.0;
+    config.duplicate_day_rate = rate;
+    config.reorder_rate = rate;
+    config.corrupt_channel_rate = rate;
+    config.truncate_rate = rate;
+    config.garbage_rate = rate;
+    return config;
+  }
+};
+
+/// An ArchiveStream decorator that injects transport faults between a
+/// pristine stream and its consumer. Counter updates go to the sink's
+/// counter block when a sink is given, else to an internal block readable
+/// via `counters()`; diagnostics go to the sink when present.
+class FaultStream final : public dele::ArchiveStream {
+ public:
+  FaultStream(std::unique_ptr<dele::ArchiveStream> inner, ChaosConfig config,
+              ErrorSink* sink = nullptr);
+
+  asn::Rir registry() const noexcept override;
+
+  std::optional<dele::DayObservation> next() override;
+
+  /// Counter block used when no sink was supplied.
+  const RobustnessReport& counters() const noexcept { return local_; }
+
+ private:
+  RobustnessReport& stats() noexcept;
+  void diagnose(Severity severity, std::string code, std::string message,
+                util::Day day);
+
+  std::unique_ptr<dele::ArchiveStream> inner_;
+  ChaosConfig config_;
+  ErrorSink* sink_;
+  util::Rng rng_;
+  std::deque<dele::DayObservation> held_;  ///< duplicated / displaced days
+  int outage_days_left_ = 0;
+  RobustnessReport local_;
+};
+
+/// Corrupt a binary buffer in place: maybe truncate at a random offset, then
+/// flip bytes at `garbage_rate`. Returns the number of bytes truncated away
+/// (also added to the counter block when `sink` is given).
+std::size_t corrupt_buffer(std::vector<std::uint8_t>& bytes, util::Rng& rng,
+                           const ChaosConfig& config,
+                           ErrorSink* sink = nullptr);
+
+/// Corrupt delegation-file text in place: maybe truncate mid-line, and
+/// replace whole lines with garbage at `garbage_rate`. Returns the number
+/// of lines damaged.
+std::size_t corrupt_text(std::string& text, util::Rng& rng,
+                         const ChaosConfig& config, ErrorSink* sink = nullptr);
+
+}  // namespace pl::robust

@@ -1,0 +1,204 @@
+// Structured error channel for the ingestion path.
+//
+// Seventeen years of daily fetches from five FTP sites fail in every way a
+// transport can fail; a pipeline that promises daily updates forever (paper
+// 9) cannot afford silent drops. Every stage that used to swallow bad input
+// now emits a `Diagnostic` into an `ErrorSink` and bumps the shared
+// `RobustnessReport` counters, so a run can prove the accounting identity
+//   days applied + days quarantined == days delivered
+// and an operator can distinguish "archive was clean" from "we dropped half
+// of it on the floor".
+//
+// This header is intentionally header-only: `pl_delegation` and `pl_bgp`
+// report into the sink, while the chaos injector (pl_robust) wraps
+// delegation streams — a compiled sink would make the libraries mutually
+// dependent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/date.hpp"
+
+namespace pl::robust {
+
+/// Where in the ingestion pipeline a fault surfaced.
+enum class Stage : std::uint8_t {
+  kFetch,       ///< transport: file never arrived (outage, failed retry)
+  kParse,       ///< delegation-file text parser
+  kDecode,      ///< MRT binary decoder
+  kStream,      ///< day-stream discipline (duplicate / out-of-order days)
+  kRestore,     ///< restoration-pipeline state machine (incl. API misuse)
+  kCheckpoint,  ///< checkpoint serialization / resume
+};
+inline constexpr std::size_t kStageCount = 6;
+
+constexpr std::string_view stage_name(Stage stage) noexcept {
+  constexpr std::string_view names[kStageCount] = {
+      "fetch", "parse", "decode", "stream", "restore", "checkpoint"};
+  return names[static_cast<std::size_t>(stage)];
+}
+
+enum class Severity : std::uint8_t {
+  kInfo,     ///< recovered transparently (e.g. retry succeeded)
+  kWarning,  ///< data degraded but pipeline continues (lenient mode)
+  kError,    ///< data lost; strict mode stops here
+  kFatal,    ///< state unusable (checkpoint corrupt, API misuse)
+};
+
+/// Strict mode treats record-level damage as fatal to the current unit of
+/// work (file / buffer / stream); lenient mode salvages what it can and
+/// keeps the books. Lenient is what an unattended daily pipeline runs.
+enum class Policy : std::uint8_t { kLenient, kStrict };
+
+/// One structured fault record: machine-readable `code`, human `message`,
+/// and optional day/ASN scope so reports can be joined against the archive.
+struct Diagnostic {
+  Stage stage = Stage::kFetch;
+  Severity severity = Severity::kWarning;
+  std::string code;     ///< stable slug, e.g. "mrt-truncated-tail"
+  std::string message;  ///< free-form detail
+  std::optional<util::Day> day;
+  std::optional<std::uint32_t> asn;
+};
+
+/// Aggregate robustness accounting for one ingestion run, surfaced alongside
+/// the per-registry `restore::RestorationReport`. Counter groups:
+///   * diagnostics — how many faults of each severity/stage were reported;
+///   * injector side — what the transport delivered vs. dropped;
+///   * consumer side — what the restorer applied vs. quarantined;
+///   * record level — salvage accounting for the tolerant decoders.
+struct RobustnessReport {
+  std::int64_t infos = 0;
+  std::int64_t warnings = 0;
+  std::int64_t errors = 0;
+  std::int64_t fatals = 0;
+  std::int64_t by_stage[kStageCount] = {};
+
+  // Transport accounting (FaultStream).
+  std::int64_t days_input = 0;       ///< days pulled from the pristine stream
+  std::int64_t days_delivered = 0;   ///< days handed on (incl. dup copies)
+  std::int64_t days_dropped = 0;     ///< eaten by outages / failed retries
+  std::int64_t days_duplicated = 0;  ///< extra copies injected
+  std::int64_t days_reordered = 0;   ///< swapped pairs delivered out of order
+  std::int64_t channels_corrupted = 0;
+  std::int64_t fetch_retries = 0;
+  std::int64_t fetch_failures = 0;
+
+  // Consumer accounting (StreamingRestorer ingestion guard).
+  std::int64_t days_applied = 0;
+  std::int64_t days_quarantined_duplicate = 0;
+  std::int64_t days_quarantined_late = 0;
+  std::int64_t days_reorder_recovered = 0;  ///< late days saved by the window
+  std::int64_t misuse_calls = 0;            ///< consume() on a spent restorer
+
+  // Record / byte salvage accounting (tolerant decoders, corruptors).
+  std::int64_t records_salvaged = 0;
+  std::int64_t records_skipped = 0;
+  std::int64_t bytes_discarded = 0;
+  std::int64_t checkpoint_failures = 0;
+
+  /// Fold another report (e.g. a per-stream counter block) into this one.
+  void merge(const RobustnessReport& other) noexcept {
+    infos += other.infos;
+    warnings += other.warnings;
+    errors += other.errors;
+    fatals += other.fatals;
+    for (std::size_t i = 0; i < kStageCount; ++i)
+      by_stage[i] += other.by_stage[i];
+    days_input += other.days_input;
+    days_delivered += other.days_delivered;
+    days_dropped += other.days_dropped;
+    days_duplicated += other.days_duplicated;
+    days_reordered += other.days_reordered;
+    channels_corrupted += other.channels_corrupted;
+    fetch_retries += other.fetch_retries;
+    fetch_failures += other.fetch_failures;
+    days_applied += other.days_applied;
+    days_quarantined_duplicate += other.days_quarantined_duplicate;
+    days_quarantined_late += other.days_quarantined_late;
+    days_reorder_recovered += other.days_reorder_recovered;
+    misuse_calls += other.misuse_calls;
+    records_salvaged += other.records_salvaged;
+    records_skipped += other.records_skipped;
+    bytes_discarded += other.bytes_discarded;
+    checkpoint_failures += other.checkpoint_failures;
+  }
+
+  /// The conservation law chaos runs assert: every day the transport
+  /// delivered was either applied or quarantined — nothing vanishes.
+  bool delivery_accounted() const noexcept {
+    return days_applied + days_quarantined_duplicate +
+               days_quarantined_late ==
+           days_delivered;
+  }
+
+  /// Transport-side conservation: input days are delivered or dropped;
+  /// duplicates are the only source of extra deliveries.
+  bool transport_accounted() const noexcept {
+    return days_delivered == days_input - days_dropped + days_duplicated;
+  }
+};
+
+/// Collector for diagnostics plus the shared counter block. Retains at most
+/// `max_retained` diagnostics (bounded memory against pathological inputs)
+/// but counts every report. Under `Policy::kStrict` the first kError-or-worse
+/// diagnostic trips the sink: `ok()` goes false and well-behaved producers
+/// stop feeding the current unit of work.
+class ErrorSink {
+ public:
+  explicit ErrorSink(Policy policy = Policy::kLenient,
+                     std::size_t max_retained = 1024)
+      : policy_(policy), max_retained_(max_retained) {}
+
+  /// Record one diagnostic. Returns `ok()` so producers can write
+  /// `if (!sink->report(...)) return;` in strict-aware loops.
+  bool report(Diagnostic diagnostic) {
+    switch (diagnostic.severity) {
+      case Severity::kInfo: ++counters_.infos; break;
+      case Severity::kWarning: ++counters_.warnings; break;
+      case Severity::kError: ++counters_.errors; break;
+      case Severity::kFatal: ++counters_.fatals; break;
+    }
+    ++counters_.by_stage[static_cast<std::size_t>(diagnostic.stage)];
+    if (policy_ == Policy::kStrict &&
+        diagnostic.severity >= Severity::kError)
+      tripped_ = true;
+    if (diagnostics_.size() < max_retained_)
+      diagnostics_.push_back(std::move(diagnostic));
+    else
+      ++overflowed_;
+    return ok();
+  }
+
+  /// False once a strict sink has seen an error; lenient sinks never trip.
+  bool ok() const noexcept { return !tripped_; }
+
+  Policy policy() const noexcept { return policy_; }
+
+  /// Retained diagnostics (first `max_retained` reports).
+  const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+  /// Diagnostics counted but not retained.
+  std::size_t overflowed() const noexcept { return overflowed_; }
+
+  /// Mutable counter block — instrumented stages bump these directly.
+  RobustnessReport& counters() noexcept { return counters_; }
+  const RobustnessReport& counters() const noexcept { return counters_; }
+
+ private:
+  Policy policy_;
+  std::size_t max_retained_;
+  bool tripped_ = false;
+  std::size_t overflowed_ = 0;
+  std::vector<Diagnostic> diagnostics_;
+  RobustnessReport counters_;
+};
+
+}  // namespace pl::robust

@@ -1,0 +1,234 @@
+// Fault injection across the ingestion path: the FaultStream decorator must
+// be deterministic and keep conservation-law books, the restorer's ingestion
+// guard must quarantine what the transport mangles, and the full simulated
+// pipeline must degrade gracefully — never crash — under uniform chaos.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "pipeline/pipeline.hpp"
+#include "restore/pipeline.hpp"
+#include "rirsim/inject.hpp"
+#include "rirsim/world.hpp"
+#include "robust/chaos.hpp"
+
+namespace pl::robust {
+namespace {
+
+using dele::DayObservation;
+
+constexpr double kScale = 0.01;
+constexpr asn::Rir kRir = asn::Rir::kApnic;
+
+const rirsim::GroundTruth& truth() {
+  static const rirsim::GroundTruth world =
+      rirsim::build_world(rirsim::WorldConfig::test_scale(23, kScale));
+  return world;
+}
+
+std::unique_ptr<dele::ArchiveStream> pristine_stream() {
+  rirsim::InjectorConfig config;
+  config.seed = 11;
+  config.scale = kScale;
+  static const rirsim::SimulatedArchive archive(truth(), config);
+  return archive.stream(kRir);
+}
+
+/// Drain a stream into (day, extended-condition) fingerprints.
+std::vector<std::pair<util::Day, int>> drain(dele::ArchiveStream& stream) {
+  std::vector<std::pair<util::Day, int>> out;
+  while (auto observation = stream.next())
+    out.emplace_back(observation->day,
+                     static_cast<int>(observation->extended.condition));
+  return out;
+}
+
+TEST(FaultStream, SameSeedSameFaults) {
+  const ChaosConfig chaos = ChaosConfig::uniform(0.05, 1234);
+  FaultStream a(pristine_stream(), chaos);
+  FaultStream b(pristine_stream(), chaos);
+  EXPECT_EQ(drain(a), drain(b));
+
+  ChaosConfig other = chaos;
+  other.seed = 1235;
+  FaultStream c(pristine_stream(), other);
+  EXPECT_NE(drain(a), drain(c)) << "different seed should differ";
+}
+
+TEST(FaultStream, TransportBooksBalance) {
+  FaultStream stream(pristine_stream(), ChaosConfig::uniform(0.05, 7));
+  const auto delivered = drain(stream);
+  const RobustnessReport& stats = stream.counters();
+
+  EXPECT_EQ(stats.days_delivered,
+            static_cast<std::int64_t>(delivered.size()));
+  EXPECT_TRUE(stats.transport_accounted())
+      << "delivered=" << stats.days_delivered
+      << " input=" << stats.days_input << " dropped=" << stats.days_dropped
+      << " duplicated=" << stats.days_duplicated;
+  // At 5% over thousands of days every fault class fires.
+  EXPECT_GT(stats.days_dropped, 0);
+  EXPECT_GT(stats.days_duplicated, 0);
+  EXPECT_GT(stats.days_reordered, 0);
+  EXPECT_GT(stats.channels_corrupted, 0);
+  EXPECT_GT(stats.fetch_retries, 0);
+}
+
+TEST(FaultStream, ZeroRatesArePassThrough) {
+  ChaosConfig silent;  // all rates default to 0
+  FaultStream faulty(pristine_stream(), silent);
+  const auto with = drain(faulty);
+  const auto without = [&] {
+    auto stream = pristine_stream();
+    return drain(*stream);
+  }();
+  EXPECT_EQ(with, without);
+  EXPECT_EQ(faulty.counters().days_dropped, 0);
+  EXPECT_EQ(faulty.counters().days_input, faulty.counters().days_delivered);
+}
+
+TEST(FaultStream, DiagnosticsLandInSink) {
+  ErrorSink sink;
+  FaultStream stream(pristine_stream(), ChaosConfig::uniform(0.05, 7),
+                     &sink);
+  drain(stream);
+  EXPECT_FALSE(sink.diagnostics().empty());
+  EXPECT_GT(sink.counters().errors, 0);    // exhausted retries / outages
+  EXPECT_GT(sink.counters().warnings, 0);  // duplicates, reorders
+  EXPECT_GT(sink.counters().by_stage[static_cast<int>(Stage::kFetch)], 0);
+  // With a sink attached, the stream's local block stays untouched.
+  EXPECT_EQ(stream.counters().days_input, 0);
+}
+
+/// Restoration under reorder-only chaos: a wide-enough reorder window makes
+/// the result identical to a clean run; without the window the late days are
+/// quarantined but still accounted for.
+TEST(ChaosRestore, ReorderWindowRecoversSwappedDays) {
+  restore::RestoreConfig clean_config;
+  const restore::RestoredRegistry clean = [&] {
+    auto stream = pristine_stream();
+    return restore::restore_registry(*stream, clean_config, &truth().erx);
+  }();
+
+  ChaosConfig chaos;
+  chaos.seed = 404;
+  chaos.reorder_rate = 0.10;
+
+  // Window on: swapped pairs are reassembled, spans match the clean run.
+  {
+    ErrorSink sink;
+    restore::RestoreConfig config;
+    config.reorder_window_days = 2;
+    FaultStream stream(pristine_stream(), chaos, &sink);
+    const restore::RestoredRegistry restored = restore::restore_registry(
+        stream, config, &truth().erx, nullptr, &sink);
+    EXPECT_GT(sink.counters().days_reordered, 0);
+    EXPECT_GT(restored.report.days_reorder_recovered, 0);
+    EXPECT_EQ(restored.report.days_quarantined_late, 0);
+    EXPECT_TRUE(sink.counters().delivery_accounted());
+    EXPECT_EQ(clean.spans, restored.spans)
+        << "reorder window should make chaos invisible";
+  }
+
+  // Window off: the same late days are quarantined, none vanish silently.
+  {
+    ErrorSink sink;
+    FaultStream stream(pristine_stream(), chaos, &sink);
+    const restore::RestoredRegistry restored = restore::restore_registry(
+        stream, clean_config, &truth().erx, nullptr, &sink);
+    EXPECT_GT(restored.report.days_quarantined_late, 0);
+    EXPECT_EQ(restored.report.days_quarantined_late,
+              sink.counters().days_reordered);
+    EXPECT_TRUE(sink.counters().delivery_accounted());
+  }
+}
+
+TEST(ChaosRestore, DuplicateDaysAreQuarantinedHarmlessly) {
+  const restore::RestoreConfig config;
+  const restore::RestoredRegistry clean = [&] {
+    auto stream = pristine_stream();
+    return restore::restore_registry(*stream, config, &truth().erx);
+  }();
+
+  ChaosConfig chaos;
+  chaos.seed = 505;
+  chaos.duplicate_day_rate = 0.10;
+  ErrorSink sink;
+  FaultStream stream(pristine_stream(), chaos, &sink);
+  const restore::RestoredRegistry restored = restore::restore_registry(
+      stream, config, &truth().erx, nullptr, &sink);
+
+  EXPECT_GT(sink.counters().days_duplicated, 0);
+  EXPECT_EQ(restored.report.days_quarantined_duplicate,
+            sink.counters().days_duplicated);
+  EXPECT_TRUE(sink.counters().delivery_accounted());
+  EXPECT_EQ(clean.spans, restored.spans)
+      << "a repeated day must not change the restoration";
+}
+
+TEST(ErrorSinkPolicy, StrictTripsLenientKeepsGoing) {
+  ErrorSink lenient(Policy::kLenient);
+  ErrorSink strict(Policy::kStrict);
+  const Diagnostic warning{Stage::kParse, Severity::kWarning, "w", "", {},
+                           {}};
+  const Diagnostic error{Stage::kParse, Severity::kError, "e", "", {}, {}};
+  EXPECT_TRUE(lenient.report(warning));
+  EXPECT_TRUE(lenient.report(error));
+  EXPECT_TRUE(lenient.ok());
+  EXPECT_TRUE(strict.report(warning));
+  EXPECT_FALSE(strict.report(error));
+  EXPECT_FALSE(strict.ok());
+
+  // Retention is bounded; counting is not.
+  ErrorSink tiny(Policy::kLenient, 2);
+  for (int i = 0; i < 10; ++i) tiny.report(warning);
+  EXPECT_EQ(tiny.diagnostics().size(), 2u);
+  EXPECT_EQ(tiny.overflowed(), 8u);
+  EXPECT_EQ(tiny.counters().warnings, 10);
+}
+
+/// The acceptance gate: the full simulated pipeline at 5% uniform chaos
+/// completes, and RobustnessReport proves nothing fell through the cracks.
+TEST(ChaosPipeline, FivePercentChaosDegradesGracefully) {
+  pipeline::Config config;
+  config.seed = 99;
+  config.scale = 0.01;
+  config.inject_chaos = true;
+  config.chaos = ChaosConfig::uniform(0.05);
+  const pipeline::Result result = pipeline::run_simulated(config);
+
+  const RobustnessReport& books = result.robustness;
+  EXPECT_GT(books.days_input, 0);
+  EXPECT_GT(books.days_dropped, 0);
+  EXPECT_TRUE(books.transport_accounted())
+      << "input=" << books.days_input << " delivered=" << books.days_delivered
+      << " dropped=" << books.days_dropped
+      << " duplicated=" << books.days_duplicated;
+  EXPECT_TRUE(books.delivery_accounted())
+      << "applied=" << books.days_applied
+      << " dup=" << books.days_quarantined_duplicate
+      << " late=" << books.days_quarantined_late
+      << " delivered=" << books.days_delivered;
+
+  // The study still comes out the other end.
+  EXPECT_GT(result.admin.lifetimes.size(), 100u);
+  EXPECT_GT(result.taxonomy.total_admin(), 0);
+
+  // Chaos is deterministic end to end.
+  const pipeline::Result again = pipeline::run_simulated(config);
+  EXPECT_EQ(result.robustness.days_dropped, again.robustness.days_dropped);
+  EXPECT_EQ(result.admin.lifetimes.size(), again.admin.lifetimes.size());
+}
+
+TEST(ChaosPipeline, ChaosOffLeavesBooksEmpty) {
+  pipeline::Config config;
+  config.seed = 99;
+  config.scale = 0.01;
+  const pipeline::Result result = pipeline::run_simulated(config);
+  EXPECT_EQ(result.robustness.days_input, 0);
+  EXPECT_EQ(result.robustness.days_dropped, 0);
+}
+
+}  // namespace
+}  // namespace pl::robust

@@ -1,0 +1,253 @@
+// Fuzz-style property tests for the two ingestion decoders: arbitrary and
+// adversarially damaged bytes must never crash them, never drive unbounded
+// allocation, and every salvage/skip must be reported, not swallowed. All
+// randomness flows from util::Rng seeds, so a failure replays exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/mrt.hpp"
+#include "delegation/file.hpp"
+#include "robust/chaos.hpp"
+#include "robust/error.hpp"
+#include "util/rng.hpp"
+
+namespace pl::robust {
+namespace {
+
+using util::Rng;
+
+// ---- MRT decoder.
+
+bgp::Element random_element(Rng& rng) {
+  bgp::Element element;
+  element.day = static_cast<util::Day>(rng.uniform(0, 20000));
+  element.type = static_cast<bgp::ElementType>(rng.uniform(0, 2));
+  element.collector = static_cast<bgp::CollectorId>(rng.uniform(0, 40));
+  element.peer = asn::Asn{static_cast<std::uint32_t>(rng.uniform(1, 70000))};
+  const int length = static_cast<int>(rng.uniform(8, 24));
+  element.prefix = *bgp::Prefix::parse(
+      std::to_string(rng.uniform(1, 223)) + "." +
+      std::to_string(rng.uniform(0, 255)) + ".0.0/" +
+      std::to_string(length));
+  if (element.type != bgp::ElementType::kWithdrawal) {
+    std::vector<asn::Asn> hops;
+    const int count = static_cast<int>(rng.uniform(1, 6));
+    for (int i = 0; i < count; ++i)
+      hops.emplace_back(static_cast<std::uint32_t>(rng.uniform(1, 70000)));
+    element.path = bgp::AsPath(std::move(hops));
+  }
+  return element;
+}
+
+TEST(MrtFuzz, RandomBytesNeverCrashTheDecoder) {
+  Rng rng(2024);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> bytes(
+        static_cast<std::size_t>(rng.uniform(0, 512)));
+    for (std::uint8_t& byte : bytes)
+      byte = static_cast<std::uint8_t>(rng.uniform(0, 255));
+
+    // The streaming decoder must terminate (it always advances or fails).
+    bgp::MrtDecoder decoder(bytes);
+    std::size_t decoded = 0;
+    while (decoder.next()) ++decoded;
+    EXPECT_LE(decoder.offset(), bytes.size());
+
+    // The tolerant batch decode keeps exact byte accounting.
+    ErrorSink sink;
+    const bgp::DecodeResult result =
+        bgp::decode_elements_tolerant(bytes, &sink);
+    EXPECT_EQ(result.elements.size(), decoded);
+    EXPECT_EQ(result.bytes_consumed + result.bytes_discarded, bytes.size());
+    if (!result.complete) {
+      EXPECT_FALSE(result.error.empty());
+      EXPECT_FALSE(sink.diagnostics().empty());
+    }
+  }
+}
+
+TEST(MrtFuzz, TruncationSalvagesExactlyTheCompleteRecords) {
+  Rng rng(77);
+  std::vector<bgp::Element> elements;
+  for (int i = 0; i < 12; ++i) elements.push_back(random_element(rng));
+  const std::vector<std::uint8_t> encoded = bgp::encode_elements(elements);
+
+  // Record boundaries, recovered by walking the pristine buffer.
+  std::vector<std::size_t> boundaries{0};
+  {
+    bgp::MrtDecoder decoder(encoded);
+    while (decoder.next()) boundaries.push_back(decoder.offset());
+    ASSERT_TRUE(decoder.ok());
+    ASSERT_EQ(boundaries.size(), elements.size() + 1);
+  }
+
+  for (std::size_t cut = 0; cut <= encoded.size(); ++cut) {
+    const std::span<const std::uint8_t> data(encoded.data(), cut);
+    const bgp::DecodeResult result = bgp::decode_elements_tolerant(data);
+
+    // Whole records before the cut survive; nothing partial leaks through.
+    std::size_t expected = 0;
+    while (expected + 1 < boundaries.size() &&
+           boundaries[expected + 1] <= cut)
+      ++expected;
+    ASSERT_EQ(result.elements.size(), expected) << "cut at " << cut;
+    for (std::size_t i = 0; i < expected; ++i)
+      EXPECT_EQ(result.elements[i].peer, elements[i].peer);
+    const bool at_boundary = boundaries[expected] == cut;
+    EXPECT_EQ(result.complete, at_boundary) << "cut at " << cut;
+    EXPECT_EQ(result.bytes_consumed, boundaries[expected]);
+    EXPECT_EQ(result.bytes_discarded, cut - boundaries[expected]);
+  }
+}
+
+TEST(MrtFuzz, ChaosCorruptedBuffersAreSalvagedWithBooks) {
+  Rng rng(4242);
+  ChaosConfig chaos;
+  chaos.truncate_rate = 0.5;
+  chaos.garbage_rate = 0.02;
+
+  for (int round = 0; round < 100; ++round) {
+    std::vector<bgp::Element> elements;
+    const int count = static_cast<int>(rng.uniform(1, 20));
+    for (int i = 0; i < count; ++i) elements.push_back(random_element(rng));
+    std::vector<std::uint8_t> bytes = bgp::encode_elements(elements);
+
+    ErrorSink sink;
+    corrupt_buffer(bytes, rng, chaos, &sink);
+    const bgp::DecodeResult result =
+        bgp::decode_elements_tolerant(bytes, &sink);
+    EXPECT_LE(result.elements.size(), elements.size() * 8u)
+        << "garbage must not inflate the record count unboundedly";
+    EXPECT_EQ(result.bytes_consumed + result.bytes_discarded, bytes.size());
+    if (!result.complete) {
+      EXPECT_EQ(sink.counters().records_salvaged,
+                static_cast<std::int64_t>(result.elements.size()));
+    }
+  }
+}
+
+// ---- Delegation file parser.
+
+dele::DelegationFile random_file(Rng& rng) {
+  dele::DelegationFile file;
+  file.extended = true;
+  file.header.registry =
+      asn::kAllRirs[static_cast<std::size_t>(rng.uniform(0, 4))];
+  file.header.serial = util::make_day(2018, 7, 1);
+  file.header.start_date = util::make_day(1984, 1, 1);
+  file.header.end_date = util::make_day(2018, 6, 30);
+  const int records = static_cast<int>(rng.uniform(1, 40));
+  std::uint32_t next_asn = 64496;
+  for (int i = 0; i < records; ++i) {
+    dele::AsnRecord record;
+    record.registry = file.header.registry;
+    record.first = asn::Asn{next_asn};
+    record.count = static_cast<std::uint32_t>(rng.uniform(1, 4));
+    next_asn += record.count + static_cast<std::uint32_t>(rng.uniform(0, 7));
+    record.status = static_cast<dele::Status>(rng.uniform(0, 3));
+    if (dele::is_delegated(record.status)) {
+      record.country = asn::CountryCode::literal(
+          static_cast<char>('A' + rng.uniform(0, 25)),
+          static_cast<char>('A' + rng.uniform(0, 25)));
+      record.date = util::make_day(2001, 1, 1) +
+                    static_cast<util::Day>(rng.uniform(0, 6000));
+      record.opaque_id = rng() % 100000 + 1;
+    }
+    file.asn_records.push_back(record);
+  }
+  file.header.record_count =
+      static_cast<std::int64_t>(file.asn_records.size());
+  return file;
+}
+
+TEST(DelegationFuzz, GarbledFilesParseOrFailButNeverCrash) {
+  Rng rng(31337);
+  ChaosConfig chaos;
+  chaos.truncate_rate = 0.3;
+  chaos.garbage_rate = 0.15;
+
+  for (int round = 0; round < 150; ++round) {
+    std::string text = dele::serialize(random_file(rng));
+    corrupt_text(text, rng, chaos);
+
+    ErrorSink sink;
+    const dele::ParseResult result = dele::parse_delegation_file(text, &sink);
+    if (result.ok) {
+      // Lenient salvage: every skipped line was reported, none swallowed.
+      EXPECT_EQ(result.records_skipped, sink.counters().records_skipped);
+      EXPECT_GE(static_cast<std::int64_t>(result.warnings.size()),
+                result.records_skipped);
+      if (result.records_skipped > 0) {
+        EXPECT_FALSE(sink.diagnostics().empty());
+      }
+    } else {
+      EXPECT_FALSE(result.error.empty());
+    }
+  }
+}
+
+TEST(DelegationFuzz, PureGarbageNeverCrashes) {
+  Rng rng(555);
+  for (int round = 0; round < 200; ++round) {
+    std::string text(static_cast<std::size_t>(rng.uniform(0, 400)), '\0');
+    for (char& c : text) {
+      // Mostly printable with pipes and newlines, to reach deep paths.
+      const auto roll = rng.uniform(0, 9);
+      if (roll == 0) c = '\n';
+      else if (roll <= 2) c = '|';
+      else c = static_cast<char>(rng.uniform(32, 126));
+    }
+    ErrorSink sink;
+    const dele::ParseResult result = dele::parse_delegation_file(text, &sink);
+    if (!result.ok) {
+      EXPECT_FALSE(result.error.empty());
+    }
+  }
+}
+
+TEST(DelegationFuzz, StrictSinkAbortsAtFirstDefectLenientSalvages) {
+  dele::DelegationFile file;
+  Rng rng(9);
+  file = random_file(rng);
+  std::string text = dele::serialize(file);
+  text += "apnic|AU|asn|notanumber|1|20010101|allocated|x\n";
+
+  ErrorSink lenient(Policy::kLenient);
+  const dele::ParseResult salvaged =
+      dele::parse_delegation_file(text, &lenient);
+  ASSERT_TRUE(salvaged.ok);
+  EXPECT_EQ(salvaged.records_skipped, 1);
+  EXPECT_EQ(salvaged.file.asn_records.size(), file.asn_records.size());
+
+  ErrorSink strict(Policy::kStrict);
+  const dele::ParseResult rejected =
+      dele::parse_delegation_file(text, &strict);
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_FALSE(rejected.error.empty());
+  EXPECT_FALSE(strict.ok());
+  EXPECT_GT(strict.counters().errors, 0);
+}
+
+TEST(CorruptorFuzz, CorruptorsAreDeterministicPerSeed) {
+  const std::string original = "a|b|c\nd|e|f\ng|h|i\n";
+  ChaosConfig chaos;
+  chaos.truncate_rate = 0.4;
+  chaos.garbage_rate = 0.5;
+  std::string first = original, second = original;
+  Rng rng_a(3), rng_b(3);
+  corrupt_text(first, rng_a, chaos);
+  corrupt_text(second, rng_b, chaos);
+  EXPECT_EQ(first, second);
+
+  std::vector<std::uint8_t> bytes_a(64, 0xAA), bytes_b(64, 0xAA);
+  Rng rng_c(4), rng_d(4);
+  corrupt_buffer(bytes_a, rng_c, chaos);
+  corrupt_buffer(bytes_b, rng_d, chaos);
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+}  // namespace
+}  // namespace pl::robust
