@@ -1,0 +1,211 @@
+// End-to-end pipeline performance harness: runs the full Fig. 1 pipeline at
+// a sweep of worker-thread counts, prints a stage-by-stage wall-clock and
+// speedup table, verifies every parallel run is bit-identical to the serial
+// baseline, and writes machine-readable BENCH_pipeline.json so successive
+// PRs accumulate a perf trajectory.
+//
+// Environment knobs:
+//   PL_BENCH_SCALE    world scale (default 1.0 = paper scale)
+//   PL_BENCH_SEED     world seed (default 42)
+//   PL_BENCH_THREADS  comma-separated sweep, default "0,1,2,4,8"
+//                     (0 = serial baseline; always run even if omitted)
+//   PL_BENCH_OUT      JSON output path (default BENCH_pipeline.json)
+//
+// JSON format (schema pl-bench-pipeline/1):
+//   {
+//     "schema": "pl-bench-pipeline/1",
+//     "scale": 1.0, "seed": 42, "hardware_threads": N,
+//     "runs": [
+//       {"threads": 0, "stages": {"world": ms, "op_world": ms, "render": ms,
+//        "restore": ms, "admin": ms, "op": ms, "taxonomy": ms},
+//        "total_ms": ms, "speedup": x, "fingerprint": "0x..."}
+//     ],
+//     "identical": true
+//   }
+
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "exec/pool.hpp"
+
+namespace {
+
+using pl::pipeline::Config;
+using pl::pipeline::Result;
+using pl::pipeline::StageTimings;
+
+/// FNV-1a over the fields that define a run's output, so "bit-identical"
+/// is a single comparable number instead of a field-by-field diff.
+class Fingerprint {
+ public:
+  void mix(std::uint64_t value) {
+    hash_ ^= value;
+    hash_ *= 0x100000001b3ULL;
+  }
+
+  void mix_result(const Result& result) {
+    mix(result.admin.lifetimes.size());
+    for (const pl::lifetimes::AdminLifetime& life : result.admin.lifetimes) {
+      mix(life.asn.value);
+      mix(static_cast<std::uint64_t>(life.days.first));
+      mix(static_cast<std::uint64_t>(life.days.last));
+      mix(static_cast<std::uint64_t>(life.registration_date));
+      mix(static_cast<std::uint64_t>(life.registry));
+      mix(life.opaque_id);
+      mix(life.open_ended ? 1 : 0);
+      mix(life.transferred ? 1 : 0);
+    }
+    mix(result.op.lifetimes.size());
+    for (const pl::lifetimes::OpLifetime& life : result.op.lifetimes) {
+      mix(life.asn.value);
+      mix(static_cast<std::uint64_t>(life.days.first));
+      mix(static_cast<std::uint64_t>(life.days.last));
+    }
+    for (const std::int64_t count : result.taxonomy.admin_counts)
+      mix(static_cast<std::uint64_t>(count));
+    for (const std::int64_t count : result.taxonomy.op_counts)
+      mix(static_cast<std::uint64_t>(count));
+    for (const std::int64_t link : result.taxonomy.op_to_admin)
+      mix(static_cast<std::uint64_t>(link));
+    mix(static_cast<std::uint64_t>(result.robustness.days_applied));
+    mix(static_cast<std::uint64_t>(result.robustness.days_delivered));
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+struct Run {
+  int threads = 0;
+  StageTimings timings;
+  std::uint64_t fingerprint = 0;
+};
+
+std::vector<int> thread_sweep() {
+  std::string spec = "0,1,2,4,8";
+  if (const char* env = std::getenv("PL_BENCH_THREADS")) spec = env;
+  std::vector<int> sweep;
+  std::stringstream stream(spec);
+  std::string token;
+  while (std::getline(stream, token, ','))
+    if (!token.empty()) sweep.push_back(std::atoi(token.c_str()));
+  if (sweep.empty() || sweep.front() != 0)
+    sweep.insert(sweep.begin(), 0);  // the serial baseline anchors speedups
+  return sweep;
+}
+
+std::string fmt_ms(double ms) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(1) << ms;
+  return out.str();
+}
+
+void write_json(const std::string& path, double scale, std::uint64_t seed,
+                const std::vector<Run>& runs, bool identical) {
+  std::ofstream out(path);
+  out << std::fixed << std::setprecision(3);
+  out << "{\n  \"schema\": \"pl-bench-pipeline/1\",\n";
+  out << "  \"scale\": " << scale << ",\n";
+  out << "  \"seed\": " << seed << ",\n";
+  out << "  \"hardware_threads\": " << pl::exec::hardware_threads() << ",\n";
+  out << "  \"runs\": [\n";
+  const double base = runs.front().timings.total_ms;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& run = runs[i];
+    const StageTimings& t = run.timings;
+    out << "    {\"threads\": " << run.threads << ", \"stages\": {"
+        << "\"world\": " << t.world_ms << ", \"op_world\": " << t.op_world_ms
+        << ", \"render\": " << t.render_ms
+        << ", \"restore\": " << t.restore_ms << ", \"admin\": " << t.admin_ms
+        << ", \"op\": " << t.op_ms << ", \"taxonomy\": " << t.taxonomy_ms
+        << "}, \"total_ms\": " << t.total_ms
+        << ", \"speedup\": " << (t.total_ms > 0 ? base / t.total_ms : 0.0)
+        << ", \"fingerprint\": \"0x" << std::hex << run.fingerprint
+        << std::dec << "\"}" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"identical\": " << (identical ? "true" : "false") << "\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main() {
+  pl::bench::print_banner(
+      "pipeline e2e", "stage wall-clock vs. worker threads (PL_THREADS)");
+
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+  if (const char* env = std::getenv("PL_BENCH_SCALE")) scale = std::atof(env);
+  if (const char* env = std::getenv("PL_BENCH_SEED"))
+    seed = std::strtoull(env, nullptr, 10);
+  std::string out_path = "BENCH_pipeline.json";
+  if (const char* env = std::getenv("PL_BENCH_OUT")) out_path = env;
+
+  const std::vector<int> sweep = thread_sweep();
+  std::cout << "scale=" << scale << " seed=" << seed
+            << " hardware_threads=" << pl::exec::hardware_threads() << "\n\n";
+
+  std::vector<Run> runs;
+  for (const int threads : sweep) {
+    Config config;
+    config.seed = seed;
+    config.scale = scale;
+    config.threads = threads;
+    std::cerr << "[bench] running with threads=" << threads << "\n";
+    const Result result = pl::pipeline::run_simulated(config);
+    Fingerprint fingerprint;
+    fingerprint.mix_result(result);
+    runs.push_back(Run{threads, result.timings, fingerprint.value()});
+  }
+
+  bool identical = true;
+  for (const Run& run : runs)
+    identical = identical && run.fingerprint == runs.front().fingerprint;
+
+  // Stage-by-stage table, one column per thread count.
+  const char* stage_names[] = {"world",   "op_world", "render", "restore",
+                               "admin",   "op",       "taxonomy", "total"};
+  std::cout << std::left << std::setw(10) << "stage";
+  for (const Run& run : runs)
+    std::cout << std::right << std::setw(12)
+              << ("t=" + std::to_string(run.threads) + " ms");
+  std::cout << "\n";
+  for (std::size_t s = 0; s < std::size(stage_names); ++s) {
+    std::cout << std::left << std::setw(10) << stage_names[s];
+    for (const Run& run : runs) {
+      const StageTimings& t = run.timings;
+      const double values[] = {t.world_ms, t.op_world_ms, t.render_ms,
+                               t.restore_ms, t.admin_ms, t.op_ms,
+                               t.taxonomy_ms, t.total_ms};
+      std::cout << std::right << std::setw(12) << fmt_ms(values[s]);
+    }
+    std::cout << "\n";
+  }
+  std::cout << std::left << std::setw(10) << "speedup";
+  const double base = runs.front().timings.total_ms;
+  for (const Run& run : runs) {
+    std::ostringstream cell;
+    cell << std::fixed << std::setprecision(2)
+         << (run.timings.total_ms > 0 ? base / run.timings.total_ms : 0.0)
+         << "x";
+    std::cout << std::right << std::setw(12) << cell.str();
+  }
+  std::cout << "\n\nparallel runs bit-identical to serial baseline: "
+            << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+  if (pl::exec::hardware_threads() == 1)
+    std::cout << "(note: 1 hardware thread — speedups are bounded by the "
+                 "machine, not the sharding)\n";
+
+  write_json(out_path, scale, seed, runs, identical);
+  std::cout << "wrote " << out_path << "\n";
+  return identical ? 0 : 1;
+}

@@ -5,32 +5,32 @@
 // Environment knobs:
 //   PL_BENCH_SCALE  world scale (default 1.0 = paper scale)
 //   PL_BENCH_SEED   world seed  (default 42)
+//   PL_THREADS      worker threads for the parallel stages (0 = serial)
 #pragma once
 
 #include <cstdlib>
 #include <iostream>
-#include <memory>
 #include <string>
+#include <utility>
 
-#include "bgpsim/route_gen.hpp"
 #include "joint/birdseye.hpp"
 #include "joint/outside.hpp"
 #include "joint/partial.hpp"
 #include "joint/squat.hpp"
-#include "joint/taxonomy.hpp"
 #include "joint/unused.hpp"
 #include "joint/utilization.hpp"
 #include "lifetimes/sensitivity.hpp"
-#include "restore/pipeline.hpp"
-#include "rirsim/inject.hpp"
-#include "rirsim/world.hpp"
+#include "pipeline/pipeline.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace pl::bench {
 
-/// The whole pipeline at paper scale, built once.
+/// The whole pipeline at paper scale, built once. A thin adapter over
+/// `pipeline::run_simulated` — the five-stage wiring (seed offsets,
+/// ERX/IANA hooks, BGP duplicate hint) lives only in pl_pipeline, so the
+/// benches can never drift from what the tests and deployments run.
 struct Pipeline {
   double scale = 1.0;
   std::uint64_t seed = 42;
@@ -55,35 +55,16 @@ struct Pipeline {
 
     std::cerr << "[bench] building world: scale=" << p.scale
               << " seed=" << p.seed << "\n";
-    p.truth = rirsim::build_world(
-        rirsim::WorldConfig{p.seed, p.scale, asn::archive_begin_day(),
-                            asn::archive_end_day()});
-
-    bgpsim::OpWorldConfig op_config;
-    op_config.behavior.seed = p.seed + 1;
-    op_config.attacks.seed = p.seed + 2;
-    op_config.attacks.scale = p.scale;
-    op_config.misconfigs.seed = p.seed + 3;
-    op_config.misconfigs.scale = p.scale;
-    p.op_world = bgpsim::build_op_world(p.truth, op_config);
-
-    rirsim::InjectorConfig injector;
-    injector.seed = p.seed + 4;
-    injector.scale = p.scale;
-    const rirsim::SimulatedArchive archive(p.truth, injector);
-    std::array<std::unique_ptr<dele::ArchiveStream>, asn::kRirCount> streams;
-    for (asn::Rir rir : asn::kAllRirs)
-      streams[asn::index_of(rir)] = archive.stream(rir);
-    const rirsim::GroundTruth& truth_ref = p.truth;
-    p.restored = restore::restore_archive(
-        std::move(streams), restore::RestoreConfig{}, &p.truth.erx,
-        [&truth_ref](asn::Asn a) { return truth_ref.iana.owner(a); },
-        p.truth.archive_begin, &p.op_world.activity);
-
-    p.admin = lifetimes::build_admin_lifetimes(p.restored,
-                                               p.truth.archive_end);
-    p.op = lifetimes::build_op_lifetimes(p.op_world.activity);
-    p.taxonomy = joint::classify(p.admin, p.op);
+    pipeline::Config config;
+    config.seed = p.seed;
+    config.scale = p.scale;
+    pipeline::Result result = pipeline::run_simulated(config);
+    p.truth = std::move(result.truth);
+    p.op_world = std::move(result.op_world);
+    p.restored = std::move(result.restored);
+    p.admin = std::move(result.admin);
+    p.op = std::move(result.op);
+    p.taxonomy = std::move(result.taxonomy);
     std::cerr << "[bench] pipeline ready: "
               << util::with_commas(static_cast<std::int64_t>(
                      p.admin.lifetimes.size()))
@@ -112,14 +93,18 @@ inline void print_banner(const std::string& artifact,
                "comparable, absolute numbers scale with PL_BENCH_SCALE)\n\n";
 }
 
-/// Down-sample a daily series to roughly `points` values for sparklines.
+/// Down-sample a daily series to at most `points` + 1 values for
+/// sparklines. The stride rounds up so long series cannot overshoot the
+/// budget, and the final day is always included so the tail of the series
+/// is never dropped.
 inline std::vector<double> downsample(const std::vector<std::int32_t>& series,
                                       std::size_t points = 60) {
   std::vector<double> out;
-  if (series.empty()) return out;
-  const std::size_t stride = std::max<std::size_t>(1, series.size() / points);
+  if (series.empty() || points == 0) return out;
+  const std::size_t stride = (series.size() + points - 1) / points;
   for (std::size_t i = 0; i < series.size(); i += stride)
     out.push_back(series[i]);
+  if ((series.size() - 1) % stride != 0) out.push_back(series.back());
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "exec/pool.hpp"
+
 namespace pl::joint {
 
 namespace {
@@ -30,36 +32,59 @@ Taxonomy classify(const lifetimes::AdminDataset& admin,
   std::vector<bool> admin_has_partial(admin.lifetimes.size(), false);
   std::vector<bool> admin_has_inside(admin.lifetimes.size(), false);
 
-  for (std::size_t o = 0; o < op.lifetimes.size(); ++o) {
-    const lifetimes::OpLifetime& op_life = op.lifetimes[o];
-    const auto admin_it = admin.by_asn.find(op_life.asn.value);
-    std::int64_t best_admin = -1;
-    std::int64_t best_overlap = 0;
-    bool inside = false;
-    if (admin_it != admin.by_asn.end()) {
-      for (const std::size_t a : admin_it->second) {
-        const lifetimes::AdminLifetime& admin_life = admin.lifetimes[a];
-        const std::int64_t overlap =
-            util::overlap_days(admin_life.days, op_life.days);
-        if (overlap <= 0) continue;
-        taxonomy.admin_to_ops[a].push_back(o);
-        if (overlap > best_overlap) {
-          best_overlap = overlap;
-          best_admin = static_cast<std::int64_t>(a);
-          inside = admin_life.days.contains(op_life.days);
+  // Each op life classifies independently (per-index writes), but the
+  // admin-side cross-links are shared: record each op life's overlapping
+  // admin lives into a per-op slot, then fold the slots serially in
+  // ascending-op order below — the exact order the serial loop appended
+  // to admin_to_ops (and vector<bool> writes are not thread-safe anyway).
+  struct Overlap {
+    std::size_t admin;
+    bool inside;
+  };
+  std::vector<std::vector<Overlap>> overlaps_by_op(op.lifetimes.size());
+
+  exec::parallel_for(
+      op.lifetimes.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t o = begin; o < end; ++o) {
+          const lifetimes::OpLifetime& op_life = op.lifetimes[o];
+          const auto admin_it = admin.by_asn.find(op_life.asn.value);
+          std::int64_t best_admin = -1;
+          std::int64_t best_overlap = 0;
+          bool inside = false;
+          if (admin_it != admin.by_asn.end()) {
+            for (const std::size_t a : admin_it->second) {
+              const lifetimes::AdminLifetime& admin_life = admin.lifetimes[a];
+              const std::int64_t overlap =
+                  util::overlap_days(admin_life.days, op_life.days);
+              if (overlap <= 0) continue;
+              const bool contains = admin_life.days.contains(op_life.days);
+              overlaps_by_op[o].push_back(Overlap{a, contains});
+              if (overlap > best_overlap) {
+                best_overlap = overlap;
+                best_admin = static_cast<std::int64_t>(a);
+                inside = contains;
+              }
+            }
+          }
+          taxonomy.op_to_admin[o] = best_admin;
+          if (best_admin < 0)
+            taxonomy.op_category[o] = Category::kOutsideDelegation;
+          else
+            taxonomy.op_category[o] = inside ? Category::kCompleteOverlap
+                                             : Category::kPartialOverlap;
         }
-        if (admin_life.days.contains(op_life.days))
-          admin_has_inside[a] = true;
-        else
-          admin_has_partial[a] = true;
-      }
+      },
+      /*grain=*/256);
+
+  for (std::size_t o = 0; o < op.lifetimes.size(); ++o) {
+    for (const Overlap& overlap : overlaps_by_op[o]) {
+      taxonomy.admin_to_ops[overlap.admin].push_back(o);
+      if (overlap.inside)
+        admin_has_inside[overlap.admin] = true;
+      else
+        admin_has_partial[overlap.admin] = true;
     }
-    taxonomy.op_to_admin[o] = best_admin;
-    if (best_admin < 0)
-      taxonomy.op_category[o] = Category::kOutsideDelegation;
-    else
-      taxonomy.op_category[o] =
-          inside ? Category::kCompleteOverlap : Category::kPartialOverlap;
   }
 
   for (std::size_t a = 0; a < admin.lifetimes.size(); ++a) {

@@ -1,7 +1,10 @@
 #include "lifetimes/admin.hpp"
 
 #include <algorithm>
+#include <array>
 #include <optional>
+
+#include "exec/pool.hpp"
 
 namespace pl::lifetimes {
 
@@ -24,6 +27,142 @@ struct Piece {
   /// the AfriNIC-exception precondition.
   bool gap_was_reserved_only = false;
 };
+
+/// Extract the delegated pieces of one registry into `out` (ASN -> pieces
+/// in span order). `first_observed` is the registry's first published day:
+/// lives already present in that first file are backdated to their
+/// registration date.
+void gather_registry_pieces(const restore::RestoredRegistry& registry,
+                            Day first_observed,
+                            std::map<std::uint32_t, std::vector<Piece>>& out) {
+  for (const auto& [asn, spans] : registry.spans) {
+    std::optional<std::size_t> previous_delegated;
+    for (std::size_t s = 0; s < spans.size(); ++s) {
+      const StateSpan& span = spans[s];
+      if (!dele::is_delegated(span.state.status)) continue;
+      Piece piece;
+      piece.days = span.days;
+      piece.rir = registry.rir;
+      piece.registration_date =
+          span.state.registration_date.value_or(span.days.first);
+      piece.country = span.state.country;
+      piece.opaque_id = span.state.opaque_id;
+      // Inspect the gap back to the previous delegated span within this
+      // registry: reserved-only gaps trigger the AfriNIC exception.
+      if (previous_delegated) {
+        bool reserved_only = true;
+        bool covered = true;
+        Day cursor = spans[*previous_delegated].days.last + 1;
+        for (std::size_t g = *previous_delegated + 1; g < s; ++g) {
+          if (dele::is_delegated(spans[g].state.status)) continue;
+          if (spans[g].days.first > cursor) covered = false;
+          if (spans[g].state.status != dele::Status::kReserved)
+            reserved_only = false;
+          cursor = std::max<Day>(cursor, spans[g].days.last + 1);
+        }
+        if (cursor < piece.days.first) covered = false;
+        piece.gap_was_reserved_only =
+            reserved_only && covered && cursor == piece.days.first;
+      }
+      // Backdate first-file lives to their registration date.
+      if (piece.days.first == first_observed &&
+          piece.registration_date < piece.days.first)
+        piece.days.first = piece.registration_date;
+      previous_delegated = s;
+      out[asn].push_back(piece);
+    }
+  }
+}
+
+/// Merge one ASN's pieces (sorted in place by start day) into lifetimes,
+/// applying the 4.1 continuation rules.
+void build_asn_lifetimes(std::uint32_t asn_value, std::vector<Piece>& pieces,
+                         Day archive_end, const AdminBuildConfig& config,
+                         std::vector<AdminLifetime>& out) {
+  std::sort(pieces.begin(), pieces.end(),
+            [](const Piece& a, const Piece& b) {
+              return a.days.first < b.days.first;
+            });
+
+  AdminLifetime current;
+  asn::Rir tail_rir = asn::Rir::kArin;  ///< registry of the last piece
+  bool open = false;
+
+  const auto flush = [&] {
+    if (!open) return;
+    current.open_ended = current.days.last >= archive_end;
+    out.push_back(current);
+    open = false;
+  };
+
+  for (const Piece& piece : pieces) {
+    if (!open) {
+      current = AdminLifetime{};
+      current.asn = asn::Asn{asn_value};
+      current.registration_date = piece.registration_date;
+      current.days = piece.days;
+      current.registry = piece.rir;
+      current.country = piece.country;
+      current.opaque_id = piece.opaque_id;
+      tail_rir = piece.rir;
+      open = true;
+      continue;
+    }
+
+    const Day gap = static_cast<Day>(piece.days.first) -
+                    current.days.last - 1;
+    bool merge = false;
+    if (piece.rir == tail_rir) {  // same-registry continuation rules
+      if (gap <= 0) {
+        // Continuously allocated; a registration-date change here is an
+        // administrative correction (same life).
+        merge = true;
+      } else if (piece.registration_date == current.registration_date) {
+        // Returned to the previous owner after reserved/disappearance.
+        merge = true;
+      } else if (piece.rir == asn::Rir::kAfrinic &&
+                 piece.gap_was_reserved_only) {
+        // AfriNIC exception: reserved -> allocated without available is a
+        // re-allocation to the same holder even with a new date.
+        merge = true;
+      }
+    } else {
+      // Cross-registry: inter-RIR transfer iff gap-free.
+      if (gap <= config.transfer_gap_tolerance) {
+        merge = true;
+        current.transferred = true;
+      }
+    }
+
+    if (merge) {
+      current.days.last = std::max<Day>(current.days.last, piece.days.last);
+      if (gap <= 0) {
+        // Continuously allocated with a changed date: an administrative
+        // correction — the newest reported date is authoritative (4.1).
+        current.registration_date = piece.registration_date;
+      } else {
+        // Reserved-gap / AfriNIC-exception merges keep the life's
+        // original date (all RIRs but AfriNIC preserve it; for AfriNIC
+        // the paper still counts one life under the original).
+        current.registration_date =
+            std::min(current.registration_date, piece.registration_date);
+      }
+      tail_rir = piece.rir;
+    } else {
+      flush();
+      current = AdminLifetime{};
+      current.asn = asn::Asn{asn_value};
+      current.registration_date = piece.registration_date;
+      current.days = piece.days;
+      current.registry = piece.rir;
+      current.country = piece.country;
+      current.opaque_id = piece.opaque_id;
+      tail_rir = piece.rir;
+      open = true;
+    }
+  }
+  flush();
+}
 
 }  // namespace
 
@@ -57,134 +196,49 @@ AdminDataset build_admin_lifetimes(const restore::RestoredArchive& archive,
         first = std::min(first, span.days.first);
   }
 
-  // Gather delegated pieces per ASN across registries.
+  // Gather delegated pieces per ASN, sharded by registry: each of the five
+  // registries fills its own map, and the maps fold together in registry
+  // order below — the same per-ASN piece order the serial registry loop
+  // produced.
+  std::array<std::map<std::uint32_t, std::vector<Piece>>, asn::kRirCount>
+      pieces_by_registry;
+  exec::parallel_for(
+      archive.registries.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r)
+          gather_registry_pieces(
+              archive.registries[r],
+              first_observed[asn::index_of(archive.registries[r].rir)],
+              pieces_by_registry[r]);
+      },
+      /*grain=*/1);
+
   std::map<std::uint32_t, std::vector<Piece>> pieces_by_asn;
-  for (const restore::RestoredRegistry& registry : archive.registries) {
-    for (const auto& [asn, spans] : registry.spans) {
-      std::optional<std::size_t> previous_delegated;
-      for (std::size_t s = 0; s < spans.size(); ++s) {
-        const StateSpan& span = spans[s];
-        if (!dele::is_delegated(span.state.status)) continue;
-        Piece piece;
-        piece.days = span.days;
-        piece.rir = registry.rir;
-        piece.registration_date =
-            span.state.registration_date.value_or(span.days.first);
-        piece.country = span.state.country;
-        piece.opaque_id = span.state.opaque_id;
-        // Inspect the gap back to the previous delegated span within this
-        // registry: reserved-only gaps trigger the AfriNIC exception.
-        if (previous_delegated) {
-          bool reserved_only = true;
-          bool covered = true;
-          Day cursor = spans[*previous_delegated].days.last + 1;
-          for (std::size_t g = *previous_delegated + 1; g < s; ++g) {
-            if (dele::is_delegated(spans[g].state.status)) continue;
-            if (spans[g].days.first > cursor) covered = false;
-            if (spans[g].state.status != dele::Status::kReserved)
-              reserved_only = false;
-            cursor = std::max<Day>(cursor, spans[g].days.last + 1);
-          }
-          if (cursor < piece.days.first) covered = false;
-          piece.gap_was_reserved_only = reserved_only && covered &&
-                                        cursor == piece.days.first;
-        }
-        // Backdate first-file lives to their registration date.
-        if (piece.days.first == first_observed[asn::index_of(registry.rir)] &&
-            piece.registration_date < piece.days.first)
-          piece.days.first = piece.registration_date;
-        previous_delegated = s;
-        pieces_by_asn[asn].push_back(piece);
-      }
+  for (auto& registry_pieces : pieces_by_registry)
+    for (auto& [asn, pieces] : registry_pieces) {
+      auto& merged = pieces_by_asn[asn];
+      merged.insert(merged.end(), pieces.begin(), pieces.end());
     }
-  }
 
-  for (auto& [asn_value, pieces] : pieces_by_asn) {
-    std::sort(pieces.begin(), pieces.end(),
-              [](const Piece& a, const Piece& b) {
-                return a.days.first < b.days.first;
-              });
+  // Per-ASN lifetime construction is independent across ASNs: compute each
+  // ASN's lifetimes into its own slot, then concatenate in ascending-ASN
+  // order (the map's iteration order — exactly the serial append order).
+  std::vector<std::pair<const std::uint32_t, std::vector<Piece>>*> entries;
+  entries.reserve(pieces_by_asn.size());
+  for (auto& entry : pieces_by_asn) entries.push_back(&entry);
+  std::vector<std::vector<AdminLifetime>> lifetimes_by_asn(entries.size());
+  exec::parallel_for(
+      entries.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t n = begin; n < end; ++n)
+          build_asn_lifetimes(entries[n]->first, entries[n]->second,
+                              archive_end, config, lifetimes_by_asn[n]);
+      },
+      /*grain=*/64);
 
-    AdminLifetime current;
-    asn::Rir tail_rir = asn::Rir::kArin;  ///< registry of the last piece
-    bool open = false;
-
-    const auto flush = [&] {
-      if (!open) return;
-      current.open_ended = current.days.last >= archive_end;
-      dataset.lifetimes.push_back(current);
-      open = false;
-    };
-
-    for (const Piece& piece : pieces) {
-      if (!open) {
-        current = AdminLifetime{};
-        current.asn = asn::Asn{asn_value};
-        current.registration_date = piece.registration_date;
-        current.days = piece.days;
-        current.registry = piece.rir;
-        current.country = piece.country;
-        current.opaque_id = piece.opaque_id;
-        tail_rir = piece.rir;
-        open = true;
-        continue;
-      }
-
-      const Day gap = static_cast<Day>(piece.days.first) -
-                      current.days.last - 1;
-      bool merge = false;
-      if (piece.rir == tail_rir) {  // same-registry continuation rules
-        if (gap <= 0) {
-          // Continuously allocated; a registration-date change here is an
-          // administrative correction (same life).
-          merge = true;
-        } else if (piece.registration_date == current.registration_date) {
-          // Returned to the previous owner after reserved/disappearance.
-          merge = true;
-        } else if (piece.rir == asn::Rir::kAfrinic &&
-                   piece.gap_was_reserved_only) {
-          // AfriNIC exception: reserved -> allocated without available is a
-          // re-allocation to the same holder even with a new date.
-          merge = true;
-        }
-      } else {
-        // Cross-registry: inter-RIR transfer iff gap-free.
-        if (gap <= config.transfer_gap_tolerance) {
-          merge = true;
-          current.transferred = true;
-        }
-      }
-
-      if (merge) {
-        current.days.last = std::max<Day>(current.days.last, piece.days.last);
-        if (gap <= 0) {
-          // Continuously allocated with a changed date: an administrative
-          // correction — the newest reported date is authoritative (4.1).
-          current.registration_date = piece.registration_date;
-        } else {
-          // Reserved-gap / AfriNIC-exception merges keep the life's
-          // original date (all RIRs but AfriNIC preserve it; for AfriNIC
-          // the paper still counts one life under the original).
-          current.registration_date =
-              std::min(current.registration_date, piece.registration_date);
-        }
-        tail_rir = piece.rir;
-      } else {
-        flush();
-        current = AdminLifetime{};
-        current.asn = asn::Asn{asn_value};
-        current.registration_date = piece.registration_date;
-        current.days = piece.days;
-        current.registry = piece.rir;
-        current.country = piece.country;
-        current.opaque_id = piece.opaque_id;
-        tail_rir = piece.rir;
-        open = true;
-      }
-    }
-    flush();
-  }
-
+  for (const std::vector<AdminLifetime>& per_asn : lifetimes_by_asn)
+    dataset.lifetimes.insert(dataset.lifetimes.end(), per_asn.begin(),
+                             per_asn.end());
   dataset.index();
   return dataset;
 }

@@ -1,16 +1,37 @@
 #include "lifetimes/op.hpp"
 
+#include <utility>
+#include <vector>
+
+#include "exec/pool.hpp"
+
 namespace pl::lifetimes {
 
 OpDataset build_op_lifetimes(const bgp::ActivityTable& activity,
                              int timeout_days) {
+  // Coalescing is independent per ASN: shard over the (ordered) activity
+  // entries, coalesce each into its own slot, then fill the dataset in
+  // entry order — identical to the serial per-entry loop.
+  std::vector<std::pair<asn::Asn, const util::IntervalSet*>> entries;
+  entries.reserve(activity.entries().size());
+  for (const auto& [asn, days] : activity.entries())
+    entries.emplace_back(asn, &days);
+
+  std::vector<std::vector<util::DayInterval>> lives_by_entry(entries.size());
+  exec::parallel_for(
+      entries.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+          lives_by_entry[i] = entries[i].second->coalesce(timeout_days);
+      },
+      /*grain=*/128);
+
   OpDataset dataset;
-  for (const auto& [asn, days] : activity.entries()) {
-    const auto lives = days.coalesce(timeout_days);
-    auto& indices = dataset.by_asn[asn.value];
-    for (const util::DayInterval& life : lives) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    auto& indices = dataset.by_asn[entries[i].first.value];
+    for (const util::DayInterval& life : lives_by_entry[i]) {
       indices.push_back(dataset.lifetimes.size());
-      dataset.lifetimes.push_back(OpLifetime{asn, life});
+      dataset.lifetimes.push_back(OpLifetime{entries[i].first, life});
     }
   }
   return dataset;

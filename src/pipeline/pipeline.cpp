@@ -1,17 +1,42 @@
 #include "pipeline/pipeline.hpp"
 
+#include <chrono>
+#include <optional>
+
+#include "exec/pool.hpp"
+
 namespace pl::pipeline {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
 Result run_simulated(const Config& config) {
+  // Pin the worker count for this run when the caller asked for one;
+  // restored on exit so pipelines with different knobs can share a process.
+  std::optional<exec::ScopedThreads> scoped_threads;
+  if (config.threads >= 0) scoped_threads.emplace(config.threads);
+
   Result result;
+  const Clock::time_point run_start = Clock::now();
+  Clock::time_point stage_start = run_start;
 
   // Administrative ground truth.
   result.truth = rirsim::build_world(
       rirsim::WorldConfig{config.seed, config.scale,
                           asn::archive_begin_day(), asn::archive_end_day()});
+  result.timings.world_ms = ms_since(stage_start);
 
   // Operational dimension (behaviours, attacks, misconfigurations) — seeds
   // derived from the master seed so one knob controls the world.
+  stage_start = Clock::now();
   bgpsim::OpWorldConfig operations = config.operations;
   operations.behavior.seed = config.seed + 1;
   operations.attacks.seed = config.seed + 2;
@@ -19,27 +44,44 @@ Result run_simulated(const Config& config) {
   operations.misconfigs.seed = config.seed + 3;
   operations.misconfigs.scale = config.scale;
   result.op_world = bgpsim::build_op_world(result.truth, operations);
+  result.timings.op_world_ms = ms_since(stage_start);
 
   // Delegation archive with every 3.1 defect class, then restoration.
+  stage_start = Clock::now();
   rirsim::InjectorConfig injector = config.injector;
   injector.seed = config.seed + 4;
   injector.scale = config.scale;
   const rirsim::SimulatedArchive archive(result.truth, injector);
+  result.timings.render_ms = ms_since(stage_start);
+
+  stage_start = Clock::now();
   const rirsim::GroundTruth& truth = result.truth;
   const bgp::ActivityTable* hint =
       config.bgp_hint_for_duplicates ? &result.op_world.activity : nullptr;
   if (config.inject_chaos) {
-    // Feed each registry through the fault injector; one shared sink keeps
-    // the cross-registry books that the accounting invariants run over.
+    // Feed each registry through the fault injector. Each shard keeps its
+    // own sink; merging them in registry order reproduces the books one
+    // shared sink would hold (the serial path fed registries in exactly
+    // that order), so the cross-registry accounting invariants still run
+    // over identical counters.
+    std::array<robust::ErrorSink, asn::kRirCount> shard_sinks;
+    exec::parallel_for(
+        asn::kRirCount,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const asn::Rir rir = asn::kAllRirs[i];
+            robust::ChaosConfig chaos = config.chaos;
+            chaos.seed = config.chaos.seed + asn::index_of(rir);
+            robust::FaultStream stream(archive.stream(rir), chaos,
+                                       &shard_sinks[i]);
+            result.restored.registries[i] = restore::restore_registry(
+                stream, config.restore, &result.truth.erx, hint,
+                &shard_sinks[i]);
+          }
+        },
+        /*grain=*/1);
     robust::ErrorSink sink(robust::Policy::kLenient);
-    for (asn::Rir rir : asn::kAllRirs) {
-      robust::ChaosConfig chaos = config.chaos;
-      chaos.seed = config.chaos.seed + asn::index_of(rir);
-      robust::FaultStream stream(archive.stream(rir), chaos, &sink);
-      result.restored.registries[asn::index_of(rir)] =
-          restore::restore_registry(stream, config.restore,
-                                    &result.truth.erx, hint, &sink);
-    }
+    for (const robust::ErrorSink& shard : shard_sinks) sink.merge(shard);
     result.restored.cross = restore::reconcile_registries(
         result.restored.registries,
         [&truth](asn::Asn a) { return truth.iana.owner(a); }, config.restore,
@@ -54,13 +96,24 @@ Result run_simulated(const Config& config) {
         [&truth](asn::Asn a) { return truth.iana.owner(a); },
         result.truth.archive_begin, hint);
   }
+  result.timings.restore_ms = ms_since(stage_start);
 
   // Both lifetime datasets and the joint lens.
+  stage_start = Clock::now();
   result.admin = lifetimes::build_admin_lifetimes(result.restored,
                                                   result.truth.archive_end);
+  result.timings.admin_ms = ms_since(stage_start);
+
+  stage_start = Clock::now();
   result.op = lifetimes::build_op_lifetimes(result.op_world.activity,
                                             config.op_timeout_days);
+  result.timings.op_ms = ms_since(stage_start);
+
+  stage_start = Clock::now();
   result.taxonomy = joint::classify(result.admin, result.op);
+  result.timings.taxonomy_ms = ms_since(stage_start);
+
+  result.timings.total_ms = ms_since(run_start);
   return result;
 }
 

@@ -28,6 +28,11 @@ struct Config {
   std::uint64_t seed = 42;
   double scale = 1.0;  ///< 1.0 = the paper's scale (~127k admin lifetimes)
   int op_timeout_days = lifetimes::kPaperTimeoutDays;
+  /// Worker threads for the parallel stages: -1 (default) keeps the
+  /// process-wide setting (`PL_THREADS` env, else hardware threads); 0
+  /// forces the serial path; N > 0 pins N workers for this run. Parallel
+  /// runs are bit-identical to serial ones (see exec/pool.hpp).
+  int threads = -1;
   restore::RestoreConfig restore;
   rirsim::InjectorConfig injector;      ///< seed/scale overridden from above
   bgpsim::OpWorldConfig operations;     ///< seeds/scales overridden
@@ -43,6 +48,20 @@ struct Config {
   robust::ChaosConfig chaos;
 };
 
+/// Wall-clock spent in each Fig. 1 stage, filled by `run_simulated`. The
+/// pipeline is its own profiler so the perf harness (bench_pipeline_e2e)
+/// never re-implements the stage wiring just to time it.
+struct StageTimings {
+  double world_ms = 0;     ///< rirsim::build_world
+  double op_world_ms = 0;  ///< bgpsim::build_op_world (plans + activity)
+  double render_ms = 0;    ///< rirsim::SimulatedArchive (delegation render)
+  double restore_ms = 0;   ///< restoration incl. chaos + reconciliation
+  double admin_ms = 0;     ///< lifetimes::build_admin_lifetimes
+  double op_ms = 0;        ///< lifetimes::build_op_lifetimes
+  double taxonomy_ms = 0;  ///< joint::classify
+  double total_ms = 0;
+};
+
 /// Every stage's output, kept alive together.
 struct Result {
   rirsim::GroundTruth truth;
@@ -53,6 +72,8 @@ struct Result {
   joint::Taxonomy taxonomy;
   /// Ingestion fault accounting (all zero unless Config::inject_chaos).
   robust::RobustnessReport robustness;
+  /// Per-stage wall clock for this run.
+  StageTimings timings;
 };
 
 /// Run the full simulated pipeline deterministically.

@@ -192,6 +192,23 @@ class ErrorSink {
   RobustnessReport& counters() noexcept { return counters_; }
   const RobustnessReport& counters() const noexcept { return counters_; }
 
+  /// Fold a per-shard sink into this one: counters add, a tripped shard
+  /// trips the whole, diagnostics append in call order up to the retention
+  /// cap. Merging shard sinks in shard order reproduces exactly what one
+  /// shared sink fed by the shards sequentially would hold — the identity
+  /// the parallel ingestion path relies on.
+  void merge(const ErrorSink& other) {
+    counters_.merge(other.counters_);
+    tripped_ = tripped_ || other.tripped_;
+    for (const Diagnostic& diagnostic : other.diagnostics_) {
+      if (diagnostics_.size() < max_retained_)
+        diagnostics_.push_back(diagnostic);
+      else
+        ++overflowed_;
+    }
+    overflowed_ += other.overflowed_;
+  }
+
  private:
   Policy policy_;
   std::size_t max_retained_;

@@ -1,0 +1,50 @@
+// Guards for the shared bench harness helpers (bench/common.hpp).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "bench/common.hpp"
+
+namespace pl::bench {
+namespace {
+
+std::vector<std::int32_t> ramp(std::size_t n) {
+  std::vector<std::int32_t> series(n);
+  std::iota(series.begin(), series.end(), 0);
+  return series;
+}
+
+TEST(Downsample, NeverOvershootsBudget) {
+  // The old floor-stride logic returned up to ~2x `points` values for
+  // series just under a multiple of the budget (e.g. 6209 days / 60).
+  for (const std::size_t n : {1u, 59u, 60u, 61u, 119u, 120u, 121u, 6209u}) {
+    const auto out = downsample(ramp(n), 60);
+    EXPECT_LE(out.size(), 61u) << "series length " << n;
+    EXPECT_GE(out.size(), std::min<std::size_t>(n, 2u)) << n;
+  }
+}
+
+TEST(Downsample, AlwaysIncludesFinalDay) {
+  for (const std::size_t n : {2u, 61u, 100u, 6209u}) {
+    const auto out = downsample(ramp(n), 60);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out.front(), 0.0);
+    EXPECT_EQ(out.back(), static_cast<double>(n - 1)) << "series " << n;
+  }
+}
+
+TEST(Downsample, EmptyAndZeroBudgetAreEmpty) {
+  EXPECT_TRUE(downsample({}, 60).empty());
+  EXPECT_TRUE(downsample(ramp(10), 0).empty());
+}
+
+TEST(Downsample, ShortSeriesKeepsEveryValue) {
+  const auto out = downsample(ramp(10), 60);
+  ASSERT_EQ(out.size(), 10u);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], static_cast<double>(i));
+}
+
+}  // namespace
+}  // namespace pl::bench

@@ -1,0 +1,167 @@
+// Differential determinism suite: the parallel pipeline must be
+// bit-identical to the serial one — same lifetime vectors, same taxonomy,
+// same restoration spans, same robustness books — at every thread count,
+// including under transport chaos (same spirit as the PR-1 checkpoint
+// bit-identity tests).
+#include <gtest/gtest.h>
+
+#include "exec/pool.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace pl::pipeline {
+namespace {
+
+void expect_admin_equal(const lifetimes::AdminDataset& a,
+                        const lifetimes::AdminDataset& b) {
+  ASSERT_EQ(a.lifetimes.size(), b.lifetimes.size());
+  for (std::size_t i = 0; i < a.lifetimes.size(); ++i) {
+    const lifetimes::AdminLifetime& x = a.lifetimes[i];
+    const lifetimes::AdminLifetime& y = b.lifetimes[i];
+    ASSERT_EQ(x.asn.value, y.asn.value) << "admin life " << i;
+    ASSERT_EQ(x.registration_date, y.registration_date) << "admin life " << i;
+    ASSERT_EQ(x.days.first, y.days.first) << "admin life " << i;
+    ASSERT_EQ(x.days.last, y.days.last) << "admin life " << i;
+    ASSERT_EQ(x.registry, y.registry) << "admin life " << i;
+    ASSERT_EQ(x.country, y.country) << "admin life " << i;
+    ASSERT_EQ(x.opaque_id, y.opaque_id) << "admin life " << i;
+    ASSERT_EQ(x.open_ended, y.open_ended) << "admin life " << i;
+    ASSERT_EQ(x.transferred, y.transferred) << "admin life " << i;
+  }
+  EXPECT_EQ(a.by_asn, b.by_asn);
+}
+
+void expect_op_equal(const lifetimes::OpDataset& a,
+                     const lifetimes::OpDataset& b) {
+  ASSERT_EQ(a.lifetimes.size(), b.lifetimes.size());
+  for (std::size_t i = 0; i < a.lifetimes.size(); ++i) {
+    ASSERT_EQ(a.lifetimes[i].asn.value, b.lifetimes[i].asn.value);
+    ASSERT_EQ(a.lifetimes[i].days.first, b.lifetimes[i].days.first);
+    ASSERT_EQ(a.lifetimes[i].days.last, b.lifetimes[i].days.last);
+  }
+  EXPECT_EQ(a.by_asn, b.by_asn);
+}
+
+void expect_taxonomy_equal(const joint::Taxonomy& a,
+                           const joint::Taxonomy& b) {
+  EXPECT_EQ(a.admin_counts, b.admin_counts);
+  EXPECT_EQ(a.op_counts, b.op_counts);
+  EXPECT_EQ(a.admin_category, b.admin_category);
+  EXPECT_EQ(a.op_category, b.op_category);
+  EXPECT_EQ(a.op_to_admin, b.op_to_admin);
+  EXPECT_EQ(a.admin_to_ops, b.admin_to_ops);
+}
+
+void expect_restored_equal(const restore::RestoredArchive& a,
+                           const restore::RestoredArchive& b) {
+  for (std::size_t r = 0; r < asn::kRirCount; ++r) {
+    EXPECT_EQ(a.registries[r].rir, b.registries[r].rir);
+    EXPECT_EQ(a.registries[r].spans, b.registries[r].spans)
+        << "registry " << r;
+    EXPECT_EQ(a.registries[r].report, b.registries[r].report)
+        << "registry " << r;
+  }
+  EXPECT_EQ(a.cross.overlapping_asns, b.cross.overlapping_asns);
+  EXPECT_EQ(a.cross.stale_spans_trimmed, b.cross.stale_spans_trimmed);
+  EXPECT_EQ(a.cross.mistaken_spans_removed, b.cross.mistaken_spans_removed);
+}
+
+void expect_robustness_equal(const robust::RobustnessReport& a,
+                             const robust::RobustnessReport& b) {
+  EXPECT_EQ(a.infos, b.infos);
+  EXPECT_EQ(a.warnings, b.warnings);
+  EXPECT_EQ(a.errors, b.errors);
+  EXPECT_EQ(a.fatals, b.fatals);
+  for (std::size_t s = 0; s < robust::kStageCount; ++s)
+    EXPECT_EQ(a.by_stage[s], b.by_stage[s]) << "stage " << s;
+  EXPECT_EQ(a.days_input, b.days_input);
+  EXPECT_EQ(a.days_delivered, b.days_delivered);
+  EXPECT_EQ(a.days_dropped, b.days_dropped);
+  EXPECT_EQ(a.days_duplicated, b.days_duplicated);
+  EXPECT_EQ(a.days_reordered, b.days_reordered);
+  EXPECT_EQ(a.days_applied, b.days_applied);
+  EXPECT_EQ(a.days_quarantined_duplicate, b.days_quarantined_duplicate);
+  EXPECT_EQ(a.days_quarantined_late, b.days_quarantined_late);
+  EXPECT_EQ(a.days_reorder_recovered, b.days_reorder_recovered);
+  EXPECT_EQ(a.records_salvaged, b.records_salvaged);
+  EXPECT_EQ(a.records_skipped, b.records_skipped);
+  EXPECT_EQ(a.bytes_discarded, b.bytes_discarded);
+}
+
+void expect_results_equal(const Result& a, const Result& b) {
+  expect_restored_equal(a.restored, b.restored);
+  expect_admin_equal(a.admin, b.admin);
+  expect_op_equal(a.op, b.op);
+  expect_taxonomy_equal(a.taxonomy, b.taxonomy);
+  expect_robustness_equal(a.robustness, b.robustness);
+}
+
+TEST(PipelineParallel, ParallelRunMatchesSerialBitForBit) {
+  Config config;
+  config.seed = 11;
+  config.scale = 0.02;
+
+  config.threads = 0;
+  const Result serial = run_simulated(config);
+  for (const int threads : {1, 2, 4, 8}) {
+    config.threads = threads;
+    const Result parallel = run_simulated(config);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_results_equal(serial, parallel);
+  }
+}
+
+TEST(PipelineParallel, ParallelRunMatchesSerialUnderChaos) {
+  Config config;
+  config.seed = 23;
+  config.scale = 0.02;
+  config.inject_chaos = true;
+  config.chaos = robust::ChaosConfig::uniform(0.05, 7);
+  config.restore.reorder_window_days = 3;
+
+  config.threads = 0;
+  const Result serial = run_simulated(config);
+  EXPECT_GT(serial.robustness.days_delivered, 0);
+  EXPECT_TRUE(serial.robustness.delivery_accounted());
+  EXPECT_TRUE(serial.robustness.transport_accounted());
+
+  for (const int threads : {2, 8}) {
+    config.threads = threads;
+    const Result parallel = run_simulated(config);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_results_equal(serial, parallel);
+    EXPECT_TRUE(parallel.robustness.delivery_accounted());
+    EXPECT_TRUE(parallel.robustness.transport_accounted());
+  }
+}
+
+TEST(PipelineParallel, ProcessDefaultThreadsMatchPinnedSerial) {
+  // Whatever PL_THREADS the harness set for this invocation (the ctest
+  // suite runs this binary under both PL_THREADS=0 and PL_THREADS=4), the
+  // default-threaded run must match an explicitly serial one.
+  Config config;
+  config.seed = 5;
+  config.scale = 0.01;
+
+  config.threads = -1;  // inherit PL_THREADS / hardware default
+  const Result ambient = run_simulated(config);
+  config.threads = 0;
+  const Result serial = run_simulated(config);
+  expect_results_equal(serial, ambient);
+}
+
+TEST(PipelineParallel, TimingsArePopulated) {
+  Config config;
+  config.seed = 3;
+  config.scale = 0.01;
+  const Result result = run_simulated(config);
+  EXPECT_GT(result.timings.total_ms, 0.0);
+  const double stage_sum =
+      result.timings.world_ms + result.timings.op_world_ms +
+      result.timings.render_ms + result.timings.restore_ms +
+      result.timings.admin_ms + result.timings.op_ms +
+      result.timings.taxonomy_ms;
+  EXPECT_LE(stage_sum, result.timings.total_ms * 1.01);
+}
+
+}  // namespace
+}  // namespace pl::pipeline
