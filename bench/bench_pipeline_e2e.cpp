@@ -11,16 +11,19 @@
 //                     (0 = serial baseline; always run even if omitted)
 //   PL_BENCH_OUT      JSON output path (default BENCH_pipeline.json)
 //
-// JSON format (schema pl-bench-pipeline/1):
+// JSON format (schema pl-bench-pipeline/2):
 //   {
-//     "schema": "pl-bench-pipeline/1",
+//     "schema": "pl-bench-pipeline/2",
 //     "scale": 1.0, "seed": 42, "hardware_threads": N,
 //     "runs": [
 //       {"threads": 0, "stages": {"world": ms, "op_world": ms, "render": ms,
 //        "restore": ms, "admin": ms, "op": ms, "taxonomy": ms},
 //        "total_ms": ms, "speedup": x, "fingerprint": "0x..."}
 //     ],
-//     "identical": true
+//     "identical": true,
+//     "metrics": {workload counters from the serial run's obs snapshot:
+//       restored days/ASNs, lifetime totals, fault accounting, taxonomy
+//       class tallies}
 //   }
 
 #include <cstdint>
@@ -108,32 +111,94 @@ std::string fmt_ms(double ms) {
   return out.str();
 }
 
+std::string fmt_fingerprint(std::uint64_t fingerprint) {
+  std::ostringstream out;
+  out << "0x" << std::hex << fingerprint;
+  return out.str();
+}
+
+/// The workload block: non-timing counters from the serial run's metrics
+/// snapshot, so the perf trajectory records *what* was processed next to
+/// how long it took. Cross-registry counters aggregate over labels via
+/// `counter_sum`.
+void write_metrics_block(pl::bench::JsonWriter& json,
+                         const pl::obs::Snapshot& metrics) {
+  json.key("metrics").begin_object();
+  json.key("restored_days")
+      .value(metrics.counter_sum("pl_restore_days_processed"));
+  json.key("restored_asns").value(metrics.counter_sum("pl_restore_asns"));
+  json.key("restored_spans").value(metrics.counter_sum("pl_restore_spans"));
+  json.key("admin_lifetimes").value(metrics.counter_value("pl_admin_lifetimes"));
+  json.key("op_lifetimes").value(metrics.counter_value("pl_op_lifetimes"));
+  json.key("active_asn_days")
+      .value(metrics.counter_sum("pl_bgp_active_asn_days"));
+  json.key("faults_injected")
+      .value(metrics.counter_sum("pl_fault_days_dropped") +
+             metrics.counter_sum("pl_fault_days_duplicated") +
+             metrics.counter_sum("pl_fault_days_reordered"));
+  json.key("faults_recovered")
+      .value(metrics.counter_sum("pl_ingest_days_reorder_recovered") +
+             metrics.counter_sum("pl_fault_fetch_retries"));
+  json.key("taxonomy_admin").begin_object();
+  json.key("complete_overlap")
+      .value(metrics.counter_value(
+          "pl_taxonomy_admin{class=\"complete_overlap\"}"));
+  json.key("partial_overlap")
+      .value(metrics.counter_value(
+          "pl_taxonomy_admin{class=\"partial_overlap\"}"));
+  json.key("unused")
+      .value(metrics.counter_value("pl_taxonomy_admin{class=\"unused\"}"));
+  json.end_object();
+  json.key("taxonomy_op").begin_object();
+  json.key("complete_overlap")
+      .value(
+          metrics.counter_value("pl_taxonomy_op{class=\"complete_overlap\"}"));
+  json.key("partial_overlap")
+      .value(
+          metrics.counter_value("pl_taxonomy_op{class=\"partial_overlap\"}"));
+  json.key("outside_delegation")
+      .value(metrics.counter_value(
+          "pl_taxonomy_op{class=\"outside_delegation\"}"));
+  json.end_object();
+  json.end_object();
+}
+
 void write_json(const std::string& path, double scale, std::uint64_t seed,
-                const std::vector<Run>& runs, bool identical) {
-  std::ofstream out(path);
-  out << std::fixed << std::setprecision(3);
-  out << "{\n  \"schema\": \"pl-bench-pipeline/1\",\n";
-  out << "  \"scale\": " << scale << ",\n";
-  out << "  \"seed\": " << seed << ",\n";
-  out << "  \"hardware_threads\": " << pl::exec::hardware_threads() << ",\n";
-  out << "  \"runs\": [\n";
+                const std::vector<Run>& runs, bool identical,
+                const pl::obs::Snapshot& metrics) {
+  pl::bench::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("pl-bench-pipeline/2");
+  json.key("scale").value(scale);
+  json.key("seed").value(static_cast<std::uint64_t>(seed));
+  json.key("hardware_threads").value(pl::exec::hardware_threads());
+  json.key("runs").begin_array();
   const double base = runs.front().timings.total_ms;
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const Run& run = runs[i];
+  for (const Run& run : runs) {
     const StageTimings& t = run.timings;
-    out << "    {\"threads\": " << run.threads << ", \"stages\": {"
-        << "\"world\": " << t.world_ms << ", \"op_world\": " << t.op_world_ms
-        << ", \"render\": " << t.render_ms
-        << ", \"restore\": " << t.restore_ms << ", \"admin\": " << t.admin_ms
-        << ", \"op\": " << t.op_ms << ", \"taxonomy\": " << t.taxonomy_ms
-        << "}, \"total_ms\": " << t.total_ms
-        << ", \"speedup\": " << (t.total_ms > 0 ? base / t.total_ms : 0.0)
-        << ", \"fingerprint\": \"0x" << std::hex << run.fingerprint
-        << std::dec << "\"}" << (i + 1 < runs.size() ? "," : "") << "\n";
+    json.begin_object();
+    json.key("threads").value(run.threads);
+    json.key("stages").begin_object();
+    json.key("world").value(t.world_ms);
+    json.key("op_world").value(t.op_world_ms);
+    json.key("render").value(t.render_ms);
+    json.key("restore").value(t.restore_ms);
+    json.key("admin").value(t.admin_ms);
+    json.key("op").value(t.op_ms);
+    json.key("taxonomy").value(t.taxonomy_ms);
+    json.end_object();
+    json.key("total_ms").value(t.total_ms);
+    json.key("speedup").value(t.total_ms > 0 ? base / t.total_ms : 0.0);
+    json.key("fingerprint").value(fmt_fingerprint(run.fingerprint));
+    json.end_object();
   }
-  out << "  ],\n";
-  out << "  \"identical\": " << (identical ? "true" : "false") << "\n";
-  out << "}\n";
+  json.end_array();
+  json.key("identical").value(identical);
+  write_metrics_block(json, metrics);
+  json.end_object();
+
+  std::ofstream out(path);
+  out << json.str() << "\n";
 }
 
 }  // namespace
@@ -155,6 +220,7 @@ int main() {
             << " hardware_threads=" << pl::exec::hardware_threads() << "\n\n";
 
   std::vector<Run> runs;
+  pl::obs::Snapshot serial_metrics;
   for (const int threads : sweep) {
     Config config;
     config.seed = seed;
@@ -165,6 +231,9 @@ int main() {
     Fingerprint fingerprint;
     fingerprint.mix_result(result);
     runs.push_back(Run{threads, result.timings, fingerprint.value()});
+    // The serial baseline's snapshot feeds the workload block; every sweep
+    // entry holds identical metric values by the determinism contract.
+    if (threads == 0) serial_metrics = result.report.metrics;
   }
 
   bool identical = true;
@@ -205,7 +274,7 @@ int main() {
     std::cout << "(note: 1 hardware thread — speedups are bounded by the "
                  "machine, not the sharding)\n";
 
-  write_json(out_path, scale, seed, runs, identical);
+  write_json(out_path, scale, seed, runs, identical, serial_metrics);
   std::cout << "wrote " << out_path << "\n";
   return identical ? 0 : 1;
 }

@@ -8,10 +8,14 @@
 //   PL_THREADS      worker threads for the parallel stages (0 = serial)
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "joint/birdseye.hpp"
 #include "joint/outside.hpp"
@@ -92,6 +96,124 @@ inline void print_banner(const std::string& artifact,
                "ASN Allocations vs. BGP', IMC '21; synthetic world, shapes "
                "comparable, absolute numbers scale with PL_BENCH_SCALE)\n\n";
 }
+
+/// Minimal JSON emitter for the machine-readable bench artifacts
+/// (BENCH_*.json). Tracks nesting and comma placement so callers never
+/// hand-place separators; `pretty` adds two-space-indented newlines. Keys
+/// and string values are escaped per RFC 8259 (the artifacts are re-parsed
+/// by obs::from_json-style tooling and by the dashboards).
+class JsonWriter {
+ public:
+  explicit JsonWriter(bool pretty = true) : pretty_(pretty) {}
+
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(std::string_view name) {
+    element();
+    quote(name);
+    out_ += ": ";
+    after_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    element();
+    quote(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(std::int64_t v) {
+    element();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::uint64_t v) {
+    element();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    element();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double v, int decimals = 3) {
+    element();
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, v);
+    out_ += buffer;
+    return *this;
+  }
+
+  /// The finished document (call after the outermost container closes).
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  JsonWriter& open(char bracket) {
+    element();
+    out_ += bracket;
+    first_.push_back(true);
+    return *this;
+  }
+
+  JsonWriter& close(char bracket) {
+    const bool was_empty = first_.back();
+    first_.pop_back();
+    if (pretty_ && !was_empty) {
+      out_ += '\n';
+      out_.append(2 * first_.size(), ' ');
+    }
+    out_ += bracket;
+    return *this;
+  }
+
+  /// Comma/indent bookkeeping before every element (key, value, or nested
+  /// container start). A value directly after `key()` attaches in place.
+  void element() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (first_.empty()) return;
+    if (!first_.back()) out_ += ',';
+    first_.back() = false;
+    if (pretty_) {
+      out_ += '\n';
+      out_.append(2 * first_.size(), ' ');
+    }
+  }
+
+  void quote(std::string_view text) {
+    out_ += '"';
+    for (const char c : text) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out_ += buffer;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  bool pretty_;
+  bool after_key_ = false;
+  std::string out_;
+  std::vector<bool> first_;  ///< per open container: no elements yet
+};
 
 /// Down-sample a daily series to at most `points` + 1 values for
 /// sparklines. The stride rounds up so long series cannot overshoot the

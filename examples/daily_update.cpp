@@ -10,10 +10,34 @@
 
 #include "bgpsim/route_gen.hpp"
 #include "joint/taxonomy.hpp"
+#include "obs/metrics.hpp"
 #include "restore/pipeline.hpp"
 #include "rirsim/inject.hpp"
 #include "rirsim/world.hpp"
+#include "robust/error.hpp"
 #include "util/strings.hpp"
+
+namespace {
+
+/// The operator's dashboard view: publish every restorer's §3.1 ledger and
+/// the merged fault books into a fresh registry, then read the aggregates
+/// back off the snapshot (counter_sum folds the per-registry labels) — the
+/// same numbers a Prometheus scrape of a live deployment would chart.
+pl::obs::Snapshot census(
+    const std::vector<pl::restore::StreamingRestorer>& restorers,
+    const std::array<pl::robust::ErrorSink, pl::asn::kRirCount>& sinks) {
+  pl::obs::Registry registry;
+  for (std::size_t r = 0; r < restorers.size(); ++r)
+    pl::restore::record_metrics(restorers[r].report(), pl::asn::kAllRirs[r],
+                                registry);
+  pl::robust::RobustnessReport faults;
+  for (const pl::robust::ErrorSink& sink : sinks)
+    faults.merge(sink.counters());
+  pl::robust::record_metrics(faults, registry);
+  return registry.snapshot();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pl;
@@ -35,12 +59,14 @@ int main(int argc, char** argv) {
   const rirsim::SimulatedArchive archive(truth, injector);
 
   // One streaming restorer per registry, fed day by day — exactly what a
-  // cron job tailing the RIR FTP sites would do.
+  // cron job tailing the RIR FTP sites would do. Each gets its own error
+  // sink so the fault books survive checkpoint/resume cycles.
+  std::array<robust::ErrorSink, asn::kRirCount> sinks;
   std::vector<restore::StreamingRestorer> restorers;
   std::array<std::unique_ptr<dele::ArchiveStream>, asn::kRirCount> streams;
   for (asn::Rir rir : asn::kAllRirs) {
     restorers.emplace_back(rir, restore::RestoreConfig{}, &truth.erx,
-                           &op_world.activity);
+                           &op_world.activity, &sinks[asn::index_of(rir)]);
     streams[asn::index_of(rir)] = archive.stream(rir);
   }
 
@@ -59,8 +85,6 @@ int main(int argc, char** argv) {
     if (next_checkpoint < std::size(checkpoints) &&
         day == checkpoints[next_checkpoint]) {
       ++next_checkpoint;
-      std::int64_t recovered = 0;
-      std::int64_t missing = 0;
       std::size_t blob_bytes = 0;
       // Checkpoint: serialize every restorer and resume from the blobs, as
       // a crash-restarted deployment would (a real one writes the blobs to
@@ -70,19 +94,26 @@ int main(int argc, char** argv) {
         const std::string blob = restorers[r].checkpoint();
         blob_bytes += blob.size();
         auto resumed = restore::StreamingRestorer::from_checkpoint(
-            blob, restore::RestoreConfig{}, &truth.erx, &op_world.activity);
+            blob, restore::RestoreConfig{}, &truth.erx, &op_world.activity,
+            &sinks[r]);
         if (!resumed) {
           std::cerr << "checkpoint resume failed for registry " << r << "\n";
           return 1;
         }
         restorers[r] = std::move(*resumed);
-        recovered += restorers[r].report().recovered_from_regular;
-        missing += restorers[r].report().files_missing;
       }
+      // Fault/recovery counts come off the metrics snapshot, not the raw
+      // report structs — the aggregation over registries is one
+      // counter_sum instead of a hand-rolled loop per field.
+      const obs::Snapshot metrics = census(restorers, sinks);
       std::cout << util::format_iso(day) << ": "
                 << restorers[0].report().days_processed
-                << " days ingested, " << util::with_commas(missing)
-                << " missing files bridged, " << util::with_commas(recovered)
+                << " days ingested, "
+                << util::with_commas(
+                       metrics.counter_sum("pl_restore_files_missing"))
+                << " missing files bridged, "
+                << util::with_commas(metrics.counter_sum(
+                       "pl_restore_recovered_from_regular"))
                 << " records recovered from regular files so far"
                 << " (checkpointed+resumed, "
                 << util::with_commas(static_cast<std::int64_t>(blob_bytes))
@@ -115,6 +146,29 @@ int main(int argc, char** argv) {
             << util::with_commas(taxonomy.admin_counts[1]) << " / "
             << util::with_commas(taxonomy.admin_counts[2])
             << " (complete/partial/unused)\n";
+
+  // Closing fault/recovery books, read the way a monitoring stack would.
+  obs::Registry final_registry;
+  for (std::size_t r = 0; r < restored.registries.size(); ++r)
+    restore::record_metrics(restored.registries[r], final_registry);
+  robust::RobustnessReport faults;
+  for (const robust::ErrorSink& sink : sinks) faults.merge(sink.counters());
+  robust::record_metrics(faults, final_registry);
+  const obs::Snapshot metrics = final_registry.snapshot();
+  std::cout << "robustness: "
+            << util::with_commas(
+                   metrics.counter_sum("pl_fault_diagnostics"))
+            << " diagnostics, "
+            << util::with_commas(metrics.counter_sum(
+                   "pl_restore_days_quarantined_duplicate") +
+                   metrics.counter_sum("pl_restore_days_quarantined_late"))
+            << " days quarantined, "
+            << util::with_commas(metrics.counter_sum(
+                   "pl_restore_recovered_from_regular"))
+            << " records recovered, "
+            << util::with_commas(
+                   metrics.counter_sum("pl_checkpoint_failures"))
+            << " checkpoint failures\n";
   std::cout << "daily_update OK\n";
   return 0;
 }

@@ -4,17 +4,19 @@
 //   admin lifetimes; behaviour plans -> BGP activity -> op lifetimes;
 //   joint taxonomy -> headline numbers.
 //
+// One call into pipeline::run_simulated runs the same stage wiring the
+// tests, benches, and deployments share — the example only prints the
+// result. The run is fully instrumented: set PL_TRACE=run.json (and/or
+// PL_PROM=run.prom) to dump the span tree + metrics snapshot.
+//
 // Run:  ./quickstart [scale] [seed]
+//       PL_TRACE=run.json ./quickstart
 #include <cstdlib>
 #include <iostream>
 
-#include "bgpsim/route_gen.hpp"
-#include "joint/taxonomy.hpp"
 #include "lifetimes/dataset_io.hpp"
 #include "lifetimes/sensitivity.hpp"
-#include "restore/pipeline.hpp"
-#include "rirsim/inject.hpp"
-#include "rirsim/world.hpp"
+#include "pipeline/pipeline.hpp"
 #include "util/strings.hpp"
 
 int main(int argc, char** argv) {
@@ -26,9 +28,12 @@ int main(int argc, char** argv) {
 
   std::cout << "building world (scale=" << scale << ", seed=" << seed
             << ")...\n";
-  rirsim::WorldConfig world_config = rirsim::WorldConfig::test_scale(seed,
-                                                                     scale);
-  const rirsim::GroundTruth truth = rirsim::build_world(world_config);
+  pipeline::Config config;
+  config.seed = seed;
+  config.scale = scale;
+  const pipeline::Result result = pipeline::run_simulated(config);
+
+  const rirsim::GroundTruth& truth = result.truth;
   std::cout << "  ground truth: " << util::with_commas(
       static_cast<std::int64_t>(truth.lives.size()))
             << " admin lives, "
@@ -38,14 +43,7 @@ int main(int argc, char** argv) {
             << util::with_commas(static_cast<std::int64_t>(truth.orgs.size()))
             << " orgs\n";
 
-  // Operational dimension.
-  bgpsim::OpWorldConfig op_config;
-  op_config.behavior.seed = seed + 1;
-  op_config.attacks.seed = seed + 2;
-  op_config.attacks.scale = scale;
-  op_config.misconfigs.seed = seed + 3;
-  op_config.misconfigs.scale = scale;
-  const bgpsim::OpWorld op_world = bgpsim::build_op_world(truth, op_config);
+  const bgpsim::OpWorld& op_world = result.op_world;
   std::cout << "  op world: "
             << util::with_commas(static_cast<std::int64_t>(
                    op_world.behavior.plans.size()))
@@ -57,21 +55,7 @@ int main(int argc, char** argv) {
                    op_world.misconfigs.events.size()))
             << " misconfig events\n";
 
-  // Delegation archive with injected defects, then restoration.
-  rirsim::InjectorConfig injector;
-  injector.seed = seed + 4;
-  injector.scale = scale;
-  const rirsim::SimulatedArchive archive(truth, injector);
-
-  restore::RestoreConfig restore_config;
-  std::array<std::unique_ptr<dele::ArchiveStream>, asn::kRirCount> streams;
-  for (asn::Rir rir : asn::kAllRirs)
-    streams[asn::index_of(rir)] = archive.stream(rir);
-  const restore::RestoredArchive restored = restore::restore_archive(
-      std::move(streams), restore_config, &truth.erx,
-      [&](asn::Asn a) { return truth.iana.owner(a); }, truth.archive_begin,
-      &op_world.activity);
-
+  const restore::RestoredArchive& restored = result.restored;
   for (asn::Rir rir : asn::kAllRirs) {
     const auto& report = restored.registry(rir).report;
     std::cout << "  restored " << asn::display_name(rir) << ": "
@@ -86,11 +70,8 @@ int main(int argc, char** argv) {
             << restored.cross.mistaken_spans_removed
             << " mistaken spans removed\n";
 
-  // Lifetimes.
-  const lifetimes::AdminDataset admin =
-      lifetimes::build_admin_lifetimes(restored, truth.archive_end);
-  const lifetimes::OpDataset op =
-      lifetimes::build_op_lifetimes(op_world.activity);
+  const lifetimes::AdminDataset& admin = result.admin;
+  const lifetimes::OpDataset& op = result.op;
   std::cout << "  admin dataset: "
             << util::with_commas(static_cast<std::int64_t>(
                    admin.lifetimes.size()))
@@ -116,7 +97,7 @@ int main(int argc, char** argv) {
   }
 
   // Joint taxonomy (Table 3).
-  const joint::Taxonomy taxonomy = joint::classify(admin, op);
+  const joint::Taxonomy& taxonomy = result.taxonomy;
   std::cout << "\n  taxonomy (admin lives):\n";
   const char* labels[] = {"complete overlap", "partial overlap",
                           "unused admin", "outside delegation"};
@@ -136,6 +117,18 @@ int main(int argc, char** argv) {
             << " of activity gaps and " << util::percent(
                    choice.one_or_less_fraction)
             << " of admin lives with <=1 op life\n";
+
+  // Observability report: stage tree + metrics travel with the result.
+  std::cout << "\n  observability: "
+            << result.report.metrics.counters.size() << " counters, "
+            << result.report.metrics.gauges.size() << " gauges, "
+            << result.report.metrics.histograms.size() << " histograms; "
+            << "restore stage " << result.timings.restore_ms << " ms of "
+            << result.timings.total_ms << " ms total\n";
+  if (std::getenv("PL_TRACE") == nullptr &&
+      std::getenv("PL_PROM") == nullptr)
+    std::cout << "  (PL_TRACE=run.json dumps the span tree + metrics as "
+                 "JSON; PL_PROM=run.prom the Prometheus text format)\n";
 
   std::cout << "\nquickstart OK\n";
   return 0;

@@ -112,6 +112,25 @@ std::int64_t VisibilityAggregator::single_peer_pairs() const noexcept {
   return count;
 }
 
+void record_metrics(const ActivityTable& table, obs::Registry& metrics) {
+  metrics.gauge("pl_bgp_active_asns")
+      .set(static_cast<std::int64_t>(table.asn_count()));
+  obs::Counter& asn_days = metrics.counter("pl_bgp_active_asn_days");
+  obs::Histogram& per_asn = metrics.histogram(
+      "pl_bgp_active_days_per_asn", {30, 90, 365, 1825, 3650});
+  for (const auto& [asn, days] : table.entries()) {
+    const std::int64_t total = days.total_days();
+    asn_days.add(total);
+    per_asn.observe(total);
+  }
+}
+
+void record_metrics(const VisibilityAggregator& aggregator,
+                    obs::Registry& metrics) {
+  metrics.counter("pl_bgp_single_peer_pairs")
+      .add(aggregator.single_peer_pairs());
+}
+
 void OriginationTracker::set_watchlist(std::vector<asn::Asn> asns) {
   watchlist_.clear();
   for (const asn::Asn asn : asns) watchlist_.insert(asn.value);

@@ -17,6 +17,7 @@
 
 #include "asn/asn.hpp"
 #include "bgp/element.hpp"
+#include "obs/metrics.hpp"
 #include "util/interval_set.hpp"
 
 namespace pl::bgp {
@@ -56,6 +57,10 @@ class ActivityTable {
   std::map<asn::Asn, util::IntervalSet> activity_;
 };
 
+/// Publish the activity census (active ASNs, total active ASN-days, and the
+/// active-days-per-ASN distribution) into the metrics registry.
+void record_metrics(const ActivityTable& table, obs::Registry& metrics);
+
 /// Applies the >1-peer visibility rule to a stream of sanitized elements.
 /// Every ASN appearing in a path is "observed" by the element's peer; an
 /// (ASN, day) pair becomes *active* once two distinct peer ASes observed it.
@@ -92,6 +97,11 @@ class VisibilityAggregator {
   std::unordered_map<std::uint64_t, PeerSeen> seen_;
   std::unordered_map<std::uint64_t, std::pair<asn::Asn, util::Day>> keys_;
 };
+
+/// Publish the §3.2 visibility-rule rejection count (single-peer sightings
+/// the >1-peer rule filtered out).
+void record_metrics(const VisibilityAggregator& aggregator,
+                    obs::Registry& metrics);
 
 /// Tracks distinct prefixes originated per (ASN, day) — the series behind
 /// the squatting case studies (paper Fig. 8). Optionally restricted to a

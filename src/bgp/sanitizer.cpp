@@ -13,6 +13,20 @@ std::string_view reject_reason_name(RejectReason reason) noexcept {
   return "unknown";
 }
 
+void record_metrics(const SanitizeStats& stats, obs::Registry& metrics) {
+  metrics.counter("pl_bgp_sanitizer_accepted").add(stats.accepted);
+  const auto drop = [&](std::string_view reason, std::int64_t value) {
+    metrics
+        .counter("pl_bgp_sanitizer_dropped{reason=\"" + std::string(reason) +
+                 "\"}")
+        .add(value);
+  };
+  drop("prefix_too_long", stats.prefix_too_long);
+  drop("prefix_too_short", stats.prefix_too_short);
+  drop("path_loop", stats.path_loops);
+  drop("empty_path", stats.empty_paths);
+}
+
 RejectReason Sanitizer::classify(const Element& element) const noexcept {
   if (element.type == ElementType::kWithdrawal || element.path.empty())
     return RejectReason::kEmptyPath;

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "bgp/element.hpp"
+#include "obs/metrics.hpp"
 
 namespace pl::bgp {
 
@@ -37,6 +38,10 @@ struct SanitizeStats {
            empty_paths;
   }
 };
+
+/// Publish the §3.2 filter accounting: accepted elements plus one
+/// `pl_bgp_sanitizer_dropped{reason="..."}` counter per discard class.
+void record_metrics(const SanitizeStats& stats, obs::Registry& metrics);
 
 /// Sanitization policy. The bounds are the paper's; configurable so the
 /// sensitivity of results to the filter can be explored.

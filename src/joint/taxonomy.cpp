@@ -125,4 +125,26 @@ OutsideSplit split_outside(const Taxonomy& taxonomy,
   return split;
 }
 
+void record_metrics(const Taxonomy& taxonomy, obs::Registry& metrics) {
+  const auto tally = [&](std::string_view side, std::string_view cls,
+                         Category category,
+                         const std::array<std::int64_t, 4>& counts) {
+    metrics
+        .counter("pl_taxonomy_" + std::string(side) + "{class=\"" +
+                 std::string(cls) + "\"}")
+        .add(counts[static_cast<std::size_t>(category)]);
+  };
+  tally("admin", "complete_overlap", Category::kCompleteOverlap,
+        taxonomy.admin_counts);
+  tally("admin", "partial_overlap", Category::kPartialOverlap,
+        taxonomy.admin_counts);
+  tally("admin", "unused", Category::kUnused, taxonomy.admin_counts);
+  tally("op", "complete_overlap", Category::kCompleteOverlap,
+        taxonomy.op_counts);
+  tally("op", "partial_overlap", Category::kPartialOverlap,
+        taxonomy.op_counts);
+  tally("op", "outside_delegation", Category::kOutsideDelegation,
+        taxonomy.op_counts);
+}
+
 }  // namespace pl::joint

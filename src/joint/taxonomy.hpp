@@ -65,4 +65,9 @@ OutsideSplit split_outside(const Taxonomy& taxonomy,
                            const lifetimes::AdminDataset& admin,
                            const lifetimes::OpDataset& op);
 
+/// Publish the Table 3 class tallies: one
+/// `pl_taxonomy_admin{class="..."}` / `pl_taxonomy_op{class="..."}`
+/// counter per category that can occur on that side.
+void record_metrics(const Taxonomy& taxonomy, obs::Registry& metrics);
+
 }  // namespace pl::joint

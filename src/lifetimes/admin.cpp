@@ -243,4 +243,20 @@ AdminDataset build_admin_lifetimes(const restore::RestoredArchive& archive,
   return dataset;
 }
 
+void record_metrics(const AdminDataset& dataset, obs::Registry& metrics) {
+  metrics.counter("pl_admin_lifetimes")
+      .add(static_cast<std::int64_t>(dataset.lifetimes.size()));
+  metrics.gauge("pl_admin_asns")
+      .set(static_cast<std::int64_t>(dataset.asn_count()));
+  obs::Counter& open_ended = metrics.counter("pl_admin_open_ended");
+  obs::Counter& transferred = metrics.counter("pl_admin_transferred");
+  obs::Histogram& duration = metrics.histogram(
+      "pl_admin_duration_days", {30, 90, 365, 1825, 3650, 7300});
+  for (const AdminLifetime& life : dataset.lifetimes) {
+    if (life.open_ended) open_ended.add(1);
+    if (life.transferred) transferred.add(1);
+    duration.observe(life.days.length());
+  }
+}
+
 }  // namespace pl::lifetimes

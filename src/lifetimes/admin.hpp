@@ -16,6 +16,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "restore/types.hpp"
 
 namespace pl::lifetimes {
@@ -52,5 +53,10 @@ struct AdminDataset {
 AdminDataset build_admin_lifetimes(const restore::RestoredArchive& archive,
                                    util::Day archive_end,
                                    const AdminBuildConfig& config = {});
+
+/// Publish the admin-dataset census (lifetime/ASN totals, open-ended and
+/// transferred counts, the duration distribution) into the metrics
+/// registry.
+void record_metrics(const AdminDataset& dataset, obs::Registry& metrics);
 
 }  // namespace pl::lifetimes

@@ -37,4 +37,15 @@ OpDataset build_op_lifetimes(const bgp::ActivityTable& activity,
   return dataset;
 }
 
+void record_metrics(const OpDataset& dataset, obs::Registry& metrics) {
+  metrics.counter("pl_op_lifetimes")
+      .add(static_cast<std::int64_t>(dataset.lifetimes.size()));
+  metrics.gauge("pl_op_asns")
+      .set(static_cast<std::int64_t>(dataset.asn_count()));
+  obs::Histogram& duration = metrics.histogram(
+      "pl_op_duration_days", {30, 90, 365, 1825, 3650, 7300});
+  for (const OpLifetime& life : dataset.lifetimes)
+    duration.observe(life.days.length());
+}
+
 }  // namespace pl::lifetimes

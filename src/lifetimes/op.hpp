@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bgp/activity.hpp"
+#include "obs/metrics.hpp"
 #include "util/interval.hpp"
 
 namespace pl::lifetimes {
@@ -30,5 +31,9 @@ struct OpDataset {
 /// Coalesce activity runs into lifetimes using `timeout_days`.
 OpDataset build_op_lifetimes(const bgp::ActivityTable& activity,
                              int timeout_days = kPaperTimeoutDays);
+
+/// Publish the op-dataset census (lifetime/ASN totals and the duration
+/// distribution) into the metrics registry.
+void record_metrics(const OpDataset& dataset, obs::Registry& metrics);
 
 }  // namespace pl::lifetimes

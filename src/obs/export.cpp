@@ -1,0 +1,472 @@
+#include "obs/export.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace pl::obs {
+
+namespace {
+
+// ---- JSON emission.
+
+void append_escaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double value) {
+  char buffer[32];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof buffer, value);
+  out.append(buffer, ec == std::errc() ? end : buffer);
+}
+
+void append_node(std::string& out, const TraceNode& node) {
+  out += "{\"name\":";
+  append_escaped(out, node.name);
+  out += ",\"start_ms\":";
+  append_double(out, node.start_ms);
+  out += ",\"elapsed_ms\":";
+  append_double(out, node.elapsed_ms);
+  out += ",\"notes\":{";
+  for (std::size_t i = 0; i < node.notes.size(); ++i) {
+    if (i > 0) out += ',';
+    append_escaped(out, node.notes[i].first);
+    out += ':';
+    out += std::to_string(node.notes[i].second);
+  }
+  out += "},\"children\":[";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) out += ',';
+    append_node(out, node.children[i]);
+  }
+  out += "]}";
+}
+
+template <typename Map>
+void append_int_map(std::string& out, const Map& map) {
+  out += '{';
+  bool first = true;
+  for (const auto& [name, value] : map) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += '}';
+}
+
+void append_int_array(std::string& out,
+                      const std::vector<std::int64_t>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  out += ']';
+}
+
+// ---- JSON parsing (the `pl-obs/1` subset emitted above: objects, arrays,
+// escaped strings, integers, and to_chars doubles).
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool ok() const noexcept { return ok_; }
+
+  void fail() noexcept { ok_ = false; }
+
+  void skip_ws() noexcept {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume(char c) noexcept {
+    skip_ws();
+    if (!ok_ || pos_ >= text_.size() || text_[pos_] != c) {
+      ok_ = false;
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  /// True (and consumes) iff the next non-ws char is `c`.
+  bool peek_consume(char c) noexcept {
+    skip_ws();
+    if (ok_ && pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string() {
+    std::string out;
+    if (!consume('"')) return out;
+    while (ok_ && pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          ok_ = false;
+          break;
+        }
+        const char escape = text_[pos_++];
+        switch (escape) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              ok_ = false;
+              break;
+            }
+            unsigned code = 0;
+            const auto [end, ec] = std::from_chars(
+                text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+            if (ec != std::errc() || end != text_.data() + pos_ + 4) {
+              ok_ = false;
+              break;
+            }
+            pos_ += 4;
+            c = static_cast<char>(code);  // pl names are ASCII
+            break;
+          }
+          default: ok_ = false;
+        }
+      }
+      if (ok_) out += c;
+    }
+    consume('"');
+    return out;
+  }
+
+  std::int64_t integer() noexcept {
+    skip_ws();
+    std::int64_t value = 0;
+    const auto [end, ec] = std::from_chars(
+        text_.data() + pos_, text_.data() + text_.size(), value);
+    if (ec != std::errc()) {
+      ok_ = false;
+      return 0;
+    }
+    pos_ = static_cast<std::size_t>(end - text_.data());
+    return value;
+  }
+
+  double number() noexcept {
+    skip_ws();
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) {
+      ok_ = false;
+      return 0;
+    }
+    pos_ = static_cast<std::size_t>(end - text_.data());
+    return value;
+  }
+
+  bool at_end() noexcept {
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// `{"name": int, ...}` into any map-like of string -> int64.
+template <typename Map>
+void parse_int_map(Parser& parser, Map& out) {
+  if (!parser.consume('{')) return;
+  if (parser.peek_consume('}')) return;
+  do {
+    std::string key = parser.string();
+    parser.consume(':');
+    const std::int64_t value = parser.integer();
+    if (parser.ok()) out.emplace(std::move(key), value);
+  } while (parser.peek_consume(','));
+  parser.consume('}');
+}
+
+void parse_int_array(Parser& parser, std::vector<std::int64_t>& out) {
+  if (!parser.consume('[')) return;
+  if (parser.peek_consume(']')) return;
+  do {
+    out.push_back(parser.integer());
+  } while (parser.peek_consume(','));
+  parser.consume(']');
+}
+
+TraceNode parse_node(Parser& parser, int depth) {
+  TraceNode node;
+  if (depth > 64) {  // defend against pathological nesting
+    parser.fail();
+    return node;
+  }
+  if (!parser.consume('{')) return node;
+  if (parser.peek_consume('}')) return node;
+  do {
+    const std::string key = parser.string();
+    parser.consume(':');
+    if (key == "name") {
+      node.name = parser.string();
+    } else if (key == "start_ms") {
+      node.start_ms = parser.number();
+    } else if (key == "elapsed_ms") {
+      node.elapsed_ms = parser.number();
+    } else if (key == "notes") {
+      std::map<std::string, std::int64_t> notes;
+      parse_int_map(parser, notes);
+      node.notes.assign(notes.begin(), notes.end());
+    } else if (key == "children") {
+      if (!parser.consume('[')) return node;
+      if (!parser.peek_consume(']')) {
+        do {
+          node.children.push_back(parse_node(parser, depth + 1));
+        } while (parser.peek_consume(','));
+        parser.consume(']');
+      }
+    } else {
+      parser.fail();
+    }
+  } while (parser.peek_consume(','));
+  parser.consume('}');
+  return node;
+}
+
+HistogramSnapshot parse_histogram(Parser& parser) {
+  HistogramSnapshot histogram;
+  if (!parser.consume('{')) return histogram;
+  if (parser.peek_consume('}')) return histogram;
+  do {
+    const std::string key = parser.string();
+    parser.consume(':');
+    if (key == "bounds") {
+      parse_int_array(parser, histogram.bounds);
+    } else if (key == "buckets") {
+      parse_int_array(parser, histogram.buckets);
+    } else if (key == "count") {
+      histogram.count = parser.integer();
+    } else if (key == "sum") {
+      histogram.sum = parser.integer();
+    } else {
+      parser.fail();
+    }
+  } while (parser.peek_consume(','));
+  parser.consume('}');
+  return histogram;
+}
+
+Snapshot parse_metrics(Parser& parser) {
+  Snapshot metrics;
+  if (!parser.consume('{')) return metrics;
+  if (parser.peek_consume('}')) return metrics;
+  do {
+    const std::string key = parser.string();
+    parser.consume(':');
+    if (key == "counters") {
+      parse_int_map(parser, metrics.counters);
+    } else if (key == "gauges") {
+      parse_int_map(parser, metrics.gauges);
+    } else if (key == "histograms") {
+      if (!parser.consume('{')) return metrics;
+      if (!parser.peek_consume('}')) {
+        do {
+          std::string name = parser.string();
+          parser.consume(':');
+          metrics.histograms.emplace(std::move(name),
+                                     parse_histogram(parser));
+        } while (parser.peek_consume(','));
+        parser.consume('}');
+      }
+    } else {
+      parser.fail();
+    }
+  } while (parser.peek_consume(','));
+  parser.consume('}');
+  return metrics;
+}
+
+// ---- Prometheus helpers.
+
+/// Split `name{label="x"}` into (base, labels-with-braces-or-empty).
+std::pair<std::string_view, std::string_view> split_labels(
+    std::string_view name) noexcept {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos) return {name, {}};
+  return {name.substr(0, brace), name.substr(brace)};
+}
+
+void append_type_line(std::string& out, std::string_view base,
+                      std::string_view type, std::string& last_base) {
+  if (base == last_base) return;
+  last_base.assign(base);
+  out += "# TYPE ";
+  out += base;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string to_json(const Report& report) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"schema\":\"pl-obs/1\",\"trace\":";
+  append_node(out, report.trace);
+  out += ",\"metrics\":{\"counters\":";
+  append_int_map(out, report.metrics.counters);
+  out += ",\"gauges\":";
+  append_int_map(out, report.metrics.gauges);
+  out += ",\"histograms\":{";
+  bool first = true;
+  for (const auto& [name, histogram] : report.metrics.histograms) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ":{\"bounds\":";
+    append_int_array(out, histogram.bounds);
+    out += ",\"buckets\":";
+    append_int_array(out, histogram.buckets);
+    out += ",\"count\":";
+    out += std::to_string(histogram.count);
+    out += ",\"sum\":";
+    out += std::to_string(histogram.sum);
+    out += '}';
+  }
+  out += "}}}";
+  return out;
+}
+
+std::optional<Report> from_json(std::string_view json) {
+  Parser parser(json);
+  Report report;
+  bool schema_ok = false;
+  if (!parser.consume('{')) return std::nullopt;
+  if (!parser.peek_consume('}')) {
+    do {
+      const std::string key = parser.string();
+      parser.consume(':');
+      if (key == "schema") {
+        schema_ok = parser.string() == "pl-obs/1";
+      } else if (key == "trace") {
+        report.trace = parse_node(parser, 0);
+      } else if (key == "metrics") {
+        report.metrics = parse_metrics(parser);
+      } else {
+        parser.fail();
+      }
+    } while (parser.peek_consume(','));
+    parser.consume('}');
+  }
+  if (!parser.ok() || !parser.at_end() || !schema_ok) return std::nullopt;
+  return report;
+}
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  std::string last_base;
+  for (const auto& [name, value] : snapshot.counters) {
+    const auto [base, labels] = split_labels(name);
+    append_type_line(out, base, "counter", last_base);
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  last_base.clear();
+  for (const auto& [name, value] : snapshot.gauges) {
+    const auto [base, labels] = split_labels(name);
+    append_type_line(out, base, "gauge", last_base);
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    const auto [base, labels] = split_labels(name);
+    out += "# TYPE ";
+    out += base;
+    out += " histogram\n";
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < histogram.buckets.size(); ++i) {
+      cumulative += histogram.buckets[i];
+      out += base;
+      out += "_bucket{le=\"";
+      if (i < histogram.bounds.size())
+        out += std::to_string(histogram.bounds[i]);
+      else
+        out += "+Inf";
+      out += "\"} ";
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    out += base;
+    out += "_sum ";
+    out += std::to_string(histogram.sum);
+    out += '\n';
+    out += base;
+    out += "_count ";
+    out += std::to_string(histogram.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::map<std::string, std::int64_t> parse_prometheus_samples(
+    std::string_view text) {
+  std::map<std::string, std::int64_t> samples;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line.front() == '#') continue;
+    // The name may contain spaces only inside a label block; the value is
+    // the suffix after the last space.
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string_view::npos) continue;
+    std::int64_t value = 0;
+    const auto [parse_end, ec] = std::from_chars(
+        line.data() + space + 1, line.data() + line.size(), value);
+    if (ec != std::errc() || parse_end != line.data() + line.size()) continue;
+    samples.emplace(std::string(line.substr(0, space)), value);
+  }
+  return samples;
+}
+
+}  // namespace pl::obs

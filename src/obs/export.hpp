@@ -1,0 +1,46 @@
+// Exporters for the observability layer: one JSON document carrying the
+// trace tree plus the metrics snapshot (schema `pl-obs/1`, re-parseable via
+// `from_json` so reports round-trip losslessly), and the Prometheus text
+// exposition format for scrape endpoints.
+//
+// Prometheus format notes: metric names may embed a label block
+// (`name{key="value"}`); the exporter splits the base name for `# TYPE`
+// lines and emits histograms as the standard cumulative `_bucket{le=...}` /
+// `_sum` / `_count` triple. `parse_prometheus_samples` reads sample lines
+// back into a name -> value map — enough for the round-trip tests and for
+// scrape-side diffing.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace pl::obs {
+
+/// One run's structured observability report: the span tree plus every
+/// metric value. `pipeline::Result::report` carries one of these.
+struct Report {
+  TraceNode trace;
+  Snapshot metrics;
+};
+
+/// Serialize trace + metrics as one JSON document (schema `pl-obs/1`).
+std::string to_json(const Report& report);
+
+/// Parse a `pl-obs/1` document back. nullopt on malformed input or an
+/// unknown schema.
+std::optional<Report> from_json(std::string_view json);
+
+/// Prometheus text exposition of the metrics snapshot.
+std::string to_prometheus(const Snapshot& snapshot);
+
+/// Parse Prometheus text back into sample name -> integer value (comment
+/// lines are skipped; all pl metrics are integer-valued by construction).
+std::map<std::string, std::int64_t> parse_prometheus_samples(
+    std::string_view text);
+
+}  // namespace pl::obs

@@ -1,22 +1,89 @@
 #include "pipeline/pipeline.hpp"
 
-#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <optional>
+#include <utility>
 
 #include "exec/pool.hpp"
+#include "obs/export.hpp"
+#include "obs/span.hpp"
 
 namespace pl::pipeline {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+/// Resolve an output path: explicit config wins, else the environment
+/// variable, else disabled (empty).
+std::string resolve_path(const std::string& configured, const char* env) {
+  if (!configured.empty()) return configured;
+  const char* value = std::getenv(env);
+  return value == nullptr ? std::string() : std::string(value);
+}
 
-double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  if (!out)
+    std::cerr << "pl::pipeline: failed to write report to " << path << '\n';
+}
+
+/// Per-registry restoration substages: the §3.1 sanitization-step ledger
+/// and the ingestion-guard ledger, as children of the registry span. Runs
+/// on the restore worker that owns the span — every Span operation locks
+/// the Trace, so this is safe alongside sibling shards.
+void annotate_registry_span(obs::Span& span,
+                            const restore::RestoredRegistry& registry) {
+  const restore::RestorationReport& report = registry.report;
+  {
+    obs::Span sanitization = span.child("sanitization");
+    sanitization.note("days_processed", report.days_processed);
+    sanitization.note("files_missing", report.files_missing);
+    sanitization.note("files_corrupt", report.files_corrupt);
+    sanitization.note("gap_filled_days", report.gap_filled_days);
+    sanitization.note("recovered_from_regular", report.recovered_from_regular);
+    sanitization.note("newest_conflict_days", report.newest_conflict_days);
+    sanitization.note("duplicates_resolved", report.duplicates_resolved);
+    sanitization.note("future_dates_fixed", report.future_dates_fixed);
+    sanitization.note("placeholder_dates_restored",
+                      report.placeholder_dates_restored);
+    sanitization.note("grace_expired_drops", report.grace_expired_drops);
+  }
+  {
+    obs::Span ingest = span.child("ingest");
+    ingest.note("days_quarantined_duplicate",
+                report.days_quarantined_duplicate);
+    ingest.note("days_quarantined_late", report.days_quarantined_late);
+    ingest.note("days_reorder_recovered", report.days_reorder_recovered);
+    ingest.note("misuse_calls", report.misuse_calls);
+  }
+  std::int64_t spans = 0;
+  for (const auto& [asn, list] : registry.spans)
+    spans += static_cast<std::int64_t>(list.size());
+  span.note("asns", static_cast<std::int64_t>(registry.spans.size()));
+  span.note("spans", spans);
 }
 
 }  // namespace
+
+StageTimings timings_from_trace(const obs::TraceNode& root) {
+  StageTimings timings;
+  const auto stage_ms = [&root](std::string_view name) {
+    const obs::TraceNode* node = root.child(name);
+    return node == nullptr ? 0.0 : node->elapsed_ms;
+  };
+  timings.world_ms = stage_ms("world");
+  timings.op_world_ms = stage_ms("op_world");
+  timings.render_ms = stage_ms("render");
+  timings.restore_ms = stage_ms("restore");
+  timings.admin_ms = stage_ms("admin");
+  timings.op_ms = stage_ms("op");
+  timings.taxonomy_ms = stage_ms("taxonomy");
+  timings.total_ms = root.elapsed_ms;
+  return timings;
+}
 
 Result run_simulated(const Config& config) {
   // Pin the worker count for this run when the caller asked for one;
@@ -25,95 +92,178 @@ Result run_simulated(const Config& config) {
   if (config.threads >= 0) scoped_threads.emplace(config.threads);
 
   Result result;
-  const Clock::time_point run_start = Clock::now();
-  Clock::time_point stage_start = run_start;
+  obs::Trace trace;
+  obs::Registry metrics;
+  obs::Span run = trace.root("pipeline");
+  run.note("seed", static_cast<std::int64_t>(config.seed));
+  // Worker count is a trace note, not a metric: metric values must stay
+  // bit-identical across PL_THREADS settings, the trace merely documents
+  // how this particular run was scheduled.
+  run.note("threads", exec::current_threads());
+  run.note("chaos", config.inject_chaos ? 1 : 0);
 
   // Administrative ground truth.
-  result.truth = rirsim::build_world(
-      rirsim::WorldConfig{config.seed, config.scale,
-                          asn::archive_begin_day(), asn::archive_end_day()});
-  result.timings.world_ms = ms_since(stage_start);
+  {
+    obs::Span stage = run.child("world");
+    result.truth = rirsim::build_world(rirsim::WorldConfig{
+        config.seed, config.scale, asn::archive_begin_day(),
+        asn::archive_end_day()});
+    stage.note("lives", static_cast<std::int64_t>(result.truth.lives.size()));
+    stage.note("orgs", static_cast<std::int64_t>(result.truth.orgs.size()));
+  }
 
   // Operational dimension (behaviours, attacks, misconfigurations) — seeds
   // derived from the master seed so one knob controls the world.
-  stage_start = Clock::now();
-  bgpsim::OpWorldConfig operations = config.operations;
-  operations.behavior.seed = config.seed + 1;
-  operations.attacks.seed = config.seed + 2;
-  operations.attacks.scale = config.scale;
-  operations.misconfigs.seed = config.seed + 3;
-  operations.misconfigs.scale = config.scale;
-  result.op_world = bgpsim::build_op_world(result.truth, operations);
-  result.timings.op_world_ms = ms_since(stage_start);
+  {
+    obs::Span stage = run.child("op_world");
+    bgpsim::OpWorldConfig operations = config.operations;
+    operations.behavior.seed = config.seed + 1;
+    operations.attacks.seed = config.seed + 2;
+    operations.attacks.scale = config.scale;
+    operations.misconfigs.seed = config.seed + 3;
+    operations.misconfigs.scale = config.scale;
+    result.op_world = bgpsim::build_op_world(result.truth, operations);
+    bgp::record_metrics(result.op_world.activity, metrics);
+    stage.note("active_asns",
+               static_cast<std::int64_t>(result.op_world.activity.asn_count()));
+  }
 
   // Delegation archive with every 3.1 defect class, then restoration.
-  stage_start = Clock::now();
-  rirsim::InjectorConfig injector = config.injector;
-  injector.seed = config.seed + 4;
-  injector.scale = config.scale;
-  const rirsim::SimulatedArchive archive(result.truth, injector);
-  result.timings.render_ms = ms_since(stage_start);
+  std::optional<rirsim::SimulatedArchive> archive;
+  {
+    obs::Span stage = run.child("render");
+    rirsim::InjectorConfig injector = config.injector;
+    injector.seed = config.seed + 4;
+    injector.scale = config.scale;
+    archive.emplace(result.truth, injector);
+  }
 
-  stage_start = Clock::now();
-  const rirsim::GroundTruth& truth = result.truth;
-  const bgp::ActivityTable* hint =
-      config.bgp_hint_for_duplicates ? &result.op_world.activity : nullptr;
-  if (config.inject_chaos) {
-    // Feed each registry through the fault injector. Each shard keeps its
-    // own sink; merging them in registry order reproduces the books one
-    // shared sink would hold (the serial path fed registries in exactly
-    // that order), so the cross-registry accounting invariants still run
-    // over identical counters.
+  {
+    obs::Span restore_span = run.child("restore");
+    const rirsim::GroundTruth& truth = result.truth;
+    const bgp::ActivityTable* hint =
+        config.bgp_hint_for_duplicates ? &result.op_world.activity : nullptr;
+
+    // One shard per registry, chaos or not; the chaos path merely wraps
+    // each stream in a fault injector feeding a per-shard sink. Per-registry
+    // spans are opened serially here, then each shard annotates and closes
+    // its own — children of a span must come from the thread holding it.
+    std::array<obs::Span, asn::kRirCount> registry_spans;
+    for (std::size_t i = 0; i < asn::kRirCount; ++i)
+      registry_spans[i] = restore_span.child(
+          "registry:" + std::string(asn::file_token(asn::kAllRirs[i])));
+
     std::array<robust::ErrorSink, asn::kRirCount> shard_sinks;
     exec::parallel_for(
         asn::kRirCount,
         [&](std::size_t begin, std::size_t end) {
           for (std::size_t i = begin; i < end; ++i) {
             const asn::Rir rir = asn::kAllRirs[i];
-            robust::ChaosConfig chaos = config.chaos;
-            chaos.seed = config.chaos.seed + asn::index_of(rir);
-            robust::FaultStream stream(archive.stream(rir), chaos,
-                                       &shard_sinks[i]);
-            result.restored.registries[i] = restore::restore_registry(
-                stream, config.restore, &result.truth.erx, hint,
-                &shard_sinks[i]);
+            if (config.inject_chaos) {
+              robust::ChaosConfig chaos = config.chaos;
+              chaos.seed = config.chaos.seed + asn::index_of(rir);
+              robust::FaultStream stream(archive->stream(rir), chaos,
+                                         &shard_sinks[i]);
+              result.restored.registries[i] = restore::restore_registry(
+                  stream, config.restore, &truth.erx, hint, &shard_sinks[i]);
+            } else {
+              const std::unique_ptr<dele::ArchiveStream> stream =
+                  archive->stream(rir);
+              result.restored.registries[i] = restore::restore_registry(
+                  *stream, config.restore, &truth.erx, hint);
+            }
+            // Metrics land from inside the shard: counters are striped
+            // atomics, so concurrent publication still sums to the same
+            // values a serial run records.
+            restore::record_metrics(result.restored.registries[i], metrics);
+            annotate_registry_span(registry_spans[i],
+                                   result.restored.registries[i]);
+            registry_spans[i].finish();
           }
         },
         /*grain=*/1);
-    robust::ErrorSink sink(robust::Policy::kLenient);
-    for (const robust::ErrorSink& shard : shard_sinks) sink.merge(shard);
+
+    if (config.inject_chaos) {
+      // Merging shard sinks in registry order reproduces the books one
+      // shared sink fed serially would hold, so the cross-registry
+      // accounting invariants still run over identical counters.
+      robust::ErrorSink sink(robust::Policy::kLenient);
+      for (const robust::ErrorSink& shard : shard_sinks) sink.merge(shard);
+      result.robustness = sink.counters();
+      robust::record_metrics(result.robustness, metrics);
+    }
+
+    obs::Span reconcile = restore_span.child("reconcile");
     result.restored.cross = restore::reconcile_registries(
         result.restored.registries,
         [&truth](asn::Asn a) { return truth.iana.owner(a); }, config.restore,
         result.truth.archive_begin);
-    result.robustness = sink.counters();
-  } else {
-    std::array<std::unique_ptr<dele::ArchiveStream>, asn::kRirCount> streams;
-    for (asn::Rir rir : asn::kAllRirs)
-      streams[asn::index_of(rir)] = archive.stream(rir);
-    result.restored = restore::restore_archive(
-        std::move(streams), config.restore, &result.truth.erx,
-        [&truth](asn::Asn a) { return truth.iana.owner(a); },
-        result.truth.archive_begin, hint);
+    restore::record_metrics(result.restored.cross, metrics);
+    reconcile.note("overlapping_asns", result.restored.cross.overlapping_asns);
+    reconcile.note("stale_spans_trimmed",
+                   result.restored.cross.stale_spans_trimmed);
+    reconcile.note("mistaken_spans_removed",
+                   result.restored.cross.mistaken_spans_removed);
   }
-  result.timings.restore_ms = ms_since(stage_start);
 
   // Both lifetime datasets and the joint lens.
-  stage_start = Clock::now();
-  result.admin = lifetimes::build_admin_lifetimes(result.restored,
-                                                  result.truth.archive_end);
-  result.timings.admin_ms = ms_since(stage_start);
+  {
+    obs::Span stage = run.child("admin");
+    result.admin = lifetimes::build_admin_lifetimes(result.restored,
+                                                    result.truth.archive_end);
+    lifetimes::record_metrics(result.admin, metrics);
+    stage.note("lifetimes",
+               static_cast<std::int64_t>(result.admin.lifetimes.size()));
+    stage.note("asns", static_cast<std::int64_t>(result.admin.asn_count()));
+  }
 
-  stage_start = Clock::now();
-  result.op = lifetimes::build_op_lifetimes(result.op_world.activity,
-                                            config.op_timeout_days);
-  result.timings.op_ms = ms_since(stage_start);
+  {
+    obs::Span stage = run.child("op");
+    result.op = lifetimes::build_op_lifetimes(result.op_world.activity,
+                                              config.op_timeout_days);
+    lifetimes::record_metrics(result.op, metrics);
+    stage.note("lifetimes",
+               static_cast<std::int64_t>(result.op.lifetimes.size()));
+    stage.note("asns", static_cast<std::int64_t>(result.op.asn_count()));
+  }
 
-  stage_start = Clock::now();
-  result.taxonomy = joint::classify(result.admin, result.op);
-  result.timings.taxonomy_ms = ms_since(stage_start);
+  {
+    obs::Span stage = run.child("taxonomy");
+    result.taxonomy = joint::classify(result.admin, result.op);
+    joint::record_metrics(result.taxonomy, metrics);
+    const auto count = [&](joint::Category category, bool admin) {
+      const auto& counts =
+          admin ? result.taxonomy.admin_counts : result.taxonomy.op_counts;
+      return counts[static_cast<std::size_t>(category)];
+    };
+    obs::Span admin_classes = stage.child("admin_classes");
+    admin_classes.note("complete_overlap",
+                       count(joint::Category::kCompleteOverlap, true));
+    admin_classes.note("partial_overlap",
+                       count(joint::Category::kPartialOverlap, true));
+    admin_classes.note("unused", count(joint::Category::kUnused, true));
+    admin_classes.finish();
+    obs::Span op_classes = stage.child("op_classes");
+    op_classes.note("complete_overlap",
+                    count(joint::Category::kCompleteOverlap, false));
+    op_classes.note("partial_overlap",
+                    count(joint::Category::kPartialOverlap, false));
+    op_classes.note("outside_delegation",
+                    count(joint::Category::kOutsideDelegation, false));
+    op_classes.finish();
+  }
 
-  result.timings.total_ms = ms_since(run_start);
+  run.finish();
+  result.report.trace = trace.tree();
+  result.report.metrics = metrics.snapshot();
+  result.timings = timings_from_trace(result.report.trace);
+
+  const std::string trace_path = resolve_path(config.trace_path, "PL_TRACE");
+  if (!trace_path.empty()) write_file(trace_path, obs::to_json(result.report));
+  const std::string prom_path = resolve_path(config.prom_path, "PL_PROM");
+  if (!prom_path.empty())
+    write_file(prom_path, obs::to_prometheus(result.report.metrics));
+
   return result;
 }
 

@@ -11,11 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "bgpsim/route_gen.hpp"
 #include "joint/taxonomy.hpp"
 #include "lifetimes/admin.hpp"
 #include "lifetimes/op.hpp"
+#include "obs/export.hpp"
 #include "restore/pipeline.hpp"
 #include "rirsim/inject.hpp"
 #include "rirsim/world.hpp"
@@ -46,11 +48,22 @@ struct Config {
   /// land in Result::robustness.
   bool inject_chaos = false;
   robust::ChaosConfig chaos;
+  /// Write the JSON observability report (trace tree + metrics snapshot,
+  /// schema `pl-obs/1`) to this path after the run. Empty falls back to the
+  /// `PL_TRACE` environment variable; unset disables the dump. The report
+  /// is always available in memory as `Result::report` either way.
+  std::string trace_path;
+  /// Write the Prometheus text exposition of the metrics snapshot to this
+  /// path. Empty falls back to `PL_PROM`; unset disables.
+  std::string prom_path;
 };
 
-/// Wall-clock spent in each Fig. 1 stage, filled by `run_simulated`. The
-/// pipeline is its own profiler so the perf harness (bench_pipeline_e2e)
-/// never re-implements the stage wiring just to time it.
+/// Wall-clock spent in each Fig. 1 stage. A thin view over the trace tree
+/// (see `timings_from_trace`), kept so the perf harness and older callers
+/// keep their flat per-stage numbers; the span tree in `Result::report` is
+/// the authoritative record. The pipeline is its own profiler so the perf
+/// harness (bench_pipeline_e2e) never re-implements the stage wiring just
+/// to time it.
 struct StageTimings {
   double world_ms = 0;     ///< rirsim::build_world
   double op_world_ms = 0;  ///< bgpsim::build_op_world (plans + activity)
@@ -72,9 +85,20 @@ struct Result {
   joint::Taxonomy taxonomy;
   /// Ingestion fault accounting (all zero unless Config::inject_chaos).
   robust::RobustnessReport robustness;
-  /// Per-stage wall clock for this run.
+  /// Structured observability report: the hierarchical span tree covering
+  /// every Fig. 1 stage (with per-registry / per-step substages) plus the
+  /// frozen metrics registry. Metric *values* are bit-identical across
+  /// `PL_THREADS` settings for the same config; span timings are wall clock
+  /// and are not.
+  obs::Report report;
+  /// Per-stage wall clock, derived from `report.trace`.
   StageTimings timings;
 };
+
+/// Project the flat per-stage view out of a pipeline trace tree. Unknown
+/// or missing stages read as zero (e.g. under -DPL_OBS_OFF, where the tree
+/// is empty).
+StageTimings timings_from_trace(const obs::TraceNode& root);
 
 /// Run the full simulated pipeline deterministically.
 Result run_simulated(const Config& config = {});

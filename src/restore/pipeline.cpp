@@ -818,6 +818,52 @@ RestoredRegistry restore_registry(dele::ArchiveStream& stream,
   return std::move(restorer).finalize();
 }
 
+void record_metrics(const RestorationReport& report, asn::Rir rir,
+                    obs::Registry& metrics) {
+  const std::string label =
+      "{registry=\"" + std::string(asn::file_token(rir)) + "\"}";
+  const auto add = [&](std::string_view base, std::int64_t value) {
+    metrics.counter(std::string(base) + label).add(value);
+  };
+  add("pl_restore_days_processed", report.days_processed);
+  add("pl_restore_files_missing", report.files_missing);
+  add("pl_restore_files_corrupt", report.files_corrupt);
+  add("pl_restore_gap_filled_days", report.gap_filled_days);
+  add("pl_restore_recovered_from_regular", report.recovered_from_regular);
+  add("pl_restore_newest_conflict_days", report.newest_conflict_days);
+  add("pl_restore_duplicates_resolved", report.duplicates_resolved);
+  add("pl_restore_future_dates_fixed", report.future_dates_fixed);
+  add("pl_restore_placeholder_dates_restored",
+      report.placeholder_dates_restored);
+  add("pl_restore_grace_expired_drops", report.grace_expired_drops);
+  add("pl_restore_days_quarantined_duplicate",
+      report.days_quarantined_duplicate);
+  add("pl_restore_days_quarantined_late", report.days_quarantined_late);
+  add("pl_restore_days_reorder_recovered", report.days_reorder_recovered);
+  add("pl_restore_misuse_calls", report.misuse_calls);
+}
+
+void record_metrics(const RestoredRegistry& registry,
+                    obs::Registry& metrics) {
+  record_metrics(registry.report, registry.rir, metrics);
+  const std::string label =
+      "{registry=\"" + std::string(asn::file_token(registry.rir)) + "\"}";
+  std::int64_t spans = 0;
+  for (const auto& [asn, list] : registry.spans)
+    spans += static_cast<std::int64_t>(list.size());
+  metrics.counter("pl_restore_asns" + label)
+      .add(static_cast<std::int64_t>(registry.spans.size()));
+  metrics.counter("pl_restore_spans" + label).add(spans);
+}
+
+void record_metrics(const CrossRirReport& report, obs::Registry& metrics) {
+  metrics.counter("pl_restore_overlapping_asns").add(report.overlapping_asns);
+  metrics.counter("pl_restore_stale_spans_trimmed")
+      .add(report.stale_spans_trimmed);
+  metrics.counter("pl_restore_mistaken_spans_removed")
+      .add(report.mistaken_spans_removed);
+}
+
 CrossRirReport reconcile_registries(
     std::array<RestoredRegistry, asn::kRirCount>& registries,
     const BlockOwnerFn& owner, const RestoreConfig& config,

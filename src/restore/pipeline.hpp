@@ -23,6 +23,7 @@
 
 #include "bgp/activity.hpp"
 #include "delegation/archive.hpp"
+#include "obs/metrics.hpp"
 #include "restore/types.hpp"
 #include "robust/error.hpp"
 
@@ -128,6 +129,19 @@ class StreamingRestorer {
   /// still count misuse on a spent restorer.
   mutable RestorationReport spent_report_;
 };
+
+/// Publish one registry's sanitization-step accounting (§3.1 steps i–v plus
+/// the ingestion guard) into the metrics registry, labelled
+/// `{registry="<file token>"}`. Counters only — parallel-safe, so the
+/// pipeline calls this from inside the per-registry restore shards.
+void record_metrics(const RestorationReport& report, asn::Rir rir,
+                    obs::Registry& metrics);
+
+/// As above plus the per-registry span/ASN census from the restored output.
+void record_metrics(const RestoredRegistry& registry, obs::Registry& metrics);
+
+/// Publish the step-vi cross-registry reconciliation counters.
+void record_metrics(const CrossRirReport& report, obs::Registry& metrics);
 
 /// Step vi across already-restored registries. `owner` supplies IANA block
 /// ownership; pass nullptr to skip the foreign-block rule.

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/date.hpp"
 
 namespace pl::robust {
@@ -217,5 +218,50 @@ class ErrorSink {
   std::vector<Diagnostic> diagnostics_;
   RobustnessReport counters_;
 };
+
+/// Publish the robustness counter block: diagnostics by severity and stage,
+/// transport vs. consumer day accounting, and record-level salvage.
+inline void record_metrics(const RobustnessReport& report,
+                           obs::Registry& metrics) {
+  const auto severity = [&](std::string_view name, std::int64_t value) {
+    metrics
+        .counter("pl_fault_diagnostics{severity=\"" + std::string(name) +
+                 "\"}")
+        .add(value);
+  };
+  severity("info", report.infos);
+  severity("warning", report.warnings);
+  severity("error", report.errors);
+  severity("fatal", report.fatals);
+  for (std::size_t i = 0; i < kStageCount; ++i)
+    metrics
+        .counter("pl_fault_by_stage{stage=\"" +
+                 std::string(stage_name(static_cast<Stage>(i))) + "\"}")
+        .add(report.by_stage[i]);
+
+  metrics.counter("pl_fault_days_input").add(report.days_input);
+  metrics.counter("pl_fault_days_delivered").add(report.days_delivered);
+  metrics.counter("pl_fault_days_dropped").add(report.days_dropped);
+  metrics.counter("pl_fault_days_duplicated").add(report.days_duplicated);
+  metrics.counter("pl_fault_days_reordered").add(report.days_reordered);
+  metrics.counter("pl_fault_channels_corrupted")
+      .add(report.channels_corrupted);
+  metrics.counter("pl_fault_fetch_retries").add(report.fetch_retries);
+  metrics.counter("pl_fault_fetch_failures").add(report.fetch_failures);
+
+  metrics.counter("pl_ingest_days_applied").add(report.days_applied);
+  metrics.counter("pl_ingest_days_quarantined{reason=\"duplicate\"}")
+      .add(report.days_quarantined_duplicate);
+  metrics.counter("pl_ingest_days_quarantined{reason=\"late\"}")
+      .add(report.days_quarantined_late);
+  metrics.counter("pl_ingest_days_reorder_recovered")
+      .add(report.days_reorder_recovered);
+  metrics.counter("pl_ingest_misuse_calls").add(report.misuse_calls);
+
+  metrics.counter("pl_salvage_records_salvaged").add(report.records_salvaged);
+  metrics.counter("pl_salvage_records_skipped").add(report.records_skipped);
+  metrics.counter("pl_salvage_bytes_discarded").add(report.bytes_discarded);
+  metrics.counter("pl_checkpoint_failures").add(report.checkpoint_failures);
+}
 
 }  // namespace pl::robust

@@ -1,0 +1,69 @@
+// Compile-time guard for the PL_OBS_OFF kill switch. This translation unit
+// is built twice by tests/CMakeLists.txt: once as-is (obs on) and once with
+// -DPL_OBS_OFF=1 (obs compiled out). Both binaries must build and run; the
+// static_asserts pin the no-op shells to actually being empty, and main()
+// checks the behavioural contract of whichever variant was compiled.
+//
+// Deliberately a plain main (no gtest) including only the header-only obs
+// core: the "off" variant must not need pl_obs (export.cpp) at link time,
+// and the two variants must never be linked into one binary (ODR).
+#include <cstdio>
+#include <string>
+#include <type_traits>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+#ifdef PL_OBS_OFF
+static_assert(!pl::obs::kEnabled, "PL_OBS_OFF build must disable obs");
+// The no-op shells must stay stateless — an empty Counter/Gauge/Histogram
+// is what lets the optimizer delete instrumented hot loops outright.
+static_assert(std::is_empty_v<pl::obs::Counter>);
+static_assert(std::is_empty_v<pl::obs::Gauge>);
+static_assert(std::is_empty_v<pl::obs::Histogram>);
+static_assert(std::is_empty_v<pl::obs::Span>);
+#else
+static_assert(pl::obs::kEnabled, "default build must enable obs");
+#endif
+
+int main() {
+  pl::obs::Registry registry;
+  registry.counter("check_counter").add(5);
+  registry.gauge("check_gauge").set(9);
+  registry.histogram("check_histogram", {10}).observe(3);
+
+  pl::obs::Trace trace;
+  {
+    pl::obs::Span root = trace.root("check");
+    root.note("value", 1);
+    pl::obs::Span child = root.child("child");
+    child.note("depth", 2);
+  }
+
+  const pl::obs::Snapshot snapshot = registry.snapshot();
+  const pl::obs::TraceNode tree = trace.tree();
+
+#ifdef PL_OBS_OFF
+  const bool ok = snapshot.counters.empty() && snapshot.gauges.empty() &&
+                  snapshot.histograms.empty() && tree.name.empty() &&
+                  tree.children.empty();
+#else
+  const bool ok = snapshot.counter_value("check_counter") == 5 &&
+                  snapshot.gauges.at("check_gauge") == 9 &&
+                  snapshot.histograms.at("check_histogram").count == 1 &&
+                  tree.name == "check" && tree.children.size() == 1 &&
+                  tree.children[0].note_value("depth") == 2;
+#endif
+
+  if (!ok) {
+    std::fprintf(stderr, "obs_off_check: contract violated (PL_OBS_OFF %s)\n",
+#ifdef PL_OBS_OFF
+                 "on"
+#else
+                 "off"
+#endif
+    );
+    return 1;
+  }
+  return 0;
+}

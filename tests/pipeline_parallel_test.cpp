@@ -149,6 +149,7 @@ TEST(PipelineParallel, ProcessDefaultThreadsMatchPinnedSerial) {
   expect_results_equal(serial, ambient);
 }
 
+#ifndef PL_OBS_OFF
 TEST(PipelineParallel, TimingsArePopulated) {
   Config config;
   config.seed = 3;
@@ -162,6 +163,48 @@ TEST(PipelineParallel, TimingsArePopulated) {
       result.timings.taxonomy_ms;
   EXPECT_LE(stage_sum, result.timings.total_ms * 1.01);
 }
+
+TEST(PipelineParallel, MetricValuesBitIdenticalAcrossThreads) {
+  // The observability determinism contract: every metric *value* (counter,
+  // gauge, histogram bucket/sum/count — all integers) is bit-identical no
+  // matter how the work was scheduled. Snapshot equality is exact; only
+  // span timings are exempt (they are wall clock and live in the trace).
+  Config config;
+  config.seed = 11;
+  config.scale = 0.02;
+
+  config.threads = 0;
+  const Result serial = run_simulated(config);
+  EXPECT_FALSE(serial.report.metrics.counters.empty());
+  for (const int threads : {1, 4}) {
+    config.threads = threads;
+    const Result parallel = run_simulated(config);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(serial.report.metrics, parallel.report.metrics);
+  }
+}
+
+TEST(PipelineParallel, MetricValuesBitIdenticalAcrossThreadsUnderChaos) {
+  Config config;
+  config.seed = 23;
+  config.scale = 0.02;
+  config.inject_chaos = true;
+  config.chaos = robust::ChaosConfig::uniform(0.05, 7);
+  config.restore.reorder_window_days = 3;
+
+  config.threads = 0;
+  const Result serial = run_simulated(config);
+  // Chaos publishes the fault books into the same registry.
+  EXPECT_GT(serial.report.metrics.counter_value("pl_fault_days_delivered"),
+            0);
+  for (const int threads : {1, 4}) {
+    config.threads = threads;
+    const Result parallel = run_simulated(config);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(serial.report.metrics, parallel.report.metrics);
+  }
+}
+#endif  // PL_OBS_OFF
 
 }  // namespace
 }  // namespace pl::pipeline
