@@ -88,6 +88,8 @@ int main() {
   std::int64_t both = 0;
   const util::DayInterval window{window_start,
                                  window_start + window_days - 1};
+  // pl-lint: allow(unordered-drain) order-independent tally: the three
+  // counters commute, so hash order cannot leak into the printed totals.
   for (const std::uint32_t asn_value : planned) {
     const auto share = roles.share_over(asn::Asn{asn_value}, window);
     if (share.both > 0 || (share.origin_only > 0 && share.transit_only > 0))

@@ -237,7 +237,12 @@ std::vector<Element> RouteGenerator::elements_for_day(
   if (peers.empty()) return out;
 
   if (watchlist != nullptr && watchlist->size() <= 64) {
-    for (const std::uint32_t asn_value : *watchlist) {
+    // Sorted drain: the watchlist is an unordered_set, so iterate its
+    // elements in ASN order to keep the emitted element order (and thus the
+    // downstream archives) bit-identical run to run.
+    std::vector<std::uint32_t> watched(watchlist->begin(), watchlist->end());
+    std::sort(watched.begin(), watched.end());
+    for (const std::uint32_t asn_value : watched) {
       const auto it = by_asn_.find(asn_value);
       if (it == by_asn_.end()) continue;
       for (const AsnOpPlan* plan : it->second)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "check/contracts.hpp"
 #include "exec/pool.hpp"
 
 namespace pl::joint {
@@ -21,6 +22,16 @@ std::string_view category_name(Category category) noexcept {
 
 Taxonomy classify(const lifetimes::AdminDataset& admin,
                   const lifetimes::OpDataset& op) {
+  PL_EXPECT(([&] {
+              for (const auto& [asn, indices] : admin.by_asn)
+                for (const std::size_t index : indices)
+                  if (index >= admin.lifetimes.size() ||
+                      admin.lifetimes[index].asn.value != asn)
+                    return false;
+              return true;
+            })(),
+            "classify() requires a freshly indexed AdminDataset (by_asn "
+            "entries must point at lifetimes of the same ASN)");
   Taxonomy taxonomy;
   taxonomy.admin_category.assign(admin.lifetimes.size(), Category::kUnused);
   taxonomy.op_category.assign(op.lifetimes.size(),
@@ -100,6 +111,19 @@ Taxonomy classify(const lifetimes::AdminDataset& admin,
     ++taxonomy.admin_counts[static_cast<std::size_t>(c)];
   for (const Category c : taxonomy.op_category)
     ++taxonomy.op_counts[static_cast<std::size_t>(c)];
+  PL_ENSURE(([&] {
+              std::int64_t admin_total = 0;
+              for (const std::int64_t n : taxonomy.admin_counts)
+                admin_total += n;
+              std::int64_t op_total = 0;
+              for (const std::int64_t n : taxonomy.op_counts) op_total += n;
+              return admin_total ==
+                         static_cast<std::int64_t>(admin.lifetimes.size()) &&
+                     op_total ==
+                         static_cast<std::int64_t>(op.lifetimes.size());
+            })(),
+            "taxonomy tallies must conserve the input lifetime counts "
+            "(every life lands in exactly one class)");
   return taxonomy;
 }
 

@@ -4,6 +4,7 @@
 #include <array>
 #include <optional>
 
+#include "check/contracts.hpp"
 #include "exec/pool.hpp"
 
 namespace pl::lifetimes {
@@ -83,6 +84,11 @@ void build_asn_lifetimes(std::uint32_t asn_value, std::vector<Piece>& pieces,
             [](const Piece& a, const Piece& b) {
               return a.days.first < b.days.first;
             });
+  PL_ASSERT_SORTED(pieces,
+                   [](const Piece& a, const Piece& b) {
+                     return a.days.first < b.days.first;
+                   },
+                   "admin pieces before 4.1 merge");
 
   AdminLifetime current;
   asn::Rir tail_rir = asn::Rir::kArin;  ///< registry of the last piece
@@ -90,6 +96,11 @@ void build_asn_lifetimes(std::uint32_t asn_value, std::vector<Piece>& pieces,
 
   const auto flush = [&] {
     if (!open) return;
+    PL_ENSURE(current.days.first <= current.days.last,
+              "an admin lifetime must cover at least one day");
+    PL_ENSURE(out.empty() || out.back().days.last < current.days.first,
+              "per-ASN admin lifetimes must be disjoint and ascending (4.1 "
+              "merge rules never emit overlapping lives)");
     current.open_ended = current.days.last >= archive_end;
     out.push_back(current);
     open = false;
@@ -175,6 +186,12 @@ void AdminDataset::index() {
             });
   for (std::size_t i = 0; i < lifetimes.size(); ++i)
     by_asn[lifetimes[i].asn.value].push_back(i);
+  PL_ASSERT_SORTED(lifetimes,
+                   [](const AdminLifetime& a, const AdminLifetime& b) {
+                     if (a.asn != b.asn) return a.asn < b.asn;
+                     return a.days.first < b.days.first;
+                   },
+                   "AdminDataset::lifetimes after index()");
 }
 
 AdminDataset build_admin_lifetimes(const restore::RestoredArchive& archive,

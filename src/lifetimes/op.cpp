@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/contracts.hpp"
 #include "exec/pool.hpp"
 
 namespace pl::lifetimes {
@@ -21,8 +22,17 @@ OpDataset build_op_lifetimes(const bgp::ActivityTable& activity,
   exec::parallel_for(
       entries.size(),
       [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i)
+        for (std::size_t i = begin; i < end; ++i) {
+          PL_ASSERT_DISJOINT(entries[i].second->runs(),
+                             "activity runs entering the lifetime builder");
           lives_by_entry[i] = entries[i].second->coalesce(timeout_days);
+          PL_ASSERT_SORTED(lives_by_entry[i],
+                           [](const util::DayInterval& a,
+                              const util::DayInterval& b) {
+                             return a.first < b.first;
+                           },
+                           "coalesced op lives per ASN");
+        }
       },
       /*grain=*/128);
 

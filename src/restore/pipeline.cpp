@@ -4,6 +4,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "check/contracts.hpp"
 #include "exec/pool.hpp"
 #include "robust/checkpoint.hpp"
 
@@ -188,6 +189,8 @@ class SpanBuilder {
   }
 
   std::map<std::uint32_t, std::vector<StateSpan>> finish(Day last_day) {
+    // pl-lint: allow(unordered-drain) order-independent fold: each ASN lands
+    // in its own std::map slot and every per-ASN list is sorted just below.
     for (auto& [asn, open] : open_)
       spans_[asn].push_back(StateSpan{DayInterval{open.since, last_day},
                                       open.state});
@@ -364,6 +367,9 @@ struct StreamingRestorer::Impl {
   }
 
   void apply_day(const DayObservation& obs, bool arrived_late) {
+    PL_EXPECT(!any_applied || obs.day > last_day,
+              "observations must apply in strictly increasing day order "
+              "(the reorder window re-sorts, the quarantine drops the rest)");
     RestorationReport& report = out.report;
     const Day day = obs.day;
     last_day = day;
@@ -479,6 +485,16 @@ struct StreamingRestorer::Impl {
     }
     RestorationReport& report = out.report;
     out.spans = builder.finish(last_day);
+    PL_ENSURE(([&] {
+                for (const auto& [asn, spans] : out.spans)
+                  for (std::size_t s = 1; s < spans.size(); ++s)
+                    if (spans[s].days.first <= spans[s - 1].days.first ||
+                        spans[s].days.first <= spans[s - 1].days.last)
+                      return false;
+                return true;
+              })(),
+              "per-ASN state spans must leave finish() sorted by start day "
+              "and non-overlapping");
 
     // ---- Step v: registration-date repair, span-list post-pass.
     if (config.repair_dates) {
@@ -869,6 +885,16 @@ CrossRirReport reconcile_registries(
     const BlockOwnerFn& owner, const RestoreConfig& config,
     util::Day archive_begin) {
   CrossRirReport report;
+  PL_EXPECT(([&] {
+              for (const RestoredRegistry& registry : registries)
+                for (const auto& [asn, spans] : registry.spans)
+                  for (std::size_t s = 1; s < spans.size(); ++s)
+                    if (spans[s].days.first < spans[s - 1].days.first)
+                      return false;
+              return true;
+            })(),
+            "reconcile_registries requires per-ASN spans sorted by start "
+            "day in every registry");
 
   // Collect, per ASN, the delegated spans of every registry, and each
   // registry's first observed day (its first published file).
@@ -982,6 +1008,17 @@ CrossRirReport reconcile_registries(
       it = spans.empty() ? registry.spans.erase(it) : std::next(it);
     }
   }
+  PL_ENSURE(([&] {
+              for (const RestoredRegistry& registry : registries)
+                for (const auto& [asn, spans] : registry.spans) {
+                  if (spans.empty()) return false;
+                  for (const StateSpan& span : spans)
+                    if (span.days.empty()) return false;
+                }
+              return true;
+            })(),
+            "reconcile_registries must not leave empty spans or span-less "
+            "ASN entries behind");
   return report;
 }
 

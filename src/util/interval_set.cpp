@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/contracts.hpp"
+
 namespace pl::util {
 
 IntervalSet::IntervalSet(std::vector<DayInterval> intervals) {
@@ -28,6 +30,7 @@ void IntervalSet::add(const DayInterval& interval) {
   }
   it = runs_.erase(erase_begin, it);
   runs_.insert(it, merged);
+  PL_ASSERT_DISJOINT(runs_, "IntervalSet::add postcondition");
 }
 
 void IntervalSet::subtract(const DayInterval& interval) {
@@ -45,6 +48,7 @@ void IntervalSet::subtract(const DayInterval& interval) {
       next.push_back(DayInterval{interval.last + 1, run.last});
   }
   runs_ = std::move(next);
+  PL_ASSERT_DISJOINT(runs_, "IntervalSet::subtract postcondition");
 }
 
 IntervalSet IntervalSet::unite(const IntervalSet& other) const {
@@ -65,6 +69,7 @@ IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
     else
       ++b;
   }
+  PL_ASSERT_DISJOINT(out.runs_, "IntervalSet::intersect postcondition");
   return out;
 }
 
@@ -110,6 +115,11 @@ std::vector<DayInterval> IntervalSet::coalesce(std::int64_t timeout) const {
     else
       out.push_back(run);
   }
+  PL_ASSERT_SORTED(out,
+                   [](const DayInterval& a, const DayInterval& b) {
+                     return a.first < b.first;
+                   },
+                   "IntervalSet::coalesce output");
   return out;
 }
 

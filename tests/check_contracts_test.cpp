@@ -1,0 +1,110 @@
+// Both halves of the contract layer (src/check/contracts.hpp).
+//
+// Default build: the macros are inert shells — conditions are never
+// evaluated (side effects must not fire) and violations pass silently.
+// -DPL_CHECKED=ON build: the same suite swaps in death tests proving a
+// violated contract prints its diagnosis and aborts, while satisfied
+// contracts stay silent. tests/CMakeLists.txt compiles this file with
+// whatever the ambient build sets, so the checked leg of
+// scripts/verify-matrix.sh exercises the armed half.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/contracts.hpp"
+
+namespace {
+
+struct Interval {
+  int first = 0;
+  int last = 0;
+};
+
+bool int_less(int a, int b) { return a < b; }
+
+#if defined(PL_CHECKED) && PL_CHECKED
+
+TEST(ContractsArmed, SatisfiedContractsAreSilent) {
+  PL_EXPECT(1 + 1 == 2, "arithmetic holds");
+  PL_ENSURE(true, "trivially satisfied");
+  const std::vector<int> sorted = {1, 2, 2, 5};
+  PL_ASSERT_SORTED(sorted, int_less, "sorted vector");
+  const std::vector<Interval> disjoint = {{1, 3}, {5, 9}, {11, 11}};
+  PL_ASSERT_DISJOINT(disjoint, "disjoint runs");
+}
+
+TEST(ContractsArmed, EmptyRangesAreVacuouslyFine) {
+  const std::vector<int> empty_ints;
+  PL_ASSERT_SORTED(empty_ints, int_less, "empty range");
+  const std::vector<Interval> empty_runs;
+  PL_ASSERT_DISJOINT(empty_runs, "empty runs");
+}
+
+TEST(ContractsArmedDeathTest, ViolatedExpectAbortsWithDiagnosis) {
+  EXPECT_DEATH(PL_EXPECT(2 + 2 == 5, "arithmetic is broken"),
+               "contract PL_EXPECT.*arithmetic is broken");
+}
+
+TEST(ContractsArmedDeathTest, ViolatedEnsureAborts) {
+  EXPECT_DEATH(PL_ENSURE(false, "postcondition failed"),
+               "contract PL_ENSURE.*postcondition failed");
+}
+
+TEST(ContractsArmedDeathTest, UnsortedRangeAborts) {
+  const std::vector<int> unsorted = {3, 1, 2};
+  EXPECT_DEATH(PL_ASSERT_SORTED(unsorted, int_less, "descending input"),
+               "contract PL_ASSERT_SORTED.*not sorted");
+}
+
+TEST(ContractsArmedDeathTest, OverlappingRunsAbort) {
+  const std::vector<Interval> overlapping = {{1, 5}, {4, 9}};
+  EXPECT_DEATH(PL_ASSERT_DISJOINT(overlapping, "overlapping runs"),
+               "contract PL_ASSERT_DISJOINT.*overlap");
+}
+
+TEST(ContractsArmedDeathTest, AdjacentRunsAbort) {
+  // Touching runs ({1,4} then {5,9}) mean a coalesce pass was skipped: the
+  // interval algebra requires at least one uncovered day between runs.
+  const std::vector<Interval> touching = {{1, 4}, {5, 9}};
+  EXPECT_DEATH(PL_ASSERT_DISJOINT(touching, "touching runs"),
+               "contract PL_ASSERT_DISJOINT");
+}
+
+TEST(ContractsArmedDeathTest, EmptyRunAborts) {
+  const std::vector<Interval> backwards = {{7, 3}};
+  EXPECT_DEATH(PL_ASSERT_DISJOINT(backwards, "backwards run"),
+               "contract PL_ASSERT_DISJOINT.*empty run");
+}
+
+#else  // disarmed
+
+TEST(ContractsDisarmed, ConditionsAreNeverEvaluated) {
+  bool evaluated = false;
+  PL_EXPECT(([&] {
+              evaluated = true;
+              return false;
+            })(),
+            "never runs");
+  PL_ENSURE(([&] {
+              evaluated = true;
+              return false;
+            })(),
+            "never runs");
+  EXPECT_FALSE(evaluated) << "disarmed contracts must not evaluate their "
+                             "conditions (hot paths pay nothing)";
+}
+
+TEST(ContractsDisarmed, ViolationsPassSilently) {
+  PL_EXPECT(false, "ignored");
+  PL_ENSURE(false, "ignored");
+  const std::vector<int> unsorted = {3, 1, 2};
+  PL_ASSERT_SORTED(unsorted, int_less, "ignored");
+  const std::vector<Interval> overlapping = {{1, 5}, {4, 9}};
+  PL_ASSERT_DISJOINT(overlapping, "ignored");
+  SUCCEED();
+}
+
+#endif  // PL_CHECKED
+
+}  // namespace

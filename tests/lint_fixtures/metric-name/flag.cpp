@@ -1,0 +1,12 @@
+// Must flag: metric literals that break pl_<module>_<what>.
+#include "widget/flag.hpp"
+
+struct Registry {
+  int& counter(const char*) { static int value = 0; return value; }
+  int& gauge(const char*) { static int value = 0; return value; }
+};
+
+void record(Registry& registry) {
+  registry.counter("restoreDays");
+  registry.gauge("pl_Restore_days");
+}

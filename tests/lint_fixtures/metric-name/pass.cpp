@@ -1,0 +1,16 @@
+// Must pass: conforming literals, a complete label block, and a prefix
+// under construction whose dynamic tail is exempt.
+#include "widget/pass.hpp"
+
+#include <string>
+
+struct Registry {
+  int& counter(const std::string&) { static int value = 0; return value; }
+  int& histogram(const std::string&) { static int value = 0; return value; }
+};
+
+void record(Registry& registry, const std::string& registry_name) {
+  registry.counter("pl_restore_days_total");
+  registry.histogram("pl_restore_gap{registry=\"ripe\"}");
+  registry.counter("pl_restore_rows{registry=\"" + registry_name + "\"}");
+}

@@ -1,0 +1,2 @@
+// Must flag: a header with no include guard at all.
+inline int answer() { return 42; }

@@ -1,0 +1,4 @@
+// Must pass: self-guarding header.
+#pragma once
+
+inline int answer() { return 42; }

@@ -1,0 +1,13 @@
+// Must flag: manual ownership in pipeline code.
+#include "widget/flag.hpp"
+
+struct Node {
+  int value = 0;
+};
+
+int leak_prone() {
+  Node* node = new Node;
+  const int value = node->value;
+  delete node;
+  return value;
+}

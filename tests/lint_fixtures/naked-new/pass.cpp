@@ -1,0 +1,17 @@
+// Must pass: RAII ownership; `= delete` and operator overloads are not
+// manual memory management.
+#include "widget/pass.hpp"
+
+#include <memory>
+
+struct Node {
+  int value = 0;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+  Node() = default;
+};
+
+int raii() {
+  const auto node = std::make_unique<Node>();
+  return node->value;
+}

@@ -1,0 +1,9 @@
+// Must flag: three banned randomness sources.
+#include <cstdlib>
+#include <random>
+
+int noisy_seed() {
+  std::random_device device;
+  std::srand(device());
+  return std::rand();
+}

@@ -1,0 +1,13 @@
+// Must pass: seeded project Rng; `rand` reached through a member qualifier
+// (someone else's API) is not the C library call.
+struct Rng {
+  unsigned state;
+  unsigned next() { return state = state * 1664525u + 1013904223u; }
+};
+
+unsigned stable_draw(Rng& rng) { return rng.next(); }
+
+struct Generator;
+unsigned member_rand(const Generator* g);
+
+unsigned forward(const Generator* g) { return member_rand(g); }

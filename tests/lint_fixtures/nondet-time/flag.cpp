@@ -1,0 +1,9 @@
+// Must flag: host-clock reads in pipeline code.
+#include <chrono>
+#include <ctime>
+
+long wall_now() {
+  const auto tick = std::chrono::system_clock::now();
+  const std::time_t seed = time(nullptr);
+  return static_cast<long>(seed) + tick.time_since_epoch().count();
+}

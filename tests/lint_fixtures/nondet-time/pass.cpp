@@ -1,0 +1,11 @@
+// Must pass: time flows from the simulated calendar, and `time` with a real
+// argument (not the argless host-clock read) is someone else's API.
+using Day = int;
+
+Day advance(Day day, int step) { return day + step; }
+
+struct Schedule {
+  int time(int slot) const { return slot * 2; }
+};
+
+int slot_time(const Schedule& schedule) { return schedule.time(3); }

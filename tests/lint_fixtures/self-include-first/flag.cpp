@@ -1,0 +1,8 @@
+// Must flag: the matching header is not the first include. The test feeds
+// this through lint_source as src/widget/flag.cpp.
+#include <vector>
+
+#include "widget/other.hpp"
+#include "widget/flag.hpp"
+
+int widget_count() { return 3; }

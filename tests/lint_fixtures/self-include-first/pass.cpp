@@ -1,0 +1,7 @@
+// Must pass: own header first. Fed through lint_source as
+// src/widget/pass.cpp.
+#include "widget/pass.hpp"
+
+#include <vector>
+
+int widget_count() { return 3; }

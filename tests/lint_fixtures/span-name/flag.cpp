@@ -1,0 +1,12 @@
+// Must flag: span names must be lower_snake identifiers.
+#include "widget/flag.hpp"
+
+struct Trace {
+  Trace& root(const char*) { return *this; }
+  Trace& child(const char*) { return *this; }
+};
+
+void trace(Trace& tracer) {
+  tracer.root("Restore Pipeline");
+  tracer.child("reconcile registries!");
+}

@@ -1,0 +1,12 @@
+// Must pass: lower_snake with ':' instance qualifiers.
+#include "widget/pass.hpp"
+
+struct Trace {
+  Trace& root(const char*) { return *this; }
+  Trace& child(const char*) { return *this; }
+};
+
+void trace(Trace& tracer) {
+  tracer.root("restore_pipeline");
+  tracer.child("reconcile:apnic");
+}

@@ -1,0 +1,6 @@
+// pl-lint: allow-file(nondet-rand) fixture exercising file-wide scope.
+#include <cstdlib>
+
+int first() { return std::rand(); }
+
+int second() { return std::rand(); }

@@ -1,0 +1,11 @@
+// A finding silenced by a justified allow(): the tally below is an
+// order-independent fold, so hash order cannot reach any output.
+#include <unordered_map>
+
+int total(const std::unordered_map<int, int>& counts) {
+  int sum = 0;
+  // pl-lint: allow(unordered-drain) order-independent sum; addition
+  // commutes, so iteration order never surfaces.
+  for (const auto& [key, value] : counts) sum += value;
+  return sum;
+}

@@ -1,0 +1,3 @@
+// An allow() that silences nothing still counts as declared budget.
+// pl-lint: allow(naked-new) defensive comment with no matching finding
+int plain() { return 7; }

@@ -1,0 +1,12 @@
+// Must flag: draining a hash table straight into an output vector.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> export_names(
+    const std::unordered_map<std::string, int>& table) {
+  std::unordered_map<std::string, int> counts = table;
+  std::vector<std::string> out;
+  for (const auto& [name, count] : counts) out.push_back(name);
+  return out;
+}

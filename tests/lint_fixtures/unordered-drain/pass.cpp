@@ -1,0 +1,14 @@
+// Must pass: the sorted-drain idiom — keys are collected and sorted before
+// the order-sensitive walk.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> export_names(
+    const std::unordered_map<std::string, int>& table) {
+  std::vector<std::string> keys;
+  for (const auto& [name, count] : table) keys.push_back(name);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}

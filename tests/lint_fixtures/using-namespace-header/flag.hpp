@@ -1,0 +1,8 @@
+// Must flag: `using namespace` at header scope leaks into every includer.
+#pragma once
+
+#include <string>
+
+using namespace std;
+
+inline string shout(const string& text) { return text + "!"; }

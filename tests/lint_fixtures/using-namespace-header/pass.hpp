@@ -1,0 +1,6 @@
+// Must pass: scoped using-declarations and qualified names only.
+#pragma once
+
+#include <string>
+
+inline std::string shout(const std::string& text) { return text + "!"; }

@@ -1,0 +1,211 @@
+// Fixture-driven coverage for every pl-lint rule (tools/pl-lint).
+//
+// Each rule owns a directory under tests/lint_fixtures/ with a must-flag and
+// a must-pass snippet; the suite feeds them through lint_source() with a
+// virtual repo path chosen to engage the rule's path policy. Suppression
+// scoping (line, block, file-wide, unused budget) and the JSON report
+// round-trip are locked in alongside.
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "lint.hpp"
+
+namespace {
+
+using pl::lint::Finding;
+using pl::lint::Report;
+using pl::lint::lint_source;
+
+std::string read_fixture(const std::string& relative) {
+  const std::string path = std::string(PL_LINT_FIXTURES) + "/" + relative;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int count_rule(const Report& report, const std::string& rule) {
+  int n = 0;
+  for (const Finding& finding : report.findings)
+    if (finding.rule == rule) ++n;
+  return n;
+}
+
+/// Per-rule fixture wiring: file names plus the virtual repo-relative path
+/// each snippet is linted under (the path selects which rules apply).
+struct FixtureCase {
+  std::string flag_file;
+  std::string flag_path;
+  std::string pass_file;
+  std::string pass_path;
+};
+
+const std::map<std::string, FixtureCase>& fixture_cases() {
+  static const std::map<std::string, FixtureCase> cases = {
+      {"nondet-rand",
+       {"nondet-rand/flag.cpp", "tests/fixture.cpp", "nondet-rand/pass.cpp",
+        "tests/fixture.cpp"}},
+      {"nondet-time",
+       {"nondet-time/flag.cpp", "tests/fixture.cpp", "nondet-time/pass.cpp",
+        "tests/fixture.cpp"}},
+      {"unordered-drain",
+       {"unordered-drain/flag.cpp", "tests/fixture.cpp",
+        "unordered-drain/pass.cpp", "tests/fixture.cpp"}},
+      {"using-namespace-header",
+       {"using-namespace-header/flag.hpp", "tests/fixture.hpp",
+        "using-namespace-header/pass.hpp", "tests/fixture.hpp"}},
+      {"missing-pragma-once",
+       {"missing-pragma-once/flag.hpp", "tests/fixture.hpp",
+        "missing-pragma-once/pass.hpp", "tests/fixture.hpp"}},
+      {"naked-new",
+       {"naked-new/flag.cpp", "src/widget/flag.cpp", "naked-new/pass.cpp",
+        "src/widget/pass.cpp"}},
+      {"metric-name",
+       {"metric-name/flag.cpp", "src/widget/flag.cpp", "metric-name/pass.cpp",
+        "src/widget/pass.cpp"}},
+      {"span-name",
+       {"span-name/flag.cpp", "src/widget/flag.cpp", "span-name/pass.cpp",
+        "src/widget/pass.cpp"}},
+      {"self-include-first",
+       {"self-include-first/flag.cpp", "src/widget/flag.cpp",
+        "self-include-first/pass.cpp", "src/widget/pass.cpp"}},
+  };
+  return cases;
+}
+
+TEST(LintFixtures, EveryCatalogRuleHasAFixturePair) {
+  std::set<std::string> covered;
+  for (const auto& [rule, unused] : fixture_cases()) covered.insert(rule);
+  for (const pl::lint::RuleInfo& rule : pl::lint::rule_catalog())
+    EXPECT_TRUE(covered.contains(std::string(rule.id)))
+        << "rule without fixtures: " << rule.id;
+  EXPECT_EQ(covered.size(), pl::lint::rule_catalog().size())
+      << "fixture map names a rule the catalog does not";
+}
+
+TEST(LintFixtures, FlagSnippetsAreFlaggedAndOnlyByTheirOwnRule) {
+  for (const auto& [rule, fixture] : fixture_cases()) {
+    const Report report =
+        lint_source(fixture.flag_path, read_fixture(fixture.flag_file));
+    EXPECT_GE(count_rule(report, rule), 1)
+        << rule << " flag fixture produced no " << rule << " finding";
+    for (const Finding& finding : report.findings)
+      EXPECT_EQ(finding.rule, rule)
+          << rule << " flag fixture leaked a foreign finding (" << finding.rule
+          << " at line " << finding.line << "); keep fixtures single-rule";
+  }
+}
+
+TEST(LintFixtures, PassSnippetsAreCompletelyClean) {
+  for (const auto& [rule, fixture] : fixture_cases()) {
+    const Report report =
+        lint_source(fixture.pass_path, read_fixture(fixture.pass_file));
+    EXPECT_TRUE(report.clean())
+        << rule << " pass fixture flagged: " << report.findings[0].rule << " ("
+        << report.findings[0].message << ")";
+  }
+}
+
+TEST(LintFixtures, FindingsCarryFileLineAndMessage) {
+  const Report report = lint_source(
+      "src/widget/flag.cpp", read_fixture("self-include-first/flag.cpp"));
+  ASSERT_EQ(report.findings.size(), 1u);
+  const Finding& finding = report.findings[0];
+  EXPECT_EQ(finding.file, "src/widget/flag.cpp");
+  EXPECT_GT(finding.line, 1);
+  EXPECT_EQ(finding.rule, "self-include-first");
+  EXPECT_NE(finding.message.find("widget/flag.hpp"), std::string::npos);
+}
+
+TEST(LintSuppressions, JustifiedAllowSilencesAndCountsAsUsedBudget) {
+  const Report report = lint_source("tests/suppressed.cpp",
+                                    read_fixture("suppression/suppressed.cpp"));
+  EXPECT_TRUE(report.clean());
+  ASSERT_TRUE(report.suppressions.contains("unordered-drain"));
+  EXPECT_EQ(report.suppressions.at("unordered-drain").declared, 1);
+  EXPECT_EQ(report.suppressions.at("unordered-drain").used, 1);
+}
+
+TEST(LintSuppressions, MultiLineJustificationStillReachesTheStatement) {
+  // The allow() sits two comment lines above the loop; the suppression must
+  // extend through the contiguous comment block to the code underneath.
+  const std::string source =
+      "#include <unordered_map>\n"
+      "int f(const std::unordered_map<int, int>& m) {\n"
+      "  int sum = 0;\n"
+      "  // pl-lint: allow(unordered-drain) a justification that\n"
+      "  // needs a second line\n"
+      "  // and a third one\n"
+      "  for (const auto& [k, v] : m) sum += v;\n"
+      "  return sum;\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("tests/multi.cpp", source).clean());
+}
+
+TEST(LintSuppressions, AllowFileCoversEveryFindingOfThatRule) {
+  const Report report = lint_source("tests/file_wide.cpp",
+                                    read_fixture("suppression/file_wide.cpp"));
+  EXPECT_TRUE(report.clean());
+  ASSERT_TRUE(report.suppressions.contains("nondet-rand"));
+  EXPECT_EQ(report.suppressions.at("nondet-rand").declared, 1);
+  EXPECT_EQ(report.suppressions.at("nondet-rand").used, 2)
+      << "both rand() call sites should burn the file-wide budget";
+}
+
+TEST(LintSuppressions, UnusedAllowStaysVisibleInTheBudget) {
+  const Report report = lint_source(
+      "tests/unused.cpp", read_fixture("suppression/unused_budget.cpp"));
+  EXPECT_TRUE(report.clean());
+  ASSERT_TRUE(report.suppressions.contains("naked-new"));
+  EXPECT_EQ(report.suppressions.at("naked-new").declared, 1);
+  EXPECT_EQ(report.suppressions.at("naked-new").used, 0);
+}
+
+TEST(LintSuppressions, AllowForOneRuleDoesNotSilenceAnother) {
+  const std::string source =
+      "#include <cstdlib>\n"
+      "// pl-lint: allow(naked-new) wrong rule on purpose\n"
+      "int f() { return std::rand(); }\n";
+  const Report report = lint_source("tests/wrong_rule.cpp", source);
+  EXPECT_EQ(count_rule(report, "nondet-rand"), 1);
+}
+
+TEST(LintReport, MergeAccumulatesFindingsAndBudgets) {
+  Report merged = lint_source("tests/file_wide.cpp",
+                              read_fixture("suppression/file_wide.cpp"));
+  merged.merge(lint_source("src/widget/flag.cpp",
+                           read_fixture("self-include-first/flag.cpp")));
+  EXPECT_EQ(merged.files_scanned, 2);
+  EXPECT_EQ(count_rule(merged, "self-include-first"), 1);
+  EXPECT_EQ(merged.suppressions.at("nondet-rand").used, 2);
+}
+
+TEST(LintReport, JsonRoundTripPreservesTheReport) {
+  Report report = lint_source("src/widget/flag.cpp",
+                              read_fixture("self-include-first/flag.cpp"));
+  report.merge(lint_source("tests/suppressed.cpp",
+                           read_fixture("suppression/suppressed.cpp")));
+  const std::string json = pl::lint::report_json(report, "/virtual/root");
+
+  const auto parsed = pl::lint::report_from_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->findings, report.findings);
+  EXPECT_EQ(parsed->suppressions, report.suppressions);
+  EXPECT_EQ(parsed->files_scanned, report.files_scanned);
+  EXPECT_EQ(parsed->clean(), report.clean());
+}
+
+TEST(LintReport, JsonParserRejectsGarbageAndForeignSchemas) {
+  EXPECT_FALSE(pl::lint::report_from_json("not json").has_value());
+  EXPECT_FALSE(
+      pl::lint::report_from_json("{\"schema\": \"other/9\"}").has_value());
+}
+
+}  // namespace

@@ -1,0 +1,999 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdint>
+#include <set>
+#include <utility>
+
+#include "bench/common.hpp"
+
+namespace pl::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer. Comments and literals never reach the rule passes as code;
+// comments are kept separately (they carry the suppression directives) and
+// string literals keep their content (the naming rules inspect them).
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kChar, kPunct };
+  Kind kind;
+  std::string text;  ///< for kString: the unquoted content
+  int line;
+};
+
+struct Comment {
+  std::string text;
+  int line;  ///< line the comment ends on
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<std::string> raw_lines;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+Lexed lex(std::string_view text) {
+  Lexed out;
+  {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= text.size(); ++i)
+      if (i == text.size() || text[i] == '\n') {
+        out.raw_lines.emplace_back(text.substr(start, i - start));
+        start = i + 1;
+      }
+  }
+
+  int line = 1;
+  std::size_t i = 0;
+  const auto push = [&](Token::Kind kind, std::string token_text) {
+    out.tokens.push_back(Token{kind, std::move(token_text), line});
+  };
+
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      const std::size_t end = text.find('\n', i);
+      const std::size_t stop = end == std::string_view::npos ? text.size()
+                                                             : end;
+      out.comments.push_back(
+          Comment{std::string(text.substr(i + 2, stop - i - 2)), line});
+      i = stop;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+      const std::size_t end = text.find("*/", i + 2);
+      const std::size_t body_end =
+          end == std::string_view::npos ? text.size() : end;
+      const std::size_t stop =
+          end == std::string_view::npos ? text.size() : end + 2;
+      std::string body(text.substr(i + 2, body_end - i - 2));
+      line += static_cast<int>(
+          std::count(text.begin() + static_cast<std::ptrdiff_t>(i),
+                     text.begin() + static_cast<std::ptrdiff_t>(stop), '\n'));
+      out.comments.push_back(Comment{std::move(body), line});
+      i = stop;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < text.size() && text[i + 1] == '"' &&
+        (out.tokens.empty() || out.tokens.back().text != "::")) {
+      const std::size_t open = text.find('(', i + 2);
+      if (open != std::string_view::npos) {
+        const std::string delim(text.substr(i + 2, open - i - 2));
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t end = text.find(closer, open + 1);
+        const std::size_t stop =
+            end == std::string_view::npos ? text.size()
+                                          : end + closer.size();
+        push(Token::Kind::kString,
+             std::string(text.substr(open + 1, end == std::string_view::npos
+                                                   ? stop - open - 1
+                                                   : end - open - 1)));
+        line += static_cast<int>(std::count(
+            text.begin() + static_cast<std::ptrdiff_t>(i),
+            text.begin() + static_cast<std::ptrdiff_t>(stop), '\n'));
+        i = stop;
+        continue;
+      }
+    }
+    // String literal.
+    if (c == '"') {
+      std::string content;
+      ++i;
+      while (i < text.size() && text[i] != '"') {
+        if (text[i] == '\\' && i + 1 < text.size()) {
+          content += text[i];
+          content += text[i + 1];
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') ++line;
+        content += text[i];
+        ++i;
+      }
+      ++i;  // closing quote
+      push(Token::Kind::kString, std::move(content));
+      continue;
+    }
+    // Character literal (also catches digit separators poorly — fine).
+    if (c == '\'' && !out.tokens.empty() &&
+        out.tokens.back().kind != Token::Kind::kNumber) {
+      std::size_t j = i + 1;
+      while (j < text.size() && text[j] != '\'') {
+        if (text[j] == '\\') ++j;
+        ++j;
+      }
+      push(Token::Kind::kChar, std::string(text.substr(i + 1, j - i - 1)));
+      i = j + 1;
+      continue;
+    }
+    if (c == '\'') {  // digit separator inside a number: skip
+      ++i;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < text.size() && ident_char(text[j])) ++j;
+      push(Token::Kind::kIdent, std::string(text.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < text.size() &&
+             (ident_char(text[j]) || text[j] == '.' ||
+              ((text[j] == '+' || text[j] == '-') &&
+               (text[j - 1] == 'e' || text[j - 1] == 'E'))))
+        ++j;
+      push(Token::Kind::kNumber, std::string(text.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    // Punctuation: keep `::` and `->` joined, everything else single-char.
+    if (c == ':' && i + 1 < text.size() && text[i + 1] == ':') {
+      push(Token::Kind::kPunct, "::");
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < text.size() && text[i + 1] == '>') {
+      push(Token::Kind::kPunct, "->");
+      i += 2;
+      continue;
+    }
+    push(Token::Kind::kPunct, std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: `// pl-lint: allow(rule-a, rule-b)` silences findings from
+// the comment's own line through the first code line after the comment block
+// (so a multi-line justification still covers the statement it precedes);
+// `allow-file(...)` covers the file.
+
+struct Suppressions {
+  std::map<int, std::set<std::string>> by_line;  ///< line -> rule ids
+  std::set<std::string> file_wide;
+  std::map<std::string, SuppressionBudget> budget;
+};
+
+void parse_directive(std::string_view body, bool file_wide, int comment_line,
+                     int through_line, Suppressions& out) {
+  const std::size_t open = body.find('(');
+  const std::size_t close = body.find(')', open);
+  if (open == std::string_view::npos || close == std::string_view::npos)
+    return;
+  std::string_view list = body.substr(open + 1, close - open - 1);
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    std::string_view id = list.substr(0, comma);
+    while (!id.empty() && std::isspace(static_cast<unsigned char>(id.front())))
+      id.remove_prefix(1);
+    while (!id.empty() && std::isspace(static_cast<unsigned char>(id.back())))
+      id.remove_suffix(1);
+    if (!id.empty()) {
+      ++out.budget[std::string(id)].declared;
+      if (file_wide) {
+        out.file_wide.insert(std::string(id));
+      } else {
+        for (int line = comment_line; line <= through_line; ++line)
+          out.by_line[line].insert(std::string(id));
+      }
+    }
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+}
+
+Suppressions parse_suppressions(const std::vector<Comment>& comments) {
+  Suppressions out;
+  std::set<int> comment_lines;
+  for (const Comment& comment : comments) comment_lines.insert(comment.line);
+  for (const Comment& comment : comments) {
+    const std::size_t at = comment.text.find("pl-lint:");
+    if (at == std::string::npos) continue;
+    // Extend through the contiguous comment block so the justification can
+    // span lines and the suppression still reaches the code underneath.
+    int through = comment.line;
+    while (comment_lines.contains(through + 1)) ++through;
+    ++through;  // the first code line after the block
+    const std::string_view rest =
+        std::string_view(comment.text).substr(at + 8);
+    const std::size_t allow_file = rest.find("allow-file");
+    if (allow_file != std::string_view::npos) {
+      parse_directive(rest.substr(allow_file), /*file_wide=*/true,
+                      comment.line, through, out);
+      continue;
+    }
+    const std::size_t allow = rest.find("allow");
+    if (allow != std::string_view::npos)
+      parse_directive(rest.substr(allow), /*file_wide=*/false, comment.line,
+                      through, out);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Path policy: which rules run where.
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+bool is_header(std::string_view relpath) {
+  return ends_with(relpath, ".hpp") || ends_with(relpath, ".h");
+}
+
+/// Wall-clock whitelist: the trace layer measures real time by design (its
+/// timings are documented as outside the determinism contract), and the
+/// bench/tool trees report human-facing durations.
+bool clock_whitelisted(std::string_view relpath) {
+  return relpath.find("obs/span.hpp") != std::string_view::npos ||
+         starts_with(relpath, "bench/") || starts_with(relpath, "tools/");
+}
+
+// ---------------------------------------------------------------------------
+// Shared token helpers.
+
+using Tokens = std::vector<Token>;
+
+bool is_ident(const Tokens& tokens, std::size_t i, std::string_view text) {
+  return i < tokens.size() && tokens[i].kind == Token::Kind::kIdent &&
+         tokens[i].text == text;
+}
+
+bool is_punct(const Tokens& tokens, std::size_t i, std::string_view text) {
+  return i < tokens.size() && tokens[i].kind == Token::Kind::kPunct &&
+         tokens[i].text == text;
+}
+
+/// True when tokens[i] is reached through a member/namespace qualifier that
+/// is not `std::` — e.g. `foo.time(...)`, `detail::rand(...)`.
+bool non_std_qualified(const Tokens& tokens, std::size_t i) {
+  if (i == 0) return false;
+  if (is_punct(tokens, i - 1, ".") || is_punct(tokens, i - 1, "->"))
+    return true;
+  if (is_punct(tokens, i - 1, "::"))
+    return !(i >= 2 && is_ident(tokens, i - 2, "std"));
+  return false;
+}
+
+/// Index just past a balanced `( ... )` starting at `open` (which must be
+/// `(`); tokens.size() when unbalanced.
+std::size_t skip_parens(const Tokens& tokens, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (is_punct(tokens, i, "(")) ++depth;
+    if (is_punct(tokens, i, ")") && --depth == 0) return i + 1;
+  }
+  return tokens.size();
+}
+
+/// Index just past the statement starting at `i`: a balanced `{...}` block,
+/// or everything up to and including the next top-level `;`.
+std::size_t skip_statement(const Tokens& tokens, std::size_t i) {
+  if (is_punct(tokens, i, "{")) {
+    int depth = 0;
+    for (std::size_t j = i; j < tokens.size(); ++j) {
+      if (is_punct(tokens, j, "{")) ++depth;
+      if (is_punct(tokens, j, "}") && --depth == 0) return j + 1;
+    }
+    return tokens.size();
+  }
+  int parens = 0;
+  int braces = 0;
+  for (std::size_t j = i; j < tokens.size(); ++j) {
+    if (tokens[j].kind == Token::Kind::kPunct) {
+      const std::string& p = tokens[j].text;
+      if (p == "(" || p == "[") ++parens;
+      if (p == ")" || p == "]") --parens;
+      if (p == "{") ++braces;
+      if (p == "}") --braces;
+      if (p == ";" && parens <= 0 && braces <= 0) return j + 1;
+    }
+  }
+  return tokens.size();
+}
+
+bool range_contains_ident(const Tokens& tokens, std::size_t begin,
+                          std::size_t end, std::string_view text) {
+  for (std::size_t i = begin; i < end && i < tokens.size(); ++i)
+    if (tokens[i].kind == Token::Kind::kIdent && tokens[i].text == text)
+      return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rule context threaded through every pass.
+
+struct Context {
+  std::string_view relpath;
+  const Lexed* lexed;
+  const Suppressions* suppressions;
+  Report* report;
+  std::map<std::string, SuppressionBudget>* budget;
+
+  void flag(std::string_view rule, int line, std::string message) const {
+    if (suppressions->file_wide.contains(std::string(rule))) {
+      ++(*budget)[std::string(rule)].used;
+      return;
+    }
+    const auto it = suppressions->by_line.find(line);
+    if (it != suppressions->by_line.end() &&
+        it->second.contains(std::string(rule))) {
+      ++(*budget)[std::string(rule)].used;
+      return;
+    }
+    report->findings.push_back(Finding{std::string(relpath), line,
+                                       std::string(rule),
+                                       std::move(message)});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// nondet-rand: banned nondeterministic value sources. All randomness must
+// come from util::Rng (seeded, forkable, stable across platforms).
+
+void rule_nondet_rand(const Context& ctx) {
+  static constexpr std::string_view kBanned[] = {
+      "random_device", "srand", "rand_r", "drand48", "lrand48", "mrand48"};
+  const Tokens& tokens = ctx.lexed->tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent) continue;
+    for (const std::string_view banned : kBanned)
+      if (tokens[i].text == banned && !non_std_qualified(tokens, i))
+        ctx.flag("nondet-rand", tokens[i].line,
+                 "'" + tokens[i].text +
+                     "' is a nondeterministic source; use util::Rng "
+                     "(seeded, forkable) instead");
+    if (tokens[i].text == "rand" && is_punct(tokens, i + 1, "(") &&
+        !non_std_qualified(tokens, i))
+      ctx.flag("nondet-rand", tokens[i].line,
+               "'rand()' is a nondeterministic source; use util::Rng "
+               "(seeded, forkable) instead");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// nondet-time: wall-clock reads outside the whitelisted trace layer. Day
+// arithmetic must flow from the simulated calendar (util::Day), never from
+// the host clock.
+
+void rule_nondet_time(const Context& ctx) {
+  if (clock_whitelisted(ctx.relpath)) return;
+  static constexpr std::string_view kBannedClocks[] = {
+      "system_clock", "steady_clock", "high_resolution_clock", "gettimeofday",
+      "localtime", "localtime_r", "gmtime", "gmtime_r", "clock_gettime"};
+  const Tokens& tokens = ctx.lexed->tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent) continue;
+    for (const std::string_view banned : kBannedClocks)
+      if (tokens[i].text == banned &&
+          (!non_std_qualified(tokens, i) ||
+           (i >= 2 && is_ident(tokens, i - 2, "chrono"))))
+        ctx.flag("nondet-time", tokens[i].line,
+                 "'" + tokens[i].text +
+                     "' reads the host clock; derive time from util::Day / "
+                     "the trace layer (obs/span.hpp) only");
+    // Argless `time()` / `time(nullptr)` / `time(0)` — the classic seed.
+    if (tokens[i].text == "time" && is_punct(tokens, i + 1, "(") &&
+        !non_std_qualified(tokens, i) &&
+        (is_punct(tokens, i + 2, ")") ||
+         (is_ident(tokens, i + 2, "nullptr") && is_punct(tokens, i + 3, ")")) ||
+         (i + 2 < tokens.size() && tokens[i + 2].text == "0" &&
+          is_punct(tokens, i + 3, ")"))))
+      ctx.flag("nondet-time", tokens[i].line,
+               "argless 'time()' reads the host clock; derive time from "
+               "util::Day only");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unordered-drain: iteration over an unordered container declared in this
+// translation unit. Hash-table iteration order is implementation-defined, so
+// any loop over one that feeds an exporter, report, or output vector injects
+// nondeterminism. The accepted idiom is the sorted drain: collect keys,
+// std::sort them (inside the loop's statement or the one immediately
+// following), then walk in key order. Order-independent folds (e.g. keyed
+// inserts into a std::map) need an explicit allow() with a justification.
+
+void rule_unordered_drain(const Context& ctx) {
+  const Tokens& tokens = ctx.lexed->tokens;
+
+  // Pass 1: names declared in this TU with an unordered container type.
+  std::set<std::string> unordered_names;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent) continue;
+    const std::string& type = tokens[i].text;
+    if (type != "unordered_map" && type != "unordered_set" &&
+        type != "unordered_multimap" && type != "unordered_multiset")
+      continue;
+    std::size_t j = i + 1;
+    if (is_punct(tokens, j, "<")) {  // skip the template argument list
+      int depth = 0;
+      for (; j < tokens.size(); ++j) {
+        if (is_punct(tokens, j, "<")) ++depth;
+        if (is_punct(tokens, j, ">") && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    while (is_punct(tokens, j, "&") || is_punct(tokens, j, "*") ||
+           is_ident(tokens, j, "const"))
+      ++j;
+    if (j < tokens.size() && tokens[j].kind == Token::Kind::kIdent &&
+        !is_punct(tokens, j + 1, "("))  // `(` ⇒ function returning one
+      unordered_names.insert(tokens[j].text);
+  }
+  if (unordered_names.empty()) return;
+
+  // Pass 2: range-for statements whose range expression names one of them.
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!is_ident(tokens, i, "for") || !is_punct(tokens, i + 1, "(")) continue;
+    const std::size_t close = skip_parens(tokens, i + 1);
+    // Locate the `:` introducing the range expression (depth 1 only).
+    std::size_t colon = 0;
+    int depth = 0;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      if (is_punct(tokens, j, "(") || is_punct(tokens, j, "[") ||
+          is_punct(tokens, j, "{"))
+        ++depth;
+      if (is_punct(tokens, j, ")") || is_punct(tokens, j, "]") ||
+          is_punct(tokens, j, "}"))
+        --depth;
+      if (depth == 1 && is_punct(tokens, j, ":")) {
+        colon = j;
+        break;
+      }
+      if (depth == 1 && is_punct(tokens, j, ";")) break;  // classic for
+    }
+    if (colon == 0) continue;
+    // Only the top level of the range expression counts: a container name
+    // nested inside a call's argument list (`f(probe, &watch)`) is an
+    // argument, not the range being iterated.
+    std::string hit;
+    int range_depth = 1;
+    for (std::size_t j = colon + 1; j < close - 1; ++j) {
+      if (is_punct(tokens, j, "(") || is_punct(tokens, j, "[") ||
+          is_punct(tokens, j, "{"))
+        ++range_depth;
+      if (is_punct(tokens, j, ")") || is_punct(tokens, j, "]") ||
+          is_punct(tokens, j, "}"))
+        --range_depth;
+      if (range_depth == 1 && tokens[j].kind == Token::Kind::kIdent &&
+          unordered_names.contains(tokens[j].text) &&
+          !is_punct(tokens, j + 1, "(")) {
+        hit = tokens[j].text;
+        break;
+      }
+    }
+    if (hit.empty()) continue;
+    // Sorted-drain escape: `sort` inside the loop body or the statement
+    // immediately after it.
+    const std::size_t body_end = skip_statement(tokens, close);
+    const std::size_t next_end = skip_statement(tokens, body_end);
+    if (range_contains_ident(tokens, close, next_end, "sort")) continue;
+    ctx.flag("unordered-drain", tokens[i].line,
+             "iteration over unordered container '" + hit +
+                 "' has implementation-defined order; drain via sorted keys "
+                 "or justify with an allow() comment");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// using-namespace-header: a `using namespace` at header scope leaks into
+// every includer.
+
+void rule_using_namespace_header(const Context& ctx) {
+  if (!is_header(ctx.relpath)) return;
+  const Tokens& tokens = ctx.lexed->tokens;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i)
+    if (is_ident(tokens, i, "using") && is_ident(tokens, i + 1, "namespace"))
+      ctx.flag("using-namespace-header", tokens[i].line,
+               "'using namespace' in a header leaks into every includer; "
+               "use scoped using-declarations in .cpp files instead");
+}
+
+// ---------------------------------------------------------------------------
+// missing-pragma-once: every header must be self-guarding.
+
+void rule_missing_pragma_once(const Context& ctx) {
+  if (!is_header(ctx.relpath)) return;
+  const Tokens& tokens = ctx.lexed->tokens;
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i)
+    if (is_punct(tokens, i, "#") && is_ident(tokens, i + 1, "pragma") &&
+        is_ident(tokens, i + 2, "once"))
+      return;
+  ctx.flag("missing-pragma-once", 1,
+           "header lacks '#pragma once'; every header must be "
+           "self-guarding");
+}
+
+// ---------------------------------------------------------------------------
+// naked-new: manual memory management in pipeline code. Ownership flows
+// through containers and unique_ptr; a bare new/delete is either a leak
+// waiting to happen or a missing std::make_unique.
+
+void rule_naked_new(const Context& ctx) {
+  if (!starts_with(ctx.relpath, "src/")) return;
+  const Tokens& tokens = ctx.lexed->tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent) continue;
+    if (tokens[i].text == "new") {
+      ctx.flag("naked-new", tokens[i].line,
+               "naked 'new' in pipeline code; use std::make_unique or a "
+               "container");
+    } else if (tokens[i].text == "delete") {
+      if (i > 0 && is_punct(tokens, i - 1, "=")) continue;  // = delete;
+      if (i > 0 && is_ident(tokens, i - 1, "operator")) continue;
+      ctx.flag("naked-new", tokens[i].line,
+               "naked 'delete' in pipeline code; ownership must be RAII");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// metric-name / span-name: the src/obs naming conventions. Metric names are
+// Prometheus-style `pl_<module>_<what>` with optional `{key="value"}`
+// labels; span names are lower_snake (":" and "-" allowed for instance
+// qualifiers like `registry:apnic`).
+
+bool valid_metric_chars(std::string_view name, bool is_prefix) {
+  std::size_t i = 0;
+  for (; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c == '{') break;
+    if (!(std::islower(static_cast<unsigned char>(c)) ||
+          std::isdigit(static_cast<unsigned char>(c)) || c == '_'))
+      return false;
+  }
+  if (i == name.size()) return true;
+  // A label block `{key="value"}` follows. A prefix under construction
+  // (literal + dynamic tail) may open the block without closing it; a
+  // complete literal must close it.
+  return is_prefix || name.back() == '}';
+}
+
+void rule_metric_name(const Context& ctx) {
+  if (!starts_with(ctx.relpath, "src/")) return;
+  const Tokens& tokens = ctx.lexed->tokens;
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent) continue;
+    const std::string& method = tokens[i].text;
+    if (method != "counter" && method != "gauge" && method != "histogram")
+      continue;
+    if (i == 0 ||
+        !(is_punct(tokens, i - 1, ".") || is_punct(tokens, i - 1, "->")))
+      continue;  // only member calls: registry.counter(...)
+    if (!is_punct(tokens, i + 1, "(") ||
+        tokens[i + 2].kind != Token::Kind::kString)
+      continue;
+    const std::string& name = tokens[i + 2].text;
+    // A literal followed by `+` is a prefix under construction: its tail is
+    // dynamic, so only the spelled-out part is validated.
+    const bool is_prefix = is_punct(tokens, i + 3, "+");
+    const bool ok =
+        starts_with(name, "pl_") && valid_metric_chars(name, is_prefix);
+    if (!ok)
+      ctx.flag("metric-name", tokens[i + 2].line,
+               "metric name \"" + name +
+                   "\" violates the convention pl_<module>_<what>"
+                   "[{label=\"v\"}] (lower_snake, pl_ prefix)");
+  }
+}
+
+void rule_span_name(const Context& ctx) {
+  if (!starts_with(ctx.relpath, "src/")) return;
+  const Tokens& tokens = ctx.lexed->tokens;
+  for (std::size_t i = 1; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent) continue;
+    const std::string& method = tokens[i].text;
+    if (method != "root" && method != "child") continue;
+    if (!(is_punct(tokens, i - 1, ".") || is_punct(tokens, i - 1, "->")))
+      continue;
+    if (!is_punct(tokens, i + 1, "(") ||
+        tokens[i + 2].kind != Token::Kind::kString)
+      continue;
+    const std::string& name = tokens[i + 2].text;
+    const bool is_prefix = is_punct(tokens, i + 3, "+");
+    bool ok = !name.empty();
+    for (std::size_t c = 0; c < name.size() && ok; ++c) {
+      const char ch = name[c];
+      ok = std::islower(static_cast<unsigned char>(ch)) ||
+           std::isdigit(static_cast<unsigned char>(ch)) || ch == '_' ||
+           ch == ':' || ch == '-' || ch == '.';
+    }
+    if (is_prefix && !name.empty() && ok) continue;
+    if (!ok)
+      ctx.flag("span-name", tokens[i + 2].line,
+               "span name \"" + name +
+                   "\" violates the convention lower_snake (':' '-' '.' "
+                   "allowed for instance qualifiers)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// self-include-first: a src/ .cpp must include its own header before
+// anything else — the cheapest proof the header is self-contained.
+
+void rule_self_include_first(const Context& ctx) {
+  const std::string_view relpath = ctx.relpath;
+  if (!starts_with(relpath, "src/") || !ends_with(relpath, ".cpp")) return;
+  // src/<dir...>/<stem>.cpp  →  expected first include "<dir...>/<stem>.hpp"
+  std::string expected(relpath.substr(4));
+  expected.replace(expected.size() - 4, 4, ".hpp");
+
+  const Tokens& tokens = ctx.lexed->tokens;
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (!(is_punct(tokens, i, "#") && is_ident(tokens, i + 1, "include")))
+      continue;
+    if (tokens[i + 2].kind != Token::Kind::kString) continue;  // <...> form
+    if (tokens[i + 2].text != expected)
+      ctx.flag("self-include-first", tokens[i + 2].line,
+               "first project include is \"" + tokens[i + 2].text +
+                   "\"; a source file must include its own header (\"" +
+                   expected + "\") first to prove it self-contained");
+    return;  // only the first quoted include matters
+  }
+  ctx.flag("self-include-first", 1,
+           "source file never includes its own header \"" + expected + "\"");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> catalog = {
+      {"nondet-rand",
+       "banned nondeterministic randomness (std::rand, random_device, ...); "
+       "use util::Rng"},
+      {"nondet-time",
+       "banned wall-clock reads outside obs/span.hpp, bench/, tools/"},
+      {"unordered-drain",
+       "iteration over unordered containers needs the sorted-drain idiom or "
+       "a justified allow()"},
+      {"using-namespace-header", "no `using namespace` at header scope"},
+      {"missing-pragma-once", "headers must carry #pragma once"},
+      {"naked-new", "no naked new/delete in src/; ownership is RAII"},
+      {"metric-name",
+       "metric literals in src/ follow pl_<module>_<what>[{label=\"v\"}]"},
+      {"span-name", "span literals in src/ are lower_snake identifiers"},
+      {"self-include-first",
+       "a src/ .cpp includes its own header before any other include"},
+  };
+  return catalog;
+}
+
+void Report::merge(const Report& other) {
+  findings.insert(findings.end(), other.findings.begin(),
+                  other.findings.end());
+  for (const auto& [rule, budget] : other.suppressions) {
+    suppressions[rule].declared += budget.declared;
+    suppressions[rule].used += budget.used;
+  }
+  files_scanned += other.files_scanned;
+}
+
+Report lint_source(std::string_view relpath, std::string_view content) {
+  const Lexed lexed = lex(content);
+  const Suppressions suppressions = parse_suppressions(lexed.comments);
+
+  Report report;
+  report.files_scanned = 1;
+  std::map<std::string, SuppressionBudget> budget = suppressions.budget;
+
+  const Context ctx{relpath, &lexed, &suppressions, &report, &budget};
+  rule_nondet_rand(ctx);
+  rule_nondet_time(ctx);
+  rule_unordered_drain(ctx);
+  rule_using_namespace_header(ctx);
+  rule_missing_pragma_once(ctx);
+  rule_naked_new(ctx);
+  rule_metric_name(ctx);
+  rule_span_name(ctx);
+  rule_self_include_first(ctx);
+
+  report.suppressions = std::move(budget);
+  return report;
+}
+
+std::string report_json(const Report& report, std::string_view root) {
+  bench::JsonWriter json(/*pretty=*/true);
+  json.begin_object();
+  json.key("schema").value("pl-lint/1");
+  json.key("root").value(root);
+  json.key("files_scanned")
+      .value(static_cast<std::int64_t>(report.files_scanned));
+  json.key("clean").value(report.clean());
+  json.key("findings").begin_array();
+  for (const Finding& finding : report.findings) {
+    json.begin_object();
+    json.key("file").value(finding.file);
+    json.key("line").value(static_cast<std::int64_t>(finding.line));
+    json.key("rule").value(finding.rule);
+    json.key("message").value(finding.message);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("suppressions").begin_array();
+  for (const auto& [rule, budget] : report.suppressions) {
+    json.begin_object();
+    json.key("rule").value(rule);
+    json.key("declared").value(static_cast<std::int64_t>(budget.declared));
+    json.key("used").value(static_cast<std::int64_t>(budget.used));
+    json.end_object();
+  }
+  json.end_array();
+  json.key("rules").begin_array();
+  for (const RuleInfo& rule : rule_catalog()) {
+    json.begin_object();
+    json.key("id").value(rule.id);
+    json.key("summary").value(rule.summary);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for the round-trip (objects, arrays, strings, ints,
+// bools — exactly what report_json emits).
+
+namespace {
+
+struct JsonCursor {
+  std::string_view text;
+  std::size_t i = 0;
+  bool ok = true;
+
+  void skip_ws() {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (i < text.size() && text[i] == c) {
+      ++i;
+      return true;
+    }
+    ok = false;
+    return false;
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return i < text.size() && text[i] == c;
+  }
+
+  std::string string() {
+    skip_ws();
+    std::string out;
+    if (i >= text.size() || text[i] != '"') {
+      ok = false;
+      return out;
+    }
+    ++i;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) {
+        ++i;
+        switch (text[i]) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u':
+            if (i + 4 < text.size()) {
+              out += static_cast<char>(
+                  std::stoi(std::string(text.substr(i + 1, 4)), nullptr, 16));
+              i += 4;
+            }
+            break;
+          default: out += text[i];
+        }
+      } else {
+        out += text[i];
+      }
+      ++i;
+    }
+    if (i >= text.size()) ok = false;
+    ++i;
+    return out;
+  }
+
+  std::int64_t integer() {
+    skip_ws();
+    const std::size_t start = i;
+    if (i < text.size() && (text[i] == '-' || text[i] == '+')) ++i;
+    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i])))
+      ++i;
+    if (i == start) {
+      ok = false;
+      return 0;
+    }
+    return std::strtoll(std::string(text.substr(start, i - start)).c_str(),
+                        nullptr, 10);
+  }
+
+  bool boolean() {
+    skip_ws();
+    if (text.compare(i, 4, "true") == 0) {
+      i += 4;
+      return true;
+    }
+    if (text.compare(i, 5, "false") == 0) {
+      i += 5;
+      return false;
+    }
+    ok = false;
+    return false;
+  }
+
+  /// Skip any value (used for keys the reader does not model).
+  void skip_value() {
+    skip_ws();
+    if (i >= text.size()) {
+      ok = false;
+      return;
+    }
+    const char c = text[i];
+    if (c == '"') {
+      string();
+    } else if (c == '{' || c == '[') {
+      const char closer = c == '{' ? '}' : ']';
+      ++i;
+      int depth = 1;
+      bool in_string = false;
+      while (i < text.size() && depth > 0) {
+        const char d = text[i];
+        if (in_string) {
+          if (d == '\\')
+            ++i;
+          else if (d == '"')
+            in_string = false;
+        } else if (d == '"') {
+          in_string = true;
+        } else if (d == c) {
+          ++depth;
+        } else if (d == closer) {
+          --depth;
+        }
+        ++i;
+      }
+      if (depth != 0) ok = false;
+    } else {
+      while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+             text[i] != ']')
+        ++i;
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<Report> report_from_json(std::string_view json) {
+  JsonCursor cursor{json};
+  Report report;
+  if (!cursor.consume('{')) return std::nullopt;
+  bool saw_schema = false;
+  while (cursor.ok && !cursor.peek('}')) {
+    const std::string key = cursor.string();
+    if (!cursor.consume(':')) return std::nullopt;
+    if (key == "schema") {
+      if (cursor.string() != "pl-lint/1") return std::nullopt;
+      saw_schema = true;
+    } else if (key == "files_scanned") {
+      report.files_scanned = static_cast<int>(cursor.integer());
+    } else if (key == "findings") {
+      if (!cursor.consume('[')) return std::nullopt;
+      while (cursor.ok && !cursor.peek(']')) {
+        if (!cursor.consume('{')) return std::nullopt;
+        Finding finding;
+        while (cursor.ok && !cursor.peek('}')) {
+          const std::string field = cursor.string();
+          if (!cursor.consume(':')) return std::nullopt;
+          if (field == "file")
+            finding.file = cursor.string();
+          else if (field == "line")
+            finding.line = static_cast<int>(cursor.integer());
+          else if (field == "rule")
+            finding.rule = cursor.string();
+          else if (field == "message")
+            finding.message = cursor.string();
+          else
+            cursor.skip_value();
+          if (!cursor.peek('}')) cursor.consume(',');
+        }
+        cursor.consume('}');
+        report.findings.push_back(std::move(finding));
+        if (!cursor.peek(']')) cursor.consume(',');
+      }
+      cursor.consume(']');
+    } else if (key == "suppressions") {
+      if (!cursor.consume('[')) return std::nullopt;
+      while (cursor.ok && !cursor.peek(']')) {
+        if (!cursor.consume('{')) return std::nullopt;
+        std::string rule;
+        SuppressionBudget budget;
+        while (cursor.ok && !cursor.peek('}')) {
+          const std::string field = cursor.string();
+          if (!cursor.consume(':')) return std::nullopt;
+          if (field == "rule")
+            rule = cursor.string();
+          else if (field == "declared")
+            budget.declared = static_cast<int>(cursor.integer());
+          else if (field == "used")
+            budget.used = static_cast<int>(cursor.integer());
+          else
+            cursor.skip_value();
+          if (!cursor.peek('}')) cursor.consume(',');
+        }
+        cursor.consume('}');
+        if (!rule.empty()) report.suppressions.emplace(rule, budget);
+        if (!cursor.peek(']')) cursor.consume(',');
+      }
+      cursor.consume(']');
+    } else {
+      cursor.skip_value();
+    }
+    if (!cursor.peek('}')) cursor.consume(',');
+  }
+  if (!cursor.ok || !saw_schema) return std::nullopt;
+  return report;
+}
+
+}  // namespace pl::lint

@@ -1,0 +1,138 @@
+// pl-lint CLI: walk the given files/directories, lint every C++ source, and
+// print findings as `file:line: rule-id: message` plus a suppression-budget
+// summary. Exit code 0 = clean, 1 = findings, 2 = usage/IO error.
+//
+//   pl-lint [--root DIR] [--json PATH] [--list-rules] PATH...
+//
+// `--root` anchors the repo-relative labels (and thereby the path-scoped
+// rule policy); it defaults to the current directory. Directories are
+// walked recursively in sorted order so the output is deterministic;
+// build trees and the lint fixture corpus (which contains deliberate
+// violations) are skipped.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+bool skipped_directory(const fs::path& path) {
+  const std::string name = path.filename().string();
+  return name == "lint_fixtures" || name.rfind("build", 0) == 0 ||
+         name == ".git";
+}
+
+void collect(const fs::path& path, std::vector<fs::path>& out) {
+  if (fs::is_directory(path)) {
+    for (fs::directory_iterator it(path), end; it != end; ++it) {
+      if (fs::is_directory(it->path())) {
+        if (!skipped_directory(it->path())) collect(it->path(), out);
+      } else if (lintable_extension(it->path())) {
+        out.push_back(it->path());
+      }
+    }
+  } else if (fs::exists(path)) {
+    out.push_back(path);
+  } else {
+    std::cerr << "pl-lint: no such path: " << path.string() << "\n";
+    std::exit(2);
+  }
+}
+
+std::string relative_label(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  if (ec || rel.empty() || *rel.begin() == "..")
+    return path.generic_string();
+  return rel.generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string json_path;
+  std::vector<fs::path> inputs;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--list-rules") {
+      for (const pl::lint::RuleInfo& rule : pl::lint::rule_catalog())
+        std::cout << rule.id << "  " << rule.summary << "\n";
+      return 0;
+    }
+    if (arg == "--root" && a + 1 < argc) {
+      root = argv[++a];
+    } else if (arg == "--json" && a + 1 < argc) {
+      json_path = argv[++a];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "pl-lint: unknown flag " << arg << "\n"
+                << "usage: pl-lint [--root DIR] [--json PATH] "
+                   "[--list-rules] PATH...\n";
+      return 2;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "usage: pl-lint [--root DIR] [--json PATH] [--list-rules] "
+                 "PATH...\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& input : inputs) collect(input, files);
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  pl::lint::Report report;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "pl-lint: cannot read " << file.string() << "\n";
+      return 2;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    report.merge(
+        pl::lint::lint_source(relative_label(file, root), content.str()));
+  }
+
+  for (const pl::lint::Finding& finding : report.findings)
+    std::cout << finding.file << ":" << finding.line << ": " << finding.rule
+              << ": " << finding.message << "\n";
+
+  int declared = 0;
+  for (const auto& [rule, budget] : report.suppressions) {
+    declared += budget.declared;
+    std::cout << "suppression-budget: " << rule
+              << " declared=" << budget.declared << " used=" << budget.used
+              << "\n";
+  }
+  std::cout << "pl-lint: " << report.files_scanned << " files, "
+            << report.findings.size() << " findings, " << declared
+            << " suppressions declared\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "pl-lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << pl::lint::report_json(report, root.generic_string()) << "\n";
+  }
+  return report.clean() ? 0 : 1;
+}
