@@ -1,0 +1,225 @@
+// Serving-layer performance harness: builds the serve::Snapshot from the
+// shared bench pipeline, then measures the query paths a deployment cares
+// about — cold and warm point lookups, batch lookups, alive-on batches —
+// and the incremental update: advance_day latency vs. rebuilding the whole
+// snapshot, with the bit-identity of the two re-checked in passing. Writes
+// machine-readable BENCH_serve.json so successive PRs accumulate a perf
+// trajectory.
+//
+// Environment knobs:
+//   PL_BENCH_SCALE  world scale (default 1.0 = paper scale)
+//   PL_BENCH_SEED   world seed (default 42)
+//   PL_BENCH_OUT    JSON output path (default BENCH_serve.json)
+//
+// JSON format (schema pl-bench-serve/1):
+//   {
+//     "schema": "pl-bench-serve/1", "scale": ..., "seed": ...,
+//     "snapshot": {"asns": n, "admin_lives": n, "op_lives": n,
+//                  "build_ms": ms},
+//     "queries": {"point_cold_qps": x, "point_warm_qps": x,
+//                 "batch_qps": x, "alive_qps": x, "scan_full_ms": ms,
+//                 "cache_hits": n, "cache_misses": n},
+//     "advance": {"days": n, "mean_ms": ms, "max_ms": ms,
+//                 "rebuild_ms": ms, "speedup_vs_rebuild": x,
+//                 "identical": true}
+//   }
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "serve/query.hpp"
+#include "serve/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Query mix the oracle test uses too: mostly ASNs the study knows, some it
+/// never saw (misses exercise the not-found path and the cache equally).
+std::vector<pl::asn::Asn> query_mix(const pl::serve::Snapshot& snapshot,
+                                    std::size_t count) {
+  pl::util::Rng rng(0x5EED);
+  const auto& rows = snapshot.rows();
+  std::vector<pl::asn::Asn> asns;
+  asns.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!rows.empty() && rng.uniform(0, 3) != 0) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(rows.size()) - 1));
+      asns.push_back(rows[pick].asn);
+    } else {
+      asns.push_back(pl::asn::Asn{
+          static_cast<std::uint32_t>(rng.uniform(1, 500000))});
+    }
+  }
+  return asns;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pl;
+  bench::print_banner(
+      "serve", "snapshot queries + incremental day-advance vs. rebuild");
+
+  std::string out_path = "BENCH_serve.json";
+  if (const char* env = std::getenv("PL_BENCH_OUT")) out_path = env;
+
+  const bench::Pipeline& pipeline = bench::Pipeline::instance();
+  const util::Day end = pipeline.truth.archive_end;
+
+  // --- Snapshot build (the serve.build_snapshot stage).
+  const auto build_start = Clock::now();
+  serve::Snapshot snapshot = serve::Snapshot::build(
+      pipeline.restored, pipeline.op_world.activity, end);
+  const double build_ms = ms_since(build_start);
+  std::cout << "snapshot: " << bench::fmt_count(static_cast<std::int64_t>(
+                   snapshot.asn_count()))
+            << " ASNs, " << bench::fmt_count(static_cast<std::int64_t>(
+                   snapshot.admin_life_count()))
+            << " admin + " << bench::fmt_count(static_cast<std::int64_t>(
+                   snapshot.op_life_count()))
+            << " op lives, built in " << build_ms << " ms\n\n";
+  const std::int64_t snapshot_asns =
+      static_cast<std::int64_t>(snapshot.asn_count());
+  const std::int64_t snapshot_admin =
+      static_cast<std::int64_t>(snapshot.admin_life_count());
+  const std::int64_t snapshot_op =
+      static_cast<std::int64_t>(snapshot.op_life_count());
+
+  // --- Query throughput. One service, cache on: the first pass over the
+  // mix is all misses (cold), the second pass all hits (warm).
+  const std::size_t kQueries = 20000;
+  const std::vector<asn::Asn> mix = query_mix(snapshot, kQueries);
+  serve::QueryService service(std::move(snapshot));
+
+  auto start = Clock::now();
+  for (const asn::Asn asn : mix) (void)service.lookup(asn);
+  const double cold_ms = ms_since(start);
+
+  start = Clock::now();
+  for (const asn::Asn asn : mix) (void)service.lookup(asn);
+  const double warm_ms = ms_since(start);
+
+  start = Clock::now();
+  const std::vector<serve::AsnAnswer> batch = service.lookup_batch(mix);
+  const double batch_ms = ms_since(start);
+
+  start = Clock::now();
+  const std::vector<serve::AliveAnswer> alive =
+      service.alive_on_batch(mix, end - 365);
+  const double alive_ms = ms_since(start);
+
+  start = Clock::now();
+  const std::vector<serve::AsnAnswer> everything =
+      service.scan(serve::ScanQuery{});
+  const double scan_ms = ms_since(start);
+
+  const auto qps = [&](double ms) {
+    return ms > 0 ? 1000.0 * static_cast<double>(kQueries) / ms : 0.0;
+  };
+  const obs::Snapshot metrics = service.report().metrics;
+  const std::int64_t hits = metrics.counter_value("pl_serve_cache_hits");
+  const std::int64_t misses = metrics.counter_value("pl_serve_cache_misses");
+  std::cout << "point lookups: cold " << bench::fmt_count(
+                   static_cast<std::int64_t>(qps(cold_ms)))
+            << " qps, warm " << bench::fmt_count(
+                   static_cast<std::int64_t>(qps(warm_ms)))
+            << " qps (cache " << hits << " hits / " << misses << " misses)\n";
+  std::cout << "batch lookup:  " << bench::fmt_count(
+                   static_cast<std::int64_t>(qps(batch_ms)))
+            << " qps over one " << kQueries << "-ASN batch\n";
+  std::cout << "alive batch:   " << bench::fmt_count(
+                   static_cast<std::int64_t>(qps(alive_ms)))
+            << " qps; full scan of " << bench::fmt_count(
+                   static_cast<std::int64_t>(everything.size()))
+            << " rows in " << scan_ms << " ms\n\n";
+  (void)batch;
+  (void)alive;
+
+  // --- Incremental advance vs. full rebuild over the last week.
+  const int kDays = 7;
+  const util::Day base_day = end - kDays;
+  serve::Snapshot advanced = serve::Snapshot::build(
+      serve::truncate_archive(pipeline.restored, base_day),
+      serve::truncate_activity(pipeline.op_world.activity, base_day),
+      base_day);
+  double advance_total_ms = 0;
+  double advance_max_ms = 0;
+  for (util::Day day = base_day + 1; day <= end; ++day) {
+    const serve::DayDelta delta = serve::slice_day(
+        pipeline.restored, pipeline.op_world.activity, day);
+    start = Clock::now();
+    const pl::Status status = advanced.advance_day(delta);
+    const double day_ms = ms_since(start);
+    if (!status.ok()) {
+      std::cerr << "advance failed: " << status.to_string() << "\n";
+      return 1;
+    }
+    advance_total_ms += day_ms;
+    if (day_ms > advance_max_ms) advance_max_ms = day_ms;
+  }
+  const double advance_mean_ms = advance_total_ms / kDays;
+
+  start = Clock::now();
+  const serve::Snapshot rebuilt = serve::Snapshot::build(
+      pipeline.restored, pipeline.op_world.activity, end);
+  const double rebuild_ms = ms_since(start);
+  const bool identical = advanced == rebuilt;
+
+  std::cout << "advance_day:   mean " << advance_mean_ms << " ms, max "
+            << advance_max_ms << " ms over " << kDays
+            << " days; full rebuild " << rebuild_ms << " ms ("
+            << (advance_mean_ms > 0 ? rebuild_ms / advance_mean_ms : 0.0)
+            << "x slower per day)\n";
+  std::cout << "advanced == rebuilt: "
+            << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+
+  // --- Machine-readable artifact.
+  bench::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("pl-bench-serve/1");
+  json.key("scale").value(pipeline.scale);
+  json.key("seed").value(static_cast<std::uint64_t>(pipeline.seed));
+  json.key("snapshot").begin_object();
+  json.key("asns").value(snapshot_asns);
+  json.key("admin_lives").value(snapshot_admin);
+  json.key("op_lives").value(snapshot_op);
+  json.key("build_ms").value(build_ms);
+  json.end_object();
+  json.key("queries").begin_object();
+  json.key("point_cold_qps").value(qps(cold_ms), 0);
+  json.key("point_warm_qps").value(qps(warm_ms), 0);
+  json.key("batch_qps").value(qps(batch_ms), 0);
+  json.key("alive_qps").value(qps(alive_ms), 0);
+  json.key("scan_full_ms").value(scan_ms);
+  json.key("cache_hits").value(hits);
+  json.key("cache_misses").value(misses);
+  json.end_object();
+  json.key("advance").begin_object();
+  json.key("days").value(kDays);
+  json.key("mean_ms").value(advance_mean_ms);
+  json.key("max_ms").value(advance_max_ms);
+  json.key("rebuild_ms").value(rebuild_ms);
+  json.key("speedup_vs_rebuild")
+      .value(advance_mean_ms > 0 ? rebuild_ms / advance_mean_ms : 0.0);
+  json.key("identical").value(identical);
+  json.end_object();
+  json.end_object();
+
+  std::ofstream out(out_path);
+  out << json.str() << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return identical ? 0 : 1;
+}

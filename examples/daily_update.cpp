@@ -1,174 +1,103 @@
 // Near-realtime daily update (paper 9: "we intend to continue updating and
-// publishing our datasets on a daily basis"): consume the archive through
-// the StreamingRestorer day by day, and at a few checkpoints rebuild the
-// lifetimes and print the current census — the loop a production deployment
-// would run once per day as new delegation files land.
+// publishing our datasets on a daily basis") — now through the serving
+// layer. A deployment keeps a serve::Snapshot warm and folds each new day
+// in with QueryService::advance_day instead of rebuilding the whole study:
+// one delegation day + one BGP activity day per advance, with the caches
+// dropped and the census republished. The advance path is locked by test to
+// be bit-identical to a full rebuild, which this example re-verifies at the
+// end.
+//
+// The "new day arriving from the RIR FTP sites + collectors" is played here
+// by serve::slice_day over an extended simulated world; a production loop
+// would assemble the same DayDelta from the day's delegation files and
+// collector dump.
 //
 // Run:  ./daily_update [scale] [seed]
 #include <cstdlib>
 #include <iostream>
 
-#include "bgpsim/route_gen.hpp"
-#include "joint/taxonomy.hpp"
-#include "obs/metrics.hpp"
-#include "restore/pipeline.hpp"
-#include "rirsim/inject.hpp"
-#include "rirsim/world.hpp"
-#include "robust/error.hpp"
+#include "pipeline/pipeline.hpp"
+#include "serve/query.hpp"
+#include "serve/snapshot.hpp"
 #include "util/strings.hpp"
-
-namespace {
-
-/// The operator's dashboard view: publish every restorer's §3.1 ledger and
-/// the merged fault books into a fresh registry, then read the aggregates
-/// back off the snapshot (counter_sum folds the per-registry labels) — the
-/// same numbers a Prometheus scrape of a live deployment would chart.
-pl::obs::Snapshot census(
-    const std::vector<pl::restore::StreamingRestorer>& restorers,
-    const std::array<pl::robust::ErrorSink, pl::asn::kRirCount>& sinks) {
-  pl::obs::Registry registry;
-  for (std::size_t r = 0; r < restorers.size(); ++r)
-    pl::restore::record_metrics(restorers[r].report(), pl::asn::kAllRirs[r],
-                                registry);
-  pl::robust::RobustnessReport faults;
-  for (const pl::robust::ErrorSink& sink : sinks)
-    faults.merge(sink.counters());
-  pl::robust::record_metrics(faults, registry);
-  return registry.snapshot();
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pl;
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
   const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
                                       : 7;
 
-  const rirsim::GroundTruth truth =
-      rirsim::build_world(rirsim::WorldConfig::test_scale(seed, scale));
-  bgpsim::OpWorldConfig op_config;
-  op_config.behavior.seed = seed + 1;
-  op_config.attacks.scale = scale;
-  op_config.misconfigs.scale = scale;
-  const bgpsim::OpWorld op_world = bgpsim::build_op_world(truth, op_config);
+  // The extended world E: the full simulated history, of which the last
+  // weeks will arrive "live" below.
+  pipeline::Config config;
+  config.seed = seed;
+  config.scale = scale;
+  const pipeline::Result extended = pipeline::run_simulated(config);
+  const util::Day end = extended.truth.archive_end;
+  const int days_live = 28;
+  const util::Day start = end - days_live;
 
-  rirsim::InjectorConfig injector;
-  injector.seed = seed + 4;
-  injector.scale = scale;
-  const rirsim::SimulatedArchive archive(truth, injector);
+  // Day 0 of the deployment: build the snapshot over everything published
+  // up to `start` and put the query service in front of it.
+  serve::Snapshot base = serve::Snapshot::build(
+      serve::truncate_archive(extended.restored, start),
+      serve::truncate_activity(extended.op_world.activity, start), start);
+  std::cout << "serving from " << util::format_iso(start) << ": "
+            << util::with_commas(static_cast<std::int64_t>(base.asn_count()))
+            << " ASNs, "
+            << util::with_commas(
+                   static_cast<std::int64_t>(base.admin_life_count()))
+            << " admin lives\n";
+  serve::QueryService service(std::move(base));
 
-  // One streaming restorer per registry, fed day by day — exactly what a
-  // cron job tailing the RIR FTP sites would do. Each gets its own error
-  // sink so the fault books survive checkpoint/resume cycles.
-  std::array<robust::ErrorSink, asn::kRirCount> sinks;
-  std::vector<restore::StreamingRestorer> restorers;
-  std::array<std::unique_ptr<dele::ArchiveStream>, asn::kRirCount> streams;
-  for (asn::Rir rir : asn::kAllRirs) {
-    restorers.emplace_back(rir, restore::RestoreConfig{}, &truth.erx,
-                           &op_world.activity, &sinks[asn::index_of(rir)]);
-    streams[asn::index_of(rir)] = archive.stream(rir);
-  }
-
-  const util::Day checkpoints[] = {
-      util::make_day(2008, 1, 1), util::make_day(2014, 1, 1),
-      util::make_day(2021, 3, 1)};
-  std::size_t next_checkpoint = 0;
-
-  for (util::Day day = truth.archive_begin; day <= truth.archive_end;
-       ++day) {
-    for (std::size_t r = 0; r < restorers.size(); ++r) {
-      const auto observation = streams[r]->next();
-      if (observation) restorers[r].consume(*observation);
+  // The daily loop: slice the next day out of E, fold it in, keep serving.
+  std::int64_t facts = 0;
+  std::int64_t active = 0;
+  for (util::Day day = start + 1; day <= end; ++day) {
+    const serve::DayDelta delta = serve::slice_day(
+        extended.restored, extended.op_world.activity, day);
+    facts += static_cast<std::int64_t>(delta.delegation.size());
+    active += static_cast<std::int64_t>(delta.active.size());
+    const pl::Status status = service.advance_day(delta);
+    if (!status.ok()) {
+      std::cerr << "advance failed on " << util::format_iso(day) << ": "
+                << status.to_string() << "\n";
+      return 1;
     }
 
-    if (next_checkpoint < std::size(checkpoints) &&
-        day == checkpoints[next_checkpoint]) {
-      ++next_checkpoint;
-      std::size_t blob_bytes = 0;
-      // Checkpoint: serialize every restorer and resume from the blobs, as
-      // a crash-restarted deployment would (a real one writes the blobs to
-      // disk). The resumed instances replace the originals and the run
-      // simply continues — finalize() below closes the books identically.
-      for (std::size_t r = 0; r < restorers.size(); ++r) {
-        const std::string blob = restorers[r].checkpoint();
-        blob_bytes += blob.size();
-        auto resumed = restore::StreamingRestorer::from_checkpoint(
-            blob, restore::RestoreConfig{}, &truth.erx, &op_world.activity,
-            &sinks[r]);
-        if (!resumed) {
-          std::cerr << "checkpoint resume failed for registry " << r << "\n";
-          return 1;
-        }
-        restorers[r] = std::move(*resumed);
-      }
-      // Fault/recovery counts come off the metrics snapshot, not the raw
-      // report structs — the aggregation over registries is one
-      // counter_sum instead of a hand-rolled loop per field.
-      const obs::Snapshot metrics = census(restorers, sinks);
-      std::cout << util::format_iso(day) << ": "
-                << restorers[0].report().days_processed
-                << " days ingested, "
-                << util::with_commas(
-                       metrics.counter_sum("pl_restore_files_missing"))
-                << " missing files bridged, "
-                << util::with_commas(metrics.counter_sum(
-                       "pl_restore_recovered_from_regular"))
-                << " records recovered from regular files so far"
-                << " (checkpointed+resumed, "
-                << util::with_commas(static_cast<std::int64_t>(blob_bytes))
-                << " bytes across 5 registries)\n";
+    if ((day - start) % 7 == 0 || day == end) {
+      const serve::CensusAnswer census = service.census(day);
+      std::cout << util::format_iso(day) << " (v" << service.version()
+                << "): " << util::with_commas(census.admin_alive)
+                << " admin / " << util::with_commas(census.op_alive)
+                << " op lives alive, "
+                << util::with_commas(static_cast<std::int64_t>(
+                       delta.delegation.size()))
+                << " delegation facts today\n";
     }
   }
+  std::cout << "\nadvanced " << days_live << " days: "
+            << util::with_commas(facts) << " delegation facts, "
+            << util::with_commas(active) << " active-ASN marks folded in\n";
 
-  // Final build: restored registries -> lifetimes -> taxonomy.
-  restore::RestoredArchive restored;
-  for (std::size_t r = 0; r < restorers.size(); ++r)
-    restored.registries[r] = std::move(restorers[r]).finalize();
-  restored.cross = restore::reconcile_registries(
-      restored.registries, [&](asn::Asn a) { return truth.iana.owner(a); },
-      restore::RestoreConfig{}, truth.archive_begin);
+  // The §9 promise, verified: the incrementally-advanced snapshot is
+  // bit-identical to rebuilding the study over the full extended world.
+  const serve::Snapshot full = serve::Snapshot::build(
+      extended.restored, extended.op_world.activity, end);
+  if (!(service.snapshot() == full)) {
+    std::cerr << "advanced snapshot diverged from full rebuild\n";
+    return 1;
+  }
+  std::cout << "advanced snapshot == full rebuild (bit-identical)\n";
 
-  const lifetimes::AdminDataset admin =
-      lifetimes::build_admin_lifetimes(restored, truth.archive_end);
-  const lifetimes::OpDataset op =
-      lifetimes::build_op_lifetimes(op_world.activity);
-  const joint::Taxonomy taxonomy = joint::classify(admin, op);
-
-  std::cout << "\nfinal datasets: "
-            << util::with_commas(static_cast<std::int64_t>(
-                   admin.lifetimes.size()))
-            << " admin lifetimes, "
-            << util::with_commas(static_cast<std::int64_t>(
-                   op.lifetimes.size()))
-            << " op lifetimes; taxonomy "
-            << util::with_commas(taxonomy.admin_counts[0]) << " / "
-            << util::with_commas(taxonomy.admin_counts[1]) << " / "
-            << util::with_commas(taxonomy.admin_counts[2])
-            << " (complete/partial/unused)\n";
-
-  // Closing fault/recovery books, read the way a monitoring stack would.
-  obs::Registry final_registry;
-  for (std::size_t r = 0; r < restored.registries.size(); ++r)
-    restore::record_metrics(restored.registries[r], final_registry);
-  robust::RobustnessReport faults;
-  for (const robust::ErrorSink& sink : sinks) faults.merge(sink.counters());
-  robust::record_metrics(faults, final_registry);
-  const obs::Snapshot metrics = final_registry.snapshot();
-  std::cout << "robustness: "
-            << util::with_commas(
-                   metrics.counter_sum("pl_fault_diagnostics"))
-            << " diagnostics, "
-            << util::with_commas(metrics.counter_sum(
-                   "pl_restore_days_quarantined_duplicate") +
-                   metrics.counter_sum("pl_restore_days_quarantined_late"))
-            << " days quarantined, "
-            << util::with_commas(metrics.counter_sum(
-                   "pl_restore_recovered_from_regular"))
-            << " records recovered, "
-            << util::with_commas(
-                   metrics.counter_sum("pl_checkpoint_failures"))
-            << " checkpoint failures\n";
+  // What the monitoring stack sees after a month of advances.
+  const obs::Snapshot metrics = service.report().metrics;
+  std::cout << "serve metrics: "
+            << metrics.counter_value("pl_serve_advance_days")
+            << " days advanced, "
+            << metrics.counter_value("pl_serve_cache_hits") << " cache hits, "
+            << metrics.counter_value("pl_serve_cache_misses")
+            << " misses\n";
   std::cout << "daily_update OK\n";
   return 0;
 }

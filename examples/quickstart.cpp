@@ -1,22 +1,29 @@
-// Quickstart: the whole pipeline on a small world, end to end.
+// Quickstart: the whole pipeline on a small world, end to end — then serve
+// it.
 //
 //   world -> delegation archive (+defects) -> restoration ->
 //   admin lifetimes; behaviour plans -> BGP activity -> op lifetimes;
-//   joint taxonomy -> headline numbers.
+//   joint taxonomy -> serving snapshot -> queries.
 //
-// One call into pipeline::run_simulated runs the same stage wiring the
-// tests, benches, and deployments share — the example only prints the
-// result. The run is fully instrumented: set PL_TRACE=run.json (and/or
+// One call into serve::run_simulated_serving runs the same stage wiring the
+// tests, benches, and deployments share, plus an eighth traced stage that
+// freezes the result into a serve::Snapshot. The example then asks the
+// snapshot the questions the paper keeps asking — point lookups, a batch,
+// a registry scan, an alive census — through serve::QueryService instead of
+// walking the datasets by hand. Set PL_TRACE=run.json (and/or
 // PL_PROM=run.prom) to dump the span tree + metrics snapshot.
 //
 // Run:  ./quickstart [scale] [seed]
 //       PL_TRACE=run.json ./quickstart
 #include <cstdlib>
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "lifetimes/dataset_io.hpp"
 #include "lifetimes/sensitivity.hpp"
-#include "pipeline/pipeline.hpp"
+#include "serve/query.hpp"
+#include "serve/serving.hpp"
 #include "util/strings.hpp"
 
 int main(int argc, char** argv) {
@@ -31,7 +38,8 @@ int main(int argc, char** argv) {
   pipeline::Config config;
   config.seed = seed;
   config.scale = scale;
-  const pipeline::Result result = pipeline::run_simulated(config);
+  serve::ServingWorld world = serve::run_simulated_serving(config);
+  const pipeline::Result& result = world.result;
 
   const rirsim::GroundTruth& truth = result.truth;
   std::cout << "  ground truth: " << util::with_commas(
@@ -43,60 +51,16 @@ int main(int argc, char** argv) {
             << util::with_commas(static_cast<std::int64_t>(truth.orgs.size()))
             << " orgs\n";
 
-  const bgpsim::OpWorld& op_world = result.op_world;
-  std::cout << "  op world: "
-            << util::with_commas(static_cast<std::int64_t>(
-                   op_world.behavior.plans.size()))
-            << " ASN plans, "
-            << util::with_commas(static_cast<std::int64_t>(
-                   op_world.attacks.events.size()))
-            << " squat events, "
-            << util::with_commas(static_cast<std::int64_t>(
-                   op_world.misconfigs.events.size()))
-            << " misconfig events\n";
-
   const restore::RestoredArchive& restored = result.restored;
   for (asn::Rir rir : asn::kAllRirs) {
     const auto& report = restored.registry(rir).report;
     std::cout << "  restored " << asn::display_name(rir) << ": "
               << report.days_processed << " days, " << report.files_missing
               << " missing files, " << report.recovered_from_regular
-              << " records recovered, " << report.placeholder_dates_restored
-              << " placeholder dates restored\n";
-  }
-  std::cout << "  cross-RIR: " << restored.cross.overlapping_asns
-            << " overlapping ASNs, " << restored.cross.stale_spans_trimmed
-            << " stale spans trimmed, "
-            << restored.cross.mistaken_spans_removed
-            << " mistaken spans removed\n";
-
-  const lifetimes::AdminDataset& admin = result.admin;
-  const lifetimes::OpDataset& op = result.op;
-  std::cout << "  admin dataset: "
-            << util::with_commas(static_cast<std::int64_t>(
-                   admin.lifetimes.size()))
-            << " lifetimes / " << util::with_commas(static_cast<std::int64_t>(
-                   admin.asn_count()))
-            << " ASNs\n";
-  std::cout << "  op dataset:    "
-            << util::with_commas(static_cast<std::int64_t>(
-                   op.lifetimes.size()))
-            << " lifetimes / " << util::with_commas(static_cast<std::int64_t>(
-                   op.asn_count()))
-            << " ASNs\n";
-
-  // Listing-1 style records for one ASN with both dimensions.
-  for (const auto& [asn_value, indices] : admin.by_asn) {
-    if (!op.by_asn.contains(asn_value)) continue;
-    std::cout << "\n  example records (ASN " << asn_value << "):\n";
-    std::cout << "    " << lifetimes::admin_record_json(
-        admin.lifetimes[indices.front()]) << "\n";
-    std::cout << "    " << lifetimes::op_record_json(
-        op.lifetimes[op.by_asn.at(asn_value).front()]) << "\n";
-    break;
+              << " records recovered\n";
   }
 
-  // Joint taxonomy (Table 3).
+  // Joint taxonomy (Table 3) straight off the pipeline result.
   const joint::Taxonomy& taxonomy = result.taxonomy;
   std::cout << "\n  taxonomy (admin lives):\n";
   const char* labels[] = {"complete overlap", "partial overlap",
@@ -110,21 +74,84 @@ int main(int argc, char** argv) {
                      static_cast<std::size_t>(c)])
               << " op\n";
 
+  // --- Serve it. The snapshot joins both datasets plus the taxonomy and
+  // detector verdicts into one per-ASN index; QueryService fronts it with a
+  // cache and batch APIs.
+  std::cout << "\n  snapshot: "
+            << util::with_commas(static_cast<std::int64_t>(
+                   world.snapshot.asn_count()))
+            << " ASNs, "
+            << util::with_commas(static_cast<std::int64_t>(
+                   world.snapshot.admin_life_count()))
+            << " admin lives, "
+            << util::with_commas(static_cast<std::int64_t>(
+                   world.snapshot.op_life_count()))
+            << " op lives (built in " << result.timings.build_snapshot_ms
+            << " ms)\n";
+  serve::QueryService service(std::move(world.snapshot));
+
+  // Point lookup: the first ASN with both an admin and an op dimension —
+  // the "parallel lives" the paper is named for.
+  for (const auto& [asn_value, indices] : result.admin.by_asn) {
+    if (!result.op.by_asn.contains(asn_value)) continue;
+    const serve::AsnAnswer answer = service.lookup(asn::Asn{asn_value});
+    std::cout << "\n  lookup(AS" << asn_value << "): "
+              << answer.admin_life_count << " admin / "
+              << answer.op_life_count << " op lives, registered "
+              << util::format_iso(answer.latest_registration) << " under "
+              << asn::display_name(answer.latest_registry)
+              << (answer.currently_allocated ? ", currently allocated"
+                                             : ", no longer allocated")
+              << (answer.currently_active ? " and active" : "") << "\n";
+    std::cout << "    " << lifetimes::admin_record_json(
+        result.admin.lifetimes[indices.front()]) << "\n";
+    break;
+  }
+
+  // Batch lookup: vector-in/vector-out, misses computed in parallel.
+  std::vector<asn::Asn> batch;
+  for (const serve::AsnRow& row : service.snapshot().rows()) {
+    batch.push_back(row.asn);
+    if (batch.size() == 64) break;
+  }
+  const std::vector<serve::AsnAnswer> answers = service.lookup_batch(batch);
+  std::int64_t transferred = 0;
+  for (const serve::AsnAnswer& answer : answers)
+    if (answer.transferred) ++transferred;
+  std::cout << "  batch of " << answers.size() << " lookups: "
+            << transferred << " ASNs ever transferred registries\n";
+
+  // Registry scan + census, the §5 views.
+  serve::ScanQuery ripe;
+  ripe.registry = asn::Rir::kRipeNcc;
+  ripe.limit = 5;
+  std::cout << "  first RIPE ASNs: ";
+  for (const serve::AsnAnswer& answer : service.scan(ripe))
+    std::cout << "AS" << answer.asn.value << " ";
+  const serve::CensusAnswer census =
+      service.census(service.snapshot().archive_end());
+  std::cout << "\n  census on " << util::format_iso(census.day) << ": "
+            << util::with_commas(census.admin_alive)
+            << " admin lives alive, " << util::with_commas(census.op_alive)
+            << " op lives alive\n";
+
   const lifetimes::TimeoutChoice choice =
-      lifetimes::evaluate_choice(op_world.activity, admin, 30);
+      lifetimes::evaluate_choice(result.op_world.activity, result.admin, 30);
   std::cout << "\n  30-day timeout sits at " << util::percent(
       choice.gap_fraction)
             << " of activity gaps and " << util::percent(
                    choice.one_or_less_fraction)
             << " of admin lives with <=1 op life\n";
 
-  // Observability report: stage tree + metrics travel with the result.
+  // Observability: the pipeline report plus the service's own serve.* view.
+  const obs::Snapshot serve_metrics = service.report().metrics;
   std::cout << "\n  observability: "
-            << result.report.metrics.counters.size() << " counters, "
-            << result.report.metrics.gauges.size() << " gauges, "
-            << result.report.metrics.histograms.size() << " histograms; "
-            << "restore stage " << result.timings.restore_ms << " ms of "
-            << result.timings.total_ms << " ms total\n";
+            << result.report.metrics.counters.size()
+            << " pipeline counters; serve cache "
+            << serve_metrics.counter_value("pl_serve_cache_hits") << " hits / "
+            << serve_metrics.counter_value("pl_serve_cache_misses")
+            << " misses; restore stage " << result.timings.restore_ms
+            << " ms of " << result.timings.total_ms << " ms total\n";
   if (std::getenv("PL_TRACE") == nullptr &&
       std::getenv("PL_PROM") == nullptr)
     std::cout << "  (PL_TRACE=run.json dumps the span tree + metrics as "

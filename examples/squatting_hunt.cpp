@@ -1,22 +1,22 @@
-// Squatting hunt: the paper's 6.1.2/6.4 workflow as a tool.
+// Squatting hunt: the paper's 6.1.2/6.4 workflow as a tool — driven off the
+// serving layer.
 //
-// Builds the joint lenses, flags operational lives that awaken after long
-// dormancy (or appear outside any delegation), then inspects each candidate
-// the way the paper did semi-automatically: daily prefix-origination counts
-// and the upstream ASN in the announcements, looking for known hijack
-// factories.
+// The detectors already ran when the snapshot was built: every op life
+// carries its dormant-awakening / outside-delegation verdict, and every ASN
+// row ORs them into flag bits. So the hunt is now a scan over the snapshot
+// for flagged ASNs, followed by the semi-automatic inspection the paper did:
+// daily prefix-origination counts and the upstream ASN in the announcements,
+// looking for known hijack factories.
 //
 // Run:  ./squatting_hunt [scale] [seed]
 #include <cstdlib>
 #include <iostream>
 #include <unordered_set>
+#include <utility>
 
 #include "bgpsim/route_gen.hpp"
-#include "joint/squat.hpp"
-#include "lifetimes/op.hpp"
-#include "restore/pipeline.hpp"
-#include "rirsim/inject.hpp"
-#include "rirsim/world.hpp"
+#include "serve/query.hpp"
+#include "serve/serving.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -26,38 +26,22 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
                                       : 7;
 
-  // --- Build both dimensions.
-  const rirsim::GroundTruth truth =
-      rirsim::build_world(rirsim::WorldConfig::test_scale(seed, scale));
-  bgpsim::OpWorldConfig op_config;
-  op_config.behavior.seed = seed + 1;
-  op_config.attacks.seed = seed + 2;
-  op_config.attacks.scale = scale;
-  op_config.misconfigs.seed = seed + 3;
-  op_config.misconfigs.scale = scale;
-  const bgpsim::OpWorld op_world = bgpsim::build_op_world(truth, op_config);
+  // --- Build both dimensions and freeze them into a serving snapshot.
+  pipeline::Config config;
+  config.seed = seed;
+  config.scale = scale;
+  serve::ServingWorld world = serve::run_simulated_serving(config);
+  const bgpsim::OpWorld& op_world = world.result.op_world;
+  serve::QueryService service(std::move(world.snapshot));
 
-  rirsim::InjectorConfig injector;
-  injector.seed = seed + 4;
-  injector.scale = scale;
-  const rirsim::SimulatedArchive archive(truth, injector);
-  std::array<std::unique_ptr<dele::ArchiveStream>, asn::kRirCount> streams;
-  for (asn::Rir rir : asn::kAllRirs)
-    streams[asn::index_of(rir)] = archive.stream(rir);
-  const restore::RestoredArchive restored = restore::restore_archive(
-      std::move(streams), restore::RestoreConfig{}, &truth.erx,
-      [&](asn::Asn a) { return truth.iana.owner(a); }, truth.archive_begin,
-      &op_world.activity);
-  const lifetimes::AdminDataset admin =
-      lifetimes::build_admin_lifetimes(restored, truth.archive_end);
-  const lifetimes::OpDataset op =
-      lifetimes::build_op_lifetimes(op_world.activity);
-  const joint::Taxonomy taxonomy = joint::classify(admin, op);
-
-  // --- Run both detectors.
-  const auto dormant = joint::detect_dormant_squats(taxonomy, admin, op);
-  const auto outside =
-      joint::detect_outside_delegation_activity(taxonomy, admin, op);
+  // --- Find the candidates: one full-range scan, filtered on the detector
+  // flag bits the snapshot build stamped on each row.
+  std::vector<asn::Asn> dormant;
+  std::vector<asn::Asn> outside;
+  for (const serve::AsnAnswer& answer : service.scan(serve::ScanQuery{})) {
+    if (answer.dormant_squat) dormant.push_back(answer.asn);
+    if (answer.outside_activity) outside.push_back(answer.asn);
+  }
   std::cout << "flagged " << dormant.size()
             << " dormant awakenings and " << outside.size()
             << " outside-delegation lives\n\n";
@@ -76,15 +60,28 @@ int main(int argc, char** argv) {
   for (const bgpsim::SquatEvent& event : op_world.attacks.events)
     labelled.insert(event.asn.value);
 
-  util::TextTable table({"ASN", "awakening", "dormancy (d)", "rel. dur.",
-                         "prefixes/day", "upstream", "verdict"});
+  const serve::Snapshot& snapshot = service.snapshot();
+  util::TextTable table({"ASN", "awakening", "life (d)", "prefixes/day",
+                         "upstream", "verdict"});
   int shown = 0;
   int confirmed = 0;
-  const auto inspect = [&](const joint::SquatCandidate& candidate) {
-    const lifetimes::OpLifetime& life = op.lifetimes[candidate.op_index];
+  std::unordered_set<std::uint32_t> counted;
+  const auto inspect = [&](asn::Asn candidate) {
+    const serve::AsnRow* row = snapshot.find(candidate);
+    if (row == nullptr) return;
+    // Probe the flagged op life (there can be several; take the first one
+    // the detectors marked).
+    const serve::OpLifeRow* suspect = nullptr;
+    for (const serve::OpLifeRow& op : snapshot.op_lives(*row))
+      if (op.dormant_squat || op.outside_activity) {
+        suspect = &op;
+        break;
+      }
+    if (suspect == nullptr) return;
+    const lifetimes::OpLifetime& life = suspect->life;
     const util::Day probe =
         life.days.first + static_cast<util::Day>(life.days.length() / 2);
-    const std::unordered_set<std::uint32_t> watch = {candidate.asn.value};
+    const std::unordered_set<std::uint32_t> watch = {candidate.value};
     std::int64_t prefixes = 0;
     std::uint32_t upstream = 0;
     for (const bgp::Element& element :
@@ -93,16 +90,13 @@ int main(int argc, char** argv) {
       if (const auto hop = element.path.first_hop()) upstream = hop->value;
     }
     const bool factory_upstream = factories.contains(upstream);
-    const bool is_labelled = labelled.contains(candidate.asn.value);
-    if (is_labelled) ++confirmed;
+    const bool is_labelled = labelled.contains(candidate.value);
+    if (is_labelled && counted.insert(candidate.value).second) ++confirmed;
     if (shown < 12 && (factory_upstream || prefixes > 20)) {
       ++shown;
-      char rel[16];
-      std::snprintf(rel, sizeof rel, "%.2f%%",
-                    candidate.relative_duration * 100);
-      table.add_row({asn::to_string(candidate.asn),
+      table.add_row({asn::to_string(candidate),
                      util::format_iso(life.days.first),
-                     std::to_string(candidate.dormancy), rel,
+                     std::to_string(life.days.length()),
                      std::to_string(prefixes),
                      "AS" + std::to_string(upstream),
                      is_labelled ? "CONFIRMED (ground truth)"
@@ -110,8 +104,8 @@ int main(int argc, char** argv) {
                                                     : "benign?"});
     }
   };
-  for (const joint::SquatCandidate& candidate : dormant) inspect(candidate);
-  for (const joint::SquatCandidate& candidate : outside) inspect(candidate);
+  for (const asn::Asn candidate : dormant) inspect(candidate);
+  for (const asn::Asn candidate : outside) inspect(candidate);
 
   std::cout << "most suspicious candidates (high prefix volume or known "
                "hijack-factory upstream):\n";
@@ -119,7 +113,7 @@ int main(int argc, char** argv) {
 
   std::cout << "\n" << confirmed << " of "
             << dormant.size() + outside.size()
-            << " flagged lives are ground-truth malicious — like the paper, "
+            << " flagged ASNs are ground-truth malicious — like the paper, "
                "the filter surfaces squats but most candidates are benign "
                "irregular operations.\n";
   return 0;

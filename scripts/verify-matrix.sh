@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # verify-matrix.sh — the repo's full verification matrix in one command.
 #
-# Six legs, one line of output each, exit 0 iff every leg passes:
+# Seven legs, one line of output each, exit 0 iff every leg passes:
 #
 #   plain     tier-1 build (with -Werror) + full ctest suite
 #   asan      PL_SANITIZE build (ASan+UBSan) + chaos-labelled suites
@@ -9,6 +9,7 @@
 #   obs-off   PL_OBS_OFF build + full suite (kill-switch stays buildable)
 #   checked   PL_CHECKED build + full suite (contracts armed, death tests)
 #   lint      pl-lint over src/ tests/ bench/ examples/ (ctest -L lint)
+#   serve     serving-layer suites under contracts armed (ctest -L serve)
 #
 # Usage: scripts/verify-matrix.sh [jobs]
 # Build trees live in build-matrix-<leg>/ so they never collide with the
@@ -50,6 +51,10 @@ run_leg checked "-DPL_CHECKED=ON -DPL_WERROR=ON" ""
 # lint reuses the plain tree: pl-lint is already built there, so this leg
 # is pure analysis time.
 run_leg lint    "-DPL_WERROR=ON"                 "-L lint" plain
+# serve reuses the checked tree: the oracle fuzz + advance-vs-rebuild
+# suites run with contracts armed, which is where snapshot indexing bugs
+# would trip PL_ASSERT_SORTED and friends.
+run_leg serve   "-DPL_CHECKED=ON -DPL_WERROR=ON" "-L serve" checked
 
 if [ "$FAILED" -ne 0 ]; then
   echo "verify matrix: FAILED"

@@ -40,6 +40,45 @@ std::vector<SquatCandidate> detect_dormant_squats(
   return candidates;
 }
 
+AsnSquatFlags flag_asn_squats(std::span<const lifetimes::AdminLifetime> admin,
+                              std::span<const lifetimes::OpLifetime> op,
+                              const AsnClassification& cls,
+                              const SquatDetectorConfig& config) {
+  AsnSquatFlags flags;
+  flags.dormant.assign(op.size(), false);
+  flags.outside.assign(op.size(), false);
+
+  // Dormant awakenings: walk each complete-overlap admin life's contained
+  // op lives in start order, measuring dormancy from the allocation start
+  // or the previous contained op life's end — the same walk as
+  // detect_dormant_squats, restricted to one ASN.
+  for (std::size_t a = 0; a < admin.size(); ++a) {
+    if (cls.admin_category[a] != Category::kCompleteOverlap) continue;
+    const lifetimes::AdminLifetime& life = admin[a];
+    util::Day previous_end = life.days.first - 1;  // allocation start
+    for (const std::size_t o : cls.admin_to_ops[a]) {
+      if (!life.days.contains(op[o].days)) continue;
+      const std::int64_t dormancy =
+          static_cast<std::int64_t>(op[o].days.first) - previous_end - 1;
+      const double relative = static_cast<double>(op[o].days.length()) /
+                              static_cast<double>(life.days.length());
+      if (dormancy >= config.dormancy_days &&
+          relative <= config.max_relative_duration)
+        flags.dormant[o] = true;
+      previous_end = op[o].days.last;
+    }
+  }
+
+  // Outside-delegation activity: the global detector emits one candidate
+  // per outside-category op life whose ASN has at least one admin life (an
+  // outside life overlaps none of them, so a closest gap always exists).
+  for (std::size_t o = 0; o < op.size(); ++o)
+    if (cls.op_category[o] == Category::kOutsideDelegation && !admin.empty())
+      flags.outside[o] = true;
+
+  return flags;
+}
+
 std::vector<SquatCandidate> detect_outside_delegation_activity(
     const Taxonomy& taxonomy, const lifetimes::AdminDataset& admin,
     const lifetimes::OpDataset& op) {

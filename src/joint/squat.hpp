@@ -17,6 +17,9 @@ struct SquatDetectorConfig {
   std::int64_t dormancy_days = 1000;
   /// Maximum op-life duration as a fraction of the admin life's duration.
   double max_relative_duration = 0.05;
+
+  friend bool operator==(const SquatDetectorConfig&,
+                         const SquatDetectorConfig&) = default;
 };
 
 struct SquatCandidate {
@@ -39,5 +42,25 @@ std::vector<SquatCandidate> detect_dormant_squats(
 std::vector<SquatCandidate> detect_outside_delegation_activity(
     const Taxonomy& taxonomy, const lifetimes::AdminDataset& admin,
     const lifetimes::OpDataset& op);
+
+/// Per-op-life detector verdicts for one ASN, indices local to the ASN's
+/// start-ordered life lists (matching joint::AsnClassification).
+struct AsnSquatFlags {
+  /// Op life flagged by the dormant-awakening detector (6.1.2).
+  std::vector<bool> dormant;
+  /// Op life is outside-delegation activity of an ever-allocated ASN (6.4).
+  std::vector<bool> outside;
+
+  friend bool operator==(const AsnSquatFlags&, const AsnSquatFlags&) = default;
+};
+
+/// Per-ASN mirror of the two detectors above, used by the serving layer to
+/// stamp detector flags onto snapshot rows. For every ASN the set of
+/// flagged op lives equals what the global detectors emit for that ASN (the
+/// serve oracle test cross-checks the two implementations).
+AsnSquatFlags flag_asn_squats(std::span<const lifetimes::AdminLifetime> admin,
+                              std::span<const lifetimes::OpLifetime> op,
+                              const AsnClassification& cls,
+                              const SquatDetectorConfig& config = {});
 
 }  // namespace pl::joint

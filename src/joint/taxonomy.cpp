@@ -20,6 +20,58 @@ std::string_view category_name(Category category) noexcept {
   return kCategoryNames[static_cast<std::size_t>(category)];
 }
 
+AsnClassification classify_asn(std::span<const lifetimes::AdminLifetime> admin,
+                               std::span<const lifetimes::OpLifetime> op) {
+  AsnClassification cls;
+  cls.admin_category.assign(admin.size(), Category::kUnused);
+  cls.op_category.assign(op.size(), Category::kOutsideDelegation);
+  cls.op_to_admin.assign(op.size(), -1);
+  cls.admin_to_ops.resize(admin.size());
+
+  std::vector<bool> admin_has_partial(admin.size(), false);
+  std::vector<bool> admin_has_inside(admin.size(), false);
+
+  for (std::size_t o = 0; o < op.size(); ++o) {
+    const lifetimes::OpLifetime& op_life = op[o];
+    std::int64_t best_admin = -1;
+    std::int64_t best_overlap = 0;
+    bool inside = false;
+    for (std::size_t a = 0; a < admin.size(); ++a) {
+      const lifetimes::AdminLifetime& admin_life = admin[a];
+      const std::int64_t overlap =
+          util::overlap_days(admin_life.days, op_life.days);
+      if (overlap <= 0) continue;
+      const bool contains = admin_life.days.contains(op_life.days);
+      cls.admin_to_ops[a].push_back(o);
+      if (contains)
+        admin_has_inside[a] = true;
+      else
+        admin_has_partial[a] = true;
+      if (overlap > best_overlap) {
+        best_overlap = overlap;
+        best_admin = static_cast<std::int64_t>(a);
+        inside = contains;
+      }
+    }
+    cls.op_to_admin[o] = best_admin;
+    if (best_admin < 0)
+      cls.op_category[o] = Category::kOutsideDelegation;
+    else
+      cls.op_category[o] =
+          inside ? Category::kCompleteOverlap : Category::kPartialOverlap;
+  }
+
+  for (std::size_t a = 0; a < admin.size(); ++a) {
+    if (admin_has_partial[a])
+      cls.admin_category[a] = Category::kPartialOverlap;
+    else if (admin_has_inside[a])
+      cls.admin_category[a] = Category::kCompleteOverlap;
+    else
+      cls.admin_category[a] = Category::kUnused;
+  }
+  return cls;
+}
+
 Taxonomy classify(const lifetimes::AdminDataset& admin,
                   const lifetimes::OpDataset& op) {
   PL_EXPECT(([&] {
@@ -39,72 +91,109 @@ Taxonomy classify(const lifetimes::AdminDataset& admin,
   taxonomy.op_to_admin.assign(op.lifetimes.size(), -1);
   taxonomy.admin_to_ops.resize(admin.lifetimes.size());
 
-  // Track whether each admin life saw a boundary-crossing op life.
-  std::vector<bool> admin_has_partial(admin.lifetimes.size(), false);
-  std::vector<bool> admin_has_inside(admin.lifetimes.size(), false);
-
-  // Each op life classifies independently (per-index writes), but the
-  // admin-side cross-links are shared: record each op life's overlapping
-  // admin lives into a per-op slot, then fold the slots serially in
-  // ascending-op order below — the exact order the serial loop appended
-  // to admin_to_ops (and vector<bool> writes are not thread-safe anyway).
-  struct Overlap {
-    std::size_t admin;
-    bool inside;
+  // Classification only relates lives of the same ASN, so shard over the
+  // merged per-ASN groups: each group classifies into its own slot via
+  // classify_asn, then the slots scatter serially in ascending-ASN order —
+  // bit-identical to the serial per-op loop this replaces (the per-op
+  // iteration order inside an ASN equals the local start order, and groups
+  // are disjoint).
+  struct Group {
+    std::uint32_t asn;
+    const std::vector<std::size_t>* admin_indices;  // nullptr when absent
+    const std::vector<std::size_t>* op_indices;
   };
-  std::vector<std::vector<Overlap>> overlaps_by_op(op.lifetimes.size());
-
-  exec::parallel_for(
-      op.lifetimes.size(),
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t o = begin; o < end; ++o) {
-          const lifetimes::OpLifetime& op_life = op.lifetimes[o];
-          const auto admin_it = admin.by_asn.find(op_life.asn.value);
-          std::int64_t best_admin = -1;
-          std::int64_t best_overlap = 0;
-          bool inside = false;
-          if (admin_it != admin.by_asn.end()) {
-            for (const std::size_t a : admin_it->second) {
-              const lifetimes::AdminLifetime& admin_life = admin.lifetimes[a];
-              const std::int64_t overlap =
-                  util::overlap_days(admin_life.days, op_life.days);
-              if (overlap <= 0) continue;
-              const bool contains = admin_life.days.contains(op_life.days);
-              overlaps_by_op[o].push_back(Overlap{a, contains});
-              if (overlap > best_overlap) {
-                best_overlap = overlap;
-                best_admin = static_cast<std::int64_t>(a);
-                inside = contains;
-              }
-            }
-          }
-          taxonomy.op_to_admin[o] = best_admin;
-          if (best_admin < 0)
-            taxonomy.op_category[o] = Category::kOutsideDelegation;
-          else
-            taxonomy.op_category[o] = inside ? Category::kCompleteOverlap
-                                             : Category::kPartialOverlap;
-        }
-      },
-      /*grain=*/256);
-
-  for (std::size_t o = 0; o < op.lifetimes.size(); ++o) {
-    for (const Overlap& overlap : overlaps_by_op[o]) {
-      taxonomy.admin_to_ops[overlap.admin].push_back(o);
-      if (overlap.inside)
-        admin_has_inside[overlap.admin] = true;
-      else
-        admin_has_partial[overlap.admin] = true;
+  std::vector<Group> groups;
+  groups.reserve(admin.by_asn.size() + op.by_asn.size());
+  {
+    auto a_it = admin.by_asn.begin();
+    auto o_it = op.by_asn.begin();
+    while (a_it != admin.by_asn.end() || o_it != op.by_asn.end()) {
+      if (o_it == op.by_asn.end() ||
+          (a_it != admin.by_asn.end() && a_it->first < o_it->first)) {
+        groups.push_back(Group{a_it->first, &a_it->second, nullptr});
+        ++a_it;
+      } else if (a_it == admin.by_asn.end() || o_it->first < a_it->first) {
+        groups.push_back(Group{o_it->first, nullptr, &o_it->second});
+        ++o_it;
+      } else {
+        groups.push_back(Group{a_it->first, &a_it->second, &o_it->second});
+        ++a_it;
+        ++o_it;
+      }
     }
   }
 
-  for (std::size_t a = 0; a < admin.lifetimes.size(); ++a) {
-    if (admin_has_partial[a])
-      taxonomy.admin_category[a] = Category::kPartialOverlap;
-    else if (admin_has_inside[a])
-      taxonomy.admin_category[a] = Category::kCompleteOverlap;
-    else
-      taxonomy.admin_category[a] = Category::kUnused;
+  // Index lists of a freshly indexed dataset are contiguous ascending runs
+  // (lifetimes are sorted by (asn, start)); fall back to a scratch copy for
+  // hand-assembled datasets where they are not.
+  const auto contiguous = [](const std::vector<std::size_t>& indices) {
+    for (std::size_t i = 1; i < indices.size(); ++i)
+      if (indices[i] != indices[0] + i) return false;
+    return true;
+  };
+
+  std::vector<AsnClassification> slots(groups.size());
+  exec::parallel_for(
+      groups.size(),
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<lifetimes::AdminLifetime> admin_scratch;
+        std::vector<lifetimes::OpLifetime> op_scratch;
+        for (std::size_t g = begin; g < end; ++g) {
+          std::span<const lifetimes::AdminLifetime> admin_span;
+          if (groups[g].admin_indices != nullptr) {
+            const auto& indices = *groups[g].admin_indices;
+            if (contiguous(indices)) {
+              admin_span = {admin.lifetimes.data() + indices.front(),
+                            indices.size()};
+            } else {
+              admin_scratch.clear();
+              for (const std::size_t a : indices)
+                admin_scratch.push_back(admin.lifetimes[a]);
+              admin_span = admin_scratch;
+            }
+          }
+          std::span<const lifetimes::OpLifetime> op_span;
+          if (groups[g].op_indices != nullptr) {
+            const auto& indices = *groups[g].op_indices;
+            if (contiguous(indices)) {
+              op_span = {op.lifetimes.data() + indices.front(),
+                         indices.size()};
+            } else {
+              op_scratch.clear();
+              for (const std::size_t o : indices)
+                op_scratch.push_back(op.lifetimes[o]);
+              op_span = op_scratch;
+            }
+          }
+          slots[g] = classify_asn(admin_span, op_span);
+        }
+      },
+      /*grain=*/64);
+
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const AsnClassification& cls = slots[g];
+    const Group& group = groups[g];
+    if (group.admin_indices != nullptr) {
+      const auto& indices = *group.admin_indices;
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        taxonomy.admin_category[indices[i]] = cls.admin_category[i];
+        for (const std::size_t o : cls.admin_to_ops[i])
+          taxonomy.admin_to_ops[indices[i]].push_back(
+              (*group.op_indices)[o]);
+      }
+    }
+    if (group.op_indices != nullptr) {
+      const auto& indices = *group.op_indices;
+      for (std::size_t j = 0; j < indices.size(); ++j) {
+        taxonomy.op_category[indices[j]] = cls.op_category[j];
+        taxonomy.op_to_admin[indices[j]] =
+            cls.op_to_admin[j] < 0
+                ? -1
+                : static_cast<std::int64_t>(
+                      (*group.admin_indices)[static_cast<std::size_t>(
+                          cls.op_to_admin[j])]);
+      }
+    }
   }
 
   for (const Category c : taxonomy.admin_category)

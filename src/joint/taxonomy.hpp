@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "lifetimes/admin.hpp"
@@ -45,6 +46,29 @@ struct Taxonomy {
     return op_counts[0] + op_counts[1] + op_counts[3];
   }
 };
+
+/// Classification of one ASN's lifetimes, with indices local to the ASN's
+/// start-ordered life lists. Classification only ever relates lives of the
+/// *same* ASN, so this is the complete per-ASN core of `classify()` —
+/// exposed so the serving layer can reclassify exactly the ASNs an
+/// incremental day-advance touched.
+struct AsnClassification {
+  std::vector<Category> admin_category;
+  std::vector<Category> op_category;
+  /// For each op life, the local index of the admin life it overlaps most,
+  /// -1 if none.
+  std::vector<std::int64_t> op_to_admin;
+  /// For each admin life, the local indices of op lives overlapping it.
+  std::vector<std::vector<std::size_t>> admin_to_ops;
+
+  friend bool operator==(const AsnClassification&,
+                         const AsnClassification&) = default;
+};
+
+/// Classify one ASN. Both spans must be sorted by start day (the dataset
+/// invariant after index()).
+AsnClassification classify_asn(std::span<const lifetimes::AdminLifetime> admin,
+                               std::span<const lifetimes::OpLifetime> op);
 
 /// Classify. An op life is "complete" if fully inside some admin life of
 /// the same ASN, "partial" if it overlaps one but crosses its boundary,

@@ -29,49 +29,60 @@ struct Piece {
   bool gap_was_reserved_only = false;
 };
 
+/// Extract one ASN's delegated pieces from one registry's span list (in
+/// span order), appending to `out`. `first_observed` is the registry's first
+/// published day: lives already present in that first file are backdated to
+/// their registration date.
+void gather_asn_pieces(const std::vector<StateSpan>& spans, asn::Rir rir,
+                       Day first_observed, std::vector<Piece>& out) {
+  std::optional<std::size_t> previous_delegated;
+  for (std::size_t s = 0; s < spans.size(); ++s) {
+    const StateSpan& span = spans[s];
+    if (!dele::is_delegated(span.state.status)) continue;
+    Piece piece;
+    piece.days = span.days;
+    piece.rir = rir;
+    piece.registration_date =
+        span.state.registration_date.value_or(span.days.first);
+    piece.country = span.state.country;
+    piece.opaque_id = span.state.opaque_id;
+    // Inspect the gap back to the previous delegated span within this
+    // registry: reserved-only gaps trigger the AfriNIC exception.
+    if (previous_delegated) {
+      bool reserved_only = true;
+      bool covered = true;
+      Day cursor = spans[*previous_delegated].days.last + 1;
+      for (std::size_t g = *previous_delegated + 1; g < s; ++g) {
+        if (dele::is_delegated(spans[g].state.status)) continue;
+        if (spans[g].days.first > cursor) covered = false;
+        if (spans[g].state.status != dele::Status::kReserved)
+          reserved_only = false;
+        cursor = std::max<Day>(cursor, spans[g].days.last + 1);
+      }
+      if (cursor < piece.days.first) covered = false;
+      piece.gap_was_reserved_only =
+          reserved_only && covered && cursor == piece.days.first;
+    }
+    // Backdate first-file lives to their registration date.
+    if (piece.days.first == first_observed &&
+        piece.registration_date < piece.days.first)
+      piece.days.first = piece.registration_date;
+    previous_delegated = s;
+    out.push_back(piece);
+  }
+}
+
 /// Extract the delegated pieces of one registry into `out` (ASN -> pieces
-/// in span order). `first_observed` is the registry's first published day:
-/// lives already present in that first file are backdated to their
-/// registration date.
+/// in span order).
 void gather_registry_pieces(const restore::RestoredRegistry& registry,
                             Day first_observed,
                             std::map<std::uint32_t, std::vector<Piece>>& out) {
   for (const auto& [asn, spans] : registry.spans) {
-    std::optional<std::size_t> previous_delegated;
-    for (std::size_t s = 0; s < spans.size(); ++s) {
-      const StateSpan& span = spans[s];
-      if (!dele::is_delegated(span.state.status)) continue;
-      Piece piece;
-      piece.days = span.days;
-      piece.rir = registry.rir;
-      piece.registration_date =
-          span.state.registration_date.value_or(span.days.first);
-      piece.country = span.state.country;
-      piece.opaque_id = span.state.opaque_id;
-      // Inspect the gap back to the previous delegated span within this
-      // registry: reserved-only gaps trigger the AfriNIC exception.
-      if (previous_delegated) {
-        bool reserved_only = true;
-        bool covered = true;
-        Day cursor = spans[*previous_delegated].days.last + 1;
-        for (std::size_t g = *previous_delegated + 1; g < s; ++g) {
-          if (dele::is_delegated(spans[g].state.status)) continue;
-          if (spans[g].days.first > cursor) covered = false;
-          if (spans[g].state.status != dele::Status::kReserved)
-            reserved_only = false;
-          cursor = std::max<Day>(cursor, spans[g].days.last + 1);
-        }
-        if (cursor < piece.days.first) covered = false;
-        piece.gap_was_reserved_only =
-            reserved_only && covered && cursor == piece.days.first;
-      }
-      // Backdate first-file lives to their registration date.
-      if (piece.days.first == first_observed &&
-          piece.registration_date < piece.days.first)
-        piece.days.first = piece.registration_date;
-      previous_delegated = s;
-      out[asn].push_back(piece);
-    }
+    std::vector<Piece> pieces;
+    gather_asn_pieces(spans, registry.rir, first_observed, pieces);
+    if (pieces.empty()) continue;
+    auto& slot = out[asn];
+    slot.insert(slot.end(), pieces.begin(), pieces.end());
   }
 }
 
@@ -194,6 +205,35 @@ void AdminDataset::index() {
                    "AdminDataset::lifetimes after index()");
 }
 
+std::array<std::optional<util::Day>, asn::kRirCount> registry_first_observed(
+    const restore::RestoredArchive& archive) {
+  std::array<std::optional<util::Day>, asn::kRirCount> first_observed;
+  for (const restore::RestoredRegistry& registry : archive.registries) {
+    auto& first = first_observed[asn::index_of(registry.rir)];
+    for (const auto& [asn, spans] : registry.spans)
+      for (const restore::StateSpan& span : spans)
+        if (!first || span.days.first < *first) first = span.days.first;
+  }
+  return first_observed;
+}
+
+std::vector<AdminLifetime> build_asn_admin_lifetimes(
+    std::uint32_t asn_value, const AsnSpansByRegistry& spans,
+    const std::array<std::optional<util::Day>, asn::kRirCount>& first_observed,
+    util::Day archive_end, const AdminBuildConfig& config) {
+  // Assemble pieces in kAllRirs order — the order the full builder folds
+  // its per-registry maps, which fixes the (deterministic) sort below.
+  std::vector<Piece> pieces;
+  for (std::size_t r = 0; r < asn::kRirCount; ++r) {
+    if (spans[r] == nullptr) continue;
+    gather_asn_pieces(*spans[r], asn::kAllRirs[r],
+                      first_observed[r].value_or(archive_end), pieces);
+  }
+  std::vector<AdminLifetime> lifetimes;
+  build_asn_lifetimes(asn_value, pieces, archive_end, config, lifetimes);
+  return lifetimes;
+}
+
 AdminDataset build_admin_lifetimes(const restore::RestoredArchive& archive,
                                    util::Day archive_end,
                                    const AdminBuildConfig& config) {
@@ -203,15 +243,14 @@ AdminDataset build_admin_lifetimes(const restore::RestoredArchive& archive,
   // Each registry's first observed day (its first published file): lives
   // already present in the first file are backdated to their registration
   // date — the paper's lifetimes reach back to 1992 through this field
-  // (Fig. 10), since the archive cannot witness their true start.
+  // (Fig. 10), since the archive cannot witness their true start. A
+  // registry with no spans gets the archive-end sentinel (no ASN can match
+  // it, so no backdating happens).
+  const std::array<std::optional<util::Day>, asn::kRirCount> observed =
+      registry_first_observed(archive);
   std::array<util::Day, asn::kRirCount> first_observed;
-  first_observed.fill(archive_end);
-  for (const restore::RestoredRegistry& registry : archive.registries) {
-    auto& first = first_observed[asn::index_of(registry.rir)];
-    for (const auto& [asn, spans] : registry.spans)
-      for (const restore::StateSpan& span : spans)
-        first = std::min(first, span.days.first);
-  }
+  for (std::size_t r = 0; r < asn::kRirCount; ++r)
+    first_observed[r] = observed[r].value_or(archive_end);
 
   // Gather delegated pieces per ASN, sharded by registry: each of the five
   // registries fills its own map, and the maps fold together in registry

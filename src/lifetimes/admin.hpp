@@ -12,8 +12,10 @@
 //     registries.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -31,12 +33,17 @@ struct AdminLifetime {
   std::uint64_t opaque_id = 0;          ///< holder organization handle
   bool open_ended = false;              ///< still allocated at archive end
   bool transferred = false;             ///< crossed registries mid-life
+
+  friend bool operator==(const AdminLifetime&, const AdminLifetime&) = default;
 };
 
 struct AdminBuildConfig {
   /// Gap tolerance (days) for the inter-RIR transfer merge. The paper
   /// requires "no gaps"; 0 means strictly adjacent.
   int transfer_gap_tolerance = 0;
+
+  friend bool operator==(const AdminBuildConfig&,
+                         const AdminBuildConfig&) = default;
 };
 
 struct AdminDataset {
@@ -53,6 +60,30 @@ struct AdminDataset {
 AdminDataset build_admin_lifetimes(const restore::RestoredArchive& archive,
                                    util::Day archive_end,
                                    const AdminBuildConfig& config = {});
+
+/// One ASN's restored span lists, one pointer per registry in `kAllRirs`
+/// order (nullptr where that registry never listed the ASN).
+using AsnSpansByRegistry =
+    std::array<const std::vector<restore::StateSpan>*, asn::kRirCount>;
+
+/// Each registry's first observed day — the minimum span start across its
+/// ASNs, i.e. the day its first published file landed. `nullopt` for a
+/// registry with no spans at all. This is the backdating anchor
+/// `build_admin_lifetimes` derives internally; the serving layer keeps it
+/// alongside its working set so incremental rebuilds anchor identically.
+std::array<std::optional<util::Day>, asn::kRirCount> registry_first_observed(
+    const restore::RestoredArchive& archive);
+
+/// Lifetimes of a single ASN from its per-registry restored spans — the
+/// per-ASN core of `build_admin_lifetimes`, exposed so the serving layer's
+/// `advance_day()` can rebuild exactly the ASNs a new day touched. For any
+/// ASN, feeding the slices of a full archive through this function yields
+/// the same lifetimes the full builder produces (the differential tests
+/// lock this).
+std::vector<AdminLifetime> build_asn_admin_lifetimes(
+    std::uint32_t asn_value, const AsnSpansByRegistry& spans,
+    const std::array<std::optional<util::Day>, asn::kRirCount>& first_observed,
+    util::Day archive_end, const AdminBuildConfig& config = {});
 
 /// Publish the admin-dataset census (lifetime/ASN totals, open-ended and
 /// transferred counts, the duration distribution) into the metrics

@@ -1,30 +1,61 @@
 // Dataset serialization in the shape the paper publishes (Listing 1):
 // JSON-lines records for administrative and operational lifetimes, plus a
 // CSV form for spreadsheet users.
+//
+// The save/load entry points return pl::Status / pl::StatusOr — the
+// bool/exception mix older callers juggled is gone. The legacy void
+// `write_*` signatures remain as thin shims over the Status API for
+// existing callers; new code should use `save_*` / `load_*`.
 #pragma once
 
+#include <istream>
 #include <ostream>
 #include <string>
 
 #include "lifetimes/admin.hpp"
 #include "lifetimes/op.hpp"
+#include "util/status.hpp"
 
 namespace pl::lifetimes {
 
 /// One JSON object per line, fields matching the paper's Listing 1:
 /// {"ASN":..,"regDate":"..","startdate":"..","enddate":"..",
 ///  "status":"allocated","registry":".."}
-void write_admin_json(std::ostream& out, const AdminDataset& dataset);
+pl::Status save_admin_json(std::ostream& out, const AdminDataset& dataset);
 
 /// {"ASN":..,"startdate":"..","enddate":".."}
-void write_op_json(std::ostream& out, const OpDataset& dataset);
+pl::Status save_op_json(std::ostream& out, const OpDataset& dataset);
 
 /// CSV with a header row.
-void write_admin_csv(std::ostream& out, const AdminDataset& dataset);
-void write_op_csv(std::ostream& out, const OpDataset& dataset);
+pl::Status save_admin_csv(std::ostream& out, const AdminDataset& dataset);
+pl::Status save_op_csv(std::ostream& out, const OpDataset& dataset);
+
+/// File-path variants (open + save + flush; kUnavailable on I/O failure).
+pl::Status save_admin_json(const std::string& path,
+                           const AdminDataset& dataset);
+pl::Status save_op_json(const std::string& path, const OpDataset& dataset);
+
+/// Parse a Listing-1 JSON-lines stream back into a dataset. Blank lines are
+/// skipped; a malformed line fails with kDataLoss naming the line number.
+/// The JSON form carries only the Listing-1 fields, so `country`,
+/// `opaque_id`, `open_ended` and `transferred` come back defaulted; the
+/// dataset is re-indexed and `archive_end` is set to the latest end date.
+pl::StatusOr<AdminDataset> load_admin_json(std::istream& in);
+pl::StatusOr<OpDataset> load_op_json(std::istream& in);
+
+/// File-path variants (kUnavailable when the file cannot be opened).
+pl::StatusOr<AdminDataset> load_admin_json(const std::string& path);
+pl::StatusOr<OpDataset> load_op_json(const std::string& path);
 
 /// Single-record renderers (used by examples and tests).
 std::string admin_record_json(const AdminLifetime& life);
 std::string op_record_json(const OpLifetime& life);
+
+/// Back-compat shims over the Status API. Prefer `save_*`; these swallow
+/// the Status the way the old void signatures did.
+void write_admin_json(std::ostream& out, const AdminDataset& dataset);
+void write_op_json(std::ostream& out, const OpDataset& dataset);
+void write_admin_csv(std::ostream& out, const AdminDataset& dataset);
+void write_op_csv(std::ostream& out, const OpDataset& dataset);
 
 }  // namespace pl::lifetimes

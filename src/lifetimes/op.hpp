@@ -19,6 +19,8 @@ inline constexpr int kPaperTimeoutDays = 30;
 struct OpLifetime {
   asn::Asn asn;
   util::DayInterval days;
+
+  friend bool operator==(const OpLifetime&, const OpLifetime&) = default;
 };
 
 struct OpDataset {

@@ -81,6 +81,7 @@ StageTimings timings_from_trace(const obs::TraceNode& root) {
   timings.admin_ms = stage_ms("admin");
   timings.op_ms = stage_ms("op");
   timings.taxonomy_ms = stage_ms("taxonomy");
+  timings.build_snapshot_ms = stage_ms("serve.build_snapshot");
   timings.total_ms = root.elapsed_ms;
   return timings;
 }
@@ -252,6 +253,8 @@ Result run_simulated(const Config& config) {
                     count(joint::Category::kOutsideDelegation, false));
     op_classes.finish();
   }
+
+  if (config.post_stage) config.post_stage(result, run, metrics);
 
   run.finish();
   result.report.trace = trace.tree();

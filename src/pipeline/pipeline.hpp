@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "bgpsim/route_gen.hpp"
@@ -25,6 +26,8 @@
 #include "robust/error.hpp"
 
 namespace pl::pipeline {
+
+struct Result;
 
 struct Config {
   std::uint64_t seed = 42;
@@ -56,6 +59,12 @@ struct Config {
   /// Write the Prometheus text exposition of the metrics snapshot to this
   /// path. Empty falls back to `PL_PROM`; unset disables.
   std::string prom_path;
+  /// Optional post-taxonomy hook, invoked inside the root span after every
+  /// Fig. 1 stage finished but before the report is frozen — the extension
+  /// point derived products (e.g. serve::Snapshot) use to run as a traced,
+  /// metered stage of the same run. Unset (the default) leaves the trace
+  /// tree exactly as before: seven stage children.
+  std::function<void(Result&, obs::Span&, obs::Registry&)> post_stage;
 };
 
 /// Wall-clock spent in each Fig. 1 stage. A thin view over the trace tree
@@ -72,6 +81,8 @@ struct StageTimings {
   double admin_ms = 0;     ///< lifetimes::build_admin_lifetimes
   double op_ms = 0;        ///< lifetimes::build_op_lifetimes
   double taxonomy_ms = 0;  ///< joint::classify
+  double build_snapshot_ms = 0;  ///< serve::Snapshot::build (post_stage hook;
+                                 ///< 0 when no hook installed one)
   double total_ms = 0;
 };
 

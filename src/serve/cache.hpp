@@ -1,0 +1,117 @@
+// Sharded LRU cache for query answers.
+//
+// Keys are pre-packed uint64s (the QueryService owns the packing — see
+// DESIGN.md §11.2). Each shard holds an independent LRU list guarded by its
+// own mutex, so concurrent batch lookups rarely contend; the shard is chosen
+// by a splitmix64-style bit mix of the key, which decorrelates the
+// sequential ASN keys real query streams produce.
+//
+// Determinism note: the cache stores final answers keyed by their full
+// query, so a hit returns byte-for-byte what the miss path would recompute —
+// results cannot depend on cache state, only latency can. The serve oracle
+// test runs every query cache-on and cache-off and asserts equality.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace pl::serve {
+
+/// Mix bits so nearby keys land on different shards (splitmix64 finalizer).
+inline std::uint64_t mix_key(std::uint64_t key) noexcept {
+  key ^= key >> 30;
+  key *= 0xBF58476D1CE4E5B9ULL;
+  key ^= key >> 27;
+  key *= 0x94D049BB133111EBULL;
+  key ^= key >> 31;
+  return key;
+}
+
+template <typename Value>
+class ShardedLruCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across shards.
+  /// Shard count is rounded up to a power of two; capacity 0 disables
+  /// storage entirely (every get misses, every put is dropped).
+  explicit ShardedLruCache(std::size_t capacity, std::size_t shards = 8) {
+    std::size_t rounded = 1;
+    while (rounded < shards) rounded <<= 1;
+    per_shard_capacity_ = capacity / rounded;
+    if (capacity > 0 && per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+    shards_.reserve(rounded);
+    for (std::size_t i = 0; i < rounded; ++i)
+      shards_.push_back(std::make_unique<Shard>());
+  }
+
+  /// Look up `key`, bumping it to most-recently-used on a hit.
+  std::optional<Value> get(std::uint64_t key) {
+    Shard& shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) return std::nullopt;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
+  }
+
+  /// Insert or refresh `key`. Returns the number of entries evicted (0/1).
+  std::size_t put(std::uint64_t key, Value value) {
+    if (per_shard_capacity_ == 0) return 0;
+    Shard& shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return 0;
+    }
+    shard.lru.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.lru.begin());
+    if (shard.lru.size() <= per_shard_capacity_) return 0;
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    return 1;
+  }
+
+  void clear() {
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->lru.clear();
+      shard->index.clear();
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard->mutex);
+      total += shard.get()->lru.size();
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::list<std::pair<std::uint64_t, Value>> lru;  ///< front = most recent
+    std::unordered_map<std::uint64_t,
+                       typename std::list<std::pair<std::uint64_t, Value>>::
+                           iterator>
+        index;
+  };
+
+  Shard& shard_for(std::uint64_t key) noexcept {
+    return *shards_[mix_key(key) & (shards_.size() - 1)];
+  }
+
+  std::size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace pl::serve

@@ -1,0 +1,21 @@
+#include "serve/io.hpp"
+
+#include <utility>
+
+#include "lifetimes/dataset_io.hpp"
+
+namespace pl::serve {
+
+pl::StatusOr<Snapshot> load_snapshot(const std::string& admin_json_path,
+                                     const std::string& op_json_path,
+                                     const SnapshotConfig& config) {
+  pl::StatusOr<lifetimes::AdminDataset> admin =
+      lifetimes::load_admin_json(admin_json_path);
+  if (!admin.ok()) return admin.status();
+  pl::StatusOr<lifetimes::OpDataset> op =
+      lifetimes::load_op_json(op_json_path);
+  if (!op.ok()) return op.status();
+  return Snapshot::from_datasets(std::move(*admin), std::move(*op), config);
+}
+
+}  // namespace pl::serve

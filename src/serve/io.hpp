@@ -1,0 +1,18 @@
+// Loading a query-only Snapshot from published Listing-1 datasets.
+#pragma once
+
+#include <string>
+
+#include "serve/snapshot.hpp"
+#include "util/status.hpp"
+
+namespace pl::serve {
+
+/// Load both Listing-1 JSON-lines files and assemble a query-only snapshot
+/// (no working set — advance_day() fails with kFailedPrecondition).
+/// Propagates the loader's kUnavailable / kDataLoss statuses.
+pl::StatusOr<Snapshot> load_snapshot(const std::string& admin_json_path,
+                                     const std::string& op_json_path,
+                                     const SnapshotConfig& config = {});
+
+}  // namespace pl::serve

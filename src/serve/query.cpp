@@ -1,0 +1,301 @@
+#include "serve/query.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "exec/pool.hpp"
+
+namespace pl::serve {
+
+namespace {
+
+/// Batch-size histogram edges: singles, small scripts, analysis sweeps.
+std::vector<std::int64_t> batch_bounds() { return {1, 8, 64, 512, 4096}; }
+
+}  // namespace
+
+QueryService::QueryService(Snapshot snapshot, QueryConfig config)
+    : snapshot_(std::move(snapshot)),
+      config_(config),
+      root_(trace_.root("serve")),
+      lookup_cache_(config.enable_cache ? config.cache_capacity : 0),
+      alive_cache_(config.enable_cache ? config.cache_capacity : 0),
+      hits_(metrics_.counter("pl_serve_cache_hits")),
+      misses_(metrics_.counter("pl_serve_cache_misses")),
+      evictions_(metrics_.counter("pl_serve_cache_evictions")) {
+  record_metrics(snapshot_, metrics_);
+}
+
+AsnAnswer QueryService::answer_for(asn::Asn asn) const {
+  AsnAnswer answer;
+  answer.asn = asn;
+  const AsnRow* row = snapshot_.find(asn);
+  if (row == nullptr) return answer;
+  answer.known = true;
+  answer.admin_life_count = row->admin_count;
+  answer.op_life_count = row->op_count;
+  answer.transferred = (row->flags & kFlagTransferred) != 0;
+  answer.dormant_squat = (row->flags & kFlagDormantSquat) != 0;
+  answer.outside_activity = (row->flags & kFlagOutsideActivity) != 0;
+
+  const util::Day end = snapshot_.archive_end();
+  const auto admin = snapshot_.admin_lives(*row);
+  if (!admin.empty()) {
+    answer.admin_span =
+        util::DayInterval{admin.front().life.days.first,
+                          admin.back().life.days.last};
+    const AdminLifeRow& latest = admin.back();
+    answer.latest_registry = latest.life.registry;
+    answer.latest_country = latest.life.country;
+    answer.latest_registration = latest.life.registration_date;
+    answer.latest_admin_category = latest.category;
+    answer.currently_allocated = snapshot_.admin_alive_on(*row, end);
+  }
+  const auto op = snapshot_.op_lives(*row);
+  if (!op.empty()) {
+    answer.op_span = util::DayInterval{op.front().life.days.first,
+                                       op.back().life.days.last};
+    answer.currently_active = snapshot_.op_alive_on(*row, end);
+  }
+  return answer;
+}
+
+AliveAnswer QueryService::alive_for(asn::Asn asn, util::Day day) const {
+  AliveAnswer answer;
+  answer.asn = asn;
+  const AsnRow* row = snapshot_.find(asn);
+  if (row == nullptr) return answer;
+  answer.admin_alive = snapshot_.admin_alive_on(*row, day);
+  answer.op_alive = snapshot_.op_alive_on(*row, day);
+  return answer;
+}
+
+AsnAnswer QueryService::lookup(asn::Asn asn) {
+  metrics_.counter("pl_serve_queries{kind=\"point\"}").add(1);
+  if (config_.enable_cache) {
+    if (std::optional<AsnAnswer> cached = lookup_cache_.get(asn.value)) {
+      hits_.add(1);
+      return *cached;
+    }
+    misses_.add(1);
+  }
+  AsnAnswer answer = answer_for(asn);
+  if (config_.enable_cache)
+    evictions_.add(static_cast<std::int64_t>(
+        lookup_cache_.put(asn.value, answer)));
+  return answer;
+}
+
+std::vector<AsnAnswer> QueryService::lookup_batch(
+    const std::vector<asn::Asn>& asns) {
+  obs::Span span = root_.child("serve.lookup_batch");
+  span.note("items", static_cast<std::int64_t>(asns.size()));
+  metrics_.counter("pl_serve_queries{kind=\"batch\"}").add(1);
+  metrics_.histogram("pl_serve_batch_items", batch_bounds())
+      .observe(static_cast<std::int64_t>(asns.size()));
+
+  std::vector<AsnAnswer> answers(asns.size());
+
+  // Probe phase (serial): cache hits fill immediately; misses are grouped
+  // by ASN so duplicate keys in one batch compute once.
+  std::map<std::uint32_t, std::vector<std::size_t>> pending;
+  for (std::size_t i = 0; i < asns.size(); ++i) {
+    if (config_.enable_cache) {
+      if (std::optional<AsnAnswer> cached = lookup_cache_.get(asns[i].value)) {
+        hits_.add(1);
+        answers[i] = *cached;
+        continue;
+      }
+      misses_.add(1);
+    }
+    pending[asns[i].value].push_back(i);
+  }
+  span.note("misses", static_cast<std::int64_t>(pending.size()));
+
+  // Miss phase: compute per-key answers into slots in parallel, then merge
+  // serially in ascending key order — deterministic across thread counts.
+  std::vector<std::pair<std::uint32_t, const std::vector<std::size_t>*>> keys;
+  keys.reserve(pending.size());
+  for (const auto& [key, indices] : pending) keys.emplace_back(key, &indices);
+  std::vector<AsnAnswer> computed(keys.size());
+  exec::parallel_for(
+      keys.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k)
+          computed[k] = answer_for(asn::Asn{keys[k].first});
+      },
+      /*grain=*/32);
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    for (const std::size_t i : *keys[k].second) answers[i] = computed[k];
+    if (config_.enable_cache)
+      evictions_.add(static_cast<std::int64_t>(
+          lookup_cache_.put(keys[k].first, computed[k])));
+  }
+  return answers;
+}
+
+AliveAnswer QueryService::alive_on(asn::Asn asn, util::Day day) {
+  metrics_.counter("pl_serve_queries{kind=\"alive\"}").add(1);
+  const std::uint64_t key = alive_key(asn, day);
+  if (config_.enable_cache) {
+    if (std::optional<AliveAnswer> cached = alive_cache_.get(key)) {
+      hits_.add(1);
+      return *cached;
+    }
+    misses_.add(1);
+  }
+  AliveAnswer answer = alive_for(asn, day);
+  if (config_.enable_cache)
+    evictions_.add(static_cast<std::int64_t>(alive_cache_.put(key, answer)));
+  return answer;
+}
+
+std::vector<AliveAnswer> QueryService::alive_on_batch(
+    const std::vector<asn::Asn>& asns, util::Day day) {
+  obs::Span span = root_.child("serve.alive_on_batch");
+  span.note("items", static_cast<std::int64_t>(asns.size()));
+  metrics_.counter("pl_serve_queries{kind=\"alive\"}").add(1);
+  metrics_.histogram("pl_serve_batch_items", batch_bounds())
+      .observe(static_cast<std::int64_t>(asns.size()));
+
+  std::vector<AliveAnswer> answers(asns.size());
+  std::map<std::uint32_t, std::vector<std::size_t>> pending;
+  for (std::size_t i = 0; i < asns.size(); ++i) {
+    const std::uint64_t key = alive_key(asns[i], day);
+    if (config_.enable_cache) {
+      if (std::optional<AliveAnswer> cached = alive_cache_.get(key)) {
+        hits_.add(1);
+        answers[i] = *cached;
+        continue;
+      }
+      misses_.add(1);
+    }
+    pending[asns[i].value].push_back(i);
+  }
+  span.note("misses", static_cast<std::int64_t>(pending.size()));
+
+  std::vector<std::pair<std::uint32_t, const std::vector<std::size_t>*>> keys;
+  keys.reserve(pending.size());
+  for (const auto& [key, indices] : pending) keys.emplace_back(key, &indices);
+  std::vector<AliveAnswer> computed(keys.size());
+  exec::parallel_for(
+      keys.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k)
+          computed[k] = alive_for(asn::Asn{keys[k].first}, day);
+      },
+      /*grain=*/32);
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    for (const std::size_t i : *keys[k].second) answers[i] = computed[k];
+    if (config_.enable_cache)
+      evictions_.add(static_cast<std::int64_t>(
+          alive_cache_.put(alive_key(asn::Asn{keys[k].first}, day),
+                           computed[k])));
+  }
+  return answers;
+}
+
+CensusAnswer QueryService::census(util::Day day) {
+  metrics_.counter("pl_serve_queries{kind=\"census\"}").add(1);
+  const AliveCensus counts = snapshot_.alive_census(day);
+  return CensusAnswer{day, counts.admin_alive, counts.op_alive};
+}
+
+std::vector<AsnAnswer> QueryService::scan(const ScanQuery& query) {
+  obs::Span span = root_.child("serve.scan");
+  metrics_.counter("pl_serve_queries{kind=\"scan\"}").add(1);
+
+  std::vector<AsnAnswer> answers;
+  const auto& rows = snapshot_.rows();
+
+  // When a registry or country filter is set, walk that dimension's (much
+  // smaller) row-index list instead of the whole table; both lists are
+  // ascending so the output order is the same either way.
+  const std::vector<std::uint32_t>* candidates = nullptr;
+  if (query.registry) candidates = &snapshot_.rows_in_registry(*query.registry);
+  if (query.country) {
+    const auto& by_country = snapshot_.rows_by_country();
+    const auto it = by_country.find(*query.country);
+    if (it == by_country.end()) {
+      span.note("results", 0);
+      return answers;
+    }
+    // Prefer the country list when both filters are set and it is shorter.
+    if (candidates == nullptr || it->second.size() < candidates->size())
+      candidates = &it->second;
+  }
+
+  const auto matches = [&](const AsnRow& row) {
+    if (row.asn < query.first || query.last < row.asn) return false;
+    if (query.registry) {
+      bool in_registry = false;
+      for (const AdminLifeRow& life : snapshot_.admin_lives(row))
+        if (life.life.registry == *query.registry) {
+          in_registry = true;
+          break;
+        }
+      if (!in_registry) return false;
+    }
+    if (query.country) {
+      bool in_country = false;
+      for (const AdminLifeRow& life : snapshot_.admin_lives(row))
+        if (life.life.country == *query.country) {
+          in_country = true;
+          break;
+        }
+      if (!in_country) return false;
+    }
+    if (query.admin_alive_on &&
+        !snapshot_.admin_alive_on(row, *query.admin_alive_on))
+      return false;
+    if (query.op_alive_on && !snapshot_.op_alive_on(row, *query.op_alive_on))
+      return false;
+    return true;
+  };
+
+  if (candidates != nullptr) {
+    for (const std::uint32_t r : *candidates) {
+      if (answers.size() >= query.limit) break;
+      if (matches(rows[r])) answers.push_back(answer_for(rows[r].asn));
+    }
+  } else {
+    // ASN range prune via binary search over the sorted rows.
+    const auto begin = std::lower_bound(
+        rows.begin(), rows.end(), query.first,
+        [](const AsnRow& row, asn::Asn key) { return row.asn < key; });
+    for (auto it = begin; it != rows.end() && !(query.last < it->asn); ++it) {
+      if (answers.size() >= query.limit) break;
+      if (matches(*it)) answers.push_back(answer_for(it->asn));
+    }
+  }
+  span.note("results", static_cast<std::int64_t>(answers.size()));
+  return answers;
+}
+
+pl::Status QueryService::advance_day(const DayDelta& delta) {
+  obs::Span span = root_.child("serve.advance_day");
+  span.note("day", delta.day);
+  AdvanceStats stats;
+  const pl::Status status = snapshot_.advance_day(delta, &stats);
+  if (!status.ok()) {
+    metrics_.counter("pl_serve_advance_failures").add(1);
+    return status;
+  }
+  span.note("facts", stats.facts);
+  span.note("active", stats.active);
+  span.note("touched_admin", stats.touched_admin);
+  span.note("touched_op", stats.touched_op);
+  span.note("reclassified", stats.reclassified);
+  metrics_.counter("pl_serve_advance_days").add(1);
+  lookup_cache_.clear();
+  alive_cache_.clear();
+  ++version_;
+  record_metrics(snapshot_, metrics_);
+  return status;
+}
+
+obs::Report QueryService::report() const {
+  return obs::Report{trace_.tree(), metrics_.snapshot()};
+}
+
+}  // namespace pl::serve

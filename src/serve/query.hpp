@@ -1,0 +1,165 @@
+// The batch/point query front-end over a serving Snapshot.
+//
+// QueryService answers the questions the paper's analyses keep asking —
+// "what do we know about AS X?", "was it alive on day D?", "which ASNs in
+// registry R / country C match?" — with flat value-type answers, a sharded
+// LRU answer cache, and full obs instrumentation (`serve.*` spans,
+// `pl_serve_*` metrics).
+//
+// Batch calls are the primary API: vector-in/vector-out, misses computed in
+// parallel over the exec pool. Answers are deterministic — bit-identical
+// across PL_THREADS settings and cache on/off (the serve oracle test locks
+// this) — because the cache stores full answers keyed by the full query and
+// the parallel miss phase writes into per-index slots merged in order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "serve/cache.hpp"
+#include "serve/snapshot.hpp"
+
+namespace pl::serve {
+
+struct QueryConfig {
+  /// Total cached answers across both answer caches (0 disables storage).
+  std::size_t cache_capacity = 4096;
+  bool enable_cache = true;
+
+  friend bool operator==(const QueryConfig&, const QueryConfig&) = default;
+};
+
+/// Everything the snapshot knows about one ASN, flattened for consumers
+/// that don't want to walk life rows. `latest_*` describe the most recent
+/// admin life; `currently_*` are evaluated against the snapshot's archive
+/// end, so they stay correct as the service advances.
+struct AsnAnswer {
+  asn::Asn asn;
+  bool known = false;  ///< false: the study never saw this ASN
+
+  std::uint32_t admin_life_count = 0;
+  std::uint32_t op_life_count = 0;
+  util::DayInterval admin_span;  ///< hull of all admin lives (empty if none)
+  util::DayInterval op_span;     ///< hull of all op lives (empty if none)
+
+  asn::Rir latest_registry = asn::Rir::kArin;
+  asn::CountryCode latest_country;
+  util::Day latest_registration = 0;
+  joint::Category latest_admin_category = joint::Category::kUnused;
+
+  bool currently_allocated = false;
+  bool currently_active = false;
+  bool transferred = false;
+  bool dormant_squat = false;
+  bool outside_activity = false;
+
+  friend bool operator==(const AsnAnswer&, const AsnAnswer&) = default;
+};
+
+/// "Was this ASN administratively / operationally alive on day D?"
+struct AliveAnswer {
+  asn::Asn asn;
+  bool admin_alive = false;
+  bool op_alive = false;
+
+  friend bool operator==(const AliveAnswer&, const AliveAnswer&) = default;
+};
+
+/// Range scan over the per-ASN index. All filters are conjunctive; unset
+/// optionals don't filter. Results come back in ascending ASN order.
+struct ScanQuery {
+  asn::Asn first{0};
+  asn::Asn last{0xFFFFFFFFu};
+  std::optional<asn::Rir> registry;         ///< any admin life under this RIR
+  std::optional<asn::CountryCode> country;  ///< any admin life in this country
+  std::optional<util::Day> admin_alive_on;
+  std::optional<util::Day> op_alive_on;
+  std::size_t limit = static_cast<std::size_t>(-1);
+};
+
+struct CensusAnswer {
+  util::Day day = 0;
+  std::int64_t admin_alive = 0;
+  std::int64_t op_alive = 0;
+
+  friend bool operator==(const CensusAnswer&, const CensusAnswer&) = default;
+};
+
+/// Query front-end owning a Snapshot, its caches, and its obs state.
+/// Thread-compatible: concurrent reads are safe against each other but not
+/// against advance_day(); callers serialize advances externally.
+class QueryService {
+ public:
+  explicit QueryService(Snapshot snapshot, QueryConfig config = {});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // -- point + batch queries ---------------------------------------------
+
+  AsnAnswer lookup(asn::Asn asn);
+  std::vector<AsnAnswer> lookup_batch(const std::vector<asn::Asn>& asns);
+
+  AliveAnswer alive_on(asn::Asn asn, util::Day day);
+  std::vector<AliveAnswer> alive_on_batch(const std::vector<asn::Asn>& asns,
+                                          util::Day day);
+
+  /// Whole-snapshot alive counts for one day (never cached: it is already
+  /// O(log n) on the snapshot's sorted event arrays).
+  CensusAnswer census(util::Day day);
+
+  /// Filtered range scan; answers computed fresh (scans are unbounded in
+  /// shape, so caching them would just churn the LRU).
+  std::vector<AsnAnswer> scan(const ScanQuery& query);
+
+  // -- incremental update ------------------------------------------------
+
+  /// Fold one day into the snapshot. On success the answer caches are
+  /// dropped (their archive-end-dependent bits went stale) and version()
+  /// increments.
+  pl::Status advance_day(const DayDelta& delta);
+
+  // -- introspection -----------------------------------------------------
+
+  const Snapshot& snapshot() const noexcept { return snapshot_; }
+  const QueryConfig& config() const noexcept { return config_; }
+  std::uint64_t version() const noexcept { return version_; }
+
+  /// Trace tree + metrics snapshot for this service (pl-obs/1 exportable).
+  obs::Report report() const;
+
+ private:
+  AsnAnswer answer_for(asn::Asn asn) const;
+  AliveAnswer alive_for(asn::Asn asn, util::Day day) const;
+
+  static std::uint64_t alive_key(asn::Asn asn, util::Day day) noexcept {
+    return (static_cast<std::uint64_t>(asn.value) << 32) |
+           static_cast<std::uint32_t>(day);
+  }
+
+  Snapshot snapshot_;
+  QueryConfig config_;
+
+  obs::Registry metrics_;
+  obs::Trace trace_;
+  obs::Span root_;
+
+  ShardedLruCache<AsnAnswer> lookup_cache_;
+  ShardedLruCache<AliveAnswer> alive_cache_;
+
+  // Hot counters hoisted once (get-or-create takes the registry mutex).
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& evictions_;
+
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace pl::serve

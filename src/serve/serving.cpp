@@ -1,0 +1,29 @@
+#include "serve/serving.hpp"
+
+#include <utility>
+
+namespace pl::serve {
+
+ServingWorld run_simulated_serving(pipeline::Config config,
+                                   SnapshotConfig snapshot_config) {
+  ServingWorld world;
+  snapshot_config.op_timeout_days = config.op_timeout_days;
+  config.post_stage = [&world, &snapshot_config](pipeline::Result& result,
+                                                 obs::Span& run,
+                                                 obs::Registry& metrics) {
+    obs::Span stage = run.child("serve.build_snapshot");
+    world.snapshot =
+        Snapshot::build(result.restored, result.op_world.activity,
+                        result.truth.archive_end, snapshot_config);
+    stage.note("asns", static_cast<std::int64_t>(world.snapshot.asn_count()));
+    stage.note("admin_lives",
+               static_cast<std::int64_t>(world.snapshot.admin_life_count()));
+    stage.note("op_lives",
+               static_cast<std::int64_t>(world.snapshot.op_life_count()));
+    record_metrics(world.snapshot, metrics);
+  };
+  world.result = pipeline::run_simulated(config);
+  return world;
+}
+
+}  // namespace pl::serve

@@ -1,0 +1,25 @@
+// One-call "pipeline + snapshot" wrapper: run the simulated study and
+// freeze its output into a serving Snapshot as an eighth traced stage
+// (`serve.build_snapshot`), so the snapshot's cost shows up in the same
+// report — and StageTimings — as every other stage.
+#pragma once
+
+#include "pipeline/pipeline.hpp"
+#include "serve/snapshot.hpp"
+
+namespace pl::serve {
+
+struct ServingWorld {
+  pipeline::Result result;
+  Snapshot snapshot;
+};
+
+/// Run the full simulated pipeline, then build the serving snapshot inside
+/// the run's root span via the pipeline's post_stage hook. The snapshot's
+/// op timeout always follows `config.op_timeout_days` (the pipeline's knob
+/// wins over `snapshot_config.op_timeout_days`), so the snapshot agrees
+/// exactly with `result.admin` / `result.op` / `result.taxonomy`.
+ServingWorld run_simulated_serving(pipeline::Config config,
+                                   SnapshotConfig snapshot_config = {});
+
+}  // namespace pl::serve
