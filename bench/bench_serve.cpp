@@ -11,9 +11,9 @@
 //   PL_BENCH_SEED   world seed (default 42)
 //   PL_BENCH_OUT    JSON output path (default BENCH_serve.json)
 //
-// JSON format (schema pl-bench-serve/1):
+// JSON format (schema pl-bench-serve/2):
 //   {
-//     "schema": "pl-bench-serve/1", "scale": ..., "seed": ...,
+//     "schema": "pl-bench-serve/2", "scale": ..., "seed": ...,
 //     "snapshot": {"asns": n, "admin_lives": n, "op_lives": n,
 //                  "build_ms": ms},
 //     "queries": {"point_cold_qps": x, "point_warm_qps": x,
@@ -21,17 +21,23 @@
 //                 "cache_hits": n, "cache_misses": n},
 //     "advance": {"days": n, "mean_ms": ms, "max_ms": ms,
 //                 "rebuild_ms": ms, "speedup_vs_rebuild": x,
-//                 "identical": true}
+//                 "identical": true},
+//     "durability": {"wal_append_mean_ms": ms, "wal_append_max_ms": ms,
+//                    "wal_bytes": n, "snapshot_save_ms": ms,
+//                    "snapshot_open_ms": ms, "snapshot_bytes": n,
+//                    "recover_ms": ms, "replayed_days": n}
 //   }
 
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "serve/durable.hpp"
 #include "serve/query.hpp"
 #include "serve/snapshot.hpp"
 #include "util/rng.hpp"
@@ -184,12 +190,97 @@ int main() {
             << (advance_mean_ms > 0 ? rebuild_ms / advance_mean_ms : 0.0)
             << "x slower per day)\n";
   std::cout << "advanced == rebuilt: "
-            << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+            << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n\n";
+
+  // --- Durability: what crash safety costs per day (WAL append on top of
+  // the in-memory fold), what a checkpoint costs (snapshot save), and how
+  // long a cold recovery takes (open + replay of a week-deep WAL).
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "pl_bench_serve_durable")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string snap_path = dir + "/snapshot.plsnap";
+  const std::string wal_path = dir + "/days.plwal";
+
+  const serve::Snapshot durable_base = serve::Snapshot::build(
+      serve::truncate_archive(pipeline.restored, base_day),
+      serve::truncate_activity(pipeline.op_world.activity, base_day),
+      base_day);
+
+  start = Clock::now();
+  if (const pl::Status saved = serve::save_snapshot(durable_base, snap_path);
+      !saved.ok()) {
+    std::cerr << "snapshot save failed: " << saved.to_string() << "\n";
+    return 1;
+  }
+  const double snapshot_save_ms = ms_since(start);
+  const auto snapshot_bytes =
+      static_cast<std::int64_t>(std::filesystem::file_size(snap_path));
+
+  start = Clock::now();
+  const auto reopened = serve::open_snapshot(snap_path);
+  const double snapshot_open_ms = ms_since(start);
+  if (!reopened.ok()) {
+    std::cerr << "snapshot open failed: " << reopened.status().to_string()
+              << "\n";
+    return 1;
+  }
+
+  double wal_append_total_ms = 0;
+  double wal_append_max_ms = 0;
+  for (util::Day day = base_day + 1; day <= end; ++day) {
+    const serve::DayDelta delta = serve::slice_day(
+        pipeline.restored, pipeline.op_world.activity, day);
+    start = Clock::now();
+    const pl::Status appended = serve::append_wal(wal_path, delta);
+    const double append_ms = ms_since(start);
+    if (!appended.ok()) {
+      std::cerr << "WAL append failed: " << appended.to_string() << "\n";
+      return 1;
+    }
+    wal_append_total_ms += append_ms;
+    if (append_ms > wal_append_max_ms) wal_append_max_ms = append_ms;
+  }
+  const double wal_append_mean_ms = wal_append_total_ms / kDays;
+  const auto wal_bytes =
+      static_cast<std::int64_t>(std::filesystem::file_size(wal_path));
+
+  serve::DurableConfig durable;
+  durable.dir = dir;
+  start = Clock::now();
+  auto recovered = serve::DurableService::open(serve::Snapshot{}, durable);
+  const double recover_ms = ms_since(start);
+  if (!recovered.ok()) {
+    std::cerr << "recovery failed: " << recovered.status().to_string()
+              << "\n";
+    return 1;
+  }
+  const std::int64_t replayed_days = recovered->health().replayed_days;
+  if (recovered->archive_end() != end || recovered->health().degraded) {
+    std::cerr << "recovery did not reach the stretch end cleanly\n";
+    return 1;
+  }
+
+  std::cout << "WAL append:    mean " << wal_append_mean_ms << " ms, max "
+            << wal_append_max_ms << " ms ("
+            << (advance_mean_ms > 0
+                    ? 100.0 * wal_append_mean_ms / advance_mean_ms
+                    : 0.0)
+            << "% on top of the in-memory fold); "
+            << bench::fmt_count(wal_bytes) << " bytes for " << kDays
+            << " days\n";
+  std::cout << "snapshot file: save " << snapshot_save_ms << " ms, open "
+            << snapshot_open_ms << " ms, " << bench::fmt_count(snapshot_bytes)
+            << " bytes\n";
+  std::cout << "cold recovery: " << recover_ms << " ms (snapshot + "
+            << replayed_days << " WAL days replayed)\n";
+  std::filesystem::remove_all(dir);
 
   // --- Machine-readable artifact.
   bench::JsonWriter json;
   json.begin_object();
-  json.key("schema").value("pl-bench-serve/1");
+  json.key("schema").value("pl-bench-serve/2");
   json.key("scale").value(pipeline.scale);
   json.key("seed").value(static_cast<std::uint64_t>(pipeline.seed));
   json.key("snapshot").begin_object();
@@ -215,6 +306,16 @@ int main() {
   json.key("speedup_vs_rebuild")
       .value(advance_mean_ms > 0 ? rebuild_ms / advance_mean_ms : 0.0);
   json.key("identical").value(identical);
+  json.end_object();
+  json.key("durability").begin_object();
+  json.key("wal_append_mean_ms").value(wal_append_mean_ms);
+  json.key("wal_append_max_ms").value(wal_append_max_ms);
+  json.key("wal_bytes").value(wal_bytes);
+  json.key("snapshot_save_ms").value(snapshot_save_ms);
+  json.key("snapshot_open_ms").value(snapshot_open_ms);
+  json.key("snapshot_bytes").value(snapshot_bytes);
+  json.key("recover_ms").value(recover_ms);
+  json.key("replayed_days").value(replayed_days);
   json.end_object();
   json.end_object();
 

@@ -1,11 +1,15 @@
-// Near-realtime daily update (paper 9: "we intend to continue updating and
-// publishing our datasets on a daily basis") — now through the serving
-// layer. A deployment keeps a serve::Snapshot warm and folds each new day
-// in with QueryService::advance_day instead of rebuilding the whole study:
-// one delegation day + one BGP activity day per advance, with the caches
-// dropped and the census republished. The advance path is locked by test to
-// be bit-identical to a full rebuild, which this example re-verifies at the
-// end.
+// Near-realtime daily update (paper §9: "we intend to continue updating and
+// publishing our datasets on a daily basis") — now through the durable
+// serving layer. A deployment keeps a serve::Snapshot warm on disk, appends
+// each day's DayDelta to a write-ahead log before folding it in, and
+// checkpoints periodically; if the process dies mid-update, reopening the
+// state directory replays the WAL and resumes exactly where it left off.
+//
+// This example demonstrates the whole crash/resume cycle with an injected
+// fault: the daily loop is killed by a robust::CrashPoints hook halfway
+// through a torn WAL append, the service is reopened from disk, the stretch
+// is finished, and the recovered snapshot is verified bit-identical to a
+// full rebuild that never crashed.
 //
 // The "new day arriving from the RIR FTP sites + collectors" is played here
 // by serve::slice_day over an extended simulated world; a production loop
@@ -14,10 +18,12 @@
 //
 // Run:  ./daily_update [scale] [seed]
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 
 #include "pipeline/pipeline.hpp"
-#include "serve/query.hpp"
+#include "robust/crashpoint.hpp"
+#include "serve/durable.hpp"
 #include "serve/snapshot.hpp"
 #include "util/strings.hpp"
 
@@ -36,9 +42,13 @@ int main(int argc, char** argv) {
   const util::Day end = extended.truth.archive_end;
   const int days_live = 28;
   const util::Day start = end - days_live;
+  const auto day_of = [&](util::Day day) {
+    return serve::slice_day(extended.restored, extended.op_world.activity,
+                            day);
+  };
 
   // Day 0 of the deployment: build the snapshot over everything published
-  // up to `start` and put the query service in front of it.
+  // up to `start` and open a durable service over a fresh state directory.
   serve::Snapshot base = serve::Snapshot::build(
       serve::truncate_archive(extended.restored, start),
       serve::truncate_activity(extended.op_world.activity, start), start);
@@ -48,56 +58,109 @@ int main(int argc, char** argv) {
             << util::with_commas(
                    static_cast<std::int64_t>(base.admin_life_count()))
             << " admin lives\n";
-  serve::QueryService service(std::move(base));
 
-  // The daily loop: slice the next day out of E, fold it in, keep serving.
-  std::int64_t facts = 0;
-  std::int64_t active = 0;
-  for (util::Day day = start + 1; day <= end; ++day) {
-    const serve::DayDelta delta = serve::slice_day(
-        extended.restored, extended.op_world.activity, day);
-    facts += static_cast<std::int64_t>(delta.delegation.size());
-    active += static_cast<std::int64_t>(delta.active.size());
-    const pl::Status status = service.advance_day(delta);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "pl_daily_update").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  robust::CrashPoints crash;
+  serve::DurableConfig durable;
+  durable.dir = dir;
+  durable.checkpoint_every_days = 7;
+  durable.crash = &crash;
+
+  // Phase 1: the daily loop, with a process death scheduled mid-stretch —
+  // the 12th WAL append tears halfway through its frame.
+  util::Day died_on = 0;
+  {
+    auto service = serve::DurableService::open(std::move(base), durable);
+    if (!service.ok()) {
+      std::cerr << "open failed: " << service.status().to_string() << "\n";
+      return 1;
+    }
+    crash.arm("durable.wal.torn_append", 12);
+    for (util::Day day = start + 1; day <= end; ++day) {
+      const pl::Status status = service->advance_day(day_of(day));
+      if (crash.fired()) {
+        died_on = day;
+        std::cout << "\n*** process death on " << util::format_iso(day)
+                  << ": " << status.to_string() << "\n";
+        break;
+      }
+      if (!status.ok()) {
+        std::cerr << "advance failed on " << util::format_iso(day) << ": "
+                  << status.to_string() << "\n";
+        return 1;
+      }
+      if ((day - start) % 7 == 0) {
+        const serve::CensusAnswer census = service->queries().census(day);
+        std::cout << util::format_iso(day) << ": "
+                  << util::with_commas(census.admin_alive) << " admin / "
+                  << util::with_commas(census.op_alive)
+                  << " op lives alive (durable through "
+                  << util::format_iso(service->health().last_durable_day)
+                  << ")\n";
+      }
+    }
+  }
+  if (died_on == 0) {
+    std::cerr << "crash point never fired; stretch too short?\n";
+    return 1;
+  }
+
+  // Phase 2: recovery. Reopen the same directory — the bootstrap snapshot
+  // is deliberately empty, so everything must come back from the durable
+  // snapshot + WAL replay — and finish the stretch.
+  durable.crash = nullptr;
+  auto recovered = serve::DurableService::open(serve::Snapshot{}, durable);
+  if (!recovered.ok()) {
+    std::cerr << "reopen failed: " << recovered.status().to_string() << "\n";
+    return 1;
+  }
+  const serve::HealthReport health = recovered->health();
+  std::cout << "reopened " << dir << ": snapshot day "
+            << util::format_iso(health.snapshot_day) << ", "
+            << health.replayed_days << " WAL days replayed, resuming at "
+            << util::format_iso(recovered->archive_end() + 1)
+            << (health.degraded ? " [DEGRADED]" : "") << "\n";
+  if (health.degraded) {
+    std::cerr << "recovery came back degraded: " << health.last_error << "\n";
+    return 1;
+  }
+  if (recovered->archive_end() >= died_on) {
+    std::cerr << "the day that crashed must not have been folded durably\n";
+    return 1;
+  }
+
+  for (util::Day day = recovered->archive_end() + 1; day <= end; ++day) {
+    const pl::Status status = recovered->advance_day(day_of(day));
     if (!status.ok()) {
-      std::cerr << "advance failed on " << util::format_iso(day) << ": "
+      std::cerr << "resume failed on " << util::format_iso(day) << ": "
                 << status.to_string() << "\n";
       return 1;
     }
-
-    if ((day - start) % 7 == 0 || day == end) {
-      const serve::CensusAnswer census = service.census(day);
-      std::cout << util::format_iso(day) << " (v" << service.version()
-                << "): " << util::with_commas(census.admin_alive)
-                << " admin / " << util::with_commas(census.op_alive)
-                << " op lives alive, "
-                << util::with_commas(static_cast<std::int64_t>(
-                       delta.delegation.size()))
-                << " delegation facts today\n";
-    }
   }
-  std::cout << "\nadvanced " << days_live << " days: "
-            << util::with_commas(facts) << " delegation facts, "
-            << util::with_commas(active) << " active-ASN marks folded in\n";
 
-  // The §9 promise, verified: the incrementally-advanced snapshot is
+  // The §9 promise, crash included: the crashed-and-recovered snapshot is
   // bit-identical to rebuilding the study over the full extended world.
   const serve::Snapshot full = serve::Snapshot::build(
       extended.restored, extended.op_world.activity, end);
-  if (!(service.snapshot() == full)) {
-    std::cerr << "advanced snapshot diverged from full rebuild\n";
+  if (!(recovered->snapshot() == full)) {
+    std::cerr << "recovered snapshot diverged from full rebuild\n";
     return 1;
   }
-  std::cout << "advanced snapshot == full rebuild (bit-identical)\n";
+  std::cout << "recovered snapshot == full rebuild (bit-identical)\n";
 
-  // What the monitoring stack sees after a month of advances.
-  const obs::Snapshot metrics = service.report().metrics;
-  std::cout << "serve metrics: "
-            << metrics.counter_value("pl_serve_advance_days")
-            << " days advanced, "
-            << metrics.counter_value("pl_serve_cache_hits") << " cache hits, "
-            << metrics.counter_value("pl_serve_cache_misses")
-            << " misses\n";
+  // What the monitoring stack sees after the month, crash and all.
+  const obs::Snapshot metrics = recovered->report().metrics;
+  std::cout << "durability metrics: "
+            << metrics.counter_value("pl_serve_wal_appends")
+            << " WAL appends, "
+            << metrics.counter_value("pl_serve_wal_replayed_days")
+            << " days replayed, "
+            << metrics.counter_value("pl_serve_snapshot_saves")
+            << " snapshots saved\n";
   std::cout << "daily_update OK\n";
   return 0;
 }

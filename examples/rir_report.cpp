@@ -116,9 +116,15 @@ int main(int argc, char** argv) {
       std::string(asn::file_token(rir)) + "_admin.csv";
   {
     std::ofstream json(json_path);
-    lifetimes::write_admin_json(json, subset);
+    const pl::Status json_saved = lifetimes::save_admin_json(json, subset);
     std::ofstream csv(csv_path);
-    lifetimes::write_admin_csv(csv, subset);
+    const pl::Status csv_saved = lifetimes::save_admin_csv(csv, subset);
+    if (!json_saved.ok() || !csv_saved.ok()) {
+      std::cerr << "export failed: "
+                << (!json_saved.ok() ? json_saved : csv_saved).to_string()
+                << "\n";
+      return 1;
+    }
   }
   std::cout << "\nexported "
             << util::with_commas(static_cast<std::int64_t>(

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # verify-matrix.sh — the repo's full verification matrix in one command.
 #
-# Seven legs, one line of output each, exit 0 iff every leg passes:
+# Eight legs, one line of output each, exit 0 iff every leg passes:
 #
-#   plain     tier-1 build (with -Werror) + full ctest suite
-#   asan      PL_SANITIZE build (ASan+UBSan) + chaos-labelled suites
-#   tsan      PL_TSAN build + concurrency-labelled suites
-#   obs-off   PL_OBS_OFF build + full suite (kill-switch stays buildable)
-#   checked   PL_CHECKED build + full suite (contracts armed, death tests)
-#   lint      pl-lint over src/ tests/ bench/ examples/ (ctest -L lint)
-#   serve     serving-layer suites under contracts armed (ctest -L serve)
+#   plain      tier-1 build (with -Werror) + full ctest suite
+#   asan       PL_SANITIZE build (ASan+UBSan) + chaos-labelled suites
+#   tsan       PL_TSAN build + concurrency-labelled suites
+#   obs-off    PL_OBS_OFF build + full suite (kill-switch stays buildable)
+#   checked    PL_CHECKED build + full suite (contracts armed, death tests)
+#   lint       pl-lint over src/ tests/ bench/ examples/ (ctest -L lint)
+#   serve      serving-layer suites under contracts armed (ctest -L serve)
+#   durability crash-injection + WAL/snapshot chaos under contracts armed
+#              (ctest -L durability)
 #
 # Usage: scripts/verify-matrix.sh [jobs]
 # Build trees live in build-matrix-<leg>/ so they never collide with the
@@ -55,6 +57,10 @@ run_leg lint    "-DPL_WERROR=ON"                 "-L lint" plain
 # suites run with contracts armed, which is where snapshot indexing bugs
 # would trip PL_ASSERT_SORTED and friends.
 run_leg serve   "-DPL_CHECKED=ON -DPL_WERROR=ON" "-L serve" checked
+# durability also reuses the checked tree: the crash matrix and the file
+# corruptors run with contracts armed, so a recovery that rebuilds bad
+# indexes dies loudly instead of comparing-unequal later.
+run_leg durability "-DPL_CHECKED=ON -DPL_WERROR=ON" "-L durability" checked
 
 if [ "$FAILED" -ne 0 ]; then
   echo "verify matrix: FAILED"

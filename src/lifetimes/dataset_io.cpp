@@ -55,6 +55,14 @@ pl::Status stream_write_error(std::string_view what) {
   return pl::unavailable_error(std::move(message));
 }
 
+pl::Status overlapping(std::string_view what, asn::Asn asn) {
+  std::string message = "duplicate or overlapping ";
+  message += what;
+  message += " lifetimes for AS";
+  message += asn::to_string(asn);
+  return pl::data_loss_error(std::move(message));
+}
+
 }  // namespace
 
 std::string admin_record_json(const AdminLifetime& life) {
@@ -172,6 +180,15 @@ pl::StatusOr<AdminDataset> load_admin_json(std::istream& in) {
   }
   if (in.bad()) return pl::unavailable_error("stream read failed");
   dataset.index();
+  // index() sorted by (asn, start): any same-ASN neighbour whose intervals
+  // touch is a duplicate or an overlap — the builder never emits those, so
+  // the file is damaged or hand-edited. Reject rather than serve it.
+  for (std::size_t i = 1; i < dataset.lifetimes.size(); ++i) {
+    const AdminLifetime& prev = dataset.lifetimes[i - 1];
+    const AdminLifetime& cur = dataset.lifetimes[i];
+    if (prev.asn == cur.asn && prev.days.last >= cur.days.first)
+      return overlapping("admin", cur.asn);
+  }
   return dataset;
 }
 
@@ -205,6 +222,12 @@ pl::StatusOr<OpDataset> load_op_json(std::istream& in) {
             });
   for (std::size_t i = 0; i < dataset.lifetimes.size(); ++i)
     dataset.by_asn[dataset.lifetimes[i].asn.value].push_back(i);
+  for (std::size_t i = 1; i < dataset.lifetimes.size(); ++i) {
+    const OpLifetime& prev = dataset.lifetimes[i - 1];
+    const OpLifetime& cur = dataset.lifetimes[i];
+    if (prev.asn == cur.asn && prev.days.last >= cur.days.first)
+      return overlapping("op", cur.asn);
+  }
   return dataset;
 }
 
@@ -218,26 +241,6 @@ pl::StatusOr<OpDataset> load_op_json(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return pl::unavailable_error("cannot open " + path);
   return load_op_json(static_cast<std::istream&>(in));
-}
-
-void write_admin_json(std::ostream& out, const AdminDataset& dataset) {
-  const pl::Status status = save_admin_json(out, dataset);
-  (void)status;  // legacy signature: stream state carries the failure
-}
-
-void write_op_json(std::ostream& out, const OpDataset& dataset) {
-  const pl::Status status = save_op_json(out, dataset);
-  (void)status;
-}
-
-void write_admin_csv(std::ostream& out, const AdminDataset& dataset) {
-  const pl::Status status = save_admin_csv(out, dataset);
-  (void)status;
-}
-
-void write_op_csv(std::ostream& out, const OpDataset& dataset) {
-  const pl::Status status = save_op_csv(out, dataset);
-  (void)status;
 }
 
 }  // namespace pl::lifetimes

@@ -2,10 +2,10 @@
 // JSON-lines records for administrative and operational lifetimes, plus a
 // CSV form for spreadsheet users.
 //
-// The save/load entry points return pl::Status / pl::StatusOr — the
-// bool/exception mix older callers juggled is gone. The legacy void
-// `write_*` signatures remain as thin shims over the Status API for
-// existing callers; new code should use `save_*` / `load_*`.
+// Every entry point returns pl::Status / pl::StatusOr — the bool/exception
+// mix older callers juggled is gone, and the legacy void `write_*` shims
+// are gone with it. Loaders validate shape as well as syntax: duplicate or
+// overlapping lifetimes for one ASN are kDataLoss, not silently indexed.
 #pragma once
 
 #include <istream>
@@ -50,12 +50,5 @@ pl::StatusOr<OpDataset> load_op_json(const std::string& path);
 /// Single-record renderers (used by examples and tests).
 std::string admin_record_json(const AdminLifetime& life);
 std::string op_record_json(const OpLifetime& life);
-
-/// Back-compat shims over the Status API. Prefer `save_*`; these swallow
-/// the Status the way the old void signatures did.
-void write_admin_json(std::ostream& out, const AdminDataset& dataset);
-void write_op_json(std::ostream& out, const OpDataset& dataset);
-void write_admin_csv(std::ostream& out, const AdminDataset& dataset);
-void write_op_csv(std::ostream& out, const OpDataset& dataset);
 
 }  // namespace pl::lifetimes

@@ -82,6 +82,7 @@ StageTimings timings_from_trace(const obs::TraceNode& root) {
   timings.op_ms = stage_ms("op");
   timings.taxonomy_ms = stage_ms("taxonomy");
   timings.build_snapshot_ms = stage_ms("serve.build_snapshot");
+  timings.save_snapshot_ms = stage_ms("serve.save_snapshot");
   timings.total_ms = root.elapsed_ms;
   return timings;
 }

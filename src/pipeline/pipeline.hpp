@@ -83,6 +83,8 @@ struct StageTimings {
   double taxonomy_ms = 0;  ///< joint::classify
   double build_snapshot_ms = 0;  ///< serve::Snapshot::build (post_stage hook;
                                  ///< 0 when no hook installed one)
+  double save_snapshot_ms = 0;   ///< serve::save_snapshot (post_stage hook;
+                                 ///< 0 when the run did not persist)
   double total_ms = 0;
 };
 

@@ -1,0 +1,42 @@
+#include "robust/crashpoint.hpp"
+
+namespace pl::robust {
+
+void CrashPoints::arm(std::string site, int countdown) {
+  site_ = std::move(site);
+  countdown_ = countdown < 1 ? 1 : countdown;
+  fired_ = false;
+}
+
+void CrashPoints::disarm() noexcept {
+  site_.clear();
+  countdown_ = 0;
+}
+
+bool CrashPoints::fire(std::string_view site) {
+  bool seen = false;
+  for (auto& [name, count] : counts_) {
+    if (name == site) {
+      ++count;
+      seen = true;
+      break;
+    }
+  }
+  if (!seen) {
+    counts_.emplace_back(std::string(site), 1);
+    visited_.emplace_back(site);
+  }
+  if (fired_ || site_ != site) return false;
+  if (--countdown_ > 0) return false;
+  fired_ = true;
+  site_.clear();
+  return true;
+}
+
+int CrashPoints::hits(std::string_view site) const noexcept {
+  for (const auto& [name, count] : counts_)
+    if (name == site) return count;
+  return 0;
+}
+
+}  // namespace pl::robust

@@ -1,0 +1,56 @@
+// Deterministic crash injection for durability tests.
+//
+// A CrashPoints instance is armed at one named site; the N-th time execution
+// passes through that site, fire() returns true and the caller must abandon
+// the operation mid-flight, leaving on-disk state exactly as a process death
+// at that instant would (half-written files stay half-written, renames that
+// did not happen stay undone). Production code paths thread a nullable
+// `CrashPoints*` through their configs — a null pointer means every site is
+// a no-op — so the hook costs one branch when disabled and nothing is
+// global or ambient.
+//
+// The instance also records every site it passes through, in first-hit
+// order, so a test can discover the crash matrix of an operation instead of
+// hard-coding it and silently missing newly added sites.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pl::robust {
+
+class CrashPoints {
+ public:
+  /// Arm the hook: the `countdown`-th hit (1-based) of `site` fires. Re-arming
+  /// replaces any previous arming and clears the fired latch, but keeps the
+  /// visit log so a test can arm several crashes over one recording.
+  void arm(std::string site, int countdown = 1);
+
+  /// Disarm without clearing the visit log or the fired latch.
+  void disarm() noexcept;
+
+  /// Record one pass through `site`. Returns true exactly once — when the
+  /// armed countdown reaches zero — after which the latch stays set and no
+  /// further site fires until re-armed.
+  bool fire(std::string_view site);
+
+  bool armed() const noexcept { return !site_.empty(); }
+  bool fired() const noexcept { return fired_; }
+
+  /// Distinct sites passed through, in first-hit order.
+  const std::vector<std::string>& visited() const noexcept { return visited_; }
+
+  /// Total times `site` was passed through (0 when never seen).
+  int hits(std::string_view site) const noexcept;
+
+ private:
+  std::string site_;   ///< armed site; empty = disarmed
+  int countdown_ = 0;  ///< remaining hits of site_ before firing
+  bool fired_ = false;
+  std::vector<std::string> visited_;
+  std::vector<std::pair<std::string, int>> counts_;  ///< first-hit order
+};
+
+}  // namespace pl::robust

@@ -1,0 +1,239 @@
+// Crash-safe serving: durable snapshots + a day-delta write-ahead log.
+//
+// A long-lived serving process (paper 9's daily-update deployment) must
+// survive a crash at any point inside `advance_day()` without losing folded
+// days or silently serving corrupted state. This module layers durability
+// over `serve::QueryService`:
+//
+//   * `save_snapshot` / `open_snapshot` — the full Snapshot (rows, config,
+//     working set) serialized into one CRC frame (`robust/checkpoint.hpp`),
+//     written atomically via write-to-temp + rename. Truncated, bit-flipped
+//     or version-skewed files are rejected with `kDataLoss`, never loaded.
+//   * `append_wal` / `replay_wal` — a write-ahead log of `DayDelta` records,
+//     one CRC frame per day, appended BEFORE the in-memory fold. Replay on
+//     open reconstructs the exact pre-crash state (bit-identical snapshot
+//     fingerprint, locked by the crash-injection test); a torn trailing
+//     record — the signature of a crash mid-append — is dropped, because a
+//     day whose append never completed was never acknowledged.
+//   * `DurableService` — owns the QueryService plus the on-disk directory:
+//     WAL-append-then-fold on advance, periodic checkpoint (snapshot save +
+//     WAL truncate), replay on open, quarantine of days that fail to fold,
+//     and a structured `HealthReport` so operators see degradation instead
+//     of guessing. Snapshot loads retry transient `kUnavailable` errors
+//     with deterministic virtual-clock backoff.
+//
+// Crash discipline: every mutation of durable state passes named
+// `robust::CrashPoints` sites (`kAdvanceCrashSites`); the crash test kills
+// the operation at each one and proves recovery. DESIGN.md §12 documents
+// the file formats, the WAL invariants, and the degradation policy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "robust/crashpoint.hpp"
+#include "serve/query.hpp"
+#include "serve/snapshot.hpp"
+#include "util/status.hpp"
+
+namespace pl::serve {
+
+// -- snapshot persistence --------------------------------------------------
+
+/// Payload schema version inside the checkpoint frame. Bumped whenever the
+/// serialized Snapshot layout changes; a mismatch is rejected as kDataLoss
+/// ("snapshot format version skew"), never interpreted.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// WAL record payload schema version (same skew policy).
+inline constexpr std::uint32_t kWalFormatVersion = 1;
+
+/// Serialize `snapshot` into one CRC frame and write it to `path`
+/// atomically: the bytes land in `path + ".tmp"` first and are renamed over
+/// `path` only after a successful flush, so a crash mid-save leaves the
+/// previous snapshot intact. kUnavailable on filesystem errors.
+/// `crash` (nullable) threads the checkpoint crash sites through.
+pl::Status save_snapshot(const Snapshot& snapshot, const std::string& path,
+                         robust::CrashPoints* crash = nullptr);
+
+/// Load a snapshot saved by `save_snapshot`. kNotFound when `path` does not
+/// exist, kUnavailable when it cannot be read, kDataLoss when the frame or
+/// payload fails validation (torn write, flipped bit, version skew, index
+/// out of bounds). A kDataLoss file is NEVER partially applied.
+pl::StatusOr<Snapshot> open_snapshot(const std::string& path);
+
+// -- write-ahead log -------------------------------------------------------
+
+/// Append one day as a self-contained CRC frame at the end of the WAL.
+/// Called before the in-memory fold: a day is durable once this returns.
+pl::Status append_wal(const std::string& path, const DayDelta& delta,
+                      robust::CrashPoints* crash = nullptr);
+
+/// Everything `replay_wal` recovered, plus its damage accounting. Records
+/// that fail CRC or decode are skipped (frame length still advances the
+/// cursor); an undecodable tail — torn final append or mid-file structure
+/// damage — drops the remaining bytes.
+struct WalReplay {
+  std::vector<DayDelta> deltas;          ///< valid records, file order
+  std::int64_t valid_records = 0;
+  std::int64_t corrupt_records = 0;      ///< whole frames failing CRC/decode
+  std::int64_t dropped_bytes = 0;        ///< undecodable tail dropped
+  bool torn_tail = false;                ///< the file did not end cleanly
+};
+
+/// Scan the WAL at `path`. kNotFound when absent, kUnavailable when
+/// unreadable; corruption is NOT an error — it is reported in the replay
+/// accounting so the caller can degrade instead of dying.
+pl::StatusOr<WalReplay> replay_wal(const std::string& path);
+
+// -- deterministic retry ---------------------------------------------------
+
+/// Fake monotonic clock for deterministic backoff: sleep just advances the
+/// counter. Tests and the retry loop share one instance, so "how long did
+/// we back off" is exact and reproducible.
+class VirtualClock {
+ public:
+  std::int64_t now_ms() const noexcept { return now_ms_; }
+  void sleep_ms(std::int64_t ms) noexcept { now_ms_ += ms < 0 ? 0 : ms; }
+
+ private:
+  std::int64_t now_ms_ = 0;
+};
+
+/// Bounded exponential backoff for transient (kUnavailable) load errors.
+struct RetryPolicy {
+  int max_attempts = 4;              ///< total attempts, first one included
+  std::int64_t base_delay_ms = 50;   ///< delay before attempt 2
+  std::int64_t max_delay_ms = 2000;  ///< cap for the doubling delay
+
+  friend bool operator==(const RetryPolicy&, const RetryPolicy&) = default;
+};
+
+/// Loader signature for `load_with_retry` (and the DurableConfig test hook).
+using SnapshotLoader = std::function<pl::StatusOr<Snapshot>()>;
+
+/// Run `loader` until it succeeds or fails with anything other than
+/// kUnavailable, sleeping on `clock` between attempts per `policy`. The
+/// attempt count (>= 1) lands in `*attempts` when non-null.
+pl::StatusOr<Snapshot> load_with_retry(const SnapshotLoader& loader,
+                                       const RetryPolicy& policy,
+                                       VirtualClock& clock,
+                                       int* attempts = nullptr);
+
+// -- the durable service ---------------------------------------------------
+
+struct DurableConfig {
+  /// Directory holding `snapshot.plsnap` and `days.plwal`. Must exist.
+  std::string dir;
+  /// Fold this many days between checkpoints (snapshot save + WAL truncate).
+  /// 0 = never checkpoint automatically; the WAL just grows.
+  int checkpoint_every_days = 16;
+  RetryPolicy retry;
+  /// Crash-injection hook for the durability tests; null in production.
+  robust::CrashPoints* crash = nullptr;
+  /// Test hook: overrides `open_snapshot(snapshot_path)` during open() so
+  /// transient-failure retry paths can be exercised. Null = read the file.
+  SnapshotLoader loader;
+};
+
+/// Structured degradation report. `degraded` means the service is running
+/// but NOT serving everything it was given: a snapshot was rejected, WAL
+/// records were corrupt, or days were quarantined. A torn WAL tail alone is
+/// not degradation — that day's append never completed, so it was never
+/// acknowledged as durable.
+struct HealthReport {
+  bool degraded = false;
+  bool snapshot_rejected = false;  ///< on-disk snapshot failed validation
+  bool wal_torn_tail = false;      ///< trailing partial record dropped
+  util::Day last_durable_day = 0;  ///< archive end of the served state
+  util::Day snapshot_day = 0;      ///< archive end of the on-disk snapshot
+  std::vector<util::Day> quarantined_days;  ///< failed to fold; not served
+  std::int64_t wal_records = 0;          ///< live records past the snapshot
+  std::int64_t wal_corrupt_records = 0;  ///< frames dropped on replay
+  std::int64_t wal_dropped_bytes = 0;    ///< undecodable tail bytes
+  std::int64_t replayed_days = 0;        ///< deltas folded from WAL on open
+  std::int64_t load_attempts = 0;        ///< snapshot-load attempts (retries)
+  std::string last_error;                ///< reason for the degradation
+
+  friend bool operator==(const HealthReport&, const HealthReport&) = default;
+};
+
+/// Execution-order list of the crash sites `advance_day()` (and the
+/// checkpoint it may trigger) passes through. The crash test iterates this
+/// and asserts `CrashPoints::visited()` covers it, so a new site cannot be
+/// added without being tested.
+extern const std::vector<std::string_view> kAdvanceCrashSites;
+
+/// A QueryService wrapped in durability: WAL-append-then-fold advances,
+/// periodic checkpoints, replay on open, quarantine + HealthReport on bad
+/// input. Same threading contract as QueryService (reads are concurrent,
+/// advances are externally serialized).
+class DurableService {
+ public:
+  /// Open the durable directory. If a snapshot file exists it is loaded
+  /// (with retry; a corrupt one is rejected and `bootstrap` used instead —
+  /// degraded, surfaced in health()); otherwise `bootstrap` is persisted as
+  /// the base state. Any WAL is then replayed on top. Fails only on hard
+  /// filesystem errors or an empty `config.dir`.
+  static pl::StatusOr<DurableService> open(Snapshot bootstrap,
+                                           DurableConfig config,
+                                           QueryConfig query_config = {});
+
+  DurableService(DurableService&&) = default;
+  DurableService& operator=(DurableService&&) = default;
+
+  /// Durably fold one day: validate, append to the WAL, fold in memory,
+  /// maybe checkpoint. A delta that fails to fold is quarantined — the
+  /// service keeps answering from the last good state and health() turns
+  /// degraded. After an injected crash the instance is dead
+  /// (kFailedPrecondition); reopen from disk.
+  pl::Status advance_day(const DayDelta& delta);
+
+  /// Force a checkpoint now (snapshot save + WAL truncate).
+  pl::Status checkpoint();
+
+  QueryService& queries() noexcept { return *service_; }
+  const Snapshot& snapshot() const noexcept { return service_->snapshot(); }
+  util::Day archive_end() const noexcept { return snapshot().archive_end(); }
+
+  HealthReport health() const;
+  /// Durability-layer trace + metrics (`serve.durable.*` spans,
+  /// `pl_serve_wal_*` / `pl_serve_snapshot_*` metrics). The wrapped
+  /// QueryService keeps its own report.
+  obs::Report report() const;
+
+  const DurableConfig& config() const noexcept { return config_; }
+  std::string snapshot_path() const { return config_.dir + "/snapshot.plsnap"; }
+  std::string wal_path() const { return config_.dir + "/days.plwal"; }
+
+ private:
+  DurableService(DurableConfig config, QueryConfig query_config);
+
+  pl::Status open_impl(Snapshot bootstrap);
+  pl::Status checkpoint_impl(obs::Span& parent);
+  void quarantine(util::Day day, const pl::Status& why);
+  bool crash_here(std::string_view site);
+  void refresh_gauges();
+
+  DurableConfig config_;
+  QueryConfig query_config_;
+
+  // Behind unique_ptr: Registry/Trace own mutexes and QueryService holds
+  // references into its registry, so none of them are movable in place.
+  std::unique_ptr<obs::Registry> metrics_;
+  std::unique_ptr<obs::Trace> trace_;
+  obs::Span root_;
+  std::unique_ptr<QueryService> service_;
+
+  VirtualClock clock_;
+  HealthReport health_;
+  int days_since_checkpoint_ = 0;
+  bool crashed_ = false;  ///< injected crash latched; instance is dead
+};
+
+}  // namespace pl::serve

@@ -2,15 +2,18 @@
 
 #include <utility>
 
+#include "serve/durable.hpp"
+
 namespace pl::serve {
 
 ServingWorld run_simulated_serving(pipeline::Config config,
-                                   SnapshotConfig snapshot_config) {
+                                   SnapshotConfig snapshot_config,
+                                   const std::string& snapshot_path) {
   ServingWorld world;
   snapshot_config.op_timeout_days = config.op_timeout_days;
-  config.post_stage = [&world, &snapshot_config](pipeline::Result& result,
-                                                 obs::Span& run,
-                                                 obs::Registry& metrics) {
+  config.post_stage = [&world, &snapshot_config, &snapshot_path](
+                          pipeline::Result& result, obs::Span& run,
+                          obs::Registry& metrics) {
     obs::Span stage = run.child("serve.build_snapshot");
     world.snapshot =
         Snapshot::build(result.restored, result.op_world.activity,
@@ -21,6 +24,17 @@ ServingWorld run_simulated_serving(pipeline::Config config,
     stage.note("op_lives",
                static_cast<std::int64_t>(world.snapshot.op_life_count()));
     record_metrics(world.snapshot, metrics);
+    stage.finish();
+
+    if (!snapshot_path.empty()) {
+      obs::Span save = run.child("serve.save_snapshot");
+      world.save_status = save_snapshot(world.snapshot, snapshot_path);
+      save.note("ok", world.save_status.ok() ? 1 : 0);
+      save.note("day",
+                static_cast<std::int64_t>(world.snapshot.archive_end()));
+      metrics.counter("pl_serve_snapshot_saves")
+          .add(world.save_status.ok() ? 1 : 0);
+    }
   };
   world.result = pipeline::run_simulated(config);
   return world;

@@ -1,17 +1,25 @@
 // One-call "pipeline + snapshot" wrapper: run the simulated study and
 // freeze its output into a serving Snapshot as an eighth traced stage
 // (`serve.build_snapshot`), so the snapshot's cost shows up in the same
-// report — and StageTimings — as every other stage.
+// report — and StageTimings — as every other stage. Optionally persists
+// the snapshot (`serve.save_snapshot`, durable.hpp format) in the same
+// breath, which is how a deployment seeds a DurableService directory.
 #pragma once
+
+#include <string>
 
 #include "pipeline/pipeline.hpp"
 #include "serve/snapshot.hpp"
+#include "util/status.hpp"
 
 namespace pl::serve {
 
 struct ServingWorld {
   pipeline::Result result;
   Snapshot snapshot;
+  /// Outcome of the optional `serve.save_snapshot` stage; kOk when no
+  /// snapshot_path was given (nothing to save is not a failure).
+  pl::Status save_status;
 };
 
 /// Run the full simulated pipeline, then build the serving snapshot inside
@@ -19,7 +27,13 @@ struct ServingWorld {
 /// op timeout always follows `config.op_timeout_days` (the pipeline's knob
 /// wins over `snapshot_config.op_timeout_days`), so the snapshot agrees
 /// exactly with `result.admin` / `result.op` / `result.taxonomy`.
+///
+/// A non-empty `snapshot_path` adds a ninth traced stage that writes the
+/// snapshot durably (atomic write-rename; see durable.hpp). Persistence
+/// failures land in `ServingWorld::save_status` — the in-memory world is
+/// still returned.
 ServingWorld run_simulated_serving(pipeline::Config config,
-                                   SnapshotConfig snapshot_config = {});
+                                   SnapshotConfig snapshot_config = {},
+                                   const std::string& snapshot_path = {});
 
 }  // namespace pl::serve

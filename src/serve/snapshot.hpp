@@ -210,6 +210,11 @@ class Snapshot {
   /// the working set. The advance-vs-rebuild tests assert with this.
   friend bool operator==(const Snapshot& a, const Snapshot& b);
 
+  /// Binary persistence (durable.cpp): serializes the full private state —
+  /// rows, config, and working set — and rebuilds the derived indexes on
+  /// decode so a reopened snapshot compares equal to the one saved.
+  friend class SnapshotCodec;
+
  private:
   /// Mutable build inputs advance_day() extends. Spans are canonicalized
   /// (adjacent same-state spans merged) so that daily extension and a fresh

@@ -281,7 +281,7 @@ TEST(DatasetIo, CsvHasHeaderAndRows) {
   dataset.lifetimes.push_back(life);
   dataset.index();
   std::ostringstream out;
-  write_admin_csv(out, dataset);
+  ASSERT_TRUE(save_admin_csv(out, dataset).ok());
   const std::string text = out.str();
   const auto lines = util::lines(text);
   ASSERT_EQ(lines.size(), 2u);

@@ -1,0 +1,15 @@
+// Must flag: the pl::Status from a flush call is dropped on the floor —
+// once as a bare statement, once behind the `(void)` cast that defeats
+// [[nodiscard]].
+#include "widget/flag.hpp"
+
+namespace widget {
+
+Status flush_index(int epoch);
+
+void shutdown(int epoch) {
+  flush_index(epoch);
+  (void)flush_index(epoch + 1);
+}
+
+}  // namespace widget

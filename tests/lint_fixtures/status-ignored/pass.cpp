@@ -1,0 +1,18 @@
+// Must pass: every Status is consumed — bound to a variable, tested inside
+// a condition, or propagated through the caller's own return.
+#include "widget/pass.hpp"
+
+namespace widget {
+
+Status flush_index(int epoch);
+StatusOr<int> load_epoch();
+
+Status shutdown(int epoch) {
+  Status last = flush_index(epoch);
+  if (!last.ok()) return last;
+  auto epoch_or = load_epoch();
+  if (epoch_or.ok() && flush_index(*epoch_or).ok()) return last;
+  return flush_index(epoch + 1);
+}
+
+}  // namespace widget

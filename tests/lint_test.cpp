@@ -76,6 +76,9 @@ const std::map<std::string, FixtureCase>& fixture_cases() {
       {"self-include-first",
        {"self-include-first/flag.cpp", "src/widget/flag.cpp",
         "self-include-first/pass.cpp", "src/widget/pass.cpp"}},
+      {"status-ignored",
+       {"status-ignored/flag.cpp", "src/widget/flag.cpp",
+        "status-ignored/pass.cpp", "src/widget/pass.cpp"}},
   };
   return cases;
 }

@@ -1,0 +1,159 @@
+// Error paths of serve::load_snapshot and the Listing-1 dataset loaders:
+// malformed JSON, missing fields, reversed intervals, and duplicate /
+// overlapping per-ASN lifetimes must come back as precise Status codes —
+// never as a snapshot quietly built from default-constructed rows.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "lifetimes/dataset_io.hpp"
+#include "serve/io.hpp"
+
+namespace pl::serve {
+namespace {
+
+std::string write_temp(const std::string& name, const std::string& text) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  return path;
+}
+
+constexpr const char* kGoodAdmin =
+    R"({"ASN":65001,"regDate":"2005-03-01","startdate":"2005-03-01","enddate":"2009-12-31","status":"allocated","registry":"ripencc"})"
+    "\n"
+    R"({"ASN":65002,"regDate":"2006-01-15","startdate":"2006-01-15","enddate":"2010-06-30","status":"allocated","registry":"arin"})"
+    "\n";
+
+constexpr const char* kGoodOp =
+    R"({"ASN":65001,"startdate":"2005-04-01","enddate":"2009-11-30"})"
+    "\n";
+
+TEST(ServeIoError, LoadsTheWellFormedBaseline) {
+  // Guard: the fixture itself is loadable, so every failure below is caused
+  // by the specific defect each case injects.
+  const std::string admin = write_temp("io_ok_admin.jsonl", kGoodAdmin);
+  const std::string op = write_temp("io_ok_op.jsonl", kGoodOp);
+  auto snapshot = load_snapshot(admin, op);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().to_string();
+  EXPECT_EQ(snapshot->asn_count(), 2u);
+  EXPECT_FALSE(snapshot->can_advance());
+}
+
+TEST(ServeIoError, MissingFilesAreUnavailable) {
+  const std::string missing = testing::TempDir() + "io_no_such_file.jsonl";
+  const std::string op = write_temp("io_files_op.jsonl", kGoodOp);
+  EXPECT_EQ(load_snapshot(missing, op).status().code(),
+            pl::StatusCode::kUnavailable);
+  const std::string admin = write_temp("io_files_admin.jsonl", kGoodAdmin);
+  EXPECT_EQ(load_snapshot(admin, missing).status().code(),
+            pl::StatusCode::kUnavailable);
+}
+
+TEST(ServeIoError, MalformedJsonLineIsDataLossNamingTheLine) {
+  const std::string admin = write_temp(
+      "io_malformed_admin.jsonl",
+      std::string(kGoodAdmin) + "this is not a Listing-1 record\n");
+  const std::string op = write_temp("io_malformed_op.jsonl", kGoodOp);
+  const auto status = load_snapshot(admin, op).status();
+  EXPECT_EQ(status.code(), pl::StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("line 3"), std::string::npos)
+      << status.to_string();
+}
+
+TEST(ServeIoError, MissingFieldIsDataLoss) {
+  // A record without its enddate: structurally JSON, semantically short.
+  const std::string admin = write_temp(
+      "io_nofield_admin.jsonl",
+      R"({"ASN":65001,"regDate":"2005-03-01","startdate":"2005-03-01","registry":"ripencc"})"
+      "\n");
+  const std::string op = write_temp("io_nofield_op.jsonl", kGoodOp);
+  EXPECT_EQ(load_snapshot(admin, op).status().code(),
+            pl::StatusCode::kDataLoss);
+
+  const std::string admin_ok = write_temp("io_nofield2_admin.jsonl", kGoodAdmin);
+  const std::string op_bad = write_temp(
+      "io_nofield2_op.jsonl", R"({"ASN":65001,"startdate":"2005-04-01"})"
+                              "\n");
+  EXPECT_EQ(load_snapshot(admin_ok, op_bad).status().code(),
+            pl::StatusCode::kDataLoss);
+}
+
+TEST(ServeIoError, UnparsableDateOrRegistryIsDataLoss) {
+  const std::string admin = write_temp(
+      "io_baddate_admin.jsonl",
+      R"({"ASN":65001,"regDate":"2005-13-77","startdate":"2005-03-01","enddate":"2009-12-31","status":"allocated","registry":"ripencc"})"
+      "\n");
+  const std::string op = write_temp("io_baddate_op.jsonl", kGoodOp);
+  EXPECT_EQ(load_snapshot(admin, op).status().code(),
+            pl::StatusCode::kDataLoss);
+
+  const std::string admin_badrir = write_temp(
+      "io_badrir_admin.jsonl",
+      R"({"ASN":65001,"regDate":"2005-03-01","startdate":"2005-03-01","enddate":"2009-12-31","status":"allocated","registry":"notarir"})"
+      "\n");
+  EXPECT_EQ(load_snapshot(admin_badrir, op).status().code(),
+            pl::StatusCode::kDataLoss);
+}
+
+TEST(ServeIoError, DuplicateAdminLifetimesAreDataLossNamingTheAsn) {
+  // The same ASN twice with overlapping intervals — the builder never
+  // emits this, so a file carrying it is damaged or hand-edited.
+  const std::string admin = write_temp(
+      "io_dup_admin.jsonl",
+      std::string(kGoodAdmin) +
+          R"({"ASN":65001,"regDate":"2005-03-01","startdate":"2007-01-01","enddate":"2011-01-01","status":"allocated","registry":"ripencc"})"
+          "\n");
+  const std::string op = write_temp("io_dup_op.jsonl", kGoodOp);
+  const auto status = load_snapshot(admin, op).status();
+  EXPECT_EQ(status.code(), pl::StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("AS65001"), std::string::npos)
+      << status.to_string();
+}
+
+TEST(ServeIoError, ExactDuplicateOpRecordIsDataLoss) {
+  const std::string admin = write_temp("io_dupop_admin.jsonl", kGoodAdmin);
+  const std::string op = write_temp(
+      "io_dupop_op.jsonl", std::string(kGoodOp) + std::string(kGoodOp));
+  const auto status = load_snapshot(admin, op).status();
+  EXPECT_EQ(status.code(), pl::StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("AS65001"), std::string::npos);
+}
+
+TEST(ServeIoError, DisjointLifetimesForOneAsnAreFine) {
+  // Multiple lives per ASN are the paper's whole point — only OVERLAP is
+  // damage. Two disjoint admin lives and two disjoint op lives load.
+  const std::string admin = write_temp(
+      "io_disjoint_admin.jsonl",
+      std::string(kGoodAdmin) +
+          R"({"ASN":65001,"regDate":"2012-01-01","startdate":"2012-01-01","enddate":"2014-01-01","status":"allocated","registry":"ripencc"})"
+          "\n");
+  const std::string op = write_temp(
+      "io_disjoint_op.jsonl",
+      std::string(kGoodOp) +
+          R"({"ASN":65001,"startdate":"2012-02-01","enddate":"2013-06-30"})"
+          "\n");
+  auto snapshot = load_snapshot(admin, op);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().to_string();
+  const AsnRow* row = snapshot->find(asn::Asn{65001});
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->admin_count, 2u);
+  EXPECT_EQ(row->op_count, 2u);
+}
+
+TEST(ServeIoError, StreamLoadersRejectOverlapToo) {
+  // The stream-level API (no file indirection) reports the same codes.
+  std::stringstream admin;
+  admin << R"({"ASN":7,"regDate":"2001-01-01","startdate":"2001-01-01","enddate":"2003-01-01","status":"allocated","registry":"arin"})"
+        << '\n'
+        << R"({"ASN":7,"regDate":"2001-01-01","startdate":"2002-06-01","enddate":"2004-01-01","status":"allocated","registry":"arin"})"
+        << '\n';
+  const auto loaded = lifetimes::load_admin_json(admin);
+  EXPECT_EQ(loaded.status().code(), pl::StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("AS7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pl::serve

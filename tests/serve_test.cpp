@@ -101,13 +101,13 @@ TEST(DatasetIo, RejectsReversedInterval) {
             pl::StatusCode::kDataLoss);
 }
 
-TEST(DatasetIo, LegacyWriteShimsStillProduceRecords) {
+TEST(DatasetIo, StatusSaversProduceRecords) {
   const pipeline::Result result = small_pipeline();
   std::stringstream json;
-  lifetimes::write_op_json(json, result.op);
+  ASSERT_TRUE(lifetimes::save_op_json(json, result.op).ok());
   EXPECT_NE(json.str().find("\"ASN\":"), std::string::npos);
   std::stringstream csv;
-  lifetimes::write_admin_csv(csv, result.admin);
+  ASSERT_TRUE(lifetimes::save_admin_csv(csv, result.admin).ok());
   EXPECT_NE(csv.str().find("asn,reg_date"), std::string::npos);
 }
 

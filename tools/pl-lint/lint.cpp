@@ -691,6 +691,89 @@ void rule_self_include_first(const Context& ctx) {
            "source file never includes its own header \"" + expected + "\"");
 }
 
+// ---------------------------------------------------------------------------
+// status-ignored: a statement that calls a pl::Status / pl::StatusOr
+// returning function and discards the result. Both types are [[nodiscard]],
+// so the bare call already warns under -W; this rule additionally catches
+// the `(void)` cast that silences the compiler, and keeps the check alive
+// in builds where the warning is off. Candidate names come from the TU's
+// own `Status f(...)` / `StatusOr<T> f(...)` signatures plus a cross-TU
+// seed of well-known Status-returning entry points.
+
+void rule_status_ignored(const Context& ctx) {
+  if (!starts_with(ctx.relpath, "src/")) return;
+  const Tokens& tokens = ctx.lexed->tokens;
+
+  // Pass 1: names with a Status/StatusOr return in this TU, seeded with the
+  // Status-returning API surface callers reach through other headers.
+  std::set<std::string> status_fns = {
+      "save_admin_json", "save_op_json", "save_admin_csv", "save_op_csv",
+      "save_snapshot",   "append_wal",   "advance_day",    "checkpoint"};
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent) continue;
+    std::size_t j = i + 1;
+    if (tokens[i].text == "StatusOr") {
+      if (!is_punct(tokens, j, "<")) continue;
+      int depth = 0;
+      for (; j < tokens.size(); ++j) {
+        if (is_punct(tokens, j, "<")) ++depth;
+        if (is_punct(tokens, j, ">") && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    } else if (tokens[i].text != "Status") {
+      continue;
+    }
+    // `Status name (` / `StatusOr<T> name (` — a signature, not a variable.
+    if (j < tokens.size() && tokens[j].kind == Token::Kind::kIdent &&
+        is_punct(tokens, j + 1, "("))
+      status_fns.insert(tokens[j].text);
+  }
+
+  // Pass 2: statements that are nothing but the call — `foo(...);`,
+  // `obj->foo(...);`, `ns::foo(...);` — optionally behind a `(void)` cast.
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const bool at_start =
+        i == 0 || is_punct(tokens, i - 1, ";") ||
+        is_punct(tokens, i - 1, "{") || is_punct(tokens, i - 1, "}");
+    if (!at_start) continue;
+    std::size_t j = i;
+    bool void_cast = false;
+    if (is_punct(tokens, j, "(") && is_ident(tokens, j + 1, "void") &&
+        is_punct(tokens, j + 2, ")")) {
+      void_cast = true;
+      j += 3;
+    }
+    if (j >= tokens.size() || tokens[j].kind != Token::Kind::kIdent) continue;
+    // Walk the qualified chain `ident ((:: | . | ->) ident)*`; a direct
+    // ident-ident pair (declaration, `return foo(...)`) breaks the walk.
+    std::size_t last = j;
+    std::size_t k = j + 1;
+    while (k + 1 < tokens.size() &&
+           (is_punct(tokens, k, "::") || is_punct(tokens, k, ".") ||
+            is_punct(tokens, k, "->")) &&
+           tokens[k + 1].kind == Token::Kind::kIdent) {
+      last = k + 1;
+      k += 2;
+    }
+    if (!is_punct(tokens, k, "(")) continue;
+    if (!status_fns.contains(tokens[last].text)) continue;
+    const std::size_t close = skip_parens(tokens, k);
+    if (!is_punct(tokens, close, ";")) continue;
+    ctx.flag("status-ignored", tokens[last].line,
+             void_cast
+                 ? "'(void)' cast discards the pl::Status from '" +
+                       tokens[last].text +
+                       "' and defeats [[nodiscard]]; handle the status or "
+                       "justify with an allow(status-ignored) comment"
+                 : "result of '" + tokens[last].text +
+                       "' (pl::Status/StatusOr) is discarded; check it, "
+                       "propagate it, or justify with an "
+                       "allow(status-ignored) comment");
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -713,6 +796,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"span-name", "span literals in src/ are lower_snake identifiers"},
       {"self-include-first",
        "a src/ .cpp includes its own header before any other include"},
+      {"status-ignored",
+       "pl::Status / StatusOr returns in src/ must be checked, propagated, "
+       "or carry a justified allow()"},
   };
   return catalog;
 }
@@ -745,6 +831,7 @@ Report lint_source(std::string_view relpath, std::string_view content) {
   rule_metric_name(ctx);
   rule_span_name(ctx);
   rule_self_include_first(ctx);
+  rule_status_ignored(ctx);
 
   report.suppressions = std::move(budget);
   return report;
