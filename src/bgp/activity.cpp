@@ -17,6 +17,18 @@ void ActivityTable::mark_active(asn::Asn asn,
   activity_[asn].add(days);
 }
 
+void ActivityTable::mark_active(asn::Asn asn, util::IntervalSet&& days) {
+  if (days.empty()) return;
+  auto [it, inserted] = activity_.try_emplace(asn);
+  if (inserted) {
+    // Fresh slot: the set's runs are already maximal and ordered, so moving
+    // it in wholesale equals adding each run — without a tree lookup per run.
+    it->second = std::move(days);
+    return;
+  }
+  for (const util::DayInterval& run : days.runs()) it->second.add(run);
+}
+
 const util::IntervalSet* ActivityTable::activity(
     asn::Asn asn) const noexcept {
   const auto it = activity_.find(asn);

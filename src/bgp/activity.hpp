@@ -32,6 +32,10 @@ class ActivityTable {
   /// full-scale generator).
   void mark_active(asn::Asn asn, const util::DayInterval& days);
 
+  /// Fold a whole day set into `asn`'s activity with a single table lookup.
+  /// Equivalent to adding every run of `days` in order.
+  void mark_active(asn::Asn asn, util::IntervalSet&& days);
+
   /// Active-day set for an ASN; nullptr if never active.
   const util::IntervalSet* activity(asn::Asn asn) const noexcept;
 

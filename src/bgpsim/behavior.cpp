@@ -152,6 +152,9 @@ BehaviorPlan plan_behaviors(const GroundTruth& truth,
   BehaviorPlan result;
   result.behavior_of_life.resize(truth.lives.size(),
                                  BehaviorKind::kCanonical);
+  // At most one plan per admin life; pre-sizing avoids reallocation copies
+  // of the (large) AsnOpPlan payloads as the table grows.
+  result.plans.reserve(truth.lives.size());
   Rng rng(config.seed);
 
   // Pre-pick one long-lived life per RIR as an event-driven conference ASN.

@@ -99,8 +99,7 @@ OpWorld build_op_world(const rirsim::GroundTruth& truth,
       },
       /*grain=*/128);
   for (std::size_t p = 0; p < plans.size(); ++p)
-    for (const DayInterval& run : days_by_plan[p].runs())
-      world.activity.mark_active(plans[p].asn, run);
+    world.activity.mark_active(plans[p].asn, std::move(days_by_plan[p]));
   return world;
 }
 

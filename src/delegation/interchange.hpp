@@ -1,0 +1,123 @@
+// Delegation-archive interchange: the serialized boundary between the render
+// stage (which produces per-registry archives) and the restore stage (which
+// consumes them as day-delta streams).
+//
+// Two wire formats carry the same day-observation model:
+//   * `pl-dlg-txt/1` — a line-oriented text form, the conformance reference.
+//     One '@' header line per day followed by one line per record change or
+//     duplicate; parsed with the memchr field splitter, no per-line string
+//     copies.
+//   * `pl-dlg-bin/1` — a versioned, CRC-framed binary form. A string table at
+//     the head of the archive interns every registry / status / country token
+//     once; each day is one length-prefixed, CRC-checked frame of varint
+//     records that the reader decodes record-at-a-time into a per-day arena.
+//
+// Both decoders expose a zero-copy view API (`next_view`): the returned
+// records live in reader-owned storage that is valid until the next call,
+// so the restore fast path never materializes `DayObservation` vectors. The
+// materializing `ArchiveStream::next()` remains available for consumers that
+// need owned observations (fault injection, reorder buffering).
+//
+// Frame layout, arena lifetime rules and intern-pool invariants are
+// documented in DESIGN.md §13.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "delegation/archive.hpp"
+#include "delegation/record.hpp"
+#include "util/intern.hpp"
+#include "util/status.hpp"
+
+namespace pl::dele {
+
+/// Wire format for an encoded delegation archive.
+enum class Interchange : std::uint8_t {
+  kText,    ///< pl-dlg-txt/1 (default; conformance reference)
+  kBinary,  ///< pl-dlg-bin/1 (CRC-framed, string-interned fast path)
+};
+
+std::string_view interchange_token(Interchange format) noexcept;
+std::optional<Interchange> parse_interchange(std::string_view token) noexcept;
+
+inline constexpr std::uint32_t kBinaryInterchangeVersion = 1;  // pl-dlg-bin/1
+inline constexpr std::uint32_t kTextInterchangeVersion = 1;    // pl-dlg-txt/1
+
+/// One registry's archive, serialized. `bytes` owns the encoded form; readers
+/// returned by open_archive() borrow it, so the EncodedArchive must outlive
+/// them.
+struct EncodedArchive {
+  asn::Rir rir = asn::Rir::kArin;
+  Interchange format = Interchange::kText;
+  std::string bytes;
+};
+
+/// Drain `stream` to completion and encode every observation. The encoder is
+/// the only component that walks the generator, so its cost lands in the
+/// stage that owns the stream (render), not in restore.
+EncodedArchive encode_archive(ArchiveStream& stream, Interchange format);
+
+/// Non-owning view of one channel's day delta. Spans point into reader-owned
+/// storage (arena or scratch) valid until the next read call.
+struct ChannelDeltaView {
+  FileCondition condition = FileCondition::kNotPublished;
+  std::int32_t publish_minute = 0;
+  std::span<const RecordChange> changes;
+  std::span<const std::pair<asn::Asn, RecordState>> duplicates;
+};
+
+/// Non-owning view of one day, both channels.
+struct DayObservationView {
+  util::Day day = 0;
+  ChannelDeltaView extended;
+  ChannelDeltaView regular;
+};
+
+/// Copy a view into an owned observation (reorder buffer, fault injection).
+DayObservation materialize(const DayObservationView& view);
+
+/// View over an owned observation (valid while `obs` is alive and unchanged).
+DayObservationView view_of(const DayObservation& obs) noexcept;
+
+/// Decoded archive stream. Also an ArchiveStream: `next()` materializes the
+/// current view, which is what the chaos/fault path consumes.
+class DeltaArchiveReader : public ArchiveStream {
+ public:
+  /// Decode the next day without materializing: the returned view (and all
+  /// spans inside it) is valid until the next next_view()/next() call.
+  /// Returns nullptr at end of archive or on decode error — check status().
+  virtual const DayObservationView* next_view() = 0;
+
+  /// OK while the stream is healthy; latches the first decode error. End of
+  /// archive with an OK status is a clean EOF.
+  virtual const pl::Status& status() const noexcept = 0;
+
+  /// The archive's interned token vocabulary (registry, statuses, countries).
+  /// Complete after the stream is drained; for the binary format it is
+  /// complete at open (the string table is decoded eagerly).
+  virtual std::shared_ptr<const util::StringPool> names() const noexcept = 0;
+
+  /// Materializing read, implemented on top of next_view(). Returns nullopt
+  /// at end of archive *or* on decode error; callers that need to tell the
+  /// difference check status().
+  std::optional<DayObservation> next() final;
+};
+
+/// Open an encoded archive for reading; dispatches on `archive.format`.
+/// Validates the header eagerly (magic, version, string table, registry,
+/// day count) and fails with a precise status: kDataLoss for corrupt or
+/// truncated input, kInvalidArgument for version skew. The reader borrows
+/// `archive.bytes` — keep the EncodedArchive alive.
+pl::StatusOr<std::unique_ptr<DeltaArchiveReader>> open_archive(
+    const EncodedArchive& archive);
+
+/// Convenience for tests and tools: decode the whole archive into owned
+/// observations, or the first error encountered.
+pl::StatusOr<std::vector<DayObservation>> decode_archive(
+    const EncodedArchive& archive);
+
+}  // namespace pl::dele

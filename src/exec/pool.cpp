@@ -92,7 +92,12 @@ void ThreadPool::parallel_for(std::size_t count, const RangeBody& body,
   if (count == 0) return;
   grain = std::max<std::size_t>(grain, 1);
   const auto workers = static_cast<std::size_t>(size());
-  if (workers == 0 || tl_in_worker || count <= grain) {
+  // A single worker can never overlap with the calling thread, so chunking
+  // plus queue/condvar hand-off is pure overhead — the t=1 bench leg used to
+  // run ~4% slower than serial because of it. Route workers <= 1 through the
+  // same inline path as the serial pool; output order is unaffected because
+  // chunks were already merged in index order.
+  if (workers <= 1 || tl_in_worker || count <= grain) {
     body(0, count);
     return;
   }

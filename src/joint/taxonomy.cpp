@@ -123,78 +123,69 @@ Taxonomy classify(const lifetimes::AdminDataset& admin,
     }
   }
 
-  // Index lists of a freshly indexed dataset are contiguous ascending runs
-  // (lifetimes are sorted by (asn, start)); fall back to a scratch copy for
-  // hand-assembled datasets where they are not.
-  const auto contiguous = [](const std::vector<std::size_t>& indices) {
-    for (std::size_t i = 1; i < indices.size(); ++i)
-      if (indices[i] != indices[0] + i) return false;
-    return true;
-  };
-
-  std::vector<AsnClassification> slots(groups.size());
+  // Groups own disjoint global indices on both sides, so workers write
+  // straight into the output arrays — same values the per-group
+  // classify_asn + serial scatter produced, without a per-group
+  // AsnClassification allocation.
+  static const std::vector<std::size_t> kNoIndices;
   exec::parallel_for(
       groups.size(),
       [&](std::size_t begin, std::size_t end) {
-        std::vector<lifetimes::AdminLifetime> admin_scratch;
-        std::vector<lifetimes::OpLifetime> op_scratch;
+        std::vector<unsigned char> has_partial;
+        std::vector<unsigned char> has_inside;
         for (std::size_t g = begin; g < end; ++g) {
-          std::span<const lifetimes::AdminLifetime> admin_span;
-          if (groups[g].admin_indices != nullptr) {
-            const auto& indices = *groups[g].admin_indices;
-            if (contiguous(indices)) {
-              admin_span = {admin.lifetimes.data() + indices.front(),
-                            indices.size()};
+          const auto& a_idx = groups[g].admin_indices != nullptr
+                                  ? *groups[g].admin_indices
+                                  : kNoIndices;
+          const auto& o_idx = groups[g].op_indices != nullptr
+                                  ? *groups[g].op_indices
+                                  : kNoIndices;
+          has_partial.assign(a_idx.size(), 0);
+          has_inside.assign(a_idx.size(), 0);
+          for (const std::size_t oi : o_idx) {
+            const lifetimes::OpLifetime& op_life = op.lifetimes[oi];
+            std::int64_t best_admin = -1;
+            std::int64_t best_overlap = 0;
+            bool inside = false;
+            for (std::size_t a = 0; a < a_idx.size(); ++a) {
+              const lifetimes::AdminLifetime& admin_life =
+                  admin.lifetimes[a_idx[a]];
+              const std::int64_t overlap =
+                  util::overlap_days(admin_life.days, op_life.days);
+              if (overlap <= 0) continue;
+              const bool contains = admin_life.days.contains(op_life.days);
+              taxonomy.admin_to_ops[a_idx[a]].push_back(oi);
+              if (contains)
+                has_inside[a] = 1;
+              else
+                has_partial[a] = 1;
+              if (overlap > best_overlap) {
+                best_overlap = overlap;
+                best_admin = static_cast<std::int64_t>(a);
+                inside = contains;
+              }
+            }
+            if (best_admin < 0) {
+              taxonomy.op_to_admin[oi] = -1;
+              taxonomy.op_category[oi] = Category::kOutsideDelegation;
             } else {
-              admin_scratch.clear();
-              for (const std::size_t a : indices)
-                admin_scratch.push_back(admin.lifetimes[a]);
-              admin_span = admin_scratch;
+              taxonomy.op_to_admin[oi] = static_cast<std::int64_t>(
+                  a_idx[static_cast<std::size_t>(best_admin)]);
+              taxonomy.op_category[oi] = inside ? Category::kCompleteOverlap
+                                                : Category::kPartialOverlap;
             }
           }
-          std::span<const lifetimes::OpLifetime> op_span;
-          if (groups[g].op_indices != nullptr) {
-            const auto& indices = *groups[g].op_indices;
-            if (contiguous(indices)) {
-              op_span = {op.lifetimes.data() + indices.front(),
-                         indices.size()};
-            } else {
-              op_scratch.clear();
-              for (const std::size_t o : indices)
-                op_scratch.push_back(op.lifetimes[o]);
-              op_span = op_scratch;
-            }
+          for (std::size_t a = 0; a < a_idx.size(); ++a) {
+            if (has_partial[a] != 0)
+              taxonomy.admin_category[a_idx[a]] = Category::kPartialOverlap;
+            else if (has_inside[a] != 0)
+              taxonomy.admin_category[a_idx[a]] = Category::kCompleteOverlap;
+            else
+              taxonomy.admin_category[a_idx[a]] = Category::kUnused;
           }
-          slots[g] = classify_asn(admin_span, op_span);
         }
       },
       /*grain=*/64);
-
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    const AsnClassification& cls = slots[g];
-    const Group& group = groups[g];
-    if (group.admin_indices != nullptr) {
-      const auto& indices = *group.admin_indices;
-      for (std::size_t i = 0; i < indices.size(); ++i) {
-        taxonomy.admin_category[indices[i]] = cls.admin_category[i];
-        for (const std::size_t o : cls.admin_to_ops[i])
-          taxonomy.admin_to_ops[indices[i]].push_back(
-              (*group.op_indices)[o]);
-      }
-    }
-    if (group.op_indices != nullptr) {
-      const auto& indices = *group.op_indices;
-      for (std::size_t j = 0; j < indices.size(); ++j) {
-        taxonomy.op_category[indices[j]] = cls.op_category[j];
-        taxonomy.op_to_admin[indices[j]] =
-            cls.op_to_admin[j] < 0
-                ? -1
-                : static_cast<std::int64_t>(
-                      (*group.admin_indices)[static_cast<std::size_t>(
-                          cls.op_to_admin[j])]);
-      }
-    }
-  }
 
   for (const Category c : taxonomy.admin_category)
     ++taxonomy.admin_counts[static_cast<std::size_t>(c)];

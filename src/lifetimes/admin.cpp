@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <optional>
+#include <span>
+#include <utility>
 
 #include "check/contracts.hpp"
 #include "exec/pool.hpp"
@@ -72,25 +74,29 @@ void gather_asn_pieces(const std::vector<StateSpan>& spans, asn::Rir rir,
   }
 }
 
-/// Extract the delegated pieces of one registry into `out` (ASN -> pieces
-/// in span order).
-void gather_registry_pieces(const restore::RestoredRegistry& registry,
-                            Day first_observed,
-                            std::map<std::uint32_t, std::vector<Piece>>& out) {
+/// Extract the delegated pieces of one registry into flat (asn, piece)
+/// pairs. `registry.spans` iterates in ascending-ASN order, so `out` comes
+/// back sorted by ASN with per-ASN pieces in span order — no per-ASN map
+/// slot (or temporary vector) needed.
+void gather_registry_pieces(
+    const restore::RestoredRegistry& registry, Day first_observed,
+    std::vector<std::pair<std::uint32_t, Piece>>& out) {
+  std::vector<Piece> scratch;
   for (const auto& [asn, spans] : registry.spans) {
-    std::vector<Piece> pieces;
-    gather_asn_pieces(spans, registry.rir, first_observed, pieces);
-    if (pieces.empty()) continue;
-    auto& slot = out[asn];
-    slot.insert(slot.end(), pieces.begin(), pieces.end());
+    scratch.clear();
+    gather_asn_pieces(spans, registry.rir, first_observed, scratch);
+    for (const Piece& piece : scratch) out.emplace_back(asn, piece);
   }
 }
 
 /// Merge one ASN's pieces (sorted in place by start day) into lifetimes,
-/// applying the 4.1 continuation rules.
-void build_asn_lifetimes(std::uint32_t asn_value, std::vector<Piece>& pieces,
-                         Day archive_end, const AdminBuildConfig& config,
+/// applying the 4.1 continuation rules. `pieces` is a mutable slice of the
+/// caller's flat piece array.
+void build_asn_lifetimes(std::uint32_t asn_value, Piece* pieces_begin,
+                         std::size_t piece_count, Day archive_end,
+                         const AdminBuildConfig& config,
                          std::vector<AdminLifetime>& out) {
+  const std::span<Piece> pieces(pieces_begin, piece_count);
   std::sort(pieces.begin(), pieces.end(),
             [](const Piece& a, const Piece& b) {
               return a.days.first < b.days.first;
@@ -195,8 +201,18 @@ void AdminDataset::index() {
               if (a.asn != b.asn) return a.asn < b.asn;
               return a.days.first < b.days.first;
             });
-  for (std::size_t i = 0; i < lifetimes.size(); ++i)
-    by_asn[lifetimes[i].asn.value].push_back(i);
+  // Lifetimes are sorted by ASN, so keys arrive ascending: the end-hint
+  // makes every map insert O(1) instead of a fresh root-down walk.
+  std::vector<std::size_t>* slot = nullptr;
+  for (std::size_t i = 0; i < lifetimes.size(); ++i) {
+    const std::uint32_t asn = lifetimes[i].asn.value;
+    if (slot == nullptr || by_asn.rbegin()->first != asn)
+      slot = &by_asn
+                  .emplace_hint(by_asn.end(), asn,
+                                std::vector<std::size_t>{})
+                  ->second;
+    slot->push_back(i);
+  }
   PL_ASSERT_SORTED(lifetimes,
                    [](const AdminLifetime& a, const AdminLifetime& b) {
                      if (a.asn != b.asn) return a.asn < b.asn;
@@ -230,7 +246,8 @@ std::vector<AdminLifetime> build_asn_admin_lifetimes(
                       first_observed[r].value_or(archive_end), pieces);
   }
   std::vector<AdminLifetime> lifetimes;
-  build_asn_lifetimes(asn_value, pieces, archive_end, config, lifetimes);
+  build_asn_lifetimes(asn_value, pieces.data(), pieces.size(), archive_end,
+                      config, lifetimes);
   return lifetimes;
 }
 
@@ -252,11 +269,12 @@ AdminDataset build_admin_lifetimes(const restore::RestoredArchive& archive,
   for (std::size_t r = 0; r < asn::kRirCount; ++r)
     first_observed[r] = observed[r].value_or(archive_end);
 
-  // Gather delegated pieces per ASN, sharded by registry: each of the five
-  // registries fills its own map, and the maps fold together in registry
-  // order below — the same per-ASN piece order the serial registry loop
-  // produced.
-  std::array<std::map<std::uint32_t, std::vector<Piece>>, asn::kRirCount>
+  // Gather delegated pieces, sharded by registry: each of the five
+  // registries fills its own flat (asn, piece) vector (already sorted by
+  // ASN — see gather_registry_pieces), and the vectors fold together below
+  // into ascending-ASN groups whose per-ASN piece order matches the old
+  // registry-order map fold.
+  std::array<std::vector<std::pair<std::uint32_t, Piece>>, asn::kRirCount>
       pieces_by_registry;
   exec::parallel_for(
       archive.registries.size(),
@@ -269,29 +287,58 @@ AdminDataset build_admin_lifetimes(const restore::RestoredArchive& archive,
       },
       /*grain=*/1);
 
-  std::map<std::uint32_t, std::vector<Piece>> pieces_by_asn;
-  for (auto& registry_pieces : pieces_by_registry)
-    for (auto& [asn, pieces] : registry_pieces) {
-      auto& merged = pieces_by_asn[asn];
-      merged.insert(merged.end(), pieces.begin(), pieces.end());
-    }
+  std::size_t piece_total = 0;
+  for (const auto& registry_pieces : pieces_by_registry)
+    piece_total += registry_pieces.size();
+  std::vector<std::pair<std::uint32_t, Piece>> pieces;
+  pieces.reserve(piece_total);
+  for (const auto& registry_pieces : pieces_by_registry)
+    pieces.insert(pieces.end(), registry_pieces.begin(),
+                  registry_pieces.end());
+  // Stable by-ASN sort of the registry-order concatenation: each ASN's
+  // group keeps registry order, the per-ASN sequence the serial fold built.
+  std::stable_sort(pieces.begin(), pieces.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
 
   // Per-ASN lifetime construction is independent across ASNs: compute each
-  // ASN's lifetimes into its own slot, then concatenate in ascending-ASN
-  // order (the map's iteration order — exactly the serial append order).
-  std::vector<std::pair<const std::uint32_t, std::vector<Piece>>*> entries;
-  entries.reserve(pieces_by_asn.size());
-  for (auto& entry : pieces_by_asn) entries.push_back(&entry);
-  std::vector<std::vector<AdminLifetime>> lifetimes_by_asn(entries.size());
+  // ASN group's lifetimes into its own slot, then concatenate in
+  // ascending-ASN order (the group order — exactly the serial append
+  // order).
+  struct Group {
+    std::uint32_t asn;
+    std::size_t begin;
+    std::size_t count;
+  };
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < pieces.size();) {
+    const std::uint32_t asn = pieces[i].first;
+    const std::size_t begin = i;
+    while (i < pieces.size() && pieces[i].first == asn) ++i;
+    groups.push_back(Group{asn, begin, i - begin});
+  }
+  // The grouped pairs are (asn, piece); build_asn_lifetimes wants a bare
+  // Piece slice, so copy each group into a scratch run. One flat scratch
+  // array shared by all groups keeps this allocation-free per group.
+  std::vector<Piece> scratch(pieces.size());
+  for (std::size_t i = 0; i < pieces.size(); ++i)
+    scratch[i] = pieces[i].second;
+  std::vector<std::vector<AdminLifetime>> lifetimes_by_asn(groups.size());
   exec::parallel_for(
-      entries.size(),
+      groups.size(),
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t n = begin; n < end; ++n)
-          build_asn_lifetimes(entries[n]->first, entries[n]->second,
-                              archive_end, config, lifetimes_by_asn[n]);
+          build_asn_lifetimes(groups[n].asn, scratch.data() + groups[n].begin,
+                              groups[n].count, archive_end, config,
+                              lifetimes_by_asn[n]);
       },
       /*grain=*/64);
 
+  std::size_t life_total = 0;
+  for (const std::vector<AdminLifetime>& per_asn : lifetimes_by_asn)
+    life_total += per_asn.size();
+  dataset.lifetimes.reserve(life_total);
   for (const std::vector<AdminLifetime>& per_asn : lifetimes_by_asn)
     dataset.lifetimes.insert(dataset.lifetimes.end(), per_asn.begin(),
                              per_asn.end());

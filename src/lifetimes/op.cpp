@@ -38,7 +38,13 @@ OpDataset build_op_lifetimes(const bgp::ActivityTable& activity,
 
   OpDataset dataset;
   for (std::size_t i = 0; i < entries.size(); ++i) {
-    auto& indices = dataset.by_asn[entries[i].first.value];
+    // Entries arrive in ascending ASN order, so hinting at end() makes each
+    // index-map insert O(1) instead of a tree descent.
+    auto& indices =
+        dataset.by_asn
+            .emplace_hint(dataset.by_asn.end(), entries[i].first.value,
+                          std::vector<std::size_t>{})
+            ->second;
     for (const util::DayInterval& life : lives_by_entry[i]) {
       indices.push_back(dataset.lifetimes.size());
       dataset.lifetimes.push_back(OpLifetime{entries[i].first, life});

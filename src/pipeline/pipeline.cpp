@@ -6,9 +6,12 @@
 #include <optional>
 #include <utility>
 
+#include "check/contracts.hpp"
+#include "delegation/interchange.hpp"
 #include "exec/pool.hpp"
 #include "obs/export.hpp"
 #include "obs/span.hpp"
+#include "util/intern.hpp"
 
 namespace pl::pipeline {
 
@@ -130,14 +133,33 @@ Result run_simulated(const Config& config) {
                static_cast<std::int64_t>(result.op_world.activity.asn_count()));
   }
 
-  // Delegation archive with every 3.1 defect class, then restoration.
-  std::optional<rirsim::SimulatedArchive> archive;
+  // Delegation archive with every 3.1 defect class, rendered and serialized
+  // to the configured interchange format. The encode drains the generator
+  // here, so the render stage owns the whole cost of producing the archive;
+  // restore only pays for decoding.
+  std::array<dele::EncodedArchive, asn::kRirCount> encoded;
   {
     obs::Span stage = run.child("render");
     rirsim::InjectorConfig injector = config.injector;
     injector.seed = config.seed + 4;
     injector.scale = config.scale;
-    archive.emplace(result.truth, injector);
+    rirsim::SimulatedArchive archive(result.truth, injector);
+    exec::parallel_for(
+        asn::kRirCount,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::unique_ptr<dele::ArchiveStream> stream =
+                archive.stream(asn::kAllRirs[i]);
+            encoded[i] = dele::encode_archive(*stream, config.interchange);
+          }
+        },
+        /*grain=*/1);
+    std::int64_t archive_bytes = 0;
+    for (const dele::EncodedArchive& a : encoded)
+      archive_bytes += static_cast<std::int64_t>(a.bytes.size());
+    stage.note("interchange_binary",
+               config.interchange == dele::Interchange::kBinary ? 1 : 0);
+    stage.note("archive_bytes", archive_bytes);
   }
 
   {
@@ -156,23 +178,30 @@ Result run_simulated(const Config& config) {
           "registry:" + std::string(asn::file_token(asn::kAllRirs[i])));
 
     std::array<robust::ErrorSink, asn::kRirCount> shard_sinks;
+    std::array<std::shared_ptr<const util::StringPool>, asn::kRirCount>
+        shard_names;
     exec::parallel_for(
         asn::kRirCount,
         [&](std::size_t begin, std::size_t end) {
           for (std::size_t i = begin; i < end; ++i) {
             const asn::Rir rir = asn::kAllRirs[i];
+            pl::StatusOr<std::unique_ptr<dele::DeltaArchiveReader>> reader =
+                dele::open_archive(encoded[i]);
+            // The blob was produced in-process a stage ago; failing to open
+            // it is a bug, not an input fault.
+            PL_EXPECT(reader.ok(), "interchange archive failed to open");
+            if (!reader.ok()) continue;
+            shard_names[i] = (*reader)->names();
             if (config.inject_chaos) {
               robust::ChaosConfig chaos = config.chaos;
               chaos.seed = config.chaos.seed + asn::index_of(rir);
-              robust::FaultStream stream(archive->stream(rir), chaos,
+              robust::FaultStream stream(std::move(*reader), chaos,
                                          &shard_sinks[i]);
               result.restored.registries[i] = restore::restore_registry(
                   stream, config.restore, &truth.erx, hint, &shard_sinks[i]);
             } else {
-              const std::unique_ptr<dele::ArchiveStream> stream =
-                  archive->stream(rir);
               result.restored.registries[i] = restore::restore_registry(
-                  *stream, config.restore, &truth.erx, hint);
+                  **reader, config.restore, &truth.erx, hint);
             }
             // Metrics land from inside the shard: counters are striped
             // atomics, so concurrent publication still sums to the same
@@ -184,6 +213,18 @@ Result run_simulated(const Config& config) {
           }
         },
         /*grain=*/1);
+
+    // Union of the per-registry token vocabularies, merged in registry
+    // order so the combined pool's ids are deterministic.
+    {
+      auto names = std::make_shared<util::StringPool>();
+      for (const auto& shard : shard_names) {
+        if (shard == nullptr) continue;
+        for (std::uint32_t id = 0; id < shard->size(); ++id)
+          names->intern(shard->at(id));
+      }
+      result.restored.names = std::move(names);
+    }
 
     if (config.inject_chaos) {
       // Merging shard sinks in registry order reproduces the books one

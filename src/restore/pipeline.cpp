@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "check/contracts.hpp"
+#include "delegation/interchange.hpp"
 #include "exec/pool.hpp"
 #include "robust/checkpoint.hpp"
 
@@ -13,7 +14,9 @@ namespace pl::restore {
 namespace {
 
 using dele::ChannelDelta;
+using dele::ChannelDeltaView;
 using dele::DayObservation;
+using dele::DayObservationView;
 using dele::FileCondition;
 using dele::RecordChange;
 using dele::RecordState;
@@ -113,11 +116,14 @@ DayObservation read_observation(CheckpointReader& reader) {
 class SpanBuilder {
  public:
   void set(std::uint32_t asn, Day day, const RecordState& state) {
-    auto [it, inserted] = open_.try_emplace(asn, Open{day, state});
+    // try_emplace builds the Open in place only on insertion, so the common
+    // update/unchanged paths never copy a RecordState temporary.
+    auto [it, inserted] = open_.try_emplace(asn, day, state);
     if (!inserted) {
       if (it->second.state == state) return;  // unchanged, span continues
       close_one(asn, it->second, day - 1);
-      it->second = Open{day, state};
+      it->second.since = day;
+      it->second.state = state;
     }
   }
 
@@ -150,11 +156,26 @@ class SpanBuilder {
       writer.i32(open.since);
       write_state(writer, open.state);
     }
-    writer.varint(spans_.size());
-    for (const auto& [asn, list] : spans_) {
+    // Closed spans are stored flat; group them by ASN (ascending, per-ASN
+    // close order preserved) so the byte stream matches the historical
+    // map<asn, list> serialization exactly.
+    std::vector<std::pair<std::uint32_t, StateSpan>> grouped = closed_;
+    std::stable_sort(grouped.begin(), grouped.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::uint64_t distinct = 0;
+    for (std::size_t i = 0; i < grouped.size(); ++i)
+      if (i == 0 || grouped[i].first != grouped[i - 1].first) ++distinct;
+    writer.varint(distinct);
+    for (std::size_t i = 0; i < grouped.size();) {
+      const std::uint32_t asn = grouped[i].first;
+      std::size_t end = i;
+      while (end < grouped.size() && grouped[end].first == asn) ++end;
       writer.u32(asn);
-      writer.varint(list.size());
-      for (const StateSpan& span : list) {
+      writer.varint(end - i);
+      for (; i < end; ++i) {
+        const StateSpan& span = grouped[i].second;
         writer.i32(span.days.first);
         writer.i32(span.days.last);
         write_state(writer, span.state);
@@ -164,66 +185,85 @@ class SpanBuilder {
 
   void load(CheckpointReader& reader) {
     open_.clear();
-    spans_.clear();
+    closed_.clear();
     const std::uint64_t open_count = reader.container_size(9);
     for (std::uint64_t i = 0; reader.ok() && i < open_count; ++i) {
       const std::uint32_t asn = reader.u32();
-      Open open;
-      open.since = reader.i32();
-      open.state = read_state(reader);
-      open_.emplace(asn, std::move(open));
+      const Day since = reader.i32();
+      open_.try_emplace(asn, since, read_state(reader));
     }
     const std::uint64_t span_count = reader.container_size(5);
     for (std::uint64_t i = 0; reader.ok() && i < span_count; ++i) {
       const std::uint32_t asn = reader.u32();
       const std::uint64_t list_size = reader.container_size(8);
-      auto& list = spans_[asn];
       for (std::uint64_t s = 0; reader.ok() && s < list_size; ++s) {
         StateSpan span;
         span.days.first = reader.i32();
         span.days.last = reader.i32();
         span.state = read_state(reader);
-        list.push_back(std::move(span));
+        closed_.emplace_back(asn, std::move(span));
       }
     }
   }
 
   std::map<std::uint32_t, std::vector<StateSpan>> finish(Day last_day) {
-    // pl-lint: allow(unordered-drain) order-independent fold: each ASN lands
-    // in its own std::map slot and every per-ASN list is sorted just below.
+    // pl-lint: allow(unordered-drain) order-independent fold: each ASN
+    // appears in open_ at most once, and grouping below is a stable sort by
+    // ASN, so per-ASN span sequences don't depend on this drain order.
     for (auto& [asn, open] : open_)
-      spans_[asn].push_back(StateSpan{DayInterval{open.since, last_day},
-                                      open.state});
+      closed_.emplace_back(
+          asn, StateSpan{DayInterval{open.since, last_day}, open.state});
     open_.clear();
-    for (auto& [asn, list] : spans_)
+    // Group the flat closed list by ASN. The stable sort keeps each ASN's
+    // spans in close order, so the per-ASN day sort sees the same input
+    // sequence (and produces the same output) as the old map-of-lists.
+    std::stable_sort(closed_.begin(), closed_.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::map<std::uint32_t, std::vector<StateSpan>> out;
+    std::vector<StateSpan> list;
+    for (std::size_t i = 0; i < closed_.size();) {
+      const std::uint32_t asn = closed_[i].first;
+      list.clear();
+      for (; i < closed_.size() && closed_[i].first == asn; ++i)
+        list.push_back(std::move(closed_[i].second));
       std::sort(list.begin(), list.end(),
                 [](const StateSpan& a, const StateSpan& b) {
                   return a.days.first < b.days.first;
                 });
-    return std::move(spans_);
+      out.emplace_hint(out.end(), asn, list);
+    }
+    closed_.clear();
+    return out;
   }
 
  private:
   struct Open {
+    Open(Day s, const RecordState& st) : since(s), state(st) {}
+
     Day since;
     RecordState state;
   };
 
   void close_one(std::uint32_t asn, const Open& open, Day last) {
     if (last >= open.since)
-      spans_[asn].push_back(
-          StateSpan{DayInterval{open.since, last}, open.state});
+      closed_.emplace_back(asn,
+                           StateSpan{DayInterval{open.since, last}, open.state});
   }
 
   std::unordered_map<std::uint32_t, Open> open_;
-  std::map<std::uint32_t, std::vector<StateSpan>> spans_;
+  /// Flat (asn, span) pairs in close order — grouped on save()/finish().
+  /// A map<asn, vector> here cost a tree lookup per closed span on the
+  /// restore hot path.
+  std::vector<std::pair<std::uint32_t, StateSpan>> closed_;
 };
 
-bool in_era(const ChannelDelta& delta) noexcept {
+bool in_era(const ChannelDeltaView& delta) noexcept {
   return delta.condition != FileCondition::kNotPublished;
 }
 
-bool present(const ChannelDelta& delta) noexcept {
+bool present(const ChannelDeltaView& delta) noexcept {
   return delta.condition == FileCondition::kPresent;
 }
 
@@ -244,17 +284,28 @@ struct StreamingRestorer::Impl {
   robust::ErrorSink* sink;
 
   RestoredRegistry out;
-  std::unordered_map<std::uint32_t, RecordState> ext_state;
-  std::unordered_map<std::uint32_t, RecordState> reg_state;
-  // ASNs recently vanished from the extended channel while the regular one
-  // still lists them: day the vanish happened.
-  std::unordered_map<std::uint32_t, Day> ext_vanished_at;
+
+  /// Per-ASN restoration state, merged into one table so the hot
+  /// resolve/apply paths pay a single hash lookup instead of one per concern
+  /// (extended state, regular state, vanish tracking, first-seen, duplicate
+  /// accounting each used to live in their own map). Flags gate validity;
+  /// a falsey flag is exactly the old "key absent" case.
+  struct Rec {
+    RecordState ext;          ///< valid iff ext_present
+    RecordState reg;          ///< valid iff reg_present
+    Day vanished_day = 0;     ///< valid iff vanished
+    Day first_seen_day = 0;   ///< valid iff seen
+    bool ext_present = false;
+    bool reg_present = false;
+    /// Recently vanished from the extended channel while the regular one
+    /// still lists the ASN.
+    bool vanished = false;
+    bool seen = false;
+    bool dup_counted = false;  ///< duplicate episode already counted
+  };
+  std::unordered_map<std::uint32_t, Rec> recs;
   // Expiry queue for the recovery grace period.
   std::map<Day, std::vector<std::uint32_t>> grace_expiry;
-  // First day each ASN was ever seen in any file (step v future-date fix).
-  std::unordered_map<std::uint32_t, Day> first_seen;
-  // Duplicate episodes already counted.
-  std::set<std::uint32_t> counted_duplicates;
 
   SpanBuilder builder;
   bool extended_era_started = false;
@@ -268,19 +319,26 @@ struct StreamingRestorer::Impl {
   Day newest_seen = 0;
   bool any_seen = false;
 
+  // apply_day scratch (capacity persists across days).
+  std::vector<std::uint32_t> touched_scratch;
+
   // Recompute the effective record for one ASN and apply it to the builder.
   void resolve(std::uint32_t asn, Day day, bool ext_usable) {
     RestorationReport& report = out.report;
-    const auto ext_it = ext_state.find(asn);
-    if (extended_era_started && ext_it != ext_state.end()) {
-      builder.set(asn, day, ext_it->second);
-      ext_vanished_at.erase(asn);
+    const auto it = recs.find(asn);
+    if (it == recs.end()) {
+      builder.clear(asn, day);
       return;
     }
-    const auto reg_it = reg_state.find(asn);
-    if (reg_it != reg_state.end()) {
+    Rec& rec = it->second;
+    if (extended_era_started && rec.ext_present) {
+      builder.set(asn, day, rec.ext);
+      rec.vanished = false;
+      return;
+    }
+    if (rec.reg_present) {
       if (!extended_era_started) {
-        builder.set(asn, day, reg_it->second);
+        builder.set(asn, day, rec.reg);
         return;
       }
       if (!config.recover_from_regular) {
@@ -289,12 +347,10 @@ struct StreamingRestorer::Impl {
       }
       // Extended era active but the record is only in the regular file:
       // trust it within the grace window (steps ii/iii).
-      const auto vanish_it = ext_vanished_at.find(asn);
-      if (!ext_usable || vanish_it == ext_vanished_at.end() ||
-          day - vanish_it->second <= config.recovery_grace_days) {
-        if (vanish_it != ext_vanished_at.end())
-          ++report.recovered_from_regular;
-        builder.set(asn, day, reg_it->second);
+      if (!ext_usable || !rec.vanished ||
+          day - rec.vanished_day <= config.recovery_grace_days) {
+        if (rec.vanished) ++report.recovered_from_regular;
+        builder.set(asn, day, rec.reg);
         return;
       }
       // Grace expired: the disappearance is real despite the stale regular
@@ -338,18 +394,39 @@ struct StreamingRestorer::Impl {
       return;
     }
     if (window <= 0) {
-      apply_day(obs, /*arrived_late=*/false);
+      apply_day(dele::view_of(obs), /*arrived_late=*/false);
       return;
     }
+    buffer_pending(obs);
+  }
+
+  /// Zero-copy entry point: applies straight from reader-owned storage on
+  /// the in-order fast path; only the (rare) reorder-window path has to
+  /// materialize an owned copy.
+  void ingest(const DayObservationView& view) {
+    const int window = config.reorder_window_days;
+    if (any_applied && view.day <= last_day) {
+      quarantine(view.day, view.day == last_day);
+      return;
+    }
+    if (window <= 0) {
+      apply_day(view, /*arrived_late=*/false);
+      return;
+    }
+    buffer_pending(dele::materialize(view));
+  }
+
+  void buffer_pending(DayObservation obs) {
     const bool arrived_late = any_seen && obs.day < newest_seen;
+    const Day day = obs.day;
     const auto [it, inserted] =
-        pending.try_emplace(obs.day, obs, arrived_late);
+        pending.try_emplace(day, std::move(obs), arrived_late);
     if (!inserted) {
-      quarantine(obs.day, /*duplicate=*/true);
+      quarantine(day, /*duplicate=*/true);
       return;
     }
-    if (!any_seen || obs.day > newest_seen) {
-      newest_seen = obs.day;
+    if (!any_seen || day > newest_seen) {
+      newest_seen = day;
       any_seen = true;
     }
     flush_ready();
@@ -362,11 +439,11 @@ struct StreamingRestorer::Impl {
            pending.begin()->first + config.reorder_window_days <
                newest_seen) {
       auto node = pending.extract(pending.begin());
-      apply_day(node.mapped().first, node.mapped().second);
+      apply_day(dele::view_of(node.mapped().first), node.mapped().second);
     }
   }
 
-  void apply_day(const DayObservation& obs, bool arrived_late) {
+  void apply_day(const DayObservationView& obs, bool arrived_late) {
     PL_EXPECT(!any_applied || obs.day > last_day,
               "observations must apply in strictly increasing day order "
               "(the reorder window re-sorts, the quarantine drops the rest)");
@@ -403,19 +480,29 @@ struct StreamingRestorer::Impl {
       return;
     }
 
-    std::set<std::uint32_t> touched;
+    // Reused scratch instead of a per-day std::set: collect with duplicates,
+    // then sort + unique before the resolve loop. Ascending-unique iteration
+    // matches the old set exactly, without the node churn.
+    std::vector<std::uint32_t>& touched = touched_scratch;
+    touched.clear();
 
     if (ext_present) {
       for (const RecordChange& change : obs.extended.changes) {
         const std::uint32_t asn = change.asn.value;
-        touched.insert(asn);
+        touched.push_back(asn);
+        Rec& rec = recs[asn];
         if (change.state) {
-          ext_state[asn] = *change.state;
-          first_seen.try_emplace(asn, day);
+          rec.ext = *change.state;
+          rec.ext_present = true;
+          if (!rec.seen) {
+            rec.seen = true;
+            rec.first_seen_day = day;
+          }
         } else {
-          ext_state.erase(asn);
-          if (reg_state.contains(asn)) {
-            ext_vanished_at[asn] = day;
+          rec.ext_present = false;
+          if (rec.reg_present) {
+            rec.vanished = true;
+            rec.vanished_day = day;
             grace_expiry[day + config.recovery_grace_days + 1].push_back(asn);
           }
         }
@@ -428,12 +515,17 @@ struct StreamingRestorer::Impl {
     if (reg_present) {
       for (const RecordChange& change : obs.regular.changes) {
         const std::uint32_t asn = change.asn.value;
-        touched.insert(asn);
+        touched.push_back(asn);
+        Rec& rec = recs[asn];
         if (change.state) {
-          reg_state[asn] = *change.state;
-          first_seen.try_emplace(asn, day);
+          rec.reg = *change.state;
+          rec.reg_present = true;
+          if (!rec.seen) {
+            rec.seen = true;
+            rec.first_seen_day = day;
+          }
         } else {
-          reg_state.erase(asn);
+          rec.reg_present = false;
         }
       }
     }
@@ -456,23 +548,32 @@ struct StreamingRestorer::Impl {
               dele::is_delegated(dup_state.status))
             prefer_duplicate = true;
         }
+        Rec& rec = recs[asn];
         if (prefer_duplicate) {
-          ext_state[asn] = dup_state;
-          touched.insert(asn);
+          rec.ext = dup_state;
+          rec.ext_present = true;
+          touched.push_back(asn);
         }
-        if (counted_duplicates.insert(asn).second)
+        if (!rec.dup_counted) {
+          rec.dup_counted = true;
           ++report.duplicates_resolved;
+        }
       }
     }
 
     // Grace expirations scheduled for today (and earlier days skipped while
     // files were missing).
     while (!grace_expiry.empty() && grace_expiry.begin()->first <= day) {
-      for (const std::uint32_t asn : grace_expiry.begin()->second)
-        if (ext_vanished_at.contains(asn)) touched.insert(asn);
+      for (const std::uint32_t asn : grace_expiry.begin()->second) {
+        const auto it = recs.find(asn);
+        if (it != recs.end() && it->second.vanished) touched.push_back(asn);
+      }
       grace_expiry.erase(grace_expiry.begin());
     }
 
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
     const bool ext_usable = ext_present;
     for (const std::uint32_t asn : touched) resolve(asn, day, ext_usable);
   }
@@ -481,7 +582,7 @@ struct StreamingRestorer::Impl {
     // Drain the reorder window: at end of stream nothing newer can arrive.
     while (!pending.empty()) {
       auto node = pending.extract(pending.begin());
-      apply_day(node.mapped().first, node.mapped().second);
+      apply_day(dele::view_of(node.mapped().first), node.mapped().second);
     }
     RestorationReport& report = out.report;
     out.spans = builder.finish(last_day);
@@ -502,11 +603,11 @@ struct StreamingRestorer::Impl {
         // Future dates: clamp to the day the ASN first appeared in any file.
         for (StateSpan& span : spans) {
           if (!span.state.registration_date) continue;
-          const auto seen = first_seen.find(asn);
-          if (seen == first_seen.end()) continue;
+          const auto seen = recs.find(asn);
+          if (seen == recs.end() || !seen->second.seen) continue;
           if (*span.state.registration_date > span.days.first &&
-              *span.state.registration_date > seen->second) {
-            span.state.registration_date = seen->second;
+              *span.state.registration_date > seen->second.first_seen_day) {
+            span.state.registration_date = seen->second.first_seen_day;
             ++report.future_dates_fixed;
           }
         }
@@ -588,32 +689,32 @@ struct StreamingRestorer::Impl {
 
     write_report(writer, out.report);
 
-    const auto write_state_map =
-        [&writer](const std::unordered_map<std::uint32_t, RecordState>& map) {
-          writer.varint(map.size());
-          std::vector<std::uint32_t> keys;
-          keys.reserve(map.size());
-          for (const auto& [asn, state] : map) keys.push_back(asn);
-          std::sort(keys.begin(), keys.end());
-          for (const std::uint32_t asn : keys) {
+    // Each legacy per-concern map is re-derived from the merged table in
+    // ascending-key order, reproducing the historical byte stream exactly.
+    std::vector<std::uint32_t> rec_keys;
+    rec_keys.reserve(recs.size());
+    for (const auto& [asn, rec] : recs) rec_keys.push_back(asn);
+    std::sort(rec_keys.begin(), rec_keys.end());
+
+    const auto write_rec_section =
+        [&](auto&& member_present, auto&& write_value) {
+          std::size_t count = 0;
+          for (const std::uint32_t asn : rec_keys)
+            if (member_present(recs.at(asn))) ++count;
+          writer.varint(count);
+          for (const std::uint32_t asn : rec_keys) {
+            const Rec& rec = recs.at(asn);
+            if (!member_present(rec)) continue;
             writer.u32(asn);
-            write_state(writer, map.at(asn));
+            write_value(rec);
           }
         };
-    write_state_map(ext_state);
-    write_state_map(reg_state);
-
-    writer.varint(ext_vanished_at.size());
-    {
-      std::vector<std::uint32_t> keys;
-      keys.reserve(ext_vanished_at.size());
-      for (const auto& [asn, day] : ext_vanished_at) keys.push_back(asn);
-      std::sort(keys.begin(), keys.end());
-      for (const std::uint32_t asn : keys) {
-        writer.u32(asn);
-        writer.i32(ext_vanished_at.at(asn));
-      }
-    }
+    write_rec_section([](const Rec& r) { return r.ext_present; },
+                      [&](const Rec& r) { write_state(writer, r.ext); });
+    write_rec_section([](const Rec& r) { return r.reg_present; },
+                      [&](const Rec& r) { write_state(writer, r.reg); });
+    write_rec_section([](const Rec& r) { return r.vanished; },
+                      [&](const Rec& r) { writer.i32(r.vanished_day); });
 
     writer.varint(grace_expiry.size());
     for (const auto& [day, asns] : grace_expiry) {
@@ -622,20 +723,17 @@ struct StreamingRestorer::Impl {
       for (const std::uint32_t asn : asns) writer.u32(asn);
     }
 
-    writer.varint(first_seen.size());
-    {
-      std::vector<std::uint32_t> keys;
-      keys.reserve(first_seen.size());
-      for (const auto& [asn, day] : first_seen) keys.push_back(asn);
-      std::sort(keys.begin(), keys.end());
-      for (const std::uint32_t asn : keys) {
-        writer.u32(asn);
-        writer.i32(first_seen.at(asn));
-      }
-    }
+    write_rec_section([](const Rec& r) { return r.seen; },
+                      [&](const Rec& r) { writer.i32(r.first_seen_day); });
 
-    writer.varint(counted_duplicates.size());
-    for (const std::uint32_t asn : counted_duplicates) writer.u32(asn);
+    {
+      std::size_t count = 0;
+      for (const std::uint32_t asn : rec_keys)
+        if (recs.at(asn).dup_counted) ++count;
+      writer.varint(count);
+      for (const std::uint32_t asn : rec_keys)
+        if (recs.at(asn).dup_counted) writer.u32(asn);
+    }
 
     builder.save(writer);
 
@@ -659,22 +757,32 @@ struct StreamingRestorer::Impl {
   bool deserialize(CheckpointReader& reader) {
     if (!read_report(reader, out.report)) return false;
 
-    const auto read_state_map =
-        [&reader](std::unordered_map<std::uint32_t, RecordState>& map) {
-          const std::uint64_t count = reader.container_size(10);
-          map.reserve(count);
-          for (std::uint64_t i = 0; reader.ok() && i < count; ++i) {
-            const std::uint32_t asn = reader.u32();
-            map.emplace(asn, read_state(reader));
-          }
-        };
-    read_state_map(ext_state);
-    read_state_map(reg_state);
+    {
+      const std::uint64_t count = reader.container_size(10);
+      recs.reserve(count);
+      for (std::uint64_t i = 0; reader.ok() && i < count; ++i) {
+        const std::uint32_t asn = reader.u32();
+        Rec& rec = recs[asn];
+        rec.ext = read_state(reader);
+        rec.ext_present = true;
+      }
+    }
+    {
+      const std::uint64_t count = reader.container_size(10);
+      for (std::uint64_t i = 0; reader.ok() && i < count; ++i) {
+        const std::uint32_t asn = reader.u32();
+        Rec& rec = recs[asn];
+        rec.reg = read_state(reader);
+        rec.reg_present = true;
+      }
+    }
 
     const std::uint64_t vanished = reader.container_size(8);
     for (std::uint64_t i = 0; reader.ok() && i < vanished; ++i) {
       const std::uint32_t asn = reader.u32();
-      ext_vanished_at.emplace(asn, reader.i32());
+      Rec& rec = recs[asn];
+      rec.vanished = true;
+      rec.vanished_day = reader.i32();
     }
 
     const std::uint64_t expiries = reader.container_size(5);
@@ -689,12 +797,14 @@ struct StreamingRestorer::Impl {
     const std::uint64_t seen = reader.container_size(8);
     for (std::uint64_t i = 0; reader.ok() && i < seen; ++i) {
       const std::uint32_t asn = reader.u32();
-      first_seen.emplace(asn, reader.i32());
+      Rec& rec = recs[asn];
+      rec.seen = true;
+      rec.first_seen_day = reader.i32();
     }
 
     const std::uint64_t duplicates = reader.container_size(4);
     for (std::uint64_t i = 0; reader.ok() && i < duplicates; ++i)
-      counted_duplicates.insert(reader.u32());
+      recs[reader.u32()].dup_counted = true;
 
     builder.load(reader);
 
@@ -746,6 +856,14 @@ void flag_misuse(RestorationReport& report, robust::ErrorSink* sink,
 }  // namespace
 
 void StreamingRestorer::consume(const dele::DayObservation& observation) {
+  if (impl_ == nullptr) {
+    flag_misuse(spent_report_, sink_, "consume()");
+    return;
+  }
+  impl_->ingest(observation);
+}
+
+void StreamingRestorer::consume(const dele::DayObservationView& observation) {
   if (impl_ == nullptr) {
     flag_misuse(spent_report_, sink_, "consume()");
     return;
@@ -831,6 +949,23 @@ RestoredRegistry restore_registry(dele::ArchiveStream& stream,
   StreamingRestorer restorer(stream.registry(), config, erx, bgp_hint, sink);
   std::optional<DayObservation> observation;
   while ((observation = stream.next())) restorer.consume(*observation);
+  return std::move(restorer).finalize();
+}
+
+RestoredRegistry restore_registry(dele::DeltaArchiveReader& reader,
+                                  const RestoreConfig& config,
+                                  const ErxDates* erx,
+                                  const bgp::ActivityTable* bgp_hint,
+                                  robust::ErrorSink* sink) {
+  StreamingRestorer restorer(reader.registry(), config, erx, bgp_hint, sink);
+  while (const DayObservationView* view = reader.next_view())
+    restorer.consume(*view);
+  if (!reader.status().ok() && sink != nullptr)
+    sink->report({robust::Stage::kStream, robust::Severity::kFatal,
+                  "interchange-decode", reader.status().to_string(),
+                  std::nullopt, std::nullopt});
+  PL_EXPECT(reader.status().ok(),
+            "in-process interchange archive failed to decode");
   return std::move(restorer).finalize();
 }
 

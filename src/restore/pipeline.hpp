@@ -23,6 +23,7 @@
 
 #include "bgp/activity.hpp"
 #include "delegation/archive.hpp"
+#include "delegation/interchange.hpp"
 #include "obs/metrics.hpp"
 #include "restore/types.hpp"
 #include "robust/error.hpp"
@@ -72,6 +73,17 @@ RestoredRegistry restore_registry(dele::ArchiveStream& stream,
                                   const bgp::ActivityTable* bgp_hint = nullptr,
                                   robust::ErrorSink* sink = nullptr);
 
+/// Zero-copy variant: drive the restorer from a decoded interchange reader
+/// via its view API, so no per-day DayObservation is ever materialized on
+/// the in-order fast path. A decode failure is a hard error (the archive is
+/// produced in-process by the render stage); use the ArchiveStream overload
+/// plus robust::FaultStream when the stream is untrusted.
+RestoredRegistry restore_registry(dele::DeltaArchiveReader& reader,
+                                  const RestoreConfig& config,
+                                  const ErxDates* erx = nullptr,
+                                  const bgp::ActivityTable* bgp_hint = nullptr,
+                                  robust::ErrorSink* sink = nullptr);
+
 /// Incremental restorer: feed day observations as they are published (the
 /// paper commits to updating its datasets daily, 9 — this is the API a
 /// near-realtime deployment drives). `restore_registry` is a thin loop over
@@ -96,6 +108,11 @@ class StreamingRestorer {
   /// Apply one day. Days are expected in strictly increasing order;
   /// violations are buffered (inside the reorder window) or quarantined.
   void consume(const dele::DayObservation& observation);
+
+  /// Zero-copy overload: applies straight from reader-owned view storage.
+  /// The view (and everything its spans reference) only needs to stay valid
+  /// for the duration of the call.
+  void consume(const dele::DayObservationView& observation);
 
   /// Close all open spans, run the date-repair post-pass, and return the
   /// restored registry. The restorer is spent afterwards; further calls

@@ -6,10 +6,12 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "asn/rir.hpp"
 #include "delegation/record.hpp"
+#include "util/intern.hpp"
 #include "util/interval.hpp"
 
 namespace pl::restore {
@@ -71,6 +73,12 @@ struct RestoredRegistry {
 struct RestoredArchive {
   std::array<RestoredRegistry, asn::kRirCount> registries;
   CrossRirReport cross;
+  /// Token vocabulary of the source archives (registry, status and country
+  /// tokens), interned once at archive-open and shared by reference. All
+  /// record state is stored as small-int ids / packed codes; these are the
+  /// strings for the text-output boundary (reports, exports). May be null
+  /// when the archive was restored from a pre-interchange stream.
+  std::shared_ptr<const util::StringPool> names;
 
   const RestoredRegistry& registry(asn::Rir rir) const noexcept {
     return registries[asn::index_of(rir)];

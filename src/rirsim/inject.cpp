@@ -1,6 +1,10 @@
 #include "rirsim/inject.hpp"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "rirsim/policy.hpp"
 
@@ -18,12 +22,49 @@ using util::Day;
 using util::DayInterval;
 using util::Rng;
 
-/// Allocated ASNs of `rir` on `day`, per ground truth.
-std::vector<asn::Asn> allocated_on(const GroundTruth& truth, asn::Rir rir,
-                                   Day day) {
-  std::vector<asn::Asn> out;
+/// One `allocated_on` candidate: the life's day interval is duplicated here
+/// so the common "not alive on that day" rejection never dereferences the
+/// life (the candidate list is scanned a few hundred times per registry).
+/// `slow` is null for the common shape — a single uninterrupted segment under
+/// the registry — where day containment alone decides membership.
+struct Candidate {
+  DayInterval days;
+  asn::Asn asn;
+  const TrueAdminLife* slow = nullptr;
+};
+
+/// Lives that ever hold a segment under `rir`, in truth order — the only
+/// candidates `allocated_on` needs to scan. Prefiltering once per registry
+/// turns the injector's repeated full-truth scans into small-list walks.
+std::vector<Candidate> lives_of(const GroundTruth& truth, asn::Rir rir) {
+  std::vector<Candidate> out;
   for (const TrueAdminLife& life : truth.lives) {
-    if (!life.days.contains(day)) continue;
+    if (life.segments.size() == 1 && life.interruptions.empty()) {
+      if (life.segments.front().rir == rir)
+        out.push_back(Candidate{life.segments.front().days, life.asn});
+      continue;
+    }
+    for (const RegistrySegment& segment : life.segments)
+      if (segment.rir == rir) {
+        out.push_back(Candidate{life.days, life.asn, &life});
+        break;
+      }
+  }
+  return out;
+}
+
+/// Allocated ASNs of `rir` on `day`, per ground truth (candidates from
+/// `lives_of`, which preserves truth order so picks stay deterministic).
+std::vector<asn::Asn> allocated_on(const std::vector<Candidate>& candidates,
+                                   asn::Rir rir, Day day) {
+  std::vector<asn::Asn> out;
+  for (const Candidate& candidate : candidates) {
+    if (!candidate.days.contains(day)) continue;
+    if (candidate.slow == nullptr) {
+      out.push_back(candidate.asn);
+      continue;
+    }
+    const TrueAdminLife& life = *candidate.slow;
     if (life.registry_on(day) != rir) continue;
     bool interrupted = false;
     for (const Interruption& gap : life.interruptions)
@@ -66,13 +107,31 @@ class InjectedStream final : public dele::ArchiveStream {
   }
 
  private:
+  // One merged per-ASN cell instead of a hash map per concern: every apply
+  // and emit step pays a single lookup where the old shape paid up to five
+  // (truth, suppression, override, extra, emitted). A cleared flag is
+  // exactly the old "key absent" case, and nothing here is ever iterated
+  // (emission order comes from `dirty`), so hashing stays safe.
+  struct Cell {
+    RecordState truth;    ///< valid iff truth_present
+    RecordState extra;    ///< valid iff extra_present
+    RecordState emitted;  ///< valid iff emitted_present
+    Day override_day = 0;  ///< valid iff has_override
+    bool truth_present = false;
+    bool extra_present = false;
+    bool emitted_present = false;
+    bool has_override = false;
+    bool suppressed = false;
+  };
+
   struct ChannelState {
-    std::map<std::uint32_t, RecordState> truth;
-    std::set<std::uint32_t> suppressed;
-    std::map<std::uint32_t, Day> date_override;
-    std::map<std::uint32_t, RecordState> extra;
-    std::map<std::uint32_t, RecordState> emitted;
-    std::set<std::uint32_t> dirty;
+    std::unordered_map<std::uint32_t, Cell> cells;
+    /// ASNs whose visible record may have changed since the last published
+    /// file. May hold duplicates and survives non-present days; emission
+    /// sorts + dedupes, recovering the ordered-set iteration this replaces.
+    std::vector<std::uint32_t> dirty;
+    /// Monotone cursor into the channel's ChangeMap (days arrive in order).
+    std::size_t cursor = 0;
   };
 
   ChannelState& state(Channel channel) noexcept {
@@ -84,37 +143,77 @@ class InjectedStream final : public dele::ArchiveStream {
                                          : rendered_.regular;
   }
 
+  /// Day-sorted (day, schedule index) events with a monotone cursor; the
+  /// stable sort keeps same-day events in schedule order, exactly like the
+  /// per-day vectors of the map-based index this replaces.
+  struct EventIndex {
+    std::vector<std::pair<Day, std::size_t>> events;
+    std::size_t cursor = 0;
+
+    void add(Day day, std::size_t index) { events.emplace_back(day, index); }
+
+    void seal() {
+      std::stable_sort(events.begin(), events.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+    }
+
+    /// Invoke `fn(index)` for every event on `today`. Events dated before
+    /// the first queried day (pre-archive date overrides) are skipped, as
+    /// the keyed lookup this replaces never found them.
+    template <typename Fn>
+    void drain(Day today, Fn&& fn) {
+      while (cursor < events.size() && events[cursor].first < today) ++cursor;
+      for (; cursor < events.size() && events[cursor].first == today; ++cursor)
+        fn(events[cursor].second);
+    }
+  };
+
   void build_event_index() {
     for (std::size_t i = 0; i < schedule_.suppressions.size(); ++i) {
       const auto& s = schedule_.suppressions[i];
-      suppress_starts_[s.days.first].push_back(i);
-      suppress_ends_[s.days.last + 1].push_back(i);
+      suppress_starts_.add(s.days.first, i);
+      suppress_ends_.add(s.days.last + 1, i);
     }
-    for (const auto& o : schedule_.date_overrides)
-      override_starts_[o.from].push_back(&o);
+    for (std::size_t i = 0; i < schedule_.date_overrides.size(); ++i)
+      override_starts_.add(schedule_.date_overrides[i].from, i);
     for (std::size_t i = 0; i < schedule_.extras.size(); ++i) {
       const auto& e = schedule_.extras[i];
-      extra_starts_[e.days.first].push_back(i);
-      extra_ends_[e.days.last + 1].push_back(i);
+      extra_starts_.add(e.days.first, i);
+      extra_ends_.add(e.days.last + 1, i);
     }
     for (std::size_t i = 0; i < schedule_.duplicates.size(); ++i) {
       const auto& d = schedule_.duplicates[i];
-      duplicate_starts_[d.days.first].push_back(i);
-      duplicate_ends_[d.days.last + 1].push_back(i);
+      duplicate_starts_.add(d.days.first, i);
+      duplicate_ends_.add(d.days.last + 1, i);
     }
+    for (EventIndex* index :
+         {&suppress_starts_, &suppress_ends_, &override_starts_,
+          &extra_starts_, &extra_ends_, &duplicate_starts_, &duplicate_ends_})
+      index->seal();
   }
 
   void replay_truth_until(Day begin) {
     for (Channel channel : {Channel::kExtended, Channel::kRegular}) {
       ChannelState& cs = state(channel);
       const ChangeMap& map = change_map(channel);
-      for (auto it = map.begin(); it != map.end() && it->first < begin; ++it)
-        for (const RecordChange& change : it->second) {
-          if (change.state)
-            cs.truth[change.asn.value] = *change.state;
-          else
-            cs.truth.erase(change.asn.value);
-          cs.dirty.insert(change.asn.value);
+      // Size the hot tables once; incremental rehashing of a growing
+      // registry showed up in profiles.
+      std::size_t change_total = 0;
+      for (const DayChanges& day : map) change_total += day.changes.size();
+      cs.cells.reserve(change_total / 2 + 1);
+      for (; cs.cursor < map.size() && map[cs.cursor].day < begin;
+           ++cs.cursor)
+        for (const RecordChange& change : map[cs.cursor].changes) {
+          Cell& cell = cs.cells[change.asn.value];
+          if (change.state) {
+            cell.truth = *change.state;
+            cell.truth_present = true;
+          } else {
+            cell.truth_present = false;
+          }
+          cs.dirty.push_back(change.asn.value);
         }
     }
   }
@@ -123,15 +222,18 @@ class InjectedStream final : public dele::ArchiveStream {
     for (Channel channel : {Channel::kExtended, Channel::kRegular}) {
       ChannelState& cs = state(channel);
       const ChangeMap& map = change_map(channel);
-      const auto it = map.find(today);
-      if (it == map.end()) continue;
-      for (const RecordChange& change : it->second) {
-        if (change.state)
-          cs.truth[change.asn.value] = *change.state;
-        else
-          cs.truth.erase(change.asn.value);
-        cs.dirty.insert(change.asn.value);
-      }
+      for (; cs.cursor < map.size() && map[cs.cursor].day == today;
+           ++cs.cursor)
+        for (const RecordChange& change : map[cs.cursor].changes) {
+          Cell& cell = cs.cells[change.asn.value];
+          if (change.state) {
+            cell.truth = *change.state;
+            cell.truth_present = true;
+          } else {
+            cell.truth_present = false;
+          }
+          cs.dirty.push_back(change.asn.value);
+        }
     }
   }
 
@@ -144,85 +246,72 @@ class InjectedStream final : public dele::ArchiveStream {
       }
     };
 
-    if (const auto it = suppress_starts_.find(today);
-        it != suppress_starts_.end()) {
-      for (std::size_t index : it->second) {
-        const auto& s = schedule_.suppressions[index];
-        for_channels(s.channel, [&](ChannelState& cs) {
-          for (const asn::Asn a : s.asns) {
-            cs.suppressed.insert(a.value);
-            cs.dirty.insert(a.value);
-          }
-        });
-      }
-    }
-    if (const auto it = suppress_ends_.find(today);
-        it != suppress_ends_.end()) {
-      for (std::size_t index : it->second) {
-        const auto& s = schedule_.suppressions[index];
-        for_channels(s.channel, [&](ChannelState& cs) {
-          for (const asn::Asn a : s.asns) {
-            cs.suppressed.erase(a.value);
-            cs.dirty.insert(a.value);
-          }
-        });
-      }
-    }
-    if (const auto it = override_starts_.find(today);
-        it != override_starts_.end()) {
-      for (const auto* o : it->second)
-        for (Channel channel : {Channel::kExtended, Channel::kRegular}) {
-          ChannelState& cs = state(channel);
-          cs.date_override[o->asn.value] = o->shown;
-          cs.dirty.insert(o->asn.value);
+    suppress_starts_.drain(today, [&](std::size_t index) {
+      const auto& s = schedule_.suppressions[index];
+      for_channels(s.channel, [&](ChannelState& cs) {
+        for (const asn::Asn a : s.asns) {
+          cs.cells[a.value].suppressed = true;
+          cs.dirty.push_back(a.value);
         }
-    }
-    if (const auto it = extra_starts_.find(today); it != extra_starts_.end()) {
-      for (std::size_t index : it->second) {
-        const auto& e = schedule_.extras[index];
-        for (Channel channel : {Channel::kExtended, Channel::kRegular}) {
-          ChannelState& cs = state(channel);
-          cs.extra[e.asn.value] = e.state;
-          cs.dirty.insert(e.asn.value);
+      });
+    });
+    suppress_ends_.drain(today, [&](std::size_t index) {
+      const auto& s = schedule_.suppressions[index];
+      for_channels(s.channel, [&](ChannelState& cs) {
+        for (const asn::Asn a : s.asns) {
+          cs.cells[a.value].suppressed = false;
+          cs.dirty.push_back(a.value);
         }
+      });
+    });
+    override_starts_.drain(today, [&](std::size_t index) {
+      const auto& o = schedule_.date_overrides[index];
+      for (Channel channel : {Channel::kExtended, Channel::kRegular}) {
+        ChannelState& cs = state(channel);
+        Cell& cell = cs.cells[o.asn.value];
+        cell.has_override = true;
+        cell.override_day = o.shown;
+        cs.dirty.push_back(o.asn.value);
       }
-    }
-    if (const auto it = extra_ends_.find(today); it != extra_ends_.end()) {
-      for (std::size_t index : it->second) {
-        const auto& e = schedule_.extras[index];
-        for (Channel channel : {Channel::kExtended, Channel::kRegular}) {
-          ChannelState& cs = state(channel);
-          cs.extra.erase(e.asn.value);
-          cs.dirty.insert(e.asn.value);
-        }
+    });
+    extra_starts_.drain(today, [&](std::size_t index) {
+      const auto& e = schedule_.extras[index];
+      for (Channel channel : {Channel::kExtended, Channel::kRegular}) {
+        ChannelState& cs = state(channel);
+        Cell& cell = cs.cells[e.asn.value];
+        cell.extra = e.state;
+        cell.extra_present = true;
+        cs.dirty.push_back(e.asn.value);
       }
-    }
-    if (const auto it = duplicate_starts_.find(today);
-        it != duplicate_starts_.end())
-      for (std::size_t index : it->second) active_duplicates_.insert(index);
-    if (const auto it = duplicate_ends_.find(today);
-        it != duplicate_ends_.end())
-      for (std::size_t index : it->second) active_duplicates_.erase(index);
+    });
+    extra_ends_.drain(today, [&](std::size_t index) {
+      const auto& e = schedule_.extras[index];
+      for (Channel channel : {Channel::kExtended, Channel::kRegular}) {
+        ChannelState& cs = state(channel);
+        cs.cells[e.asn.value].extra_present = false;
+        cs.dirty.push_back(e.asn.value);
+      }
+    });
+    duplicate_starts_.drain(
+        today, [&](std::size_t index) { active_duplicates_.insert(index); });
+    duplicate_ends_.drain(
+        today, [&](std::size_t index) { active_duplicates_.erase(index); });
   }
 
-  /// What the channel's file shows for `asn` today, nullopt if absent.
-  std::optional<RecordState> visible(const ChannelState& cs, Channel channel,
-                                     std::uint32_t asn_value) const {
-    if (cs.suppressed.contains(asn_value)) return std::nullopt;
-    const auto truth_it = cs.truth.find(asn_value);
-    if (truth_it != cs.truth.end()) {
-      RecordState shown = truth_it->second;
-      if (const auto ov = cs.date_override.find(asn_value);
-          ov != cs.date_override.end())
-        shown.registration_date = ov->second;
+  /// What the channel's file shows for the cell today, nullopt if absent.
+  static std::optional<RecordState> visible(const Cell& cell,
+                                            Channel channel) {
+    if (cell.suppressed) return std::nullopt;
+    if (cell.truth_present) {
+      RecordState shown = cell.truth;
+      if (cell.has_override) shown.registration_date = cell.override_day;
       return shown;
     }
-    const auto extra_it = cs.extra.find(asn_value);
-    if (extra_it != cs.extra.end()) {
+    if (cell.extra_present) {
       if (channel == Channel::kRegular &&
-          !dele::is_delegated(extra_it->second.status))
+          !dele::is_delegated(cell.extra.status))
         return std::nullopt;
-      return extra_it->second;
+      return cell.extra;
     }
     return std::nullopt;
   }
@@ -255,20 +344,27 @@ class InjectedStream final : public dele::ArchiveStream {
     if (delta.condition != FileCondition::kPresent) return delta;
 
     ChannelState& cs = state(channel);
+    // Recover the ordered-unique iteration the old std::set gave: ascending
+    // ASN, each at most once, accumulated across any unpublished days.
+    std::sort(cs.dirty.begin(), cs.dirty.end());
+    cs.dirty.erase(std::unique(cs.dirty.begin(), cs.dirty.end()),
+                   cs.dirty.end());
     delta.changes.reserve(cs.dirty.size());
     for (const std::uint32_t asn_value : cs.dirty) {
-      const std::optional<RecordState> now = visible(cs, channel, asn_value);
-      const auto emitted_it = cs.emitted.find(asn_value);
-      const bool was_emitted = emitted_it != cs.emitted.end();
+      const auto cell_it = cs.cells.find(asn_value);
+      if (cell_it == cs.cells.end()) continue;  // never materialized: no-op
+      Cell& cell = cell_it->second;
+      const std::optional<RecordState> now = visible(cell, channel);
       if (now) {
-        if (!was_emitted || !(emitted_it->second == *now)) {
+        if (!cell.emitted_present || !(cell.emitted == *now)) {
           delta.changes.push_back(RecordChange{asn::Asn{asn_value}, *now});
-          cs.emitted[asn_value] = *now;
+          cell.emitted = *now;
+          cell.emitted_present = true;
         }
-      } else if (was_emitted) {
+      } else if (cell.emitted_present) {
         delta.changes.push_back(
             RecordChange{asn::Asn{asn_value}, std::nullopt});
-        cs.emitted.erase(emitted_it);
+        cell.emitted_present = false;
       }
     }
     cs.dirty.clear();
@@ -291,15 +387,14 @@ class InjectedStream final : public dele::ArchiveStream {
   ChannelState extended_;
   ChannelState regular_;
 
-  std::map<Day, std::vector<std::size_t>> suppress_starts_;
-  std::map<Day, std::vector<std::size_t>> suppress_ends_;
-  std::map<Day, std::vector<const DefectSchedule::DateOverride*>>
-      override_starts_;
-  std::map<Day, std::vector<std::size_t>> extra_starts_;
-  std::map<Day, std::vector<std::size_t>> extra_ends_;
-  std::map<Day, std::vector<std::size_t>> duplicate_starts_;
-  std::map<Day, std::vector<std::size_t>> duplicate_ends_;
-  std::set<std::size_t> active_duplicates_;
+  EventIndex suppress_starts_;
+  EventIndex suppress_ends_;
+  EventIndex override_starts_;
+  EventIndex extra_starts_;
+  EventIndex extra_ends_;
+  EventIndex duplicate_starts_;
+  EventIndex duplicate_ends_;
+  std::set<std::size_t> active_duplicates_;  ///< tiny, iterated in order
 };
 
 }  // namespace
@@ -317,6 +412,7 @@ SimulatedArchive::SimulatedArchive(const GroundTruth& truth,
     const asn::RirFacts& facts = asn::facts(rir);
     const Day begin = truth.archive_begin;
     const Day end = truth.archive_end;
+    const std::vector<Candidate> candidates = lives_of(truth, rir);
 
     // (i) Missing / corrupt file days, per channel, in short runs. The very
     // first and last day of each era always publish.
@@ -347,7 +443,7 @@ SimulatedArchive::SimulatedArchive(const GroundTruth& truth,
       if (era_first + 60 >= end) break;
       const Day day = era_first + static_cast<Day>(rir_rng.uniform(
                                       30, end - era_first - 30));
-      auto allocated = allocated_on(truth, rir, day);
+      auto allocated = allocated_on(candidates, rir, day);
       if (allocated.empty()) continue;
       auto group_size = static_cast<std::size_t>(
           std::max<std::int64_t>(10, static_cast<std::int64_t>(
@@ -377,7 +473,7 @@ SimulatedArchive::SimulatedArchive(const GroundTruth& truth,
           facts.last_regular_file ? *facts.last_regular_file : end;
       for (Day day = both_first + 1; day + 5 < both_last; ++day) {
         if (!rir_rng.chance(config.same_day_diff_rate)) continue;
-        auto allocated = allocated_on(truth, rir, day);
+        auto allocated = allocated_on(candidates, rir, day);
         if (allocated.empty()) continue;
         const auto pick_count = static_cast<std::size_t>(
             rir_rng.uniform(1, 5));

@@ -91,24 +91,37 @@ std::int64_t sample_duration(const DurationMixture& mix, Rng& rng,
   }
 }
 
-asn::CountryCode sample_country(asn::Rir rir, int year, Rng& rng) {
-  const auto pool = asn::country_pool(rir, year);
-  std::vector<double> weights;
-  weights.reserve(pool.size() + 1);
-  double total = 0;
-  for (const auto& entry : pool) {
-    weights.push_back(entry.weight);
-    total += entry.weight;
+/// Country sampler with the (rir, year) pool and its weight table built once
+/// per year instead of per birth — the pool itself never consumes rng, so
+/// hoisting it out of the birth loop leaves the random stream untouched.
+class CountrySampler {
+ public:
+  void rebuild(asn::Rir rir, int year) {
+    pool_ = asn::country_pool(rir, year);
+    weights_.clear();
+    weights_.reserve(pool_.size() + 1);
+    double total = 0;
+    for (const auto& entry : pool_) {
+      weights_.push_back(entry.weight);
+      total += entry.weight;
+    }
+    // Long tail of other countries.
+    weights_.push_back(std::max(0.0, 100.0 - total));
   }
-  // Long tail of other countries.
-  weights.push_back(std::max(0.0, 100.0 - total));
-  const std::size_t pick = rng.weighted(weights);
-  if (pick < pool.size()) return pool[pick].country;
-  // Synthesize a tail country deterministically.
-  const char a = static_cast<char>('A' + rng.uniform(0, 25));
-  const char b = static_cast<char>('A' + rng.uniform(0, 25));
-  return asn::CountryCode::literal(a, b);
-}
+
+  asn::CountryCode sample(Rng& rng) const {
+    const std::size_t pick = rng.weighted(weights_);
+    if (pick < pool_.size()) return pool_[pick].country;
+    // Synthesize a tail country deterministically.
+    const char a = static_cast<char>('A' + rng.uniform(0, 25));
+    const char b = static_cast<char>('A' + rng.uniform(0, 25));
+    return asn::CountryCode::literal(a, b);
+  }
+
+ private:
+  std::vector<asn::CountryWeight> pool_;
+  std::vector<double> weights_;
+};
 
 }  // namespace
 
@@ -139,7 +152,23 @@ RegistrySimResult simulate_registry(const RegistrySimConfig& config,
   const int first_year = util::year_of(config.first_birth_day);
   const int last_year = util::year_of(horizon);
 
+  // Pre-size the result vectors from the deterministic birth budget (no rng
+  // involved): growth reallocations of the org/life tables otherwise dominate
+  // this function's profile.
+  {
+    double budget_total = 0;
+    for (int year = first_year; year <= last_year; ++year)
+      budget_total += policy.births_per_quarter(year) * 4 * config.scale;
+    const auto births_upper = static_cast<std::size_t>(budget_total) + 64;
+    result.lives.reserve(births_upper);
+    result.quarantine_after.reserve(births_upper);
+    orgs.reserve(births_upper);
+  }
+
+  CountrySampler country_sampler;
+
   for (int year = first_year; year <= last_year; ++year) {
+    country_sampler.rebuild(policy.rir, year);
     for (int quarter = 0; quarter < 4; ++quarter) {
       const Day quarter_start =
           util::make_day(year, static_cast<unsigned>(quarter * 3 + 1), 1);
@@ -258,7 +287,7 @@ RegistrySimResult simulate_registry(const RegistrySimConfig& config,
 
         // Organization: mostly new single-AS orgs; some siblings; rare
         // government/legacy blocks in the early eras.
-        const asn::CountryCode country = sample_country(policy.rir, year, rng);
+        const asn::CountryCode country = country_sampler.sample(rng);
         OrgId org;
         if (!multi_asn_orgs.empty() && rng.chance(0.12)) {
           org = multi_asn_orgs[static_cast<std::size_t>(rng.uniform(
@@ -284,8 +313,7 @@ RegistrySimResult simulate_registry(const RegistrySimConfig& config,
         const Day birth_day =
             quarter_start +
             static_cast<Day>(rng.uniform(0, quarter_end - quarter_start));
-        const asn::CountryCode country =
-            sample_country(policy.rir, year, rng);
+        const asn::CountryCode country = country_sampler.sample(rng);
         const OrgId nir_org = new_org(OrgKind::kNir, country);
         for (int b = 0; b < nir_births; ++b) {
           const bool want_32 =

@@ -1,6 +1,8 @@
 #include "rirsim/render.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 namespace pl::rirsim {
 
@@ -18,8 +20,15 @@ struct Span {
   RecordState state;
 };
 
+/// One change event before day-grouping.
+struct Event {
+  Day day;
+  RecordChange change;
+};
+
 /// Append change events for one ASN's ordered, non-overlapping spans.
-void emit_spans(ChangeMap& map, asn::Asn asn, const std::vector<Span>& spans) {
+void emit_spans(std::vector<Event>& events, asn::Asn asn,
+                const std::vector<Span>& spans) {
   for (std::size_t i = 0; i < spans.size(); ++i) {
     const Span& span = spans[i];
     if (span.days.empty()) continue;
@@ -29,12 +38,13 @@ void emit_spans(ChangeMap& map, asn::Asn asn, const std::vector<Span>& spans) {
         spans[i - 1].days.last + 1 == span.days.first &&
         spans[i - 1].state == span.state;
     if (!continues_previous)
-      map[span.days.first].push_back(RecordChange{asn, span.state});
+      events.push_back(Event{span.days.first, RecordChange{asn, span.state}});
     const bool has_adjacent_next =
         i + 1 < spans.size() && !spans[i + 1].days.empty() &&
         spans[i + 1].days.first == span.days.last + 1;
     if (!has_adjacent_next)
-      map[span.days.last + 1].push_back(RecordChange{asn, std::nullopt});
+      events.push_back(
+          Event{span.days.last + 1, RecordChange{asn, std::nullopt}});
   }
 }
 
@@ -67,9 +77,16 @@ std::vector<Day> regdate_breakpoints(const TrueAdminLife& life,
 RenderedRegistry render_registry(const GroundTruth& truth, asn::Rir rir) {
   RenderedRegistry out;
 
-  // Collect spans per ASN per channel, then emit ordered events.
-  std::map<std::uint32_t, std::vector<Span>> extended_spans;
-  std::map<std::uint32_t, std::vector<Span>> regular_spans;
+  // Collect (asn, span) pairs per channel in truth order, group by ASN with
+  // one stable sort, then emit ordered events. Flat vectors instead of a
+  // map<asn, vector> — this runs inside the render stage's hot path and the
+  // per-ASN node churn dominated the old version.
+  std::vector<std::pair<std::uint32_t, Span>> extended_spans;
+  std::vector<std::pair<std::uint32_t, Span>> regular_spans;
+  // Most lives contribute a handful of spans; reserving up front keeps the
+  // hot append loop realloc-free for typical truths.
+  extended_spans.reserve(truth.lives.size() * 4);
+  regular_spans.reserve(truth.lives.size() * 2);
 
   for (std::size_t life_index = 0; life_index < truth.lives.size();
        ++life_index) {
@@ -84,6 +101,28 @@ RenderedRegistry render_registry(const GroundTruth& truth, asn::Rir rir) {
       if (segment.days.first == life.days.first)
         published.first += life.publish_lag_days;
       if (published.empty()) continue;
+
+      const auto base_state = [&](Day on_day) {
+        RecordState state;
+        state.status = Status::kAllocated;
+        state.registration_date = reported_regdate(life, on_day);
+        state.country = life.country;
+        state.opaque_id = life.org + 1;  // 0 means "none" in files
+        return state;
+      };
+
+      // Fast path for the dominant shape — no interruptions and no regdate
+      // correction — where the whole published window is one span and the
+      // splitting scaffolding below would only allocate scratch vectors.
+      if (life.interruptions.empty() && !life.regdate_correction) {
+        extended_spans.emplace_back(life.asn.value,
+                                    Span{published,
+                                         base_state(published.first)});
+        regular_spans.emplace_back(life.asn.value,
+                                   Span{published,
+                                        base_state(published.first)});
+        continue;
+      }
 
       // Split the segment's allocated time around interruptions.
       std::vector<DayInterval> allocated = {published};
@@ -106,18 +145,6 @@ RenderedRegistry render_registry(const GroundTruth& truth, asn::Rir rir) {
         allocated = std::move(next);
       }
 
-      const auto base_state = [&](Day on_day) {
-        RecordState state;
-        state.status = Status::kAllocated;
-        state.registration_date = reported_regdate(life, on_day);
-        state.country = life.country;
-        state.opaque_id = life.org + 1;  // 0 means "none" in files
-        return state;
-      };
-
-      auto& ext = extended_spans[life.asn.value];
-      auto& reg = regular_spans[life.asn.value];
-
       for (const DayInterval& span : allocated) {
         // Further split where the reported regdate changes mid-span.
         std::vector<Day> cuts = regdate_breakpoints(life, span);
@@ -126,8 +153,10 @@ RenderedRegistry render_registry(const GroundTruth& truth, asn::Rir rir) {
         for (Day cut : cuts) {
           if (cut <= cursor) continue;
           const DayInterval piece{cursor, cut - 1};
-          ext.push_back(Span{piece, base_state(piece.first)});
-          reg.push_back(Span{piece, base_state(piece.first)});
+          extended_spans.emplace_back(life.asn.value,
+                                      Span{piece, base_state(piece.first)});
+          regular_spans.emplace_back(life.asn.value,
+                                     Span{piece, base_state(piece.first)});
           cursor = cut;
         }
       }
@@ -138,7 +167,7 @@ RenderedRegistry render_registry(const GroundTruth& truth, asn::Rir rir) {
         RecordState state;
         state.status = Status::kReserved;
         state.registration_date = std::nullopt;
-        ext.push_back(Span{gap, state});
+        extended_spans.emplace_back(life.asn.value, Span{gap, state});
       }
     }
 
@@ -147,11 +176,10 @@ RenderedRegistry render_registry(const GroundTruth& truth, asn::Rir rir) {
     if (!life.open_ended &&
         life.segments.back().rir == rir) {
       const DayInterval quarantine = truth.quarantine_after[life_index];
-      auto& ext = extended_spans[life.asn.value];
       if (!quarantine.empty()) {
         RecordState state;
         state.status = Status::kReserved;
-        ext.push_back(Span{quarantine, state});
+        extended_spans.emplace_back(life.asn.value, Span{quarantine, state});
       }
       // Available until reallocated (next life's start) or horizon. Only
       // previously-used numbers are rendered as available (see DESIGN.md 5).
@@ -172,19 +200,69 @@ RenderedRegistry render_registry(const GroundTruth& truth, asn::Rir rir) {
       if (available_from <= available_to) {
         RecordState state;
         state.status = Status::kAvailable;
-        ext.push_back(Span{DayInterval{available_from, available_to}, state});
+        extended_spans.emplace_back(
+            life.asn.value, Span{DayInterval{available_from, available_to},
+                                 state});
       }
     }
   }
 
-  const auto finalize = [](std::map<std::uint32_t, std::vector<Span>>& spans,
+  const auto finalize = [](std::vector<std::pair<std::uint32_t, Span>>& spans,
                            ChangeMap& map) {
-    for (auto& [asn_value, list] : spans) {
-      std::sort(list.begin(), list.end(), [](const Span& a, const Span& b) {
+    // Group by ASN; the stable sort keeps each ASN's spans in truth order,
+    // which the per-ASN day sort below relies on for determinism.
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::vector<Event> events;
+    events.reserve(spans.size() * 2);
+    std::vector<Span> list;
+    for (std::size_t i = 0; i < spans.size();) {
+      const std::uint32_t asn_value = spans[i].first;
+      list.clear();
+      for (; i < spans.size() && spans[i].first == asn_value; ++i)
+        list.push_back(spans[i].second);
+      // Spans within one (ASN, channel) group are pairwise disjoint and
+      // non-empty, so start days are distinct and the sorted order is
+      // unique — skipping the sort for already-ordered groups (the common
+      // case: one life emitted chronologically) cannot change the result.
+      const auto by_start = [](const Span& a, const Span& b) {
         return a.days.first < b.days.first;
-      });
-      emit_spans(map, asn::Asn{asn_value}, list);
+      };
+      if (!std::is_sorted(list.begin(), list.end(), by_start))
+        std::sort(list.begin(), list.end(), by_start);
+      emit_spans(events, asn::Asn{asn_value}, list);
     }
+    // Day-group the events with one counting pass over the day range —
+    // stable by construction, so within each day the emit order (ascending
+    // ASN) is preserved exactly as a stable sort by day would.
+    if (events.empty()) return;
+    Day min_day = events.front().day;
+    Day max_day = events.front().day;
+    for (const Event& event : events) {
+      min_day = std::min(min_day, event.day);
+      max_day = std::max(max_day, event.day);
+    }
+    std::vector<std::uint32_t> counts(
+        static_cast<std::size_t>(max_day - min_day) + 1, 0);
+    for (const Event& event : events)
+      ++counts[static_cast<std::size_t>(event.day - min_day)];
+    std::vector<std::uint32_t> slot(counts.size(), 0);
+    std::size_t non_empty = 0;
+    for (const std::uint32_t count : counts)
+      if (count != 0) ++non_empty;
+    map.reserve(non_empty);
+    for (std::size_t d = 0; d < counts.size(); ++d) {
+      if (counts[d] == 0) continue;
+      slot[d] = static_cast<std::uint32_t>(map.size());
+      DayChanges& day = map.emplace_back();
+      day.day = min_day + static_cast<Day>(d);
+      day.changes.reserve(counts[d]);
+    }
+    for (const Event& event : events)
+      map[slot[static_cast<std::size_t>(event.day - min_day)]]
+          .changes.push_back(event.change);
   };
   finalize(extended_spans, out.extended);
   finalize(regular_spans, out.regular);

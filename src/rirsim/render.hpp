@@ -4,7 +4,6 @@
 // (inject.hpp) perturbs these streams afterwards.
 #pragma once
 
-#include <map>
 #include <vector>
 
 #include "delegation/record.hpp"
@@ -12,11 +11,19 @@
 
 namespace pl::rirsim {
 
-/// Per-day record-change events for one (registry, channel), keyed by day.
-/// Events start at the beginning of simulated history (1984), well before
-/// any file is published; the archive cursor replays early events silently
-/// to seed the first file's content.
-using ChangeMap = std::map<util::Day, std::vector<dele::RecordChange>>;
+/// All record changes one (registry, channel) publishes on one day.
+struct DayChanges {
+  util::Day day = 0;
+  std::vector<dele::RecordChange> changes;
+};
+
+/// Per-day record-change events for one (registry, channel), ordered by
+/// strictly increasing day (a flat sorted vector — the archive cursor walks
+/// it monotonically, so a tree map would only add pointer chasing). Events
+/// start at the beginning of simulated history (1984), well before any file
+/// is published; the cursor replays early events silently to seed the first
+/// file's content.
+using ChangeMap = std::vector<DayChanges>;
 
 /// Both channels of one registry.
 struct RenderedRegistry {

@@ -1,6 +1,8 @@
 #include "rirsim/world.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 
 namespace pl::rirsim {
 
@@ -41,13 +43,20 @@ void apply_transfer(TrueAdminLife& life, Day transfer_day, Rir target) {
 
 void GroundTruth::index() {
   lives_by_asn.clear();
-  std::vector<std::size_t> order(lives.size());
-  for (std::size_t i = 0; i < lives.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (lives[a].asn != lives[b].asn) return lives[a].asn < lives[b].asn;
-    return lives[a].days.first < lives[b].days.first;
-  });
-  for (std::size_t i : order)
+  // Sort flat (asn, start) keys instead of indices whose comparator chases
+  // the lives array: keys are unique (one ASN cannot have two lives starting
+  // the same day), so the order matches the old two-field comparator.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> order;
+  order.reserve(lives.size());
+  for (std::size_t i = 0; i < lives.size(); ++i) {
+    const std::uint64_t start_biased =
+        static_cast<std::uint32_t>(lives[i].days.first) ^ 0x80000000u;
+    order.emplace_back(
+        (static_cast<std::uint64_t>(lives[i].asn.value) << 32) | start_biased,
+        static_cast<std::uint32_t>(i));
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [key, i] : order)
     lives_by_asn[lives[i].asn.value].push_back(i);
   // Re-number ordinals to match temporal order (ERX moves don't change
   // order, but reuse across registries could).
@@ -85,6 +94,10 @@ GroundTruth build_world(const WorldConfig& config) {
 
     // Remap org ids into the world table.
     const OrgId base = truth.orgs.size();
+    truth.orgs.reserve(truth.orgs.size() + result.orgs.size());
+    truth.lives.reserve(truth.lives.size() + result.lives.size());
+    truth.quarantine_after.reserve(truth.quarantine_after.size() +
+                                   result.quarantine_after.size());
     for (Organization& org : result.orgs) {
       org.id += base;
       truth.orgs.push_back(std::move(org));

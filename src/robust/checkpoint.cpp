@@ -1,6 +1,6 @@
 #include "robust/checkpoint.hpp"
 
-#include <array>
+#include "util/crc32.hpp"
 
 namespace pl::robust {
 
@@ -10,17 +10,6 @@ constexpr std::string_view kMagic = "PLCK";
 // magic + version:u32 + length:u64 ... payload ... crc:u32
 constexpr std::size_t kHeaderSize = 4 + 4 + 8;
 constexpr std::size_t kTrailerSize = 4;
-
-std::array<std::uint32_t, 256> make_crc_table() noexcept {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t value = i;
-    for (int bit = 0; bit < 8; ++bit)
-      value = (value >> 1) ^ ((value & 1) ? 0xEDB88320u : 0u);
-    table[i] = value;
-  }
-  return table;
-}
 
 std::uint32_t read_le32(std::string_view bytes, std::size_t at) noexcept {
   std::uint32_t value = 0;
@@ -41,11 +30,7 @@ std::uint64_t read_le64(std::string_view bytes, std::size_t at) noexcept {
 }  // namespace
 
 std::uint32_t crc32(std::string_view bytes) noexcept {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (const char c : bytes)
-    crc = (crc >> 8) ^ table[(crc ^ static_cast<std::uint8_t>(c)) & 0xFF];
-  return crc ^ 0xFFFFFFFFu;
+  return util::crc32(bytes);
 }
 
 std::string CheckpointWriter::finish() && {

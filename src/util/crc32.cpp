@@ -1,0 +1,55 @@
+#include "util/crc32.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace pl::util {
+
+namespace {
+
+// Slice-by-8 tables: table[0] is the classic byte-at-a-time CRC-32
+// (poly 0xEDB88320) table; table[k][b] extends it so eight input bytes
+// fold in one step. Produces bit-identical values to the bytewise loop.
+std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() noexcept {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t value = i;
+    for (int bit = 0; bit < 8; ++bit)
+      value = (value >> 1) ^ ((value & 1) ? 0xEDB88320u : 0u);
+    tables[0][i] = value;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i)
+    for (std::size_t k = 1; k < 8; ++k)
+      tables[k][i] =
+          (tables[k - 1][i] >> 8) ^ tables[0][tables[k - 1][i] & 0xFFu];
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) noexcept {
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables =
+      make_crc_tables();
+  const auto& t = tables;
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const char* p = bytes.data();
+  std::size_t n = bytes.size();
+  while (std::endian::native == std::endian::little && n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+          t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; ++p, --n)
+    crc = (crc >> 8) ^ t[0][(crc ^ static_cast<std::uint8_t>(*p)) & 0xFFu];
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace pl::util

@@ -1,0 +1,14 @@
+// CRC-32 (IEEE 802.3 polynomial, bit-reflected), shared by the checkpoint
+// framing (src/robust) and the binary delegation interchange
+// (src/delegation). Lives in util because delegation cannot depend on robust
+// (robust already depends on delegation's record types).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pl::util {
+
+std::uint32_t crc32(std::string_view bytes) noexcept;
+
+}  // namespace pl::util

@@ -1,0 +1,27 @@
+#include "util/intern.hpp"
+
+namespace pl::util {
+
+std::uint32_t StringPool::intern(std::string_view token) {
+  auto it = index_.find(token);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(tokens_.size());
+  tokens_.emplace_back(token);
+  index_.emplace(tokens_.back(), id);
+  return id;
+}
+
+std::uint32_t StringPool::find(std::string_view token) const noexcept {
+  auto it = index_.find(token);
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+std::optional<StringPool> StringPool::from_tokens(
+    const std::vector<std::string>& tokens) {
+  StringPool pool;
+  for (const std::string& token : tokens)
+    if (pool.intern(token) != pool.size() - 1) return std::nullopt;
+  return pool;
+}
+
+}  // namespace pl::util

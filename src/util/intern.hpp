@@ -1,0 +1,85 @@
+// String interning pool: small dense ids for the tiny fixed vocabularies the
+// delegation pipeline keeps re-reading (RIR names, ISO country codes, status
+// tokens).
+//
+// Ids are assigned in first-intern order, so a pool built by replaying a
+// deterministic token stream is itself deterministic — which is what lets
+// the binary interchange format ship the pool as a table and have reader and
+// writer agree on every id without a negotiation step. Downstream stages
+// compare the ids (or the enums they map to); the strings themselves are
+// only touched again at a text-output boundary via at().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pl::util {
+
+class StringPool {
+ public:
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+  StringPool() = default;
+
+  /// Return the id for `token`, interning it if new. Ids are dense and
+  /// assigned in first-seen order starting at 0.
+  std::uint32_t intern(std::string_view token);
+
+  /// Lookup without interning; kNotFound when absent. Allocation-free.
+  std::uint32_t find(std::string_view token) const noexcept;
+
+  /// Build a pool from a token list (binary-table read side). Duplicate
+  /// tokens would make ids ambiguous, so the build refuses them.
+  static std::optional<StringPool> from_tokens(
+      const std::vector<std::string>& tokens);
+
+  /// The token for an id; ids come only from intern()/find() on this pool or
+  /// from a validated table read, so out-of-range is a programming error and
+  /// returns an empty view.
+  std::string_view at(std::uint32_t id) const noexcept {
+    return id < tokens_.size() ? std::string_view(tokens_[id])
+                               : std::string_view();
+  }
+
+  std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(tokens_.size());
+  }
+  bool empty() const noexcept { return tokens_.empty(); }
+
+  /// All tokens in id order (serialization boundary for the binary table).
+  const std::vector<std::string>& tokens() const noexcept { return tokens_; }
+
+  bool operator==(const StringPool& other) const noexcept {
+    return tokens_ == other.tokens_;
+  }
+
+ private:
+  // Transparent hashing so hot-path lookups take a string_view without
+  // materializing a std::string key.
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view text) const noexcept {
+      std::uint64_t h = 0xcbf29ce484222325ull;
+      for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, std::uint32_t, Hash, Eq> index_;
+};
+
+}  // namespace pl::util

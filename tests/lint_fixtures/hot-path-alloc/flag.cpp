@@ -1,0 +1,12 @@
+// Must flag: stream tokenization and stoi-on-substr in the restore layer.
+#include "restore/flag.hpp"
+
+#include <sstream>
+#include <string>
+
+int parse_record(const std::string& line) {
+  std::istringstream stream(line);
+  std::string field;
+  std::getline(stream, field, '|');
+  return std::stoi(line.substr(0, 4));
+}

@@ -1,0 +1,25 @@
+// Must pass: in-place parsing keeps the hot path allocation-free; plain
+// stoi over a whole string is fine, and the one cold-path formatter carries
+// a justified allow().
+#include "restore/pass.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+int parse_record(std::string_view line) {
+  int value = 0;
+  std::from_chars(line.data(), line.data() + line.size(), value);
+  return value;
+}
+
+int parse_whole(const std::string& token) { return std::stoi(token); }
+
+std::string cold_report(int value) {
+  // Once-per-run summary, not per-record work.
+  // pl-lint: allow(hot-path-alloc) cold path: one report per restore run
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}

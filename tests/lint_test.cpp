@@ -79,6 +79,9 @@ const std::map<std::string, FixtureCase>& fixture_cases() {
       {"status-ignored",
        {"status-ignored/flag.cpp", "src/widget/flag.cpp",
         "status-ignored/pass.cpp", "src/widget/pass.cpp"}},
+      {"hot-path-alloc",
+       {"hot-path-alloc/flag.cpp", "src/restore/flag.cpp",
+        "hot-path-alloc/pass.cpp", "src/restore/pass.cpp"}},
   };
   return cases;
 }

@@ -774,6 +774,51 @@ void rule_status_ignored(const Context& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// hot-path-alloc: per-record allocation idioms on the ingest hot path. The
+// restore and delegation layers run once per record over 17 years x 5
+// registries of archive, so stream-based tokenization (std::stringstream /
+// istringstream / ostringstream) and `std::stoi` over a `.substr(...)`
+// temporary are banned there — tokenize with the memchr field splitter
+// (util/strings.hpp) and parse numbers in place. Genuinely cold paths
+// (once-per-run reports, error formatting) take an allow() with a
+// justification.
+
+void rule_hot_path_alloc(const Context& ctx) {
+  if (!starts_with(ctx.relpath, "src/restore/") &&
+      !starts_with(ctx.relpath, "src/delegation/"))
+    return;
+  const Tokens& tokens = ctx.lexed->tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent) continue;
+    const std::string& text = tokens[i].text;
+    if (text == "stringstream" || text == "istringstream" ||
+        text == "ostringstream") {
+      // Skip the include directive's own token (`<sstream>` never lexes as
+      // one of these, but a forward mention in a comment is not a token
+      // either — any ident hit is a real use or a declaration).
+      ctx.flag("hot-path-alloc", tokens[i].line,
+               "'std::" + text +
+                   "' allocates per use on the ingest hot path; tokenize "
+                   "with the memchr splitter (util/strings.hpp) or justify "
+                   "with an allow(hot-path-alloc) comment");
+    } else if (text == "stoi" || text == "stol" || text == "stoul" ||
+               text == "stoll" || text == "stoull" || text == "stod") {
+      if (!is_punct(tokens, i + 1, "(")) continue;
+      // `std::stoi(x.substr(...))` materializes a std::string per field;
+      // plain stoi over an existing string is not a per-record allocation.
+      const std::size_t close = skip_parens(tokens, i + 1);
+      if (range_contains_ident(tokens, i + 1, close, "substr"))
+        ctx.flag("hot-path-alloc", tokens[i].line,
+                 "'" + text +
+                     "' over a '.substr(...)' temporary allocates per "
+                     "field; parse in place (std::from_chars / the field "
+                     "splitter) or justify with an allow(hot-path-alloc) "
+                     "comment");
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -799,6 +844,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"status-ignored",
        "pl::Status / StatusOr returns in src/ must be checked, propagated, "
        "or carry a justified allow()"},
+      {"hot-path-alloc",
+       "no stream tokenization or stoi-on-substr in src/restore and "
+       "src/delegation; use the memchr splitter or a justified allow()"},
   };
   return catalog;
 }
@@ -832,6 +880,7 @@ Report lint_source(std::string_view relpath, std::string_view content) {
   rule_span_name(ctx);
   rule_self_include_first(ctx);
   rule_status_ignored(ctx);
+  rule_hot_path_alloc(ctx);
 
   report.suppressions = std::move(budget);
   return report;
