@@ -25,7 +25,10 @@
 //     ],
 //     "interchange": {per-stage text vs binary ms at t=0 plus speedup},
 //     "identical": true,
-//     "metrics": {workload counters from the serial text run's obs snapshot}
+//     "metrics": {workload counters from the serial text run's obs snapshot},
+//     "stage_latency_us": {stage wall-clock distribution across every run in
+//                          the sweep, as the shared percentile summary from
+//                          bench/common.hpp (count/sum/p50/p90/p99/p999)}
 //   }
 //
 // Exit status is non-zero when any run's fingerprint deviates from the
@@ -297,6 +300,22 @@ void write_json(const std::string& path, double scale, std::uint64_t seed,
 
   json.key("identical").value(identical);
   write_metrics_block(json, metrics);
+
+  // Stage wall-clock distribution over the whole sweep, folded through the
+  // log2 latency histogram so the artifact carries the same percentile
+  // shape as BENCH_serve.json's observability block (one parser for both
+  // trajectories). Microsecond unit: stage times are ms-scale doubles and
+  // the histogram is integer-valued.
+  pl::obs::LatencyHisto stage_histo;
+  for (const Run& run : runs) {
+    for (std::size_t s = 0; s < std::size(kStageNames); ++s) {
+      const double stage = stage_ms(run.timings, s);
+      if (stage > 0)
+        stage_histo.observe(static_cast<std::int64_t>(stage * 1000.0));
+    }
+  }
+  json.key("stage_latency_us");
+  pl::bench::emit_latency_summary(json, stage_histo.snapshot());
   json.end_object();
 
   std::ofstream out(path);

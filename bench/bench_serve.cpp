@@ -11,22 +11,31 @@
 //   PL_BENCH_SEED   world seed (default 42)
 //   PL_BENCH_OUT    JSON output path (default BENCH_serve.json)
 //
-// JSON format (schema pl-bench-serve/2):
+// JSON format (schema pl-bench-serve/3; /2 plus the observability block):
 //   {
-//     "schema": "pl-bench-serve/2", "scale": ..., "seed": ...,
+//     "schema": "pl-bench-serve/3", "scale": ..., "seed": ...,
 //     "snapshot": {"asns": n, "admin_lives": n, "op_lives": n,
 //                  "build_ms": ms},
 //     "queries": {"point_cold_qps": x, "point_warm_qps": x,
 //                 "batch_qps": x, "alive_qps": x, "scan_full_ms": ms,
-//                 "cache_hits": n, "cache_misses": n},
+//                 "census_ms": ms, "cache_hits": n, "cache_misses": n},
 //     "advance": {"days": n, "mean_ms": ms, "max_ms": ms,
 //                 "rebuild_ms": ms, "speedup_vs_rebuild": x,
 //                 "identical": true},
 //     "durability": {"wal_append_mean_ms": ms, "wal_append_max_ms": ms,
 //                    "wal_bytes": n, "snapshot_save_ms": ms,
 //                    "snapshot_open_ms": ms, "snapshot_bytes": n,
-//                    "recover_ms": ms, "replayed_days": n}
+//                    "recover_ms": ms, "replayed_days": n},
+//     "observability": {"enabled": bool, "instr_ns_per_query": x,
+//                       "warm_ns_per_query": x, "overhead_pct": x,
+//                       "latency": {"point"|"batch"|"alive"|"scan"|"census":
+//                                   shared percentile summary
+//                                   (bench/common.hpp), ns}}
 //   }
+//
+// Exit status is non-zero when advance/rebuild bit-identity breaks, or when
+// the per-query observability tax exceeds 3% of the warm point-lookup cost
+// (DESIGN.md §14's always-on budget).
 
 #include <chrono>
 #include <cstdint>
@@ -37,6 +46,8 @@
 #include <vector>
 
 #include "common.hpp"
+#include "obs/flight.hpp"
+#include "obs/latency.hpp"
 #include "serve/durable.hpp"
 #include "serve/query.hpp"
 #include "serve/snapshot.hpp"
@@ -70,6 +81,17 @@ std::vector<pl::asn::Asn> query_mix(const pl::serve::Snapshot& snapshot,
     }
   }
   return asns;
+}
+
+/// Per-kind serve latency summary out of a metrics snapshot; empty (all
+/// zeros through the shared emitter) when the kind never ran or the build
+/// compiled obs out.
+pl::obs::LatencyHistoSnapshot serve_latency(const pl::obs::Snapshot& metrics,
+                                            const std::string& kind) {
+  const auto it = metrics.latencies.find("pl_serve_latency_ns{kind=\"" +
+                                         kind + "\"}");
+  return it != metrics.latencies.end() ? it->second
+                                       : pl::obs::LatencyHistoSnapshot{};
 }
 
 }  // namespace
@@ -132,6 +154,11 @@ int main() {
       service.scan(serve::ScanQuery{});
   const double scan_ms = ms_since(start);
 
+  start = Clock::now();
+  const serve::CensusAnswer census = service.census(end);
+  const double census_ms = ms_since(start);
+  (void)census;
+
   const auto qps = [&](double ms) {
     return ms > 0 ? 1000.0 * static_cast<double>(kQueries) / ms : 0.0;
   };
@@ -150,9 +177,46 @@ int main() {
                    static_cast<std::int64_t>(qps(alive_ms)))
             << " qps; full scan of " << bench::fmt_count(
                    static_cast<std::int64_t>(everything.size()))
-            << " rows in " << scan_ms << " ms\n\n";
+            << " rows in " << scan_ms << " ms; census in " << census_ms
+            << " ms\n\n";
   (void)batch;
   (void)alive;
+
+  // --- Observability tax. The point path pays, per query: one RequestId
+  // derivation, one flight-ring record, and a 1-in-8 decimated latency
+  // sample (serve/query.cpp). Replay exactly that sequence in a tight loop
+  // and price it against the warm per-lookup cost measured above — the
+  // always-on budget is <=3% (DESIGN.md §14). Under PL_OBS_OFF the shells
+  // compile to nothing and the tax reads ~0 by construction.
+  const std::size_t kInstrOps = 1u << 21;
+  obs::FlightRecorder instr_flight(obs::kFlightDefaultCapacity);
+  obs::Registry instr_registry;
+  obs::LatencyHisto& instr_latency = instr_registry.latency("bench_instr");
+  start = Clock::now();
+  for (std::size_t i = 0; i < kInstrOps; ++i) {
+    const obs::RequestId request =
+        obs::derive_request_id(obs::kQueryStream, 0, i);
+    instr_flight.record(obs::FlightEvent{
+        request.value, static_cast<std::uint32_t>(obs::EventKind::kLookup),
+        obs::query_detail(obs::kCacheHit, 0, 0, true),
+        static_cast<std::int64_t>(i), 0});
+    if ((i & 7) == 0) instr_latency.observe(static_cast<std::int64_t>(i));
+  }
+  const double instr_ms = ms_since(start);
+  const double instr_ns_per_query =
+      1e6 * instr_ms / static_cast<double>(kInstrOps);
+  const double warm_ns_per_query =
+      1e6 * warm_ms / static_cast<double>(kQueries);
+  const double overhead_pct =
+      warm_ns_per_query > 0
+          ? 100.0 * instr_ns_per_query / warm_ns_per_query
+          : 0.0;
+  const bool obs_ok = !obs::kEnabled || overhead_pct <= 3.0;
+  std::cout << "observability: " << (obs::kEnabled ? "on" : "off (PL_OBS_OFF)")
+            << ", instrumentation " << instr_ns_per_query
+            << " ns/query vs warm lookup " << warm_ns_per_query
+            << " ns/query = " << overhead_pct << "% overhead"
+            << (obs_ok ? "" : " — OVER THE 3% BUDGET") << "\n\n";
 
   // --- Incremental advance vs. full rebuild over the last week.
   const int kDays = 7;
@@ -280,7 +344,7 @@ int main() {
   // --- Machine-readable artifact.
   bench::JsonWriter json;
   json.begin_object();
-  json.key("schema").value("pl-bench-serve/2");
+  json.key("schema").value("pl-bench-serve/3");
   json.key("scale").value(pipeline.scale);
   json.key("seed").value(static_cast<std::uint64_t>(pipeline.seed));
   json.key("snapshot").begin_object();
@@ -295,6 +359,7 @@ int main() {
   json.key("batch_qps").value(qps(batch_ms), 0);
   json.key("alive_qps").value(qps(alive_ms), 0);
   json.key("scan_full_ms").value(scan_ms);
+  json.key("census_ms").value(census_ms);
   json.key("cache_hits").value(hits);
   json.key("cache_misses").value(misses);
   json.end_object();
@@ -317,10 +382,22 @@ int main() {
   json.key("recover_ms").value(recover_ms);
   json.key("replayed_days").value(replayed_days);
   json.end_object();
+  json.key("observability").begin_object();
+  json.key("enabled").value(obs::kEnabled);
+  json.key("instr_ns_per_query").value(instr_ns_per_query);
+  json.key("warm_ns_per_query").value(warm_ns_per_query);
+  json.key("overhead_pct").value(overhead_pct);
+  json.key("latency").begin_object();
+  for (const char* kind : {"point", "batch", "alive", "scan", "census"}) {
+    json.key(kind);
+    bench::emit_latency_summary(json, serve_latency(metrics, kind));
+  }
+  json.end_object();
+  json.end_object();
   json.end_object();
 
   std::ofstream out(out_path);
   out << json.str() << "\n";
   std::cout << "wrote " << out_path << "\n";
-  return identical ? 0 : 1;
+  return identical && obs_ok ? 0 : 1;
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "joint/birdseye.hpp"
+#include "obs/latency.hpp"
 #include "joint/outside.hpp"
 #include "joint/partial.hpp"
 #include "joint/squat.hpp"
@@ -228,6 +229,25 @@ inline std::vector<double> downsample(const std::vector<std::int32_t>& series,
     out.push_back(series[i]);
   if ((series.size() - 1) % stride != 0) out.push_back(series.back());
   return out;
+}
+
+/// Shared percentile-summary block for BENCH_*.json artifacts: every bench
+/// that reports a latency distribution emits the same shape (count, sum,
+/// p50/p90/p99/p999 in the histogram's native unit), so trajectory tooling
+/// can diff serve and pipeline runs with one parser. The quantiles are the
+/// deterministic upper-bound reading of the log2 histogram (DESIGN.md §14.3),
+/// never an interpolation. Under PL_OBS_OFF the snapshot is empty and every
+/// field reads zero — the block stays present so the schema is stable.
+inline void emit_latency_summary(JsonWriter& json,
+                                 const obs::LatencyHistoSnapshot& latency) {
+  json.begin_object();
+  json.key("count").value(latency.count);
+  json.key("sum").value(latency.sum);
+  json.key("p50").value(latency.percentile(0.50));
+  json.key("p90").value(latency.percentile(0.90));
+  json.key("p99").value(latency.percentile(0.99));
+  json.key("p999").value(latency.percentile(0.999));
+  json.end_object();
 }
 
 }  // namespace pl::bench

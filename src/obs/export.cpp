@@ -87,6 +87,16 @@ void append_int_array(std::string& out,
   out += ']';
 }
 
+void append_slot_array(std::string& out,
+                       const std::vector<std::uint32_t>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  out += ']';
+}
+
 // ---- JSON parsing (the `pl-obs/1` subset emitted above: objects, arrays,
 // escaped strings, integers, and to_chars doubles).
 
@@ -265,6 +275,42 @@ TraceNode parse_node(Parser& parser, int depth) {
   return node;
 }
 
+/// Sparse slot array into any vector-like of unsigned slots.
+void parse_slot_array(Parser& parser, std::vector<std::uint32_t>& out) {
+  if (!parser.consume('[')) return;
+  if (parser.peek_consume(']')) return;
+  do {
+    out.push_back(static_cast<std::uint32_t>(parser.integer()));
+  } while (parser.peek_consume(','));
+  parser.consume(']');
+}
+
+LatencyHistoSnapshot parse_latency(Parser& parser) {
+  LatencyHistoSnapshot latency;
+  if (!parser.consume('{')) return latency;
+  if (parser.peek_consume('}')) return latency;
+  do {
+    const std::string key = parser.string();
+    parser.consume(':');
+    if (key == "slots") {
+      parse_slot_array(parser, latency.slots);
+    } else if (key == "counts") {
+      parse_int_array(parser, latency.counts);
+    } else if (key == "count") {
+      latency.count = parser.integer();
+    } else if (key == "sum") {
+      latency.sum = parser.integer();
+    } else if (key == "p50" || key == "p90" || key == "p99" ||
+               key == "p999") {
+      parser.integer();  // derived from the slots; re-derived on demand
+    } else {
+      parser.fail();
+    }
+  } while (parser.peek_consume(','));
+  parser.consume('}');
+  return latency;
+}
+
 HistogramSnapshot parse_histogram(Parser& parser) {
   HistogramSnapshot histogram;
   if (!parser.consume('{')) return histogram;
@@ -310,6 +356,16 @@ Snapshot parse_metrics(Parser& parser) {
         } while (parser.peek_consume(','));
         parser.consume('}');
       }
+    } else if (key == "latencies") {  // pl-obs/2; absent in /1 documents
+      if (!parser.consume('{')) return metrics;
+      if (!parser.peek_consume('}')) {
+        do {
+          std::string name = parser.string();
+          parser.consume(':');
+          metrics.latencies.emplace(std::move(name), parse_latency(parser));
+        } while (parser.peek_consume(','));
+        parser.consume('}');
+      }
     } else {
       parser.fail();
     }
@@ -344,7 +400,7 @@ void append_type_line(std::string& out, std::string_view base,
 std::string to_json(const Report& report) {
   std::string out;
   out.reserve(4096);
-  out += "{\"schema\":\"pl-obs/1\",\"trace\":";
+  out += "{\"schema\":\"pl-obs/2\",\"trace\":";
   append_node(out, report.trace);
   out += ",\"metrics\":{\"counters\":";
   append_int_map(out, report.metrics.counters);
@@ -366,6 +422,30 @@ std::string to_json(const Report& report) {
     out += std::to_string(histogram.sum);
     out += '}';
   }
+  out += "},\"latencies\":{";
+  first = true;
+  for (const auto& [name, latency] : report.metrics.latencies) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, name);
+    out += ":{\"slots\":";
+    append_slot_array(out, latency.slots);
+    out += ",\"counts\":";
+    append_int_array(out, latency.counts);
+    out += ",\"count\":";
+    out += std::to_string(latency.count);
+    out += ",\"sum\":";
+    out += std::to_string(latency.sum);
+    out += ",\"p50\":";
+    out += std::to_string(latency.percentile(0.50));
+    out += ",\"p90\":";
+    out += std::to_string(latency.percentile(0.90));
+    out += ",\"p99\":";
+    out += std::to_string(latency.percentile(0.99));
+    out += ",\"p999\":";
+    out += std::to_string(latency.percentile(0.999));
+    out += '}';
+  }
   out += "}}}";
   return out;
 }
@@ -380,7 +460,8 @@ std::optional<Report> from_json(std::string_view json) {
       const std::string key = parser.string();
       parser.consume(':');
       if (key == "schema") {
-        schema_ok = parser.string() == "pl-obs/1";
+        const std::string schema = parser.string();
+        schema_ok = schema == "pl-obs/1" || schema == "pl-obs/2";
       } else if (key == "trace") {
         report.trace = parse_node(parser, 0);
       } else if (key == "metrics") {
@@ -441,6 +522,40 @@ std::string to_prometheus(const Snapshot& snapshot) {
     out += base;
     out += "_count ";
     out += std::to_string(histogram.count);
+    out += '\n';
+  }
+  for (const auto& [name, latency] : snapshot.latencies) {
+    const auto [base, labels] = split_labels(name);
+    out += "# TYPE ";
+    out += base;
+    out += " summary\n";
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", 0.50}, {"0.9", 0.90}, {"0.99", 0.99}, {"0.999", 0.999}};
+    for (const auto& [text, p] : quantiles) {
+      out += base;
+      // Splice quantile="..." into an existing label block, or open one.
+      if (labels.empty()) {
+        out += "{quantile=\"";
+      } else {
+        out += labels.substr(0, labels.size() - 1);
+        out += ",quantile=\"";
+      }
+      out += text;
+      out += "\"} ";
+      out += std::to_string(latency.percentile(p));
+      out += '\n';
+    }
+    out += base;
+    out += "_sum";
+    out += labels;
+    out += ' ';
+    out += std::to_string(latency.sum);
+    out += '\n';
+    out += base;
+    out += "_count";
+    out += labels;
+    out += ' ';
+    out += std::to_string(latency.count);
     out += '\n';
   }
   return out;

@@ -1,14 +1,20 @@
 // Exporters for the observability layer: one JSON document carrying the
-// trace tree plus the metrics snapshot (schema `pl-obs/1`, re-parseable via
+// trace tree plus the metrics snapshot (schema `pl-obs/2`, re-parseable via
 // `from_json` so reports round-trip losslessly), and the Prometheus text
 // exposition format for scrape endpoints.
+//
+// Schema history: `pl-obs/2` adds a "latencies" block per metric — sparse
+// log2-histogram slots plus derived p50/p90/p99/p999 (obs/latency.hpp).
+// `from_json` still reads `pl-obs/1` documents (they simply carry no
+// latencies), so archived reports stay loadable.
 //
 // Prometheus format notes: metric names may embed a label block
 // (`name{key="value"}`); the exporter splits the base name for `# TYPE`
 // lines and emits histograms as the standard cumulative `_bucket{le=...}` /
-// `_sum` / `_count` triple. `parse_prometheus_samples` reads sample lines
-// back into a name -> value map — enough for the round-trip tests and for
-// scrape-side diffing.
+// `_sum` / `_count` triple. Latency histograms export as summaries:
+// `base{quantile="0.5"}` .. `{quantile="0.999"}` plus `_sum` / `_count`.
+// `parse_prometheus_samples` reads sample lines back into a name -> value
+// map — enough for the round-trip tests and for scrape-side diffing.
 #pragma once
 
 #include <map>
@@ -28,11 +34,11 @@ struct Report {
   Snapshot metrics;
 };
 
-/// Serialize trace + metrics as one JSON document (schema `pl-obs/1`).
+/// Serialize trace + metrics as one JSON document (schema `pl-obs/2`).
 std::string to_json(const Report& report);
 
-/// Parse a `pl-obs/1` document back. nullopt on malformed input or an
-/// unknown schema.
+/// Parse a `pl-obs/1` or `pl-obs/2` document back. nullopt on malformed
+/// input or an unknown schema.
 std::optional<Report> from_json(std::string_view json);
 
 /// Prometheus text exposition of the metrics snapshot.

@@ -1,0 +1,236 @@
+#include "obs/flight.hpp"
+
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.hpp"
+
+// pl-flight/1 wire format (all integers little-endian):
+//
+//   "PLFL"                       4-byte magic
+//   u32  version                 currently 1
+//   u64  payload_len             bytes of payload that follow
+//   payload                      see below
+//   u32  crc32(payload)
+//
+//   payload = u64 event_count
+//           + u64 total_recorded
+//           + u64 overwritten
+//           + event_count x (u64 request, u64 kind<<32|detail, u64 a,
+//                            u64 seq)
+//
+// The reader is deliberately forgiving: a truncated or bit-flipped file
+// yields kDataLoss plus every whole event that can still be decoded (the
+// dump was written on the way down; losing the tail is expected, losing
+// the whole file is not acceptable). It never throws and never crashes.
+
+namespace pl::obs {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'L', 'F', 'L'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8;   // magic + version + len
+constexpr std::size_t kPayloadHeaderBytes = 24;   // count + recorded + lost
+constexpr std::size_t kEventBytes = 32;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t get_u32(const std::string& in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[at + i]))
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::string& in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[at + i]))
+         << (8 * i);
+  return v;
+}
+
+FlightEvent decode_event(const std::string& in, std::size_t at) {
+  FlightEvent event;
+  event.request = get_u64(in, at);
+  const std::uint64_t kd = get_u64(in, at + 8);
+  event.kind = static_cast<std::uint32_t>(kd >> 32);
+  event.detail = static_cast<std::uint32_t>(kd);
+  event.a = static_cast<std::int64_t>(get_u64(in, at + 16));
+  event.seq = get_u64(in, at + 24);
+  return event;
+}
+
+/// Decode as many whole events as `bytes` allows, starting at `at`.
+void salvage_events(const std::string& in, std::size_t at, std::size_t bytes,
+                    std::vector<FlightEvent>& out) {
+  const std::size_t whole = bytes / kEventBytes;
+  out.reserve(out.size() + whole);
+  for (std::size_t i = 0; i < whole; ++i)
+    out.push_back(decode_event(in, at + i * kEventBytes));
+}
+
+}  // namespace
+
+std::string_view event_kind_name(std::uint32_t kind) {
+  switch (static_cast<EventKind>(kind)) {
+    case EventKind::kLookup: return "lookup";
+    case EventKind::kAlive: return "alive";
+    case EventKind::kCensus: return "census";
+    case EventKind::kScan: return "scan";
+    case EventKind::kAdvanceDay: return "advance-day";
+    case EventKind::kOpen: return "open";
+    case EventKind::kReplayDay: return "replay-day";
+    case EventKind::kAdvance: return "advance";
+    case EventKind::kCheckpoint: return "checkpoint";
+    case EventKind::kQuarantine: return "quarantine";
+    case EventKind::kDegraded: return "degraded";
+    case EventKind::kCrash: return "crash";
+    case EventKind::kStage: return "stage";
+  }
+  return "?";
+}
+
+FlightIoStatus write_flight_events(const std::string& path,
+                                   const std::vector<FlightEvent>& events,
+                                   std::uint64_t total_recorded,
+                                   std::uint64_t overwritten) {
+  std::string payload;
+  payload.reserve(kPayloadHeaderBytes + events.size() * kEventBytes);
+  put_u64(payload, events.size());
+  put_u64(payload, total_recorded);
+  put_u64(payload, overwritten);
+  for (const FlightEvent& event : events) {
+    put_u64(payload, event.request);
+    put_u64(payload,
+            (static_cast<std::uint64_t>(event.kind) << 32) | event.detail);
+    put_u64(payload, static_cast<std::uint64_t>(event.a));
+    put_u64(payload, event.seq);
+  }
+
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size() + 4);
+  frame.append(kMagic, sizeof(kMagic));
+  put_u32(frame, kVersion);
+  put_u64(frame, payload.size());
+  frame += payload;
+  put_u32(frame, util::crc32(payload));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) return FlightIoStatus::kIoError;
+  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out.flush();
+  return out.good() ? FlightIoStatus::kOk : FlightIoStatus::kIoError;
+}
+
+FlightIoStatus write_flight(const std::string& path,
+                            const FlightRecorder& recorder) {
+  return write_flight_events(path, recorder.events(),
+                             recorder.total_recorded(),
+                             recorder.overwritten());
+}
+
+FlightRead read_flight(const std::string& path) {
+  FlightRead result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    result.status = FlightIoStatus::kNotFound;
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    result.status = FlightIoStatus::kIoError;
+    return result;
+  }
+  const std::string raw = buffer.str();
+
+  // Header sanity; anything short or foreign is data loss with no salvage.
+  result.status = FlightIoStatus::kDataLoss;
+  if (raw.size() < kHeaderBytes) return result;
+  if (raw.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0)
+    return result;
+  if (get_u32(raw, 4) != kVersion) return result;
+
+  const std::uint64_t declared_len = get_u64(raw, 8);
+  const std::size_t body = raw.size() - kHeaderBytes;
+  const std::size_t payload_len = static_cast<std::size_t>(
+      declared_len < body ? declared_len : body);
+  if (payload_len < kPayloadHeaderBytes) return result;
+
+  const std::uint64_t declared_count = get_u64(raw, kHeaderBytes);
+  result.total_recorded = get_u64(raw, kHeaderBytes + 8);
+  result.overwritten = get_u64(raw, kHeaderBytes + 16);
+
+  // Intact frame: full length present and the CRC matches.
+  const bool full_length =
+      declared_len == body - 4 && body >= declared_len + 4;
+  const bool crc_ok =
+      full_length &&
+      util::crc32(std::string_view(raw).substr(kHeaderBytes,
+                                               payload_len)) ==
+          get_u32(raw, kHeaderBytes + payload_len);
+
+  const std::size_t event_bytes_available = payload_len - kPayloadHeaderBytes;
+  std::size_t take = event_bytes_available;
+  const std::size_t declared_bytes =
+      static_cast<std::size_t>(declared_count) * kEventBytes;
+  if (declared_bytes < take) take = declared_bytes;
+  salvage_events(raw, kHeaderBytes + kPayloadHeaderBytes, take,
+                 result.events);
+
+  if (crc_ok && result.events.size() == declared_count)
+    result.status = FlightIoStatus::kOk;
+  return result;
+}
+
+std::string render_flight_text(const FlightRead& read, std::size_t tail) {
+  std::ostringstream out;
+  const char* status = "ok";
+  switch (read.status) {
+    case FlightIoStatus::kOk: status = "ok"; break;
+    case FlightIoStatus::kNotFound: status = "not-found"; break;
+    case FlightIoStatus::kIoError: status = "io-error"; break;
+    case FlightIoStatus::kDataLoss: status = "data-loss"; break;
+  }
+  out << "pl-flight/1 status=" << status << " events=" << read.events.size()
+      << " recorded=" << read.total_recorded
+      << " overwritten=" << read.overwritten << '\n';
+  const std::size_t begin =
+      read.events.size() > tail ? read.events.size() - tail : 0;
+  if (begin > 0) out << "  ... " << begin << " earlier events elided\n";
+  for (std::size_t i = begin; i < read.events.size(); ++i) {
+    const FlightEvent& event = read.events[i];
+    out << "  seq=" << event.seq << ' ' << event_kind_name(event.kind)
+        << " req=" << std::hex << event.request << " detail=0x"
+        << event.detail << std::dec << " a=" << event.a;
+    // The bit-packed decode only applies to query kinds — other kinds
+    // carry plain scalars in `detail` (stage ordinals, crc32(site), ...).
+    const bool query_kind =
+        event.kind == static_cast<std::uint32_t>(EventKind::kLookup) ||
+        event.kind == static_cast<std::uint32_t>(EventKind::kAlive) ||
+        event.kind == static_cast<std::uint32_t>(EventKind::kCensus) ||
+        event.kind == static_cast<std::uint32_t>(EventKind::kScan);
+    if (query_kind) {
+      if (detail_cache(event.detail) == kCacheHit) out << " cache=hit";
+      if (detail_cache(event.detail) == kCacheMiss) out << " cache=miss";
+      out << " shard=" << detail_shard(event.detail);
+      if (detail_found(event.detail)) out << " found";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace pl::obs

@@ -1,0 +1,217 @@
+// Log2-resolution latency histogram (HDR-style) for pl_serve_* latency
+// metrics.
+//
+// The fixed-bucket obs::Histogram needs its bounds chosen up front, which is
+// hopeless for latency: one snapshot answers in 80ns from cache and 2ms from
+// a cold scan. LatencyHisto instead covers the whole non-negative int64
+// range with power-of-two buckets, each split into 2^kSubBits sub-buckets:
+//
+//   value v < 2^kSubBits            -> slot v                  (exact)
+//   else, e = bit_width(v) - 1      -> octave e, sub-bucket
+//        sub = (v - 2^e) >> (e - kSubBits)
+//        slot = S + (e - kSubBits) * S + sub,  S = 2^kSubBits
+//
+// With kSubBits = 3 that is ~64 power-of-two octaves x 8 sub-buckets = 488
+// slots total, worst-case relative error 2^-3 = 12.5% on any reported
+// percentile — and every slot count is an exact integer, so merges and
+// cross-thread accumulation are bit-deterministic (the *values* observed are
+// wall clock and are not; keep latency metrics out of cross-config equality
+// assertions).
+//
+// `percentile(p)` walks the cumulative counts and returns the inclusive
+// upper bound of the slot containing rank ceil(p * count) — deterministic
+// integer math, no interpolation.
+//
+// Compile-time kill switch: under -DPL_OBS_OFF the recorder and the RAII
+// timer compile to empty shells (obs_off_check static_asserts they stay
+// empty); LatencyHistoSnapshot stays a real value type either way so
+// exporters and tools handle dumps from instrumented builds.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#ifndef PL_OBS_OFF
+#include <atomic>
+#include <chrono>
+#endif
+
+namespace pl::obs {
+
+/// Sub-bucket resolution: each power-of-two octave splits into 2^kSubBits
+/// sub-buckets of equal width.
+inline constexpr int kLatencySubBits = 3;
+inline constexpr std::size_t kLatencySubBuckets = std::size_t{1}
+                                                  << kLatencySubBits;
+/// Octaves kLatencySubBits..62 cover every non-negative int64 above the
+/// exact region; plus the exact region itself.
+inline constexpr std::size_t kLatencySlots =
+    kLatencySubBuckets + (62 - kLatencySubBits + 1) * kLatencySubBuckets;
+
+/// Slot index for a sample (negatives clamp to 0).
+constexpr std::size_t latency_slot(std::int64_t v) noexcept {
+  if (v < 0) v = 0;
+  const auto u = static_cast<std::uint64_t>(v);
+  if (u < kLatencySubBuckets) return static_cast<std::size_t>(u);
+  const int e = std::bit_width(u) - 1;  // 2^e <= u < 2^(e+1)
+  const std::uint64_t sub = (u - (std::uint64_t{1} << e)) >>
+                            (e - kLatencySubBits);
+  return kLatencySubBuckets +
+         static_cast<std::size_t>(e - kLatencySubBits) * kLatencySubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+/// Inclusive upper bound of a slot — what percentile() reports.
+constexpr std::int64_t latency_slot_bound(std::size_t slot) noexcept {
+  if (slot < kLatencySubBuckets) return static_cast<std::int64_t>(slot);
+  const std::size_t idx = slot - kLatencySubBuckets;
+  const int e = kLatencySubBits + static_cast<int>(idx / kLatencySubBuckets);
+  const std::uint64_t sub = idx % kLatencySubBuckets;
+  const std::uint64_t width = std::uint64_t{1} << (e - kLatencySubBits);
+  const std::uint64_t upper =
+      (std::uint64_t{1} << e) + (sub + 1) * width - 1;
+  return static_cast<std::int64_t>(upper);
+}
+
+/// One frozen latency histogram. Sparse representation: only non-zero slots
+/// are stored, as parallel (slot, count) arrays sorted by slot — 488 dense
+/// slots would bloat every JSON report for histograms that typically touch
+/// a dozen. Counts are exact; merge is exact; percentile is deterministic.
+struct LatencyHistoSnapshot {
+  std::vector<std::uint32_t> slots;   ///< ascending non-zero slot indexes
+  std::vector<std::int64_t> counts;   ///< parallel to `slots`
+  std::int64_t count = 0;             ///< total samples
+  std::int64_t sum = 0;               ///< exact integer sum of samples
+
+  /// Merge another snapshot in (exact integer addition per slot).
+  void merge(const LatencyHistoSnapshot& other) {
+    LatencyHistoSnapshot out;
+    std::size_t i = 0, j = 0;
+    while (i < slots.size() || j < other.slots.size()) {
+      if (j == other.slots.size() ||
+          (i < slots.size() && slots[i] < other.slots[j])) {
+        out.slots.push_back(slots[i]);
+        out.counts.push_back(counts[i]);
+        ++i;
+      } else if (i == slots.size() || other.slots[j] < slots[i]) {
+        out.slots.push_back(other.slots[j]);
+        out.counts.push_back(other.counts[j]);
+        ++j;
+      } else {
+        out.slots.push_back(slots[i]);
+        out.counts.push_back(counts[i] + other.counts[j]);
+        ++i;
+        ++j;
+      }
+    }
+    slots = std::move(out.slots);
+    counts = std::move(out.counts);
+    count += other.count;
+    sum += other.sum;
+  }
+
+  /// Upper bound of the slot holding rank ceil(p * count); 0 when empty.
+  /// p outside [0,1] clamps.
+  std::int64_t percentile(double p) const noexcept {
+    if (count <= 0) return 0;
+    if (p < 0.0) p = 0.0;
+    if (p > 1.0) p = 1.0;
+    std::int64_t rank = static_cast<std::int64_t>(
+        std::ceil(p * static_cast<double>(count)));
+    if (rank < 1) rank = 1;
+    if (rank > count) rank = count;
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      cumulative += counts[i];
+      if (cumulative >= rank) return latency_slot_bound(slots[i]);
+    }
+    return slots.empty() ? 0 : latency_slot_bound(slots.back());
+  }
+
+  friend bool operator==(const LatencyHistoSnapshot&,
+                         const LatencyHistoSnapshot&) = default;
+};
+
+#ifndef PL_OBS_OFF
+
+/// Lock-free latency recorder: one relaxed atomic per slot plus an exact
+/// running sum. `observe()` is two relaxed fetch_adds — cheap enough for
+/// per-query paths. Immovable (atomics), registry-owned like the other
+/// metric kinds.
+class LatencyHisto {
+ public:
+  LatencyHisto() : slots_(kLatencySlots) {}
+  LatencyHisto(const LatencyHisto&) = delete;
+  LatencyHisto& operator=(const LatencyHisto&) = delete;
+
+  void observe(std::int64_t v) noexcept {
+    slots_[latency_slot(v)].value.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v < 0 ? 0 : v, std::memory_order_relaxed);
+  }
+
+  LatencyHistoSnapshot snapshot() const {
+    LatencyHistoSnapshot snap;
+    for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+      const std::int64_t n =
+          slots_[slot].value.load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      snap.slots.push_back(static_cast<std::uint32_t>(slot));
+      snap.counts.push_back(n);
+      snap.count += n;
+    }
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    return snap;
+  }
+
+ private:
+  struct alignas(8) Slot {
+    std::atomic<std::int64_t> value{0};
+  };
+  std::vector<Slot> slots_;  // never resized; Slot is immovable
+  std::atomic<std::int64_t> sum_{0};
+};
+
+/// RAII scope timer: records elapsed nanoseconds into a LatencyHisto on
+/// destruction. Two steady_clock reads per scope (~40-50ns); on hot
+/// per-item paths prefer timing the batch and observing once.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(LatencyHisto& histo) noexcept
+      : histo_(&histo), start_(std::chrono::steady_clock::now()) {}
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+  ~ScopedLatency() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histo_->observe(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+  }
+
+ private:
+  LatencyHisto* histo_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#else  // PL_OBS_OFF — empty shells, enforced zero-cost by obs_off_check.
+
+class LatencyHisto {
+ public:
+  LatencyHisto() = default;
+  LatencyHisto(const LatencyHisto&) = delete;
+  LatencyHisto& operator=(const LatencyHisto&) = delete;
+  void observe(std::int64_t) noexcept {}
+  LatencyHistoSnapshot snapshot() const { return {}; }
+};
+
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(LatencyHisto&) noexcept {}
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+};
+
+#endif  // PL_OBS_OFF
+
+}  // namespace pl::obs

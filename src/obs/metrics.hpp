@@ -39,6 +39,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/latency.hpp"
+
 #ifndef PL_OBS_OFF
 #include <algorithm>
 #include <atomic>
@@ -66,6 +68,18 @@ struct Snapshot {
   std::map<std::string, std::int64_t> counters;
   std::map<std::string, std::int64_t> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  /// Log2-resolution latency histograms (obs/latency.hpp). Latency *values*
+  /// are wall clock — differential tests comparing Snapshots across thread
+  /// counts should clear this map first (see `without_latencies()`).
+  std::map<std::string, LatencyHistoSnapshot> latencies;
+
+  /// Copy with the wall-clock latency histograms stripped — the view the
+  /// cross-config determinism assertions compare.
+  Snapshot without_latencies() const {
+    Snapshot copy = *this;
+    copy.latencies.clear();
+    return copy;
+  }
 
   /// Value of one counter (0 when absent).
   std::int64_t counter_value(std::string_view name) const noexcept {
@@ -217,6 +231,15 @@ class Registry {
     return *slot;
   }
 
+  /// Log2-resolution latency histogram (obs/latency.hpp) — no bounds to
+  /// choose; every non-negative int64 sample has a slot.
+  LatencyHisto& latency(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = latencies_[name];
+    if (slot == nullptr) slot = std::make_unique<LatencyHisto>();
+    return *slot;
+  }
+
   /// Freeze every metric, sorted by name.
   Snapshot snapshot() const {
     Snapshot snap;
@@ -227,6 +250,8 @@ class Registry {
       snap.gauges.emplace(name, gauge->value());
     for (const auto& [name, histogram] : histograms_)
       snap.histograms.emplace(name, histogram->snapshot());
+    for (const auto& [name, latency] : latencies_)
+      snap.latencies.emplace(name, latency->snapshot());
     return snap;
   }
 
@@ -236,6 +261,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<LatencyHisto>, std::less<>> latencies_;
 };
 
 #else  // PL_OBS_OFF — empty shells, enforced zero-cost by obs_off_check.
@@ -276,6 +302,10 @@ class Registry {
   }
   Histogram& histogram(const std::string&, std::vector<std::int64_t>) {
     static Histogram dummy;
+    return dummy;
+  }
+  LatencyHisto& latency(const std::string&) noexcept {
+    static LatencyHisto dummy;
     return dummy;
   }
   Snapshot snapshot() const { return {}; }

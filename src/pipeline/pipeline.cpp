@@ -5,11 +5,13 @@
 #include <iostream>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "check/contracts.hpp"
 #include "delegation/interchange.hpp"
 #include "exec/pool.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/span.hpp"
 #include "util/intern.hpp"
 
@@ -67,6 +69,39 @@ void annotate_registry_span(obs::Span& span,
     spans += static_cast<std::int64_t>(list.size());
   span.note("asns", static_cast<std::int64_t>(registry.spans.size()));
   span.note("spans", spans);
+}
+
+/// Dump the per-stage timings as a pl-flight/1 file: one EventKind::kStage
+/// event per Fig. 1 stage (detail = stage ordinal, a = microseconds), so
+/// batch runs leave the same post-mortem artifact the serving layer does.
+void write_file_flight(const std::string& path, const StageTimings& timings) {
+  const std::pair<const char*, double> stages[] = {
+      {"world", timings.world_ms},
+      {"op_world", timings.op_world_ms},
+      {"render", timings.render_ms},
+      {"restore", timings.restore_ms},
+      {"admin", timings.admin_ms},
+      {"op", timings.op_ms},
+      {"taxonomy", timings.taxonomy_ms},
+      {"build_snapshot", timings.build_snapshot_ms},
+      {"save_snapshot", timings.save_snapshot_ms},
+  };
+  std::vector<obs::FlightEvent> events;
+  std::uint32_t ordinal = 0;
+  std::uint64_t seq = 0;
+  for (const auto& [name, ms] : stages) {
+    static_cast<void>(name);  // ordinal is the wire identity; see DESIGN §14
+    ++ordinal;
+    if (ms <= 0.0) continue;  // stage did not run (e.g. no post_stage hook)
+    events.push_back(obs::FlightEvent{
+        0, static_cast<std::uint32_t>(obs::EventKind::kStage), ordinal,
+        static_cast<std::int64_t>(ms * 1000.0), seq++});
+  }
+  const obs::FlightIoStatus wrote = obs::write_flight_events(
+      path, events, static_cast<std::uint64_t>(events.size()), 0);
+  if (wrote != obs::FlightIoStatus::kOk)
+    std::cerr << "pl::pipeline: failed to write flight dump to " << path
+              << '\n';
 }
 
 }  // namespace
@@ -308,6 +343,10 @@ Result run_simulated(const Config& config) {
   const std::string prom_path = resolve_path(config.prom_path, "PL_PROM");
   if (!prom_path.empty())
     write_file(prom_path, obs::to_prometheus(result.report.metrics));
+  const std::string flight_path =
+      resolve_path(config.flight_path, "PL_FLIGHT");
+  if (!flight_path.empty())
+    write_file_flight(flight_path, result.timings);
 
   return result;
 }

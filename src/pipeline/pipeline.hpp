@@ -65,6 +65,11 @@ struct Config {
   /// Write the Prometheus text exposition of the metrics snapshot to this
   /// path. Empty falls back to `PL_PROM`; unset disables.
   std::string prom_path;
+  /// Write a pl-flight/1 dump of per-stage events (EventKind::kStage, one
+  /// per Fig. 1 stage, a = wall-clock microseconds) to this path after the
+  /// run. Empty falls back to `PL_FLIGHT`; unset disables. Gives batch runs
+  /// the same post-mortem artifact the serving layer dumps on crash.
+  std::string flight_path;
   /// Optional post-taxonomy hook, invoked inside the root span after every
   /// Fig. 1 stage finished but before the report is frozen — the extension
   /// point derived products (e.g. serve::Snapshot) use to run as a traced,

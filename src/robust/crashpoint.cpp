@@ -6,6 +6,7 @@ void CrashPoints::arm(std::string site, int countdown) {
   site_ = std::move(site);
   countdown_ = countdown < 1 ? 1 : countdown;
   fired_ = false;
+  fired_site_.clear();
 }
 
 void CrashPoints::disarm() noexcept {
@@ -29,6 +30,7 @@ bool CrashPoints::fire(std::string_view site) {
   if (fired_ || site_ != site) return false;
   if (--countdown_ > 0) return false;
   fired_ = true;
+  fired_site_ = site_;
   site_.clear();
   return true;
 }

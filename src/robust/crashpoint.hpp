@@ -39,6 +39,11 @@ class CrashPoints {
   bool armed() const noexcept { return !site_.empty(); }
   bool fired() const noexcept { return fired_; }
 
+  /// The site whose countdown fired (empty until then). Lets the code that
+  /// detects the latch — e.g. DurableService dumping its flight recorder on
+  /// the way down — name the kill site without threading it separately.
+  const std::string& fired_site() const noexcept { return fired_site_; }
+
   /// Distinct sites passed through, in first-hit order.
   const std::vector<std::string>& visited() const noexcept { return visited_; }
 
@@ -46,8 +51,9 @@ class CrashPoints {
   int hits(std::string_view site) const noexcept;
 
  private:
-  std::string site_;   ///< armed site; empty = disarmed
-  int countdown_ = 0;  ///< remaining hits of site_ before firing
+  std::string site_;        ///< armed site; empty = disarmed
+  std::string fired_site_;  ///< site that fired; empty until the latch sets
+  int countdown_ = 0;       ///< remaining hits of site_ before firing
   bool fired_ = false;
   std::vector<std::string> visited_;
   std::vector<std::pair<std::string, int>> counts_;  ///< first-hit order

@@ -79,6 +79,12 @@ class ShardedLruCache {
     return 1;
   }
 
+  /// Shard a key maps to — pure key math, so the flight recorder can tag
+  /// events with the shard even when caching is disabled.
+  std::size_t shard_index(std::uint64_t key) const noexcept {
+    return mix_key(key) & (shards_.size() - 1);
+  }
+
   void clear() {
     for (const std::unique_ptr<Shard>& shard : shards_) {
       const std::lock_guard<std::mutex> lock(shard->mutex);

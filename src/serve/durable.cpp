@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "robust/checkpoint.hpp"
+#include "util/crc32.hpp"
 
 namespace pl::serve {
 namespace {
@@ -541,8 +542,40 @@ DurableService::DurableService(DurableConfig config, QueryConfig query_config)
       query_config_(query_config),
       metrics_(std::make_unique<obs::Registry>()),
       trace_(std::make_unique<obs::Trace>()),
-      root_(trace_->root("serve.durable")) {}
+      root_(trace_->root("serve.durable")),
+      flight_(std::make_unique<obs::FlightRecorder>(config_.flight_capacity)) {
+}
 
+void DurableService::record_flight(obs::EventKind kind, std::uint32_t detail,
+                                   std::int64_t a) noexcept {
+  flight_->record(
+      obs::FlightEvent{0, static_cast<std::uint32_t>(kind), detail, a, 0});
+}
+
+void DurableService::dump_flight() noexcept {
+  // Best effort on purpose: every dump site is already handling a failure,
+  // and a dump that cannot be written must not mask the original error.
+  static_cast<void>(write_flight(flight_path(), *flight_));
+}
+
+void DurableService::note_crash() {
+  const std::string& site = config_.crash->fired_site();
+  record_flight(obs::EventKind::kCrash, util::crc32(site), archive_end());
+  dump_flight();
+}
+
+void DurableService::note_degraded() {
+  // May fire during open_impl before the QueryService exists (a rejected
+  // snapshot degrades the service before anything serves).
+  const std::int64_t day =
+      service_ != nullptr ? archive_end() : health_.snapshot_day;
+  record_flight(obs::EventKind::kDegraded,
+                health_.snapshot_rejected ? 1u : 0u, day);
+  dump_flight();
+}
+
+// pl-lint: allow(query-path-untraced) static factory: open_impl below opens
+// the serve.durable.open span and records the kOpen flight event.
 pl::StatusOr<DurableService> DurableService::open(Snapshot bootstrap,
                                                   DurableConfig config,
                                                   QueryConfig query_config) {
@@ -579,6 +612,7 @@ pl::Status DurableService::open_impl(Snapshot bootstrap) {
       health_.degraded = true;
       health_.last_error = std::string(loaded.status().message());
       metrics_->counter("pl_serve_snapshot_rejected").add(1);
+      note_degraded();
       base = std::move(bootstrap);
     } else if (loaded.status().code() == pl::StatusCode::kNotFound) {
       base = std::move(bootstrap);
@@ -598,7 +632,9 @@ pl::Status DurableService::open_impl(Snapshot bootstrap) {
   health_.snapshot_day = base.archive_end();
   span.note("snapshot_day", health_.snapshot_day);
 
-  service_ = std::make_unique<QueryService>(std::move(base), query_config_);
+  service_ =
+      std::make_unique<QueryService>(std::move(base), query_config_,
+                                     flight_.get());
 
   const std::string wpath = wal_path();
   if (file_exists(wpath)) {
@@ -612,6 +648,7 @@ pl::Status DurableService::open_impl(Snapshot bootstrap) {
       health_.degraded = true;
       if (health_.last_error.empty())
         health_.last_error = "corrupt WAL records dropped on replay";
+      note_degraded();
     }
     metrics_->counter("pl_serve_wal_corrupt_records")
         .add(replay->corrupt_records);
@@ -625,6 +662,7 @@ pl::Status DurableService::open_impl(Snapshot bootstrap) {
         quarantine(delta.day, folded);
         continue;
       }
+      record_flight(obs::EventKind::kReplayDay, 0, delta.day);
       ++health_.replayed_days;
     }
     metrics_->counter("pl_serve_wal_replayed_days")
@@ -636,6 +674,8 @@ pl::Status DurableService::open_impl(Snapshot bootstrap) {
 
   days_since_checkpoint_ = static_cast<int>(health_.replayed_days);
   refresh_gauges();
+  record_flight(obs::EventKind::kOpen, health_.degraded ? 1u : 0u,
+                archive_end());
   span.note("replayed_days", health_.replayed_days);
   span.note("degraded", health_.degraded ? 1 : 0);
   return {};
@@ -662,7 +702,10 @@ pl::Status DurableService::advance_day(const DayDelta& delta) {
 
   pl::Status appended = append_wal(wal_path(), delta, config_.crash);
   if (!appended.ok()) {
-    if (config_.crash != nullptr && config_.crash->fired()) crashed_ = true;
+    if (config_.crash != nullptr && config_.crash->fired()) {
+      crashed_ = true;
+      note_crash();
+    }
     return appended;
   }
   metrics_->counter("pl_serve_wal_appends").add(1);
@@ -681,6 +724,7 @@ pl::Status DurableService::advance_day(const DayDelta& delta) {
   if (crash_here("durable.advance.after_fold"))
     return crash_status("durable.advance.after_fold");
 
+  record_flight(obs::EventKind::kAdvance, 0, delta.day);
   ++days_since_checkpoint_;
   if (config_.checkpoint_every_days > 0 &&
       days_since_checkpoint_ >= config_.checkpoint_every_days) {
@@ -712,7 +756,10 @@ pl::Status DurableService::checkpoint_impl(obs::Span& parent) {
   pl::Status saved =
       save_snapshot(service_->snapshot(), snapshot_path(), config_.crash);
   if (!saved.ok()) {
-    if (config_.crash != nullptr && config_.crash->fired()) crashed_ = true;
+    if (config_.crash != nullptr && config_.crash->fired()) {
+      crashed_ = true;
+      note_crash();
+    }
     return saved;
   }
   // The snapshot now covers everything; truncate the WAL. A crash between
@@ -721,6 +768,7 @@ pl::Status DurableService::checkpoint_impl(obs::Span& parent) {
   pl::Status truncated = write_file(wal_path(), {});
   if (!truncated.ok()) return truncated;
   metrics_->counter("pl_serve_snapshot_saves").add(1);
+  record_flight(obs::EventKind::kCheckpoint, 0, archive_end());
   health_.snapshot_day = archive_end();
   health_.wal_records = 0;
   days_since_checkpoint_ = 0;
@@ -732,11 +780,15 @@ void DurableService::quarantine(util::Day day, const pl::Status& why) {
   health_.degraded = true;
   health_.last_error = std::string(why.message());
   metrics_->counter("pl_serve_quarantined_days").add(1);
+  record_flight(obs::EventKind::kQuarantine,
+                static_cast<std::uint32_t>(why.code()), day);
+  note_degraded();
 }
 
 bool DurableService::crash_here(std::string_view site) {
   if (config_.crash == nullptr || !config_.crash->fire(site)) return false;
   crashed_ = true;
+  note_crash();
   return true;
 }
 

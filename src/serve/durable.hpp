@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "robust/crashpoint.hpp"
 #include "serve/query.hpp"
 #include "serve/snapshot.hpp"
@@ -139,6 +140,10 @@ struct DurableConfig {
   /// Test hook: overrides `open_snapshot(snapshot_path)` during open() so
   /// transient-failure retry paths can be exercised. Null = read the file.
   SnapshotLoader loader;
+  /// Flight-recorder ring capacity (events retained per ring; see
+  /// obs/flight.hpp). The recorder is shared with the wrapped QueryService
+  /// so query and durability events land in one timeline.
+  std::size_t flight_capacity = obs::kFlightDefaultCapacity;
 };
 
 /// Structured degradation report. `degraded` means the service is running
@@ -210,6 +215,12 @@ class DurableService {
   const DurableConfig& config() const noexcept { return config_; }
   std::string snapshot_path() const { return config_.dir + "/snapshot.plsnap"; }
   std::string wal_path() const { return config_.dir + "/days.plwal"; }
+  /// Where the flight recorder is dumped (pl-flight/1) on crash,
+  /// quarantine, or degradation.
+  std::string flight_path() const { return config_.dir + "/flight.plflight"; }
+
+  /// The shared flight recorder (also fed by `queries()`).
+  const obs::FlightRecorder& flight() const noexcept { return *flight_; }
 
  private:
   DurableService(DurableConfig config, QueryConfig query_config);
@@ -220,6 +231,17 @@ class DurableService {
   bool crash_here(std::string_view site);
   void refresh_gauges();
 
+  void record_flight(obs::EventKind kind, std::uint32_t detail,
+                     std::int64_t a) noexcept;
+  /// Persist the recorder to flight_path(). Best-effort by design: dump
+  /// sites are already on failure paths, so a dump that cannot be written
+  /// must not mask the original error.
+  void dump_flight() noexcept;
+  /// Record the kCrash event (detail = crc32 of the fired site) and dump.
+  void note_crash();
+  /// Record kDegraded and dump — called wherever health_.degraded turns on.
+  void note_degraded();
+
   DurableConfig config_;
   QueryConfig query_config_;
 
@@ -228,6 +250,7 @@ class DurableService {
   std::unique_ptr<obs::Registry> metrics_;
   std::unique_ptr<obs::Trace> trace_;
   obs::Span root_;
+  std::unique_ptr<obs::FlightRecorder> flight_;  ///< shared with service_
   std::unique_ptr<QueryService> service_;
 
   VirtualClock clock_;

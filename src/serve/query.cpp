@@ -14,15 +14,28 @@ std::vector<std::int64_t> batch_bounds() { return {1, 8, 64, 512, 4096}; }
 
 }  // namespace
 
-QueryService::QueryService(Snapshot snapshot, QueryConfig config)
+QueryService::QueryService(Snapshot snapshot, QueryConfig config,
+                           obs::FlightRecorder* flight)
     : snapshot_(std::move(snapshot)),
       config_(config),
       root_(trace_.root("serve")),
+      owned_flight_(flight == nullptr
+                        ? std::make_unique<obs::FlightRecorder>()
+                        : nullptr),
+      flight_(flight == nullptr ? owned_flight_.get() : flight),
       lookup_cache_(config.enable_cache ? config.cache_capacity : 0),
       alive_cache_(config.enable_cache ? config.cache_capacity : 0),
       hits_(metrics_.counter("pl_serve_cache_hits")),
       misses_(metrics_.counter("pl_serve_cache_misses")),
-      evictions_(metrics_.counter("pl_serve_cache_evictions")) {
+      evictions_(metrics_.counter("pl_serve_cache_evictions")),
+      point_latency_(metrics_.latency("pl_serve_latency_ns{kind=\"point\"}")),
+      alive_latency_(metrics_.latency("pl_serve_latency_ns{kind=\"alive\"}")),
+      batch_latency_(metrics_.latency("pl_serve_latency_ns{kind=\"batch\"}")),
+      scan_latency_(metrics_.latency("pl_serve_latency_ns{kind=\"scan\"}")),
+      census_latency_(
+          metrics_.latency("pl_serve_latency_ns{kind=\"census\"}")),
+      advance_latency_(
+          metrics_.latency("pl_serve_latency_ns{kind=\"advance\"}")) {
   record_metrics(snapshot_, metrics_);
 }
 
@@ -71,10 +84,21 @@ AliveAnswer QueryService::alive_for(asn::Asn asn, util::Day day) const {
 }
 
 AsnAnswer QueryService::lookup(asn::Asn asn) {
+  const std::uint64_t seq = next_sequence();
+  std::optional<obs::ScopedLatency> timer;
+  if constexpr (obs::kEnabled)
+    if ((seq & 7) == 0) timer.emplace(point_latency_);  // 1-in-8 sampling
   metrics_.counter("pl_serve_queries{kind=\"point\"}").add(1);
+  const obs::RequestId rid =
+      obs::derive_request_id(obs::kQueryStream, seq, 0);
+  const auto shard =
+      static_cast<std::uint32_t>(lookup_cache_.shard_index(asn.value));
   if (config_.enable_cache) {
     if (std::optional<AsnAnswer> cached = lookup_cache_.get(asn.value)) {
       hits_.add(1);
+      record_event(rid, obs::EventKind::kLookup,
+                   obs::query_detail(obs::kCacheHit, shard, 0, cached->known),
+                   snapshot_.archive_end());
       return *cached;
     }
     misses_.add(1);
@@ -83,6 +107,11 @@ AsnAnswer QueryService::lookup(asn::Asn asn) {
   if (config_.enable_cache)
     evictions_.add(static_cast<std::int64_t>(
         lookup_cache_.put(asn.value, answer)));
+  record_event(rid, obs::EventKind::kLookup,
+               obs::query_detail(
+                   config_.enable_cache ? obs::kCacheMiss : obs::kCacheNone,
+                   shard, 0, answer.known),
+               snapshot_.archive_end());
   return answer;
 }
 
@@ -90,6 +119,8 @@ std::vector<AsnAnswer> QueryService::lookup_batch(
     const std::vector<asn::Asn>& asns) {
   obs::Span span = root_.child("serve.lookup_batch");
   span.note("items", static_cast<std::int64_t>(asns.size()));
+  const std::uint64_t seq = next_sequence();
+  const obs::ScopedLatency timer(batch_latency_);
   metrics_.counter("pl_serve_queries{kind=\"batch\"}").add(1);
   metrics_.histogram("pl_serve_batch_items", batch_bounds())
       .observe(static_cast<std::int64_t>(asns.size()));
@@ -97,13 +128,23 @@ std::vector<AsnAnswer> QueryService::lookup_batch(
   std::vector<AsnAnswer> answers(asns.size());
 
   // Probe phase (serial): cache hits fill immediately; misses are grouped
-  // by ASN so duplicate keys in one batch compute once.
+  // by ASN so duplicate keys in one batch compute once. Hit events are
+  // recorded here; miss events in the (also serial) merge phase below.
   std::map<std::uint32_t, std::vector<std::size_t>> pending;
   for (std::size_t i = 0; i < asns.size(); ++i) {
     if (config_.enable_cache) {
       if (std::optional<AsnAnswer> cached = lookup_cache_.get(asns[i].value)) {
         hits_.add(1);
         answers[i] = *cached;
+        record_event(
+            obs::derive_request_id(obs::kQueryStream, seq, i),
+            obs::EventKind::kLookup,
+            obs::query_detail(
+                obs::kCacheHit,
+                static_cast<std::uint32_t>(
+                    lookup_cache_.shard_index(asns[i].value)),
+                0, cached->known),
+            snapshot_.archive_end());
         continue;
       }
       misses_.add(1);
@@ -125,8 +166,18 @@ std::vector<AsnAnswer> QueryService::lookup_batch(
           computed[k] = answer_for(asn::Asn{keys[k].first});
       },
       /*grain=*/32);
+  const std::uint32_t miss_bits =
+      config_.enable_cache ? obs::kCacheMiss : obs::kCacheNone;
   for (std::size_t k = 0; k < keys.size(); ++k) {
-    for (const std::size_t i : *keys[k].second) answers[i] = computed[k];
+    const auto shard = static_cast<std::uint32_t>(
+        lookup_cache_.shard_index(keys[k].first));
+    for (const std::size_t i : *keys[k].second) {
+      answers[i] = computed[k];
+      record_event(obs::derive_request_id(obs::kQueryStream, seq, i),
+                   obs::EventKind::kLookup,
+                   obs::query_detail(miss_bits, shard, 0, computed[k].known),
+                   snapshot_.archive_end());
+    }
     if (config_.enable_cache)
       evictions_.add(static_cast<std::int64_t>(
           lookup_cache_.put(keys[k].first, computed[k])));
@@ -135,11 +186,23 @@ std::vector<AsnAnswer> QueryService::lookup_batch(
 }
 
 AliveAnswer QueryService::alive_on(asn::Asn asn, util::Day day) {
+  const std::uint64_t seq = next_sequence();
+  std::optional<obs::ScopedLatency> timer;
+  if constexpr (obs::kEnabled)
+    if ((seq & 7) == 0) timer.emplace(alive_latency_);  // 1-in-8 sampling
   metrics_.counter("pl_serve_queries{kind=\"alive\"}").add(1);
   const std::uint64_t key = alive_key(asn, day);
+  const obs::RequestId rid =
+      obs::derive_request_id(obs::kQueryStream, seq, 0);
+  const auto shard =
+      static_cast<std::uint32_t>(alive_cache_.shard_index(key));
   if (config_.enable_cache) {
     if (std::optional<AliveAnswer> cached = alive_cache_.get(key)) {
       hits_.add(1);
+      record_event(rid, obs::EventKind::kAlive,
+                   obs::query_detail(obs::kCacheHit, shard, 0,
+                                     cached->admin_alive || cached->op_alive),
+                   day);
       return *cached;
     }
     misses_.add(1);
@@ -147,6 +210,11 @@ AliveAnswer QueryService::alive_on(asn::Asn asn, util::Day day) {
   AliveAnswer answer = alive_for(asn, day);
   if (config_.enable_cache)
     evictions_.add(static_cast<std::int64_t>(alive_cache_.put(key, answer)));
+  record_event(rid, obs::EventKind::kAlive,
+               obs::query_detail(
+                   config_.enable_cache ? obs::kCacheMiss : obs::kCacheNone,
+                   shard, 0, answer.admin_alive || answer.op_alive),
+               day);
   return answer;
 }
 
@@ -154,6 +222,8 @@ std::vector<AliveAnswer> QueryService::alive_on_batch(
     const std::vector<asn::Asn>& asns, util::Day day) {
   obs::Span span = root_.child("serve.alive_on_batch");
   span.note("items", static_cast<std::int64_t>(asns.size()));
+  const std::uint64_t seq = next_sequence();
+  const obs::ScopedLatency timer(batch_latency_);
   metrics_.counter("pl_serve_queries{kind=\"alive\"}").add(1);
   metrics_.histogram("pl_serve_batch_items", batch_bounds())
       .observe(static_cast<std::int64_t>(asns.size()));
@@ -166,6 +236,14 @@ std::vector<AliveAnswer> QueryService::alive_on_batch(
       if (std::optional<AliveAnswer> cached = alive_cache_.get(key)) {
         hits_.add(1);
         answers[i] = *cached;
+        record_event(
+            obs::derive_request_id(obs::kQueryStream, seq, i),
+            obs::EventKind::kAlive,
+            obs::query_detail(
+                obs::kCacheHit,
+                static_cast<std::uint32_t>(alive_cache_.shard_index(key)),
+                0, cached->admin_alive || cached->op_alive),
+            day);
         continue;
       }
       misses_.add(1);
@@ -185,24 +263,47 @@ std::vector<AliveAnswer> QueryService::alive_on_batch(
           computed[k] = alive_for(asn::Asn{keys[k].first}, day);
       },
       /*grain=*/32);
+  const std::uint32_t miss_bits =
+      config_.enable_cache ? obs::kCacheMiss : obs::kCacheNone;
   for (std::size_t k = 0; k < keys.size(); ++k) {
-    for (const std::size_t i : *keys[k].second) answers[i] = computed[k];
+    const std::uint64_t key = alive_key(asn::Asn{keys[k].first}, day);
+    const auto shard =
+        static_cast<std::uint32_t>(alive_cache_.shard_index(key));
+    for (const std::size_t i : *keys[k].second) {
+      answers[i] = computed[k];
+      record_event(obs::derive_request_id(obs::kQueryStream, seq, i),
+                   obs::EventKind::kAlive,
+                   obs::query_detail(
+                       miss_bits, shard, 0,
+                       computed[k].admin_alive || computed[k].op_alive),
+                   day);
+    }
     if (config_.enable_cache)
-      evictions_.add(static_cast<std::int64_t>(
-          alive_cache_.put(alive_key(asn::Asn{keys[k].first}, day),
-                           computed[k])));
+      evictions_.add(
+          static_cast<std::int64_t>(alive_cache_.put(key, computed[k])));
   }
   return answers;
 }
 
 CensusAnswer QueryService::census(util::Day day) {
+  const std::uint64_t seq = next_sequence();
+  const obs::ScopedLatency timer(census_latency_);
   metrics_.counter("pl_serve_queries{kind=\"census\"}").add(1);
   const AliveCensus counts = snapshot_.alive_census(day);
+  record_event(obs::derive_request_id(obs::kQueryStream, seq, 0),
+               obs::EventKind::kCensus,
+               obs::query_detail(obs::kCacheNone, 0, 0,
+                                 counts.admin_alive + counts.op_alive > 0),
+               day);
   return CensusAnswer{day, counts.admin_alive, counts.op_alive};
 }
 
 std::vector<AsnAnswer> QueryService::scan(const ScanQuery& query) {
   obs::Span span = root_.child("serve.scan");
+  const std::uint64_t seq = next_sequence();
+  const obs::ScopedLatency timer(scan_latency_);
+  const obs::RequestId rid =
+      obs::derive_request_id(obs::kQueryStream, seq, 0);
   metrics_.counter("pl_serve_queries{kind=\"scan\"}").add(1);
 
   std::vector<AsnAnswer> answers;
@@ -218,6 +319,8 @@ std::vector<AsnAnswer> QueryService::scan(const ScanQuery& query) {
     const auto it = by_country.find(*query.country);
     if (it == by_country.end()) {
       span.note("results", 0);
+      record_event(rid, obs::EventKind::kScan,
+                   obs::query_detail(obs::kCacheNone, 0, 0, false), 0);
       return answers;
     }
     // Prefer the country list when both filters are set and it is shorter.
@@ -269,14 +372,26 @@ std::vector<AsnAnswer> QueryService::scan(const ScanQuery& query) {
     }
   }
   span.note("results", static_cast<std::int64_t>(answers.size()));
+  record_event(rid, obs::EventKind::kScan,
+               obs::query_detail(obs::kCacheNone, 0, 0, !answers.empty()),
+               static_cast<std::int64_t>(answers.size()));
   return answers;
 }
 
 pl::Status QueryService::advance_day(const DayDelta& delta) {
   obs::Span span = root_.child("serve.advance_day");
   span.note("day", delta.day);
+  const std::uint64_t seq = next_sequence();
+  const obs::ScopedLatency timer(advance_latency_);
+  const obs::RequestId rid =
+      obs::derive_request_id(obs::kQueryStream, seq, 0);
   AdvanceStats stats;
   const pl::Status status = snapshot_.advance_day(delta, &stats);
+  record_event(rid, obs::EventKind::kAdvanceDay,
+               obs::query_detail(obs::kCacheNone, 0,
+                                 static_cast<std::uint32_t>(status.code()),
+                                 status.ok()),
+               delta.day);
   if (!status.ok()) {
     metrics_.counter("pl_serve_advance_failures").add(1);
     return status;

@@ -13,14 +13,18 @@
 // the parallel miss phase writes into per-index slots merged in order.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "serve/cache.hpp"
@@ -97,7 +101,12 @@ struct CensusAnswer {
 /// against advance_day(); callers serialize advances externally.
 class QueryService {
  public:
-  explicit QueryService(Snapshot snapshot, QueryConfig config = {});
+  /// `flight` (nullable) shares an external recorder — DurableService passes
+  /// its own so query and durability events interleave in one timeline. A
+  /// stand-alone service owns a recorder of the default capacity instead,
+  /// so every query is attributable either way.
+  explicit QueryService(Snapshot snapshot, QueryConfig config = {},
+                        obs::FlightRecorder* flight = nullptr);
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
@@ -132,8 +141,12 @@ class QueryService {
   const QueryConfig& config() const noexcept { return config_; }
   std::uint64_t version() const noexcept { return version_; }
 
-  /// Trace tree + metrics snapshot for this service (pl-obs/1 exportable).
+  /// Trace tree + metrics snapshot for this service (pl-obs/2 exportable).
   obs::Report report() const;
+
+  /// The flight recorder receiving this service's per-query events (owned
+  /// or shared, see the constructor).
+  const obs::FlightRecorder& flight() const noexcept { return *flight_; }
 
  private:
   AsnAnswer answer_for(asn::Asn asn) const;
@@ -144,12 +157,32 @@ class QueryService {
            static_cast<std::uint32_t>(day);
   }
 
+  /// Per-API-call sequence number feeding RequestId derivation. Gated on
+  /// obs::kEnabled so the PL_OBS_OFF build pays nothing.
+  std::uint64_t next_sequence() noexcept {
+    if constexpr (obs::kEnabled)
+      return sequence_.fetch_add(1, std::memory_order_relaxed);
+    else
+      return 0;
+  }
+
+  void record_event(obs::RequestId id, obs::EventKind kind,
+                    std::uint32_t detail, std::int64_t a) noexcept {
+    flight_->record(obs::FlightEvent{
+        id.value, static_cast<std::uint32_t>(kind), detail, a, 0});
+  }
+
   Snapshot snapshot_;
   QueryConfig config_;
 
   obs::Registry metrics_;
   obs::Trace trace_;
   obs::Span root_;
+
+  // Flight recorder: owned unless an external one was passed in. Behind
+  // unique_ptr so the atomics never move.
+  std::unique_ptr<obs::FlightRecorder> owned_flight_;
+  obs::FlightRecorder* flight_;
 
   ShardedLruCache<AsnAnswer> lookup_cache_;
   ShardedLruCache<AliveAnswer> alive_cache_;
@@ -159,6 +192,17 @@ class QueryService {
   obs::Counter& misses_;
   obs::Counter& evictions_;
 
+  // Latency histograms hoisted the same way. Point-path samples are
+  // decimated 1-in-8 (DESIGN.md §14.4) to keep the clock reads off the
+  // common path; batch/scan/advance scopes time every call.
+  obs::LatencyHisto& point_latency_;
+  obs::LatencyHisto& alive_latency_;
+  obs::LatencyHisto& batch_latency_;
+  obs::LatencyHisto& scan_latency_;
+  obs::LatencyHisto& census_latency_;
+  obs::LatencyHisto& advance_latency_;
+
+  std::atomic<std::uint64_t> sequence_{0};
   std::uint64_t version_ = 0;
 };
 

@@ -1,0 +1,13 @@
+// Must flag: a QueryService entry point that answers without opening a
+// span or recording a flight/request event.
+#include "serve/flag.hpp"
+
+struct AsnAnswer {
+  int value = 0;
+};
+
+AsnAnswer QueryService::lookup(int asn) {
+  AsnAnswer answer;
+  answer.value = asn * 2;
+  return answer;
+}

@@ -1,0 +1,16 @@
+// Must pass: the entry point records a per-request event, a declaration is
+// not a definition, and a const accessor is exempt.
+#include "serve/pass.hpp"
+
+struct AliveAnswer {
+  bool alive = false;
+};
+
+AliveAnswer QueryService::alive_on(int asn, int day) {
+  record_event(asn, day);
+  AliveAnswer answer;
+  answer.alive = day > 0;
+  return answer;
+}
+
+int QueryService::version() const { return 0; }

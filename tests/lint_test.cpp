@@ -82,6 +82,9 @@ const std::map<std::string, FixtureCase>& fixture_cases() {
       {"hot-path-alloc",
        {"hot-path-alloc/flag.cpp", "src/restore/flag.cpp",
         "hot-path-alloc/pass.cpp", "src/restore/pass.cpp"}},
+      {"query-path-untraced",
+       {"query-path-untraced/flag.cpp", "src/serve/flag.cpp",
+        "query-path-untraced/pass.cpp", "src/serve/pass.cpp"}},
   };
   return cases;
 }

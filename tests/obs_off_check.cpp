@@ -10,7 +10,10 @@
 #include <cstdio>
 #include <string>
 #include <type_traits>
+#include <vector>
 
+#include "obs/flight.hpp"
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -22,9 +25,27 @@ static_assert(std::is_empty_v<pl::obs::Counter>);
 static_assert(std::is_empty_v<pl::obs::Gauge>);
 static_assert(std::is_empty_v<pl::obs::Histogram>);
 static_assert(std::is_empty_v<pl::obs::Span>);
+static_assert(std::is_empty_v<pl::obs::LatencyHisto>);
+static_assert(std::is_empty_v<pl::obs::ScopedLatency>);
+static_assert(std::is_empty_v<pl::obs::FlightRecorder>);
 #else
 static_assert(pl::obs::kEnabled, "default build must enable obs");
 #endif
+
+// The wire-facing pieces stay real in BOTH builds: request-id derivation is
+// pure integer math, and the event/slot value types are what readers of
+// dumps from instrumented builds decode.
+static_assert(pl::obs::derive_request_id(pl::obs::kQueryStream, 1, 2) ==
+              pl::obs::derive_request_id(pl::obs::kQueryStream, 1, 2));
+static_assert(pl::obs::derive_request_id(pl::obs::kQueryStream, 1, 2).value !=
+              pl::obs::derive_request_id(pl::obs::kQueryStream, 1, 3).value);
+static_assert(sizeof(pl::obs::FlightEvent) == 32);
+static_assert(pl::obs::detail_shard(pl::obs::query_detail(
+                  pl::obs::kCacheHit, 7, 3, true)) == 7);
+static_assert(pl::obs::detail_status(pl::obs::query_detail(
+                  pl::obs::kCacheMiss, 7, 3, false)) == 3);
+static_assert(pl::obs::latency_slot_bound(pl::obs::latency_slot(1000)) >=
+              1000);
 
 int main() {
   pl::obs::Registry registry;
@@ -40,19 +61,35 @@ int main() {
     child.note("depth", 2);
   }
 
+  {
+    pl::obs::ScopedLatency timer(registry.latency("check_latency"));
+  }
+  registry.latency("check_latency").observe(100);
+
+  pl::obs::FlightRecorder flight;
+  flight.record(pl::obs::FlightEvent{
+      pl::obs::derive_request_id(pl::obs::kQueryStream, 0, 0).value,
+      static_cast<std::uint32_t>(pl::obs::EventKind::kLookup),
+      pl::obs::query_detail(pl::obs::kCacheMiss, 1, 0, true), 7, 0});
+
   const pl::obs::Snapshot snapshot = registry.snapshot();
   const pl::obs::TraceNode tree = trace.tree();
+  const std::vector<pl::obs::FlightEvent> events = flight.events();
 
 #ifdef PL_OBS_OFF
   const bool ok = snapshot.counters.empty() && snapshot.gauges.empty() &&
-                  snapshot.histograms.empty() && tree.name.empty() &&
-                  tree.children.empty();
+                  snapshot.histograms.empty() && snapshot.latencies.empty() &&
+                  tree.name.empty() && tree.children.empty() &&
+                  events.empty() && flight.total_recorded() == 0;
 #else
   const bool ok = snapshot.counter_value("check_counter") == 5 &&
                   snapshot.gauges.at("check_gauge") == 9 &&
                   snapshot.histograms.at("check_histogram").count == 1 &&
+                  snapshot.latencies.at("check_latency").count == 2 &&
                   tree.name == "check" && tree.children.size() == 1 &&
-                  tree.children[0].note_value("depth") == 2;
+                  tree.children[0].note_value("depth") == 2 &&
+                  events.size() == 1 && flight.total_recorded() == 1 &&
+                  pl::obs::detail_found(events[0].detail);
 #endif
 
   if (!ok) {

@@ -18,9 +18,11 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "pipeline/pipeline.hpp"
 #include "serve/durable.hpp"
 #include "serve/snapshot.hpp"
+#include "util/crc32.hpp"
 
 namespace pl::serve {
 namespace {
@@ -107,6 +109,29 @@ void crash_and_recover(const World& world, std::string_view site,
   }
   ASSERT_TRUE(crashed) << "site " << site << " never fired — is the "
                        << "countdown reachable within the stretch?";
+
+  // The kill must have left a valid flight-recorder dump behind, and (when
+  // recording is compiled in) its timeline must name the crash site: the
+  // last kCrash event carries crc32(site) as its detail.
+  const std::string flight_file = dir + "/flight.plflight";
+  ASSERT_TRUE(std::filesystem::exists(flight_file))
+      << "no flight dump after a crash at " << site;
+  const obs::FlightRead flight = obs::read_flight(flight_file);
+  ASSERT_TRUE(flight.ok()) << "flight dump unparseable after " << site;
+  if constexpr (obs::kEnabled) {
+    const auto is_crash = [](const obs::FlightEvent& event) {
+      return event.kind ==
+             static_cast<std::uint32_t>(obs::EventKind::kCrash);
+    };
+    const auto crash_event = std::find_if(flight.events.rbegin(),
+                                          flight.events.rend(), is_crash);
+    ASSERT_NE(crash_event, flight.events.rend())
+        << "flight dump carries no kCrash event for " << site;
+    EXPECT_EQ(crash_event->detail, util::crc32(site))
+        << "flight kCrash event does not identify site " << site;
+  } else {
+    EXPECT_TRUE(flight.events.empty());
+  }
 
   // Recovery: open the directory again (bootstrap empty on purpose — disk
   // must carry everything) and finish the stretch.

@@ -223,7 +223,7 @@ TEST(QueryService, ReportCarriesServeSpansAndExports) {
   EXPECT_NE(report.trace.child("serve.scan"), nullptr);
 
   const std::string json = obs::to_json(report);
-  EXPECT_NE(json.find("pl-obs/1"), std::string::npos);
+  EXPECT_NE(json.find("pl-obs/2"), std::string::npos);
   EXPECT_NE(json.find("pl_serve_cache_hits"), std::string::npos);
   const std::string prom = obs::to_prometheus(report.metrics);
   EXPECT_NE(prom.find("pl_serve_cache_hits"), std::string::npos);

@@ -275,11 +275,13 @@ bool is_header(std::string_view relpath) {
   return ends_with(relpath, ".hpp") || ends_with(relpath, ".h");
 }
 
-/// Wall-clock whitelist: the trace layer measures real time by design (its
-/// timings are documented as outside the determinism contract), and the
-/// bench/tool trees report human-facing durations.
+/// Wall-clock whitelist: the trace layer and the latency histograms measure
+/// real time by design (their timings are documented as outside the
+/// determinism contract), and the bench/tool trees report human-facing
+/// durations.
 bool clock_whitelisted(std::string_view relpath) {
   return relpath.find("obs/span.hpp") != std::string_view::npos ||
+         relpath.find("obs/latency.hpp") != std::string_view::npos ||
          starts_with(relpath, "bench/") || starts_with(relpath, "tools/");
 }
 
@@ -612,7 +614,8 @@ void rule_metric_name(const Context& ctx) {
   for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
     if (tokens[i].kind != Token::Kind::kIdent) continue;
     const std::string& method = tokens[i].text;
-    if (method != "counter" && method != "gauge" && method != "histogram")
+    if (method != "counter" && method != "gauge" && method != "histogram" &&
+        method != "latency")
       continue;
     if (i == 0 ||
         !(is_punct(tokens, i - 1, ".") || is_punct(tokens, i - 1, "->")))
@@ -819,6 +822,80 @@ void rule_hot_path_alloc(const Context& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// query-path-untraced: the serving layer promises every query is
+// attributable (DESIGN.md §14) — a QueryService / DurableService entry
+// point that neither opens a span nor records a flight/request event breaks
+// the per-query timeline silently. Heuristic: a non-const method definition
+// of either class in src/serve must mention an observability identifier
+// (span/child/root, record*, observe, latency, flight, gauge/counter, or a
+// note_* helper) somewhere in its body. Const-qualified definitions answer
+// from already-recorded state and are exempt, as are constructors.
+
+void rule_query_path_untraced(const Context& ctx) {
+  if (!starts_with(ctx.relpath, "src/serve/") ||
+      !ends_with(ctx.relpath, ".cpp"))
+    return;
+  static constexpr std::string_view kMarkers[] = {
+      "record", "observe",    "latency", "Span",          "span",
+      "child",  "root",       "flight",  "note_crash",    "note_degraded",
+      "gauge",  "counter"};
+  const Tokens& tokens = ctx.lexed->tokens;
+  for (std::size_t i = 0; i + 3 < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent) continue;
+    const std::string& cls = tokens[i].text;
+    if (cls != "QueryService" && cls != "DurableService") continue;
+    if (!is_punct(tokens, i + 1, "::")) continue;
+    if (tokens[i + 2].kind != Token::Kind::kIdent) continue;
+    const std::string& method = tokens[i + 2].text;
+    if (method == cls) continue;  // constructor: wiring, not serving
+    if (!is_punct(tokens, i + 3, "(")) continue;
+    const std::size_t after_params = skip_parens(tokens, i + 3);
+
+    // Find the body (skipping trailing qualifiers); a `;` first means this
+    // was a declaration or a member call, not a definition.
+    bool is_const = false;
+    std::size_t body = tokens.size();
+    for (std::size_t j = after_params; j < tokens.size(); ++j) {
+      if (is_ident(tokens, j, "const")) is_const = true;
+      if (is_punct(tokens, j, ";")) break;
+      if (is_punct(tokens, j, "{")) {
+        body = j;
+        break;
+      }
+    }
+    if (body == tokens.size()) continue;
+    if (is_const) continue;  // read-only accessor: nothing new to attribute
+
+    int depth = 0;
+    std::size_t end = tokens.size();
+    for (std::size_t j = body; j < tokens.size(); ++j) {
+      if (is_punct(tokens, j, "{")) ++depth;
+      if (is_punct(tokens, j, "}") && --depth == 0) {
+        end = j;
+        break;
+      }
+    }
+    bool instrumented = false;
+    for (std::size_t j = body; j < end && !instrumented; ++j) {
+      if (tokens[j].kind != Token::Kind::kIdent) continue;
+      for (const std::string_view marker : kMarkers) {
+        if (tokens[j].text.find(marker) != std::string::npos) {
+          instrumented = true;
+          break;
+        }
+      }
+    }
+    if (!instrumented)
+      ctx.flag("query-path-untraced", tokens[i + 2].line,
+               cls + "::" + method +
+                   " serves without opening a span or recording a "
+                   "flight/request event; instrument it or justify with an "
+                   "allow(query-path-untraced) comment");
+    i = end;
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -847,6 +924,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"hot-path-alloc",
        "no stream tokenization or stoi-on-substr in src/restore and "
        "src/delegation; use the memchr splitter or a justified allow()"},
+      {"query-path-untraced",
+       "non-const QueryService/DurableService definitions in src/serve must "
+       "open a span or record a flight/request event"},
   };
   return catalog;
 }
@@ -881,6 +961,7 @@ Report lint_source(std::string_view relpath, std::string_view content) {
   rule_self_include_first(ctx);
   rule_status_ignored(ctx);
   rule_hot_path_alloc(ctx);
+  rule_query_path_untraced(ctx);
 
   report.suppressions = std::move(budget);
   return report;
