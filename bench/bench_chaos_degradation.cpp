@@ -1,10 +1,11 @@
 // Graceful-degradation sweep: restoration accuracy as the ingestion
-// transport decays. Wraps the rendered archive in robust::FaultStream at
+// transport decays. Wraps the rendered archive in dele::FaultStream at
 // uniform fault rates from 0% to 20% and measures what survives — the
 // conservation books must balance at every rate, and accuracy should fall
 // smoothly with the share of days the transport actually destroyed, never
 // with a crash.
 #include "common.hpp"
+#include "delegation/fault_stream.hpp"
 #include "robust/chaos.hpp"
 
 namespace {
@@ -74,7 +75,7 @@ int main() {
       robust::ChaosConfig chaos =
           robust::ChaosConfig::uniform(rate, p.seed + 90);
       chaos.seed += asn::index_of(rir);
-      robust::FaultStream stream(archive.stream(rir), chaos, &sink);
+      dele::FaultStream stream(archive.stream(rir), chaos, &sink);
       restored.registries[asn::index_of(rir)] = restore::restore_registry(
           stream, config, &p.truth.erx, &p.op_world.activity, &sink);
     }

@@ -24,8 +24,8 @@ void write_prefix(const Prefix& prefix, std::vector<std::uint8_t>& out) {
   }
 }
 
-}  // namespace
-
+// Single-element append: only the batch encoder below drives it, so it
+// stays file-local rather than exported API.
 void encode_element(const Element& element, std::vector<std::uint8_t>& out) {
   out.push_back(static_cast<std::uint8_t>(element.type));
   write_varint(static_cast<std::uint32_t>(element.day), out);
@@ -37,6 +37,8 @@ void encode_element(const Element& element, std::vector<std::uint8_t>& out) {
   for (const asn::Asn hop : element.path.hops())
     write_varint(hop.value, out);
 }
+
+}  // namespace
 
 std::vector<std::uint8_t> encode_elements(std::span<const Element> elements) {
   std::vector<std::uint8_t> out;

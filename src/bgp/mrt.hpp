@@ -21,9 +21,6 @@
 
 namespace pl::bgp {
 
-/// Append one element to `out`.
-void encode_element(const Element& element, std::vector<std::uint8_t>& out);
-
 /// Encode a batch.
 std::vector<std::uint8_t> encode_elements(std::span<const Element> elements);
 

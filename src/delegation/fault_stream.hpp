@@ -1,0 +1,55 @@
+// Transport fault injection over an ArchiveStream.
+//
+// FaultStream decorates a pristine delegation archive stream with the
+// transport faults robust::ChaosConfig describes: fetches that fail and must
+// be retried, whole-day outages, days delivered twice or out of order, and
+// channels that arrive unusable. It lives in the delegation subsystem —
+// unlike the byte-level corruptors in robust/chaos.hpp it speaks
+// DayObservation, so keeping it below the archive types would invert the
+// layer order. Everything is seeded through util::Rng, so a chaos run is
+// exactly reproducible — the property the differential and degradation tests
+// depend on.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "delegation/archive.hpp"
+#include "robust/chaos.hpp"
+#include "robust/error.hpp"
+
+namespace pl::dele {
+
+/// An ArchiveStream decorator that injects transport faults between a
+/// pristine stream and its consumer. Counter updates go to the sink's
+/// counter block when a sink is given, else to an internal block readable
+/// via `counters()`; diagnostics go to the sink when present.
+class FaultStream final : public ArchiveStream {
+ public:
+  FaultStream(std::unique_ptr<ArchiveStream> inner,
+              robust::ChaosConfig config, robust::ErrorSink* sink = nullptr);
+
+  asn::Rir registry() const noexcept override;
+
+  std::optional<DayObservation> next() override;
+
+  /// Counter block used when no sink was supplied.
+  const robust::RobustnessReport& counters() const noexcept { return local_; }
+
+ private:
+  robust::RobustnessReport& stats() noexcept;
+  void diagnose(robust::Severity severity, std::string code,
+                std::string message, util::Day day);
+
+  std::unique_ptr<ArchiveStream> inner_;
+  robust::ChaosConfig config_;
+  robust::ErrorSink* sink_;
+  util::Rng rng_;
+  std::deque<DayObservation> held_;  ///< duplicated / displaced days
+  int outage_days_left_ = 0;
+  robust::RobustnessReport local_;
+};
+
+}  // namespace pl::dele

@@ -39,14 +39,16 @@ std::string_view status_token(Status status) noexcept {
   return kStatusTokens[static_cast<std::size_t>(status)];
 }
 
+namespace {
+
+// The text parser is the only caller: the interchange reader matches status
+// tokens exactly (parse_status_exact), so this stays file-local.
 std::optional<Status> parse_status(std::string_view token) noexcept {
   const std::string lowered = util::to_lower(trim(token));
   for (std::size_t i = 0; i < 4; ++i)
     if (lowered == kStatusTokens[i]) return static_cast<Status>(i);
   return std::nullopt;
 }
-
-namespace {
 
 /// Report one record-level anomaly through both channels (legacy warning
 /// string + structured diagnostic). Returns true when a strict-policy sink

@@ -29,7 +29,6 @@ enum class Status : std::uint8_t {
 };
 
 std::string_view status_token(Status status) noexcept;
-std::optional<Status> parse_status(std::string_view token) noexcept;
 
 /// True for the two statuses that mean "delegated to an organization"; the
 /// administrative-life analysis treats allocated and assigned identically.

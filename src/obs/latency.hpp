@@ -178,10 +178,12 @@ class LatencyHisto {
 /// per-item paths prefer timing the batch and observing once.
 class ScopedLatency {
  public:
+  // pl-lint: det-ok(the clock read is the latency measurement itself)
   explicit ScopedLatency(LatencyHisto& histo) noexcept
       : histo_(&histo), start_(std::chrono::steady_clock::now()) {}
   ScopedLatency(const ScopedLatency&) = delete;
   ScopedLatency& operator=(const ScopedLatency&) = delete;
+  // pl-lint: det-ok(closing clock read only lands in the histogram)
   ~ScopedLatency() {
     const auto elapsed = std::chrono::steady_clock::now() - start_;
     histo_->observe(

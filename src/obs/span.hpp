@@ -103,6 +103,7 @@ class Span {
 
 class Trace {
  public:
+  // pl-lint: det-ok(the epoch stamp is the point of a trace)
   Trace() : epoch_(Clock::now()) {}
   Trace(const Trace&) = delete;
   Trace& operator=(const Trace&) = delete;
@@ -134,6 +135,7 @@ class Trace {
     std::vector<std::size_t> children;
   };
 
+  // pl-lint: det-ok(span start stamps are observability metadata only)
   std::size_t add_node(std::string name, std::size_t parent) {
     const std::lock_guard<std::mutex> lock(mutex_);
     const std::size_t index = nodes_.size();
@@ -155,6 +157,7 @@ class Trace {
     if (node.elapsed_ms < 0) node.elapsed_ms = ms_since(node.start);
   }
 
+  // pl-lint: det-ok(elapsed-time readout feeds only the trace report)
   static double ms_since(Clock::time_point start) {
     return std::chrono::duration<double, std::milli>(Clock::now() - start)
         .count();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "check/contracts.hpp"
+#include "delegation/fault_stream.hpp"
 #include "delegation/interchange.hpp"
 #include "exec/pool.hpp"
 #include "obs/export.hpp"
@@ -230,8 +231,8 @@ Result run_simulated(const Config& config) {
             if (config.inject_chaos) {
               robust::ChaosConfig chaos = config.chaos;
               chaos.seed = config.chaos.seed + asn::index_of(rir);
-              robust::FaultStream stream(std::move(*reader), chaos,
-                                         &shard_sinks[i]);
+              dele::FaultStream stream(std::move(*reader), chaos,
+                                       &shard_sinks[i]);
               result.restored.registries[i] = restore::restore_registry(
                   stream, config.restore, &truth.erx, hint, &shard_sinks[i]);
             } else {

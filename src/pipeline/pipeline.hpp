@@ -50,7 +50,7 @@ struct Config {
   /// Pass the BGP activity to the restorer as the step-iv disambiguation
   /// hint (the paper sometimes consulted BGP behaviour for duplicates).
   bool bgp_hint_for_duplicates = true;
-  /// Layer transport chaos (robust::FaultStream) between the rendered
+  /// Layer transport chaos (dele::FaultStream) between the rendered
   /// archive and the restorer: outages, retries, duplicate / out-of-order /
   /// corrupt days at the configured rates. Per-registry seeds derive from
   /// chaos.seed. The run must degrade gracefully, never crash; the books

@@ -206,6 +206,7 @@ class SpanBuilder {
     }
   }
 
+  // pl-lint: det-ok(stable sort re-canonicalises the drained spans below)
   std::map<std::uint32_t, std::vector<StateSpan>> finish(Day last_day) {
     // pl-lint: allow(unordered-drain) order-independent fold: each ASN
     // appears in open_ at most once, and grouping below is a stable sort by

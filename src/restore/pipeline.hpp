@@ -77,7 +77,7 @@ RestoredRegistry restore_registry(dele::ArchiveStream& stream,
 /// via its view API, so no per-day DayObservation is ever materialized on
 /// the in-order fast path. A decode failure is a hard error (the archive is
 /// produced in-process by the render stage); use the ArchiveStream overload
-/// plus robust::FaultStream when the stream is untrusted.
+/// plus dele::FaultStream when the stream is untrusted.
 RestoredRegistry restore_registry(dele::DeltaArchiveReader& reader,
                                   const RestoreConfig& config,
                                   const ErxDates* erx = nullptr,

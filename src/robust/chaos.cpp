@@ -1,132 +1,10 @@
 #include "robust/chaos.hpp"
 
-#include <algorithm>
 #include <utility>
 
 #include "util/strings.hpp"
 
 namespace pl::robust {
-
-FaultStream::FaultStream(std::unique_ptr<dele::ArchiveStream> inner,
-                         ChaosConfig config, ErrorSink* sink)
-    : inner_(std::move(inner)), config_(config), sink_(sink),
-      rng_(config.seed) {}
-
-asn::Rir FaultStream::registry() const noexcept {
-  return inner_->registry();
-}
-
-RobustnessReport& FaultStream::stats() noexcept {
-  return sink_ != nullptr ? sink_->counters() : local_;
-}
-
-void FaultStream::diagnose(Severity severity, std::string code,
-                           std::string message, util::Day day) {
-  if (sink_ == nullptr) return;
-  Diagnostic diagnostic;
-  diagnostic.stage = Stage::kFetch;
-  diagnostic.severity = severity;
-  diagnostic.code = std::move(code);
-  diagnostic.message = std::move(message);
-  diagnostic.day = day;
-  sink_->report(std::move(diagnostic));
-}
-
-std::optional<dele::DayObservation> FaultStream::next() {
-  while (true) {
-    if (!held_.empty()) {
-      dele::DayObservation observation = std::move(held_.front());
-      held_.pop_front();
-      ++stats().days_delivered;
-      return observation;
-    }
-
-    std::optional<dele::DayObservation> observation = inner_->next();
-    if (!observation) return std::nullopt;
-    ++stats().days_input;
-    const util::Day day = observation->day;
-
-    // Multi-day outage in progress: the day never arrives.
-    if (outage_days_left_ > 0) {
-      --outage_days_left_;
-      ++stats().days_dropped;
-      continue;
-    }
-    if (rng_.chance(config_.burst_outage_rate)) {
-      outage_days_left_ = static_cast<int>(
-          rng_.uniform(1, std::max(1, config_.burst_outage_max_days))) - 1;
-      ++stats().days_dropped;
-      diagnose(Severity::kError, "fetch-burst-outage",
-               "archive unreachable for " +
-                   std::to_string(outage_days_left_ + 1) + " day(s)",
-               day);
-      continue;
-    }
-
-    // Transient fetch failure: retry with the configured budget; if every
-    // attempt fails the day is lost.
-    if (rng_.chance(config_.drop_day_rate)) {
-      bool recovered = false;
-      for (int attempt = 0; attempt < config_.fetch_max_retries; ++attempt) {
-        ++stats().fetch_retries;
-        if (rng_.chance(config_.retry_success_rate)) {
-          recovered = true;
-          break;
-        }
-      }
-      if (!recovered) {
-        ++stats().fetch_failures;
-        ++stats().days_dropped;
-        diagnose(Severity::kError, "fetch-retries-exhausted",
-                 "fetch failed after " +
-                     std::to_string(config_.fetch_max_retries) + " retries",
-                 day);
-        continue;
-      }
-      diagnose(Severity::kInfo, "fetch-retried",
-               "fetch succeeded on retry", day);
-    }
-
-    // One channel arrives unusable: its delta is gone for good, exactly like
-    // a file that downloads but fails integrity checks.
-    if (rng_.chance(config_.corrupt_channel_rate)) {
-      dele::ChannelDelta& channel =
-          rng_.chance(0.5) ? observation->extended : observation->regular;
-      if (channel.condition == dele::FileCondition::kPresent) {
-        channel.condition = dele::FileCondition::kCorrupt;
-        channel.changes.clear();
-        channel.duplicates.clear();
-        ++stats().channels_corrupted;
-        diagnose(Severity::kWarning, "fetch-channel-corrupt",
-                 "channel failed integrity check", day);
-      }
-    }
-
-    // The day arrives twice (mirror lag, double cron fire).
-    if (rng_.chance(config_.duplicate_day_rate)) {
-      held_.push_back(*observation);
-      ++stats().days_duplicated;
-      diagnose(Severity::kWarning, "fetch-duplicate-day",
-               "day delivered twice", day);
-    }
-
-    // The day and its successor swap places in the download order.
-    if (rng_.chance(config_.reorder_rate)) {
-      std::optional<dele::DayObservation> successor = inner_->next();
-      if (successor) {
-        ++stats().days_input;
-        ++stats().days_reordered;
-        diagnose(Severity::kWarning, "fetch-out-of-order",
-                 "day delivered after its successor", day);
-        held_.push_front(std::move(*observation));
-        observation = std::move(successor);
-      }
-    }
-
-    ++stats().days_delivered;
-    return observation;
-  }
-}
 
 std::size_t corrupt_buffer(std::vector<std::uint8_t>& bytes, util::Rng& rng,
                            const ChaosConfig& config, ErrorSink* sink) {

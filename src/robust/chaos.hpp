@@ -1,23 +1,21 @@
 // Deterministic fault injection for the ingestion path.
 //
 // The paper's pipeline earns its keep by surviving 17 years of broken
-// archives; this module manufactures the *transport and format* faults the
-// simulator's semantic defect injector (rirsim::ErrorInjector, 3.1 defects)
-// does not model: fetches that fail and must be retried, whole-day outages,
-// days delivered twice or out of order, and byte-level corruption of MRT
-// buffers and delegation-file text. Everything is seeded through util::Rng,
-// so a chaos run is exactly reproducible — the property the differential
-// and degradation tests depend on.
+// archives; this module manufactures the *format* faults the simulator's
+// semantic defect injector (rirsim::ErrorInjector, 3.1 defects) does not
+// model: byte-level corruption of MRT buffers and delegation-file text,
+// plus the shared ChaosConfig knob block. The transport-level decorator
+// that replays these rates against a live archive stream is
+// dele::FaultStream (delegation/fault_stream.hpp) — it consumes
+// DayObservation, which sits above this layer. Everything is seeded through
+// util::Rng, so a chaos run is exactly reproducible — the property the
+// differential and degradation tests depend on.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "delegation/archive.hpp"
 #include "robust/error.hpp"
 #include "util/rng.hpp"
 
@@ -28,7 +26,7 @@ namespace pl::robust {
 struct ChaosConfig {
   std::uint64_t seed = 99;
 
-  // Stream-level faults (FaultStream).
+  // Stream-level faults (dele::FaultStream).
   double drop_day_rate = 0.0;       ///< transient fetch failure for one day
   int fetch_max_retries = 3;        ///< retry budget per failed fetch
   double retry_success_rate = 0.6;  ///< per-attempt success probability
@@ -57,36 +55,6 @@ struct ChaosConfig {
     config.garbage_rate = rate;
     return config;
   }
-};
-
-/// An ArchiveStream decorator that injects transport faults between a
-/// pristine stream and its consumer. Counter updates go to the sink's
-/// counter block when a sink is given, else to an internal block readable
-/// via `counters()`; diagnostics go to the sink when present.
-class FaultStream final : public dele::ArchiveStream {
- public:
-  FaultStream(std::unique_ptr<dele::ArchiveStream> inner, ChaosConfig config,
-              ErrorSink* sink = nullptr);
-
-  asn::Rir registry() const noexcept override;
-
-  std::optional<dele::DayObservation> next() override;
-
-  /// Counter block used when no sink was supplied.
-  const RobustnessReport& counters() const noexcept { return local_; }
-
- private:
-  RobustnessReport& stats() noexcept;
-  void diagnose(Severity severity, std::string code, std::string message,
-                util::Day day);
-
-  std::unique_ptr<dele::ArchiveStream> inner_;
-  ChaosConfig config_;
-  ErrorSink* sink_;
-  util::Rng rng_;
-  std::deque<dele::DayObservation> held_;  ///< duplicated / displaced days
-  int outage_days_left_ = 0;
-  RobustnessReport local_;
 };
 
 /// Corrupt a binary buffer in place: maybe truncate at a random offset, then

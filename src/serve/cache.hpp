@@ -24,7 +24,11 @@
 
 namespace pl::serve {
 
+namespace detail {
+
 /// Mix bits so nearby keys land on different shards (splitmix64 finalizer).
+/// Implementation detail of ShardedLruCache's shard selection, not part of
+/// the serve API surface.
 inline std::uint64_t mix_key(std::uint64_t key) noexcept {
   key ^= key >> 30;
   key *= 0xBF58476D1CE4E5B9ULL;
@@ -33,6 +37,8 @@ inline std::uint64_t mix_key(std::uint64_t key) noexcept {
   key ^= key >> 31;
   return key;
 }
+
+}  // namespace detail
 
 template <typename Value>
 class ShardedLruCache {
@@ -82,7 +88,7 @@ class ShardedLruCache {
   /// Shard a key maps to — pure key math, so the flight recorder can tag
   /// events with the shard even when caching is disabled.
   std::size_t shard_index(std::uint64_t key) const noexcept {
-    return mix_key(key) & (shards_.size() - 1);
+    return detail::mix_key(key) & (shards_.size() - 1);
   }
 
   void clear() {
@@ -113,7 +119,7 @@ class ShardedLruCache {
   };
 
   Shard& shard_for(std::uint64_t key) noexcept {
-    return *shards_[mix_key(key) & (shards_.size() - 1)];
+    return *shards_[detail::mix_key(key) & (shards_.size() - 1)];
   }
 
   std::size_t per_shard_capacity_ = 0;

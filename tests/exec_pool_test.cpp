@@ -120,6 +120,22 @@ TEST(ThreadPool, ParallelForIsDeterministicAcrossThreadCounts) {
   EXPECT_EQ(serial, compute(8));
 }
 
+TEST(GlobalPool, DirectKnobRebuildsTheSharedPool) {
+  // Exercise the public knobs themselves, not just the ScopedThreads RAII
+  // wrapper: set_global_threads swaps the worker set and global_pool() hands
+  // back the rebuilt pool.
+  const int before = current_threads();
+  set_global_threads(2);
+  EXPECT_EQ(global_pool().size(), 2);
+  std::atomic<std::size_t> items{0};
+  global_pool().parallel_for(64, [&](std::size_t begin, std::size_t end) {
+    items += end - begin;
+  });
+  EXPECT_EQ(items.load(), 64u);
+  set_global_threads(before);
+  EXPECT_EQ(current_threads(), before);
+}
+
 TEST(GlobalPool, ScopedThreadsOverridesAndRestores) {
   const int before = current_threads();
   {

@@ -287,6 +287,18 @@ TEST(DatasetIo, CsvHasHeaderAndRows) {
   ASSERT_EQ(lines.size(), 2u);
   EXPECT_NE(lines[0].find("reg_date"), std::string_view::npos);
   EXPECT_NE(lines[1].find("2000-01-01"), std::string_view::npos);
+
+  OpDataset op;
+  op.lifetimes.push_back(
+      OpLifetime{asn::Asn{1}, DayInterval{make_day(2000, 1, 2),
+                                          make_day(2000, 2, 2)}});
+  std::ostringstream op_out;
+  ASSERT_TRUE(save_op_csv(op_out, op).ok());
+  const std::string op_text = op_out.str();
+  const auto op_lines = util::lines(op_text);
+  ASSERT_EQ(op_lines.size(), 2u);
+  EXPECT_NE(op_lines[0].find("start_date"), std::string_view::npos);
+  EXPECT_NE(op_lines[1].find("2000-01-02"), std::string_view::npos);
 }
 
 }  // namespace

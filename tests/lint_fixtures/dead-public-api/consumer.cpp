@@ -1,0 +1,10 @@
+// Cross-TU consumer for the dead-public-api pass fixture; linted as
+// src/other/use.cpp. The reference from a second translation unit is what
+// keeps the header's helper alive.
+#include "widget/api.hpp"
+
+namespace pl::other {
+
+int use_helper() { return pl::widget::helper_answer() * 2; }
+
+}  // namespace pl::other

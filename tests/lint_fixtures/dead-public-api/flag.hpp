@@ -1,0 +1,9 @@
+// Dead-public-api flag fixture; linted as src/widget/api.hpp with no other
+// file referencing the helper: an exported free function nobody calls.
+#pragma once
+
+namespace pl::widget {
+
+inline int helper_answer() { return 42; }
+
+}  // namespace pl::widget

@@ -1,0 +1,19 @@
+// Determinism-taint flag fixture; linted as src/util/stamp.cpp. The clock
+// read itself is allow(nondet-time)'d — the per-file rule is satisfied, but
+// the whole-program pass must still taint the sink function AND its caller,
+// because nothing declares the boundary deterministic-by-construction.
+#include <chrono>
+
+namespace pl::util {
+
+double stamp_ms() {
+  // pl-lint: allow(nondet-time) fixture sink: the taint pass must still
+  // see the clock read behind this per-file suppression
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double stamp_plus_one() { return stamp_ms() + 1.0; }
+
+}  // namespace pl::util

@@ -1,0 +1,18 @@
+// Determinism-taint pass fixture; linted as src/util/stamp.cpp. The det-ok
+// annotation declares the sink function a deterministic boundary, which
+// clears it and everything that calls it.
+#include <chrono>
+
+namespace pl::util {
+
+// pl-lint: det-ok(fixture boundary: the stamp feeds only a log line)
+double stamp_ms() {
+  // pl-lint: allow(nondet-time) fixture sink behind a declared boundary
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double stamp_plus_one() { return stamp_ms() + 1.0; }
+
+}  // namespace pl::util

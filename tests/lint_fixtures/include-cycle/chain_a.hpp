@@ -1,0 +1,11 @@
+// Include-cycle pass fixture: a plain acyclic chain; linted as
+// src/util/chain_a.hpp.
+#pragma once
+
+#include "util/chain_b.hpp"
+
+namespace pl::util {
+
+inline int chain_a_value() { return pl::util::chain_b_value() + 1; }
+
+}  // namespace pl::util

@@ -1,0 +1,8 @@
+// Leaf of the include-cycle pass fixture; linted as src/util/chain_b.hpp.
+#pragma once
+
+namespace pl::util {
+
+inline int chain_b_value() { return 2; }
+
+}  // namespace pl::util

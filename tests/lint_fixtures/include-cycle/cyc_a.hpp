@@ -1,0 +1,11 @@
+// Half of the include-cycle flag fixture; linted as src/util/cyc_a.hpp.
+// cyc_a -> cyc_b -> cyc_a must flag once, anchored here (smallest member).
+#pragma once
+
+#include "util/cyc_b.hpp"
+
+namespace pl::util {
+
+inline int cyc_a_value() { return 1; }
+
+}  // namespace pl::util

@@ -1,0 +1,11 @@
+// Other half of the include-cycle flag fixture; linted as
+// src/util/cyc_b.hpp.
+#pragma once
+
+#include "util/cyc_a.hpp"
+
+namespace pl::util {
+
+inline int cyc_b_value() { return pl::util::cyc_a_value() + 1; }
+
+}  // namespace pl::util

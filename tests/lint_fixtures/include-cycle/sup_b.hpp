@@ -1,0 +1,11 @@
+// Other half of the include-cycle suppression fixture; linted as
+// src/util/sup_b.hpp.
+#pragma once
+
+#include "util/sup_a.hpp"
+
+namespace pl::util {
+
+inline int sup_b_value() { return pl::util::sup_a_value() + 1; }
+
+}  // namespace pl::util

@@ -1,0 +1,11 @@
+// Linted as src/low/widget.hpp under the manifest "low < high": including
+// upward from low into high must flag.
+#pragma once
+
+#include "high/util.hpp"
+
+namespace pl::low {
+
+inline int widget_size() { return pl::high::util_size() + 1; }
+
+}  // namespace pl::low

@@ -1,0 +1,9 @@
+// Include target for the layer-violation fixtures; linted as
+// src/high/util.hpp.
+#pragma once
+
+namespace pl::high {
+
+inline int util_size() { return 4; }
+
+}  // namespace pl::high

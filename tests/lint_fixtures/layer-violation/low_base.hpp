@@ -1,0 +1,9 @@
+// Include target for the layer-violation pass fixture; linted as
+// src/low/base.hpp.
+#pragma once
+
+namespace pl::low {
+
+inline int base_size() { return 2; }
+
+}  // namespace pl::low

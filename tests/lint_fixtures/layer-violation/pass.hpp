@@ -1,0 +1,11 @@
+// Linted as src/high/widget.hpp under the manifest "low < high": higher
+// layers may include lower ones, so this must stay clean.
+#pragma once
+
+#include "low/base.hpp"
+
+namespace pl::high {
+
+inline int widget_size() { return pl::low::base_size() + 1; }
+
+}  // namespace pl::high

@@ -1,0 +1,14 @@
+// Linted as src/low/widget.hpp under the manifest "low < high": the upward
+// include is justified in place, so the finding is absorbed into the
+// suppression budget instead of failing the gate.
+#pragma once
+
+// pl-lint: allow(layer-violation) fixture: transitional include while the
+// widget migrates up a layer
+#include "high/util.hpp"
+
+namespace pl::low {
+
+inline int widget_size() { return pl::high::util_size() + 1; }
+
+}  // namespace pl::low

@@ -6,21 +6,32 @@
 // scoping (line, block, file-wide, unused budget) and the JSON report
 // round-trip are locked in alongside.
 
+#include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "lint.hpp"
+#include "model.hpp"
 
 namespace {
 
+using pl::lint::FileModel;
 using pl::lint::Finding;
+using pl::lint::LayerManifest;
+using pl::lint::ProgramAnalysis;
 using pl::lint::Report;
+using pl::lint::analyze_program;
+using pl::lint::extract_file_model;
 using pl::lint::lint_source;
+using pl::lint::parse_layers;
 
 std::string read_fixture(const std::string& relative) {
   const std::string path = std::string(PL_LINT_FIXTURES) + "/" + relative;
@@ -89,8 +100,18 @@ const std::map<std::string, FixtureCase>& fixture_cases() {
   return cases;
 }
 
+/// The whole-program rules are exercised through extract_file_model +
+/// analyze_program below rather than lint_source, so they carry their own
+/// fixture directories outside fixture_cases().
+const std::set<std::string>& model_rule_fixtures() {
+  static const std::set<std::string> rules = {
+      "layer-violation", "include-cycle", "determinism-taint",
+      "dead-public-api"};
+  return rules;
+}
+
 TEST(LintFixtures, EveryCatalogRuleHasAFixturePair) {
-  std::set<std::string> covered;
+  std::set<std::string> covered = model_rule_fixtures();
   for (const auto& [rule, unused] : fixture_cases()) covered.insert(rule);
   for (const pl::lint::RuleInfo& rule : pl::lint::rule_catalog())
     EXPECT_TRUE(covered.contains(std::string(rule.id)))
@@ -215,6 +236,279 @@ TEST(LintReport, JsonParserRejectsGarbageAndForeignSchemas) {
   EXPECT_FALSE(pl::lint::report_from_json("not json").has_value());
   EXPECT_FALSE(
       pl::lint::report_from_json("{\"schema\": \"other/9\"}").has_value());
+}
+
+TEST(LintReport, TimingBlockLandsInTheJsonReport) {
+  const Report report = lint_source(
+      "src/widget/pass.cpp", read_fixture("naked-new/pass.cpp"));
+  const std::map<std::string, double> timing = {{"analyze", 1.25},
+                                                {"extract", 12.5}};
+  const std::string json =
+      pl::lint::report_json(report, "/virtual/root", &timing);
+  EXPECT_NE(json.find("\"timing_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"extract\""), std::string::npos);
+  EXPECT_NE(json.find("12.5"), std::string::npos);
+  // Omitting the block keeps the report schema identical to older readers.
+  EXPECT_EQ(pl::lint::report_json(report, "/virtual/root")
+                .find("\"timing_ms\""),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-program passes, driven through extract_file_model + analyze_program
+// over small virtual projects assembled from fixture files.
+
+FileModel model_of(const std::string& fixture, const std::string& virt) {
+  return extract_file_model(virt, read_fixture(fixture));
+}
+
+int analysis_count(const ProgramAnalysis& analysis, const std::string& rule) {
+  return count_rule(analysis.report, rule);
+}
+
+TEST(LintLayers, UpwardIncludeFlagsDownwardIncludePasses) {
+  const auto manifest = parse_layers("low < high");
+  ASSERT_TRUE(manifest.has_value());
+
+  std::vector<FileModel> flagged;
+  flagged.push_back(
+      model_of("layer-violation/flag.hpp", "src/low/widget.hpp"));
+  flagged.push_back(
+      model_of("layer-violation/high_util.hpp", "src/high/util.hpp"));
+  const ProgramAnalysis bad = analyze_program(flagged, *manifest);
+  ASSERT_EQ(analysis_count(bad, "layer-violation"), 1);
+  const Finding& finding = bad.report.findings[0];
+  EXPECT_EQ(finding.file, "src/low/widget.hpp");
+  EXPECT_NE(finding.message.find("must not include src/high"),
+            std::string::npos);
+
+  std::vector<FileModel> clean;
+  clean.push_back(
+      model_of("layer-violation/pass.hpp", "src/high/widget.hpp"));
+  clean.push_back(
+      model_of("layer-violation/low_base.hpp", "src/low/base.hpp"));
+  EXPECT_EQ(analysis_count(analyze_program(clean, *manifest),
+                           "layer-violation"),
+            0);
+}
+
+TEST(LintLayers, JustifiedAllowAbsorbsTheViolationIntoTheBudget) {
+  const auto manifest = parse_layers("low < high");
+  ASSERT_TRUE(manifest.has_value());
+  std::vector<FileModel> models;
+  models.push_back(
+      model_of("layer-violation/suppressed.hpp", "src/low/widget.hpp"));
+  models.push_back(
+      model_of("layer-violation/high_util.hpp", "src/high/util.hpp"));
+  const ProgramAnalysis analysis = analyze_program(models, *manifest);
+  EXPECT_EQ(analysis_count(analysis, "layer-violation"), 0);
+  ASSERT_TRUE(analysis.report.suppressions.contains("layer-violation"));
+  EXPECT_EQ(analysis.report.suppressions.at("layer-violation").used, 1);
+}
+
+TEST(LintLayers, SubsystemMissingFromManifestIsItselfAFinding) {
+  const auto manifest = parse_layers("low < high");
+  ASSERT_TRUE(manifest.has_value());
+  std::vector<FileModel> models;
+  // The flag fixture linted under an unlisted subsystem name.
+  models.push_back(
+      model_of("layer-violation/flag.hpp", "src/mystery/widget.hpp"));
+  models.push_back(
+      model_of("layer-violation/high_util.hpp", "src/high/util.hpp"));
+  const ProgramAnalysis analysis = analyze_program(models, *manifest);
+  ASSERT_EQ(analysis_count(analysis, "layer-violation"), 1);
+  EXPECT_NE(analysis.report.findings[0].message.find("not listed"),
+            std::string::npos);
+}
+
+TEST(LintCycles, MutualIncludeFlagsOnceAnchoredAtSmallestMember) {
+  std::vector<FileModel> models;
+  models.push_back(model_of("include-cycle/cyc_a.hpp", "src/util/cyc_a.hpp"));
+  models.push_back(model_of("include-cycle/cyc_b.hpp", "src/util/cyc_b.hpp"));
+  const ProgramAnalysis analysis = analyze_program(models, LayerManifest{});
+  ASSERT_EQ(analysis_count(analysis, "include-cycle"), 1);
+  const Finding& finding = analysis.report.findings[0];
+  EXPECT_EQ(finding.file, "src/util/cyc_a.hpp");
+  EXPECT_NE(finding.message.find("src/util/cyc_a.hpp -> src/util/cyc_b.hpp"),
+            std::string::npos);
+}
+
+TEST(LintCycles, AcyclicChainPassesAndAllowAbsorbs) {
+  std::vector<FileModel> chain;
+  chain.push_back(
+      model_of("include-cycle/chain_a.hpp", "src/util/chain_a.hpp"));
+  chain.push_back(
+      model_of("include-cycle/chain_b.hpp", "src/util/chain_b.hpp"));
+  EXPECT_EQ(analysis_count(analyze_program(chain, LayerManifest{}),
+                           "include-cycle"),
+            0);
+
+  std::vector<FileModel> suppressed;
+  suppressed.push_back(
+      model_of("include-cycle/sup_a.hpp", "src/util/sup_a.hpp"));
+  suppressed.push_back(
+      model_of("include-cycle/sup_b.hpp", "src/util/sup_b.hpp"));
+  const ProgramAnalysis analysis =
+      analyze_program(suppressed, LayerManifest{});
+  EXPECT_EQ(analysis_count(analysis, "include-cycle"), 0);
+  ASSERT_TRUE(analysis.report.suppressions.contains("include-cycle"));
+  EXPECT_EQ(analysis.report.suppressions.at("include-cycle").used, 1);
+}
+
+TEST(LintTaint, SinkAndTransitiveCallerFlagUntilDetOkDeclaresTheBoundary) {
+  std::vector<FileModel> flagged;
+  flagged.push_back(
+      model_of("determinism-taint/flag.cpp", "src/util/stamp.cpp"));
+  const ProgramAnalysis bad = analyze_program(flagged, LayerManifest{});
+  EXPECT_EQ(analysis_count(bad, "determinism-taint"), 2)
+      << "both the sink function and its caller must taint";
+  ASSERT_EQ(bad.taint.size(), 2u);
+  for (const pl::lint::TaintWitness& witness : bad.taint) {
+    EXPECT_EQ(witness.sink.kind, "clock");
+    EXPECT_EQ(witness.path.back(), "pl::util::stamp_ms");
+  }
+
+  std::vector<FileModel> clean;
+  clean.push_back(
+      model_of("determinism-taint/pass.cpp", "src/util/stamp.cpp"));
+  const ProgramAnalysis good = analyze_program(clean, LayerManifest{});
+  EXPECT_EQ(analysis_count(good, "determinism-taint"), 0);
+  EXPECT_EQ(good.det_ok_used, 1)
+      << "the boundary annotation must count as used";
+}
+
+TEST(LintDeadApi, UnreferencedHeaderHelperFlagsCrossTuReferenceClears) {
+  std::vector<FileModel> flagged;
+  flagged.push_back(
+      model_of("dead-public-api/flag.hpp", "src/widget/api.hpp"));
+  const ProgramAnalysis bad = analyze_program(flagged, LayerManifest{});
+  ASSERT_EQ(analysis_count(bad, "dead-public-api"), 1);
+  EXPECT_NE(
+      bad.report.findings[0].message.find("pl::widget::helper_answer"),
+      std::string::npos);
+  ASSERT_EQ(bad.dead.size(), 1u);
+  EXPECT_EQ(bad.dead[0].qname, "pl::widget::helper_answer");
+
+  // The two-file mini-project: a consumer in another TU keeps it alive.
+  std::vector<FileModel> alive;
+  alive.push_back(model_of("dead-public-api/flag.hpp", "src/widget/api.hpp"));
+  alive.push_back(
+      model_of("dead-public-api/consumer.cpp", "src/other/use.cpp"));
+  EXPECT_EQ(analysis_count(analyze_program(alive, LayerManifest{}),
+                           "dead-public-api"),
+            0);
+}
+
+TEST(LintDeadApi, JustifiedAllowAbsorbsTheFinding) {
+  std::vector<FileModel> models;
+  models.push_back(
+      model_of("dead-public-api/suppressed.hpp", "src/widget/api.hpp"));
+  const ProgramAnalysis analysis = analyze_program(models, LayerManifest{});
+  EXPECT_EQ(analysis_count(analysis, "dead-public-api"), 0);
+  ASSERT_TRUE(analysis.report.suppressions.contains("dead-public-api"));
+  EXPECT_EQ(analysis.report.suppressions.at("dead-public-api").used, 1);
+}
+
+TEST(LintGraph, GoldenRoundTripPreservesTheProgramModel) {
+  const auto manifest = parse_layers("util < low < high");
+  ASSERT_TRUE(manifest.has_value());
+  std::vector<FileModel> models;
+  models.push_back(
+      model_of("layer-violation/flag.hpp", "src/low/widget.hpp"));
+  models.push_back(
+      model_of("layer-violation/high_util.hpp", "src/high/util.hpp"));
+  models.push_back(
+      model_of("determinism-taint/flag.cpp", "src/util/stamp.cpp"));
+  const ProgramAnalysis analysis = analyze_program(models, *manifest);
+  ASSERT_FALSE(analysis.edges.empty());
+  ASSERT_FALSE(analysis.taint.empty());
+
+  const std::string json =
+      pl::lint::graph_json(analysis, *manifest, models, "/virtual/root");
+  EXPECT_NE(json.find("\"pl-graph/1\""), std::string::npos);
+
+  const auto doc = pl::lint::graph_from_json(json);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->edges, analysis.edges);
+  EXPECT_EQ(doc->taint, analysis.taint);
+  EXPECT_EQ(doc->dead, analysis.dead);
+  EXPECT_EQ(doc->functions, analysis.functions);
+  EXPECT_EQ(doc->calls, analysis.calls);
+  const std::vector<std::vector<std::string>> levels = {
+      {"util"}, {"low"}, {"high"}};
+  EXPECT_EQ(doc->levels, levels);
+  bool saw_stamp = false;
+  for (const auto& [file, subsystem] : doc->nodes)
+    if (file == "src/util/stamp.cpp") {
+      EXPECT_EQ(subsystem, "util");
+      saw_stamp = true;
+    }
+  EXPECT_TRUE(saw_stamp);
+
+  EXPECT_FALSE(pl::lint::graph_from_json("{\"schema\": \"other/9\"}")
+                   .has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Performance contract: re-linting an unchanged tree through the cache must
+// stay within 2x the old single-pass (per-file rules only) time — the
+// whole-program model cannot make the warm gate feel slower than the
+// pre-model linter.
+
+TEST(LintTiming, WarmCacheStaysWithinTwiceTheSinglePassTime) {
+  namespace fs = std::filesystem;
+  const fs::path root = PL_REPO_ROOT;
+  std::vector<std::pair<std::string, std::string>> files;
+  for (const char* top : {"src", "tools"}) {
+    for (fs::recursive_directory_iterator it(root / top), end; it != end;
+         ++it) {
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      std::ifstream in(it->path(), std::ios::binary);
+      std::ostringstream content;
+      content << in.rdbuf();
+      files.emplace_back(
+          fs::relative(it->path(), root).generic_string(), content.str());
+    }
+  }
+  ASSERT_GT(files.size(), 50u) << "repo scan came up implausibly short";
+
+  // pl-lint: allow(nondet-time) wall-clock measurement is the point of this
+  // timing-contract test
+  using Clock = std::chrono::steady_clock;
+  const auto ms_since = [](Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+  };
+
+  // Pre-PR behaviour: per-file rules only, no model, no cache.
+  const auto single_start = Clock::now();
+  for (const auto& [relpath, content] : files)
+    lint_source(relpath, content);
+  const double single_ms = ms_since(single_start);
+
+  // Cold: full model extraction (includes the per-file rules).
+  std::vector<FileModel> models;
+  models.reserve(files.size());
+  for (const auto& [relpath, content] : files)
+    models.push_back(extract_file_model(relpath, content));
+
+  // Warm: hash-check every file against the cached model, then rerun only
+  // the whole-program analysis — what `pl_lint_tree` does on a no-change
+  // rebuild.
+  const auto warm_start = Clock::now();
+  int reused = 0;
+  for (std::size_t i = 0; i < files.size(); ++i)
+    if (pl::lint::content_hash(files[i].second) == models[i].hash) ++reused;
+  const ProgramAnalysis analysis = analyze_program(models, LayerManifest{});
+  const double warm_ms = ms_since(warm_start);
+
+  EXPECT_EQ(reused, static_cast<int>(files.size()));
+  EXPECT_GT(analysis.functions, 0);
+  EXPECT_LE(warm_ms, 2.0 * single_ms + 20.0)
+      << "warm relint took " << warm_ms << "ms vs single-pass " << single_ms
+      << "ms";
 }
 
 }  // namespace

@@ -1,0 +1,93 @@
+// Enum→name tables across the taxonomy and diagnostics layers. The tables
+// are hand-maintained lookup arrays or switches next to their enums, so they
+// can silently drift when an enumerator is added: every table must cover its
+// whole value range with distinct, kebab-or-plain lowercase names, and the
+// ones with an explicit unknown fallback must actually produce it.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "bgpsim/behavior.hpp"
+#include "bgpsim/misconfig.hpp"
+#include "joint/outside.hpp"
+#include "joint/taxonomy.hpp"
+#include "obs/flight.hpp"
+#include "robust/error.hpp"
+#include "util/status.hpp"
+
+namespace pl {
+namespace {
+
+// Names must be usable as CSV/JSON column values verbatim.
+bool presentable(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name)
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '_'))
+      return false;
+  return true;
+}
+
+template <typename Enum, typename NameFn>
+void expect_distinct_names(int count, NameFn name_of) {
+  std::set<std::string> seen;
+  for (int value = 0; value < count; ++value) {
+    const std::string name(name_of(static_cast<Enum>(value)));
+    EXPECT_TRUE(presentable(name)) << "value " << value << ": '" << name
+                                   << "'";
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate name '" << name << "' at value " << value;
+  }
+}
+
+TEST(Naming, BehaviorKindsAreDistinct) {
+  expect_distinct_names<bgpsim::BehaviorKind>(
+      static_cast<int>(bgpsim::BehaviorKind::kDormantThenAwake) + 1,
+      bgpsim::behavior_name);
+}
+
+TEST(Naming, MisconfigKindsAreDistinct) {
+  expect_distinct_names<bgpsim::MisconfigKind>(
+      static_cast<int>(bgpsim::MisconfigKind::kUnexplained) + 1,
+      bgpsim::misconfig_name);
+}
+
+TEST(Naming, NeverAllocatedKindsAreDistinct) {
+  expect_distinct_names<joint::NeverAllocatedKind>(
+      static_cast<int>(joint::NeverAllocatedKind::kUnclassified) + 1,
+      joint::never_allocated_kind_name);
+}
+
+TEST(Naming, TaxonomyCategoriesAreDistinct) {
+  expect_distinct_names<joint::Category>(
+      static_cast<int>(joint::Category::kOutsideDelegation) + 1,
+      joint::category_name);
+}
+
+TEST(Naming, RobustStagesAreDistinct) {
+  expect_distinct_names<robust::Stage>(
+      static_cast<int>(robust::kStageCount), robust::stage_name);
+}
+
+TEST(Naming, StatusCodesAreDistinct) {
+  expect_distinct_names<StatusCode>(
+      static_cast<int>(StatusCode::kInternal) + 1, status_code_name);
+}
+
+TEST(Naming, EventKindsAreDistinctAndUnknownFallsBack) {
+  std::set<std::string> seen;
+  for (std::uint32_t kind = 1;
+       kind <= static_cast<std::uint32_t>(obs::EventKind::kStage); ++kind) {
+    const std::string name(obs::event_kind_name(kind));
+    EXPECT_TRUE(presentable(name)) << "kind " << kind;
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate '" << name << "'";
+  }
+  EXPECT_EQ(obs::event_kind_name(0), "?");
+  EXPECT_EQ(obs::event_kind_name(999), "?");
+}
+
+}  // namespace
+}  // namespace pl

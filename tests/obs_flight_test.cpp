@@ -117,6 +117,9 @@ TEST(FlightRing, ConcurrentRecordLosesNothingBelowCapacity) {
               static_cast<std::uint64_t>(kThreads * kPerThread));
     EXPECT_EQ(concurrent.overwritten(), 0u);
     EXPECT_EQ(concurrent.attribution(), serial.attribution());
+    // The view honours the documented ordering contract, not arrival order.
+    const std::vector<FlightEvent> view = concurrent.attribution();
+    EXPECT_TRUE(std::is_sorted(view.begin(), view.end(), attribution_less));
   } else {
     EXPECT_TRUE(concurrent.attribution().empty());
   }

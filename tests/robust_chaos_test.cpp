@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "delegation/fault_stream.hpp"
 #include "pipeline/pipeline.hpp"
 #include "restore/pipeline.hpp"
 #include "rirsim/inject.hpp"
@@ -17,6 +18,7 @@ namespace pl::robust {
 namespace {
 
 using dele::DayObservation;
+using dele::FaultStream;
 
 constexpr double kScale = 0.01;
 constexpr asn::Rir kRir = asn::Rir::kApnic;

@@ -8,33 +8,31 @@
 #include <utility>
 
 #include "bench/common.hpp"
+#include "internal.hpp"
 
 namespace pl::lint {
 
-namespace {
+namespace detail {
 
 // ---------------------------------------------------------------------------
-// Tokenizer. Comments and literals never reach the rule passes as code;
-// comments are kept separately (they carry the suppression directives) and
-// string literals keep their content (the naming rules inspect them).
+// Tokenizer.
 
-struct Token {
-  enum class Kind { kIdent, kNumber, kString, kChar, kPunct };
-  Kind kind;
-  std::string text;  ///< for kString: the unquoted content
-  int line;
-};
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
 
-struct Comment {
-  std::string text;
-  int line;  ///< line the comment ends on
-};
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
 
-struct Lexed {
-  std::vector<Token> tokens;
-  std::vector<Comment> comments;
-  std::vector<std::string> raw_lines;
-};
+bool is_header(std::string_view relpath) {
+  return ends_with(relpath, ".hpp") || ends_with(relpath, ".h");
+}
+
+namespace {
 
 bool ident_start(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
@@ -43,6 +41,8 @@ bool ident_start(char c) {
 bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
+
+}  // namespace
 
 Lexed lex(std::string_view text) {
   Lexed out;
@@ -193,13 +193,10 @@ Lexed lex(std::string_view text) {
 // Suppressions: `// pl-lint: allow(rule-a, rule-b)` silences findings from
 // the comment's own line through the first code line after the comment block
 // (so a multi-line justification still covers the statement it precedes);
-// `allow-file(...)` covers the file.
+// `allow-file(...)` covers the file; `det-ok(reason)` annotates the
+// enclosing function for the determinism-taint pass.
 
-struct Suppressions {
-  std::map<int, std::set<std::string>> by_line;  ///< line -> rule ids
-  std::set<std::string> file_wide;
-  std::map<std::string, SuppressionBudget> budget;
-};
+namespace {
 
 void parse_directive(std::string_view body, bool file_wide, int comment_line,
                      int through_line, Suppressions& out) {
@@ -217,6 +214,8 @@ void parse_directive(std::string_view body, bool file_wide, int comment_line,
       id.remove_suffix(1);
     if (!id.empty()) {
       ++out.budget[std::string(id)].declared;
+      out.spans.push_back(AllowSpan{std::string(id), comment_line,
+                                    through_line, file_wide});
       if (file_wide) {
         out.file_wide.insert(std::string(id));
       } else {
@@ -228,6 +227,8 @@ void parse_directive(std::string_view body, bool file_wide, int comment_line,
     list.remove_prefix(comma + 1);
   }
 }
+
+}  // namespace
 
 Suppressions parse_suppressions(const std::vector<Comment>& comments) {
   Suppressions out;
@@ -243,6 +244,16 @@ Suppressions parse_suppressions(const std::vector<Comment>& comments) {
     ++through;  // the first code line after the block
     const std::string_view rest =
         std::string_view(comment.text).substr(at + 8);
+    const std::size_t det_ok = rest.find("det-ok");
+    if (det_ok != std::string_view::npos) {
+      const std::size_t open = rest.find('(', det_ok);
+      const std::size_t close = rest.find(')', open);
+      std::string reason;
+      if (open != std::string_view::npos && close != std::string_view::npos)
+        reason = std::string(rest.substr(open + 1, close - open - 1));
+      out.det_ok.push_back(DetOk{comment.line, through, std::move(reason)});
+      continue;
+    }
     const std::size_t allow_file = rest.find("allow-file");
     if (allow_file != std::string_view::npos) {
       parse_directive(rest.substr(allow_file), /*file_wide=*/true,
@@ -258,37 +269,7 @@ Suppressions parse_suppressions(const std::vector<Comment>& comments) {
 }
 
 // ---------------------------------------------------------------------------
-// Path policy: which rules run where.
-
-bool starts_with(std::string_view text, std::string_view prefix) {
-  return text.size() >= prefix.size() &&
-         text.compare(0, prefix.size(), prefix) == 0;
-}
-
-bool ends_with(std::string_view text, std::string_view suffix) {
-  return text.size() >= suffix.size() &&
-         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
-             0;
-}
-
-bool is_header(std::string_view relpath) {
-  return ends_with(relpath, ".hpp") || ends_with(relpath, ".h");
-}
-
-/// Wall-clock whitelist: the trace layer and the latency histograms measure
-/// real time by design (their timings are documented as outside the
-/// determinism contract), and the bench/tool trees report human-facing
-/// durations.
-bool clock_whitelisted(std::string_view relpath) {
-  return relpath.find("obs/span.hpp") != std::string_view::npos ||
-         relpath.find("obs/latency.hpp") != std::string_view::npos ||
-         starts_with(relpath, "bench/") || starts_with(relpath, "tools/");
-}
-
-// ---------------------------------------------------------------------------
 // Shared token helpers.
-
-using Tokens = std::vector<Token>;
 
 bool is_ident(const Tokens& tokens, std::size_t i, std::string_view text) {
   return i < tokens.size() && tokens[i].kind == Token::Kind::kIdent &&
@@ -300,8 +281,6 @@ bool is_punct(const Tokens& tokens, std::size_t i, std::string_view text) {
          tokens[i].text == text;
 }
 
-/// True when tokens[i] is reached through a member/namespace qualifier that
-/// is not `std::` — e.g. `foo.time(...)`, `detail::rand(...)`.
 bool non_std_qualified(const Tokens& tokens, std::size_t i) {
   if (i == 0) return false;
   if (is_punct(tokens, i - 1, ".") || is_punct(tokens, i - 1, "->"))
@@ -311,8 +290,6 @@ bool non_std_qualified(const Tokens& tokens, std::size_t i) {
   return false;
 }
 
-/// Index just past a balanced `( ... )` starting at `open` (which must be
-/// `(`); tokens.size() when unbalanced.
 std::size_t skip_parens(const Tokens& tokens, std::size_t open) {
   int depth = 0;
   for (std::size_t i = open; i < tokens.size(); ++i) {
@@ -354,6 +331,127 @@ bool range_contains_ident(const Tokens& tokens, std::size_t begin,
     if (tokens[i].kind == Token::Kind::kIdent && tokens[i].text == text)
       return true;
   return false;
+}
+
+// Unordered-drain detection: iteration over an unordered container declared
+// in this translation unit. Hash-table iteration order is
+// implementation-defined, so any loop over one that feeds an exporter,
+// report, or output vector injects nondeterminism. The accepted idiom is the
+// sorted drain: collect keys, std::sort them (inside the loop's statement or
+// the one immediately following), then walk in key order.
+
+std::vector<DrainSite> find_unordered_drains(const Tokens& tokens) {
+  std::vector<DrainSite> out;
+
+  // Pass 1: names declared in this TU with an unordered container type.
+  std::set<std::string> unordered_names;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent) continue;
+    const std::string& type = tokens[i].text;
+    if (type != "unordered_map" && type != "unordered_set" &&
+        type != "unordered_multimap" && type != "unordered_multiset")
+      continue;
+    std::size_t j = i + 1;
+    if (is_punct(tokens, j, "<")) {  // skip the template argument list
+      int depth = 0;
+      for (; j < tokens.size(); ++j) {
+        if (is_punct(tokens, j, "<")) ++depth;
+        if (is_punct(tokens, j, ">") && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    while (is_punct(tokens, j, "&") || is_punct(tokens, j, "*") ||
+           is_ident(tokens, j, "const"))
+      ++j;
+    if (j < tokens.size() && tokens[j].kind == Token::Kind::kIdent &&
+        !is_punct(tokens, j + 1, "("))  // `(` ⇒ function returning one
+      unordered_names.insert(tokens[j].text);
+  }
+  if (unordered_names.empty()) return out;
+
+  // Pass 2: range-for statements whose range expression names one of them.
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!is_ident(tokens, i, "for") || !is_punct(tokens, i + 1, "(")) continue;
+    const std::size_t close = skip_parens(tokens, i + 1);
+    // Locate the `:` introducing the range expression (depth 1 only).
+    std::size_t colon = 0;
+    int depth = 0;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      if (is_punct(tokens, j, "(") || is_punct(tokens, j, "[") ||
+          is_punct(tokens, j, "{"))
+        ++depth;
+      if (is_punct(tokens, j, ")") || is_punct(tokens, j, "]") ||
+          is_punct(tokens, j, "}"))
+        --depth;
+      if (depth == 1 && is_punct(tokens, j, ":")) {
+        colon = j;
+        break;
+      }
+      if (depth == 1 && is_punct(tokens, j, ";")) break;  // classic for
+    }
+    if (colon == 0) continue;
+    // Only the top level of the range expression counts: a container name
+    // nested inside a call's argument list (`f(probe, &watch)`) is an
+    // argument, not the range being iterated.
+    std::string hit;
+    int range_depth = 1;
+    for (std::size_t j = colon + 1; j < close - 1; ++j) {
+      if (is_punct(tokens, j, "(") || is_punct(tokens, j, "[") ||
+          is_punct(tokens, j, "{"))
+        ++range_depth;
+      if (is_punct(tokens, j, ")") || is_punct(tokens, j, "]") ||
+          is_punct(tokens, j, "}"))
+        --range_depth;
+      if (range_depth == 1 && tokens[j].kind == Token::Kind::kIdent &&
+          unordered_names.contains(tokens[j].text) &&
+          !is_punct(tokens, j + 1, "(")) {
+        hit = tokens[j].text;
+        break;
+      }
+    }
+    if (hit.empty()) continue;
+    // Sorted-drain escape: `sort` inside the loop body or the statement
+    // immediately after it.
+    const std::size_t body_end = skip_statement(tokens, close);
+    const std::size_t next_end = skip_statement(tokens, body_end);
+    if (range_contains_ident(tokens, close, next_end, "sort")) continue;
+    out.push_back(DrainSite{i, tokens[i].line, hit});
+  }
+  return out;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::DrainSite;
+using detail::Lexed;
+using detail::Suppressions;
+using detail::Token;
+using detail::Tokens;
+using detail::ends_with;
+using detail::is_header;
+using detail::is_ident;
+using detail::is_punct;
+using detail::non_std_qualified;
+using detail::range_contains_ident;
+using detail::skip_parens;
+using detail::skip_statement;
+using detail::starts_with;
+
+// ---------------------------------------------------------------------------
+// Path policy: which rules run where.
+
+/// Wall-clock whitelist: the trace layer and the latency histograms measure
+/// real time by design (their timings are documented as outside the
+/// determinism contract), and the bench/tool trees report human-facing
+/// durations.
+bool clock_whitelisted(std::string_view relpath) {
+  return relpath.find("obs/span.hpp") != std::string_view::npos ||
+         relpath.find("obs/latency.hpp") != std::string_view::npos ||
+         starts_with(relpath, "bench/") || starts_with(relpath, "tools/");
 }
 
 // ---------------------------------------------------------------------------
@@ -442,96 +540,17 @@ void rule_nondet_time(const Context& ctx) {
 }
 
 // ---------------------------------------------------------------------------
-// unordered-drain: iteration over an unordered container declared in this
-// translation unit. Hash-table iteration order is implementation-defined, so
-// any loop over one that feeds an exporter, report, or output vector injects
-// nondeterminism. The accepted idiom is the sorted drain: collect keys,
-// std::sort them (inside the loop's statement or the one immediately
-// following), then walk in key order. Order-independent folds (e.g. keyed
+// unordered-drain: see detail::find_unordered_drains for the detection; the
+// rule is just the reporting half. Order-independent folds (e.g. keyed
 // inserts into a std::map) need an explicit allow() with a justification.
 
 void rule_unordered_drain(const Context& ctx) {
-  const Tokens& tokens = ctx.lexed->tokens;
-
-  // Pass 1: names declared in this TU with an unordered container type.
-  std::set<std::string> unordered_names;
-  for (std::size_t i = 0; i < tokens.size(); ++i) {
-    if (tokens[i].kind != Token::Kind::kIdent) continue;
-    const std::string& type = tokens[i].text;
-    if (type != "unordered_map" && type != "unordered_set" &&
-        type != "unordered_multimap" && type != "unordered_multiset")
-      continue;
-    std::size_t j = i + 1;
-    if (is_punct(tokens, j, "<")) {  // skip the template argument list
-      int depth = 0;
-      for (; j < tokens.size(); ++j) {
-        if (is_punct(tokens, j, "<")) ++depth;
-        if (is_punct(tokens, j, ">") && --depth == 0) {
-          ++j;
-          break;
-        }
-      }
-    }
-    while (is_punct(tokens, j, "&") || is_punct(tokens, j, "*") ||
-           is_ident(tokens, j, "const"))
-      ++j;
-    if (j < tokens.size() && tokens[j].kind == Token::Kind::kIdent &&
-        !is_punct(tokens, j + 1, "("))  // `(` ⇒ function returning one
-      unordered_names.insert(tokens[j].text);
-  }
-  if (unordered_names.empty()) return;
-
-  // Pass 2: range-for statements whose range expression names one of them.
-  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
-    if (!is_ident(tokens, i, "for") || !is_punct(tokens, i + 1, "(")) continue;
-    const std::size_t close = skip_parens(tokens, i + 1);
-    // Locate the `:` introducing the range expression (depth 1 only).
-    std::size_t colon = 0;
-    int depth = 0;
-    for (std::size_t j = i + 1; j < close; ++j) {
-      if (is_punct(tokens, j, "(") || is_punct(tokens, j, "[") ||
-          is_punct(tokens, j, "{"))
-        ++depth;
-      if (is_punct(tokens, j, ")") || is_punct(tokens, j, "]") ||
-          is_punct(tokens, j, "}"))
-        --depth;
-      if (depth == 1 && is_punct(tokens, j, ":")) {
-        colon = j;
-        break;
-      }
-      if (depth == 1 && is_punct(tokens, j, ";")) break;  // classic for
-    }
-    if (colon == 0) continue;
-    // Only the top level of the range expression counts: a container name
-    // nested inside a call's argument list (`f(probe, &watch)`) is an
-    // argument, not the range being iterated.
-    std::string hit;
-    int range_depth = 1;
-    for (std::size_t j = colon + 1; j < close - 1; ++j) {
-      if (is_punct(tokens, j, "(") || is_punct(tokens, j, "[") ||
-          is_punct(tokens, j, "{"))
-        ++range_depth;
-      if (is_punct(tokens, j, ")") || is_punct(tokens, j, "]") ||
-          is_punct(tokens, j, "}"))
-        --range_depth;
-      if (range_depth == 1 && tokens[j].kind == Token::Kind::kIdent &&
-          unordered_names.contains(tokens[j].text) &&
-          !is_punct(tokens, j + 1, "(")) {
-        hit = tokens[j].text;
-        break;
-      }
-    }
-    if (hit.empty()) continue;
-    // Sorted-drain escape: `sort` inside the loop body or the statement
-    // immediately after it.
-    const std::size_t body_end = skip_statement(tokens, close);
-    const std::size_t next_end = skip_statement(tokens, body_end);
-    if (range_contains_ident(tokens, close, next_end, "sort")) continue;
-    ctx.flag("unordered-drain", tokens[i].line,
-             "iteration over unordered container '" + hit +
+  for (const DrainSite& site :
+       detail::find_unordered_drains(ctx.lexed->tokens))
+    ctx.flag("unordered-drain", site.line,
+             "iteration over unordered container '" + site.name +
                  "' has implementation-defined order; drain via sorted keys "
                  "or justify with an allow() comment");
-  }
 }
 
 // ---------------------------------------------------------------------------
@@ -927,6 +946,17 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"query-path-untraced",
        "non-const QueryService/DurableService definitions in src/serve must "
        "open a span or record a flight/request event"},
+      {"layer-violation",
+       "include edges in src/ must point down the layers.txt DAG (equal "
+       "ranks only within the same subsystem)"},
+      {"include-cycle",
+       "the project include graph must stay acyclic (whole-program pass)"},
+      {"determinism-taint",
+       "src/ functions transitively reaching rand/clock/unordered-drain "
+       "sinks need a det-ok(reason) annotation on every path"},
+      {"dead-public-api",
+       "free functions exported by src/ headers need at least one cross-TU "
+       "reference (or a baseline entry with a reason)"},
   };
   return catalog;
 }
@@ -941,10 +971,8 @@ void Report::merge(const Report& other) {
   files_scanned += other.files_scanned;
 }
 
-Report lint_source(std::string_view relpath, std::string_view content) {
-  const Lexed lexed = lex(content);
-  const Suppressions suppressions = parse_suppressions(lexed.comments);
-
+Report detail::run_file_rules(std::string_view relpath, const Lexed& lexed,
+                              const Suppressions& suppressions) {
   Report report;
   report.files_scanned = 1;
   std::map<std::string, SuppressionBudget> budget = suppressions.budget;
@@ -967,11 +995,23 @@ Report lint_source(std::string_view relpath, std::string_view content) {
   return report;
 }
 
-std::string report_json(const Report& report, std::string_view root) {
+Report lint_source(std::string_view relpath, std::string_view content) {
+  const Lexed lexed = detail::lex(content);
+  const Suppressions suppressions = detail::parse_suppressions(lexed.comments);
+  return detail::run_file_rules(relpath, lexed, suppressions);
+}
+
+std::string report_json(const Report& report, std::string_view root,
+                        const std::map<std::string, double>* timing_ms) {
   bench::JsonWriter json(/*pretty=*/true);
   json.begin_object();
   json.key("schema").value("pl-lint/1");
   json.key("root").value(root);
+  if (timing_ms) {
+    json.key("timing_ms").begin_object();
+    for (const auto& [name, ms] : *timing_ms) json.key(name).value(ms, 3);
+    json.end_object();
+  }
   json.key("files_scanned")
       .value(static_cast<std::int64_t>(report.files_scanned));
   json.key("clean").value(report.clean());
@@ -1006,144 +1046,8 @@ std::string report_json(const Report& report, std::string_view root) {
   return json.str();
 }
 
-// ---------------------------------------------------------------------------
-// Minimal JSON reader for the round-trip (objects, arrays, strings, ints,
-// bools — exactly what report_json emits).
-
-namespace {
-
-struct JsonCursor {
-  std::string_view text;
-  std::size_t i = 0;
-  bool ok = true;
-
-  void skip_ws() {
-    while (i < text.size() &&
-           std::isspace(static_cast<unsigned char>(text[i])))
-      ++i;
-  }
-
-  bool consume(char c) {
-    skip_ws();
-    if (i < text.size() && text[i] == c) {
-      ++i;
-      return true;
-    }
-    ok = false;
-    return false;
-  }
-
-  bool peek(char c) {
-    skip_ws();
-    return i < text.size() && text[i] == c;
-  }
-
-  std::string string() {
-    skip_ws();
-    std::string out;
-    if (i >= text.size() || text[i] != '"') {
-      ok = false;
-      return out;
-    }
-    ++i;
-    while (i < text.size() && text[i] != '"') {
-      if (text[i] == '\\' && i + 1 < text.size()) {
-        ++i;
-        switch (text[i]) {
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'u':
-            if (i + 4 < text.size()) {
-              out += static_cast<char>(
-                  std::stoi(std::string(text.substr(i + 1, 4)), nullptr, 16));
-              i += 4;
-            }
-            break;
-          default: out += text[i];
-        }
-      } else {
-        out += text[i];
-      }
-      ++i;
-    }
-    if (i >= text.size()) ok = false;
-    ++i;
-    return out;
-  }
-
-  std::int64_t integer() {
-    skip_ws();
-    const std::size_t start = i;
-    if (i < text.size() && (text[i] == '-' || text[i] == '+')) ++i;
-    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i])))
-      ++i;
-    if (i == start) {
-      ok = false;
-      return 0;
-    }
-    return std::strtoll(std::string(text.substr(start, i - start)).c_str(),
-                        nullptr, 10);
-  }
-
-  bool boolean() {
-    skip_ws();
-    if (text.compare(i, 4, "true") == 0) {
-      i += 4;
-      return true;
-    }
-    if (text.compare(i, 5, "false") == 0) {
-      i += 5;
-      return false;
-    }
-    ok = false;
-    return false;
-  }
-
-  /// Skip any value (used for keys the reader does not model).
-  void skip_value() {
-    skip_ws();
-    if (i >= text.size()) {
-      ok = false;
-      return;
-    }
-    const char c = text[i];
-    if (c == '"') {
-      string();
-    } else if (c == '{' || c == '[') {
-      const char closer = c == '{' ? '}' : ']';
-      ++i;
-      int depth = 1;
-      bool in_string = false;
-      while (i < text.size() && depth > 0) {
-        const char d = text[i];
-        if (in_string) {
-          if (d == '\\')
-            ++i;
-          else if (d == '"')
-            in_string = false;
-        } else if (d == '"') {
-          in_string = true;
-        } else if (d == c) {
-          ++depth;
-        } else if (d == closer) {
-          --depth;
-        }
-        ++i;
-      }
-      if (depth != 0) ok = false;
-    } else {
-      while (i < text.size() && text[i] != ',' && text[i] != '}' &&
-             text[i] != ']')
-        ++i;
-    }
-  }
-};
-
-}  // namespace
-
 std::optional<Report> report_from_json(std::string_view json) {
-  JsonCursor cursor{json};
+  detail::JsonCursor cursor{json};
   Report report;
   if (!cursor.consume('{')) return std::nullopt;
   bool saw_schema = false;

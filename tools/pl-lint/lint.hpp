@@ -68,7 +68,11 @@ Report lint_source(std::string_view relpath, std::string_view content);
 
 /// Serialize a report as a `pl-lint/1` JSON document (via the shared
 /// bench::JsonWriter so the artifact matches the BENCH_*.json conventions).
-std::string report_json(const Report& report, std::string_view root);
+/// `timing_ms`, when given, is emitted as a "timing_ms" object (gate wall
+/// times, cache hit counts); readers that don't know it skip it.
+std::string report_json(const Report& report, std::string_view root,
+                        const std::map<std::string, double>* timing_ms =
+                            nullptr);
 
 /// Parse a `pl-lint/1` document back (findings, suppressions,
 /// files_scanned). nullopt on malformed input or an unknown schema.

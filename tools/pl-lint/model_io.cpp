@@ -1,0 +1,669 @@
+// Serialization for the whole-program model documents: the per-file
+// extraction cache (`pl-lint-cache/1`), the frozen-findings baseline
+// (`pl-baseline/1`), and the program-model artifact (`pl-graph/1`). All
+// three are emitted through the shared bench::JsonWriter and read back with
+// the minimal detail::JsonCursor, same as the pl-lint/1 report.
+#include <utility>
+
+#include "bench/common.hpp"
+#include "model.hpp"
+
+namespace pl::lint {
+
+namespace {
+
+using detail::JsonCursor;
+
+/// Content hashes are serialized as fixed-width hex: JsonCursor::integer is
+/// a signed 64-bit parse and would clip the top bit.
+std::string hex64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int nibble = 15; nibble >= 0; --nibble) {
+    out[static_cast<std::size_t>(nibble)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t parse_hex64(std::string_view text) {
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9')
+      value |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F')
+      value |= static_cast<std::uint64_t>(c - 'A' + 10);
+  }
+  return value;
+}
+
+void emit_report(bench::JsonWriter& json, const Report& report) {
+  json.begin_object();
+  json.key("files_scanned")
+      .value(static_cast<std::int64_t>(report.files_scanned));
+  json.key("findings").begin_array();
+  for (const Finding& finding : report.findings) {
+    json.begin_object();
+    json.key("file").value(finding.file);
+    json.key("line").value(static_cast<std::int64_t>(finding.line));
+    json.key("rule").value(finding.rule);
+    json.key("message").value(finding.message);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("suppressions").begin_array();
+  for (const auto& [rule, budget] : report.suppressions) {
+    json.begin_object();
+    json.key("rule").value(rule);
+    json.key("declared").value(static_cast<std::int64_t>(budget.declared));
+    json.key("used").value(static_cast<std::int64_t>(budget.used));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+bool parse_report(JsonCursor& cursor, Report* report) {
+  if (!cursor.consume('{')) return false;
+  while (cursor.ok && !cursor.peek('}')) {
+    const std::string key = cursor.string();
+    if (!cursor.consume(':')) return false;
+    if (key == "files_scanned") {
+      report->files_scanned = static_cast<int>(cursor.integer());
+    } else if (key == "findings") {
+      if (!cursor.consume('[')) return false;
+      while (cursor.ok && !cursor.peek(']')) {
+        if (!cursor.consume('{')) return false;
+        Finding finding;
+        while (cursor.ok && !cursor.peek('}')) {
+          const std::string field = cursor.string();
+          if (!cursor.consume(':')) return false;
+          if (field == "file")
+            finding.file = cursor.string();
+          else if (field == "line")
+            finding.line = static_cast<int>(cursor.integer());
+          else if (field == "rule")
+            finding.rule = cursor.string();
+          else if (field == "message")
+            finding.message = cursor.string();
+          else
+            cursor.skip_value();
+          if (!cursor.peek('}')) cursor.consume(',');
+        }
+        cursor.consume('}');
+        report->findings.push_back(std::move(finding));
+        if (!cursor.peek(']')) cursor.consume(',');
+      }
+      cursor.consume(']');
+    } else if (key == "suppressions") {
+      if (!cursor.consume('[')) return false;
+      while (cursor.ok && !cursor.peek(']')) {
+        if (!cursor.consume('{')) return false;
+        std::string rule;
+        SuppressionBudget budget;
+        while (cursor.ok && !cursor.peek('}')) {
+          const std::string field = cursor.string();
+          if (!cursor.consume(':')) return false;
+          if (field == "rule")
+            rule = cursor.string();
+          else if (field == "declared")
+            budget.declared = static_cast<int>(cursor.integer());
+          else if (field == "used")
+            budget.used = static_cast<int>(cursor.integer());
+          else
+            cursor.skip_value();
+          if (!cursor.peek('}')) cursor.consume(',');
+        }
+        cursor.consume('}');
+        if (!rule.empty()) report->suppressions.emplace(rule, budget);
+        if (!cursor.peek(']')) cursor.consume(',');
+      }
+      cursor.consume(']');
+    } else {
+      cursor.skip_value();
+    }
+    if (!cursor.peek('}')) cursor.consume(',');
+  }
+  return cursor.consume('}');
+}
+
+void emit_sink(bench::JsonWriter& json, const SinkHit& sink) {
+  json.begin_object();
+  json.key("kind").value(sink.kind);
+  json.key("token").value(sink.token);
+  json.key("line").value(static_cast<std::int64_t>(sink.line));
+  json.end_object();
+}
+
+bool parse_sink(JsonCursor& cursor, SinkHit* sink) {
+  if (!cursor.consume('{')) return false;
+  while (cursor.ok && !cursor.peek('}')) {
+    const std::string field = cursor.string();
+    if (!cursor.consume(':')) return false;
+    if (field == "kind")
+      sink->kind = cursor.string();
+    else if (field == "token")
+      sink->token = cursor.string();
+    else if (field == "line")
+      sink->line = static_cast<int>(cursor.integer());
+    else
+      cursor.skip_value();
+    if (!cursor.peek('}')) cursor.consume(',');
+  }
+  return cursor.consume('}');
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// pl-lint-cache/1
+
+std::string cache_json(const std::vector<FileModel>& models) {
+  bench::JsonWriter json(/*pretty=*/false);
+  json.begin_object();
+  json.key("schema").value("pl-lint-cache/1");
+  json.key("files").begin_array();
+  for (const FileModel& model : models) {
+    json.begin_object();
+    json.key("path").value(model.relpath);
+    json.key("hash").value(hex64(model.hash));
+    json.key("det_ok_declared")
+        .value(static_cast<std::int64_t>(model.det_ok_declared));
+    json.key("includes").begin_array();
+    for (const IncludeEdge& inc : model.includes) {
+      json.begin_object();
+      json.key("target").value(inc.target);
+      json.key("line").value(static_cast<std::int64_t>(inc.line));
+      json.end_object();
+    }
+    json.end_array();
+    json.key("allows").begin_array();
+    for (const detail::AllowSpan& span : model.allows) {
+      json.begin_object();
+      json.key("rule").value(span.rule);
+      json.key("from").value(static_cast<std::int64_t>(span.from));
+      json.key("to").value(static_cast<std::int64_t>(span.to));
+      json.key("file_wide").value(span.file_wide);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("functions").begin_array();
+    for (const FunctionSym& fn : model.functions) {
+      json.begin_object();
+      json.key("qname").value(fn.qname);
+      json.key("name").value(fn.name);
+      json.key("klass").value(fn.klass);
+      json.key("line").value(static_cast<std::int64_t>(fn.line));
+      json.key("end_line").value(static_cast<std::int64_t>(fn.end_line));
+      json.key("def").value(fn.is_definition);
+      json.key("det_ok").value(fn.det_ok);
+      json.key("det_ok_reason").value(fn.det_ok_reason);
+      json.key("calls").begin_array();
+      for (const CallSite& call : fn.calls) {
+        json.begin_object();
+        json.key("name").value(call.name);
+        json.key("qual").value(call.qual);
+        json.key("member").value(call.member);
+        json.end_object();
+      }
+      json.end_array();
+      json.key("sinks").begin_array();
+      for (const SinkHit& sink : fn.sinks) emit_sink(json, sink);
+      json.end_array();
+      json.end_object();
+    }
+    json.end_array();
+    json.key("refs").begin_array();
+    for (const std::string& ref : model.refs) json.value(ref);
+    json.end_array();
+    json.key("report");
+    emit_report(json, model.file_report);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::optional<std::vector<FileModel>> cache_from_json(std::string_view json) {
+  JsonCursor cursor{json};
+  std::vector<FileModel> models;
+  if (!cursor.consume('{')) return std::nullopt;
+  bool saw_schema = false;
+  while (cursor.ok && !cursor.peek('}')) {
+    const std::string key = cursor.string();
+    if (!cursor.consume(':')) return std::nullopt;
+    if (key == "schema") {
+      if (cursor.string() != "pl-lint-cache/1") return std::nullopt;
+      saw_schema = true;
+    } else if (key == "files") {
+      if (!cursor.consume('[')) return std::nullopt;
+      while (cursor.ok && !cursor.peek(']')) {
+        if (!cursor.consume('{')) return std::nullopt;
+        FileModel model;
+        while (cursor.ok && !cursor.peek('}')) {
+          const std::string field = cursor.string();
+          if (!cursor.consume(':')) return std::nullopt;
+          if (field == "path") {
+            model.relpath = cursor.string();
+          } else if (field == "hash") {
+            model.hash = parse_hex64(cursor.string());
+          } else if (field == "det_ok_declared") {
+            model.det_ok_declared = static_cast<int>(cursor.integer());
+          } else if (field == "includes") {
+            if (!cursor.consume('[')) return std::nullopt;
+            while (cursor.ok && !cursor.peek(']')) {
+              if (!cursor.consume('{')) return std::nullopt;
+              IncludeEdge inc;
+              while (cursor.ok && !cursor.peek('}')) {
+                const std::string f = cursor.string();
+                if (!cursor.consume(':')) return std::nullopt;
+                if (f == "target")
+                  inc.target = cursor.string();
+                else if (f == "line")
+                  inc.line = static_cast<int>(cursor.integer());
+                else
+                  cursor.skip_value();
+                if (!cursor.peek('}')) cursor.consume(',');
+              }
+              cursor.consume('}');
+              model.includes.push_back(std::move(inc));
+              if (!cursor.peek(']')) cursor.consume(',');
+            }
+            cursor.consume(']');
+          } else if (field == "allows") {
+            if (!cursor.consume('[')) return std::nullopt;
+            while (cursor.ok && !cursor.peek(']')) {
+              if (!cursor.consume('{')) return std::nullopt;
+              detail::AllowSpan span;
+              while (cursor.ok && !cursor.peek('}')) {
+                const std::string f = cursor.string();
+                if (!cursor.consume(':')) return std::nullopt;
+                if (f == "rule")
+                  span.rule = cursor.string();
+                else if (f == "from")
+                  span.from = static_cast<int>(cursor.integer());
+                else if (f == "to")
+                  span.to = static_cast<int>(cursor.integer());
+                else if (f == "file_wide")
+                  span.file_wide = cursor.boolean();
+                else
+                  cursor.skip_value();
+                if (!cursor.peek('}')) cursor.consume(',');
+              }
+              cursor.consume('}');
+              model.allows.push_back(std::move(span));
+              if (!cursor.peek(']')) cursor.consume(',');
+            }
+            cursor.consume(']');
+          } else if (field == "functions") {
+            if (!cursor.consume('[')) return std::nullopt;
+            while (cursor.ok && !cursor.peek(']')) {
+              if (!cursor.consume('{')) return std::nullopt;
+              FunctionSym fn;
+              while (cursor.ok && !cursor.peek('}')) {
+                const std::string f = cursor.string();
+                if (!cursor.consume(':')) return std::nullopt;
+                if (f == "qname") {
+                  fn.qname = cursor.string();
+                } else if (f == "name") {
+                  fn.name = cursor.string();
+                } else if (f == "klass") {
+                  fn.klass = cursor.string();
+                } else if (f == "line") {
+                  fn.line = static_cast<int>(cursor.integer());
+                } else if (f == "end_line") {
+                  fn.end_line = static_cast<int>(cursor.integer());
+                } else if (f == "def") {
+                  fn.is_definition = cursor.boolean();
+                } else if (f == "det_ok") {
+                  fn.det_ok = cursor.boolean();
+                } else if (f == "det_ok_reason") {
+                  fn.det_ok_reason = cursor.string();
+                } else if (f == "calls") {
+                  if (!cursor.consume('[')) return std::nullopt;
+                  while (cursor.ok && !cursor.peek(']')) {
+                    if (!cursor.consume('{')) return std::nullopt;
+                    CallSite call;
+                    while (cursor.ok && !cursor.peek('}')) {
+                      const std::string g = cursor.string();
+                      if (!cursor.consume(':')) return std::nullopt;
+                      if (g == "name")
+                        call.name = cursor.string();
+                      else if (g == "qual")
+                        call.qual = cursor.string();
+                      else if (g == "member")
+                        call.member = cursor.boolean();
+                      else
+                        cursor.skip_value();
+                      if (!cursor.peek('}')) cursor.consume(',');
+                    }
+                    cursor.consume('}');
+                    fn.calls.push_back(std::move(call));
+                    if (!cursor.peek(']')) cursor.consume(',');
+                  }
+                  cursor.consume(']');
+                } else if (f == "sinks") {
+                  if (!cursor.consume('[')) return std::nullopt;
+                  while (cursor.ok && !cursor.peek(']')) {
+                    SinkHit sink;
+                    if (!parse_sink(cursor, &sink)) return std::nullopt;
+                    fn.sinks.push_back(std::move(sink));
+                    if (!cursor.peek(']')) cursor.consume(',');
+                  }
+                  cursor.consume(']');
+                } else {
+                  cursor.skip_value();
+                }
+                if (!cursor.peek('}')) cursor.consume(',');
+              }
+              cursor.consume('}');
+              model.functions.push_back(std::move(fn));
+              if (!cursor.peek(']')) cursor.consume(',');
+            }
+            cursor.consume(']');
+          } else if (field == "refs") {
+            if (!cursor.consume('[')) return std::nullopt;
+            while (cursor.ok && !cursor.peek(']')) {
+              model.refs.push_back(cursor.string());
+              if (!cursor.peek(']')) cursor.consume(',');
+            }
+            cursor.consume(']');
+          } else if (field == "report") {
+            if (!parse_report(cursor, &model.file_report))
+              return std::nullopt;
+          } else {
+            cursor.skip_value();
+          }
+          if (!cursor.peek('}')) cursor.consume(',');
+        }
+        cursor.consume('}');
+        models.push_back(std::move(model));
+        if (!cursor.peek(']')) cursor.consume(',');
+      }
+      cursor.consume(']');
+    } else {
+      cursor.skip_value();
+    }
+    if (!cursor.peek('}')) cursor.consume(',');
+  }
+  if (!cursor.ok || !saw_schema) return std::nullopt;
+  return models;
+}
+
+// ---------------------------------------------------------------------------
+// pl-graph/1
+
+std::string graph_json(const ProgramAnalysis& analysis,
+                       const LayerManifest& manifest,
+                       const std::vector<FileModel>& models,
+                       std::string_view root) {
+  bench::JsonWriter json(/*pretty=*/true);
+  json.begin_object();
+  json.key("schema").value("pl-graph/1");
+  json.key("root").value(root);
+  json.key("functions").value(static_cast<std::int64_t>(analysis.functions));
+  json.key("calls").value(static_cast<std::int64_t>(analysis.calls));
+  json.key("levels").begin_array();
+  for (const std::vector<std::string>& level : manifest.levels) {
+    json.begin_array();
+    for (const std::string& name : level) json.value(name);
+    json.end_array();
+  }
+  json.end_array();
+  json.key("nodes").begin_array();
+  for (const FileModel& model : models) {
+    json.begin_object();
+    json.key("file").value(model.relpath);
+    json.key("subsystem").value(subsystem_of(model.relpath));
+    json.end_object();
+  }
+  json.end_array();
+  json.key("edges").begin_array();
+  for (const GraphEdge& edge : analysis.edges) {
+    json.begin_object();
+    json.key("from").value(edge.from);
+    json.key("to").value(edge.to);
+    json.key("line").value(static_cast<std::int64_t>(edge.line));
+    json.end_object();
+  }
+  json.end_array();
+  json.key("taint").begin_array();
+  for (const TaintWitness& witness : analysis.taint) {
+    json.begin_object();
+    json.key("root").value(witness.root);
+    json.key("file").value(witness.file);
+    json.key("line").value(static_cast<std::int64_t>(witness.line));
+    json.key("path").begin_array();
+    for (const std::string& hop : witness.path) json.value(hop);
+    json.end_array();
+    json.key("sink");
+    emit_sink(json, witness.sink);
+    json.key("sink_file").value(witness.sink_file);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("dead").begin_array();
+  for (const DeadSymbol& dead : analysis.dead) {
+    json.begin_object();
+    json.key("qname").value(dead.qname);
+    json.key("file").value(dead.file);
+    json.key("line").value(static_cast<std::int64_t>(dead.line));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::optional<GraphDoc> graph_from_json(std::string_view json) {
+  JsonCursor cursor{json};
+  GraphDoc doc;
+  if (!cursor.consume('{')) return std::nullopt;
+  bool saw_schema = false;
+  while (cursor.ok && !cursor.peek('}')) {
+    const std::string key = cursor.string();
+    if (!cursor.consume(':')) return std::nullopt;
+    if (key == "schema") {
+      if (cursor.string() != "pl-graph/1") return std::nullopt;
+      saw_schema = true;
+    } else if (key == "functions") {
+      doc.functions = static_cast<int>(cursor.integer());
+    } else if (key == "calls") {
+      doc.calls = static_cast<int>(cursor.integer());
+    } else if (key == "levels") {
+      if (!cursor.consume('[')) return std::nullopt;
+      while (cursor.ok && !cursor.peek(']')) {
+        if (!cursor.consume('[')) return std::nullopt;
+        std::vector<std::string> level;
+        while (cursor.ok && !cursor.peek(']')) {
+          level.push_back(cursor.string());
+          if (!cursor.peek(']')) cursor.consume(',');
+        }
+        cursor.consume(']');
+        doc.levels.push_back(std::move(level));
+        if (!cursor.peek(']')) cursor.consume(',');
+      }
+      cursor.consume(']');
+    } else if (key == "nodes") {
+      if (!cursor.consume('[')) return std::nullopt;
+      while (cursor.ok && !cursor.peek(']')) {
+        if (!cursor.consume('{')) return std::nullopt;
+        std::string file;
+        std::string subsystem;
+        while (cursor.ok && !cursor.peek('}')) {
+          const std::string field = cursor.string();
+          if (!cursor.consume(':')) return std::nullopt;
+          if (field == "file")
+            file = cursor.string();
+          else if (field == "subsystem")
+            subsystem = cursor.string();
+          else
+            cursor.skip_value();
+          if (!cursor.peek('}')) cursor.consume(',');
+        }
+        cursor.consume('}');
+        doc.nodes.emplace_back(std::move(file), std::move(subsystem));
+        if (!cursor.peek(']')) cursor.consume(',');
+      }
+      cursor.consume(']');
+    } else if (key == "edges") {
+      if (!cursor.consume('[')) return std::nullopt;
+      while (cursor.ok && !cursor.peek(']')) {
+        if (!cursor.consume('{')) return std::nullopt;
+        GraphEdge edge;
+        while (cursor.ok && !cursor.peek('}')) {
+          const std::string field = cursor.string();
+          if (!cursor.consume(':')) return std::nullopt;
+          if (field == "from")
+            edge.from = cursor.string();
+          else if (field == "to")
+            edge.to = cursor.string();
+          else if (field == "line")
+            edge.line = static_cast<int>(cursor.integer());
+          else
+            cursor.skip_value();
+          if (!cursor.peek('}')) cursor.consume(',');
+        }
+        cursor.consume('}');
+        doc.edges.push_back(std::move(edge));
+        if (!cursor.peek(']')) cursor.consume(',');
+      }
+      cursor.consume(']');
+    } else if (key == "taint") {
+      if (!cursor.consume('[')) return std::nullopt;
+      while (cursor.ok && !cursor.peek(']')) {
+        if (!cursor.consume('{')) return std::nullopt;
+        TaintWitness witness;
+        while (cursor.ok && !cursor.peek('}')) {
+          const std::string field = cursor.string();
+          if (!cursor.consume(':')) return std::nullopt;
+          if (field == "root") {
+            witness.root = cursor.string();
+          } else if (field == "file") {
+            witness.file = cursor.string();
+          } else if (field == "line") {
+            witness.line = static_cast<int>(cursor.integer());
+          } else if (field == "path") {
+            if (!cursor.consume('[')) return std::nullopt;
+            while (cursor.ok && !cursor.peek(']')) {
+              witness.path.push_back(cursor.string());
+              if (!cursor.peek(']')) cursor.consume(',');
+            }
+            cursor.consume(']');
+          } else if (field == "sink") {
+            if (!parse_sink(cursor, &witness.sink)) return std::nullopt;
+          } else if (field == "sink_file") {
+            witness.sink_file = cursor.string();
+          } else {
+            cursor.skip_value();
+          }
+          if (!cursor.peek('}')) cursor.consume(',');
+        }
+        cursor.consume('}');
+        doc.taint.push_back(std::move(witness));
+        if (!cursor.peek(']')) cursor.consume(',');
+      }
+      cursor.consume(']');
+    } else if (key == "dead") {
+      if (!cursor.consume('[')) return std::nullopt;
+      while (cursor.ok && !cursor.peek(']')) {
+        if (!cursor.consume('{')) return std::nullopt;
+        DeadSymbol dead;
+        while (cursor.ok && !cursor.peek('}')) {
+          const std::string field = cursor.string();
+          if (!cursor.consume(':')) return std::nullopt;
+          if (field == "qname")
+            dead.qname = cursor.string();
+          else if (field == "file")
+            dead.file = cursor.string();
+          else if (field == "line")
+            dead.line = static_cast<int>(cursor.integer());
+          else
+            cursor.skip_value();
+          if (!cursor.peek('}')) cursor.consume(',');
+        }
+        cursor.consume('}');
+        doc.dead.push_back(std::move(dead));
+        if (!cursor.peek(']')) cursor.consume(',');
+      }
+      cursor.consume(']');
+    } else {
+      cursor.skip_value();
+    }
+    if (!cursor.peek('}')) cursor.consume(',');
+  }
+  if (!cursor.ok || !saw_schema) return std::nullopt;
+  return doc;
+}
+
+// ---------------------------------------------------------------------------
+// pl-baseline/1
+
+std::string baseline_json(const Baseline& baseline) {
+  bench::JsonWriter json(/*pretty=*/true);
+  json.begin_object();
+  json.key("schema").value("pl-baseline/1");
+  json.key("entries").begin_array();
+  for (const BaselineEntry& entry : baseline.entries) {
+    json.begin_object();
+    json.key("rule").value(entry.rule);
+    json.key("file").value(entry.file);
+    json.key("count").value(static_cast<std::int64_t>(entry.count));
+    json.key("reason").value(entry.reason);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::optional<Baseline> baseline_from_json(std::string_view json) {
+  JsonCursor cursor{json};
+  Baseline baseline;
+  if (!cursor.consume('{')) return std::nullopt;
+  bool saw_schema = false;
+  while (cursor.ok && !cursor.peek('}')) {
+    const std::string key = cursor.string();
+    if (!cursor.consume(':')) return std::nullopt;
+    if (key == "schema") {
+      if (cursor.string() != "pl-baseline/1") return std::nullopt;
+      saw_schema = true;
+    } else if (key == "entries") {
+      if (!cursor.consume('[')) return std::nullopt;
+      while (cursor.ok && !cursor.peek(']')) {
+        if (!cursor.consume('{')) return std::nullopt;
+        BaselineEntry entry;
+        while (cursor.ok && !cursor.peek('}')) {
+          const std::string field = cursor.string();
+          if (!cursor.consume(':')) return std::nullopt;
+          if (field == "rule")
+            entry.rule = cursor.string();
+          else if (field == "file")
+            entry.file = cursor.string();
+          else if (field == "count")
+            entry.count = static_cast<int>(cursor.integer());
+          else if (field == "reason")
+            entry.reason = cursor.string();
+          else
+            cursor.skip_value();
+          if (!cursor.peek('}')) cursor.consume(',');
+        }
+        cursor.consume('}');
+        baseline.entries.push_back(std::move(entry));
+        if (!cursor.peek(']')) cursor.consume(',');
+      }
+      cursor.consume(']');
+    } else {
+      cursor.skip_value();
+    }
+    if (!cursor.peek('}')) cursor.consume(',');
+  }
+  if (!cursor.ok || !saw_schema) return std::nullopt;
+  return baseline;
+}
+
+}  // namespace pl::lint
