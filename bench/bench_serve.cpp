@@ -7,13 +7,15 @@
 // trajectory.
 //
 // Environment knobs:
-//   PL_BENCH_SCALE  world scale (default 1.0 = paper scale)
-//   PL_BENCH_SEED   world seed (default 42)
-//   PL_BENCH_OUT    JSON output path (default BENCH_serve.json)
+//   PL_BENCH_SCALE        world scale (default 1.0 = paper scale)
+//   PL_BENCH_SEED         world seed (default 42)
+//   PL_BENCH_OUT          JSON output path (default BENCH_serve.json)
+//   PL_KEYFRAME_INTERVAL  history keyframe spacing in days (default 16;
+//                         EXPERIMENTS.md discusses the trade-off)
 //
-// JSON format (schema pl-bench-serve/3; /2 plus the observability block):
+// JSON format (schema pl-bench-serve/4; /3 plus the history block):
 //   {
-//     "schema": "pl-bench-serve/3", "scale": ..., "seed": ...,
+//     "schema": "pl-bench-serve/4", "scale": ..., "seed": ...,
 //     "snapshot": {"asns": n, "admin_lives": n, "op_lives": n,
 //                  "build_ms": ms},
 //     "queries": {"point_cold_qps": x, "point_warm_qps": x,
@@ -26,6 +28,12 @@
 //                    "wal_bytes": n, "snapshot_save_ms": ms,
 //                    "snapshot_open_ms": ms, "snapshot_bytes": n,
 //                    "recover_ms": ms, "replayed_days": n},
+//     "history": {"days": n, "keyframe_interval": n, "keyframes": n,
+//                 "deltas": n, "build_ms": ms, "keyframe_bytes_per_day": x,
+//                 "delta_bytes_per_day": x, "delta_to_keyframe_ratio": x,
+//                 "reconstructs": n,
+//                 "reconstruct": shared percentile summary, ns,
+//                 "identical": true},
 //     "observability": {"enabled": bool, "instr_ns_per_query": x,
 //                       "warm_ns_per_query": x, "overhead_pct": x,
 //                       "latency": {"point"|"batch"|"alive"|"scan"|"census":
@@ -33,8 +41,9 @@
 //                                   (bench/common.hpp), ns}}
 //   }
 //
-// Exit status is non-zero when advance/rebuild bit-identity breaks, or when
-// the per-query observability tax exceeds 3% of the warm point-lookup cost
+// Exit status is non-zero when advance/rebuild bit-identity breaks, when a
+// sampled history reconstruction deviates from a fresh rebuild, or when the
+// per-query observability tax exceeds 3% of the warm point-lookup cost
 // (DESIGN.md §14's always-on budget).
 
 #include <chrono>
@@ -46,6 +55,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "history/store.hpp"
 #include "obs/flight.hpp"
 #include "obs/latency.hpp"
 #include "serve/durable.hpp"
@@ -221,14 +231,12 @@ int main() {
   // --- Incremental advance vs. full rebuild over the last week.
   const int kDays = 7;
   const util::Day base_day = end - kDays;
-  serve::Snapshot advanced = serve::Snapshot::build(
-      serve::truncate_archive(pipeline.restored, base_day),
-      serve::truncate_activity(pipeline.op_world.activity, base_day),
-      base_day);
+  serve::Snapshot advanced = history::HistoryStore::rebuild_at(
+      pipeline.restored, pipeline.op_world.activity, base_day);
   double advance_total_ms = 0;
   double advance_max_ms = 0;
   for (util::Day day = base_day + 1; day <= end; ++day) {
-    const serve::DayDelta delta = serve::slice_day(
+    const serve::DayDelta delta = history::HistoryStore::slice_day(
         pipeline.restored, pipeline.op_world.activity, day);
     start = Clock::now();
     const pl::Status status = advanced.advance_day(delta);
@@ -267,10 +275,8 @@ int main() {
   const std::string snap_path = dir + "/snapshot.plsnap";
   const std::string wal_path = dir + "/days.plwal";
 
-  const serve::Snapshot durable_base = serve::Snapshot::build(
-      serve::truncate_archive(pipeline.restored, base_day),
-      serve::truncate_activity(pipeline.op_world.activity, base_day),
-      base_day);
+  const serve::Snapshot durable_base = history::HistoryStore::rebuild_at(
+      pipeline.restored, pipeline.op_world.activity, base_day);
 
   start = Clock::now();
   if (const pl::Status saved = serve::save_snapshot(durable_base, snap_path);
@@ -294,7 +300,7 @@ int main() {
   double wal_append_total_ms = 0;
   double wal_append_max_ms = 0;
   for (util::Day day = base_day + 1; day <= end; ++day) {
-    const serve::DayDelta delta = serve::slice_day(
+    const serve::DayDelta delta = history::HistoryStore::slice_day(
         pipeline.restored, pipeline.op_world.activity, day);
     start = Clock::now();
     const pl::Status appended = serve::append_wal(wal_path, delta);
@@ -341,10 +347,84 @@ int main() {
             << replayed_days << " WAL days replayed)\n";
   std::filesystem::remove_all(dir);
 
+  // --- History: what time travel costs. Build a delta-compressed store
+  // over the trailing month, then price the two sides of the trade:
+  // storage (delta bytes/day vs keyframe bytes/day — the compact codec's
+  // whole point) and random-access reconstruction latency (the
+  // pl_history_reconstruct_ns histogram the store keeps itself).
+  const int kHistoryDays = 32;
+  history::HistoryConfig history_config;
+  if (const char* env = std::getenv("PL_KEYFRAME_INTERVAL"))
+    history_config.keyframe_interval = std::atoi(env);
+  start = Clock::now();
+  auto history = history::HistoryStore::build(
+      pipeline.restored, pipeline.op_world.activity, end - kHistoryDays, end,
+      history_config);
+  const double history_build_ms = ms_since(start);
+  if (!history.ok()) {
+    std::cerr << "history build failed: " << history.status().to_string()
+              << "\n";
+    return 1;
+  }
+  const std::size_t kReconstructs = 200;
+  util::Rng day_rng(0xD417);
+  for (std::size_t i = 0; i < kReconstructs; ++i) {
+    const util::Day day = history->earliest_day() +
+                          static_cast<util::Day>(day_rng.uniform(
+                              0, history->latest_day() -
+                                     history->earliest_day()));
+    if (const auto at = history->at(day); !at.ok()) {
+      std::cerr << "reconstruct failed on day " << day << ": "
+                << at.status().to_string() << "\n";
+      return 1;
+    }
+  }
+  // Sampled bit-identity: reconstruction must equal the study rebuilt at
+  // that day — the contract the history test suite fuzzes, re-checked here
+  // at bench scale on a spread of days.
+  bool history_identical = true;
+  for (const util::Day day :
+       {history->earliest_day(), end - kHistoryDays / 2, end}) {
+    const auto at = history->at(day);
+    if (!at.ok() ||
+        !(**at == history::HistoryStore::rebuild_at(
+                      pipeline.restored, pipeline.op_world.activity, day))) {
+      history_identical = false;
+      std::cerr << "history reconstruction diverged on day " << day << "\n";
+    }
+  }
+  const history::HistoryStats hstats = history->stats();
+  const double keyframe_bytes_per_day = hstats.mean_keyframe_bytes();
+  const double delta_bytes_per_day = hstats.mean_delta_bytes();
+  const double delta_ratio =
+      keyframe_bytes_per_day > 0
+          ? delta_bytes_per_day / keyframe_bytes_per_day
+          : 0.0;
+  const obs::Snapshot history_metrics = history->report().metrics;
+  const auto reconstruct_it =
+      history_metrics.latencies.find("pl_history_reconstruct_ns");
+  const obs::LatencyHistoSnapshot reconstruct_latency =
+      reconstruct_it != history_metrics.latencies.end()
+          ? reconstruct_it->second
+          : obs::LatencyHistoSnapshot{};
+  std::cout << "history:       " << kHistoryDays << " days at interval "
+            << history_config.keyframe_interval << " built in "
+            << history_build_ms << " ms; " << hstats.keyframes
+            << " keyframes + " << hstats.deltas << " deltas; delta "
+            << bench::fmt_count(
+                   static_cast<std::int64_t>(delta_bytes_per_day))
+            << " bytes/day vs keyframe "
+            << bench::fmt_count(
+                   static_cast<std::int64_t>(keyframe_bytes_per_day))
+            << " bytes/day (" << 100.0 * delta_ratio << "%); "
+            << kReconstructs << " random reconstructs\n";
+  std::cout << "history.at == rebuild: "
+            << (history_identical ? "yes" : "NO — DETERMINISM BUG") << "\n\n";
+
   // --- Machine-readable artifact.
   bench::JsonWriter json;
   json.begin_object();
-  json.key("schema").value("pl-bench-serve/3");
+  json.key("schema").value("pl-bench-serve/4");
   json.key("scale").value(pipeline.scale);
   json.key("seed").value(static_cast<std::uint64_t>(pipeline.seed));
   json.key("snapshot").begin_object();
@@ -382,6 +462,20 @@ int main() {
   json.key("recover_ms").value(recover_ms);
   json.key("replayed_days").value(replayed_days);
   json.end_object();
+  json.key("history").begin_object();
+  json.key("days").value(kHistoryDays);
+  json.key("keyframe_interval").value(history_config.keyframe_interval);
+  json.key("keyframes").value(hstats.keyframes);
+  json.key("deltas").value(hstats.deltas);
+  json.key("build_ms").value(history_build_ms);
+  json.key("keyframe_bytes_per_day").value(keyframe_bytes_per_day, 0);
+  json.key("delta_bytes_per_day").value(delta_bytes_per_day, 0);
+  json.key("delta_to_keyframe_ratio").value(delta_ratio);
+  json.key("reconstructs").value(hstats.reconstructs);
+  json.key("reconstruct");
+  bench::emit_latency_summary(json, reconstruct_latency);
+  json.key("identical").value(history_identical);
+  json.end_object();
   json.key("observability").begin_object();
   json.key("enabled").value(obs::kEnabled);
   json.key("instr_ns_per_query").value(instr_ns_per_query);
@@ -399,5 +493,5 @@ int main() {
   std::ofstream out(out_path);
   out << json.str() << "\n";
   std::cout << "wrote " << out_path << "\n";
-  return identical && obs_ok ? 0 : 1;
+  return identical && history_identical && obs_ok ? 0 : 1;
 }

@@ -11,9 +11,14 @@
 // is finished, and the recovered snapshot is verified bit-identical to a
 // full rebuild that never crashed.
 //
+// The service also records every folded day into a history::HistoryStore
+// (DurableConfig::history): after the month, `QueryOptions::as_of` answers
+// from any recorded day, reconstructed bit-identically from keyframe +
+// deltas — crash, WAL replay and all.
+//
 // The "new day arriving from the RIR FTP sites + collectors" is played here
-// by serve::slice_day over an extended simulated world; a production loop
-// would assemble the same DayDelta from the day's delegation files and
+// by HistoryStore::slice_day over an extended simulated world; a production
+// loop would assemble the same DayDelta from the day's delegation files and
 // collector dump.
 //
 // Run:  ./daily_update [scale] [seed]
@@ -21,9 +26,11 @@
 #include <filesystem>
 #include <iostream>
 
+#include "history/store.hpp"
 #include "pipeline/pipeline.hpp"
 #include "robust/crashpoint.hpp"
 #include "serve/durable.hpp"
+#include "serve/query.hpp"
 #include "serve/snapshot.hpp"
 #include "util/strings.hpp"
 
@@ -43,15 +50,14 @@ int main(int argc, char** argv) {
   const int days_live = 28;
   const util::Day start = end - days_live;
   const auto day_of = [&](util::Day day) {
-    return serve::slice_day(extended.restored, extended.op_world.activity,
-                            day);
+    return history::HistoryStore::slice_day(extended.restored,
+                                            extended.op_world.activity, day);
   };
 
   // Day 0 of the deployment: build the snapshot over everything published
   // up to `start` and open a durable service over a fresh state directory.
-  serve::Snapshot base = serve::Snapshot::build(
-      serve::truncate_archive(extended.restored, start),
-      serve::truncate_activity(extended.op_world.activity, start), start);
+  serve::Snapshot base = history::HistoryStore::rebuild_at(
+      extended.restored, extended.op_world.activity, start);
   std::cout << "serving from " << util::format_iso(start) << ": "
             << util::with_commas(static_cast<std::int64_t>(base.asn_count()))
             << " ASNs, "
@@ -65,10 +71,12 @@ int main(int argc, char** argv) {
   std::filesystem::create_directories(dir);
 
   robust::CrashPoints crash;
+  history::HistoryStore history;
   serve::DurableConfig durable;
   durable.dir = dir;
   durable.checkpoint_every_days = 7;
   durable.crash = &crash;
+  durable.history = &history;  // record every folded day for time travel
 
   // Phase 1: the daily loop, with a process death scheduled mid-stretch —
   // the 12th WAL append tears halfway through its frame.
@@ -94,7 +102,8 @@ int main(int argc, char** argv) {
         return 1;
       }
       if ((day - start) % 7 == 0) {
-        const serve::CensusAnswer census = service->queries().census(day);
+        const serve::CensusAnswer census =
+            *service->queries().query(serve::Query::census(day))->census;
         std::cout << util::format_iso(day) << ": "
                   << util::with_commas(census.admin_alive) << " admin / "
                   << util::with_commas(census.op_alive)
@@ -144,13 +153,46 @@ int main(int argc, char** argv) {
 
   // The §9 promise, crash included: the crashed-and-recovered snapshot is
   // bit-identical to rebuilding the study over the full extended world.
-  const serve::Snapshot full = serve::Snapshot::build(
+  const serve::Snapshot full = history::HistoryStore::rebuild_at(
       extended.restored, extended.op_world.activity, end);
   if (!(recovered->snapshot() == full)) {
     std::cerr << "recovered snapshot diverged from full rebuild\n";
     return 1;
   }
   std::cout << "recovered snapshot == full rebuild (bit-identical)\n";
+
+  // Time travel through the recovered service: the history store received
+  // every folded day — reseeded on reopen, WAL-replayed days included — so
+  // `as_of` serves any recorded day.
+  const util::Day week_ago = end - 7;
+  serve::QueryOptions as_of;
+  as_of.as_of = week_ago;
+  auto past =
+      recovered->queries().query(serve::Query::census(week_ago, as_of));
+  if (!past.ok()) {
+    std::cerr << "as_of query failed: " << past.status().to_string() << "\n";
+    return 1;
+  }
+  const history::HistoryStats hstats = history.stats();
+  std::cout << "as of " << util::format_iso(week_ago) << ": "
+            << util::with_commas(past->census->admin_alive) << " admin / "
+            << util::with_commas(past->census->op_alive)
+            << " op lives alive — served from " << hstats.keyframes
+            << " keyframes + " << hstats.deltas << " deltas ("
+            << util::with_commas(hstats.delta_bytes) << " delta bytes)\n";
+
+  // And the reconstruction really is the study-as-of-that-day: bit-identical
+  // to a fresh rebuild over the world truncated a week early.
+  auto mid = history.at(week_ago);
+  if (!mid.ok() ||
+      !(**mid == history::HistoryStore::rebuild_at(
+                     extended.restored, extended.op_world.activity,
+                     week_ago))) {
+    std::cerr << "history reconstruction diverged from rebuild\n";
+    return 1;
+  }
+  std::cout << "history.at(" << util::format_iso(week_ago)
+            << ") == rebuild at that day (bit-identical)\n";
 
   // What the monitoring stack sees after the month, crash and all.
   const obs::Snapshot metrics = recovered->report().metrics;

@@ -9,9 +9,13 @@
 // tests, benches, and deployments share, plus an eighth traced stage that
 // freezes the result into a serve::Snapshot. The example then asks the
 // snapshot the questions the paper keeps asking — point lookups, a batch,
-// a registry scan, an alive census — through serve::QueryService instead of
-// walking the datasets by hand. Set PL_TRACE=run.json (and/or
-// PL_PROM=run.prom) to dump the span tree + metrics snapshot.
+// a registry scan, an alive census — through serve::QueryService's unified
+// `Query{subject, options}` shape instead of walking the datasets by hand.
+// A history::HistoryStore over the trailing days then turns the same
+// service into a time machine: `QueryOptions::as_of` answers from any
+// recorded day, and drift() diffs the taxonomy between two days. Set
+// PL_TRACE=run.json (and/or PL_PROM=run.prom) to dump the span tree +
+// metrics snapshot.
 //
 // Run:  ./quickstart [scale] [seed]
 //       PL_TRACE=run.json ./quickstart
@@ -20,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "history/store.hpp"
 #include "lifetimes/dataset_io.hpp"
 #include "lifetimes/sensitivity.hpp"
 #include "serve/query.hpp"
@@ -94,7 +99,9 @@ int main(int argc, char** argv) {
   // the "parallel lives" the paper is named for.
   for (const auto& [asn_value, indices] : result.admin.by_asn) {
     if (!result.op.by_asn.contains(asn_value)) continue;
-    const serve::AsnAnswer answer = service.lookup(asn::Asn{asn_value});
+    const serve::AsnAnswer answer =
+        service.query(serve::Query::lookup(asn::Asn{asn_value}))
+            ->lookups.front();
     std::cout << "\n  lookup(AS" << asn_value << "): "
               << answer.admin_life_count << " admin / "
               << answer.op_life_count << " op lives, registered "
@@ -114,7 +121,8 @@ int main(int argc, char** argv) {
     batch.push_back(row.asn);
     if (batch.size() == 64) break;
   }
-  const std::vector<serve::AsnAnswer> answers = service.lookup_batch(batch);
+  const std::vector<serve::AsnAnswer> answers =
+      service.query(serve::Query::lookup_batch(batch))->lookups;
   std::int64_t transferred = 0;
   for (const serve::AsnAnswer& answer : answers)
     if (answer.transferred) ++transferred;
@@ -126,14 +134,54 @@ int main(int argc, char** argv) {
   ripe.registry = asn::Rir::kRipeNcc;
   ripe.limit = 5;
   std::cout << "  first RIPE ASNs: ";
-  for (const serve::AsnAnswer& answer : service.scan(ripe))
+  for (const serve::AsnAnswer& answer :
+       service.query(serve::Query::scan(ripe))->lookups)
     std::cout << "AS" << answer.asn.value << " ";
+  const util::Day end = service.snapshot().archive_end();
   const serve::CensusAnswer census =
-      service.census(service.snapshot().archive_end());
+      *service.query(serve::Query::census(end))->census;
   std::cout << "\n  census on " << util::format_iso(census.day) << ": "
             << util::with_commas(census.admin_alive)
             << " admin lives alive, " << util::with_commas(census.op_alive)
             << " op lives alive\n";
+
+  // --- Time travel. A HistoryStore over the trailing days keeps every day
+  // queryable: keyframe + compact per-day deltas, reconstructed in place on
+  // demand. Attaching it routes `QueryOptions::as_of` through history; the
+  // answer is bit-identical to rebuilding the study truncated at that day.
+  auto history = history::HistoryStore::build(
+      result.restored, result.op_world.activity, end - 10, end);
+  if (!history.ok()) {
+    std::cerr << "history build failed: " << history.status().to_string()
+              << "\n";
+    return 1;
+  }
+  service.attach_history(&*history);
+  serve::QueryOptions week_ago;
+  week_ago.as_of = end - 7;
+  const serve::CensusAnswer then =
+      *service.query(serve::Query::census(end - 7, week_ago))->census;
+  const history::HistoryStats hstats = history->stats();
+  std::cout << "  census as of " << util::format_iso(then.day) << ": "
+            << util::with_commas(then.admin_alive) << " admin / "
+            << util::with_commas(then.op_alive)
+            << " op lives alive (reconstructed from "
+            << hstats.keyframes << " keyframes + " << hstats.deltas
+            << " deltas, mean delta "
+            << static_cast<std::int64_t>(hstats.mean_delta_bytes())
+            << " bytes)\n";
+  const auto drift = service.drift(end - 7, end);
+  if (drift.ok()) {
+    std::cout << "  taxonomy drift over the last week:\n";
+    for (int c = 0; c < 4; ++c)
+      std::cout << "    " << labels[c] << ": "
+                << util::with_commas(
+                       drift->from_counts[static_cast<std::size_t>(c)])
+                << " -> "
+                << util::with_commas(
+                       drift->to_counts[static_cast<std::size_t>(c)])
+                << "\n";
+  }
 
   const lifetimes::TimeoutChoice choice =
       lifetimes::evaluate_choice(result.op_world.activity, result.admin, 30);

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "bgpsim/route_gen.hpp"
+#include "history/store.hpp"
 #include "serve/query.hpp"
 #include "serve/serving.hpp"
 #include "util/strings.hpp"
@@ -38,7 +39,8 @@ int main(int argc, char** argv) {
   // flag bits the snapshot build stamped on each row.
   std::vector<asn::Asn> dormant;
   std::vector<asn::Asn> outside;
-  for (const serve::AsnAnswer& answer : service.scan(serve::ScanQuery{})) {
+  for (const serve::AsnAnswer& answer :
+       service.query(serve::Query::scan(serve::ScanQuery{}))->lookups) {
     if (answer.dormant_squat) dormant.push_back(answer.asn);
     if (answer.outside_activity) outside.push_back(answer.asn);
   }
@@ -116,5 +118,29 @@ int main(int argc, char** argv) {
             << " flagged ASNs are ground-truth malicious — like the paper, "
                "the filter surfaces squats but most candidates are benign "
                "irregular operations.\n";
+
+  // --- When did each candidate turn bad? A history store over the trailing
+  // weeks lets first_flip() pin the first recorded day an ASN's admin
+  // classification became outside-delegation — the squat's onset, to the
+  // day, without re-running the study per day.
+  const util::Day end = snapshot.archive_end();
+  auto history = history::HistoryStore::build(
+      world.result.restored, op_world.activity, end - 14, end);
+  if (history.ok()) {
+    service.attach_history(&*history);
+    int dated = 0;
+    for (const asn::Asn candidate : outside) {
+      const auto flip =
+          service.first_flip(candidate, joint::Category::kOutsideDelegation);
+      if (!flip.ok()) continue;  // kNotFound: flipped before the window
+      std::cout << "  " << asn::to_string(candidate)
+                << " first classified outside-delegation on "
+                << util::format_iso(*flip) << "\n";
+      if (++dated == 5) break;
+    }
+    if (dated == 0)
+      std::cout << "  (no candidate flipped to outside-delegation within "
+                   "the last 14 recorded days)\n";
+  }
   return 0;
 }

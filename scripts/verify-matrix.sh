@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # verify-matrix.sh — the repo's full verification matrix in one command.
 #
-# Eight legs, one line of output each, exit 0 iff every leg passes:
+# Nine legs, one line of output each, exit 0 iff every leg passes:
 #
 #   plain      tier-1 build (with -Werror) + full ctest suite
 #   asan       PL_SANITIZE build (ASan+UBSan) + chaos-labelled suites
@@ -13,6 +13,8 @@
 #   serve      serving-layer suites under contracts armed (ctest -L serve)
 #   durability crash-injection + WAL/snapshot chaos under contracts armed
 #              (ctest -L durability)
+#   history    snapshot-history reconstruction + time-travel queries under
+#              contracts armed (ctest -L history)
 #
 # Usage: scripts/verify-matrix.sh [jobs]
 # Build trees live in build-matrix-<leg>/ so they never collide with the
@@ -88,6 +90,10 @@ run_leg serve   "-DPL_CHECKED=ON -DPL_WERROR=ON" "-L serve" checked
 # corruptors run with contracts armed, so a recovery that rebuilds bad
 # indexes dies loudly instead of comparing-unequal later.
 run_leg durability "-DPL_CHECKED=ON -DPL_WERROR=ON" "-L durability" checked
+# history reuses the checked tree too: the reconstruct-vs-rebuild fuzz and
+# the as_of oracle suites run with contracts armed, so a delta fold that
+# leaves a snapshot index unsorted dies at the fold, not at the compare.
+run_leg history "-DPL_CHECKED=ON -DPL_WERROR=ON" "-L history" checked
 
 if [ "$FAILED" -ne 0 ]; then
   echo "verify matrix: FAILED"

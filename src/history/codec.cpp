@@ -1,0 +1,172 @@
+#include "history/codec.hpp"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "robust/checkpoint.hpp"
+#include "util/intern.hpp"
+
+namespace pl::history {
+namespace {
+
+std::uint64_t zigzag(std::int64_t value) noexcept {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t value) noexcept {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
+// Per-fact head byte: status (2 bits) | registry index (3 bits) |
+// has-registration-date (1 bit). The top two bits must stay zero — a
+// nonzero one is corruption, not a future extension.
+constexpr std::uint8_t kHeadStatusMask = 0x03;
+constexpr std::uint8_t kHeadRegistryShift = 2;
+constexpr std::uint8_t kHeadRegistryMask = 0x07;
+constexpr std::uint8_t kHeadHasDateBit = 0x20;
+constexpr std::uint8_t kHeadReservedMask = 0xC0;
+
+static_assert(static_cast<std::uint8_t>(dele::Status::kReserved) <=
+                  kHeadStatusMask,
+              "delegation status no longer fits the 2-bit head field");
+static_assert(asn::kRirCount <= kHeadRegistryMask + 1,
+              "registry index no longer fits the 3-bit head field");
+
+/// Day values must survive the int64 arithmetic and land back in Day range.
+bool day_in_range(std::int64_t value) noexcept {
+  return value >= INT32_MIN && value <= INT32_MAX;
+}
+
+bool asn_in_range(std::int64_t value) noexcept {
+  return value >= 0 && value <= 0xFFFFFFFFll;
+}
+
+}  // namespace
+
+std::string encode_compact_delta(const serve::DayDelta& delta) {
+  // Intern the country codes into a per-frame table (first-seen order) so
+  // each fact references one by a single varint id; 0 = unknown country.
+  util::StringPool countries;
+  for (const serve::DelegationFact& fact : delta.delegation)
+    if (!fact.state.country.unknown())
+      countries.intern(fact.state.country.to_string());
+
+  robust::CheckpointWriter w;
+  w.varint(kDeltaFormatVersion);
+  w.varint(zigzag(delta.day));
+  w.varint(countries.size());
+  for (const std::string& token : countries.tokens()) w.str(token);
+
+  w.varint(delta.delegation.size());
+  std::int64_t prev_asn = 0;
+  for (const serve::DelegationFact& fact : delta.delegation) {
+    const dele::RecordState& state = fact.state;
+    const std::uint8_t head = static_cast<std::uint8_t>(
+        static_cast<std::uint8_t>(state.status) |
+        (static_cast<std::uint8_t>(asn::index_of(fact.registry))
+         << kHeadRegistryShift) |
+        (state.registration_date.has_value() ? kHeadHasDateBit : 0));
+    w.u8(head);
+    w.varint(zigzag(static_cast<std::int64_t>(fact.asn.value) - prev_asn));
+    prev_asn = fact.asn.value;
+    if (state.registration_date.has_value())
+      w.varint(zigzag(static_cast<std::int64_t>(*state.registration_date) -
+                      delta.day));
+    w.varint(state.country.unknown()
+                 ? 0
+                 : countries.find(state.country.to_string()) + 1);
+    w.varint(state.opaque_id);
+  }
+
+  w.varint(delta.active.size());
+  std::int64_t prev_active = 0;
+  for (const asn::Asn active : delta.active) {
+    w.varint(zigzag(static_cast<std::int64_t>(active.value) - prev_active));
+    prev_active = active.value;
+  }
+  return std::move(w).finish();
+}
+
+pl::StatusOr<serve::DayDelta> decode_compact_delta(std::string_view frame) {
+  robust::CheckpointReader r(frame);
+  if (!r.ok())
+    return pl::data_loss_error("history delta rejected: " +
+                               std::string(r.error()));
+  const std::uint64_t version = r.varint();
+  if (r.ok() && version != kDeltaFormatVersion)
+    return pl::data_loss_error("history delta format version skew");
+
+  serve::DayDelta delta;
+  const std::int64_t day = unzigzag(r.varint());
+  if (r.ok() && !day_in_range(day))
+    return pl::data_loss_error("history delta day out of range");
+  delta.day = static_cast<util::Day>(day);
+
+  const std::uint64_t country_count = r.container_size(1);
+  std::vector<asn::CountryCode> countries;
+  countries.reserve(country_count);
+  for (std::uint64_t i = 0; r.ok() && i < country_count; ++i) {
+    const std::string_view token = r.str();
+    const std::optional<asn::CountryCode> parsed =
+        asn::CountryCode::parse(token);
+    if (!r.ok() || !parsed.has_value() || parsed->unknown())
+      return pl::data_loss_error("bad country token in history delta");
+    countries.push_back(*parsed);
+  }
+
+  const std::uint64_t facts = r.container_size(4);
+  delta.delegation.reserve(facts);
+  std::int64_t prev_asn = 0;
+  for (std::uint64_t i = 0; r.ok() && i < facts; ++i) {
+    serve::DelegationFact fact;
+    const std::uint8_t head = r.u8();
+    if (r.ok() && (head & kHeadReservedMask) != 0)
+      return pl::data_loss_error("history delta head byte has reserved bits");
+    fact.state.status = static_cast<dele::Status>(head & kHeadStatusMask);
+    const std::uint8_t registry =
+        (head >> kHeadRegistryShift) & kHeadRegistryMask;
+    if (r.ok() && registry >= asn::kRirCount)
+      return pl::data_loss_error("history delta registry out of range");
+    fact.registry = asn::kAllRirs[registry % asn::kRirCount];
+    const std::int64_t asn_value = prev_asn + unzigzag(r.varint());
+    if (r.ok() && !asn_in_range(asn_value))
+      return pl::data_loss_error("history delta ASN out of range");
+    fact.asn = asn::Asn{static_cast<std::uint32_t>(asn_value)};
+    prev_asn = asn_value;
+    if ((head & kHeadHasDateBit) != 0) {
+      const std::int64_t date =
+          static_cast<std::int64_t>(delta.day) + unzigzag(r.varint());
+      if (r.ok() && !day_in_range(date))
+        return pl::data_loss_error(
+            "history delta registration date out of range");
+      fact.state.registration_date = static_cast<util::Day>(date);
+    }
+    const std::uint64_t country_id = r.varint();
+    if (r.ok() && country_id > countries.size())
+      return pl::data_loss_error("history delta country id out of range");
+    if (country_id != 0 && country_id <= countries.size())
+      fact.state.country = countries[country_id - 1];
+    fact.state.opaque_id = r.varint();
+    delta.delegation.push_back(fact);
+  }
+
+  const std::uint64_t active = r.container_size(1);
+  delta.active.reserve(active);
+  std::int64_t prev_active = 0;
+  for (std::uint64_t i = 0; r.ok() && i < active; ++i) {
+    const std::int64_t value = prev_active + unzigzag(r.varint());
+    if (r.ok() && !asn_in_range(value))
+      return pl::data_loss_error("history delta active ASN out of range");
+    delta.active.push_back(asn::Asn{static_cast<std::uint32_t>(value)});
+    prev_active = value;
+  }
+  if (!r.ok() || !r.at_end())
+    return pl::data_loss_error("history delta failed to decode: " +
+                               std::string(r.error()));
+  return delta;
+}
+
+}  // namespace pl::history

@@ -1,0 +1,48 @@
+// Compact per-day delta frames for the snapshot history store.
+//
+// A `serve::DayDelta` already has a durable encoding — the WAL record
+// (durable.cpp) — but the WAL optimizes for append simplicity, not size:
+// fixed-width ASNs, spelled-out country strings, one flag byte per field.
+// History keeps EVERY day resident, so its delta codec squeezes harder:
+//
+//   varint(version) zigzag(day)
+//   country table: varint(n), n length-prefixed tokens (first-seen order)
+//   facts:  varint(count), per fact
+//           head u8 = status(2b) | registry(3b) | has-reg-date(1b)
+//           zigzag varint ASN delta vs the previous fact
+//           [zigzag varint registration-date delta vs the frame's day]
+//           varint country id (0 = unknown, else table index + 1)
+//           varint opaque org id
+//   active: varint(count), zigzag varint ASN deltas
+//
+// wrapped in the standard robust/checkpoint.hpp CRC frame. slice_day emits
+// facts registry-major with ascending ASNs, so the ASN deltas are small and
+// positive; the codec still round-trips ANY DayDelta exactly (order
+// preserved, zigzag handles regressions), which the corruption suite and
+// the reconstruct bit-identity tests rely on. Truncation, bit flips, and
+// version skew all decode to a precise kDataLoss — never a crash, never a
+// partial delta.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "serve/snapshot.hpp"
+#include "util/status.hpp"
+
+namespace pl::history {
+
+/// Payload schema version inside each compact delta frame. Bumped whenever
+/// the layout changes; a mismatch is rejected as kDataLoss ("history delta
+/// format version skew"), never interpreted.
+inline constexpr std::uint32_t kDeltaFormatVersion = 1;
+
+/// Encode one day as a compact CRC frame (layout above).
+std::string encode_compact_delta(const serve::DayDelta& delta);
+
+/// Exact inverse of `encode_compact_delta`: the decoded delta compares
+/// equal to the encoded one, field for field and in order. kDataLoss on any
+/// corruption; a rejected frame is never partially applied.
+pl::StatusOr<serve::DayDelta> decode_compact_delta(std::string_view frame);
+
+}  // namespace pl::history

@@ -1,0 +1,48 @@
+#include "history/serving.hpp"
+
+#include <utility>
+
+namespace pl::history {
+
+HistoryWorld run_simulated_history(pipeline::Config config,
+                                   HistoryWorldConfig world_config) {
+  HistoryWorld world;
+  world_config.snapshot.op_timeout_days = config.op_timeout_days;
+  config.post_stage = [&world, &world_config](pipeline::Result& result,
+                                              obs::Span& run,
+                                              obs::Registry& metrics) {
+    obs::Span stage = run.child("history.build");
+    const util::Day end = result.truth.archive_end;
+    util::Day first = end - world_config.days + 1;
+    if (first < 1) first = 1;
+    stage.note("first_day", first);
+    stage.note("last_day", end);
+
+    pl::StatusOr<HistoryStore> built =
+        HistoryStore::build(result.restored, result.op_world.activity, first,
+                            end, world_config.history, world_config.snapshot);
+    if (!built.ok()) {
+      world.build_status = built.status();
+      stage.note("ok", 0);
+      return;
+    }
+    world.history = std::move(*built);
+    stage.note("ok", 1);
+
+    pl::StatusOr<const serve::Snapshot*> latest = world.history.at(end);
+    if (latest.ok()) {
+      world.snapshot = **latest;
+    } else {
+      world.build_status = latest.status();
+    }
+    record_metrics(world.history, metrics);
+    const HistoryStats stats = world.history.stats();
+    stage.note("keyframes", stats.keyframes);
+    stage.note("deltas", stats.deltas);
+    stage.note("delta_bytes", stats.delta_bytes);
+  };
+  world.result = pipeline::run_simulated(config);
+  return world;
+}
+
+}  // namespace pl::history

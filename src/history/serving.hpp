@@ -1,0 +1,43 @@
+// One-call "pipeline + history" wrapper: run the simulated study, then
+// build a delta-compressed HistoryStore over the trailing window of the
+// run as an extra traced stage (`history.build`), so the store's cost and
+// census land in the same report as every other stage. The returned world
+// also carries the end-day snapshot — attach a QueryService to it, point
+// `attach_history` at the store, and `QueryOptions::as_of` works.
+#pragma once
+
+#include "history/store.hpp"
+#include "pipeline/pipeline.hpp"
+#include "serve/snapshot.hpp"
+#include "util/status.hpp"
+
+namespace pl::history {
+
+struct HistoryWorldConfig {
+  /// Days of history to record: the store covers
+  /// [archive_end - days + 1, archive_end] (clamped to day 1). The default
+  /// spans two full keyframe intervals plus change — wide enough for the
+  /// 35+-day reconstruction sweeps the tests and bench run.
+  int days = 45;
+  HistoryConfig history;
+  serve::SnapshotConfig snapshot;
+};
+
+struct HistoryWorld {
+  pipeline::Result result;
+  /// The end-day snapshot (a copy of the store's final day).
+  serve::Snapshot snapshot;
+  HistoryStore history;
+  /// Outcome of the history.build stage; the pipeline result is returned
+  /// even when the store could not be built.
+  pl::Status build_status;
+};
+
+/// Run the full simulated pipeline, then build the history store inside
+/// the run's root span via the pipeline's post_stage hook. The snapshot
+/// config's op timeout always follows `config.op_timeout_days`, so every
+/// reconstructed day agrees exactly with a pipeline truncated there.
+HistoryWorld run_simulated_history(pipeline::Config config,
+                                   HistoryWorldConfig world_config = {});
+
+}  // namespace pl::history

@@ -399,11 +399,23 @@ class SnapshotCodec {
 
 // -- snapshot persistence --------------------------------------------------
 
-pl::Status save_snapshot(const Snapshot& snapshot, const std::string& path,
-                         robust::CrashPoints* crash) {
+std::string encode_snapshot(const Snapshot& snapshot) {
   robust::CheckpointWriter writer;
   SnapshotCodec::encode(snapshot, writer);
-  const std::string frame = std::move(writer).finish();
+  return std::move(writer).finish();
+}
+
+pl::StatusOr<Snapshot> decode_snapshot(std::string_view frame) {
+  robust::CheckpointReader reader(frame);
+  if (!reader.ok())
+    return pl::data_loss_error("snapshot rejected: " +
+                               std::string(reader.error()));
+  return SnapshotCodec::decode(reader);
+}
+
+pl::Status save_snapshot(const Snapshot& snapshot, const std::string& path,
+                         robust::CrashPoints* crash) {
+  const std::string frame = encode_snapshot(snapshot);
 
   const std::string tmp = path + ".tmp";
   if (crash != nullptr && crash->fire("durable.checkpoint.before_tmp"))
@@ -430,11 +442,7 @@ pl::Status save_snapshot(const Snapshot& snapshot, const std::string& path,
 pl::StatusOr<Snapshot> open_snapshot(const std::string& path) {
   auto bytes = read_file(path);
   if (!bytes.ok()) return bytes.status();
-  robust::CheckpointReader reader(*bytes);
-  if (!reader.ok())
-    return pl::data_loss_error("snapshot rejected: " +
-                               std::string(reader.error()));
-  return SnapshotCodec::decode(reader);
+  return decode_snapshot(*bytes);
 }
 
 // -- write-ahead log -------------------------------------------------------
@@ -636,6 +644,23 @@ pl::Status DurableService::open_impl(Snapshot bootstrap) {
       std::make_unique<QueryService>(std::move(base), query_config_,
                                      flight_.get());
 
+  if (config_.history != nullptr) {
+    // Seed (or re-anchor) the history at the recovered base state so the
+    // WAL days replayed below extend it contiguously. A store that already
+    // ends exactly at the base day is kept — the warm-restart case.
+    if (config_.history->empty() ||
+        config_.history->latest_day() != archive_end()) {
+      pl::Status seeded = config_.history->reset(service_->snapshot());
+      if (!seeded.ok()) {
+        // History is derived, rebuildable state: detach and keep serving.
+        metrics_->counter("pl_serve_history_append_failures").add(1);
+        health_.last_error = std::string(seeded.message());
+        config_.history = nullptr;
+      }
+    }
+    if (config_.history != nullptr) service_->attach_history(config_.history);
+  }
+
   const std::string wpath = wal_path();
   if (file_exists(wpath)) {
     obs::Span replay_span = root_.child("serve.durable.replay");
@@ -664,6 +689,7 @@ pl::Status DurableService::open_impl(Snapshot bootstrap) {
       }
       record_flight(obs::EventKind::kReplayDay, 0, delta.day);
       ++health_.replayed_days;
+      append_history(delta);
     }
     metrics_->counter("pl_serve_wal_replayed_days")
         .add(health_.replayed_days);
@@ -724,6 +750,7 @@ pl::Status DurableService::advance_day(const DayDelta& delta) {
   if (crash_here("durable.advance.after_fold"))
     return crash_status("durable.advance.after_fold");
 
+  append_history(delta);
   record_flight(obs::EventKind::kAdvance, 0, delta.day);
   ++days_since_checkpoint_;
   if (config_.checkpoint_every_days > 0 &&
@@ -773,6 +800,18 @@ pl::Status DurableService::checkpoint_impl(obs::Span& parent) {
   health_.wal_records = 0;
   days_since_checkpoint_ = 0;
   return {};
+}
+
+void DurableService::append_history(const DayDelta& delta) {
+  if (config_.history == nullptr) return;
+  pl::Status appended =
+      config_.history->append_day(delta, service_->snapshot());
+  if (appended.ok()) {
+    metrics_->counter("pl_serve_history_appends").add(1);
+    return;
+  }
+  metrics_->counter("pl_serve_history_append_failures").add(1);
+  health_.last_error = std::string(appended.message());
 }
 
 void DurableService::quarantine(util::Day day, const pl::Status& why) {

@@ -38,6 +38,7 @@
 #include "obs/export.hpp"
 #include "obs/flight.hpp"
 #include "robust/crashpoint.hpp"
+#include "serve/history_backend.hpp"
 #include "serve/query.hpp"
 #include "serve/snapshot.hpp"
 #include "util/status.hpp"
@@ -53,6 +54,16 @@ inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
 
 /// WAL record payload schema version (same skew policy).
 inline constexpr std::uint32_t kWalFormatVersion = 1;
+
+/// Serialize `snapshot` into one self-contained CRC frame (the exact bytes
+/// `save_snapshot` writes). The history store embeds these frames as its
+/// keyframes, so a keyframe and a snapshot file are the same format.
+std::string encode_snapshot(const Snapshot& snapshot);
+
+/// Parse a frame produced by `encode_snapshot`. kDataLoss when the frame or
+/// payload fails validation (truncation, flipped bit, version skew, index
+/// out of bounds); a rejected frame is NEVER partially applied.
+pl::StatusOr<Snapshot> decode_snapshot(std::string_view frame);
 
 /// Serialize `snapshot` into one CRC frame and write it to `path`
 /// atomically: the bytes land in `path + ".tmp"` first and are renamed over
@@ -144,6 +155,12 @@ struct DurableConfig {
   /// obs/flight.hpp). The recorder is shared with the wrapped QueryService
   /// so query and durability events land in one timeline.
   std::size_t flight_capacity = obs::kFlightDefaultCapacity;
+  /// Optional snapshot history (not owned; must outlive the service). When
+  /// set, open() seeds it from the recovered base state, every folded day —
+  /// replayed or advanced — is appended, and it is attached to the wrapped
+  /// QueryService for `as_of` time-travel queries. History is derived state:
+  /// an append failure degrades health() but never fails the fold.
+  HistoryBackend* history = nullptr;
 };
 
 /// Structured degradation report. `degraded` means the service is running
@@ -227,6 +244,10 @@ class DurableService {
 
   pl::Status open_impl(Snapshot bootstrap);
   pl::Status checkpoint_impl(obs::Span& parent);
+  /// Append one folded day to the attached history (no-op when none).
+  /// Best-effort: failures are counted and surfaced in health(), never
+  /// propagated — the history is rebuildable from snapshot + WAL.
+  void append_history(const DayDelta& delta);
   void quarantine(util::Day day, const pl::Status& why);
   bool crash_here(std::string_view site);
   void refresh_gauges();

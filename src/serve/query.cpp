@@ -12,7 +12,84 @@ namespace {
 /// Batch-size histogram edges: singles, small scripts, analysis sweeps.
 std::vector<std::int64_t> batch_bounds() { return {1, 8, 64, 512, 4096}; }
 
+/// The admin classification of `asn` in force on `day` (the category of
+/// the admin life covering it), nullopt when no life covers the day.
+std::optional<joint::Category> class_on(const Snapshot& snap, asn::Asn asn,
+                                        util::Day day) {
+  const AsnRow* row = snap.find(asn);
+  if (row == nullptr) return std::nullopt;
+  for (const AdminLifeRow& life : snap.admin_lives(*row))
+    if (life.life.days.first <= day && day <= life.life.days.last)
+      return life.category;
+  return std::nullopt;
+}
+
+/// Table-3 tally over every admin life the snapshot knows.
+std::array<std::int64_t, kTaxonomyCategories> tally_categories(
+    const Snapshot& snap) {
+  std::array<std::int64_t, kTaxonomyCategories> counts{};
+  for (const AsnRow& row : snap.rows())
+    for (const AdminLifeRow& life : snap.admin_lives(row))
+      ++counts[static_cast<std::size_t>(life.category)];
+  return counts;
+}
+
 }  // namespace
+
+// -- Query factories -------------------------------------------------------
+
+Query Query::lookup(asn::Asn asn, QueryOptions options) {
+  Query q;
+  q.subject.kind = QueryKind::kLookup;
+  q.subject.asns = {asn};
+  q.options = options;
+  return q;
+}
+
+Query Query::lookup_batch(std::vector<asn::Asn> asns, QueryOptions options) {
+  Query q;
+  q.subject.kind = QueryKind::kLookupBatch;
+  q.subject.asns = std::move(asns);
+  q.options = options;
+  return q;
+}
+
+Query Query::alive(asn::Asn asn, util::Day day, QueryOptions options) {
+  Query q;
+  q.subject.kind = QueryKind::kAlive;
+  q.subject.asns = {asn};
+  q.subject.day = day;
+  q.options = options;
+  return q;
+}
+
+Query Query::alive_batch(std::vector<asn::Asn> asns, util::Day day,
+                         QueryOptions options) {
+  Query q;
+  q.subject.kind = QueryKind::kAliveBatch;
+  q.subject.asns = std::move(asns);
+  q.subject.day = day;
+  q.options = options;
+  return q;
+}
+
+Query Query::census(util::Day day, QueryOptions options) {
+  Query q;
+  q.subject.kind = QueryKind::kCensus;
+  q.subject.day = day;
+  q.options = options;
+  return q;
+}
+
+Query Query::scan(ScanQuery scan, QueryOptions options) {
+  Query q;
+  q.subject.kind = QueryKind::kScan;
+  q.subject.scan = std::move(scan);
+  q.options = options;
+  return q;
+}
+
+// -- QueryService ----------------------------------------------------------
 
 QueryService::QueryService(Snapshot snapshot, QueryConfig config,
                            obs::FlightRecorder* flight)
@@ -39,10 +116,10 @@ QueryService::QueryService(Snapshot snapshot, QueryConfig config,
   record_metrics(snapshot_, metrics_);
 }
 
-AsnAnswer QueryService::answer_for(asn::Asn asn) const {
+AsnAnswer QueryService::answer_for(const Snapshot& snap, asn::Asn asn) const {
   AsnAnswer answer;
   answer.asn = asn;
-  const AsnRow* row = snapshot_.find(asn);
+  const AsnRow* row = snap.find(asn);
   if (row == nullptr) return answer;
   answer.known = true;
   answer.admin_life_count = row->admin_count;
@@ -51,8 +128,8 @@ AsnAnswer QueryService::answer_for(asn::Asn asn) const {
   answer.dormant_squat = (row->flags & kFlagDormantSquat) != 0;
   answer.outside_activity = (row->flags & kFlagOutsideActivity) != 0;
 
-  const util::Day end = snapshot_.archive_end();
-  const auto admin = snapshot_.admin_lives(*row);
+  const util::Day end = snap.archive_end();
+  const auto admin = snap.admin_lives(*row);
   if (!admin.empty()) {
     answer.admin_span =
         util::DayInterval{admin.front().life.days.first,
@@ -62,28 +139,143 @@ AsnAnswer QueryService::answer_for(asn::Asn asn) const {
     answer.latest_country = latest.life.country;
     answer.latest_registration = latest.life.registration_date;
     answer.latest_admin_category = latest.category;
-    answer.currently_allocated = snapshot_.admin_alive_on(*row, end);
+    answer.currently_allocated = snap.admin_alive_on(*row, end);
   }
-  const auto op = snapshot_.op_lives(*row);
+  const auto op = snap.op_lives(*row);
   if (!op.empty()) {
     answer.op_span = util::DayInterval{op.front().life.days.first,
                                        op.back().life.days.last};
-    answer.currently_active = snapshot_.op_alive_on(*row, end);
+    answer.currently_active = snap.op_alive_on(*row, end);
   }
   return answer;
 }
 
-AliveAnswer QueryService::alive_for(asn::Asn asn, util::Day day) const {
+AliveAnswer QueryService::alive_for(const Snapshot& snap, asn::Asn asn,
+                                    util::Day day) const {
   AliveAnswer answer;
   answer.asn = asn;
-  const AsnRow* row = snapshot_.find(asn);
+  const AsnRow* row = snap.find(asn);
   if (row == nullptr) return answer;
-  answer.admin_alive = snapshot_.admin_alive_on(*row, day);
-  answer.op_alive = snapshot_.op_alive_on(*row, day);
+  answer.admin_alive = snap.admin_alive_on(*row, day);
+  answer.op_alive = snap.op_alive_on(*row, day);
   return answer;
 }
 
-AsnAnswer QueryService::lookup(asn::Asn asn) {
+// -- the unified entry point -----------------------------------------------
+
+// pl-lint: allow(query-path-untraced) dispatcher: every kind's impl below
+// records its own span / flight event / metrics, and snapshot_as_of counts
+// the history routing — query() itself adds no unattributed work.
+pl::StatusOr<QueryResult> QueryService::query(const Query& q) {
+  auto snap = snapshot_as_of(q.options.as_of);
+  if (!snap.ok()) return snap.status();
+  // The answer caches are keyed by ASN against the LIVE snapshot; a past
+  // reconstruction must never probe or fill them.
+  const bool live = *snap == &snapshot_;
+  const bool use_cache = config_.enable_cache && q.options.use_cache && live;
+
+  const QuerySubject& subject = q.subject;
+  const bool point =
+      subject.kind == QueryKind::kLookup || subject.kind == QueryKind::kAlive;
+  if (point && subject.asns.size() != 1)
+    return pl::invalid_argument_error(
+        "point query subjects carry exactly one ASN; use the batch kind");
+
+  QueryResult result;
+  switch (subject.kind) {
+    case QueryKind::kLookup:
+      result.lookups.push_back(
+          lookup_impl(**snap, subject.asns.front(), use_cache));
+      break;
+    case QueryKind::kLookupBatch:
+      result.lookups = lookup_batch_impl(**snap, subject.asns, use_cache);
+      break;
+    case QueryKind::kAlive:
+      result.alive.push_back(
+          alive_impl(**snap, subject.asns.front(), subject.day, use_cache));
+      break;
+    case QueryKind::kAliveBatch:
+      result.alive =
+          alive_batch_impl(**snap, subject.asns, subject.day, use_cache);
+      break;
+    case QueryKind::kCensus:
+      result.census = census_impl(**snap, subject.day);
+      break;
+    case QueryKind::kScan:
+      result.lookups = scan_impl(**snap, subject.scan);
+      break;
+  }
+  return result;
+}
+
+pl::StatusOr<const Snapshot*> QueryService::snapshot_as_of(util::Day day) {
+  if (day == 0 || day == snapshot_.archive_end()) return &snapshot_;
+  if (day > snapshot_.archive_end())
+    return pl::invalid_argument_error(
+        "as_of day " + std::to_string(day) +
+        " is beyond the served archive end " +
+        std::to_string(snapshot_.archive_end()));
+  if (history_ == nullptr)
+    return pl::failed_precondition_error(
+        "as_of queries need a history store; call attach_history() first");
+  metrics_.counter("pl_serve_queries{kind=\"as_of\"}").add(1);
+  return history_->at(day);
+}
+
+// -- temporal queries ------------------------------------------------------
+
+pl::StatusOr<DriftAnswer> QueryService::drift(util::Day from, util::Day to) {
+  obs::Span span = root_.child("serve.drift");
+  span.note("from", from);
+  span.note("to", to);
+  metrics_.counter("pl_serve_queries{kind=\"drift\"}").add(1);
+  DriftAnswer answer;
+  answer.from = from;
+  answer.to = to;
+  // Tally `from` before resolving `to`: both may share the history store's
+  // single reconstruction slot, so the first pointer dies at the second at().
+  auto then = snapshot_as_of(from);
+  if (!then.ok()) return then.status();
+  answer.from_counts = tally_categories(**then);
+  auto now = snapshot_as_of(to);
+  if (!now.ok()) return now.status();
+  answer.to_counts = tally_categories(**now);
+  return answer;
+}
+
+pl::StatusOr<util::Day> QueryService::first_flip(asn::Asn asn,
+                                                 joint::Category category) {
+  obs::Span span = root_.child("serve.first_flip");
+  span.note("asn", asn.value);
+  metrics_.counter("pl_serve_queries{kind=\"first_flip\"}").add(1);
+  if (history_ == nullptr)
+    return pl::failed_precondition_error(
+        "first_flip needs a history store; call attach_history() first");
+  const util::Day lo = history_->earliest_day();
+  const util::Day hi = std::min(history_->latest_day(),
+                                snapshot_.archive_end());
+  // Walk forward: consecutive at() calls are cheap (each rolls the store's
+  // cached snapshot one delta forward in place).
+  bool prev = false;
+  for (util::Day day = lo; day <= hi; ++day) {
+    auto past = snapshot_as_of(day);
+    if (!past.ok()) return past.status();
+    const bool now = class_on(**past, asn, day) == category;
+    if (now && !prev) {
+      span.note("day", day);
+      return day;
+    }
+    prev = now;
+  }
+  return pl::not_found_error("ASN " + std::to_string(asn.value) +
+                             " never flipped to that class in the recorded "
+                             "history");
+}
+
+// -- serving paths (shared by query() and the shims) -----------------------
+
+AsnAnswer QueryService::lookup_impl(const Snapshot& snap, asn::Asn asn,
+                                    bool use_cache) {
   const std::uint64_t seq = next_sequence();
   std::optional<obs::ScopedLatency> timer;
   if constexpr (obs::kEnabled)
@@ -93,30 +285,30 @@ AsnAnswer QueryService::lookup(asn::Asn asn) {
       obs::derive_request_id(obs::kQueryStream, seq, 0);
   const auto shard =
       static_cast<std::uint32_t>(lookup_cache_.shard_index(asn.value));
-  if (config_.enable_cache) {
+  if (use_cache) {
     if (std::optional<AsnAnswer> cached = lookup_cache_.get(asn.value)) {
       hits_.add(1);
       record_event(rid, obs::EventKind::kLookup,
                    obs::query_detail(obs::kCacheHit, shard, 0, cached->known),
-                   snapshot_.archive_end());
+                   snap.archive_end());
       return *cached;
     }
     misses_.add(1);
   }
-  AsnAnswer answer = answer_for(asn);
-  if (config_.enable_cache)
+  AsnAnswer answer = answer_for(snap, asn);
+  if (use_cache)
     evictions_.add(static_cast<std::int64_t>(
         lookup_cache_.put(asn.value, answer)));
   record_event(rid, obs::EventKind::kLookup,
                obs::query_detail(
-                   config_.enable_cache ? obs::kCacheMiss : obs::kCacheNone,
+                   use_cache ? obs::kCacheMiss : obs::kCacheNone,
                    shard, 0, answer.known),
-               snapshot_.archive_end());
+               snap.archive_end());
   return answer;
 }
 
-std::vector<AsnAnswer> QueryService::lookup_batch(
-    const std::vector<asn::Asn>& asns) {
+std::vector<AsnAnswer> QueryService::lookup_batch_impl(
+    const Snapshot& snap, const std::vector<asn::Asn>& asns, bool use_cache) {
   obs::Span span = root_.child("serve.lookup_batch");
   span.note("items", static_cast<std::int64_t>(asns.size()));
   const std::uint64_t seq = next_sequence();
@@ -132,7 +324,7 @@ std::vector<AsnAnswer> QueryService::lookup_batch(
   // recorded here; miss events in the (also serial) merge phase below.
   std::map<std::uint32_t, std::vector<std::size_t>> pending;
   for (std::size_t i = 0; i < asns.size(); ++i) {
-    if (config_.enable_cache) {
+    if (use_cache) {
       if (std::optional<AsnAnswer> cached = lookup_cache_.get(asns[i].value)) {
         hits_.add(1);
         answers[i] = *cached;
@@ -144,7 +336,7 @@ std::vector<AsnAnswer> QueryService::lookup_batch(
                 static_cast<std::uint32_t>(
                     lookup_cache_.shard_index(asns[i].value)),
                 0, cached->known),
-            snapshot_.archive_end());
+            snap.archive_end());
         continue;
       }
       misses_.add(1);
@@ -163,11 +355,11 @@ std::vector<AsnAnswer> QueryService::lookup_batch(
       keys.size(),
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t k = begin; k < end; ++k)
-          computed[k] = answer_for(asn::Asn{keys[k].first});
+          computed[k] = answer_for(snap, asn::Asn{keys[k].first});
       },
       /*grain=*/32);
   const std::uint32_t miss_bits =
-      config_.enable_cache ? obs::kCacheMiss : obs::kCacheNone;
+      use_cache ? obs::kCacheMiss : obs::kCacheNone;
   for (std::size_t k = 0; k < keys.size(); ++k) {
     const auto shard = static_cast<std::uint32_t>(
         lookup_cache_.shard_index(keys[k].first));
@@ -176,16 +368,17 @@ std::vector<AsnAnswer> QueryService::lookup_batch(
       record_event(obs::derive_request_id(obs::kQueryStream, seq, i),
                    obs::EventKind::kLookup,
                    obs::query_detail(miss_bits, shard, 0, computed[k].known),
-                   snapshot_.archive_end());
+                   snap.archive_end());
     }
-    if (config_.enable_cache)
+    if (use_cache)
       evictions_.add(static_cast<std::int64_t>(
           lookup_cache_.put(keys[k].first, computed[k])));
   }
   return answers;
 }
 
-AliveAnswer QueryService::alive_on(asn::Asn asn, util::Day day) {
+AliveAnswer QueryService::alive_impl(const Snapshot& snap, asn::Asn asn,
+                                     util::Day day, bool use_cache) {
   const std::uint64_t seq = next_sequence();
   std::optional<obs::ScopedLatency> timer;
   if constexpr (obs::kEnabled)
@@ -196,7 +389,7 @@ AliveAnswer QueryService::alive_on(asn::Asn asn, util::Day day) {
       obs::derive_request_id(obs::kQueryStream, seq, 0);
   const auto shard =
       static_cast<std::uint32_t>(alive_cache_.shard_index(key));
-  if (config_.enable_cache) {
+  if (use_cache) {
     if (std::optional<AliveAnswer> cached = alive_cache_.get(key)) {
       hits_.add(1);
       record_event(rid, obs::EventKind::kAlive,
@@ -207,19 +400,20 @@ AliveAnswer QueryService::alive_on(asn::Asn asn, util::Day day) {
     }
     misses_.add(1);
   }
-  AliveAnswer answer = alive_for(asn, day);
-  if (config_.enable_cache)
+  AliveAnswer answer = alive_for(snap, asn, day);
+  if (use_cache)
     evictions_.add(static_cast<std::int64_t>(alive_cache_.put(key, answer)));
   record_event(rid, obs::EventKind::kAlive,
                obs::query_detail(
-                   config_.enable_cache ? obs::kCacheMiss : obs::kCacheNone,
+                   use_cache ? obs::kCacheMiss : obs::kCacheNone,
                    shard, 0, answer.admin_alive || answer.op_alive),
                day);
   return answer;
 }
 
-std::vector<AliveAnswer> QueryService::alive_on_batch(
-    const std::vector<asn::Asn>& asns, util::Day day) {
+std::vector<AliveAnswer> QueryService::alive_batch_impl(
+    const Snapshot& snap, const std::vector<asn::Asn>& asns, util::Day day,
+    bool use_cache) {
   obs::Span span = root_.child("serve.alive_on_batch");
   span.note("items", static_cast<std::int64_t>(asns.size()));
   const std::uint64_t seq = next_sequence();
@@ -232,7 +426,7 @@ std::vector<AliveAnswer> QueryService::alive_on_batch(
   std::map<std::uint32_t, std::vector<std::size_t>> pending;
   for (std::size_t i = 0; i < asns.size(); ++i) {
     const std::uint64_t key = alive_key(asns[i], day);
-    if (config_.enable_cache) {
+    if (use_cache) {
       if (std::optional<AliveAnswer> cached = alive_cache_.get(key)) {
         hits_.add(1);
         answers[i] = *cached;
@@ -260,11 +454,11 @@ std::vector<AliveAnswer> QueryService::alive_on_batch(
       keys.size(),
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t k = begin; k < end; ++k)
-          computed[k] = alive_for(asn::Asn{keys[k].first}, day);
+          computed[k] = alive_for(snap, asn::Asn{keys[k].first}, day);
       },
       /*grain=*/32);
   const std::uint32_t miss_bits =
-      config_.enable_cache ? obs::kCacheMiss : obs::kCacheNone;
+      use_cache ? obs::kCacheMiss : obs::kCacheNone;
   for (std::size_t k = 0; k < keys.size(); ++k) {
     const std::uint64_t key = alive_key(asn::Asn{keys[k].first}, day);
     const auto shard =
@@ -278,18 +472,18 @@ std::vector<AliveAnswer> QueryService::alive_on_batch(
                        computed[k].admin_alive || computed[k].op_alive),
                    day);
     }
-    if (config_.enable_cache)
+    if (use_cache)
       evictions_.add(
           static_cast<std::int64_t>(alive_cache_.put(key, computed[k])));
   }
   return answers;
 }
 
-CensusAnswer QueryService::census(util::Day day) {
+CensusAnswer QueryService::census_impl(const Snapshot& snap, util::Day day) {
   const std::uint64_t seq = next_sequence();
   const obs::ScopedLatency timer(census_latency_);
   metrics_.counter("pl_serve_queries{kind=\"census\"}").add(1);
-  const AliveCensus counts = snapshot_.alive_census(day);
+  const AliveCensus counts = snap.alive_census(day);
   record_event(obs::derive_request_id(obs::kQueryStream, seq, 0),
                obs::EventKind::kCensus,
                obs::query_detail(obs::kCacheNone, 0, 0,
@@ -298,7 +492,8 @@ CensusAnswer QueryService::census(util::Day day) {
   return CensusAnswer{day, counts.admin_alive, counts.op_alive};
 }
 
-std::vector<AsnAnswer> QueryService::scan(const ScanQuery& query) {
+std::vector<AsnAnswer> QueryService::scan_impl(const Snapshot& snap,
+                                               const ScanQuery& query) {
   obs::Span span = root_.child("serve.scan");
   const std::uint64_t seq = next_sequence();
   const obs::ScopedLatency timer(scan_latency_);
@@ -307,15 +502,15 @@ std::vector<AsnAnswer> QueryService::scan(const ScanQuery& query) {
   metrics_.counter("pl_serve_queries{kind=\"scan\"}").add(1);
 
   std::vector<AsnAnswer> answers;
-  const auto& rows = snapshot_.rows();
+  const auto& rows = snap.rows();
 
   // When a registry or country filter is set, walk that dimension's (much
   // smaller) row-index list instead of the whole table; both lists are
   // ascending so the output order is the same either way.
   const std::vector<std::uint32_t>* candidates = nullptr;
-  if (query.registry) candidates = &snapshot_.rows_in_registry(*query.registry);
+  if (query.registry) candidates = &snap.rows_in_registry(*query.registry);
   if (query.country) {
-    const auto& by_country = snapshot_.rows_by_country();
+    const auto& by_country = snap.rows_by_country();
     const auto it = by_country.find(*query.country);
     if (it == by_country.end()) {
       span.note("results", 0);
@@ -332,7 +527,7 @@ std::vector<AsnAnswer> QueryService::scan(const ScanQuery& query) {
     if (row.asn < query.first || query.last < row.asn) return false;
     if (query.registry) {
       bool in_registry = false;
-      for (const AdminLifeRow& life : snapshot_.admin_lives(row))
+      for (const AdminLifeRow& life : snap.admin_lives(row))
         if (life.life.registry == *query.registry) {
           in_registry = true;
           break;
@@ -341,7 +536,7 @@ std::vector<AsnAnswer> QueryService::scan(const ScanQuery& query) {
     }
     if (query.country) {
       bool in_country = false;
-      for (const AdminLifeRow& life : snapshot_.admin_lives(row))
+      for (const AdminLifeRow& life : snap.admin_lives(row))
         if (life.life.country == *query.country) {
           in_country = true;
           break;
@@ -349,9 +544,9 @@ std::vector<AsnAnswer> QueryService::scan(const ScanQuery& query) {
       if (!in_country) return false;
     }
     if (query.admin_alive_on &&
-        !snapshot_.admin_alive_on(row, *query.admin_alive_on))
+        !snap.admin_alive_on(row, *query.admin_alive_on))
       return false;
-    if (query.op_alive_on && !snapshot_.op_alive_on(row, *query.op_alive_on))
+    if (query.op_alive_on && !snap.op_alive_on(row, *query.op_alive_on))
       return false;
     return true;
   };
@@ -359,7 +554,7 @@ std::vector<AsnAnswer> QueryService::scan(const ScanQuery& query) {
   if (candidates != nullptr) {
     for (const std::uint32_t r : *candidates) {
       if (answers.size() >= query.limit) break;
-      if (matches(rows[r])) answers.push_back(answer_for(rows[r].asn));
+      if (matches(rows[r])) answers.push_back(answer_for(snap, rows[r].asn));
     }
   } else {
     // ASN range prune via binary search over the sorted rows.
@@ -368,7 +563,7 @@ std::vector<AsnAnswer> QueryService::scan(const ScanQuery& query) {
         [](const AsnRow& row, asn::Asn key) { return row.asn < key; });
     for (auto it = begin; it != rows.end() && !(query.last < it->asn); ++it) {
       if (answers.size() >= query.limit) break;
-      if (matches(*it)) answers.push_back(answer_for(it->asn));
+      if (matches(*it)) answers.push_back(answer_for(snap, it->asn));
     }
   }
   span.note("results", static_cast<std::int64_t>(answers.size()));
@@ -376,6 +571,42 @@ std::vector<AsnAnswer> QueryService::scan(const ScanQuery& query) {
                obs::query_detail(obs::kCacheNone, 0, 0, !answers.empty()),
                static_cast<std::int64_t>(answers.size()));
   return answers;
+}
+
+// -- pre-redesign shims ----------------------------------------------------
+// Each forwards to the shared serving path with today-default options —
+// bit-identical answers, metrics, and flight events (oracle-test-locked).
+
+// pl-lint: allow(query-path-untraced) shim: lookup_impl records the event.
+AsnAnswer QueryService::lookup(asn::Asn asn) {
+  return lookup_impl(snapshot_, asn, config_.enable_cache);
+}
+
+// pl-lint: allow(query-path-untraced) shim: the impl opens the batch span.
+std::vector<AsnAnswer> QueryService::lookup_batch(
+    const std::vector<asn::Asn>& asns) {
+  return lookup_batch_impl(snapshot_, asns, config_.enable_cache);
+}
+
+// pl-lint: allow(query-path-untraced) shim: alive_impl records the event.
+AliveAnswer QueryService::alive_on(asn::Asn asn, util::Day day) {
+  return alive_impl(snapshot_, asn, day, config_.enable_cache);
+}
+
+// pl-lint: allow(query-path-untraced) shim: the impl opens the batch span.
+std::vector<AliveAnswer> QueryService::alive_on_batch(
+    const std::vector<asn::Asn>& asns, util::Day day) {
+  return alive_batch_impl(snapshot_, asns, day, config_.enable_cache);
+}
+
+// pl-lint: allow(query-path-untraced) shim: census_impl records the event.
+CensusAnswer QueryService::census(util::Day day) {
+  return census_impl(snapshot_, day);
+}
+
+// pl-lint: allow(query-path-untraced) shim: scan_impl opens the scan span.
+std::vector<AsnAnswer> QueryService::scan(const ScanQuery& query) {
+  return scan_impl(snapshot_, query);
 }
 
 pl::Status QueryService::advance_day(const DayDelta& delta) {

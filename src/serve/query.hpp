@@ -1,4 +1,4 @@
-// The batch/point query front-end over a serving Snapshot.
+// The query front-end over a serving Snapshot.
 //
 // QueryService answers the questions the paper's analyses keep asking —
 // "what do we know about AS X?", "was it alive on day D?", "which ASNs in
@@ -6,11 +6,24 @@
 // LRU answer cache, and full obs instrumentation (`serve.*` spans,
 // `pl_serve_*` metrics).
 //
-// Batch calls are the primary API: vector-in/vector-out, misses computed in
-// parallel over the exec pool. Answers are deterministic — bit-identical
+// The request shape is one struct: `Query{subject, options}`. The subject
+// says WHAT is asked (point lookup, batch, alive, census, scan); the
+// options say HOW — `QueryOptions::as_of` routes the question to a past
+// day through an attached `HistoryBackend` (DESIGN.md §16), and
+// `use_cache` lets a caller bypass the answer cache without changing the
+// answer. The pre-redesign entry points (`lookup`, `lookup_batch`,
+// `alive_on`, ...) remain as thin source-compat shims for one PR; they are
+// bit-identical to `query()` with default options.
+//
+// Batch subjects are the primary API: vector-in/vector-out, misses computed
+// in parallel over the exec pool. Answers are deterministic — bit-identical
 // across PL_THREADS settings and cache on/off (the serve oracle test locks
 // this) — because the cache stores full answers keyed by the full query and
 // the parallel miss phase writes into per-index slots merged in order.
+//
+// Temporal queries ride the same history routing: `drift(from, to)` tallies
+// the Table-3 taxonomy at two as-of days, `first_flip(asn, category)` finds
+// the first recorded day an ASN's admin classification became `category`.
 #pragma once
 
 #include <atomic>
@@ -28,6 +41,7 @@
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "serve/cache.hpp"
+#include "serve/history_backend.hpp"
 #include "serve/snapshot.hpp"
 
 namespace pl::serve {
@@ -96,6 +110,86 @@ struct CensusAnswer {
   friend bool operator==(const CensusAnswer&, const CensusAnswer&) = default;
 };
 
+// -- the unified request shape ---------------------------------------------
+
+/// What kind of question a Query asks. Point and batch kinds stay distinct
+/// so the flight-event and metric shapes of the old entry points carry over
+/// exactly (a point lookup records one event, a batch one per item).
+enum class QueryKind : std::uint8_t {
+  kLookup,       ///< one ASN          → QueryResult::lookups[0]
+  kLookupBatch,  ///< many ASNs        → QueryResult::lookups
+  kAlive,        ///< one ASN + day    → QueryResult::alive[0]
+  kAliveBatch,   ///< many ASNs + day  → QueryResult::alive
+  kCensus,       ///< one day          → QueryResult::census
+  kScan,         ///< ScanQuery filter → QueryResult::lookups
+};
+
+/// How to answer: which day's snapshot, and whether the answer cache may
+/// serve/store the result. Defaults reproduce the old entry points exactly.
+struct QueryOptions {
+  /// 0 (or the live archive end) = answer from the current snapshot. Any
+  /// earlier day routes through the attached HistoryBackend: the answer is
+  /// what the service would have said on that day. Requires
+  /// `attach_history()`; fails kFailedPrecondition otherwise.
+  util::Day as_of = 0;
+  /// false = compute fresh, never probe or fill the cache. Answers are
+  /// bit-identical either way (the oracle test locks this); as-of answers
+  /// always bypass the cache, which is keyed by the live snapshot.
+  bool use_cache = true;
+
+  friend bool operator==(const QueryOptions&, const QueryOptions&) = default;
+};
+
+/// The subject of a query; which fields matter depends on `kind`.
+struct QuerySubject {
+  QueryKind kind = QueryKind::kLookup;
+  std::vector<asn::Asn> asns;  ///< kLookup*/kAlive*: the ASN(s) asked about
+  util::Day day = 0;           ///< kAlive*/kCensus: the day asked about
+  ScanQuery scan;              ///< kScan: the filter
+};
+
+/// One request: subject + options. Build directly or via the factories.
+struct Query {
+  QuerySubject subject;
+  QueryOptions options;
+
+  static Query lookup(asn::Asn asn, QueryOptions options = {});
+  static Query lookup_batch(std::vector<asn::Asn> asns,
+                            QueryOptions options = {});
+  static Query alive(asn::Asn asn, util::Day day, QueryOptions options = {});
+  static Query alive_batch(std::vector<asn::Asn> asns, util::Day day,
+                           QueryOptions options = {});
+  static Query census(util::Day day, QueryOptions options = {});
+  static Query scan(ScanQuery scan, QueryOptions options = {});
+};
+
+/// The answer slot matching the subject kind (see QueryKind). Unused slots
+/// stay empty, so one result type covers every kind without a variant.
+struct QueryResult {
+  std::vector<AsnAnswer> lookups;
+  std::vector<AliveAnswer> alive;
+  std::optional<CensusAnswer> census;
+
+  friend bool operator==(const QueryResult&, const QueryResult&) = default;
+};
+
+// -- temporal answers ------------------------------------------------------
+
+/// Number of joint taxonomy classes (array index space for drift tallies).
+inline constexpr std::size_t kTaxonomyCategories =
+    static_cast<std::size_t>(joint::Category::kOutsideDelegation) + 1;
+
+/// Table-3 taxonomy tallies at two as-of days: how many admin lives of each
+/// class the study knew about then vs now. Indexed by joint::Category.
+struct DriftAnswer {
+  util::Day from = 0;
+  util::Day to = 0;
+  std::array<std::int64_t, kTaxonomyCategories> from_counts{};
+  std::array<std::int64_t, kTaxonomyCategories> to_counts{};
+
+  friend bool operator==(const DriftAnswer&, const DriftAnswer&) = default;
+};
+
 /// Query front-end owning a Snapshot, its caches, and its obs state.
 /// Thread-compatible: concurrent reads are safe against each other but not
 /// against advance_day(); callers serialize advances externally.
@@ -111,7 +205,36 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  // -- point + batch queries ---------------------------------------------
+  // -- the unified entry point ---------------------------------------------
+
+  /// Answer one Query. kInvalidArgument when the subject is malformed
+  /// (point kinds need exactly one ASN) or `as_of` is in the future;
+  /// kFailedPrecondition when `as_of` needs a history store and none is
+  /// attached; kNotFound when `as_of` predates the recorded history.
+  pl::StatusOr<QueryResult> query(const Query& q);
+
+  /// Attach the snapshot history used for `as_of` routing and the temporal
+  /// queries. Not owned; must outlive the service (or be detached with
+  /// nullptr). A DurableService wires its configured backend in here.
+  void attach_history(HistoryBackend* history) noexcept {
+    history_ = history;
+  }
+  HistoryBackend* history() const noexcept { return history_; }
+
+  // -- temporal queries ----------------------------------------------------
+
+  /// Taxonomy tallies as of `from` vs as of `to` (0 = today). Routes both
+  /// days through the history store like any as_of query.
+  pl::StatusOr<DriftAnswer> drift(util::Day from, util::Day to);
+
+  /// First recorded day `asn`'s admin classification flipped TO `category`
+  /// — the earliest day D in the stored history where the life covering D
+  /// is classified `category` and the day before was not (a classification
+  /// already in force at the start of the recorded range counts as day
+  /// one). kNotFound when it never happened within the recorded range.
+  pl::StatusOr<util::Day> first_flip(asn::Asn asn, joint::Category category);
+
+  // -- point + batch shims (pre-redesign surface; one PR of source compat) --
 
   AsnAnswer lookup(asn::Asn asn);
   std::vector<AsnAnswer> lookup_batch(const std::vector<asn::Asn>& asns);
@@ -149,8 +272,31 @@ class QueryService {
   const obs::FlightRecorder& flight() const noexcept { return *flight_; }
 
  private:
-  AsnAnswer answer_for(asn::Asn asn) const;
-  AliveAnswer alive_for(asn::Asn asn, util::Day day) const;
+  // Every serving path is parameterized on the snapshot it answers from
+  // (the live one or a history reconstruction) and on whether the cache
+  // may participate — `use_cache` is only ever true for the live snapshot,
+  // so past-day answers can never poison the (ASN-keyed) caches.
+  AsnAnswer answer_for(const Snapshot& snap, asn::Asn asn) const;
+  AliveAnswer alive_for(const Snapshot& snap, asn::Asn asn,
+                        util::Day day) const;
+
+  AsnAnswer lookup_impl(const Snapshot& snap, asn::Asn asn, bool use_cache);
+  std::vector<AsnAnswer> lookup_batch_impl(const Snapshot& snap,
+                                           const std::vector<asn::Asn>& asns,
+                                           bool use_cache);
+  AliveAnswer alive_impl(const Snapshot& snap, asn::Asn asn, util::Day day,
+                         bool use_cache);
+  std::vector<AliveAnswer> alive_batch_impl(const Snapshot& snap,
+                                            const std::vector<asn::Asn>& asns,
+                                            util::Day day, bool use_cache);
+  CensusAnswer census_impl(const Snapshot& snap, util::Day day);
+  std::vector<AsnAnswer> scan_impl(const Snapshot& snap,
+                                   const ScanQuery& query);
+
+  /// Resolve an as_of day to the snapshot to answer from: the live one for
+  /// 0 / the current archive end, a history reconstruction otherwise. The
+  /// pointer follows HistoryBackend::at()'s validity rule.
+  pl::StatusOr<const Snapshot*> snapshot_as_of(util::Day day);
 
   static std::uint64_t alive_key(asn::Asn asn, util::Day day) noexcept {
     return (static_cast<std::uint64_t>(asn.value) << 32) |
@@ -174,6 +320,7 @@ class QueryService {
 
   Snapshot snapshot_;
   QueryConfig config_;
+  HistoryBackend* history_ = nullptr;  ///< as_of routing; not owned
 
   obs::Registry metrics_;
   obs::Trace trace_;

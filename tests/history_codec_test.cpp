@@ -1,0 +1,239 @@
+// Compact delta codec + history file corruption suite: round-trips are
+// exact for hand-built and sliced deltas, and every flavor of damage —
+// truncation at any length, any single bit flipped, version skew, file-level
+// tears — decodes to a precise kDataLoss, never a crash, never a partial
+// delta. Runs under the asan leg via the `chaos` label.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "history/codec.hpp"
+#include "history/store.hpp"
+#include "pipeline/pipeline.hpp"
+#include "robust/checkpoint.hpp"
+
+namespace pl::history {
+namespace {
+
+serve::DayDelta hand_built_delta() {
+  serve::DayDelta delta;
+  delta.day = 6000;
+
+  serve::DelegationFact fact;
+  fact.asn = asn::Asn{64512};
+  fact.registry = asn::Rir::kRipeNcc;
+  fact.state.status = dele::Status::kAllocated;
+  fact.state.registration_date = 5990;
+  fact.state.country = *asn::CountryCode::parse("DE");
+  fact.state.opaque_id = 17;
+  delta.delegation.push_back(fact);
+
+  // Second fact: LOWER ASN (negative zigzag delta), no registration date,
+  // unknown country, different registry and status.
+  fact = {};
+  fact.asn = asn::Asn{42};
+  fact.registry = asn::Rir::kArin;
+  fact.state.status = dele::Status::kReserved;
+  delta.delegation.push_back(fact);
+
+  // Third: same country as the first (interned id reused), a registration
+  // date AFTER the frame day (negative-able delta on the other side).
+  fact = {};
+  fact.asn = asn::Asn{4200000000u};
+  fact.registry = asn::Rir::kApnic;
+  fact.state.status = dele::Status::kAssigned;
+  fact.state.registration_date = 6004;
+  fact.state.country = *asn::CountryCode::parse("DE");
+  fact.state.opaque_id = 3;
+  delta.delegation.push_back(fact);
+
+  delta.active = {asn::Asn{42}, asn::Asn{64512}, asn::Asn{64513}};
+  return delta;
+}
+
+TEST(HistoryCodec, RoundTripsHandBuiltDeltaExactly) {
+  const serve::DayDelta delta = hand_built_delta();
+  const std::string frame = encode_compact_delta(delta);
+  auto decoded = decode_compact_delta(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(*decoded, delta);
+}
+
+TEST(HistoryCodec, RoundTripsEmptyDelta) {
+  serve::DayDelta delta;
+  delta.day = 1;
+  const std::string frame = encode_compact_delta(delta);
+  auto decoded = decode_compact_delta(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(*decoded, delta);
+}
+
+TEST(HistoryCodec, RoundTripsSlicedDaysExactly) {
+  pipeline::Config config;
+  config.seed = 99;
+  config.scale = 0.01;
+  const pipeline::Result world = pipeline::run_simulated(config);
+  const util::Day end = world.truth.archive_end;
+  for (const util::Day day : {end, end - 1, end - 17, end - 30}) {
+    const serve::DayDelta delta = HistoryStore::slice_day(
+        world.restored, world.op_world.activity, day);
+    ASSERT_GT(delta.delegation.size(), 0u);
+    auto decoded = decode_compact_delta(encode_compact_delta(delta));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+    EXPECT_EQ(*decoded, delta) << "sliced day " << day;
+  }
+}
+
+TEST(HistoryCodec, TruncationAtEveryLengthIsDataLoss) {
+  const std::string frame = encode_compact_delta(hand_built_delta());
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    auto decoded = decode_compact_delta(frame.substr(0, len));
+    ASSERT_FALSE(decoded.ok()) << "truncation to " << len << " accepted";
+    EXPECT_EQ(decoded.status().code(), pl::StatusCode::kDataLoss);
+  }
+}
+
+TEST(HistoryCodec, EveryBitFlipIsDataLoss) {
+  // CRC32 detects any single-bit error, so no flip may round-trip — and
+  // none may crash, even the ones that reach payload validation first.
+  const std::string frame = encode_compact_delta(hand_built_delta());
+  for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = frame;
+      damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
+      auto decoded = decode_compact_delta(damaged);
+      ASSERT_FALSE(decoded.ok())
+          << "bit " << bit << " of byte " << byte << " flipped undetected";
+      EXPECT_EQ(decoded.status().code(), pl::StatusCode::kDataLoss);
+    }
+  }
+}
+
+TEST(HistoryCodec, VersionSkewIsDataLoss) {
+  // A structurally valid frame from "the future": version bumped, payload
+  // otherwise empty. Must be refused as skew, not misread.
+  robust::CheckpointWriter w;
+  w.varint(kDeltaFormatVersion + 1);
+  w.varint(0);  // day 0 (zigzag)
+  w.varint(0);  // no countries
+  w.varint(0);  // no facts
+  w.varint(0);  // no active
+  auto decoded = decode_compact_delta(std::move(w).finish());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), pl::StatusCode::kDataLoss);
+}
+
+TEST(HistoryCodec, GarbageIsDataLoss) {
+  EXPECT_EQ(decode_compact_delta("").status().code(),
+            pl::StatusCode::kDataLoss);
+  EXPECT_EQ(decode_compact_delta("PLCK but not really a frame at all")
+                .status()
+                .code(),
+            pl::StatusCode::kDataLoss);
+}
+
+// -- file-level corruption --------------------------------------------------
+
+class HistoryFileCorruption : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pipeline::Config config;
+    config.seed = 7;
+    config.scale = 0.01;
+    world_ = new pipeline::Result(pipeline::run_simulated(config));
+    const util::Day end = world_->truth.archive_end;
+    auto store = HistoryStore::build(world_->restored,
+                                     world_->op_world.activity, end - 10, end);
+    ASSERT_TRUE(store.ok()) << store.status().to_string();
+    path_ = testing::TempDir() + "history_corruption.plhist";
+    std::filesystem::remove(path_);
+    ASSERT_TRUE(store->save(path_).ok());
+    bytes_ = read_all(path_);
+    ASSERT_GT(bytes_.size(), 100u);
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  static std::string read_all(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  static void write_all(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  /// Write a damaged variant and expect open() and inspect() to both
+  /// refuse it as kDataLoss.
+  void expect_rejected(const std::string& damaged, const std::string& what) {
+    const std::string path = testing::TempDir() + "history_damaged.plhist";
+    write_all(path, damaged);
+    EXPECT_EQ(HistoryStore::open(path).status().code(),
+              pl::StatusCode::kDataLoss)
+        << what << " accepted by open()";
+    EXPECT_EQ(inspect(path).status().code(), pl::StatusCode::kDataLoss)
+        << what << " accepted by inspect()";
+  }
+
+  static pipeline::Result* world_;
+  static std::string path_;
+  static std::string bytes_;
+};
+
+pipeline::Result* HistoryFileCorruption::world_ = nullptr;
+std::string HistoryFileCorruption::path_;
+std::string HistoryFileCorruption::bytes_;
+
+TEST_F(HistoryFileCorruption, IntactFileOpens) {
+  auto store = HistoryStore::open(path_);
+  ASSERT_TRUE(store.ok()) << store.status().to_string();
+  auto latest = store->at(store->latest_day());
+  EXPECT_TRUE(latest.ok()) << latest.status().to_string();
+}
+
+TEST_F(HistoryFileCorruption, TruncationIsDataLoss) {
+  // Cut the file at a spread of points: inside the manifest, inside a
+  // keyframe, inside a delta, mid-header, and one byte short.
+  for (const double fraction : {0.01, 0.1, 0.4, 0.7, 0.95}) {
+    const std::size_t len =
+        static_cast<std::size_t>(bytes_.size() * fraction);
+    expect_rejected(bytes_.substr(0, len),
+                    "truncation to " + std::to_string(len) + " bytes");
+  }
+  expect_rejected(bytes_.substr(0, bytes_.size() - 1), "one byte short");
+}
+
+TEST_F(HistoryFileCorruption, BitFlipsAreDataLoss) {
+  // Flipping any bit lands in some frame's CRC footprint or breaks the
+  // frame walk itself. A spread of offsets covers the manifest, keyframes,
+  // and deltas without 8×size decodes of full snapshots.
+  for (std::size_t byte = 0; byte < bytes_.size();
+       byte += bytes_.size() / 97 + 1) {
+    std::string damaged = bytes_;
+    damaged[byte] = static_cast<char>(damaged[byte] ^ 0x10);
+    expect_rejected(damaged, "bit flip at byte " + std::to_string(byte));
+  }
+}
+
+TEST_F(HistoryFileCorruption, ExtraTrailingFrameIsDataLoss) {
+  // A whole valid frame appended past the manifest's promise: count
+  // mismatch, refused — a history file is exact, not a WAL.
+  serve::DayDelta delta;
+  delta.day = 1;
+  expect_rejected(bytes_ + encode_compact_delta(delta),
+                  "extra trailing frame");
+}
+
+TEST_F(HistoryFileCorruption, EmptyAndGarbageAreDataLoss) {
+  expect_rejected("", "empty file");
+  expect_rejected("not a history file", "garbage file");
+}
+
+}  // namespace
+}  // namespace pl::history

@@ -9,6 +9,7 @@
 // end to the full world's snapshot. Runs plain and under transport chaos.
 #include <gtest/gtest.h>
 
+#include "history/store.hpp"
 #include "pipeline/pipeline.hpp"
 #include "serve/snapshot.hpp"
 
@@ -21,11 +22,8 @@ void advance_equals_rebuild(const pipeline::Config& config, int days_back) {
   const util::Day start = end - days_back;
   ASSERT_GT(start, extended.truth.archive_begin);
 
-  const restore::RestoredArchive base_archive =
-      truncate_archive(extended.restored, start);
-  const bgp::ActivityTable base_activity =
-      truncate_activity(extended.op_world.activity, start);
-  Snapshot advanced = Snapshot::build(base_archive, base_activity, start);
+  Snapshot advanced = history::HistoryStore::rebuild_at(
+      extended.restored, extended.op_world.activity, start);
   ASSERT_TRUE(advanced.can_advance());
 
   AdvanceStats total;
@@ -44,10 +42,8 @@ void advance_equals_rebuild(const pipeline::Config& config, int days_back) {
     // Spot-check mid-stretch too, not only at the end: catches drift that a
     // later day would happen to repair.
     if (day == start + days_back / 2) {
-      const Snapshot rebuilt =
-          Snapshot::build(truncate_archive(extended.restored, day),
-                          truncate_activity(extended.op_world.activity, day),
-                          day);
+      const Snapshot rebuilt = history::HistoryStore::rebuild_at(
+          extended.restored, extended.op_world.activity, day);
       EXPECT_TRUE(advanced == rebuilt) << "diverged by day " << day;
     }
   }
@@ -121,7 +117,7 @@ TEST(ServeAdvance, TruncationClipsButKeepsEarlierHistory) {
   const util::Day cut = result.truth.archive_end - 100;
 
   const restore::RestoredArchive clipped =
-      truncate_archive(result.restored, cut);
+      history::HistoryStore::truncate_archive(result.restored, cut);
   for (std::size_t r = 0; r < asn::kRirCount; ++r) {
     EXPECT_LE(clipped.registries[r].spans.size(),
               result.restored.registries[r].spans.size());
@@ -132,7 +128,7 @@ TEST(ServeAdvance, TruncationClipsButKeepsEarlierHistory) {
     }
   }
   const bgp::ActivityTable activity =
-      truncate_activity(result.op_world.activity, cut);
+      history::HistoryStore::truncate_activity(result.op_world.activity, cut);
   for (const auto& [asn_key, days] : activity.entries())
     EXPECT_LE(days.span().last, cut);
 }
